@@ -1,0 +1,250 @@
+// Package wolfc_test is the benchmark harness regenerating every table and
+// figure of the paper's evaluation (§6 and Figure 1/Table 1 claims); see
+// EXPERIMENTS.md for the experiment index and measured results, and
+// cmd/wolfbench for the formatted report with normalised slowdowns.
+//
+// Workload sizes are reduced from the paper's (noted per benchmark) so the
+// full suite runs in minutes on one core; cmd/wolfbench runs paper-size
+// workloads. Relative shape, not absolute time, is the claim under test.
+package wolfc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wolfc/internal/bench"
+	"wolfc/internal/core"
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/numerics"
+	"wolfc/internal/parser"
+)
+
+// fig2Sizes are the harness sizes (paper size in the comment).
+var fig2Sizes = map[string]int{
+	"fnv1a":      200_000, // paper: 1e6-char string
+	"mandelbrot": 1000,    // paper: 1000 max iterations (full)
+	"dot":        200,     // paper: 1000x1000
+	"blur":       200,     // paper: 1000x1000
+	"histogram":  200_000, // paper: 1e6 values
+	"primeq":     100_000, // paper: 1e6 range
+	"qsort":      1 << 13, // paper: 2^15 pre-sorted
+	"randomwalk": 10_000,  // paper Figure 1: 1e5
+}
+
+// interpSizes shrink interpreter runs so the suite terminates; wolfbench
+// scales the measured time back to the common workload.
+var interpSizes = map[string]int{
+	"fnv1a":      5_000,
+	"mandelbrot": 20,
+	"dot":        48,
+	"blur":       32,
+	"histogram":  5_000,
+	"primeq":     3_000,
+	"qsort":      1 << 7,
+	"randomwalk": 500,
+}
+
+func runPrepared(b *testing.B, name string, impl bench.Impl, size int) {
+	b.Helper()
+	run, err := bench.Prepare(name, impl, size)
+	if err != nil {
+		b.Skipf("%s/%s: %v", name, impl, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: the seven benchmarks against the
+// hand-written reference, for the new compiler (abortable and
+// non-abortable), the bytecode compiler, and (scaled down) the interpreter.
+func BenchmarkFig2(b *testing.B) {
+	names := []string{"fnv1a", "mandelbrot", "dot", "blur", "histogram", "primeq", "qsort"}
+	for _, name := range names {
+		for _, impl := range bench.Impls() {
+			size := fig2Sizes[name]
+			if impl == bench.ImplInterp {
+				size = interpSizes[name]
+			}
+			b.Run(fmt.Sprintf("%s/%s", name, impl), func(b *testing.B) {
+				runPrepared(b, name, impl, size)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1RandomWalk regenerates the Figure 1 comparison: the same
+// NestList program interpreted, bytecode compiled (after the structural
+// rewrite the bytecode compiler requires), and compiled by the new
+// compiler.
+func BenchmarkFigure1RandomWalk(b *testing.B) {
+	for _, impl := range bench.Impls() {
+		size := fig2Sizes["randomwalk"]
+		if impl == bench.ImplInterp {
+			size = interpSizes["randomwalk"]
+		}
+		b.Run(string(impl), func(b *testing.B) {
+			runPrepared(b, "randomwalk", impl, size)
+		})
+	}
+}
+
+// BenchmarkFindRootAutoCompile regenerates the §1 claim: FindRoot with
+// auto-compilation of the equation (and its symbolic derivative) versus the
+// purely interpreted evaluation path.
+func BenchmarkFindRootAutoCompile(b *testing.B) {
+	for _, auto := range []bool{true, false} {
+		label := "autocompile"
+		if !auto {
+			label = "interpreted"
+		}
+		b.Run(label, func(b *testing.B) {
+			k := kernel.New()
+			eq := parser.MustParse("Sin[x] + Exp[x]")
+			opts := numerics.DefaultFindRootOptions()
+			opts.AutoCompile = auto
+			// Warm the auto-compile cache so the steady state is timed.
+			if _, err := numerics.FindRoot(k, eq, expr.Sym("x"), 0, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := numerics.FindRoot(k, eq, expr.Sym("x"), 0, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNoInlineMandelbrot regenerates §6's inlining ablation
+// ("disabling function inline within the new compiler results in a 10x
+// slowdown for Mandelbrot"): the same Mandelbrot with InlinePolicy none
+// versus auto. The effect here shows on the lambda-heavy formulation, where
+// every per-step function becomes an out-of-line call.
+func BenchmarkAblationNoInlineMandelbrot(b *testing.B) {
+	// A formulation with a per-pixel helper lambda, so inlining has a call
+	// to remove.
+	src := `Function[{Typed[maxIter, "MachineInteger"]},
+		Module[{total = 0, xi = 0, yi = 0, step = Function[{zr, zi, cr}, zr*zr - zi*zi + cr], cr = 0., ci = 0., zr = 0., zi = 0., t = 0., iters = 0},
+			While[xi <= 20,
+				cr = -1. + 0.1*xi;
+				yi = 0;
+				While[yi <= 15,
+					ci = -1. + 0.1*yi;
+					zr = 0.; zi = 0.; iters = 0;
+					While[iters < maxIter && zr*zr + zi*zi < 4.,
+						t = step[zr, zi, cr];
+						zi = 2.*zr*zi + ci;
+						zr = t;
+						iters = iters + 1];
+					total = total + iters;
+					yi = yi + 1];
+				xi = xi + 1];
+			total]]`
+	for _, policy := range []string{"auto", "none"} {
+		b.Run("inline-"+policy, func(b *testing.B) {
+			k := kernel.New()
+			c := core.NewCompiler(k)
+			c.Options.InlinePolicy = policy
+			ccf, err := c.FunctionCompile(parser.MustParse(src))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ccf.CallRaw(int64(1000))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQSortCopy regenerates §6's QSort discussion: the default
+// mutability protocol (one copy of the input, then in-place sorting) versus
+// the conservative protocol that copies on every Part assignment.
+func BenchmarkAblationQSortCopy(b *testing.B) {
+	size := 1 << 11
+	b.Run("copy-elided", func(b *testing.B) {
+		run, err := bench.Prepare("qsort", bench.ImplCompiled, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+	b.Run("copy-always", func(b *testing.B) {
+		run, err := bench.PrepareQSortCopyAblation(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+}
+
+// BenchmarkAblationAbortChecks isolates the abort-handling overhead (§6:
+// "We look at abortability, since it has the biggest impact"), on the two
+// benchmarks the paper singles out: Blur (tight stencil, large overhead)
+// and Mandelbrot (heavy loop body, negligible overhead).
+func BenchmarkAblationAbortChecks(b *testing.B) {
+	for _, name := range []string{"blur", "mandelbrot", "histogram"} {
+		for _, impl := range []bench.Impl{bench.ImplCompiled, bench.ImplCompiledNoAbort} {
+			b.Run(fmt.Sprintf("%s/%s", name, impl), func(b *testing.B) {
+				runPrepared(b, name, impl, fig2Sizes[name])
+			})
+		}
+	}
+}
+
+// BenchmarkCompileTime measures the compiler itself (§6: the internal suite
+// tracks "compilation time, time to run specific passes").
+func BenchmarkCompileTime(b *testing.B) {
+	sources := map[string]string{
+		"addOne":     `Function[{Typed[arg, "MachineInteger"]}, arg + 1]`,
+		"loop":       `Function[{Typed[n, "MachineInteger"]}, Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i++]; s]]`,
+		"randomwalk": `Function[{Typed[len, "MachineInteger"]}, NestList[Module[{arg = RandomReal[{0., 6.28}]}, {-Cos[arg], Sin[arg]} + #] &, {0., 0.}, len]]`,
+	}
+	for name, src := range sources {
+		b.Run(name, func(b *testing.B) {
+			k := kernel.New()
+			c := core.NewCompiler(k)
+			fn := parser.MustParse(src)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.FunctionCompile(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPrimeQConstants regenerates §6's constant-array
+// discussion ("Due to non-optimal handling of constant arrays, we observe a
+// 1.5x performance degradation"): the embedded seed table interned once
+// versus rebuilt per call of a per-candidate primality test.
+func BenchmarkAblationPrimeQConstants(b *testing.B) {
+	const limit = 20_000
+	for _, naive := range []bool{false, true} {
+		label := "interned"
+		if naive {
+			label = "per-call"
+		}
+		b.Run(label, func(b *testing.B) {
+			run, err := bench.PreparePrimeQPerCandidate(limit, naive)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+// Command wolfc mirrors the paper's artifact workflow (§A.6): it compiles a
+// Wolfram function and prints the requested stage — the macro-expanded AST,
+// the untyped WIR, the typed TWIR, a C translation, WVM bytecode — or runs
+// the compiled function on arguments.
+//
+// Examples:
+//
+//	wolfc -e 'Function[{Typed[arg, "MachineInteger"]}, arg + 1]' -stage twir
+//	wolfc -e '...' -stage c
+//	wolfc -e '...' -run '41'
+//	wolfc -file prog.wl -stage ast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wolfc/internal/core"
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+)
+
+func main() {
+	var (
+		src      = flag.String("e", "", "function source text to compile")
+		file     = flag.String("file", "", "file containing the function source")
+		stage    = flag.String("stage", "twir", "stage to print: ast | wir | twir | c | cexe | wvm")
+		runArgs  = flag.String("run", "", "comma-separated arguments; run instead of printing a stage")
+		noAbort  = flag.Bool("no-abort-handling", false, "disable abort-check insertion")
+		noInline = flag.Bool("no-inline", false, "disable inlining (the §6 ablation)")
+		optLevel = flag.Int("O", 1, "optimisation level (0 disables folding/CSE/DCE)")
+	)
+	flag.Parse()
+
+	text := *src
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(data)
+	}
+	if text == "" {
+		fmt.Fprintln(os.Stderr, "usage: wolfc -e '<Function[...]>' [-stage ast|wir|twir|c|cexe|wvm] [-run args]")
+		os.Exit(2)
+	}
+
+	fn, err := parser.Parse(text)
+	if err != nil {
+		fatal(err)
+	}
+
+	k := kernel.New()
+	c := core.NewCompiler(k)
+	c.Options.AbortHandling = !*noAbort
+	if *noInline {
+		c.Options.InlinePolicy = "none"
+	}
+	c.Options.OptimizationLevel = *optLevel
+
+	if *runArgs != "" {
+		ccf, err := c.FunctionCompile(fn)
+		if err != nil {
+			fatal(err)
+		}
+		var args []expr.Expr
+		for _, a := range strings.Split(*runArgs, ",") {
+			e, err := parser.Parse(strings.TrimSpace(a))
+			if err != nil {
+				fatal(fmt.Errorf("argument %q: %w", a, err))
+			}
+			v, err := k.Run(e)
+			if err != nil {
+				fatal(err)
+			}
+			args = append(args, v)
+		}
+		out, err := ccf.Apply(args)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expr.InputForm(out))
+		return
+	}
+
+	switch strings.ToLower(*stage) {
+	case "ast":
+		out, err := c.ExpandAST(fn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expr.FullForm(out))
+	case "wir":
+		mod, err := c.BuildWIR(fn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(mod.String())
+	case "twir":
+		ccf, err := c.FunctionCompile(fn)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := ccf.ExportString("TWIR")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "c", "wvm":
+		ccf, err := c.FunctionCompile(fn)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := ccf.ExportString(strings.ToUpper(*stage))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "cexe":
+		// Self-contained C: the emitted source with the wolfrt runtime
+		// inlined; compile the output directly with `cc prog.c -lm`.
+		ccf, err := c.FunctionCompile(fn)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := ccf.ExportString("CStandalone")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	default:
+		fatal(fmt.Errorf("unknown stage %q", *stage))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wolfc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command wolfrepl is an interactive session with the interpreter — the
+// Wolfram Engine stand-in — with both compilers installed: the legacy
+// Compile (bytecode/WVM) and the new FunctionCompile, callable exactly as
+// in the paper's notebook sessions (Figure 1). Ctrl-C aborts the running
+// evaluation without quitting the session (F3); a second Ctrl-C at the
+// prompt exits.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"wolfc/internal/core"
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+	"wolfc/internal/vm"
+)
+
+func main() {
+	k := kernel.New()
+	k.Out = os.Stdout
+	vm.Install(k)   // legacy Compile
+	core.Install(k) // new FunctionCompile
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	busy := make(chan struct{}, 1)
+	go func() {
+		for range sig {
+			select {
+			case <-busy: // evaluation in flight: abort it (F3)
+				k.Abort()
+				busy <- struct{}{}
+			default: // idle prompt: quit
+				fmt.Println("\nGoodbye.")
+				os.Exit(0)
+			}
+		}
+	}()
+
+	fmt.Println("Wolfram Language compiler reproduction — interactive session")
+	fmt.Println("Compile[...] targets the bytecode WVM; FunctionCompile[...] the new compiler.")
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for {
+		n++
+		fmt.Printf("In[%d]:= ", n)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "(*") && strings.HasSuffix(line, "*)") {
+			n--
+			continue
+		}
+		if line == "Quit" || line == "Exit" {
+			return
+		}
+		e, err := parser.Parse(line)
+		if err != nil {
+			fmt.Println("Syntax:", err)
+			continue
+		}
+		busy <- struct{}{}
+		out, err := k.Run(e)
+		<-busy
+		if err != nil {
+			fmt.Println("Error:", err)
+			continue
+		}
+		if out != expr.SymNull {
+			fmt.Printf("Out[%d]= %s\n", n, expr.InputForm(out))
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// FindRoot: the §1 auto-compilation example. The solver symbolically
+// differentiates Sin[x] + E^x with the kernel's D, auto-compiles the
+// function and its derivative, and Newton-iterates on the compiled pair —
+// then repeats with auto-compilation off to show the speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/numerics"
+	"wolfc/internal/parser"
+)
+
+func main() {
+	k := kernel.New()
+	x := expr.Sym("x")
+	eq := parser.MustParse("Sin[x] + Exp[x]")
+
+	// The symbolic derivative, as the solver sees it.
+	deriv, err := k.EvalGuarded(expr.NewS("D", eq, x))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("equation:   %s\n", expr.InputForm(eq))
+	fmt.Printf("derivative: %s (computed symbolically)\n\n", expr.InputForm(deriv))
+
+	root, err := numerics.FindRoot(k, eq, x, 0, numerics.DefaultFindRootOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FindRoot[Sin[x] + E^x, {x, 0}] = %.6f  (paper: x ≈ -0.588533)\n\n", root)
+
+	// Timing: steady-state solves with and without auto-compilation.
+	for _, auto := range []bool{false, true} {
+		opts := numerics.DefaultFindRootOptions()
+		opts.AutoCompile = auto
+		// Warm up (compiles and caches on the auto path).
+		if _, err := numerics.FindRoot(k, eq, x, 0, opts); err != nil {
+			log.Fatal(err)
+		}
+		const solves = 2000
+		t0 := time.Now()
+		for i := 0; i < solves; i++ {
+			if _, err := numerics.FindRoot(k, eq, x, 0, opts); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d := time.Since(t0) / solves
+		label := "interpreted evaluation"
+		if auto {
+			label = "auto-compiled          "
+		}
+		fmt.Printf("%s  %v/solve\n", label, d)
+	}
+	fmt.Println("\n(paper §1: auto compilation gives FindRoot a 1.6x speedup)")
+
+	// A second solver built on the same machinery: NIntegrate.
+	integral, err := numerics.NIntegrate(k, parser.MustParse("Sin[x]"), x, 0, 3.141592653589793, 1000, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNIntegrate[Sin[x], {x, 0, Pi}] = %.6f (exact: 2)\n", integral)
+}

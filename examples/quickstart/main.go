@@ -1,0 +1,90 @@
+// Quickstart: the §A.6 artifact walkthrough — compile addOne, inspect every
+// stage of the pipeline (AST → WIR → TWIR → C), run it, and watch the soft
+// numeric failure fall back to the interpreter with bignums (§2.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wolfc/internal/core"
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+)
+
+func main() {
+	k := kernel.New()
+	c := core.NewCompiler(k)
+
+	fmt.Println("== addOne: Function[{Typed[arg, \"MachineInteger\"]}, arg + 1] ==")
+	addOne := parser.MustParse(`Function[{Typed[arg, "MachineInteger"]}, arg + 1]`)
+
+	ast, err := c.ExpandAST(addOne)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- CompileToAST --")
+	fmt.Println(expr.FullForm(ast))
+
+	wirMod, err := c.BuildWIR(addOne)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- CompileToIR (untyped WIR) --")
+	fmt.Print(wirMod.String())
+
+	ccf, err := c.FunctionCompile(addOne)
+	if err != nil {
+		log.Fatal(err)
+	}
+	twir, _ := ccf.ExportString("TWIR")
+	fmt.Println("\n-- CompileToIR (typed TWIR) --")
+	fmt.Print(twir)
+
+	cSrc, _ := ccf.ExportString("C")
+	fmt.Println("\n-- FunctionCompileExportString[addOne, \"C\"] --")
+	fmt.Print(cSrc)
+
+	out, err := ccf.Apply([]expr.Expr{expr.FromInt64(41)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naddOne[41] = %s\n", expr.InputForm(out))
+
+	// The paper's recursive cfib (§4.1), then the §2.2 soft failure: a
+	// computation that overflows machine integers prints a warning and
+	// re-evaluates through the interpreter with exact arithmetic.
+	fmt.Println("\n== cfib and the soft failure mode ==")
+	cfib, err := c.CompileNamed("cfib", parser.MustParse(
+		`Function[{Typed[n, "MachineInteger"]},
+			If[n < 1, 1, cfib[n - 1] + cfib[n - 2]]]`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int64{10, 25} {
+		out, err := cfib.Apply([]expr.Expr{expr.FromInt64(n)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cfib[%d] = %s\n", n, expr.InputForm(out))
+	}
+
+	// Define cfib in the kernel too, so the fallback can recurse exactly.
+	if _, err := k.Run(parser.MustParse(
+		"cfib = Function[{n}, If[n < 1, 1, cfib[n - 1] + cfib[n - 2]]]")); err != nil {
+		log.Fatal(err)
+	}
+	overflow, err := c.FunctionCompile(parser.MustParse(
+		`Function[{Typed[n, "MachineInteger"]}, n*n*n*n*n*n*n]`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npow7[12345678] overflows int64; the wrapper prints the warning and")
+	fmt.Println("reverts to the interpreter, which answers exactly:")
+	out, err = overflow.Apply([]expr.Expr{expr.FromInt64(12345678)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pow7[12345678] = %s\n", expr.InputForm(out))
+}

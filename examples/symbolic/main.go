@@ -1,0 +1,86 @@
+// Symbolic computation in compiled code (F8, §4.5): values of type
+// "Expression" flow through compiled functions, combined by threaded
+// interpretation through the engine — cf[1, 2] is 3, cf[x, y] stays
+// symbolic — plus the KernelFunction escape for gradual compilation (F9).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wolfc/internal/core"
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+)
+
+func main() {
+	k := kernel.New()
+	c := core.NewCompiler(k)
+
+	// The paper's example verbatim (§4.5).
+	cf, err := c.FunctionCompile(parser.MustParse(
+		`Function[{Typed[arg1, "Expression"], Typed[arg2, "Expression"]}, arg1 + arg2]`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cases := [][2]string{
+		{"1", "2"},
+		{"x", "y"},
+		{"x", "Cos[y] + Sin[z]"},
+	}
+	fmt.Println("cf = FunctionCompile[Function[{Typed[arg1, \"Expression\"], Typed[arg2, \"Expression\"]}, arg1 + arg2]]")
+	for _, args := range cases {
+		out, err := cf.Apply([]expr.Expr{parser.MustParse(args[0]), parser.MustParse(args[1])})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cf[%s, %s] = %s\n", args[0], args[1], expr.InputForm(out))
+	}
+
+	// Symbolic values mix with machine computation in one function: the
+	// machine part runs unboxed, the symbolic part through the engine.
+	mixed, err := c.FunctionCompile(parser.MustParse(
+		`Function[{Typed[e, "Expression"], Typed[n, "MachineInteger"]},
+			Module[{k = n*n}, e + Native` + "`" + `ToExpression[k]]]`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := mixed.Apply([]expr.Expr{parser.MustParse("Sin[t]"), expr.FromInt64(7)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmixed[Sin[t], 7] = %s  (machine 7*7 boxed into the symbolic sum)\n",
+		expr.InputForm(out))
+
+	// Gradual compilation (F9): user-defined interpreter functions called
+	// from compiled code through KernelFunction.
+	if _, err := k.Run(parser.MustParse("shape[x_] := {x, x^2, x^3}")); err != nil {
+		log.Fatal(err)
+	}
+	escape, err := c.FunctionCompile(parser.MustParse(
+		`Function[{Typed[n, "MachineInteger"]}, KernelFunction[shape][n]]`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err = escape.Apply([]expr.Expr{expr.FromInt64(3)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nKernelFunction escape: compiled code calling the interpreter's shape[3] = %s\n",
+		expr.InputForm(out))
+
+	// Symbolic differentiation feeding compiled code: the automatic
+	// differentiation workflow of §5.
+	eq := parser.MustParse("x^3 + Sin[x]")
+	d1, _ := k.EvalGuarded(expr.NewS("D", eq, expr.Sym("x")))
+	d2, _ := k.EvalGuarded(expr.NewS("D", d1, expr.Sym("x")))
+	fmt.Printf("\nf(x)   = %s\nf'(x)  = %s\nf''(x) = %s\n",
+		expr.InputForm(eq), expr.InputForm(d1), expr.InputForm(d2))
+	dcf, err := c.FunctionCompile(expr.New(expr.SymFunction,
+		expr.List(expr.New(expr.SymTyped, expr.Sym("x"), expr.FromString("Real64"))), d1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled f'(2.0) = %v\n", dcf.CallRaw(2.0))
+}

@@ -1,0 +1,3 @@
+module wolfc
+
+go 1.22

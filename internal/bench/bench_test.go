@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallSize returns a fast test size per benchmark.
+func smallSize(name string) int {
+	switch name {
+	case "fnv1a":
+		return 2000
+	case "mandelbrot":
+		return 50
+	case "dot":
+		return 24
+	case "blur":
+		return 20
+	case "histogram":
+		return 3000
+	case "primeq":
+		return 20000
+	case "qsort":
+		return 1 << 8
+	case "randomwalk":
+		return 200
+	}
+	return 10
+}
+
+// TestImplementationsAgree checks that every implementation of every
+// benchmark computes the same answer on a small workload — the correctness
+// backbone behind the Figure 2 comparison.
+func TestImplementationsAgree(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			size := smallSize(name)
+			want := ""
+			for _, impl := range Impls() {
+				if name == "randomwalk" && impl != ImplGo {
+					// Random content differs per engine stream; shape is
+					// checked separately below.
+					continue
+				}
+				if name == "primeq" && impl == ImplInterp {
+					// The interpreter needs a smaller range to finish in
+					// test time; covered by TestPrimeQInterpreterSeedPath.
+					continue
+				}
+				run, err := Prepare(name, impl, size)
+				if err != nil {
+					if name == "qsort" && impl == ImplBytecode {
+						// Expected: the paper's point (§6).
+						if !strings.Contains(err.Error(), "cannot represent") {
+							t.Fatalf("unexpected qsort bytecode error: %v", err)
+						}
+						continue
+					}
+					t.Fatalf("Prepare(%s, %s): %v", name, impl, err)
+				}
+				got := run()
+				if impl == ImplGo {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%s/%s = %q, want %q (go reference)", name, impl, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPrimeQInterpreterSeedPath(t *testing.T) {
+	// Interpreter PrimeQ at a seed-table-only range agrees with Go.
+	goRun, err := Prepare("primeq", ImplGo, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRun, err := Prepare("primeq", ImplInterp, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, i := goRun(), inRun(); g != i {
+		t.Fatalf("interp primeq = %s, go = %s", i, g)
+	}
+}
+
+func TestRandomWalkShapes(t *testing.T) {
+	for _, impl := range []Impl{ImplCompiled, ImplBytecode, ImplInterp} {
+		run, err := Prepare("randomwalk", impl, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		if got := run(); got != "101" {
+			t.Errorf("%s walk length = %s, want 101", impl, got)
+		}
+	}
+}
+
+func TestQSortCopyAblation(t *testing.T) {
+	run, err := PrepareQSortCopyAblation(1 << 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Prepare("qsort", ImplCompiled, 1<<7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run() != base() {
+		t.Fatal("copy ablation changed the answer")
+	}
+}
+
+func TestRunnersAreRepeatable(t *testing.T) {
+	// A Runner must be callable many times (benchmark harness contract).
+	run, err := Prepare("histogram", ImplCompiled, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("iteration %d diverged: %s vs %s", i, got, first)
+		}
+	}
+	// QSort mutates its working copy; repeatability matters most there.
+	qs, err := Prepare("qsort", ImplCompiled, 1<<7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qfirst := qs()
+	if got := qs(); got != qfirst {
+		t.Fatalf("qsort second run diverged: %s vs %s", got, qfirst)
+	}
+}
+
+func TestSeedTable(t *testing.T) {
+	primes := primesBelow(1 << 14)
+	if len(primes) == 0 || primes[0] != 2 || primes[1] != 3 {
+		t.Fatal("seed table broken")
+	}
+	// 1900 primes below 2^14 = 16384.
+	if len(primes) != 1900 {
+		t.Fatalf("prime count below 2^14 = %d, want 1900", len(primes))
+	}
+}

@@ -1,0 +1,369 @@
+// Package binding implements the compiler's binding analysis (paper §4.2):
+// it resolves every variable to its binding construct, desugars the scoping
+// constructs (Module, Block, With), flattens nested scopes, renames
+// shadowed variables (Module[{a=1,b=1},a+b+Module[{a=3},a]] becomes a flat
+// scope with a1), and performs escape analysis so nested Function literals
+// know which enclosing variables they capture (closure conversion input).
+package binding
+
+import (
+	"fmt"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/pattern"
+)
+
+// Result is the outcome of binding analysis on one Function.
+type Result struct {
+	// Params are the (renamed) top-level function parameters, and Types
+	// their Typed annotations when present (nil otherwise).
+	Params     []*expr.Symbol
+	ParamTypes []expr.Expr
+	// Locals are all flattened top-level locals in declaration order.
+	Locals []*expr.Symbol
+	// Body is the scope-free body: every Module/With/Block is gone,
+	// initialisers have become Set statements at their original position,
+	// and every variable has a unique name.
+	Body expr.Expr
+	// Lambdas maps each nested Function literal (as rebuilt in Body) to
+	// its analysis: parameters, locals, and captured outer variables.
+	Lambdas map[*expr.Normal]*Lambda
+}
+
+// Lambda describes a nested Function literal after analysis.
+type Lambda struct {
+	Params   []*expr.Symbol
+	Locals   []*expr.Symbol
+	Captures []*expr.Symbol // enclosing-scope variables used by the body
+	Body     expr.Expr
+}
+
+// Error reports a binding-analysis failure with the offending expression.
+type Error struct {
+	Msg  string
+	Expr expr.Expr
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("binding: %s in %s", e.Msg, expr.InputForm(e.Expr))
+}
+
+// Analyze processes Function[{params...}, body]; params may carry Typed
+// annotations: Typed[x, "ty"].
+func Analyze(fn expr.Expr) (*Result, error) {
+	f, ok := expr.IsNormalN(fn, expr.SymFunction, 2)
+	if !ok {
+		return nil, &Error{Msg: "Function[{params}, body] expected", Expr: fn}
+	}
+	a := &analyzer{
+		used:    map[string]bool{},
+		lambdas: map[*expr.Normal]*Lambda{},
+	}
+	params, types, err := a.parseParams(f.Arg(1))
+	if err != nil {
+		return nil, err
+	}
+	scope := &scopeFrame{vars: map[*expr.Symbol]*expr.Symbol{}}
+	renamed := make([]*expr.Symbol, len(params))
+	for i, p := range params {
+		renamed[i] = a.declare(scope, p)
+	}
+	res := &Result{Params: renamed, ParamTypes: types, Lambdas: a.lambdas}
+	a.current = res
+	body, err := a.walk(f.Arg(2), scope)
+	if err != nil {
+		return nil, err
+	}
+	res.Body = body
+	res.Locals = a.locals
+	return res, nil
+}
+
+type scopeFrame struct {
+	parent *scopeFrame
+	vars   map[*expr.Symbol]*expr.Symbol // original -> unique name
+	// fnBoundary marks a Function body: lookups crossing it are captures.
+	fnBoundary bool
+	lambda     *Lambda
+}
+
+func (s *scopeFrame) lookup(sym *expr.Symbol) (*expr.Symbol, *scopeFrame) {
+	for f := s; f != nil; f = f.parent {
+		if r, ok := f.vars[sym]; ok {
+			return r, f
+		}
+	}
+	return nil, nil
+}
+
+type analyzer struct {
+	used    map[string]bool
+	seq     map[string]int
+	locals  []*expr.Symbol
+	current *Result
+	lambdas map[*expr.Normal]*Lambda
+	// lambdaStack tracks nested lambda analyses so captures land on the
+	// innermost lambda and propagate outward.
+	lambdaStack []*Lambda
+}
+
+// fresh produces the paper-style rename: a, a1, a2, ...
+func (a *analyzer) fresh(base *expr.Symbol) *expr.Symbol {
+	if !a.used[base.Name] {
+		a.used[base.Name] = true
+		return base
+	}
+	if a.seq == nil {
+		a.seq = map[string]int{}
+	}
+	for {
+		a.seq[base.Name]++
+		name := fmt.Sprintf("%s%d", base.Name, a.seq[base.Name])
+		if !a.used[name] {
+			a.used[name] = true
+			return expr.Sym(name)
+		}
+	}
+}
+
+// declare introduces sym in the scope under a unique name.
+func (a *analyzer) declare(scope *scopeFrame, sym *expr.Symbol) *expr.Symbol {
+	r := a.fresh(sym)
+	scope.vars[sym] = r
+	return r
+}
+
+func (a *analyzer) declareLocal(scope *scopeFrame, sym *expr.Symbol) *expr.Symbol {
+	r := a.declare(scope, sym)
+	if len(a.lambdaStack) > 0 {
+		l := a.lambdaStack[len(a.lambdaStack)-1]
+		l.Locals = append(l.Locals, r)
+	} else {
+		a.locals = append(a.locals, r)
+	}
+	return r
+}
+
+func (a *analyzer) parseParams(spec expr.Expr) ([]*expr.Symbol, []expr.Expr, error) {
+	var items []expr.Expr
+	if l, ok := expr.IsNormal(spec, expr.SymList); ok {
+		items = l.Args()
+	} else {
+		items = []expr.Expr{spec} // Function[x, body] single-param form
+	}
+	var names []*expr.Symbol
+	var types []expr.Expr
+	for _, it := range items {
+		switch x := it.(type) {
+		case *expr.Symbol:
+			names = append(names, x)
+			types = append(types, nil)
+		case *expr.Normal:
+			if ty, ok := expr.IsNormalN(x, expr.SymTyped, 2); ok {
+				name, ok := ty.Arg(1).(*expr.Symbol)
+				if !ok {
+					return nil, nil, &Error{Msg: "Typed parameter name expected", Expr: it}
+				}
+				names = append(names, name)
+				types = append(types, ty.Arg(2))
+				continue
+			}
+			return nil, nil, &Error{Msg: "invalid parameter", Expr: it}
+		default:
+			return nil, nil, &Error{Msg: "invalid parameter", Expr: it}
+		}
+	}
+	return names, types, nil
+}
+
+var (
+	symSet   = expr.SymSet
+	symTyped = expr.SymTyped
+)
+
+// walk rewrites e under the given scope.
+func (a *analyzer) walk(e expr.Expr, scope *scopeFrame) (expr.Expr, error) {
+	switch x := e.(type) {
+	case *expr.Symbol:
+		if r, frame := scope.lookup(x); r != nil {
+			a.noteCapture(r, frame, scope)
+			return r, nil
+		}
+		return x, nil
+	case *expr.Normal:
+		if h, ok := x.Head().(*expr.Symbol); ok {
+			switch h {
+			case expr.SymModule, expr.SymBlock:
+				return a.walkModule(x, scope)
+			case expr.SymWith:
+				return a.walkWith(x, scope)
+			case expr.SymFunction:
+				return a.walkLambda(x, scope)
+			}
+		}
+		head, err := a.walk(x.Head(), scope)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]expr.Expr, x.Len())
+		for i := 1; i <= x.Len(); i++ {
+			args[i-1], err = a.walk(x.Arg(i), scope)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return expr.New(head, args...), nil
+	default:
+		return e, nil
+	}
+}
+
+// noteCapture records r as a capture of every lambda whose boundary the
+// lookup crossed.
+func (a *analyzer) noteCapture(r *expr.Symbol, defFrame, useScope *scopeFrame) {
+	crossed := false
+	for f := useScope; f != nil && f != defFrame; f = f.parent {
+		if f.fnBoundary {
+			crossed = true
+			if f.lambda != nil && !containsSym(f.lambda.Captures, r) {
+				f.lambda.Captures = append(f.lambda.Captures, r)
+			}
+		}
+	}
+	_ = crossed
+}
+
+func containsSym(list []*expr.Symbol, s *expr.Symbol) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// walkModule flattens Module/Block scopes: declarations are hoisted into the
+// enclosing function's local list; initialisers become Set statements at the
+// scope entry (preserving evaluation order, unlike naive hoisting).
+func (a *analyzer) walkModule(m *expr.Normal, scope *scopeFrame) (expr.Expr, error) {
+	if m.Len() != 2 {
+		return nil, &Error{Msg: "Module[{vars}, body] expected", Expr: m}
+	}
+	l, ok := expr.IsNormal(m.Arg(1), expr.SymList)
+	if !ok {
+		return nil, &Error{Msg: "Module variable list expected", Expr: m}
+	}
+	inner := &scopeFrame{parent: scope, vars: map[*expr.Symbol]*expr.Symbol{}}
+	var stmts []expr.Expr
+	for _, v := range l.Args() {
+		switch it := v.(type) {
+		case *expr.Symbol:
+			a.declareLocal(inner, it)
+		case *expr.Normal:
+			if s, ok := expr.IsNormalN(it, symSet, 2); ok {
+				name, ok := s.Arg(1).(*expr.Symbol)
+				if !ok {
+					return nil, &Error{Msg: "Module variable name expected", Expr: v}
+				}
+				// The initialiser is evaluated in the OUTER scope.
+				init, err := a.walk(s.Arg(2), scope)
+				if err != nil {
+					return nil, err
+				}
+				r := a.declareLocal(inner, name)
+				stmts = append(stmts, expr.New(symSet, r, init))
+				continue
+			}
+			// Typed local: Module[{Typed[x, "ty"]}, ...] or
+			// Typed[x, "ty"] = init.
+			if ty, ok := expr.IsNormalN(it, symTyped, 2); ok {
+				name, ok := ty.Arg(1).(*expr.Symbol)
+				if !ok {
+					return nil, &Error{Msg: "Typed local name expected", Expr: v}
+				}
+				r := a.declareLocal(inner, name)
+				stmts = append(stmts, expr.New(symTyped, r, ty.Arg(2)))
+				continue
+			}
+			return nil, &Error{Msg: "invalid Module variable", Expr: v}
+		default:
+			return nil, &Error{Msg: "invalid Module variable", Expr: v}
+		}
+	}
+	body, err := a.walk(m.Arg(2), inner)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return body, nil
+	}
+	stmts = append(stmts, body)
+	return expr.New(expr.SymCompoundExpression, stmts...), nil
+}
+
+// walkWith substitutes the initialiser values directly (With's semantics).
+func (a *analyzer) walkWith(m *expr.Normal, scope *scopeFrame) (expr.Expr, error) {
+	if m.Len() != 2 {
+		return nil, &Error{Msg: "With[{vars}, body] expected", Expr: m}
+	}
+	l, ok := expr.IsNormal(m.Arg(1), expr.SymList)
+	if !ok {
+		return nil, &Error{Msg: "With variable list expected", Expr: m}
+	}
+	b := pattern.Bindings{}
+	for _, v := range l.Args() {
+		s, ok := expr.IsNormalN(v, symSet, 2)
+		if !ok {
+			return nil, &Error{Msg: "With variables need initialisers", Expr: v}
+		}
+		name, ok := s.Arg(1).(*expr.Symbol)
+		if !ok {
+			return nil, &Error{Msg: "With variable name expected", Expr: v}
+		}
+		init, err := a.walk(s.Arg(2), scope)
+		if err != nil {
+			return nil, err
+		}
+		b[name] = init
+	}
+	return a.walk(pattern.Substitute(m.Arg(2), b), scope)
+}
+
+// walkLambda analyses a nested Function literal, recording its captures.
+func (a *analyzer) walkLambda(f *expr.Normal, scope *scopeFrame) (expr.Expr, error) {
+	if f.Len() != 2 {
+		return nil, &Error{Msg: "Function[{params}, body] expected", Expr: f}
+	}
+	params, types, err := a.parseParams(f.Arg(1))
+	if err != nil {
+		return nil, err
+	}
+	lam := &Lambda{}
+	inner := &scopeFrame{
+		parent: scope, vars: map[*expr.Symbol]*expr.Symbol{},
+		fnBoundary: true, lambda: lam,
+	}
+	renamed := make([]expr.Expr, len(params))
+	for i, p := range params {
+		r := a.declare(inner, p)
+		lam.Params = append(lam.Params, r)
+		if types[i] != nil {
+			renamed[i] = expr.New(symTyped, r, types[i])
+		} else {
+			renamed[i] = r
+		}
+	}
+	a.lambdaStack = append(a.lambdaStack, lam)
+	body, err := a.walk(f.Arg(2), inner)
+	a.lambdaStack = a.lambdaStack[:len(a.lambdaStack)-1]
+	if err != nil {
+		return nil, err
+	}
+	lam.Body = body
+	out := expr.New(expr.SymFunction, expr.List(renamed...), body)
+	a.lambdas[out] = lam
+	// Captures referenced from a doubly-nested lambda are also captures of
+	// this one if they come from outside; noteCapture already handled that
+	// by walking every crossed boundary.
+	return out, nil
+}

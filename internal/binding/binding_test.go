@@ -1,0 +1,184 @@
+package binding
+
+import (
+	"strings"
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Analyze(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("analyze %q: %v", src, err)
+	}
+	return res
+}
+
+func TestPaperShadowingExample(t *testing.T) {
+	// §4.2: Module[{a=1,b=1},a+b+Module[{a=3},a]] flattens with the inner a
+	// renamed to a1.
+	res := analyze(t, "Function[{x}, Module[{a = 1, b = 1}, a + b + Module[{a = 3}, a]]]")
+	body := expr.FullForm(res.Body)
+	if !strings.Contains(body, "Set[a, 1]") || !strings.Contains(body, "Set[b, 1]") {
+		t.Fatalf("outer inits missing: %s", body)
+	}
+	if !strings.Contains(body, "Set[a1, 3]") {
+		t.Fatalf("inner a must rename to a1: %s", body)
+	}
+	if !strings.Contains(body, "Plus[a, b, CompoundExpression[Set[a1, 3], a1]]") {
+		t.Fatalf("body must reference a, b, a1: %s", body)
+	}
+	names := make([]string, len(res.Locals))
+	for i, l := range res.Locals {
+		names[i] = l.Name
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "a1" {
+		t.Fatalf("locals = %v", names)
+	}
+}
+
+func TestParamTypedAnnotations(t *testing.T) {
+	res := analyze(t, `Function[{Typed[n, "MachineInteger"], x}, n + x]`)
+	if len(res.Params) != 2 {
+		t.Fatalf("params = %v", res.Params)
+	}
+	if res.Params[0].Name != "n" || res.Params[1].Name != "x" {
+		t.Fatalf("param names = %v", res.Params)
+	}
+	if res.ParamTypes[0] == nil || expr.InputForm(res.ParamTypes[0]) != `"MachineInteger"` {
+		t.Fatalf("param type = %v", res.ParamTypes[0])
+	}
+	if res.ParamTypes[1] != nil {
+		t.Fatal("untyped parameter should have nil type")
+	}
+}
+
+func TestParamShadowedByModule(t *testing.T) {
+	res := analyze(t, "Function[{x}, Module[{x = 2}, x] + x]")
+	body := expr.FullForm(res.Body)
+	// Inner x renamed; outer x still visible after the module.
+	if !strings.Contains(body, "Set[x1, 2]") {
+		t.Fatalf("inner x must rename: %s", body)
+	}
+	if !strings.HasSuffix(body, ", x]") {
+		t.Fatalf("outer x reference lost: %s", body)
+	}
+}
+
+func TestWithSubstitution(t *testing.T) {
+	res := analyze(t, "Function[{x}, With[{k = 10}, k*x + k]]")
+	body := expr.FullForm(res.Body)
+	if strings.Contains(body, "k") {
+		t.Fatalf("With variable must be substituted away: %s", body)
+	}
+	if body != "Plus[Times[10, x], 10]" {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+func TestModuleInitEvaluatesInOuterScope(t *testing.T) {
+	// Module[{a = a + 1}, a]: the init's a is the OUTER a (the parameter).
+	res := analyze(t, "Function[{a}, Module[{a = a + 1}, a]]")
+	body := expr.FullForm(res.Body)
+	if !strings.Contains(body, "Set[a1, Plus[a, 1]]") {
+		t.Fatalf("init must reference outer a: %s", body)
+	}
+}
+
+func TestLambdaCaptures(t *testing.T) {
+	res := analyze(t, "Function[{x}, Module[{c = 10}, Map[Function[{y}, y + c + x], x]]]")
+	if len(res.Lambdas) != 1 {
+		t.Fatalf("want 1 lambda, got %d", len(res.Lambdas))
+	}
+	for _, lam := range res.Lambdas {
+		var names []string
+		for _, c := range lam.Captures {
+			names = append(names, c.Name)
+		}
+		if len(names) != 2 {
+			t.Fatalf("captures = %v, want c and x", names)
+		}
+		has := map[string]bool{}
+		for _, n := range names {
+			has[n] = true
+		}
+		if !has["c"] || !has["x"] {
+			t.Fatalf("captures = %v", names)
+		}
+		if len(lam.Params) != 1 || lam.Params[0].Name != "y" {
+			t.Fatalf("lambda params = %v", lam.Params)
+		}
+	}
+}
+
+func TestNoCaptureForPureLambda(t *testing.T) {
+	res := analyze(t, "Function[{lst}, Map[Function[{y}, y*y], lst]]")
+	for _, lam := range res.Lambdas {
+		if len(lam.Captures) != 0 {
+			t.Fatalf("pure lambda must not capture, got %v", lam.Captures)
+		}
+	}
+}
+
+func TestNestedLambdaCapturesPropagate(t *testing.T) {
+	// The innermost lambda uses x from two boundaries out; both lambdas
+	// must record the capture.
+	res := analyze(t, "Function[{x}, Function[{a}, Function[{b}, a + b + x]]]")
+	if len(res.Lambdas) != 2 {
+		t.Fatalf("want 2 lambdas, got %d", len(res.Lambdas))
+	}
+	foundOuter := false
+	for node, lam := range res.Lambdas {
+		_ = node
+		for _, c := range lam.Captures {
+			if c.Name == "x" {
+				foundOuter = true
+			}
+			if c.Name == "b" {
+				t.Fatal("a lambda cannot capture its own parameter")
+			}
+		}
+	}
+	if !foundOuter {
+		t.Fatal("x capture not recorded")
+	}
+}
+
+func TestBlockTreatedAsModule(t *testing.T) {
+	res := analyze(t, "Function[{x}, Block[{t = x*2}, t + 1]]")
+	body := expr.FullForm(res.Body)
+	if !strings.Contains(body, "Set[t, Times[x, 2]]") {
+		t.Fatalf("Block lowering: %s", body)
+	}
+}
+
+func TestSingleParamForm(t *testing.T) {
+	res := analyze(t, "Function[x, x + 1]")
+	if len(res.Params) != 1 || res.Params[0].Name != "x" {
+		t.Fatalf("params = %v", res.Params)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"x + 1",                       // not a Function
+		"Function[{1}, 1]",            // numeric parameter
+		"Function[{x}, With[{y}, y]]", // With without init
+	}
+	for _, src := range bad {
+		if _, err := Analyze(parser.MustParse(src)); err == nil {
+			t.Errorf("Analyze(%q) should fail", src)
+		}
+	}
+}
+
+func TestGlobalSymbolsUntouched(t *testing.T) {
+	res := analyze(t, "Function[{x}, Sin[x] + Pi]")
+	body := expr.FullForm(res.Body)
+	if body != "Plus[Sin[x], Pi]" {
+		t.Fatalf("body = %s", body)
+	}
+}

@@ -1,0 +1,87 @@
+// Package blas is the repository's stand-in for the Intel MKL library the
+// paper's Dot benchmark calls into (§6): a small set of hand-optimised dense
+// kernels. Both the bytecode VM and the new compiler's runtime route matrix
+// operations here, mirroring the paper's observation that all
+// implementations share one BLAS and therefore show no performance
+// difference on Dot. The kernels are deliberately not abortable, like MKL.
+package blas
+
+// DGemm computes C = A·B for row-major dense matrices, A being m×k and B
+// k×n; C must have length m*n. The loop is the classic ikj blocked order,
+// which keeps the B row hot in cache.
+func DGemm(m, k, n int, a, b, c []float64) {
+	const block = 64
+	for i := range c {
+		c[i] = 0
+	}
+	for ii := 0; ii < m; ii += block {
+		iMax := min(ii+block, m)
+		for kk := 0; kk < k; kk += block {
+			kMax := min(kk+block, k)
+			for i := ii; i < iMax; i++ {
+				arow := a[i*k : (i+1)*k]
+				crow := c[i*n : (i+1)*n]
+				for p := kk; p < kMax; p++ {
+					aip := arow[p]
+					brow := b[p*n : (p+1)*n]
+					for j := 0; j < n; j++ {
+						crow[j] += aip * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// DGemv computes y = A·x for a row-major m×n matrix.
+func DGemv(m, n int, a, x, y []float64) {
+	for i := 0; i < m; i++ {
+		s := 0.0
+		row := a[i*n : (i+1)*n]
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] = s
+	}
+}
+
+// DDot returns the inner product of two equal-length vectors.
+func DDot(x, y []float64) float64 {
+	s := 0.0
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// DAxpy computes y += alpha*x.
+func DAxpy(alpha float64, x, y []float64) {
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// DSum returns the sum of the elements of x.
+func DSum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// ISum returns the sum of the elements of x with int64 wraparound.
+func ISum(x []int64) int64 {
+	var s int64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

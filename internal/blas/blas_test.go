@@ -1,0 +1,119 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is the reference triple loop the blocked kernel must match.
+func naiveGemm(m, k, n int, a, b []float64) []float64 {
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func TestDGemmIdentity(t *testing.T) {
+	n := 4
+	id := make([]float64, n*n)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float64(i*n + j + 1)
+		}
+	}
+	c := make([]float64, n*n)
+	DGemm(n, n, n, a, id, c)
+	for i := range a {
+		if c[i] != a[i] {
+			t.Fatalf("A*I != A at %d: %v vs %v", i, c[i], a[i])
+		}
+	}
+}
+
+func TestDGemmMatchesNaive(t *testing.T) {
+	f := func(seed uint8) bool {
+		m, k, n := int(seed%5)+1, int(seed%7)+1, int(seed%3)+1
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		v := float64(seed) + 0.5
+		for i := range a {
+			v = math.Mod(v*1.7+0.3, 10)
+			a[i] = v
+		}
+		for i := range b {
+			v = math.Mod(v*2.3+0.1, 10)
+			b[i] = v
+		}
+		c := make([]float64, m*n)
+		DGemm(m, k, n, a, b, c)
+		want := naiveGemm(m, k, n, a, b)
+		for i := range c {
+			if math.Abs(c[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDGemmLargerThanBlock(t *testing.T) {
+	// Exercise the blocking path (block = 64).
+	m, k, n := 70, 65, 67
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	for i := range a {
+		a[i] = float64(i%13) * 0.5
+	}
+	for i := range b {
+		b[i] = float64(i%7) * 0.25
+	}
+	c := make([]float64, m*n)
+	DGemm(m, k, n, a, b, c)
+	want := naiveGemm(m, k, n, a, b)
+	for i := range c {
+		if math.Abs(c[i]-want[i]) > 1e-9 {
+			t.Fatalf("blocked mismatch at %d: %v vs %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDGemv(t *testing.T) {
+	a := []float64{1, 2, 3, 4} // 2x2
+	x := []float64{5, 6}
+	y := make([]float64, 2)
+	DGemv(2, 2, a, x, y)
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestDDotDAxpyDSum(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if DDot(x, y) != 32 {
+		t.Fatal("DDot broken")
+	}
+	if DSum(x) != 6 {
+		t.Fatal("DSum broken")
+	}
+	DAxpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Fatalf("DAxpy broken: %v", y)
+	}
+	if ISum([]int64{1, -2, 3}) != 2 {
+		t.Fatal("ISum broken")
+	}
+}

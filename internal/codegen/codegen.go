@@ -1,0 +1,884 @@
+// Package codegen implements the compiler's backends (paper §4.6). The
+// default backend compiles TWIR to closure-threaded native Go code: every
+// instruction becomes a Go closure over unboxed register files (int64,
+// float64, complex128, bool, and object registers), basic blocks become
+// straight-line closure arrays, and terminators return the next block
+// index. This plays the architectural role of the paper's LLVM JIT — typed,
+// unboxed, register-based code with real inlining — against the baseline's
+// boxed stack bytecode (see DESIGN.md for the substitution rationale).
+// Additional backends (C source, WVM) live in their own files behind the
+// same Backend entry points.
+package codegen
+
+import (
+	"fmt"
+	"sync"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/runtime"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// RT is the per-call runtime context threaded through compiled frames.
+type RT struct {
+	Engine runtime.Engine
+}
+
+// Aborted polls the abort flag; standalone code (nil engine) never aborts.
+func (rt *RT) Aborted() bool { return rt.Engine != nil && rt.Engine.Aborted() }
+
+// reg addresses one register in a class.
+type reg struct {
+	kind runtime.Kind
+	idx  int
+}
+
+// frame is the activation record: unboxed register files.
+type frame struct {
+	i  []int64
+	f  []float64
+	c  []complex128
+	b  []bool
+	o  []any
+	rt *RT
+}
+
+type step func(fr *frame)
+type term func(fr *frame) int
+
+type cblock struct {
+	steps []step
+	term  term
+}
+
+// CFunc is one compiled function.
+type CFunc struct {
+	Name               string
+	nI, nF, nC, nB, nO int
+	constInit          []constInit
+	params             []reg
+	retReg             reg
+	retKind            runtime.Kind
+	hasRet             bool
+	blocks             []cblock
+
+	// naiveConsts rebuilds tensor constants per call (the §6 PrimeQ
+	// constant-array ablation).
+	naiveConsts bool
+
+	pool sync.Pool
+}
+
+type constInit struct {
+	r reg
+	i int64
+	f float64
+	c complex128
+	b bool
+	o any
+}
+
+// FuncVal is a first-class function value: a compiled function plus its
+// captured environment (closure conversion, §4.2).
+type FuncVal struct {
+	Fn   *CFunc
+	Caps []any
+}
+
+// Program is a fully compiled module.
+type Program struct {
+	Funcs  []*CFunc
+	Main   *CFunc
+	Module *wir.Module
+	byName map[string]*CFunc
+}
+
+// FuncByName returns a compiled function.
+func (p *Program) FuncByName(name string) *CFunc {
+	return p.byName[name]
+}
+
+// CompileOptions tunes code generation; NaiveConstants disables constant
+// interning so embedded constant arrays are rebuilt per call — the §6
+// PrimeQ ablation ("Due to non-optimal handling of constant arrays, we
+// observe a 1.5x performance degradation").
+type CompileOptions struct {
+	NaiveConstants bool
+}
+
+// Compile generates closure-threaded code for a typed module.
+func Compile(mod *wir.Module) (*Program, error) {
+	return CompileWithOptions(mod, CompileOptions{})
+}
+
+// CompileWithOptions generates code with explicit backend options.
+func CompileWithOptions(mod *wir.Module, opts CompileOptions) (*Program, error) {
+	if !mod.Typed {
+		return nil, fmt.Errorf("codegen: module is untyped; run inference first (§4.6: code generation only operates on fully typed TWIR)")
+	}
+	p := &Program{Module: mod, byName: map[string]*CFunc{}}
+	// Create shells first so direct calls and closures can reference them.
+	for _, f := range mod.Funcs {
+		cf := &CFunc{Name: f.Name, naiveConsts: opts.NaiveConstants}
+		p.Funcs = append(p.Funcs, cf)
+		p.byName[f.Name] = cf
+	}
+	for i, f := range mod.Funcs {
+		g := &gen{prog: p, fn: f, cf: p.Funcs[i], regs: map[wir.Value]reg{}}
+		if err := g.generate(); err != nil {
+			return nil, err
+		}
+	}
+	p.Main = p.byName["Main"]
+	if p.Main == nil && len(p.Funcs) > 0 {
+		p.Main = p.Funcs[0]
+	}
+	return p, nil
+}
+
+// newFrame builds (or reuses) an activation record with constants loaded.
+func (cf *CFunc) newFrame(rt *RT) *frame {
+	v := cf.pool.Get()
+	var fr *frame
+	if v == nil {
+		fr = &frame{
+			i: make([]int64, cf.nI),
+			f: make([]float64, cf.nF),
+			c: make([]complex128, cf.nC),
+			b: make([]bool, cf.nB),
+			o: make([]any, cf.nO),
+		}
+	} else {
+		fr = v.(*frame)
+	}
+	fr.rt = rt
+	for _, ci := range cf.constInit {
+		if cf.naiveConsts {
+			if t, ok := ci.o.(*runtime.Tensor); ok {
+				fr.o[ci.r.idx] = t.Copy()
+				continue
+			}
+		}
+		switch ci.r.kind {
+		case runtime.KI64:
+			fr.i[ci.r.idx] = ci.i
+		case runtime.KR64:
+			fr.f[ci.r.idx] = ci.f
+		case runtime.KC64:
+			fr.c[ci.r.idx] = ci.c
+		case runtime.KBool:
+			fr.b[ci.r.idx] = ci.b
+		case runtime.KObj:
+			fr.o[ci.r.idx] = ci.o
+		}
+	}
+	return fr
+}
+
+func (cf *CFunc) releaseFrame(fr *frame) {
+	// Object registers may pin big tensors; clear them before pooling.
+	for i := range fr.o {
+		fr.o[i] = nil
+	}
+	fr.rt = nil
+	cf.pool.Put(fr)
+}
+
+// exec runs the function body on a prepared frame.
+func (cf *CFunc) exec(fr *frame) {
+	blk := 0
+	for blk >= 0 {
+		b := &cf.blocks[blk]
+		for _, st := range b.steps {
+			st(fr)
+		}
+		blk = b.term(fr)
+	}
+}
+
+// CallValues invokes the compiled function with unboxed arguments (int64,
+// float64, complex128, bool, string, expr.Expr, *runtime.Tensor, *FuncVal)
+// and returns the unboxed result.
+func (cf *CFunc) CallValues(rt *RT, args ...any) any {
+	fr := cf.newFrame(rt)
+	defer cf.releaseFrame(fr)
+	if len(args) != len(cf.params) {
+		runtime.Throw(runtime.ExcType, "%s: expected %d arguments, got %d", cf.Name, len(cf.params), len(args))
+	}
+	for i, a := range args {
+		writeReg(fr, cf.params[i], a)
+	}
+	cf.exec(fr)
+	if !cf.hasRet {
+		return nil
+	}
+	return readReg(fr, cf.retReg)
+}
+
+func writeReg(fr *frame, r reg, v any) {
+	switch r.kind {
+	case runtime.KI64:
+		fr.i[r.idx] = v.(int64)
+	case runtime.KR64:
+		fr.f[r.idx] = v.(float64)
+	case runtime.KC64:
+		fr.c[r.idx] = v.(complex128)
+	case runtime.KBool:
+		if v == nil {
+			fr.b[r.idx] = false
+			return
+		}
+		fr.b[r.idx] = v.(bool)
+	case runtime.KObj:
+		fr.o[r.idx] = v
+	}
+}
+
+func readReg(fr *frame, r reg) any {
+	switch r.kind {
+	case runtime.KI64:
+		return fr.i[r.idx]
+	case runtime.KR64:
+		return fr.f[r.idx]
+	case runtime.KC64:
+		return fr.c[r.idx]
+	case runtime.KBool:
+		return fr.b[r.idx]
+	case runtime.KObj:
+		return fr.o[r.idx]
+	}
+	return nil
+}
+
+// gen compiles one function.
+type gen struct {
+	prog *Program
+	fn   *wir.Function
+	cf   *CFunc
+	regs map[wir.Value]reg
+	// scratch registers per class for parallel-move cycle breaking.
+	scratch [5]int
+	// fused marks compare instructions folded into their conditional
+	// branch (a superinstruction: one closure fewer per loop iteration).
+	fused map[*wir.Instr]bool
+}
+
+// alloc assigns a register in v's class.
+func (g *gen) alloc(kind runtime.Kind) reg {
+	var idx int
+	switch kind {
+	case runtime.KI64:
+		idx = g.cf.nI
+		g.cf.nI++
+	case runtime.KR64:
+		idx = g.cf.nF
+		g.cf.nF++
+	case runtime.KC64:
+		idx = g.cf.nC
+		g.cf.nC++
+	case runtime.KBool:
+		idx = g.cf.nB
+		g.cf.nB++
+	case runtime.KObj:
+		idx = g.cf.nO
+		g.cf.nO++
+	}
+	return reg{kind: kind, idx: idx}
+}
+
+// regOf returns (allocating if needed) the register for a value.
+func (g *gen) regOf(v wir.Value) (reg, error) {
+	if r, ok := g.regs[v]; ok {
+		return r, nil
+	}
+	t := v.Type()
+	if t == nil {
+		return reg{}, fmt.Errorf("codegen %s: untyped value %s", g.fn.Name, v.Name())
+	}
+	r := g.alloc(runtime.KindOf(t))
+	g.regs[v] = r
+	if c, ok := v.(*wir.Const); ok {
+		ci, err := g.constFor(c, r)
+		if err != nil {
+			return reg{}, err
+		}
+		g.cf.constInit = append(g.cf.constInit, ci)
+	}
+	if fref, ok := v.(*wir.FuncRef); ok {
+		target := g.prog.byName[fref.Fn.Name]
+		g.cf.constInit = append(g.cf.constInit, constInit{r: r, o: &FuncVal{Fn: target}})
+	}
+	return r, nil
+}
+
+// constFor materialises a constant into a register initialiser.
+func (g *gen) constFor(c *wir.Const, r reg) (constInit, error) {
+	ci := constInit{r: r}
+	switch r.kind {
+	case runtime.KI64:
+		i, ok := c.Expr.(*expr.Integer)
+		if !ok || !i.IsMachine() {
+			return ci, fmt.Errorf("codegen: bad integer constant %s", expr.InputForm(c.Expr))
+		}
+		ci.i = i.Int64()
+	case runtime.KR64:
+		switch x := c.Expr.(type) {
+		case *expr.Real:
+			ci.f = x.V
+		case *expr.Integer:
+			ci.f = float64(x.Int64())
+		case *expr.Rational:
+			f, _ := x.V.Float64()
+			ci.f = f
+		default:
+			return ci, fmt.Errorf("codegen: bad real constant %s", expr.InputForm(c.Expr))
+		}
+	case runtime.KC64:
+		switch x := c.Expr.(type) {
+		case *expr.Complex:
+			ci.c = complex(x.Re, x.Im)
+		case *expr.Real:
+			ci.c = complex(x.V, 0)
+		case *expr.Integer:
+			ci.c = complex(float64(x.Int64()), 0)
+		default:
+			return ci, fmt.Errorf("codegen: bad complex constant %s", expr.InputForm(c.Expr))
+		}
+	case runtime.KBool:
+		if b, isBool := expr.TruthValue(c.Expr); isBool {
+			ci.b = b
+		} else if expr.SameQ(c.Expr, expr.SymNull) {
+			ci.b = false
+		} else {
+			return ci, fmt.Errorf("codegen: bad boolean constant %s", expr.InputForm(c.Expr))
+		}
+	case runtime.KObj:
+		o, err := constObject(c)
+		if err != nil {
+			return ci, err
+		}
+		ci.o = o
+	}
+	return ci, nil
+}
+
+// constObject builds object constants: strings, expressions, and constant
+// arrays (§6 PrimeQ's seed table becomes one shared tensor marked Shared so
+// compiled code copies before mutating it).
+func constObject(c *wir.Const) (any, error) {
+	switch c.Ty.(type) {
+	case *types.Compound:
+		// A one-armed statement If merges Null with the other branch's
+		// type; the value is dead by construction (DCE removes it at -O1,
+		// but -O0 still materialises constants eagerly), so any placeholder
+		// serves.
+		if expr.SameQ(c.Expr, expr.SymNull) {
+			return (*runtime.Tensor)(nil), nil
+		}
+		v, ok := runtime.Unbox(c.Expr, c.Ty)
+		if !ok {
+			return nil, fmt.Errorf("codegen: cannot build constant array %s : %s",
+				expr.InputForm(c.Expr), c.Ty)
+		}
+		return v, nil
+	}
+	if s, ok := c.Expr.(*expr.String); ok && c.Ty == types.TString {
+		return s.V, nil
+	}
+	// Expression constants (symbolic values, F8).
+	return c.Expr, nil
+}
+
+// generate compiles the function body.
+func (g *gen) generate() error {
+	for _, p := range g.fn.Params {
+		r, err := g.regOf(p)
+		if err != nil {
+			return err
+		}
+		g.cf.params = append(g.cf.params, r)
+	}
+	g.cf.retKind = runtime.KindOf(g.fn.RetTy)
+	if g.fn.RetTy != types.TVoid {
+		g.cf.retReg = g.alloc(g.cf.retKind)
+		g.cf.hasRet = true
+	}
+	// Scratch registers for parallel moves.
+	for k := runtime.KI64; k <= runtime.KObj; k++ {
+		g.scratch[k] = g.allocScratch(k)
+	}
+
+	blockIdx := map[*wir.Block]int{}
+	for i, b := range g.fn.Blocks {
+		blockIdx[b] = i
+	}
+	g.markFusedCompares()
+	for _, b := range g.fn.Blocks {
+		var cb cblock
+		for _, in := range b.Instrs {
+			if in.IsTerminator() {
+				t, err := g.genTerminator(b, in, blockIdx)
+				if err != nil {
+					return err
+				}
+				cb.term = t
+				break
+			}
+			if g.fused[in] {
+				continue // folded into the terminator
+			}
+			st, err := g.genInstr(in)
+			if err != nil {
+				return err
+			}
+			if st != nil {
+				cb.steps = append(cb.steps, st)
+			}
+		}
+		if cb.term == nil {
+			return fmt.Errorf("codegen %s: block %s unterminated", g.fn.Name, b.Label)
+		}
+		g.cf.blocks = append(g.cf.blocks, cb)
+	}
+	return nil
+}
+
+func (g *gen) allocScratch(k runtime.Kind) int {
+	r := g.alloc(k)
+	return r.idx
+}
+
+// genTerminator compiles a block terminator, including the parallel phi
+// moves for each outgoing edge.
+func (g *gen) genTerminator(b *wir.Block, in *wir.Instr, blockIdx map[*wir.Block]int) (term, error) {
+	switch in.Op {
+	case wir.OpReturn:
+		if len(in.Args) == 1 && g.cf.hasRet {
+			src, err := g.regOf(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			dst := g.cf.retReg
+			mv := g.moveStep(dst, src)
+			return func(fr *frame) int {
+				mv(fr)
+				return -1
+			}, nil
+		}
+		return func(fr *frame) int { return -1 }, nil
+	case wir.OpBranch:
+		target := in.Targets[0]
+		idx := blockIdx[target]
+		moves, err := g.phiMoves(b, target)
+		if err != nil {
+			return nil, err
+		}
+		if moves == nil {
+			return func(fr *frame) int { return idx }, nil
+		}
+		return func(fr *frame) int {
+			moves(fr)
+			return idx
+		}, nil
+	case wir.OpCondBranch:
+		if cmp, ok := in.Args[0].(*wir.Instr); ok && g.fused[cmp] {
+			return g.genFusedCondBranch(b, in, cmp, blockIdx)
+		}
+		condReg, err := g.regOf(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if condReg.kind != runtime.KBool {
+			return nil, fmt.Errorf("codegen %s: condition in %v register", g.fn.Name, condReg.kind)
+		}
+		ci := condReg.idx
+		thenIdx := blockIdx[in.Targets[0]]
+		elseIdx := blockIdx[in.Targets[1]]
+		thenMoves, err := g.phiMoves(b, in.Targets[0])
+		if err != nil {
+			return nil, err
+		}
+		elseMoves, err := g.phiMoves(b, in.Targets[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int {
+			if fr.b[ci] {
+				if thenMoves != nil {
+					thenMoves(fr)
+				}
+				return thenIdx
+			}
+			if elseMoves != nil {
+				elseMoves(fr)
+			}
+			return elseIdx
+		}, nil
+	}
+	return nil, fmt.Errorf("codegen %s: bad terminator", g.fn.Name)
+}
+
+// phiMoves builds the parallel copy for the edge from→to, sequentialised
+// with scratch registers to break cycles.
+func (g *gen) phiMoves(from, to *wir.Block) (step, error) {
+	if len(to.Phis) == 0 {
+		return nil, nil
+	}
+	predIdx := -1
+	for i, p := range to.Preds {
+		if p == from {
+			predIdx = i
+			break
+		}
+	}
+	if predIdx == -1 {
+		return nil, fmt.Errorf("codegen %s: edge %s->%s not in preds", g.fn.Name, from.Label, to.Label)
+	}
+	type move struct{ dst, src reg }
+	var moves []move
+	for _, phi := range to.Phis {
+		if predIdx >= len(phi.Args) {
+			return nil, fmt.Errorf("codegen %s: phi arity mismatch in %s", g.fn.Name, to.Label)
+		}
+		dst, err := g.regOf(phi)
+		if err != nil {
+			return nil, err
+		}
+		src, err := g.regOf(phi.Args[predIdx])
+		if err != nil {
+			return nil, err
+		}
+		if dst != src {
+			moves = append(moves, move{dst: dst, src: src})
+		}
+	}
+	if len(moves) == 0 {
+		return nil, nil
+	}
+	// Sequentialise: emit moves whose destination is not a pending source;
+	// break cycles through the scratch register of the class.
+	var steps []step
+	pending := moves
+	for len(pending) > 0 {
+		emitted := false
+		for i, m := range pending {
+			conflict := false
+			for j, other := range pending {
+				if j != i && other.src == m.dst {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				steps = append(steps, g.moveStep(m.dst, m.src))
+				pending = append(pending[:i], pending[i+1:]...)
+				emitted = true
+				break
+			}
+		}
+		if emitted {
+			continue
+		}
+		// Cycle: route the first move through scratch.
+		m := pending[0]
+		sc := reg{kind: m.src.kind, idx: g.scratch[m.src.kind]}
+		steps = append(steps, g.moveStep(sc, m.src))
+		pending[0].src = sc
+	}
+	if len(steps) == 1 {
+		return steps[0], nil
+	}
+	all := steps
+	return func(fr *frame) {
+		for _, s := range all {
+			s(fr)
+		}
+	}, nil
+}
+
+func (g *gen) moveStep(dst, src reg) step {
+	d, s := dst.idx, src.idx
+	switch dst.kind {
+	case runtime.KI64:
+		return func(fr *frame) { fr.i[d] = fr.i[s] }
+	case runtime.KR64:
+		return func(fr *frame) { fr.f[d] = fr.f[s] }
+	case runtime.KC64:
+		return func(fr *frame) { fr.c[d] = fr.c[s] }
+	case runtime.KBool:
+		return func(fr *frame) { fr.b[d] = fr.b[s] }
+	default:
+		return func(fr *frame) { fr.o[d] = fr.o[s] }
+	}
+}
+
+// genInstr compiles a non-terminator instruction.
+func (g *gen) genInstr(in *wir.Instr) (step, error) {
+	switch in.Op {
+	case wir.OpAbortCheck:
+		return func(fr *frame) {
+			if fr.rt.Aborted() {
+				runtime.Throw(runtime.ExcAbort, "aborted")
+			}
+		}, nil
+	case wir.OpClosure:
+		return g.genClosure(in)
+	case wir.OpCallIndirect:
+		return g.genCallIndirect(in)
+	case wir.OpCall:
+		if in.ResolvedFn != nil {
+			return g.genDirectCall(in)
+		}
+		return g.genNative(in)
+	}
+	return nil, fmt.Errorf("codegen %s: unexpected op %d", g.fn.Name, in.Op)
+}
+
+func (g *gen) genClosure(in *wir.Instr) (step, error) {
+	ref := in.Args[0].(*wir.FuncRef)
+	target := g.prog.byName[ref.Fn.Name]
+	capRegs := make([]reg, len(in.Args)-1)
+	for i, a := range in.Args[1:] {
+		r, err := g.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		capRegs[i] = r
+	}
+	dst, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	d := dst.idx
+	return func(fr *frame) {
+		caps := make([]any, len(capRegs))
+		for i, r := range capRegs {
+			caps[i] = readReg(fr, r)
+		}
+		fr.o[d] = &FuncVal{Fn: target, Caps: caps}
+	}, nil
+}
+
+// copyArgs moves caller argument registers into callee parameter registers
+// without boxing: both sides' register classes agree by type checking, so
+// the move is a direct slice copy per class.
+func copyArgs(fr, cfr *frame, argRegs []reg, params []reg) {
+	for i, r := range argRegs {
+		p := params[i]
+		switch r.kind {
+		case runtime.KI64:
+			cfr.i[p.idx] = fr.i[r.idx]
+		case runtime.KR64:
+			cfr.f[p.idx] = fr.f[r.idx]
+		case runtime.KC64:
+			cfr.c[p.idx] = fr.c[r.idx]
+		case runtime.KBool:
+			cfr.b[p.idx] = fr.b[r.idx]
+		case runtime.KObj:
+			cfr.o[p.idx] = fr.o[r.idx]
+		}
+	}
+}
+
+// copyRet moves the callee's return register into the caller's destination.
+func copyRet(fr, cfr *frame, dst, ret reg) {
+	switch dst.kind {
+	case runtime.KI64:
+		fr.i[dst.idx] = cfr.i[ret.idx]
+	case runtime.KR64:
+		fr.f[dst.idx] = cfr.f[ret.idx]
+	case runtime.KC64:
+		fr.c[dst.idx] = cfr.c[ret.idx]
+	case runtime.KBool:
+		fr.b[dst.idx] = cfr.b[ret.idx]
+	case runtime.KObj:
+		fr.o[dst.idx] = cfr.o[ret.idx]
+	}
+}
+
+// genDirectCall compiles a call to another module function.
+func (g *gen) genDirectCall(in *wir.Instr) (step, error) {
+	target := g.prog.byName[in.ResolvedFn.Name]
+	argRegs := make([]reg, len(in.Args))
+	for i, a := range in.Args {
+		r, err := g.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		argRegs[i] = r
+	}
+	dst, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	hasResult := in.Ty != types.TVoid
+	return func(fr *frame) {
+		cfr := target.newFrame(fr.rt)
+		copyArgs(fr, cfr, argRegs, target.params)
+		target.exec(cfr)
+		if hasResult && target.hasRet {
+			copyRet(fr, cfr, dst, target.retReg)
+		}
+		target.releaseFrame(cfr)
+	}, nil
+}
+
+// genCallIndirect compiles a call through a function value. Argument moves
+// are typed (the callee signature was unified with the call site), so only
+// closure captures go through boxed storage.
+func (g *gen) genCallIndirect(in *wir.Instr) (step, error) {
+	fnReg, err := g.regOf(in.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	argRegs := make([]reg, len(in.Args)-1)
+	for i, a := range in.Args[1:] {
+		r, err := g.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		argRegs[i] = r
+	}
+	dst, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	hasResult := in.Ty != types.TVoid
+	fi := fnReg.idx
+	return func(fr *frame) {
+		fv, ok := fr.o[fi].(*FuncVal)
+		if !ok {
+			runtime.Throw(runtime.ExcType, "call of a non-function value")
+		}
+		target := fv.Fn
+		cfr := target.newFrame(fr.rt)
+		copyArgs(fr, cfr, argRegs, target.params)
+		for i, c := range fv.Caps {
+			writeReg(cfr, target.params[len(argRegs)+i], c)
+		}
+		target.exec(cfr)
+		if hasResult && target.hasRet {
+			copyRet(fr, cfr, dst, target.retReg)
+		}
+		target.releaseFrame(cfr)
+	}, nil
+}
+
+// markFusedCompares finds scalar comparisons whose single use is the
+// conditional branch of their own block; those fold into the terminator.
+func (g *gen) markFusedCompares() {
+	g.fused = map[*wir.Instr]bool{}
+	uses := map[wir.Value]int{}
+	for _, b := range g.fn.Blocks {
+		for _, phi := range b.Phis {
+			for _, a := range phi.Args {
+				uses[a]++
+			}
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				uses[a]++
+			}
+		}
+	}
+	for _, b := range g.fn.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != wir.OpCondBranch {
+			continue
+		}
+		cmp, ok := t.Args[0].(*wir.Instr)
+		if !ok || cmp.Block != b || cmp.Op != wir.OpCall || uses[cmp] != 1 {
+			continue
+		}
+		if _, fusible := fusedCmpKind(cmp); fusible {
+			g.fused[cmp] = true
+		}
+	}
+}
+
+// fusedCmpKind classifies a compare for fusion: op name and whether the
+// fast path applies (two same-class scalar operands).
+func fusedCmpKind(cmp *wir.Instr) (string, bool) {
+	n := nativeOf(cmp)
+	switch n {
+	case "cmp_less", "cmp_lessequal", "cmp_greater", "cmp_greaterequal",
+		"cmp_equal", "cmp_unequal":
+		if len(cmp.Args) != 2 {
+			return "", false
+		}
+		k := runtime.KindOf(cmp.Args[0].Type())
+		if k != runtime.KI64 && k != runtime.KR64 {
+			return "", false
+		}
+		return n, true
+	}
+	return "", false
+}
+
+// genFusedCondBranch emits a single closure evaluating the comparison and
+// branching, with the per-edge phi moves inlined.
+func (g *gen) genFusedCondBranch(b *wir.Block, in *wir.Instr, cmp *wir.Instr,
+	blockIdx map[*wir.Block]int) (term, error) {
+	op, _ := fusedCmpKind(cmp)
+	ra, err := g.regOf(cmp.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	rb, err := g.regOf(cmp.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	thenIdx := blockIdx[in.Targets[0]]
+	elseIdx := blockIdx[in.Targets[1]]
+	thenMoves, err := g.phiMoves(b, in.Targets[0])
+	if err != nil {
+		return nil, err
+	}
+	elseMoves, err := g.phiMoves(b, in.Targets[1])
+	if err != nil {
+		return nil, err
+	}
+	finish := func(fr *frame, cond bool) int {
+		if cond {
+			if thenMoves != nil {
+				thenMoves(fr)
+			}
+			return thenIdx
+		}
+		if elseMoves != nil {
+			elseMoves(fr)
+		}
+		return elseIdx
+	}
+	a, c := ra.idx, rb.idx
+	if ra.kind == runtime.KI64 {
+		switch op {
+		case "cmp_less":
+			return func(fr *frame) int { return finish(fr, fr.i[a] < fr.i[c]) }, nil
+		case "cmp_lessequal":
+			return func(fr *frame) int { return finish(fr, fr.i[a] <= fr.i[c]) }, nil
+		case "cmp_greater":
+			return func(fr *frame) int { return finish(fr, fr.i[a] > fr.i[c]) }, nil
+		case "cmp_greaterequal":
+			return func(fr *frame) int { return finish(fr, fr.i[a] >= fr.i[c]) }, nil
+		case "cmp_equal":
+			return func(fr *frame) int { return finish(fr, fr.i[a] == fr.i[c]) }, nil
+		case "cmp_unequal":
+			return func(fr *frame) int { return finish(fr, fr.i[a] != fr.i[c]) }, nil
+		}
+	}
+	switch op {
+	case "cmp_less":
+		return func(fr *frame) int { return finish(fr, fr.f[a] < fr.f[c]) }, nil
+	case "cmp_lessequal":
+		return func(fr *frame) int { return finish(fr, fr.f[a] <= fr.f[c]) }, nil
+	case "cmp_greater":
+		return func(fr *frame) int { return finish(fr, fr.f[a] > fr.f[c]) }, nil
+	case "cmp_greaterequal":
+		return func(fr *frame) int { return finish(fr, fr.f[a] >= fr.f[c]) }, nil
+	case "cmp_equal":
+		return func(fr *frame) int { return finish(fr, fr.f[a] == fr.f[c]) }, nil
+	}
+	return func(fr *frame) int { return finish(fr, fr.f[a] != fr.f[c]) }, nil
+}

@@ -1,0 +1,1003 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/runtime"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// nativeOf resolves an instruction's primitive id: the Native field when
+// function resolution filled it, else the overload chosen by inference.
+func nativeOf(in *wir.Instr) string {
+	if in.Native != "" {
+		return in.Native
+	}
+	if d, ok := in.Prop("overload"); ok {
+		return d.(*types.FuncDef).Native
+	}
+	return ""
+}
+
+// genNative selects the closure for a primitive call by its resolved native
+// id (paper §4.5: resolved calls reference Native`PrimitiveFunction[...]).
+func (g *gen) genNative(in *wir.Instr) (step, error) {
+	native := nativeOf(in)
+	// Special structural callees resolved by inference without an overload.
+	switch in.Callee {
+	case "Native`List":
+		return g.genListBuild(in)
+	case "Native`KernelApply":
+		return g.genKernelApply(in)
+	}
+	if native == "" {
+		return nil, fmt.Errorf("codegen %s: unresolved call %s (function resolution incomplete)", g.fn.Name, in.Callee)
+	}
+
+	regs := make([]reg, len(in.Args))
+	for i, a := range in.Args {
+		r, err := g.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = r
+	}
+	var dst reg
+	if in.Ty != types.TVoid {
+		var err error
+		dst, err = g.regOf(in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := g.selectNative(native, in, regs, dst)
+	if st == nil {
+		return nil, fmt.Errorf("codegen %s: no implementation for native %q at %s", g.fn.Name, native, in.Ty)
+	}
+	return st, nil
+}
+
+// argKind returns the register class of argument i.
+func argKind(regs []reg, i int) runtime.Kind { return regs[i].kind }
+
+func tensorArg(fr *frame, idx int) *runtime.Tensor {
+	t, ok := fr.o[idx].(*runtime.Tensor)
+	if !ok {
+		runtime.Throw(runtime.ExcType, "expected a tensor value")
+	}
+	return t
+}
+
+// selectNative is the instruction selector: one small Go closure per typed
+// primitive. Binary scalar ops index the frame register files directly.
+func (g *gen) selectNative(native string, in *wir.Instr, regs []reg, dst reg) step {
+	d := dst.idx
+	a0 := func() int { return regs[0].idx }
+	a1 := func() int { return regs[1].idx }
+	a2 := func() int { return regs[2].idx }
+
+	switch native {
+	// --- checked scalar arithmetic ---
+	case "binary_plus":
+		switch argKind(regs, 0) {
+		case runtime.KI64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.i[d] = runtime.AddI64(fr.i[a], fr.i[b]) }
+		case runtime.KR64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.f[d] = fr.f[a] + fr.f[b] }
+		case runtime.KC64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.c[d] = fr.c[a] + fr.c[b] }
+		}
+	case "binary_times":
+		switch argKind(regs, 0) {
+		case runtime.KI64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.i[d] = runtime.MulI64(fr.i[a], fr.i[b]) }
+		case runtime.KR64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.f[d] = fr.f[a] * fr.f[b] }
+		case runtime.KC64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.c[d] = fr.c[a] * fr.c[b] }
+		}
+	case "binary_subtract":
+		switch argKind(regs, 0) {
+		case runtime.KI64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.i[d] = runtime.SubI64(fr.i[a], fr.i[b]) }
+		case runtime.KR64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.f[d] = fr.f[a] - fr.f[b] }
+		case runtime.KC64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.c[d] = fr.c[a] - fr.c[b] }
+		}
+	case "unary_minus":
+		switch argKind(regs, 0) {
+		case runtime.KI64:
+			a := a0()
+			return func(fr *frame) { fr.i[d] = runtime.NegI64(fr.i[a]) }
+		case runtime.KR64:
+			a := a0()
+			return func(fr *frame) { fr.f[d] = -fr.f[a] }
+		case runtime.KC64:
+			a := a0()
+			return func(fr *frame) { fr.c[d] = -fr.c[a] }
+		}
+	case "binary_divide":
+		switch argKind(regs, 0) {
+		case runtime.KR64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.f[d] = fr.f[a] / fr.f[b] }
+		case runtime.KC64:
+			a, b := a0(), a1()
+			return func(fr *frame) { fr.c[d] = fr.c[a] / fr.c[b] }
+		}
+	case "divide_int_real":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = float64(fr.i[a]) / float64(fr.i[b]) }
+
+	// --- mixed-width promotion ---
+	case "mixed_ri_plus":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = fr.f[a] + float64(fr.i[b]) }
+	case "mixed_ir_plus":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = float64(fr.i[a]) + fr.f[b] }
+	case "mixed_ri_times":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = fr.f[a] * float64(fr.i[b]) }
+	case "mixed_ir_times":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = float64(fr.i[a]) * fr.f[b] }
+	case "mixed_ri_subtract":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = fr.f[a] - float64(fr.i[b]) }
+	case "mixed_ir_subtract":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = float64(fr.i[a]) - fr.f[b] }
+	case "mixed_ri_divide":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = fr.f[a] / float64(fr.i[b]) }
+	case "mixed_ir_divide":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = float64(fr.i[a]) / fr.f[b] }
+	case "mixed_cr_plus":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = fr.c[a] + complex(fr.f[b], 0) }
+	case "mixed_rc_plus":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = complex(fr.f[a], 0) + fr.c[b] }
+	case "mixed_cr_times":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = fr.c[a] * complex(fr.f[b], 0) }
+	case "mixed_rc_times":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = complex(fr.f[a], 0) * fr.c[b] }
+	case "mixed_cr_subtract":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = fr.c[a] - complex(fr.f[b], 0) }
+	case "mixed_rc_subtract":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = complex(fr.f[a], 0) - fr.c[b] }
+
+	// --- powers, mod, quotient ---
+	case "power_int":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = runtime.PowI64(fr.i[a], fr.i[b]) }
+	case "power_real":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = math.Pow(fr.f[a], fr.f[b]) }
+	case "power_real_int":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = math.Pow(fr.f[a], float64(fr.i[b])) }
+	case "power_complex_int":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = runtime.PowCInt(fr.c[a], fr.i[b]) }
+	case "power_complex":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = runtime.PowC(fr.c[a], fr.c[b]) }
+	case "mod_int":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = runtime.ModI64(fr.i[a], fr.i[b]) }
+	case "mod_real":
+		a, b := a0(), a1()
+		return func(fr *frame) {
+			r := math.Mod(fr.f[a], fr.f[b])
+			if r != 0 && (r < 0) != (fr.f[b] < 0) {
+				r += fr.f[b]
+			}
+			fr.f[d] = r
+		}
+	case "quotient_int":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = runtime.QuotI64(fr.i[a], fr.i[b]) }
+
+	// --- abs, sign, min/max ---
+	case "abs_int":
+		a := a0()
+		return func(fr *frame) {
+			v := fr.i[a]
+			if v < 0 {
+				v = runtime.NegI64(v)
+			}
+			fr.i[d] = v
+		}
+	case "abs_real":
+		a := a0()
+		return func(fr *frame) { fr.f[d] = math.Abs(fr.f[a]) }
+	case "abs_complex":
+		a := a0()
+		return func(fr *frame) { fr.f[d] = runtime.AbsC(fr.c[a]) }
+	case "sign_int":
+		a := a0()
+		return func(fr *frame) {
+			switch {
+			case fr.i[a] > 0:
+				fr.i[d] = 1
+			case fr.i[a] < 0:
+				fr.i[d] = -1
+			default:
+				fr.i[d] = 0
+			}
+		}
+	case "sign_real":
+		a := a0()
+		return func(fr *frame) {
+			switch {
+			case fr.f[a] > 0:
+				fr.i[d] = 1
+			case fr.f[a] < 0:
+				fr.i[d] = -1
+			default:
+				fr.i[d] = 0
+			}
+		}
+	case "min", "max":
+		isMin := native == "min"
+		switch argKind(regs, 0) {
+		case runtime.KI64:
+			a, b := a0(), a1()
+			return func(fr *frame) {
+				if (fr.i[a] < fr.i[b]) == isMin {
+					fr.i[d] = fr.i[a]
+				} else {
+					fr.i[d] = fr.i[b]
+				}
+			}
+		case runtime.KR64:
+			a, b := a0(), a1()
+			return func(fr *frame) {
+				if (fr.f[a] < fr.f[b]) == isMin {
+					fr.f[d] = fr.f[a]
+				} else {
+					fr.f[d] = fr.f[b]
+				}
+			}
+		case runtime.KObj: // strings
+			a, b := a0(), a1()
+			return func(fr *frame) {
+				x, y := fr.o[a].(string), fr.o[b].(string)
+				if (x < y) == isMin {
+					fr.o[d] = x
+				} else {
+					fr.o[d] = y
+				}
+			}
+		}
+
+	// --- comparisons ---
+	case "cmp_less", "cmp_lessequal", "cmp_greater", "cmp_greaterequal", "cmp_equal", "cmp_unequal":
+		return g.cmpStep(native, regs, d)
+	case "mixed_ri_cmp_less", "mixed_ri_cmp_lessequal", "mixed_ri_cmp_greater",
+		"mixed_ri_cmp_greaterequal", "mixed_ri_cmp_equal", "mixed_ri_cmp_unequal":
+		a, b := a0(), a1()
+		op := strings.TrimPrefix(native, "mixed_ri_cmp_")
+		return func(fr *frame) { fr.b[d] = cmpF(op, fr.f[a], float64(fr.i[b])) }
+	case "mixed_ir_cmp_less", "mixed_ir_cmp_lessequal", "mixed_ir_cmp_greater",
+		"mixed_ir_cmp_greaterequal", "mixed_ir_cmp_equal", "mixed_ir_cmp_unequal":
+		a, b := a0(), a1()
+		op := strings.TrimPrefix(native, "mixed_ir_cmp_")
+		return func(fr *frame) { fr.b[d] = cmpF(op, float64(fr.i[a]), fr.f[b]) }
+	case "sameq_bool":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.b[d] = fr.b[a] == fr.b[b] }
+	case "sameq_expr":
+		a, b := a0(), a1()
+		return func(fr *frame) {
+			fr.b[d] = runtime.SameQExpr(fr.o[a].(expr.Expr), fr.o[b].(expr.Expr))
+		}
+	case "not":
+		a := a0()
+		return func(fr *frame) { fr.b[d] = !fr.b[a] }
+
+	// --- elementary functions ---
+	case "math_sin", "math_cos", "math_tan", "math_exp", "math_log",
+		"math_sqrt", "math_arctan", "math_arcsin", "math_arccos":
+		f := mathFunc(strings.TrimPrefix(native, "math_"))
+		a := a0()
+		return func(fr *frame) { fr.f[d] = f(fr.f[a]) }
+	case "math_sin_int", "math_cos_int", "math_tan_int", "math_exp_int", "math_log_int",
+		"math_sqrt_int", "math_arctan_int", "math_arcsin_int", "math_arccos_int":
+		f := mathFunc(strings.TrimSuffix(strings.TrimPrefix(native, "math_"), "_int"))
+		a := a0()
+		return func(fr *frame) { fr.f[d] = f(float64(fr.i[a])) }
+	case "math_atan2":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = math.Atan2(fr.f[b], fr.f[a]) }
+	case "floor_real":
+		a := a0()
+		return func(fr *frame) { fr.i[d] = int64(math.Floor(fr.f[a])) }
+	case "ceiling_real":
+		a := a0()
+		return func(fr *frame) { fr.i[d] = int64(math.Ceil(fr.f[a])) }
+	case "round_real":
+		a := a0()
+		return func(fr *frame) { fr.i[d] = int64(math.RoundToEven(fr.f[a])) }
+	case "identity_int":
+		a := a0()
+		return func(fr *frame) { fr.i[d] = fr.i[a] }
+	case "to_real64":
+		switch argKind(regs, 0) {
+		case runtime.KI64:
+			a := a0()
+			return func(fr *frame) { fr.f[d] = float64(fr.i[a]) }
+		case runtime.KR64:
+			a := a0()
+			return func(fr *frame) { fr.f[d] = fr.f[a] }
+		}
+	case "evenq":
+		a := a0()
+		return func(fr *frame) { fr.b[d] = fr.i[a]%2 == 0 }
+	case "oddq":
+		a := a0()
+		return func(fr *frame) { fr.b[d] = fr.i[a]%2 != 0 }
+
+	// --- bit operations ---
+	case "bitand":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = fr.i[a] & fr.i[b] }
+	case "bitor":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = fr.i[a] | fr.i[b] }
+	case "bitxor":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = fr.i[a] ^ fr.i[b] }
+	case "bitshiftleft":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = fr.i[a] << uint64(fr.i[b]) }
+	case "bitshiftright":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = fr.i[a] >> uint64(fr.i[b]) }
+
+	// --- tensors ---
+	case "tensor_length":
+		a := a0()
+		return func(fr *frame) { fr.i[d] = int64(tensorArg(fr, a).Len()) }
+	case "part_1", "part_unsafe_1":
+		return g.partStep(in, regs, dst, native == "part_unsafe_1", false)
+	case "part_2", "part_unsafe_2":
+		return g.partStep(in, regs, dst, native == "part_unsafe_2", true)
+	case "part_row":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).Row(fr.i[b]) }
+	case "setpart_1", "setpart_unsafe_1":
+		return g.setPartStep(in, regs, dst, native == "setpart_unsafe_1", false)
+	case "setpart_2", "setpart_unsafe_2":
+		return g.setPartStep(in, regs, dst, native == "setpart_unsafe_2", true)
+	case "list_new":
+		elem := tensorElemKind(in.Ty)
+		a := a0()
+		return func(fr *frame) {
+			n := fr.i[a]
+			if n < 0 {
+				runtime.Throw(runtime.ExcPartRange, "negative list length %d", n)
+			}
+			fr.o[d] = runtime.NewTensor(elem, int(n))
+		}
+	case "matrix_new":
+		elem := tensorElemKind(in.Ty)
+		a, b := a0(), a1()
+		return func(fr *frame) {
+			r, c := fr.i[a], fr.i[b]
+			if r < 0 || c < 0 {
+				runtime.Throw(runtime.ExcPartRange, "negative matrix dimension %dx%d", r, c)
+			}
+			fr.o[d] = runtime.NewTensor(elem, int(r), int(c))
+		}
+	case "copy_tensor":
+		a := a0()
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).Copy() }
+	case "memory_acquire":
+		if argKind(regs, 0) != runtime.KObj {
+			return func(fr *frame) {}
+		}
+		a := a0()
+		return func(fr *frame) {
+			if t, ok := fr.o[a].(*runtime.Tensor); ok {
+				t.Acquire()
+			}
+		}
+	case "memory_release":
+		if argKind(regs, 0) != runtime.KObj {
+			return func(fr *frame) {}
+		}
+		a := a0()
+		return func(fr *frame) {
+			if t, ok := fr.o[a].(*runtime.Tensor); ok {
+				t.Release()
+			}
+		}
+	case "list_take":
+		a, b := a0(), a1()
+		return func(fr *frame) {
+			t := tensorArg(fr, a)
+			n := fr.i[b]
+			if n < 0 || n > int64(t.Len()) {
+				runtime.Throw(runtime.ExcPartRange, "take %d from length %d", n, t.Len())
+			}
+			out := runtime.NewTensor(t.Elem, int(n))
+			copy(out.I, t.I)
+			copy(out.F, t.F)
+			copy(out.C, t.C)
+			copy(out.O, t.O)
+			fr.o[d] = out
+		}
+
+	// --- tensor arithmetic (Listable threading) ---
+	case "tensor_plus", "tensor_times", "tensor_subtract",
+		"tensor_scalar_plus", "tensor_scalar_times", "tensor_scalar_subtract",
+		"scalar_tensor_plus", "scalar_tensor_times", "scalar_tensor_subtract",
+		"tensor_minus":
+		return g.tensorArith(native, in, regs, dst)
+
+	case "tensor_math_sin", "tensor_math_cos", "tensor_math_tan",
+		"tensor_math_exp", "tensor_math_log", "tensor_math_sqrt":
+		f := mathFunc(strings.TrimPrefix(native, "tensor_math_"))
+		a := a0()
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapF(f) }
+	case "tensor_math_abs":
+		a := a0()
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapF(math.Abs) }
+
+	// --- Dot via BLAS ---
+	case "dot_vv":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.f[d] = runtime.DotVV(tensorArg(fr, a), tensorArg(fr, b)) }
+	case "dot_mv":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.o[d] = runtime.DotMV(tensorArg(fr, a), tensorArg(fr, b)) }
+	case "dot_mm":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.o[d] = runtime.DotMM(tensorArg(fr, a), tensorArg(fr, b)) }
+
+	// --- random numbers (engine-seeded) ---
+	case "random_real01":
+		return func(fr *frame) { fr.f[d] = fr.rt.Engine.RandReal() }
+	case "random_real_range":
+		a, b := a0(), a1()
+		return func(fr *frame) {
+			lo, hi := fr.f[a], fr.f[b]
+			fr.f[d] = lo + fr.rt.Engine.RandReal()*(hi-lo)
+		}
+	case "random_int_range":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = fr.rt.Engine.RandInt(fr.i[a], fr.i[b]) }
+
+	// --- strings ---
+	case "string_join":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.o[d] = fr.o[a].(string) + fr.o[b].(string) }
+	case "string_length":
+		a := a0()
+		return func(fr *frame) { fr.i[d] = runtime.StringRuneLen(fr.o[a].(string)) }
+	case "string_byte_length":
+		a := a0()
+		return func(fr *frame) { fr.i[d] = int64(len(fr.o[a].(string))) }
+	case "string_byte":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.i[d] = runtime.StringByte(fr.o[a].(string), fr.i[b]) }
+	case "to_char_code":
+		a := a0()
+		return func(fr *frame) { fr.o[d] = runtime.ToCharCodes(fr.o[a].(string)) }
+	case "from_char_code":
+		a := a0()
+		return func(fr *frame) { fr.o[d] = runtime.FromCharCodes(tensorArg(fr, a)) }
+	case "string_take":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.o[d] = runtime.StringTakeN(fr.o[a].(string), fr.i[b]) }
+	case "int_to_string":
+		a := a0()
+		return func(fr *frame) { fr.o[d] = runtime.FormatInt(fr.i[a]) }
+	case "real_to_string":
+		a := a0()
+		return func(fr *frame) { fr.o[d] = runtime.FormatReal(fr.f[a]) }
+
+	// --- complex construction/parts ---
+	case "make_complex":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.c[d] = complex(fr.f[a], fr.f[b]) }
+	case "re":
+		a := a0()
+		return func(fr *frame) { fr.f[d] = real(fr.c[a]) }
+	case "im":
+		a := a0()
+		return func(fr *frame) { fr.f[d] = imag(fr.c[a]) }
+
+	// --- symbolic operations (F8) ---
+	case "expr_binary_plus", "expr_binary_times", "expr_binary_power":
+		head := map[string]string{
+			"expr_binary_plus":  "Plus",
+			"expr_binary_times": "Times",
+			"expr_binary_power": "Power",
+		}[native]
+		a, b := a0(), a1()
+		return func(fr *frame) {
+			fr.o[d] = runtime.ExprBinary(fr.rt.Engine, head,
+				fr.o[a].(expr.Expr), fr.o[b].(expr.Expr))
+		}
+	case "kernel_call":
+		a := a0()
+		return func(fr *frame) {
+			fr.o[d] = runtime.KernelApply(fr.rt.Engine, fr.o[a].(expr.Expr), nil)
+		}
+	case "box_number":
+		switch argKind(regs, 0) {
+		case runtime.KI64:
+			a := a0()
+			return func(fr *frame) { fr.o[d] = expr.FromInt64(fr.i[a]) }
+		case runtime.KR64:
+			a := a0()
+			return func(fr *frame) { fr.o[d] = expr.FromFloat(fr.f[a]) }
+		case runtime.KC64:
+			a := a0()
+			return func(fr *frame) { fr.o[d] = expr.FromComplex(real(fr.c[a]), imag(fr.c[a])) }
+		}
+
+	// --- casts between machine widths (stored widened in i-registers) ---
+	case "cast":
+		return g.castStep(in, regs, dst)
+	}
+	_ = a2
+	return nil
+}
+
+func cmpF(op string, a, b float64) bool {
+	switch op {
+	case "less":
+		return a < b
+	case "lessequal":
+		return a <= b
+	case "greater":
+		return a > b
+	case "greaterequal":
+		return a >= b
+	case "equal":
+		return a == b
+	case "unequal":
+		return a != b
+	}
+	return false
+}
+
+func (g *gen) cmpStep(native string, regs []reg, d int) step {
+	op := strings.TrimPrefix(native, "cmp_")
+	a, b := regs[0].idx, regs[1].idx
+	switch argKind(regs, 0) {
+	case runtime.KI64:
+		switch op {
+		case "less":
+			return func(fr *frame) { fr.b[d] = fr.i[a] < fr.i[b] }
+		case "lessequal":
+			return func(fr *frame) { fr.b[d] = fr.i[a] <= fr.i[b] }
+		case "greater":
+			return func(fr *frame) { fr.b[d] = fr.i[a] > fr.i[b] }
+		case "greaterequal":
+			return func(fr *frame) { fr.b[d] = fr.i[a] >= fr.i[b] }
+		case "equal":
+			return func(fr *frame) { fr.b[d] = fr.i[a] == fr.i[b] }
+		case "unequal":
+			return func(fr *frame) { fr.b[d] = fr.i[a] != fr.i[b] }
+		}
+	case runtime.KR64:
+		switch op {
+		case "less":
+			return func(fr *frame) { fr.b[d] = fr.f[a] < fr.f[b] }
+		case "lessequal":
+			return func(fr *frame) { fr.b[d] = fr.f[a] <= fr.f[b] }
+		case "greater":
+			return func(fr *frame) { fr.b[d] = fr.f[a] > fr.f[b] }
+		case "greaterequal":
+			return func(fr *frame) { fr.b[d] = fr.f[a] >= fr.f[b] }
+		case "equal":
+			return func(fr *frame) { fr.b[d] = fr.f[a] == fr.f[b] }
+		case "unequal":
+			return func(fr *frame) { fr.b[d] = fr.f[a] != fr.f[b] }
+		}
+	case runtime.KC64:
+		switch op {
+		case "equal":
+			return func(fr *frame) { fr.b[d] = fr.c[a] == fr.c[b] }
+		case "unequal":
+			return func(fr *frame) { fr.b[d] = fr.c[a] != fr.c[b] }
+		}
+	case runtime.KObj: // strings
+		cmp := func(fr *frame) int {
+			x, y := fr.o[a].(string), fr.o[b].(string)
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			}
+			return 0
+		}
+		switch op {
+		case "less":
+			return func(fr *frame) { fr.b[d] = cmp(fr) < 0 }
+		case "lessequal":
+			return func(fr *frame) { fr.b[d] = cmp(fr) <= 0 }
+		case "greater":
+			return func(fr *frame) { fr.b[d] = cmp(fr) > 0 }
+		case "greaterequal":
+			return func(fr *frame) { fr.b[d] = cmp(fr) >= 0 }
+		case "equal":
+			return func(fr *frame) { fr.b[d] = cmp(fr) == 0 }
+		case "unequal":
+			return func(fr *frame) { fr.b[d] = cmp(fr) != 0 }
+		}
+	}
+	return nil
+}
+
+func mathFunc(name string) func(float64) float64 {
+	switch name {
+	case "sin":
+		return math.Sin
+	case "cos":
+		return math.Cos
+	case "tan":
+		return math.Tan
+	case "exp":
+		return math.Exp
+	case "log":
+		return math.Log
+	case "sqrt":
+		return math.Sqrt
+	case "arctan":
+		return math.Atan
+	case "arcsin":
+		return math.Asin
+	case "arccos":
+		return math.Acos
+	}
+	return func(float64) float64 { return math.NaN() }
+}
+
+// tensorElemKind extracts the runtime element kind of a Tensor type.
+func tensorElemKind(t types.Type) runtime.Kind {
+	c, ok := t.(*types.Compound)
+	if !ok || c.Ctor != "Tensor" {
+		return runtime.KObj
+	}
+	return runtime.KindOf(c.Args[0])
+}
+
+// partStep compiles element reads; the result class selects the accessor.
+func (g *gen) partStep(in *wir.Instr, regs []reg, dst reg, unsafe, rank2 bool) step {
+	d := dst.idx
+	a := regs[0].idx
+	i1 := regs[1].idx
+	if rank2 {
+		i2 := regs[2].idx
+		switch dst.kind {
+		case runtime.KI64:
+			if unsafe {
+				return func(fr *frame) { fr.i[d] = tensorArg(fr, a).GetI2U(fr.i[i1], fr.i[i2]) }
+			}
+			return func(fr *frame) { fr.i[d] = tensorArg(fr, a).GetI2(fr.i[i1], fr.i[i2]) }
+		case runtime.KR64:
+			if unsafe {
+				return func(fr *frame) { fr.f[d] = tensorArg(fr, a).GetF2U(fr.i[i1], fr.i[i2]) }
+			}
+			return func(fr *frame) { fr.f[d] = tensorArg(fr, a).GetF2(fr.i[i1], fr.i[i2]) }
+		case runtime.KC64:
+			if unsafe {
+				return func(fr *frame) { fr.c[d] = tensorArg(fr, a).GetC2U(fr.i[i1], fr.i[i2]) }
+			}
+			return func(fr *frame) { fr.c[d] = tensorArg(fr, a).GetC2(fr.i[i1], fr.i[i2]) }
+		}
+		return nil
+	}
+	switch dst.kind {
+	case runtime.KI64:
+		if unsafe {
+			return func(fr *frame) { fr.i[d] = tensorArg(fr, a).GetIU(fr.i[i1]) }
+		}
+		return func(fr *frame) { fr.i[d] = tensorArg(fr, a).GetI(fr.i[i1]) }
+	case runtime.KR64:
+		if unsafe {
+			return func(fr *frame) { fr.f[d] = tensorArg(fr, a).GetFU(fr.i[i1]) }
+		}
+		return func(fr *frame) { fr.f[d] = tensorArg(fr, a).GetF(fr.i[i1]) }
+	case runtime.KC64:
+		if unsafe {
+			return func(fr *frame) { fr.c[d] = tensorArg(fr, a).GetCU(fr.i[i1]) }
+		}
+		return func(fr *frame) { fr.c[d] = tensorArg(fr, a).GetC(fr.i[i1]) }
+	case runtime.KBool:
+		if unsafe {
+			return func(fr *frame) { fr.b[d] = tensorArg(fr, a).GetBU(fr.i[i1]) }
+		}
+		return func(fr *frame) { fr.b[d] = tensorArg(fr, a).GetB(fr.i[i1]) }
+	case runtime.KObj:
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).GetOU(fr.i[i1]) }
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).GetO(fr.i[i1]) }
+	}
+	return nil
+}
+
+// setPartStep compiles element writes; the stored value's class selects the
+// mutator. The result is the (possibly copied-on-write) tensor.
+func (g *gen) setPartStep(in *wir.Instr, regs []reg, dst reg, unsafe, rank2 bool) step {
+	d := dst.idx
+	a := regs[0].idx
+	i1 := regs[1].idx
+	if rank2 {
+		i2 := regs[2].idx
+		v := regs[3].idx
+		switch regs[3].kind {
+		case runtime.KI64:
+			if unsafe {
+				return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetI2U(fr.i[i1], fr.i[i2], fr.i[v]) }
+			}
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetI2(fr.i[i1], fr.i[i2], fr.i[v]) }
+		case runtime.KR64:
+			if unsafe {
+				return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetF2U(fr.i[i1], fr.i[i2], fr.f[v]) }
+			}
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetF2(fr.i[i1], fr.i[i2], fr.f[v]) }
+		case runtime.KC64:
+			if unsafe {
+				return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetC2U(fr.i[i1], fr.i[i2], fr.c[v]) }
+			}
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetC2(fr.i[i1], fr.i[i2], fr.c[v]) }
+		}
+		return nil
+	}
+	v := regs[2].idx
+	switch regs[2].kind {
+	case runtime.KI64:
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetIU(fr.i[i1], fr.i[v]) }
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetI(fr.i[i1], fr.i[v]) }
+	case runtime.KR64:
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetFU(fr.i[i1], fr.f[v]) }
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetF(fr.i[i1], fr.f[v]) }
+	case runtime.KC64:
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetCU(fr.i[i1], fr.c[v]) }
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetC(fr.i[i1], fr.c[v]) }
+	case runtime.KBool:
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetB(fr.i[i1], fr.b[v]) }
+	case runtime.KObj:
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetOU(fr.i[i1], fr.o[v]) }
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetO(fr.i[i1], fr.o[v]) }
+	}
+	return nil
+}
+
+// tensorArith compiles elementwise tensor arithmetic.
+func (g *gen) tensorArith(native string, in *wir.Instr, regs []reg, dst reg) step {
+	d := dst.idx
+	elem := tensorElemKind(in.Ty)
+	if native == "tensor_minus" {
+		a := regs[0].idx
+		if elem == runtime.KI64 {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapI(runtime.NegI64) }
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapF(func(x float64) float64 { return -x }) }
+	}
+	op := native[strings.LastIndex(native, "_")+1:]
+	a, b := regs[0].idx, regs[1].idx
+	switch {
+	case strings.HasPrefix(native, "tensor_scalar_"):
+		if elem == runtime.KI64 {
+			f := intBinOp(op)
+			return func(fr *frame) {
+				s := fr.i[b]
+				fr.o[d] = tensorArg(fr, a).MapI(func(x int64) int64 { return f(x, s) })
+			}
+		}
+		f := realBinOp(op)
+		return func(fr *frame) {
+			s := fr.f[b]
+			fr.o[d] = tensorArg(fr, a).MapF(func(x float64) float64 { return f(x, s) })
+		}
+	case strings.HasPrefix(native, "scalar_tensor_"):
+		if elem == runtime.KI64 {
+			f := intBinOp(op)
+			return func(fr *frame) {
+				s := fr.i[a]
+				fr.o[d] = tensorArg(fr, b).MapI(func(x int64) int64 { return f(s, x) })
+			}
+		}
+		f := realBinOp(op)
+		return func(fr *frame) {
+			s := fr.f[a]
+			fr.o[d] = tensorArg(fr, b).MapF(func(x float64) float64 { return f(s, x) })
+		}
+	default: // tensor_plus / tensor_times / tensor_subtract
+		if elem == runtime.KI64 {
+			f := intBinOp(op)
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).ZipI(tensorArg(fr, b), f) }
+		}
+		f := realBinOp(op)
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).ZipF(tensorArg(fr, b), f) }
+	}
+}
+
+func intBinOp(op string) func(a, b int64) int64 {
+	switch op {
+	case "plus":
+		return runtime.AddI64
+	case "times":
+		return runtime.MulI64
+	case "subtract":
+		return runtime.SubI64
+	}
+	return func(a, b int64) int64 { return 0 }
+}
+
+func realBinOp(op string) func(a, b float64) float64 {
+	switch op {
+	case "plus":
+		return func(a, b float64) float64 { return a + b }
+	case "times":
+		return func(a, b float64) float64 { return a * b }
+	case "subtract":
+		return func(a, b float64) float64 { return a - b }
+	}
+	return func(a, b float64) float64 { return math.NaN() }
+}
+
+// genListBuild compiles {e1, ..., en} construction.
+func (g *gen) genListBuild(in *wir.Instr) (step, error) {
+	regs := make([]reg, len(in.Args))
+	for i, a := range in.Args {
+		r, err := g.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = r
+	}
+	dst, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	d := dst.idx
+	ty, ok := in.Ty.(*types.Compound)
+	if !ok || ty.Ctor != "Tensor" {
+		return nil, fmt.Errorf("codegen: Native`List of type %s", in.Ty)
+	}
+	rank := int(ty.Args[1].(*types.Literal).Value)
+	if rank == 1 {
+		elem := runtime.KindOf(ty.Args[0])
+		n := len(regs)
+		return func(fr *frame) {
+			t := runtime.NewTensor(elem, n)
+			for i, r := range regs {
+				switch elem {
+				case runtime.KI64:
+					t.I[i] = fr.i[r.idx]
+				case runtime.KR64:
+					t.F[i] = fr.f[r.idx]
+				case runtime.KC64:
+					t.C[i] = fr.c[r.idx]
+				case runtime.KBool:
+					t.B[i] = fr.b[r.idx]
+				case runtime.KObj:
+					t.O[i] = fr.o[r.idx]
+				}
+			}
+			fr.o[d] = t
+		}, nil
+	}
+	// Rank 2: rows are rank-1 tensors copied into a flat matrix.
+	elem := runtime.KindOf(ty.Args[0])
+	n := len(regs)
+	return func(fr *frame) {
+		if n == 0 {
+			fr.o[d] = runtime.NewTensor(elem, 0, 0)
+			return
+		}
+		first := tensorArg(fr, regs[0].idx)
+		cols := first.Len()
+		t := runtime.NewTensor(elem, n, cols)
+		for i, r := range regs {
+			row := tensorArg(fr, r.idx)
+			if row.Len() != cols {
+				runtime.Throw(runtime.ExcType, "ragged matrix rows")
+			}
+			switch elem {
+			case runtime.KI64:
+				copy(t.I[i*cols:], row.I)
+			case runtime.KR64:
+				copy(t.F[i*cols:], row.F)
+			case runtime.KC64:
+				copy(t.C[i*cols:], row.C)
+			}
+		}
+		fr.o[d] = t
+	}, nil
+}
+
+// genKernelApply compiles the interpreter escape (F9): box, build the call
+// expression, evaluate in the engine.
+func (g *gen) genKernelApply(in *wir.Instr) (step, error) {
+	regs := make([]reg, len(in.Args))
+	for i, a := range in.Args {
+		r, err := g.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = r
+	}
+	dst, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	d := dst.idx
+	return func(fr *frame) {
+		head := fr.o[regs[0].idx].(expr.Expr)
+		args := make([]expr.Expr, len(regs)-1)
+		for i, r := range regs[1:] {
+			args[i] = fr.o[r.idx].(expr.Expr)
+		}
+		fr.o[d] = runtime.KernelApply(fr.rt.Engine, head, args)
+	}, nil
+}
+
+// castStep compiles integer width casts; values live widened in int64
+// registers, so a cast masks/sign-extends.
+func (g *gen) castStep(in *wir.Instr, regs []reg, dst reg) step {
+	d := dst.idx
+	a := regs[0].idx
+	at, ok := in.Ty.(*types.Atomic)
+	if !ok {
+		return nil
+	}
+	switch at.Name {
+	case "Integer8":
+		return func(fr *frame) { fr.i[d] = int64(int8(fr.i[a])) }
+	case "Integer16":
+		return func(fr *frame) { fr.i[d] = int64(int16(fr.i[a])) }
+	case "Integer32":
+		return func(fr *frame) { fr.i[d] = int64(int32(fr.i[a])) }
+	case "Integer64":
+		return func(fr *frame) { fr.i[d] = fr.i[a] }
+	case "UnsignedInteger8":
+		return func(fr *frame) { fr.i[d] = int64(uint8(fr.i[a])) }
+	case "UnsignedInteger16":
+		return func(fr *frame) { fr.i[d] = int64(uint16(fr.i[a])) }
+	case "UnsignedInteger32":
+		return func(fr *frame) { fr.i[d] = int64(uint32(fr.i[a])) }
+	case "UnsignedInteger64":
+		return func(fr *frame) { fr.i[d] = fr.i[a] }
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+// Package core is the paper's primary contribution: the staged compiler
+// pipeline MExpr → WIR → TWIR → code generation (paper §4), assembled from
+// the macro system, binding analysis, SSA lowering, constraint-based type
+// inference, the pass pipeline, and the backends. It provides
+// FunctionCompile, the CompiledCodeFunction wrapper with expression
+// boxing/unboxing and the soft interpreter fallback (F1/F2), abortable
+// execution (F3), kernel integration (F9), and staged IR dumps (§A.6).
+package core
+
+import (
+	"fmt"
+
+	"wolfc/internal/binding"
+	"wolfc/internal/codegen"
+	"wolfc/internal/expr"
+	"wolfc/internal/infer"
+	"wolfc/internal/kernel"
+	"wolfc/internal/macro"
+	"wolfc/internal/passes"
+	"wolfc/internal/runtime"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// Compiler is one compiler instance: the macro and type environments plus
+// pass options. Users extend the environments (F6, §4.7) without touching
+// compiler internals.
+type Compiler struct {
+	Kernel   *kernel.Kernel
+	MacroEnv *macro.Env
+	TypeEnv  *types.Env
+	Options  passes.Options
+	// CompileOpts feed conditioned macros (§4.7 TargetSystem etc.).
+	CompileOpts map[string]expr.Expr
+	// NaiveConstants disables constant-array interning in the backend
+	// (the §6 PrimeQ ablation).
+	NaiveConstants bool
+}
+
+// NewCompiler builds a compiler hosted in k with the default environments.
+func NewCompiler(k *kernel.Kernel) *Compiler {
+	return &Compiler{
+		Kernel:   k,
+		MacroEnv: macro.DefaultEnv(),
+		TypeEnv:  types.Builtin(),
+		Options:  passes.DefaultOptions(),
+	}
+}
+
+// kernelEngine adapts the kernel to the runtime's Engine interface.
+type kernelEngine struct{ k *kernel.Kernel }
+
+func (e kernelEngine) EvalExpr(x expr.Expr) (expr.Expr, error) { return e.k.EvalGuarded(x) }
+func (e kernelEngine) Aborted() bool                           { return e.k.Aborted() }
+func (e kernelEngine) RandReal() float64                       { return e.k.RandReal() }
+func (e kernelEngine) RandInt(lo, hi int64) int64              { return e.k.RandInt(lo, hi) }
+
+// Engine returns the runtime engine view of the hosting kernel (nil kernel
+// means standalone mode: aborts and escapes disabled, §4.6).
+func (c *Compiler) Engine() runtime.Engine {
+	if c.Kernel == nil {
+		return nil
+	}
+	return kernelEngine{k: c.Kernel}
+}
+
+// CompiledCodeFunction is the result of FunctionCompile: the compiled
+// program plus everything needed for kernel integration and fallback.
+type CompiledCodeFunction struct {
+	Source     expr.Expr // the original Function expression
+	Module     *wir.Module
+	Program    *codegen.Program
+	ParamTypes []types.Type
+	RetType    types.Type
+	compiler   *Compiler
+	// Standalone disables engine-dependent features (export mode, F10).
+	Standalone bool
+}
+
+// FunctionCompile compiles Function[{Typed[x, ty]...}, body] through the
+// full pipeline (§4).
+func (c *Compiler) FunctionCompile(fn expr.Expr) (*CompiledCodeFunction, error) {
+	return c.compileNamed("", fn)
+}
+
+// CompileNamed compiles fn while rewriting self-references through the
+// given symbol name into recursion (the paper's cfib: the function refers
+// to the variable it is being assigned to).
+func (c *Compiler) CompileNamed(name string, fn expr.Expr) (*CompiledCodeFunction, error) {
+	return c.compileNamed(name, fn)
+}
+
+func (c *Compiler) compileNamed(selfName string, fn expr.Expr) (*CompiledCodeFunction, error) {
+	mod, err := c.BuildTWIR(selfName, fn)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.ResolveFunctions(mod); err != nil {
+		return nil, err
+	}
+	if err := passes.Run(mod, c.TypeEnv, c.Options); err != nil {
+		return nil, err
+	}
+	prog, err := codegen.CompileWithOptions(mod, codegen.CompileOptions{NaiveConstants: c.NaiveConstants})
+	if err != nil {
+		return nil, err
+	}
+	main := mod.Main()
+	ccf := &CompiledCodeFunction{
+		Source:   fn,
+		Module:   mod,
+		Program:  prog,
+		RetType:  main.RetTy,
+		compiler: c,
+	}
+	for _, p := range main.Params {
+		if !p.Capture {
+			ccf.ParamTypes = append(ccf.ParamTypes, p.Ty)
+		}
+	}
+	return ccf, nil
+}
+
+// BuildTWIR runs the front half of the pipeline: macro expansion, binding
+// analysis, lowering, and type inference (§A.6 CompileToIR).
+func (c *Compiler) BuildTWIR(selfName string, fn expr.Expr) (*wir.Module, error) {
+	expanded, err := c.MacroEnv.Expand(fn, c.CompileOpts)
+	if err != nil {
+		return nil, fmt.Errorf("macro expansion: %w", err)
+	}
+	expanded = macro.ExpandSlots(expanded)
+	if selfName != "" {
+		self := expr.Sym(selfName)
+		expanded = expr.Replace(expanded, func(e expr.Expr) expr.Expr {
+			if e == self {
+				return expr.Sym("Main")
+			}
+			return e
+		})
+	}
+	res, err := binding.Analyze(expanded)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := wir.Lower(res, c.TypeEnv)
+	if err != nil {
+		return nil, err
+	}
+	if err := infer.Infer(mod, c.TypeEnv); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// BuildWIR runs the pipeline up to untyped WIR (§A.6 CompileToIR with
+// optimisations off shows the untyped form).
+func (c *Compiler) BuildWIR(fn expr.Expr) (*wir.Module, error) {
+	expanded, err := c.MacroEnv.Expand(fn, c.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+	expanded = macro.ExpandSlots(expanded)
+	res, err := binding.Analyze(expanded)
+	if err != nil {
+		return nil, err
+	}
+	return wir.Lower(res, c.TypeEnv)
+}
+
+// ExpandAST runs macro expansion only (§A.6 CompileToAST).
+func (c *Compiler) ExpandAST(fn expr.Expr) (expr.Expr, error) {
+	out, err := c.MacroEnv.Expand(fn, c.CompileOpts)
+	if err != nil {
+		return nil, err
+	}
+	return macro.ExpandSlots(out), nil
+}
+
+// ResolveFunctions materialises Wolfram-source implementations chosen by
+// inference (§4.5 Function Resolution): each call whose overload carries a
+// Wolfram Function implementation is compiled at its instantiated type,
+// inserted into the program module under its mangled name, and the call is
+// rewritten to it.
+func (c *Compiler) ResolveFunctions(mod *wir.Module) error {
+	compiledImpls := map[string]*wir.Function{}
+	for fi := 0; fi < len(mod.Funcs); fi++ { // resolution may append functions
+		f := mod.Funcs[fi]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != wir.OpCall {
+					continue
+				}
+				dv, ok := in.Prop("overload")
+				if !ok {
+					continue
+				}
+				def := dv.(*types.FuncDef)
+				if def.Impl == nil {
+					if def.Native != "" {
+						in.Native = def.Native
+					}
+					continue
+				}
+				ctv, ok := in.Prop("calltype")
+				if !ok {
+					return fmt.Errorf("resolution: call to %s lacks an instantiated type", def.Name)
+				}
+				callFn, ok := ctv.(*types.Fn)
+				if !ok || !types.IsGround(callFn) {
+					return fmt.Errorf("resolution: call to %s is not ground: %v", def.Name, ctv)
+				}
+				mangled := types.Mangle(def.Name, callFn)
+				target, done := compiledImpls[mangled]
+				if !done {
+					var err error
+					target, err = c.compileImplInto(mod, def, callFn, mangled)
+					if err != nil {
+						return fmt.Errorf("resolving %s: %w", def.Name, err)
+					}
+					compiledImpls[mangled] = target
+				}
+				in.Callee = mangled
+				in.ResolvedFn = target
+				if def.Inline {
+					target.SetProp("inline", true)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compileImplInto compiles a Wolfram-source implementation at a concrete
+// instantiation and splices its functions into mod.
+func (c *Compiler) compileImplInto(mod *wir.Module, def *types.FuncDef,
+	callFn *types.Fn, mangled string) (*wir.Function, error) {
+	implFn, ok := expr.IsNormalN(def.Impl, expr.SymFunction, 2)
+	if !ok {
+		return nil, fmt.Errorf("implementation of %s is not Function[{params}, body]", def.Name)
+	}
+	// Annotate the implementation's parameters with the instantiated types.
+	params, ok := expr.IsNormal(implFn.Arg(1), expr.SymList)
+	if !ok || params.Len() != len(callFn.Params) {
+		return nil, fmt.Errorf("implementation arity mismatch for %s", def.Name)
+	}
+	typed := make([]expr.Expr, params.Len())
+	for i := 1; i <= params.Len(); i++ {
+		name, ok := params.Arg(i).(*expr.Symbol)
+		if !ok {
+			return nil, fmt.Errorf("implementation parameter %d of %s is not a symbol", i, def.Name)
+		}
+		typed[i-1] = expr.New(expr.SymTyped, name, typeToSpec(callFn.Params[i-1]))
+	}
+	annotated := expr.New(expr.SymFunction, expr.List(typed...), implFn.Arg(2))
+	sub, err := c.BuildTWIR("", annotated)
+	if err != nil {
+		return nil, err
+	}
+	// The sub-module's own calls (including recursive self-calls — the
+	// implementation may mention its declared name) are resolved by the
+	// caller's loop, which iterates over appended functions; resolving here
+	// would recurse forever on self-referential implementations.
+	// Merge: rename Main (and its lambdas) to the mangled namespace.
+	var target *wir.Function
+	for _, sf := range sub.Funcs {
+		if sf.Name == "Main" {
+			sf.Name = mangled
+			target = sf
+		} else {
+			sf.Name = mangled + "`" + sf.Name
+		}
+		sf.Module = mod
+		mod.Funcs = append(mod.Funcs, sf)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("implementation of %s produced no entry function", def.Name)
+	}
+	if !types.Equal(target.RetTy, callFn.Ret) {
+		return nil, fmt.Errorf("implementation of %s returns %s, declaration says %s",
+			def.Name, target.RetTy, callFn.Ret)
+	}
+	return target, nil
+}
+
+// typeToSpec renders a ground type back into TypeSpecifier expression form
+// for parameter annotations.
+func typeToSpec(t types.Type) expr.Expr {
+	switch x := t.(type) {
+	case *types.Atomic:
+		return expr.FromString(x.Name)
+	case *types.Literal:
+		return expr.FromInt64(x.Value)
+	case *types.Compound:
+		args := make([]expr.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = typeToSpec(a)
+		}
+		return expr.New(expr.FromString(x.Ctor), args...)
+	case *types.Fn:
+		params := make([]expr.Expr, len(x.Params))
+		for i, p := range x.Params {
+			params[i] = typeToSpec(p)
+		}
+		return expr.New(expr.SymRule, expr.List(params...), typeToSpec(x.Ret))
+	}
+	return expr.FromString(t.String())
+}
+
+// Apply runs the compiled function on kernel expressions: the auxiliary
+// boxing wrapper of §4.5. Arguments are unpacked and type-checked, the
+// result packed; runtime numeric exceptions print a warning and re-evaluate
+// through the interpreter (the soft failure mode F2); aborts surface as
+// $Aborted (F3).
+func (ccf *CompiledCodeFunction) Apply(args []expr.Expr) (out expr.Expr, err error) {
+	if len(args) != len(ccf.ParamTypes) {
+		return nil, fmt.Errorf("CompiledCodeFunction: expected %d arguments, got %d",
+			len(ccf.ParamTypes), len(args))
+	}
+	raw := make([]any, len(args))
+	for i, a := range args {
+		v, ok := runtime.Unbox(a, ccf.ParamTypes[i])
+		if !ok {
+			// Argument outside the compiled signature: fall straight back
+			// to the interpreter (e.g. a bignum into a machine-integer
+			// slot).
+			return ccf.fallback(args, fmt.Sprintf("argument %d (%s) does not match type %s",
+				i+1, expr.InputForm(a), ccf.ParamTypes[i]))
+		}
+		raw[i] = v
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			exc, ok := r.(*runtime.Exception)
+			if !ok {
+				panic(r)
+			}
+			if exc.Kind == runtime.ExcAbort {
+				out, err = expr.SymAborted, nil
+				return
+			}
+			out, err = ccf.fallback(args, exc.Msg)
+		}
+	}()
+	var eng runtime.Engine
+	if !ccf.Standalone {
+		eng = ccf.compiler.Engine()
+	}
+	rt := &codegen.RT{Engine: eng}
+	res := ccf.Program.Main.CallValues(rt, raw...)
+	if ccf.RetType == types.TVoid {
+		return expr.SymNull, nil
+	}
+	return runtime.Box(res, ccf.RetType), nil
+}
+
+// CallRaw invokes the compiled code with unboxed Go values (used by the
+// benchmark harness to measure pure compiled-code time).
+func (ccf *CompiledCodeFunction) CallRaw(args ...any) any {
+	var eng runtime.Engine
+	if !ccf.Standalone {
+		eng = ccf.compiler.Engine()
+	}
+	return ccf.Program.Main.CallValues(&codegen.RT{Engine: eng}, args...)
+}
+
+// fallback re-evaluates the source through the interpreter (F2), printing
+// the paper's warning.
+func (ccf *CompiledCodeFunction) fallback(args []expr.Expr, reason string) (expr.Expr, error) {
+	k := ccf.compiler.Kernel
+	if k == nil || ccf.Standalone {
+		return nil, fmt.Errorf("compiled code runtime error (%s) and no interpreter available (standalone mode)", reason)
+	}
+	fmt.Fprintf(k.Out, "CompiledCodeFunction::cfse: A compiled code runtime error occurred; reverting to uncompiled evaluation: %s\n", reason)
+	call := expr.New(ccf.Source, args...)
+	return k.EvalGuarded(call)
+}
+
+// FunctionValue returns the compiled function as a first-class function
+// value suitable for passing into other compiled code's function-typed
+// parameters (F6: the QSort comparator).
+func (ccf *CompiledCodeFunction) FunctionValue() any {
+	return &codegen.FuncVal{Fn: ccf.Program.Main}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+	"wolfc/internal/pattern"
+)
+
+// Differential testing: the compiler must agree with the interpreter on
+// randomly generated programs (the strongest form of the paper's F1/F2
+// conformance claim — compiled code behaves like the interpreter).
+
+// genRealExpr builds a random real-valued expression over variable x.
+func genRealExpr(rng *rand.Rand, depth int) expr.Expr {
+	if depth <= 0 {
+		if rng.Intn(2) == 0 {
+			return expr.Sym("x")
+		}
+		// Keep constants tame to avoid overflow/NaN divergence.
+		return expr.FromFloat(float64(rng.Intn(19)-9) / 2)
+	}
+	a := genRealExpr(rng, depth-1)
+	b := genRealExpr(rng, depth-1)
+	switch rng.Intn(7) {
+	case 0:
+		return expr.NewS("Plus", a, b)
+	case 1:
+		return expr.NewS("Times", a, b)
+	case 2:
+		return expr.NewS("Subtract", a, b)
+	case 3:
+		return expr.NewS("Sin", a)
+	case 4:
+		return expr.NewS("Cos", a)
+	case 5:
+		return expr.NewS("If", expr.NewS("Greater", a, b), a, b)
+	default:
+		return expr.NewS("Min", a, b)
+	}
+}
+
+func TestDifferentialRealExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	k := kernel.New()
+	c := NewCompiler(k)
+	x := expr.Sym("x")
+	for trial := 0; trial < 60; trial++ {
+		body := genRealExpr(rng, 1+rng.Intn(4))
+		fn := expr.New(expr.SymFunction,
+			expr.List(expr.New(expr.SymTyped, x, expr.FromString("Real64"))), body)
+		ccf, err := c.FunctionCompile(fn)
+		if err != nil {
+			t.Fatalf("trial %d: compile %s: %v", trial, expr.InputForm(body), err)
+		}
+		for _, xv := range []float64{-2.5, -0.5, 0, 1, 3.25} {
+			compiled, ok := ccf.CallRaw(xv).(float64)
+			if !ok {
+				t.Fatalf("trial %d: non-real result", trial)
+			}
+			bound := pattern.Substitute(body, pattern.Bindings{x: expr.FromFloat(xv)})
+			out, err := k.EvalGuarded(expr.NewS("N", bound))
+			if err != nil {
+				t.Fatalf("trial %d: interpret: %v", trial, err)
+			}
+			interp := 0.0
+			switch r := out.(type) {
+			case *expr.Real:
+				interp = r.V
+			case *expr.Integer:
+				interp = float64(r.Int64())
+			default:
+				t.Fatalf("trial %d: interpreter returned %s for %s at x=%v",
+					trial, expr.InputForm(out), expr.InputForm(body), xv)
+			}
+			if diff := math.Abs(compiled - interp); diff > 1e-9*(1+math.Abs(interp)) {
+				t.Fatalf("trial %d: %s at x=%v: compiled %v, interpreted %v",
+					trial, expr.InputForm(body), xv, compiled, interp)
+			}
+		}
+	}
+}
+
+// genIntProgram builds a random integer loop program: a fold over a small
+// range with a random update expression.
+func genIntProgram(rng *rand.Rand) string {
+	ops := []string{"s + i", "s + i*i", "s - i", "s + Mod[s + i, 7]", "s + Min[i, 3]",
+		"s + If[Mod[i, 2] == 0, i, 0 - i]", "s + BitAnd[i, 5]"}
+	update := ops[rng.Intn(len(ops))]
+	return fmt.Sprintf(`Function[{Typed[n, "MachineInteger"]},
+		Module[{s = %d, i = 1},
+			While[i <= n, s = %s; i = i + 1];
+			s]]`, rng.Intn(5), update)
+}
+
+func TestDifferentialIntegerLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		src := genIntProgram(rng)
+		k := kernel.New()
+		c := NewCompiler(k)
+		fn := parser.MustParse(src)
+		ccf, err := c.FunctionCompile(fn)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		for _, n := range []int64{0, 1, 7, 23} {
+			compiled := ccf.CallRaw(n).(int64)
+			out, err := k.EvalGuarded(expr.New(fn, expr.FromInt64(n)))
+			if err != nil {
+				t.Fatalf("trial %d: interpret: %v", trial, err)
+			}
+			iv, ok := out.(*expr.Integer)
+			if !ok || !iv.IsMachine() {
+				t.Fatalf("trial %d: interpreter returned %s", trial, expr.InputForm(out))
+			}
+			if compiled != iv.Int64() {
+				t.Fatalf("trial %d n=%d: compiled %d, interpreted %d\n%s",
+					trial, n, compiled, iv.Int64(), src)
+			}
+		}
+	}
+}
+
+// TestDifferentialListPrograms compares list-producing programs.
+func TestDifferentialListPrograms(t *testing.T) {
+	srcs := []string{
+		`Function[{Typed[n, "MachineInteger"]}, Table[i*i - 3, {i, 1, n}]]`,
+		`Function[{Typed[n, "MachineInteger"]}, NestList[# + 2 &, 0, n]]`,
+		`Function[{Typed[n, "MachineInteger"]}, Map[Function[{x}, x*x], Range[n]]]`,
+		`Function[{Typed[n, "MachineInteger"]}, FoldList[Plus, 0, Range[n]]]`,
+	}
+	for _, src := range srcs {
+		k := kernel.New()
+		c := NewCompiler(k)
+		fn := parser.MustParse(src)
+		ccf, err := c.FunctionCompile(fn)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, n := range []int64{1, 5, 9} {
+			compiled, err := ccf.Apply([]expr.Expr{expr.FromInt64(n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			interp, err := k.EvalGuarded(expr.New(fn, expr.FromInt64(n)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !expr.SameQ(compiled, interp) {
+				t.Fatalf("%s at n=%d: compiled %s, interpreted %s",
+					src, n, expr.InputForm(compiled), expr.InputForm(interp))
+			}
+		}
+	}
+}

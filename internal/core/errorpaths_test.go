@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wolfc/internal/parser"
+)
+
+// Error-path hardening: every malformed program must produce a compile
+// error — never a panic, never a silently wrong function. Each case is a
+// distinct failure mode of a distinct pipeline stage.
+
+func TestCompileRejectsMalformedPrograms(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unknown function",
+			`Function[{Typed[x, "Real64"]}, NoSuchThing[x]]`, "NoSuchThing"},
+		{"branch type mismatch",
+			`Function[{Typed[x, "MachineInteger"]}, If[x > 0, "yes", 1]]`, ""},
+		{"arity mismatch on builtin",
+			`Function[{Typed[x, "Real64"]}, Sin[x, x, x]]`, ""},
+		{"unknown type name",
+			`Function[{Typed[x, "Quaternion"]}, x]`, ""},
+		{"condition not boolean",
+			`Function[{Typed[x, "MachineInteger"]}, If[x + 1, 1, 2]]`, ""},
+		{"while condition not boolean",
+			`Function[{Typed[x, "MachineInteger"]}, While[x, x = x - 1]; x]`, ""},
+		{"part of a scalar",
+			`Function[{Typed[x, "MachineInteger"]}, x[[1]]]`, ""},
+		{"string plus integer",
+			`Function[{Typed[s, "String"]}, s + 1]`, ""},
+		{"calling a non-function value",
+			`Function[{Typed[x, "MachineInteger"]}, x[3]]`, ""},
+		{"wrong argument count to local function",
+			`Function[{Typed[x, "MachineInteger"]},
+				Module[{f = Function[{Typed[k, "MachineInteger"]}, k + 1]}, f[x, x]]]`, ""},
+		{"tensor rank mismatch",
+			`Function[{Typed[m, "Tensor"["Real64", 2]], Typed[v, "Tensor"["Real64", 1]]}, m + v]`, ""},
+		{"sqrt of a string",
+			`Function[{Typed[s, "String"]}, Sqrt[s]]`, ""},
+	}
+	c := newCompiler()
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("compiler panicked on %s: %v", cse.src, r)
+				}
+			}()
+			_, err := c.FunctionCompile(parser.MustParse(cse.src))
+			if err == nil {
+				t.Fatalf("%s must fail compilation", cse.src)
+			}
+			if cse.wantSub != "" && !strings.Contains(err.Error(), cse.wantSub) {
+				t.Fatalf("error %q should mention %q", err, cse.wantSub)
+			}
+		})
+	}
+}
+
+// A failed compilation must not poison the compiler: the same instance
+// compiles a valid program immediately afterwards.
+func TestCompilerSurvivesErrors(t *testing.T) {
+	c := newCompiler()
+	for i := 0; i < 3; i++ {
+		if _, err := c.FunctionCompile(parser.MustParse(
+			`Function[{Typed[x, "Real64"]}, Nope[x]]`)); err == nil {
+			t.Fatal("must fail")
+		}
+		ccf, err := c.FunctionCompile(parser.MustParse(
+			`Function[{Typed[x, "MachineInteger"]}, x*2]`))
+		if err != nil {
+			t.Fatalf("round %d: compiler poisoned by prior error: %v", i, err)
+		}
+		if out := ccf.CallRaw(int64(21)); out.(int64) != 42 {
+			t.Fatalf("round %d: got %v", i, out)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"wolfc/internal/codegen"
+	"wolfc/internal/expr"
+	"wolfc/internal/vm"
+)
+
+// Export paths (F4/F10): multiple backends behind one entry point, plus
+// binary library export/reload for ahead-of-time compilation.
+
+// ExportString renders the compiled function for an external target, the
+// analogue of FunctionCompileExportString (paper §A.6):
+//
+//	"C"           — standalone C source (the C/C++ prototype backend, §4.6)
+//	"CStandalone" — the same C source with the wolfrt runtime inlined, a
+//	                single self-contained translation unit a C compiler can
+//	                build directly (link with -lm)
+//	"WVM"  — bytecode for the legacy Wolfram Virtual Machine backend
+//	"TWIR" — the typed IR textual form
+//	"AST"  — the macro-expanded AST in FullForm
+func (ccf *CompiledCodeFunction) ExportString(format string) (string, error) {
+	switch format {
+	case "C":
+		return codegen.EmitC(ccf.Module)
+	case "CStandalone":
+		src, err := codegen.EmitC(ccf.Module)
+		if err != nil {
+			return "", err
+		}
+		return codegen.InlineCRuntime(src), nil
+	case "WVM":
+		// The WVM backend translates the TWIR into bytecode for the legacy
+		// stack machine (§4.6: "prototype backends exist to target ... the
+		// existing Wolfram Virtual Machine").
+		cf, err := ccf.CompileToWVM()
+		if err != nil {
+			return "", err
+		}
+		return cf.Disassemble(), nil
+	case "TWIR":
+		return ccf.Module.String(), nil
+	case "AST":
+		out, err := ccf.compiler.ExpandAST(ccf.Source)
+		if err != nil {
+			return "", err
+		}
+		return expr.FullForm(out), nil
+	}
+	return "", fmt.Errorf("export: unknown format %q (want C, WVM, TWIR, or AST)", format)
+}
+
+// CompileToWVM runs the WVM backend over the compiled function's TWIR,
+// yielding bytecode runnable on the legacy virtual machine.
+func (ccf *CompiledCodeFunction) CompileToWVM() (*vm.CompiledFunction, error) {
+	cf, err := codegen.EmitWVM(ccf.Module)
+	if err != nil {
+		return nil, fmt.Errorf("WVM backend: %w", err)
+	}
+	if ccf.Source != nil {
+		cf.Source = ccf.Source
+	}
+	return cf, nil
+}
+
+// ExportLibrary writes the compiled function's typed module to w — the
+// FunctionCompileExportLibrary path (F10). The artifact can be reloaded
+// with LoadCompiledLibrary without access to the source.
+func (ccf *CompiledCodeFunction) ExportLibrary(w io.Writer) error {
+	return codegen.Marshal(w, ccf.Module)
+}
+
+// LoadCompiledLibrary reads a library written by ExportLibrary and
+// regenerates executable code for it (LibraryFunctionLoad). standalone
+// disables engine-dependent features — interpreter integration and
+// abortability — as the paper describes for standalone mode (§4.6).
+func LoadCompiledLibrary(c *Compiler, r io.Reader, standalone bool) (*CompiledCodeFunction, error) {
+	mod, err := codegen.Unmarshal(r, c.TypeEnv)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Compile(mod)
+	if err != nil {
+		return nil, err
+	}
+	main := mod.Main()
+	ccf := &CompiledCodeFunction{
+		Module:     mod,
+		Program:    prog,
+		RetType:    main.RetTy,
+		compiler:   c,
+		Standalone: standalone,
+	}
+	for _, p := range main.Params {
+		if !p.Capture {
+			ccf.ParamTypes = append(ccf.ParamTypes, p.Ty)
+		}
+	}
+	return ccf, nil
+}

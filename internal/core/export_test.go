@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+	"wolfc/internal/vm"
+)
+
+func TestExportCString(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[arg, "MachineInteger"]}, arg + 1]`)
+	src, err := ccf.ExportString("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"#include <stdint.h>",
+		"int64_t Main(int64_t arg)",
+		"wolfrt_add_i64(arg, INT64_C(1))",
+		"return",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("C export missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestExportCWithLoops(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i; i++]; s]]`)
+	src, err := ccf.ExportString("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"goto L", "if (", "wolfrt_abort_check"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("C export missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestExportWVM(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[x, "Real64"]}, Sin[x] + x^2]`)
+	dis, err := ccf.ExportString("WVM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WVMFunction", "Math1", "Ret"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("WVM export missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestExportStageDumps(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[x, "Real64"]}, x*2]`)
+	twir, err := ccf.ExportString("TWIR")
+	if err != nil || !strings.Contains(twir, "Real64") {
+		t.Fatalf("TWIR dump: %v\n%s", err, twir)
+	}
+	ast, err := ccf.ExportString("AST")
+	if err != nil || !strings.Contains(ast, "Times") {
+		t.Fatalf("AST dump: %v\n%s", err, ast)
+	}
+	if _, err := ccf.ExportString("PTX"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestExportLibraryRoundTrip(t *testing.T) {
+	// F10: AOT export + reload without source, then identical behaviour.
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i++]; s]]`)
+	var buf bytes.Buffer
+	if err := ccf.ExportLibrary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompiledLibrary(newCompiler(), &buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ccf.Apply([]expr.Expr{expr.FromInt64(100)})
+	got, err := loaded.Apply([]expr.Expr{expr.FromInt64(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.SameQ(want, got) {
+		t.Fatalf("reloaded = %s, want %s", expr.InputForm(got), expr.InputForm(want))
+	}
+}
+
+func TestExportLibraryWithLambdas(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Map[Function[{x}, x*3.], v]]`)
+	var buf bytes.Buffer
+	if err := ccf.ExportLibrary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompiledLibrary(newCompiler(), &buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := loaded.Apply([]expr.Expr{parser.MustParse("{1., 2.}")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr.InputForm(out) != "{3., 6.}" {
+		t.Fatalf("loaded map = %s", expr.InputForm(out))
+	}
+}
+
+func TestStandaloneModeDisablesEngine(t *testing.T) {
+	// §4.6: "when using code in standalone mode, certain functionalities
+	// such as interpreter integration and abortable code are disabled".
+	c := newCompiler()
+	c.Kernel.Run(parser.MustParse("userFn[x_] := x + 1"))
+	ccf := compile(t, c, `Function[{Typed[x, "MachineInteger"]},
+		KernelFunction[userFn][x]]`)
+	var buf bytes.Buffer
+	if err := ccf.ExportLibrary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompiledLibrary(newCompiler(), &buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Apply([]expr.Expr{expr.FromInt64(1)}); err == nil {
+		t.Fatal("kernel escape must fail in standalone mode")
+	}
+}
+
+func TestWVMBackendExecutes(t *testing.T) {
+	// The TWIR->WVM bridge: the same compiled function runs on the legacy
+	// stack machine with identical results.
+	c := newCompiler()
+	srcs := []struct {
+		src  string
+		args []string
+		want string
+	}{
+		{`Function[{Typed[n, "MachineInteger"]},
+			Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i++]; s]]`,
+			[]string{"10"}, "385"},
+		{`Function[{Typed[x, "Real64"]}, If[x > 0., Sqrt[x], 0. - x]]`,
+			[]string{"9."}, "3."},
+		{`Function[{Typed[v, "Tensor"["Real64", 1]]},
+			Module[{s = 0., i = 1}, While[i <= Length[v], s = s + v[[i]]; i++]; s]]`,
+			[]string{"{1.5, 2.5, 3.}"}, "7."},
+		{`Function[{Typed[n, "MachineInteger"]}, Table[i*3, {i, 1, n}]]`,
+			[]string{"4"}, "{3, 6, 9, 12}"},
+	}
+	for _, cse := range srcs {
+		ccf := compile(t, c, cse.src)
+		cf, err := ccf.CompileToWVM()
+		if err != nil {
+			t.Fatalf("%s: %v", cse.src, err)
+		}
+		args := make([]vm.Value, len(cse.args))
+		for i, a := range cse.args {
+			v, err := vm.FromExpr(parser.MustParse(a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			args[i] = v
+		}
+		out, err := cf.Call(c.Kernel, args...)
+		if err != nil {
+			t.Fatalf("%s: run: %v", cse.src, err)
+		}
+		if got := expr.InputForm(vm.ToExpr(out)); got != cse.want {
+			t.Fatalf("%s => %s, want %s", cse.src, got, cse.want)
+		}
+		// Agreement with the native backend.
+		ex := make([]expr.Expr, len(cse.args))
+		for i, a := range cse.args {
+			ex[i] = parser.MustParse(a)
+		}
+		nativeOut, err := ccf.Apply(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expr.InputForm(nativeOut) != cse.want {
+			t.Fatalf("native backend disagrees: %s", expr.InputForm(nativeOut))
+		}
+	}
+}
+
+func TestWVMBackendRejectsFunctionValues(t *testing.T) {
+	// L1: the WVM has no function values; a surviving indirect call or
+	// string value is a clean error.
+	c := newCompiler()
+	c.Options.InlinePolicy = "none" // keep the lambda call indirect
+	ccf := compile(t, c, `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Map[Function[{x}, x*2.], v]]`)
+	if _, err := ccf.CompileToWVM(); err == nil {
+		t.Fatal("function values must be rejected by the WVM backend")
+	}
+	c2 := newCompiler()
+	ccf2 := compile(t, c2, `Function[{Typed[s, "String"]}, StringJoin[s, s]]`)
+	if _, err := ccf2.CompileToWVM(); err == nil {
+		t.Fatal("strings must be rejected by the WVM backend")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// The structural list operations added as macro templates: each compiled
+// result must equal the interpreter's on the same input.
+func TestCompiledListOperations(t *testing.T) {
+	c := newCompiler()
+	cases := []struct{ src, arg, want string }{
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Reverse[v]]`,
+			"{1, 2, 3, 4}", "{4, 3, 2, 1}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, First[v] + Last[v]]`,
+			"{7, 8, 9}", "16"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Rest[v]]`,
+			"{1, 2, 3}", "{2, 3}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Most[v]]`,
+			"{1, 2, 3}", "{1, 2}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Drop[v, 2]]`,
+			"{1, 2, 3, 4, 5}", "{3, 4, 5}"},
+		{`Function[{Typed[a, "Tensor"["MachineInteger", 1]], Typed[b, "Tensor"["MachineInteger", 1]]}, Join[a, b]]`,
+			"{1, 2}, {3, 4, 5}", "{1, 2, 3, 4, 5}"},
+		{`Function[{Typed[a, "Tensor"["MachineInteger", 1]]}, Join[a, a, a]]`,
+			"{6, 7}", "{6, 7, 6, 7, 6, 7}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]], Typed[x, "MachineInteger"]}, Append[v, x]]`,
+			"{1, 2}, 9", "{1, 2, 9}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]], Typed[x, "MachineInteger"]}, Prepend[v, x]]`,
+			"{1, 2}, 9", "{9, 1, 2}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Accumulate[v]]`,
+			"{1, 2, 3, 4}", "{1, 3, 6, 10}"},
+		{`Function[{Typed[v, "Tensor"["Real64", 1]]}, Mean[v]]`,
+			"{1., 2., 3., 6.}", "3."},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]], Typed[x, "MachineInteger"]}, MemberQ[v, x]]`,
+			"{1, 5, 9}, 5", "True"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]], Typed[x, "MachineInteger"]}, MemberQ[v, x]]`,
+			"{1, 5, 9}, 4", "False"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]], Typed[x, "MachineInteger"]}, Count[v, x]]`,
+			"{2, 5, 2, 2}, 2", "3"},
+	}
+	for _, cse := range cases {
+		ccf := compile(t, c, cse.src)
+		args := splitArgs(t, cse.arg)
+		out, err := ccf.Apply(args)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", cse.src, cse.arg, err)
+		}
+		if expr.InputForm(out) != cse.want {
+			t.Fatalf("%s on %s = %s, want %s", cse.src, cse.arg, expr.InputForm(out), cse.want)
+		}
+		// Interpreter agreement on the same call.
+		interp, err := c.Kernel.EvalGuarded(parser.MustParse(cse.src + "[" + cse.arg + "]"))
+		if err != nil {
+			t.Fatalf("interpret %s: %v", cse.src, err)
+		}
+		if expr.InputForm(interp) != cse.want {
+			t.Fatalf("interpreter disagrees on %s: %s", cse.src, expr.InputForm(interp))
+		}
+	}
+}
+
+// splitArgs parses a comma-separated argument list at the top level.
+func splitArgs(t *testing.T, s string) []expr.Expr {
+	t.Helper()
+	list, err := parser.Parse("{" + s + "}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := expr.IsNormal(list, expr.SymList)
+	return n.Args()
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// Sort is a Wolfram-source library implementation instantiated per element
+// type at resolution (§4.4/§4.5). It must agree with the interpreter, leave
+// its input untouched, and accept comparator function values.
+func TestCompiledSortLibraryFunction(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Sort[v]]`)
+	cases := map[string]string{
+		"{3, 1, 2}":         "{1, 2, 3}",
+		"{5}":               "{5}",
+		"{2, 2, 1, 1}":      "{1, 1, 2, 2}",
+		"{9, -4, 0, 7, -4}": "{-4, -4, 0, 7, 9}",
+		"{1, 2, 3, 4, 5}":   "{1, 2, 3, 4, 5}",
+		"{5, 4, 3, 2, 1}":   "{1, 2, 3, 4, 5}",
+	}
+	for in, want := range cases {
+		if got := apply(t, ccf, in); got != want {
+			t.Fatalf("Sort[%s] = %s, want %s", in, got, want)
+		}
+		interp, err := c.Kernel.EvalGuarded(parser.MustParse("Sort[" + in + "]"))
+		if err != nil || expr.InputForm(interp) != want {
+			t.Fatalf("interpreter Sort[%s] = %s (%v)", in, expr.InputForm(interp), err)
+		}
+	}
+
+	// The same polymorphic declaration instantiates at Real64.
+	ccfR := compile(t, c, `Function[{Typed[v, "Tensor"["Real64", 1]]}, Sort[v]]`)
+	if got := apply(t, ccfR, "{2.5, 1.5, 3.5}"); got != "{1.5, 2.5, 3.5}" {
+		t.Fatalf("real Sort = %s", got)
+	}
+
+	// Sorting must not mutate the argument (copy-on-write, F5).
+	ccfBoth := compile(t, c, `Function[{Typed[v, "Tensor"["MachineInteger", 1]]},
+		Module[{w = Sort[v]}, v[[1]]*1000 + w[[1]]]]`)
+	if got := apply(t, ccfBoth, "{9, 1, 5}"); got != "9001" {
+		t.Fatalf("Sort mutated its input: %s", got)
+	}
+
+	// Comparator overload: sort descending with a function value.
+	ccfCmp := compile(t, c, `Function[{Typed[v, "Tensor"["MachineInteger", 1]]},
+		Sort[v, Function[{a, b}, a > b]]]`)
+	if got := apply(t, ccfCmp, "{3, 1, 2}"); got != "{3, 2, 1}" {
+		t.Fatalf("descending Sort = %s", got)
+	}
+	// Comparator on strings-by-length is inexpressible here (no string
+	// tensors), but real comparators instantiate too.
+	ccfCmpR := compile(t, c, `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Sort[v, Function[{a, b}, a > b]]]`)
+	if got := apply(t, ccfCmpR, "{1., 3., 2.}"); got != "{3., 2., 1.}" {
+		t.Fatalf("descending real Sort = %s", got)
+	}
+}

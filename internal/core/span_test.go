@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// Span slicing v[[a ;; b]] with positive and negative endpoints, compiled
+// and interpreted.
+func TestCompiledSpanSlicing(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[v, "Tensor"["MachineInteger", 1]],
+		Typed[a, "MachineInteger"], Typed[b, "MachineInteger"]},
+		v[[a ;; b]]]`)
+	v := parser.MustParse("{10, 20, 30, 40, 50}")
+	cases := []struct {
+		a, b int64
+		want string
+	}{
+		{2, 4, "{20, 30, 40}"},
+		{1, 5, "{10, 20, 30, 40, 50}"},
+		{2, -2, "{20, 30, 40}"},
+		{-3, -1, "{30, 40, 50}"},
+		{3, 3, "{30}"},
+	}
+	for _, cse := range cases {
+		out, err := ccf.Apply([]expr.Expr{v, expr.FromInt64(cse.a), expr.FromInt64(cse.b)})
+		if err != nil {
+			t.Fatalf("v[[%d ;; %d]]: %v", cse.a, cse.b, err)
+		}
+		if expr.InputForm(out) != cse.want {
+			t.Fatalf("compiled v[[%d ;; %d]] = %s, want %s", cse.a, cse.b, expr.InputForm(out), cse.want)
+		}
+		// Interpreter agreement.
+		src := expr.NewS("Part", v, expr.NewS("Span", expr.FromInt64(cse.a), expr.FromInt64(cse.b)))
+		interp, err := c.Kernel.EvalGuarded(src)
+		if err != nil || expr.InputForm(interp) != cse.want {
+			t.Fatalf("interpreter v[[%d ;; %d]] = %s (%v), want %s",
+				cse.a, cse.b, expr.InputForm(interp), err, cse.want)
+		}
+	}
+}

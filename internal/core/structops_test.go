@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// Rank-discriminated library functions and the index-aware functional ops.
+func TestCompiledStructuralOps(t *testing.T) {
+	c := newCompiler()
+	cases := []struct{ src, arg, want string }{
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Dimensions[v]]`,
+			"{7, 8, 9}", "{3}"},
+		{`Function[{Typed[m, "Tensor"["MachineInteger", 2]]}, Dimensions[m]]`,
+			"{{1, 2, 3}, {4, 5, 6}}", "{2, 3}"},
+		{`Function[{Typed[m, "Tensor"["MachineInteger", 2]]}, Flatten[m]]`,
+			"{{1, 2}, {3, 4}, {5, 6}}", "{1, 2, 3, 4, 5, 6}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]}, Partition[v, 2]]`,
+			"{1, 2, 3, 4, 5, 6}", "{{1, 2}, {3, 4}, {5, 6}}"},
+		{`Function[{Typed[v, "Tensor"["MachineInteger", 1]]},
+			MapIndexed[Function[{x, pos}, x*10 + pos[[1]]], v]]`,
+			"{5, 6, 7}", "{51, 62, 73}"},
+		{`Function[{Typed[m, "Tensor"["Real64", 2]]}, Flatten[Transpose[m]]]`,
+			"{{1., 2.}, {3., 4.}}", "{1., 3., 2., 4.}"},
+	}
+	for _, cse := range cases {
+		ccf := compile(t, c, cse.src)
+		args := splitArgs(t, cse.arg)
+		out, err := ccf.Apply(args)
+		if err != nil {
+			t.Fatalf("%s: %v", cse.src, err)
+		}
+		if expr.InputForm(out) != cse.want {
+			t.Fatalf("%s on %s = %s, want %s", cse.src, cse.arg, expr.InputForm(out), cse.want)
+		}
+		interp, err := c.Kernel.EvalGuarded(parser.MustParse(cse.src + "[" + cse.arg + "]"))
+		if err != nil {
+			t.Fatalf("interpret %s: %v", cse.src, err)
+		}
+		if expr.InputForm(interp) != cse.want {
+			t.Fatalf("interpreter disagrees on %s: %s", cse.src, expr.InputForm(interp))
+		}
+	}
+}

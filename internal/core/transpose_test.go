@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+func TestCompiledTranspose(t *testing.T) {
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[m, "Tensor"["MachineInteger", 2]]}, Transpose[m]]`)
+	in := "{{1, 2, 3}, {4, 5, 6}}"
+	want := "{{1, 4}, {2, 5}, {3, 6}}"
+	if got := apply(t, ccf, in); got != want {
+		t.Fatalf("Transpose = %s, want %s", got, want)
+	}
+	interp, err := c.Kernel.EvalGuarded(parser.MustParse("Transpose[" + in + "]"))
+	if err != nil || expr.InputForm(interp) != want {
+		t.Fatalf("interpreter Transpose = %s (%v)", expr.InputForm(interp), err)
+	}
+	// Transpose[Transpose[m]] is the identity.
+	ccf2 := compile(t, c, `Function[{Typed[m, "Tensor"["Real64", 2]]}, Transpose[Transpose[m]]]`)
+	if got := apply(t, ccf2, "{{1.5, 2.5}, {3.5, 4.5}}"); got != "{{1.5, 2.5}, {3.5, 4.5}}" {
+		t.Fatalf("double transpose = %s", got)
+	}
+}

@@ -1,0 +1,238 @@
+package expr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+)
+
+// Binary serialisation of expressions. The format is a compact preorder
+// encoding used by compiled-library export (paper §4.6 F10) and by the
+// WIR/TWIR serialisers. It round-trips exactly, including big integers.
+
+const (
+	tagSymbol byte = iota + 1
+	tagMachineInt
+	tagBigInt
+	tagReal
+	tagRational
+	tagComplex
+	tagString
+	tagNormal
+)
+
+// Encode writes a binary encoding of e to w.
+func Encode(w io.Writer, e Expr) error {
+	bw := bufio.NewWriter(w)
+	if err := encode(bw, e); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func encode(w *bufio.Writer, e Expr) error {
+	switch x := e.(type) {
+	case *Symbol:
+		w.WriteByte(tagSymbol)
+		writeString(w, x.Name)
+	case *Integer:
+		if x.IsMachine() {
+			w.WriteByte(tagMachineInt)
+			var buf [binary.MaxVarintLen64]byte
+			n := binary.PutVarint(buf[:], x.Int64())
+			w.Write(buf[:n])
+		} else {
+			w.WriteByte(tagBigInt)
+			writeBytes(w, x.Big().Bytes())
+			sign := byte(0)
+			if x.Sign() < 0 {
+				sign = 1
+			}
+			w.WriteByte(sign)
+		}
+	case *Real:
+		w.WriteByte(tagReal)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x.V))
+		w.Write(buf[:])
+	case *Rational:
+		w.WriteByte(tagRational)
+		writeBigInt(w, x.V.Num())
+		writeBigInt(w, x.V.Denom())
+	case *Complex:
+		w.WriteByte(tagComplex)
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(x.Re))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(x.Im))
+		w.Write(buf[:])
+	case *String:
+		w.WriteByte(tagString)
+		writeString(w, x.V)
+	case *Normal:
+		w.WriteByte(tagNormal)
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], uint64(len(x.args)))
+		w.Write(buf[:n])
+		if err := encode(w, x.head); err != nil {
+			return err
+		}
+		for _, a := range x.args {
+			if err := encode(w, a); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("expr: cannot encode %T", e)
+	}
+	return nil
+}
+
+func writeString(w *bufio.Writer, s string) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	w.Write(buf[:n])
+	w.WriteString(s)
+}
+
+func writeBytes(w *bufio.Writer, b []byte) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(b)))
+	w.Write(buf[:n])
+	w.Write(b)
+}
+
+func writeBigInt(w *bufio.Writer, v *big.Int) {
+	writeBytes(w, v.Bytes())
+	sign := byte(0)
+	if v.Sign() < 0 {
+		sign = 1
+	}
+	w.WriteByte(sign)
+}
+
+// Decode reads one expression from r in the format written by Encode.
+func Decode(r io.Reader) (Expr, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return decode(br)
+}
+
+func decode(r *bufio.Reader) (Expr, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagSymbol:
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		return Sym(name), nil
+	case tagMachineInt:
+		v, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		return FromInt64(v), nil
+	case tagBigInt:
+		v, err := readBigInt(r)
+		if err != nil {
+			return nil, err
+		}
+		return FromBig(v), nil
+	case tagReal:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		return FromFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case tagRational:
+		num, err := readBigInt(r)
+		if err != nil {
+			return nil, err
+		}
+		den, err := readBigInt(r)
+		if err != nil {
+			return nil, err
+		}
+		return Ratio(num, den), nil
+	case tagComplex:
+		var buf [16]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		return FromComplex(
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[:8])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))), nil
+	case tagString:
+		s, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		return FromString(s), nil
+	case tagNormal:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<24 {
+			return nil, fmt.Errorf("expr: implausible arity %d", n)
+		}
+		head, err := decode(r)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Expr, n)
+		for i := range args {
+			if args[i], err = decode(r); err != nil {
+				return nil, err
+			}
+		}
+		return &Normal{head: head, args: args}, nil
+	}
+	return nil, fmt.Errorf("expr: bad tag %d", tag)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("expr: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readBigInt(r *bufio.Reader) (*big.Int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("expr: implausible bigint length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	v := new(big.Int).SetBytes(buf)
+	sign, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if sign == 1 {
+		v.Neg(v)
+	}
+	return v, nil
+}

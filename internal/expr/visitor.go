@@ -1,0 +1,53 @@
+package expr
+
+// Visitor is the MExpr visitor API (paper §4.2): Enter is called before a
+// node's children are visited and Leave after. Enter returning false skips
+// the subtree. Leave may return a replacement node, rebuilding the tree
+// bottom-up; returning the node unchanged keeps it.
+type Visitor interface {
+	Enter(e Expr) bool
+	Leave(e Expr) Expr
+}
+
+// Visit traverses e with v, returning the (possibly rebuilt) tree.
+func Visit(e Expr, v Visitor) Expr {
+	if !v.Enter(e) {
+		return v.Leave(e)
+	}
+	if n, ok := e.(*Normal); ok {
+		head := Visit(n.head, v)
+		args := make([]Expr, len(n.args))
+		changed := !SameQ(head, n.head)
+		for i, a := range n.args {
+			args[i] = Visit(a, v)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if changed {
+			e = &Normal{head: head, args: args}
+		}
+	}
+	return v.Leave(e)
+}
+
+// FuncVisitor adapts plain functions to the Visitor interface; nil fields
+// default to "descend" and "keep".
+type FuncVisitor struct {
+	OnEnter func(Expr) bool
+	OnLeave func(Expr) Expr
+}
+
+func (f FuncVisitor) Enter(e Expr) bool {
+	if f.OnEnter == nil {
+		return true
+	}
+	return f.OnEnter(e)
+}
+
+func (f FuncVisitor) Leave(e Expr) Expr {
+	if f.OnLeave == nil {
+		return e
+	}
+	return f.OnLeave(e)
+}

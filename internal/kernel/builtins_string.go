@@ -1,0 +1,384 @@
+package kernel
+
+import (
+	"strings"
+
+	"wolfc/internal/expr"
+)
+
+func (k *Kernel) installStrings() {
+	k.Register("StringLength", Listable, biStringLength)
+	k.Register("StringJoin", Flat, biStringJoin)
+	k.Register("StringTake", 0, biStringTake)
+	k.Register("StringDrop", 0, biStringDrop)
+	k.Register("Characters", 0, biCharacters)
+	k.Register("ToCharacterCode", 0, biToCharacterCode)
+	k.Register("FromCharacterCode", 0, biFromCharacterCode)
+	k.Register("StringReplace", 0, biStringReplace)
+	k.Register("ToUpperCase", 0, stringMap(strings.ToUpper))
+	k.Register("ToLowerCase", 0, stringMap(strings.ToLower))
+	k.Register("StringReverse", 0, biStringReverse)
+	k.Register("ToString", 0, biToString)
+	k.Register("StringContainsQ", 0, biStringContainsQ)
+	k.Register("StringStartsQ", 0, stringPred2(strings.HasPrefix))
+	k.Register("StringEndsQ", 0, stringPred2(strings.HasSuffix))
+	k.Register("StringSplit", 0, biStringSplit)
+	k.Register("StringRiffle", 0, biStringRiffle)
+	k.Register("StringRepeat", 0, biStringRepeat)
+	k.Register("StringPosition", 0, biStringPosition)
+}
+
+func strArg(n *expr.Normal, i int) (string, bool) {
+	s, ok := n.Arg(i).(*expr.String)
+	if !ok {
+		return "", false
+	}
+	return s.V, true
+}
+
+func biStringLength(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 1 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	return expr.FromInt64(int64(len([]rune(s)))), true
+}
+
+func biStringJoin(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	var b strings.Builder
+	var visit func(e expr.Expr) bool
+	visit = func(e expr.Expr) bool {
+		switch x := e.(type) {
+		case *expr.String:
+			b.WriteString(x.V)
+			return true
+		case *expr.Normal:
+			if l, ok := expr.IsNormal(x, expr.SymList); ok {
+				for _, a := range l.Args() {
+					if !visit(a) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range n.Args() {
+		if !visit(a) {
+			return n, false
+		}
+	}
+	return expr.FromString(b.String()), true
+}
+
+func biStringTake(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 2 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	c, ok := intArg(n, 2)
+	if !ok {
+		return n, false
+	}
+	r := []rune(s)
+	if int(absI64(c)) > len(r) {
+		k.errorf("StringTake: cannot take %d characters from %q", c, s)
+	}
+	if c >= 0 {
+		return expr.FromString(string(r[:c])), true
+	}
+	return expr.FromString(string(r[len(r)+int(c):])), true
+}
+
+func biStringDrop(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 2 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	c, ok := intArg(n, 2)
+	if !ok {
+		return n, false
+	}
+	r := []rune(s)
+	if int(absI64(c)) > len(r) {
+		k.errorf("StringDrop: cannot drop %d characters from %q", c, s)
+	}
+	if c >= 0 {
+		return expr.FromString(string(r[c:])), true
+	}
+	return expr.FromString(string(r[:len(r)+int(c)])), true
+}
+
+func biCharacters(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 1 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	var out []expr.Expr
+	for _, r := range s {
+		out = append(out, expr.FromString(string(r)))
+	}
+	return expr.List(out...), true
+}
+
+func biToCharacterCode(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 1 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	var out []expr.Expr
+	for _, r := range s {
+		out = append(out, expr.FromInt64(int64(r)))
+	}
+	return expr.List(out...), true
+}
+
+func biFromCharacterCode(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 1 {
+		return n, false
+	}
+	switch x := n.Arg(1).(type) {
+	case *expr.Integer:
+		if x.IsMachine() {
+			return expr.FromString(string(rune(x.Int64()))), true
+		}
+	case *expr.Normal:
+		if l, ok := expr.IsNormal(x, expr.SymList); ok {
+			var b strings.Builder
+			for _, a := range l.Args() {
+				i, ok := a.(*expr.Integer)
+				if !ok || !i.IsMachine() {
+					return n, false
+				}
+				b.WriteRune(rune(i.Int64()))
+			}
+			return expr.FromString(b.String()), true
+		}
+	}
+	return n, false
+}
+
+// biStringReplace supports literal rules: StringReplace["s", "a" -> "b"] and
+// rule lists.
+func biStringReplace(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 2 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	rules, ok := collectStringRules(n.Arg(2))
+	if !ok {
+		return n, false
+	}
+	// Single left-to-right scan applying the first matching rule, as the
+	// engine does.
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		applied := false
+		for _, r := range rules {
+			if r.from != "" && strings.HasPrefix(s[i:], r.from) {
+				b.WriteString(r.to)
+				i += len(r.from)
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return expr.FromString(b.String()), true
+}
+
+type stringRule struct{ from, to string }
+
+func collectStringRules(e expr.Expr) ([]stringRule, bool) {
+	if l, ok := expr.IsNormal(e, expr.SymList); ok {
+		var out []stringRule
+		for _, a := range l.Args() {
+			r, ok := collectStringRules(a)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, r...)
+		}
+		return out, true
+	}
+	r, ok := expr.IsNormalN(e, expr.SymRule, 2)
+	if !ok {
+		return nil, false
+	}
+	from, ok1 := r.Arg(1).(*expr.String)
+	to, ok2 := r.Arg(2).(*expr.String)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	return []stringRule{{from.V, to.V}}, true
+}
+
+func stringMap(f func(string) string) Builtin {
+	return func(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+		if n.Len() != 1 {
+			return n, false
+		}
+		s, ok := strArg(n, 1)
+		if !ok {
+			return n, false
+		}
+		return expr.FromString(f(s)), true
+	}
+}
+
+func biStringReverse(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 1 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	r := []rune(s)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return expr.FromString(string(r)), true
+}
+
+func biToString(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 1 {
+		return n, false
+	}
+	if s, ok := n.Arg(1).(*expr.String); ok {
+		return s, true
+	}
+	return expr.FromString(expr.InputForm(n.Arg(1))), true
+}
+
+func biStringContainsQ(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 2 {
+		return n, false
+	}
+	s, ok1 := strArg(n, 1)
+	sub, ok2 := strArg(n, 2)
+	if !ok1 || !ok2 {
+		return n, false
+	}
+	return expr.Bool(strings.Contains(s, sub)), true
+}
+
+func stringPred2(f func(string, string) bool) Builtin {
+	return func(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+		if n.Len() != 2 {
+			return n, false
+		}
+		s, ok1 := strArg(n, 1)
+		p, ok2 := strArg(n, 2)
+		if !ok1 || !ok2 {
+			return n, false
+		}
+		return expr.Bool(f(s, p)), true
+	}
+}
+
+func biStringSplit(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() < 1 || n.Len() > 2 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	sep := " "
+	if n.Len() == 2 {
+		sep, ok = strArg(n, 2)
+		if !ok {
+			return n, false
+		}
+	}
+	var out []expr.Expr
+	for _, part := range strings.Split(s, sep) {
+		if part != "" || n.Len() == 2 {
+			out = append(out, expr.FromString(part))
+		}
+	}
+	return expr.List(out...), true
+}
+
+func biStringRiffle(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() < 1 || n.Len() > 2 {
+		return n, false
+	}
+	l, ok := listArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	sep := " "
+	if n.Len() == 2 {
+		sep, ok = strArg(n, 2)
+		if !ok {
+			return n, false
+		}
+	}
+	parts := make([]string, l.Len())
+	for i := 1; i <= l.Len(); i++ {
+		if s, ok := l.Arg(i).(*expr.String); ok {
+			parts[i-1] = s.V
+		} else {
+			parts[i-1] = expr.InputForm(l.Arg(i))
+		}
+	}
+	return expr.FromString(strings.Join(parts, sep)), true
+}
+
+func biStringRepeat(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 2 {
+		return n, false
+	}
+	s, ok := strArg(n, 1)
+	if !ok {
+		return n, false
+	}
+	c, ok := intArg(n, 2)
+	if !ok || c < 0 {
+		return n, false
+	}
+	return expr.FromString(strings.Repeat(s, int(c))), true
+}
+
+func biStringPosition(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() != 2 {
+		return n, false
+	}
+	s, ok1 := strArg(n, 1)
+	sub, ok2 := strArg(n, 2)
+	if !ok1 || !ok2 || sub == "" {
+		return n, false
+	}
+	var out []expr.Expr
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			out = append(out, expr.List(expr.FromInt64(int64(i+1)), expr.FromInt64(int64(i+len(sub)))))
+		}
+	}
+	return expr.List(out...), true
+}

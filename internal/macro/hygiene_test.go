@@ -1,0 +1,142 @@
+package macro
+
+import (
+	"strings"
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// Adversarial hygiene: user code that reuses the exact binder names of the
+// macro templates (caI, caN, caL, foldAcc, ...) must expand without
+// capture — every template-introduced Module binder is renamed away from
+// any symbol the user mentions.
+
+// templateBinders collects Module-bound symbols of an expansion that carry
+// the hygienic rename marker.
+func hasCapture(e expr.Expr, userNames map[string]bool) (captured string) {
+	expr.Walk(e, func(x expr.Expr) bool {
+		n, ok := expr.IsNormal(x, expr.SymModule)
+		if !ok || n.Len() < 2 {
+			return true
+		}
+		l, ok := expr.IsNormal(n.Arg(1), expr.SymList)
+		if !ok {
+			return true
+		}
+		for _, init := range l.Args() {
+			sym := init
+			if st, ok := expr.IsNormalN(init, expr.SymSet, 2); ok {
+				sym = st.Arg(1)
+			}
+			if s, ok := sym.(*expr.Symbol); ok {
+				// A template binder that still carries a user-visible name
+				// (no ` rename) shadows the user's variable: capture.
+				if userNames[s.Name] {
+					captured = s.Name
+				}
+			}
+		}
+		return true
+	})
+	return captured
+}
+
+func TestMacroHygieneAdversarialNames(t *testing.T) {
+	// Each source uses the template's own binder names as user variables.
+	srcs := []string{
+		// ConstantArray's template binds caL/caN/caI.
+		`Module[{caI = 7, caN = 8, caL = 9}, ConstantArray[caI + caN, caL]]`,
+		// Map/Table-style loops.
+		`Module[{caI = 1}, Map[Function[{x}, x + caI], ConstantArray[0, 3]]]`,
+		// Fold/Nest accumulators.
+		`Module[{acc = 2}, Fold[Plus, acc, ConstantArray[acc, 4]]]`,
+		// Nested expansion: a macro inside a macro's argument.
+		`ConstantArray[ConstantArray[1, 2][[1]], 3]`,
+		// The random-walk NestList form from Figure 1.
+		`Module[{caI = 0}, NestList[Function[{x}, x + caI], 0., 5]]`,
+	}
+	env := DefaultEnv()
+	for _, src := range srcs {
+		e := parser.MustParse(src)
+		users := map[string]bool{}
+		expr.Walk(e, func(x expr.Expr) bool {
+			if s, ok := x.(*expr.Symbol); ok && !strings.Contains(s.Name, "`") {
+				users[s.Name] = true
+			}
+			return true
+		})
+		out, err := env.Expand(e, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		// Drop names the user already bound via their own Module: their
+		// binders legitimately stay.
+		delete(users, "Module")
+		if cap := hasCaptureOutsideUserModules(out, e, users); cap != "" {
+			t.Fatalf("template binder %q captures a user variable in\n%s\n->\n%s",
+				cap, src, expr.FullForm(out))
+		}
+	}
+}
+
+// hasCaptureOutsideUserModules reports a template-introduced binder that
+// collides with a user symbol. User-written Modules (present in the input)
+// keep their binders, so only Modules absent from the input are checked.
+func hasCaptureOutsideUserModules(out, in expr.Expr, users map[string]bool) string {
+	// Collect user module binders from the original source.
+	userBinders := map[string]bool{}
+	expr.Walk(in, func(x expr.Expr) bool {
+		n, ok := expr.IsNormal(x, expr.SymModule)
+		if !ok || n.Len() < 2 {
+			return true
+		}
+		if l, ok := expr.IsNormal(n.Arg(1), expr.SymList); ok {
+			for _, init := range l.Args() {
+				sym := init
+				if st, ok := expr.IsNormalN(init, expr.SymSet, 2); ok {
+					sym = st.Arg(1)
+				}
+				if s, ok := sym.(*expr.Symbol); ok {
+					userBinders[s.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	filtered := map[string]bool{}
+	for name := range users {
+		if !userBinders[name] {
+			filtered[name] = true
+		}
+	}
+	return hasCapture(out, filtered)
+}
+
+func TestMacroExpansionIdempotent(t *testing.T) {
+	// Expanding an already-expanded program changes nothing: the templates
+	// only produce core forms.
+	env := DefaultEnv()
+	srcs := []string{
+		`ConstantArray[0, 5]`,
+		`Map[Function[{x}, x*x], ConstantArray[1, 4]]`,
+		`Fold[Plus, 0, ConstantArray[2, 3]]`,
+		`Table[i*i, {i, 1, 10}]`,
+		`Sum[i, {i, 1, 10}]`,
+	}
+	for _, src := range srcs {
+		once, err := env.Expand(parser.MustParse(src), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		twice, err := env.Expand(once, nil)
+		if err != nil {
+			t.Fatalf("%s (second expansion): %v", src, err)
+		}
+		if !expr.SameQ(once, twice) {
+			t.Fatalf("expansion of %s is not idempotent:\n%s\nvs\n%s",
+				src, expr.FullForm(once), expr.FullForm(twice))
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package macro implements the compiler's hygienic pattern-based macro
+// system (paper §4.2). Macros mimic the engine's pattern substitution with
+// one key distinction: substitution is hygienic — variables introduced by a
+// macro expansion are renamed so they cannot capture user variables.
+//
+// Macros serve two purposes: desugaring high-level constructs to primitive
+// forms, and "always-safe" AST-level optimisations. They are applied in
+// depth-first order until a fixed point is reached.
+package macro
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/pattern"
+)
+
+// Macro is one rewrite rule with an optional applicability predicate
+// (Conditioned in the paper §4.7: rules can be predicated on compile
+// options or analyses).
+type Macro struct {
+	Rule pattern.Rule
+	// When returns whether the rule is enabled for the given compile
+	// options; nil means always enabled.
+	When func(opts map[string]expr.Expr) bool
+}
+
+// Env is a macro environment: an ordered map from head symbols to their
+// macro rules. Environments chain to a parent, so user environments extend
+// the compiler's default environment without mutating it (paper §4.7).
+type Env struct {
+	parent *Env
+	rules  map[*expr.Symbol][]Macro
+	// CondEval evaluates Condition tests inside macro patterns; optional.
+	CondEval pattern.CondFunc
+}
+
+// NewEnv returns an empty macro environment chained to parent (nil for a
+// root environment).
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, rules: map[*expr.Symbol][]Macro{}}
+}
+
+// Register adds macro rules for the given head, preserving the paper's rule
+// ordering: rules are matched most-specific first within one registration
+// batch, and earlier batches take priority.
+func (e *Env) Register(head *expr.Symbol, rules ...pattern.Rule) {
+	ms := make([]Macro, len(rules))
+	prs := append([]pattern.Rule{}, rules...)
+	pattern.SortRules(prs)
+	for i, r := range prs {
+		ms[i] = Macro{Rule: r}
+	}
+	e.rules[head] = append(e.rules[head], ms...)
+}
+
+// RegisterConditioned adds a macro gated on compile options (paper §4.7's
+// Conditioned decorator).
+func (e *Env) RegisterConditioned(head *expr.Symbol, when func(opts map[string]expr.Expr) bool, rules ...pattern.Rule) {
+	for _, r := range rules {
+		e.rules[head] = append(e.rules[head], Macro{Rule: r, When: when})
+	}
+}
+
+// rulesFor returns all rules visible for head, nearest environment first.
+func (e *Env) rulesFor(head *expr.Symbol) []Macro {
+	var out []Macro
+	for env := e; env != nil; env = env.parent {
+		out = append(out, env.rules[head]...)
+	}
+	return out
+}
+
+var hygieneCounter int64
+
+// freshSym returns a hygienic rename of base that cannot collide with user
+// symbols (user code cannot contain the marker).
+func freshSym(base *expr.Symbol) *expr.Symbol {
+	n := atomic.AddInt64(&hygieneCounter, 1)
+	return expr.Sym(fmt.Sprintf("%s`h%d", base.Name, n))
+}
+
+// Expand rewrites e with the environment's macros, depth-first, to a fixed
+// point (paper §4.2: "Macros are evaluated in depth-first order and
+// terminate when a fixed point is reached"). opts are the compile options
+// consulted by conditioned macros.
+func (e *Env) Expand(root expr.Expr, opts map[string]expr.Expr) (expr.Expr, error) {
+	const maxRounds = 10_000
+	rounds := 0
+	var rewrite func(x expr.Expr) (expr.Expr, error)
+	rewrite = func(x expr.Expr) (expr.Expr, error) {
+		for {
+			rounds++
+			if rounds > maxRounds {
+				return nil, fmt.Errorf("macro expansion did not reach a fixed point (last at %s)",
+					expr.InputForm(x))
+			}
+			// Depth-first: expand children first.
+			if n, ok := x.(*expr.Normal); ok {
+				head, err := rewrite(n.Head())
+				if err != nil {
+					return nil, err
+				}
+				changed := !expr.SameQ(head, n.Head())
+				args := make([]expr.Expr, n.Len())
+				for i := 1; i <= n.Len(); i++ {
+					a, err := rewrite(n.Arg(i))
+					if err != nil {
+						return nil, err
+					}
+					args[i-1] = a
+					if !expr.SameQ(a, n.Arg(i)) {
+						changed = true
+					}
+				}
+				if changed {
+					x = expr.New(head, args...)
+				}
+			}
+			out, fired, err := e.expandOnce(x, opts)
+			if err != nil {
+				return nil, err
+			}
+			if !fired {
+				return x, nil
+			}
+			x = out
+		}
+	}
+	return rewrite(root)
+}
+
+// expandOnce applies the first matching macro at the root of x.
+func (e *Env) expandOnce(x expr.Expr, opts map[string]expr.Expr) (expr.Expr, bool, error) {
+	n, ok := x.(*expr.Normal)
+	if !ok {
+		return x, false, nil
+	}
+	head, ok := n.Head().(*expr.Symbol)
+	if !ok {
+		return x, false, nil
+	}
+	for _, m := range e.rulesFor(head) {
+		if m.When != nil && !m.When(opts) {
+			continue
+		}
+		b, matched := pattern.MatchCond(m.Rule.LHS, x, e.CondEval)
+		if !matched {
+			continue
+		}
+		out := hygienicSubstitute(m.Rule.RHS, b)
+		if expr.SameQ(out, x) {
+			continue // identity rewrite; try the next rule to avoid loops
+		}
+		return out, true, nil
+	}
+	return x, false, nil
+}
+
+// hygienicSubstitute substitutes bindings into the macro template while
+// renaming template-introduced binders (Module/With locals written in the
+// template itself) to fresh names, so expansions cannot capture user
+// variables (paper §4.2, hygiene).
+func hygienicSubstitute(template expr.Expr, b pattern.Bindings) expr.Expr {
+	renames := pattern.Bindings{}
+	collectTemplateBinders(template, b, renames)
+	if len(renames) > 0 {
+		template = pattern.Substitute(template, renames)
+	}
+	return pattern.Substitute(template, b)
+}
+
+// collectTemplateBinders finds symbols bound by scoping constructs that are
+// written literally in the template (not bound from the matched input) and
+// assigns them fresh names.
+func collectTemplateBinders(t expr.Expr, b pattern.Bindings, renames pattern.Bindings) {
+	n, ok := t.(*expr.Normal)
+	if !ok {
+		return
+	}
+	if h, ok := n.Head().(*expr.Symbol); ok && (h == expr.SymModule || h == expr.SymWith || h == expr.SymBlock) && n.Len() == 2 {
+		if vars, ok := expr.IsNormal(n.Arg(1), expr.SymList); ok {
+			for _, v := range vars.Args() {
+				var name *expr.Symbol
+				switch x := v.(type) {
+				case *expr.Symbol:
+					name = x
+				case *expr.Normal:
+					if s, ok := expr.IsNormalN(x, expr.SymSet, 2); ok {
+						name, _ = s.Arg(1).(*expr.Symbol)
+					}
+				}
+				if name == nil {
+					continue
+				}
+				if _, fromInput := b[name]; fromInput {
+					continue // bound from user code; not template-introduced
+				}
+				if _, done := renames[name]; !done {
+					renames[name] = freshSym(name)
+				}
+			}
+		}
+	}
+	collectTemplateBinders(n.Head(), b, renames)
+	for _, a := range n.Args() {
+		collectTemplateBinders(a, b, renames)
+	}
+}

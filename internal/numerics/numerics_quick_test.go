@@ -1,0 +1,118 @@
+package numerics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// Property tests for the auto-compiling numerics layer (the §1 FindRoot
+// path): roots actually satisfy the equation, integrals match closed forms,
+// and the compiled and interpreted evaluation paths agree.
+
+// Root residual: for random cubic polynomials with a guaranteed sign change
+// on [0, 2], the root FindRoot returns must satisfy |f(x*)| < 1e-8.
+func TestFindRootResidualQuick(t *testing.T) {
+	k := newK()
+	f := func(a8, b8 int8) bool {
+		a := float64(a8%5) + 0.5 // 0.5..4.5 in magnitude
+		b := float64(b8 % 7)
+		// f(x) = x^3 + a*x - (a + b^2 + 1): f(0) < 0, grows without bound,
+		// so a real root exists; Newton from 1.0 must land on it.
+		src := fmt.Sprintf("x^3 + %v*x - %v", math.Abs(a), math.Abs(a)+b*b+1)
+		eq := parser.MustParse(src)
+		root, err := FindRoot(k, eq, expr.Sym("x"), 1.0, FindRootOptions{})
+		if err != nil {
+			t.Logf("%s: %v", src, err)
+			return false
+		}
+		resid := math.Pow(root, 3) + math.Abs(a)*root - (math.Abs(a) + b*b + 1)
+		return math.Abs(resid) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closed forms: a battery of integrals with exact answers, each run through
+// both the interpreted and the auto-compiled evaluator.
+func TestNIntegrateClosedForms(t *testing.T) {
+	k := newK()
+	cases := []struct {
+		src  string
+		a, b float64
+		want float64
+		tol  float64
+	}{
+		{"x^2", 0, 3, 9, 1e-6},
+		{"Cos[x]", 0, math.Pi / 2, 1, 1e-6},
+		{"Exp[x]", 0, 1, math.E - 1, 1e-6},
+		{"1/x", 1, math.E, 1, 1e-6},
+		{"x*Sin[x]", 0, math.Pi, math.Pi, 1e-6},
+		// Sqrt has an endpoint derivative singularity, so composite Simpson
+		// converges slowly; accuracy, not agreement, is the limit here.
+		{"Sqrt[x]", 0, 4, 16.0 / 3, 1e-3},
+	}
+	for _, cse := range cases {
+		for _, auto := range []bool{true, false} {
+			v, err := NIntegrate(k, parser.MustParse(cse.src), expr.Sym("x"),
+				cse.a, cse.b, 400, auto)
+			if err != nil {
+				t.Fatalf("%s auto=%v: %v", cse.src, auto, err)
+			}
+			if math.Abs(v-cse.want) > cse.tol {
+				t.Fatalf("∫%s on [%v,%v] auto=%v = %v, want %v",
+					cse.src, cse.a, cse.b, auto, v, cse.want)
+			}
+		}
+	}
+}
+
+// The compiled and interpreted integrators agree with each other to far
+// tighter tolerance than either agrees with the closed form.
+func TestNIntegrateCompiledInterpretedAgreeQuick(t *testing.T) {
+	k := newK()
+	f := func(c8 uint8) bool {
+		c := float64(c8%9)/4 + 0.25
+		src := fmt.Sprintf("Sin[%v*x] + x*%v", c, c)
+		eq := parser.MustParse(src)
+		vc, err1 := NIntegrate(k, eq, expr.Sym("x"), 0, 2, 100, true)
+		vi, err2 := NIntegrate(k, eq, expr.Sym("x"), 0, 2, 100, false)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(vc-vi) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FindRoot on transcendental equations the paper's §1 example belongs to.
+func TestFindRootTranscendentalBattery(t *testing.T) {
+	k := newK()
+	cases := []struct {
+		src  string
+		x0   float64
+		want float64
+	}{
+		{"Cos[x] - x", 1, 0.7390851332151607},
+		{"Exp[x] - 2", 0, math.Log(2)},
+		{"x^2 - 2", 1, math.Sqrt2},
+		{"Sin[x]", 3, math.Pi},
+		{"ArcTan[x] - 1", 1, math.Tan(1)},
+	}
+	for _, cse := range cases {
+		got, err := FindRoot(k, parser.MustParse(cse.src), expr.Sym("x"), cse.x0, FindRootOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", cse.src, err)
+		}
+		if math.Abs(got-cse.want) > 1e-9 {
+			t.Fatalf("FindRoot[%s] = %v, want %v", cse.src, got, cse.want)
+		}
+	}
+}

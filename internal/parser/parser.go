@@ -1,0 +1,437 @@
+package parser
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"wolfc/internal/expr"
+)
+
+// Parse parses src as a single expression; trailing input is an error.
+func Parse(src string) (expr.Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errAt(t, "unexpected %q after expression", t.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for tests and static program text.
+func MustParse(src string) expr.Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse(%q): %v", src, err))
+	}
+	return e
+}
+
+// ParseAll parses a newline-separated sequence of top-level expressions.
+func ParseAll(src string) ([]expr.Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []expr.Expr
+	for {
+		p.skipNewlines()
+		if p.peek().kind == tokEOF {
+			return out, nil
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if t := p.peek(); t.kind != tokNewline && t.kind != tokEOF {
+			return nil, p.errAt(t, "unexpected %q after expression", t.text)
+		}
+	}
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{src: src, toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) backup()     { p.i-- }
+func (p *parser) skipNewlines() {
+	for p.toks[p.i].kind == tokNewline {
+		p.i++
+	}
+}
+
+func (p *parser) errAt(t token, format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(t.pos, len(p.src))], "\n")
+	return fmt.Errorf("parse error line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) expectPunct(op string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != op {
+		return p.errAt(t, "expected %q, found %q", op, t.text)
+	}
+	return nil
+}
+
+// Operator precedences; must agree with the InputForm printer in expr.
+const (
+	precCompound = 10
+	precSet      = 20
+	precFunc     = 25
+	precRule     = 35
+	precCond     = 38
+	precReplace  = 30
+	precOr       = 40
+	precAnd      = 50
+	precNot      = 55
+	precCompare  = 60
+	precSpan     = 65
+	precPlus     = 70
+	precTimes    = 80
+	precStrJoin  = 85
+	precUnary    = 90
+	precPower    = 100
+	precApply    = 108
+	precMapAt    = 110
+	precPostfix  = 120
+)
+
+type infixSpec struct {
+	head  string
+	prec  int
+	right bool
+	nary  bool // flatten chains of the same operator into one Normal
+}
+
+var infixTable = map[string]infixSpec{
+	"=":   {"Set", precSet, true, false},
+	":=":  {"SetDelayed", precSet, true, false},
+	"+=":  {"AddTo", precSet, true, false},
+	"-=":  {"SubtractFrom", precSet, true, false},
+	"*=":  {"TimesBy", precSet, true, false},
+	"/=":  {"DivideBy", precSet, true, false},
+	"->":  {"Rule", precRule, true, false},
+	":>":  {"RuleDelayed", precRule, true, false},
+	"/.":  {"ReplaceAll", precReplace, false, false},
+	"/;":  {"Condition", precCond, false, false},
+	"||":  {"Or", precOr, false, true},
+	"&&":  {"And", precAnd, false, true},
+	"==":  {"Equal", precCompare, false, true},
+	"!=":  {"Unequal", precCompare, false, true},
+	"===": {"SameQ", precCompare, false, true},
+	"=!=": {"UnsameQ", precCompare, false, true},
+	"<":   {"Less", precCompare, false, true},
+	"<=":  {"LessEqual", precCompare, false, true},
+	">":   {"Greater", precCompare, false, true},
+	">=":  {"GreaterEqual", precCompare, false, true},
+	"+":   {"Plus", precPlus, false, true},
+	"-":   {"Subtract", precPlus, false, false},
+	"*":   {"Times", precTimes, false, true},
+	"/":   {"Divide", precTimes, false, false},
+	"^":   {"Power", precPower, true, false},
+	"<>":  {"StringJoin", precStrJoin, false, true},
+	";;":  {"Span", precSpan, false, false},
+	"@@":  {"Apply", precApply, true, false},
+	"/@":  {"Map", precMapAt, true, false},
+}
+
+// parseExpr parses an expression whose infix operators all bind tighter than
+// minPrec.
+func (p *parser) parseExpr(minPrec int) (expr.Expr, error) {
+	lhs, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		switch t.text {
+		case ";":
+			if precCompound < minPrec {
+				return lhs, nil
+			}
+			lhs, err = p.parseCompound(lhs)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		case "&":
+			if precFunc < minPrec {
+				return lhs, nil
+			}
+			p.next()
+			lhs = expr.New(expr.SymFunction, lhs)
+			continue
+		case "++":
+			if precPostfix < minPrec {
+				return lhs, nil
+			}
+			p.next()
+			lhs = expr.NewS("Increment", lhs)
+			continue
+		case "--":
+			if precPostfix < minPrec {
+				return lhs, nil
+			}
+			p.next()
+			lhs = expr.NewS("Decrement", lhs)
+			continue
+		case "@":
+			if precMapAt < minPrec {
+				return lhs, nil
+			}
+			p.next()
+			rhs, err := p.parseExpr(precMapAt)
+			if err != nil {
+				return nil, err
+			}
+			lhs = expr.New(lhs, rhs)
+			continue
+		case "[":
+			if precPostfix < minPrec {
+				return lhs, nil
+			}
+			lhs, err = p.parseBracketed(lhs)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		spec, ok := infixTable[t.text]
+		if !ok || spec.prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		childMin := spec.prec + 1
+		if spec.right {
+			childMin = spec.prec
+		}
+		rhs, err := p.parseExpr(childMin)
+		if err != nil {
+			return nil, err
+		}
+		head := expr.Sym(spec.head)
+		if spec.nary {
+			if n, ok := expr.IsNormal(lhs, head); ok {
+				lhs = n.WithArgs(append(append([]expr.Expr{}, n.Args()...), rhs)...)
+				continue
+			}
+		}
+		lhs = expr.New(head, lhs, rhs)
+	}
+}
+
+// parseCompound parses a ; chain starting from first. A trailing semicolon
+// (followed by a terminator) contributes Null, matching the language.
+func (p *parser) parseCompound(first expr.Expr) (expr.Expr, error) {
+	args := []expr.Expr{first}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct || t.text != ";" {
+			break
+		}
+		p.next()
+		nt := p.peek()
+		if nt.kind == tokEOF || nt.kind == tokNewline ||
+			(nt.kind == tokPunct && (nt.text == "]" || nt.text == ")" || nt.text == "}" || nt.text == ",")) {
+			args = append(args, expr.SymNull)
+			break
+		}
+		e, err := p.parseExpr(precCompound + 1)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	return expr.New(expr.SymCompoundExpression, args...), nil
+}
+
+// parseBracketed parses f[...] or Part f[[...]] given the already-parsed head.
+func (p *parser) parseBracketed(head expr.Expr) (expr.Expr, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokPunct && t.text == "[" {
+		// Part: a[[i, j]]
+		p.next()
+		args, err := p.parseArgList("]")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return expr.NewS("Part", append([]expr.Expr{head}, args...)...), nil
+	}
+	args, err := p.parseArgList("]")
+	if err != nil {
+		return nil, err
+	}
+	return expr.New(head, args...), nil
+}
+
+// parseArgList parses a comma-separated list up to and including closer.
+func (p *parser) parseArgList(closer string) ([]expr.Expr, error) {
+	var args []expr.Expr
+	p.skipNewlines()
+	if t := p.peek(); t.kind == tokPunct && t.text == closer {
+		p.next()
+		return args, nil
+	}
+	for {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		t := p.next()
+		if t.kind == tokPunct && t.text == closer {
+			return args, nil
+		}
+		if t.kind != tokPunct || t.text != "," {
+			return nil, p.errAt(t, "expected %q or \",\", found %q", closer, t.text)
+		}
+		p.skipNewlines()
+	}
+}
+
+func (p *parser) parsePrefix() (expr.Expr, error) {
+	p.skipNewlinesInOperand()
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		if v, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return expr.FromInt64(v), nil
+		}
+		b, ok := new(big.Int).SetString(t.text, 10)
+		if !ok {
+			return nil, p.errAt(t, "bad integer %q", t.text)
+		}
+		return expr.FromBig(b), nil
+	case tokReal:
+		text := strings.Replace(t.text, "*^", "e", 1)
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, p.errAt(t, "bad real %q", t.text)
+		}
+		return expr.FromFloat(v), nil
+	case tokString:
+		return expr.FromString(t.text), nil
+	case tokIdent:
+		return expr.Sym(t.text), nil
+	case tokSlot:
+		if t.text == "" {
+			return expr.New(expr.SymSlot, expr.FromInt64(1)), nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errAt(t, "bad slot %q", t.text)
+		}
+		return expr.New(expr.SymSlot, expr.FromInt64(v)), nil
+	case tokPattern:
+		return buildPattern(t), nil
+	case tokPunct:
+		switch t.text {
+		case "(":
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "{":
+			args, err := p.parseArgList("}")
+			if err != nil {
+				return nil, err
+			}
+			return expr.List(args...), nil
+		case "-":
+			operand, err := p.parseExpr(precUnary)
+			if err != nil {
+				return nil, err
+			}
+			switch v := operand.(type) {
+			case *expr.Integer:
+				if v.IsMachine() {
+					return expr.FromInt64(-v.Int64()), nil
+				}
+				return expr.FromBig(new(big.Int).Neg(v.Big())), nil
+			case *expr.Real:
+				return expr.FromFloat(-v.V), nil
+			}
+			return expr.NewS("Minus", operand), nil
+		case "+":
+			return p.parseExpr(precUnary)
+		case "!":
+			operand, err := p.parseExpr(precNot)
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewS("Not", operand), nil
+		}
+	case tokEOF:
+		return nil, p.errAt(t, "unexpected end of input")
+	}
+	return nil, p.errAt(t, "unexpected token %q", t.text)
+}
+
+// skipNewlinesInOperand skips newlines when an operand is expected, so that
+// "a =\n 1" parses as one expression.
+func (p *parser) skipNewlinesInOperand() {
+	for p.toks[p.i].kind == tokNewline {
+		p.i++
+	}
+}
+
+func buildPattern(t token) expr.Expr {
+	var blank expr.Expr
+	var headArgs []expr.Expr
+	if t.patHead != "" {
+		headArgs = []expr.Expr{expr.Sym(t.patHead)}
+	}
+	switch t.patCount {
+	case 1:
+		blank = expr.New(expr.SymBlank, headArgs...)
+	case 2:
+		blank = expr.NewS("BlankSequence", headArgs...)
+	default:
+		blank = expr.NewS("BlankNullSequence", headArgs...)
+	}
+	if t.patName == "" {
+		return blank
+	}
+	return expr.New(expr.SymPattern, expr.Sym(t.patName), blank)
+}

@@ -1,0 +1,320 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wolfc/internal/expr"
+)
+
+// full parses src and returns the FullForm string, or ERROR:<msg>.
+func full(t *testing.T, src string) string {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		return "ERROR:" + err.Error()
+	}
+	return expr.FullForm(e)
+}
+
+func TestParseAtoms(t *testing.T) {
+	cases := map[string]string{
+		"42":                             "42",
+		"-7":                             "-7",
+		"123456789012345678901234567890": "123456789012345678901234567890",
+		"1.5":                            "1.5",
+		"2.":                             "2.",
+		"1.5e-3":                         "0.0015",
+		"1.5*^2":                         "150.",
+		`"hi"`:                           `"hi"`,
+		`"a\nb"`:                         `"a\nb"`,
+		"x":                              "x",
+		"$Context":                       "$Context",
+		"foo`bar":                        "foo`bar",
+		"#":                              "Slot[1]",
+		"#3":                             "Slot[3]",
+		"_":                              "Blank[]",
+		"_Integer":                       "Blank[Integer]",
+		"x_":                             "Pattern[x, Blank[]]",
+		"x_Real":                         "Pattern[x, Blank[Real]]",
+		"x__":                            "Pattern[x, BlankSequence[]]",
+		"___":                            "BlankNullSequence[]",
+		"rest__":                         "Pattern[rest, BlankSequence[]]",
+	}
+	for src, want := range cases {
+		if got := full(t, src); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]string{
+		"a+b":                    "Plus[a, b]",
+		"a+b+c":                  "Plus[a, b, c]",
+		"a-b":                    "Subtract[a, b]",
+		"a-b-c":                  "Subtract[Subtract[a, b], c]",
+		"a*b*c":                  "Times[a, b, c]",
+		"a/b":                    "Divide[a, b]",
+		"a+b*c":                  "Plus[a, Times[b, c]]",
+		"(a+b)*c":                "Times[Plus[a, b], c]",
+		"a^b^c":                  "Power[a, Power[b, c]]",
+		"-x":                     "Minus[x]",
+		"-x+y":                   "Plus[Minus[x], y]",
+		"2^-3":                   "Power[2, -3]",
+		"a==b":                   "Equal[a, b]",
+		"a==b==c":                "Equal[a, b, c]",
+		"a<b":                    "Less[a, b]",
+		"a<=b":                   "LessEqual[a, b]",
+		"a!=b":                   "Unequal[a, b]",
+		"a===b":                  "SameQ[a, b]",
+		"a=!=b":                  "UnsameQ[a, b]",
+		"a&&b&&c":                "And[a, b, c]",
+		"a||b":                   "Or[a, b]",
+		"!p":                     "Not[p]",
+		"!p&&q":                  "And[Not[p], q]",
+		"a->b":                   "Rule[a, b]",
+		"a:>b":                   "RuleDelayed[a, b]",
+		"x/.a->b":                "ReplaceAll[x, Rule[a, b]]",
+		"a=1":                    "Set[a, 1]",
+		"a:=b":                   "SetDelayed[a, b]",
+		"a+=2":                   "AddTo[a, 2]",
+		"a-=2":                   "SubtractFrom[a, 2]",
+		"i++":                    "Increment[i]",
+		"i--":                    "Decrement[i]",
+		"a=b=c":                  "Set[a, Set[b, c]]",
+		"f@x":                    "f[x]",
+		"f@g@x":                  "f[g[x]]",
+		"f/@list":                "Map[f, list]",
+		"f@@list":                "Apply[f, list]",
+		"a;b":                    "CompoundExpression[a, b]",
+		"a;b;":                   "CompoundExpression[a, b, Null]",
+		"a=1;a":                  "CompoundExpression[Set[a, 1], a]",
+		"#+1&":                   "Function[Plus[Slot[1], 1]]",
+		"(#^2&)[3]":              "Function[Power[Slot[1], 2]][3]",
+		"a<b&&b<c":               "And[Less[a, b], Less[b, c]]",
+		`"a"<>"b"`:               `StringJoin["a", "b"]`,
+		`"a" <> "b" <> "c"`:      `StringJoin["a", "b", "c"]`,
+		`s <> "x" == t`:          `Equal[StringJoin[s, "x"], t]`,
+		`StringLength[a <> b]+1`: "Plus[StringLength[StringJoin[a, b]], 1]",
+		"v[[2 ;; -1]]":           "Part[v, Span[2, -1]]",
+		"v[[a+1 ;; b-1]]":        "Part[v, Span[Plus[a, 1], Subtract[b, 1]]]",
+	}
+	for src, want := range cases {
+		if got := full(t, src); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseBrackets(t *testing.T) {
+	cases := map[string]string{
+		"f[]":            "f[]",
+		"f[x]":           "f[x]",
+		"f[x, y]":        "f[x, y]",
+		"f[x][y]":        "f[x][y]",
+		"{}":             "List[]",
+		"{1, 2, 3}":      "List[1, 2, 3]",
+		"{{1, 2}, {3}}":  "List[List[1, 2], List[3]]",
+		"a[[1]]":         "Part[a, 1]",
+		"a[[i, j]]":      "Part[a, i, j]",
+		"a[[f[1]]]":      "Part[a, f[1]]",
+		"a[[1]][[2]]":    "Part[Part[a, 1], 2]",
+		"f[a[[i]]]":      "f[Part[a, i]]",
+		"Sin[x]+Cos[y]":  "Plus[Sin[x], Cos[y]]",
+		"f[{1, 2}, g[]]": "f[List[1, 2], g[]]",
+	}
+	for src, want := range cases {
+		if got := full(t, src); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseProgramExamples(t *testing.T) {
+	// Real programs from the paper.
+	cases := map[string]string{
+		"fib = Function[{n}, If[n < 1, 1, fib[n-1]+fib[n-2]]]": "Set[fib, Function[List[n], If[Less[n, 1], 1, Plus[fib[Subtract[n, 1]], fib[Subtract[n, 2]]]]]]",
+		"Module[{a=1,b=1},a+b+Module[{a=3},a]]":                "Module[List[Set[a, 1], Set[b, 1]], Plus[a, b, Module[List[Set[a, 3]], a]]]",
+		"i=0;While[True,If[i>3,i--,i++]]":                      "CompoundExpression[Set[i, 0], While[True, If[Greater[i, 3], Decrement[i], Increment[i]]]]",
+		"And[x_, y_] -> If[x === True, y === True, False]":     "Rule[And[Pattern[x, Blank[]], Pattern[y, Blank[]]], If[SameQ[x, True], SameQ[y, True], False]]",
+		"Typed[arg, \"MachineInteger\"]":                       `Typed[arg, "MachineInteger"]`,
+	}
+	for src, want := range cases {
+		if got := full(t, src); got != want {
+			t.Errorf("Parse(%q) =\n  %s, want\n  %s", src, got, want)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	got := full(t, "1 + (* a comment (* nested *) here *) 2")
+	if got != "Plus[1, 2]" {
+		t.Fatalf("comment parse = %s", got)
+	}
+}
+
+func TestParseMultiline(t *testing.T) {
+	src := `
+a = 1
+b = a + 2
+f[x_] := x^2
+`
+	exprs, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 3 {
+		t.Fatalf("got %d statements, want 3", len(exprs))
+	}
+	if expr.FullForm(exprs[2]) != "SetDelayed[f[Pattern[x, Blank[]]], Power[x, 2]]" {
+		t.Fatalf("stmt 3 = %s", expr.FullForm(exprs[2]))
+	}
+	// Continuation across newline after an operator.
+	e, err := Parse("a = \n 1 + \n 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr.FullForm(e) != "Set[a, Plus[1, 2]]" {
+		t.Fatalf("continuation = %s", expr.FullForm(e))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"f[",
+		"f[1,",
+		"(a+b",
+		"{1, 2",
+		"a +",
+		`"unterminated`,
+		"a ~ b",
+		"1 2", // no implicit multiplication in this grammar
+		"(* unterminated comment",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// Property: InputForm printing round-trips through the parser for randomly
+// shaped arithmetic trees.
+func TestRoundTripQuick(t *testing.T) {
+	type node struct {
+		depth int
+		seed  int64
+	}
+	var build func(depth int, seed int64) expr.Expr
+	build = func(depth int, seed int64) expr.Expr {
+		if depth <= 0 {
+			switch seed % 4 {
+			case 0:
+				return expr.FromInt64(seed % 100)
+			case 1:
+				return expr.Sym("x")
+			case 2:
+				return expr.FromFloat(float64(seed%7) + 0.5)
+			default:
+				return expr.Sym("y")
+			}
+		}
+		a := build(depth-1, seed/2)
+		b := build(depth-1, seed/3+1)
+		switch seed % 5 {
+		case 0:
+			return expr.NewS("Plus", a, b)
+		case 1:
+			return expr.NewS("Times", a, b)
+		case 2:
+			return expr.NewS("Power", a, b)
+		case 3:
+			return expr.NewS("f", a, b)
+		default:
+			return expr.List(a, b)
+		}
+	}
+	f := func(depth uint8, seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		e := build(int(depth%4), seed)
+		// The parser flattens nested Plus/Times chains (Flat heads), so an
+		// exact round trip is not expected; instead the print→parse cycle
+		// must reach a fixed point after one normalisation.
+		src := expr.InputForm(e)
+		got, err := Parse(src)
+		if err != nil {
+			t.Logf("failed to reparse %q: %v", src, err)
+			return false
+		}
+		norm := expr.InputForm(got)
+		got2, err := Parse(norm)
+		if err != nil {
+			t.Logf("failed to reparse normalised %q: %v", norm, err)
+			return false
+		}
+		return expr.InputForm(got2) == norm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Robustness: arbitrary input — including invalid UTF-8 and operator soup —
+// must produce a parse error or an expression, never a panic.
+func TestParserNeverPanicsQuick(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		_, _ = ParseAll(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Directed soup the uniform generator rarely produces.
+	soup := []string{
+		"[[[[", "]]]]", "a[[", ";;", "&&&&", "x_/;/;", "#&#&", "1..2",
+		"(*", "*)", "\"\\", "a<>", "<>", "-", "--", "f[,]", "{,}",
+		"a =!=", "1 *^ 2", "x___y___", "`", "a``b", "\x00\x01", "𝒻[x]",
+	}
+	for _, s := range soup {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", s, r)
+				}
+			}()
+			_, _ = Parse(s)
+		}()
+	}
+}
+
+func TestErrorsMentionLine(t *testing.T) {
+	_, err := Parse("a = 1 +\nb = ]")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should mention line 2, got %v", err)
+	}
+}
+
+func TestConditionOperator(t *testing.T) {
+	cases := map[string]string{
+		"x_ /; x > 0":            "Condition[Pattern[x, Blank[]], Greater[x, 0]]",
+		"f[x_] /; EvenQ[x] := 1": "SetDelayed[Condition[f[Pattern[x, Blank[]]], EvenQ[x]], 1]",
+		// /; binds tighter than :>, so the condition attaches to the RHS.
+		"a :> b /; c": "RuleDelayed[a, Condition[b, c]]",
+	}
+	for src, want := range cases {
+		if got := full(t, src); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package passes
+
+import (
+	"wolfc/internal/expr"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+func exprNull() expr.Expr { return expr.SymNull }
+
+// InsertCopies implements the static half of the mutability protocol (F5,
+// §4.5): for each Part assignment whose tensor operand is still live
+// afterwards — another name aliases it and reads it later — an explicit
+// Native`Copy is inserted so the mutation cannot be observed through the
+// alias. The dynamic half (the Shared flag on values entering from the
+// interpreter) is handled by the runtime's copy-on-write.
+//
+// With DisableCopyElision set, every Part assignment copies — the ablation
+// matching the paper's QSort discussion.
+func InsertCopies(mod *wir.Module, opts Options) {
+	for _, f := range mod.Funcs {
+		lv := ComputeLiveness(f)
+		for _, b := range f.Blocks {
+			for idx := 0; idx < len(b.Instrs); idx++ {
+				in := b.Instrs[idx]
+				if in.Op != wir.OpCall || !isSetPart(in.Callee) || len(in.Args) == 0 {
+					continue
+				}
+				tensor := in.Args[0]
+				needCopy := opts.DisableCopyElision
+				if !needCopy {
+					needCopy = lv.LiveAfter(b, idx, tensor)
+				}
+				if !needCopy {
+					continue
+				}
+				cp := &wir.Instr{
+					IDNum:  nextID(f),
+					Op:     wir.OpCall,
+					Callee: "Native`Copy",
+					Native: "copy_tensor",
+					Ty:     tensor.Type(),
+					Block:  b,
+				}
+				cp.Args = []wir.Value{tensor}
+				cp.SetProp("overload", &types.FuncDef{Name: "Native`Copy", Native: "copy_tensor"})
+				b.Instrs = append(b.Instrs[:idx], append([]*wir.Instr{cp}, b.Instrs[idx:]...)...)
+				idx++ // now pointing at the SetPart again
+				b.Instrs[idx].Args[0] = cp
+			}
+		}
+	}
+}
+
+// isSetPart matches only the checked, rebinding Part assignment produced by
+// user code (w[[i]] = v). The Unsafe variant is emitted by macro-generated
+// loops filling freshly allocated lists in place without rebinding; copying
+// those would discard the writes, and freshness makes the copy unnecessary.
+func isSetPart(callee string) bool {
+	return callee == "Native`SetPart"
+}
+
+// InsertRefCounts implements the memory-management pass (F7, §4.5): for
+// every memory-managed value, a MemoryAcquire is placed at the head of its
+// live interval and a MemoryRelease at the tail. On this backend the
+// reference counts drive copy-on-write (the host garbage collector owns the
+// storage); acquire/release are polymorphic no-ops for unmanaged types
+// exactly as the paper describes.
+func InsertRefCounts(mod *wir.Module, env *types.Env) {
+	for _, f := range mod.Funcs {
+		lv := ComputeLiveness(f)
+		for _, b := range f.Blocks {
+			// Find the last use in this block of each managed value that
+			// dies here.
+			lastUse := map[wir.Value]int{}
+			for idx, in := range b.Instrs {
+				for _, a := range in.Args {
+					if managedValue(env, a) {
+						lastUse[a] = idx
+					}
+				}
+			}
+			var inserts []struct {
+				at   int
+				kind string
+				val  wir.Value
+			}
+			for idx, in := range b.Instrs {
+				// Acquire at definition of a managed value.
+				if in.Op == wir.OpCall && managedValue(env, in) && !in.IsTerminator() {
+					inserts = append(inserts, struct {
+						at   int
+						kind string
+						val  wir.Value
+					}{idx, "acquire", in})
+				}
+			}
+			for v, idx := range lastUse {
+				if !lv.LiveOut[b][v] {
+					inserts = append(inserts, struct {
+						at   int
+						kind string
+						val  wir.Value
+					}{idx, "release", v})
+				}
+			}
+			if len(inserts) == 0 {
+				continue
+			}
+			// Apply inserts back to front so indices stay valid; releases
+			// go after the instruction, acquires too (after definition).
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				var after []*wir.Instr
+				for _, ins := range inserts {
+					if ins.at != i {
+						continue
+					}
+					native := "memory_acquire"
+					callee := "Native`MemoryAcquire"
+					if ins.kind == "release" {
+						native = "memory_release"
+						callee = "Native`MemoryRelease"
+					}
+					rc := &wir.Instr{
+						IDNum:  nextID(f),
+						Op:     wir.OpCall,
+						Callee: callee,
+						Native: native,
+						Ty:     types.TVoid,
+						Block:  b,
+						Args:   []wir.Value{ins.val},
+					}
+					rc.SetProp("overload", &types.FuncDef{Name: callee, Native: native})
+					after = append(after, rc)
+				}
+				if len(after) == 0 {
+					continue
+				}
+				if b.Instrs[i].IsTerminator() {
+					// Insert before the terminator.
+					rest := append(after, b.Instrs[i])
+					b.Instrs = append(b.Instrs[:i], rest...)
+				} else {
+					rest := append([]*wir.Instr{b.Instrs[i]}, after...)
+					b.Instrs = append(b.Instrs[:i], append(rest, b.Instrs[i+1:]...)...)
+				}
+			}
+		}
+	}
+}
+
+// managedValue reports whether the value's type is in the MemoryManaged
+// class (paper §4.4 lists "MemoryManaged" among the type classes).
+func managedValue(env *types.Env, v wir.Value) bool {
+	t := v.Type()
+	if t == nil {
+		return false
+	}
+	switch v.(type) {
+	case *wir.Instr, *wir.Param:
+		return env.MemberOf(t, "MemoryManaged")
+	}
+	return false
+}

@@ -1,0 +1,369 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"wolfc/internal/binding"
+	"wolfc/internal/infer"
+	"wolfc/internal/macro"
+	"wolfc/internal/parser"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// buildTWIR compiles source to a typed module without running passes.
+func buildTWIR(t *testing.T, src string) *wir.Module {
+	t.Helper()
+	env := macro.DefaultEnv()
+	e, err := env.Expand(parser.MustParse(src), nil)
+	if err != nil {
+		t.Fatalf("macro: %v", err)
+	}
+	e = macro.ExpandSlots(e)
+	res, err := binding.Analyze(e)
+	if err != nil {
+		t.Fatalf("binding: %v", err)
+	}
+	tenv := types.Builtin()
+	mod, err := wir.Lower(res, tenv)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if err := infer.Infer(mod, tenv); err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	return mod
+}
+
+func countInstrs(f *wir.Function, pred func(*wir.Instr) bool) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if pred(in) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestDominators(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]`)
+	f := mod.Main()
+	dom := ComputeDominators(f)
+	entry := f.Entry()
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b) {
+			t.Fatalf("block %s unreachable", b.Label)
+		}
+		if !dom.Dominates(entry, b) {
+			t.Fatalf("entry must dominate %s", b.Label)
+		}
+	}
+	// The loop header dominates the body and the exit.
+	var head, body, exit *wir.Block
+	for _, b := range f.Blocks {
+		switch b.Label {
+		case "while_head":
+			head = b
+		case "while_body":
+			body = b
+		case "while_exit":
+			exit = b
+		}
+	}
+	if head == nil || !dom.Dominates(head, body) || !dom.Dominates(head, exit) {
+		t.Fatal("loop header must dominate body and exit")
+	}
+	if dom.Dominates(body, head) {
+		t.Fatal("body must not dominate the header")
+	}
+}
+
+func TestLoopHeaders(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1, j = 1},
+			While[i <= n,
+				j = 1;
+				While[j <= n, s = s + 1; j = j + 1];
+				i = i + 1];
+			s]]`)
+	f := mod.Main()
+	heads := LoopHeaders(f, ComputeDominators(f))
+	if len(heads) != 2 {
+		t.Fatalf("want 2 loop headers (nested loops), got %d", len(heads))
+	}
+}
+
+func TestAbortInsertion(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[n, "MachineInteger"]},
+		Module[{i = 0}, While[i < n, i = i + 1]; i]]`)
+	InsertAbortChecks(mod)
+	f := mod.Main()
+	checks := countInstrs(f, func(in *wir.Instr) bool { return in.Op == wir.OpAbortCheck })
+	// Prologue + loop header (paper §4.5).
+	if checks != 2 {
+		t.Fatalf("abort checks = %d, want 2 (prologue + loop header):\n%s", checks, f.String())
+	}
+	// The header check precedes the loop condition.
+	for _, b := range f.Blocks {
+		if b.Label == "while_head" {
+			if b.Instrs[0].Op != wir.OpAbortCheck {
+				t.Fatal("loop header check must be first")
+			}
+		}
+	}
+}
+
+func TestDCE(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[x, "Real64"]},
+		Module[{unused = Sin[x]*Cos[x]}, x + 1.]]`)
+	f := mod.Main()
+	before := countInstrs(f, func(in *wir.Instr) bool { return in.Op == wir.OpCall })
+	if !DCE(f) {
+		t.Fatal("DCE should remove the dead Sin/Cos/Times chain")
+	}
+	after := countInstrs(f, func(in *wir.Instr) bool { return in.Op == wir.OpCall })
+	if after >= before {
+		t.Fatalf("DCE did not shrink: %d -> %d", before, after)
+	}
+	// The live Plus remains.
+	if countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Plus" }) != 1 {
+		t.Fatal("live Plus must survive")
+	}
+	if countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Sin" }) != 0 {
+		t.Fatal("dead Sin must be removed")
+	}
+}
+
+func TestDCEKeepsEffects(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Module[{w = v}, w[[1]] = 2.; 0]]`)
+	f := mod.Main()
+	DCE(f)
+	if countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Native`SetPart" }) != 1 {
+		t.Fatal("mutating SetPart must not be eliminated")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[x, "Real64"]}, x + (2.*3. + 4.)]`)
+	f := mod.Main()
+	for round := 0; round < 3; round++ {
+		FoldConstants(f)
+		DCE(f)
+	}
+	calls := countInstrs(f, func(in *wir.Instr) bool { return in.Op == wir.OpCall })
+	// Only the final x + 10. survives.
+	if calls != 1 {
+		t.Fatalf("after folding want 1 call, got %d:\n%s", calls, f.String())
+	}
+	if !strings.Contains(f.String(), "10.") {
+		t.Fatalf("folded constant missing:\n%s", f.String())
+	}
+}
+
+func TestFoldingRespectsOverflow(t *testing.T) {
+	// 2^62 * 4 overflows int64: the fold must leave it for the runtime's
+	// checked arithmetic (soft failure, F2).
+	mod := buildTWIR(t, `Function[{Typed[x, "MachineInteger"]},
+		x + 4611686018427387904*4]`)
+	f := mod.Main()
+	FoldConstants(f)
+	if countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Times" }) != 1 {
+		t.Fatal("overflowing constant multiply must not fold")
+	}
+}
+
+func TestDeadBranchDeletion(t *testing.T) {
+	// A statically-false condition after folding: SCCP-style dead-branch
+	// deletion removes the untaken side.
+	mod := buildTWIR(t, `Function[{Typed[x, "Real64"]},
+		If[1. > 2., Sin[x], Cos[x]]]`)
+	f := mod.Main()
+	for round := 0; round < 3; round++ {
+		FoldConstants(f)
+		SimplifyBranches(f)
+		RemoveUnreachable(mod)
+		DCE(f)
+	}
+	if countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Sin" }) != 0 {
+		t.Fatalf("dead branch must be deleted:\n%s", f.String())
+	}
+	if countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Cos" }) != 1 {
+		t.Fatalf("live branch must survive:\n%s", f.String())
+	}
+	if err := mod.Lint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[x, "Real64"]},
+		Sin[x]*Sin[x] + Sin[x]]`)
+	f := mod.Main()
+	if countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Sin" }) != 3 {
+		t.Fatalf("expected 3 Sin calls before CSE:\n%s", f.String())
+	}
+	if !CSE(f) {
+		t.Fatal("CSE should deduplicate Sin[x]")
+	}
+	if got := countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Sin" }); got != 1 {
+		t.Fatalf("after CSE want 1 Sin, got %d:\n%s", got, f.String())
+	}
+	if err := mod.Lint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSERespectsDominance(t *testing.T) {
+	// Sin[x] in both branches of an If: neither dominates the other, so no
+	// naive dedup across them (hoisting is a different pass).
+	mod := buildTWIR(t, `Function[{Typed[x, "Real64"], Typed[p, "Boolean"]},
+		If[p, Sin[x] + 1., Sin[x] + 2.]]`)
+	f := mod.Main()
+	CSE(f)
+	if got := countInstrs(f, func(in *wir.Instr) bool { return in.Callee == "Sin" }); got != 2 {
+		t.Fatalf("cross-branch CSE is unsound; want 2 Sin, got %d", got)
+	}
+}
+
+func TestCSEDoesNotMergeRandom(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[x, "Real64"]},
+		RandomReal[{0., 1.}] + RandomReal[{0., 1.}]]`)
+	f := mod.Main()
+	CSE(f)
+	if got := countInstrs(f, func(in *wir.Instr) bool {
+		return in.Callee == "Native`RandomRealRange"
+	}); got != 2 {
+		t.Fatalf("random calls must not merge; got %d", got)
+	}
+}
+
+func TestInlinePolicy(t *testing.T) {
+	src := `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Map[Function[{x}, x*2.], v]]`
+	for _, policy := range []string{"auto", "none"} {
+		mod := buildTWIR(t, src)
+		ResolveIndirectCalls(mod)
+		Inline(mod, policy)
+		indirectOrDirect := countInstrs(mod.Main(), func(in *wir.Instr) bool {
+			return in.Op == wir.OpCallIndirect || (in.Op == wir.OpCall && in.ResolvedFn != nil)
+		})
+		if policy == "auto" && indirectOrDirect != 0 {
+			t.Fatalf("auto inlining should remove the lambda call, %d remain", indirectOrDirect)
+		}
+		if policy == "none" && indirectOrDirect == 0 {
+			t.Fatal("policy none must keep the call")
+		}
+		if err := mod.Lint(); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
+
+func TestCopyInsertionOnAlias(t *testing.T) {
+	// w = v (same SSA value); mutation with v still live needs a copy.
+	mod := buildTWIR(t, `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Module[{w = v}, w[[1]] = 9.; w[[1]] + v[[1]]]]`)
+	InsertCopies(mod, DefaultOptions())
+	if countInstrs(mod.Main(), func(in *wir.Instr) bool { return in.Callee == "Native`Copy" }) != 1 {
+		t.Fatalf("aliased mutation needs a copy:\n%s", mod.Main().String())
+	}
+}
+
+func TestCopyElisionOnDeadAlias(t *testing.T) {
+	// The tensor value dies at the SetPart (rebinding), so no copy.
+	mod := buildTWIR(t, `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Module[{w = v}, w[[1]] = 9.; w]]`)
+	InsertCopies(mod, DefaultOptions())
+	if countInstrs(mod.Main(), func(in *wir.Instr) bool { return in.Callee == "Native`Copy" }) != 0 {
+		t.Fatalf("no-alias mutation must not copy:\n%s", mod.Main().String())
+	}
+}
+
+func TestRefCountInsertion(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[n, "MachineInteger"]},
+		Table[i, {i, 1, n}]]`)
+	tenv := types.Builtin()
+	InsertRefCounts(mod, tenv)
+	acquires := countInstrs(mod.Main(), func(in *wir.Instr) bool { return in.Native == "memory_acquire" })
+	if acquires == 0 {
+		t.Fatalf("managed tensor needs a MemoryAcquire:\n%s", mod.Main().String())
+	}
+	if err := mod.Lint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	mod := buildTWIR(t, `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]`)
+	f := mod.Main()
+	lv := ComputeLiveness(f)
+	// The parameter n is live into the loop header (used by the compare).
+	var head *wir.Block
+	for _, b := range f.Blocks {
+		if b.Label == "while_head" {
+			head = b
+		}
+	}
+	nParam := f.Params[0]
+	if !lv.LiveIn[head][nParam] {
+		t.Fatal("n must be live into the loop header")
+	}
+	// Loop-carried phis are not live-in to their own block as uses.
+	for _, phi := range head.Phis {
+		if lv.LiveIn[head][phi] {
+			t.Fatalf("phi %s must not be live-in to its defining block", phi.Name())
+		}
+	}
+}
+
+func TestFullPipelineLint(t *testing.T) {
+	srcs := []string{
+		`Function[{Typed[n, "MachineInteger"]}, NestList[# + 1 &, 0, n]]`,
+		`Function[{Typed[v, "Tensor"["Real64", 1]]}, Fold[Function[{a, b}, a + b], 0., v]]`,
+		`Function[{Typed[x, "Real64"]}, If[x > 0., Sin[x], Cos[x]]*2.]`,
+	}
+	for _, src := range srcs {
+		mod := buildTWIR(t, src)
+		if err := Run(mod, types.Builtin(), DefaultOptions()); err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestBlockFusion(t *testing.T) {
+	// Inlining a straight-line callee leaves jump chains; fusion collapses
+	// them back into one block.
+	mod := buildTWIR(t, `Function[{Typed[v, "Tensor"["Real64", 1]]},
+		Map[Function[{x}, x + 1.], v]]`)
+	ResolveIndirectCalls(mod)
+	Inline(mod, "all")
+	before := len(mod.Main().Blocks)
+	RemoveUnreachable(mod)
+	if !FuseBlocks(mod) {
+		t.Fatal("fusion should fire after inlining")
+	}
+	after := len(mod.Main().Blocks)
+	if after >= before {
+		t.Fatalf("fusion did not reduce blocks: %d -> %d", before, after)
+	}
+	if err := mod.Lint(); err != nil {
+		t.Fatalf("fusion broke SSA: %v\n%s", err, mod.Main().String())
+	}
+}
+
+func TestAbortInhibitBlocksSkipped(t *testing.T) {
+	mod := buildTWIR(t, "Function[{Typed[n, \"MachineInteger\"]},\n"+
+		"Native`AbortInhibit[Module[{i = 0}, While[i < n, i = i + 1]; i]]]")
+	InsertAbortChecks(mod)
+	f := mod.Main()
+	checks := countInstrs(f, func(in *wir.Instr) bool { return in.Op == wir.OpAbortCheck })
+	if checks != 1 { // prologue only; the inhibited loop header is skipped
+		t.Fatalf("abort checks = %d, want 1:\n%s", checks, f.String())
+	}
+}

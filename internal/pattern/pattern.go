@@ -1,0 +1,307 @@
+// Package pattern implements Wolfram Language pattern matching: Blank
+// (_), head-restricted blanks (_Integer), named patterns (x_), sequence
+// blanks (__ and ___), and Condition (/;). It backs both the interpreter's
+// rule dispatch (DownValues) and the compiler's macro system (paper §4.2),
+// which reuses the engine's pattern-based substitution.
+package pattern
+
+import (
+	"sort"
+
+	"wolfc/internal/expr"
+)
+
+// Bindings maps pattern variables to their matched values. Sequence matches
+// are bound as Sequence[e1, e2, ...] and spliced by Substitute.
+type Bindings map[*expr.Symbol]expr.Expr
+
+// clone returns a shallow copy, used for backtracking.
+func (b Bindings) clone() Bindings {
+	c := make(Bindings, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// CondFunc evaluates a Condition test under the given bindings, reporting
+// whether it holds. The interpreter supplies its evaluator here.
+type CondFunc func(test expr.Expr, b Bindings) bool
+
+var (
+	symBlankSequence     = expr.Sym("BlankSequence")
+	symBlankNullSequence = expr.Sym("BlankNullSequence")
+	symCondition         = expr.Sym("Condition")
+	symSequence          = expr.Sym("Sequence")
+	symAlternatives      = expr.Sym("Alternatives")
+)
+
+// Match matches pat against subject with no condition evaluator, returning
+// the variable bindings on success.
+func Match(pat, subject expr.Expr) (Bindings, bool) {
+	return MatchCond(pat, subject, nil)
+}
+
+// MatchCond matches pat against subject, evaluating Condition tests with
+// cond (conditions fail when cond is nil).
+func MatchCond(pat, subject expr.Expr, cond CondFunc) (Bindings, bool) {
+	b := Bindings{}
+	if match(pat, subject, b, cond) {
+		return b, true
+	}
+	return nil, false
+}
+
+func match(pat, subject expr.Expr, b Bindings, cond CondFunc) bool {
+	switch p := pat.(type) {
+	case *expr.Normal:
+		head, isSym := p.Head().(*expr.Symbol)
+		if isSym {
+			switch head {
+			case expr.SymBlank:
+				return matchBlankHead(p, subject)
+			case expr.SymPattern:
+				if p.Len() != 2 {
+					return false
+				}
+				name, ok := p.Arg(1).(*expr.Symbol)
+				if !ok {
+					return false
+				}
+				if !match(p.Arg(2), subject, b, cond) {
+					return false
+				}
+				return bind(b, name, subject)
+			case symCondition:
+				if p.Len() != 2 {
+					return false
+				}
+				if !match(p.Arg(1), subject, b, cond) {
+					return false
+				}
+				return cond != nil && cond(p.Arg(2), b)
+			case symAlternatives:
+				for _, alt := range p.Args() {
+					trial := b.clone()
+					if match(alt, subject, trial, cond) {
+						for k, v := range trial {
+							b[k] = v
+						}
+						return true
+					}
+				}
+				return false
+			case symBlankSequence, symBlankNullSequence:
+				// A bare sequence blank outside an argument list matches a
+				// single expression (sequences are handled by matchSeq).
+				return matchBlankHead(p, subject)
+			}
+		}
+		// Structural match: subject must be a Normal with matching head and
+		// a compatible argument sequence.
+		s, ok := subject.(*expr.Normal)
+		if !ok {
+			return false
+		}
+		if !match(p.Head(), s.Head(), b, cond) {
+			return false
+		}
+		return matchSeq(p.Args(), s.Args(), b, cond)
+	default:
+		return expr.SameQ(pat, subject)
+	}
+}
+
+// matchBlankHead checks a Blank/BlankSequence/BlankNullSequence head
+// restriction against a single subject.
+func matchBlankHead(p *expr.Normal, subject expr.Expr) bool {
+	if p.Len() == 0 {
+		return true
+	}
+	return expr.SameQ(subject.Head(), p.Arg(1))
+}
+
+// bind records name=val, or checks consistency with a previous binding.
+func bind(b Bindings, name *expr.Symbol, val expr.Expr) bool {
+	if prev, ok := b[name]; ok {
+		return expr.SameQ(prev, val)
+	}
+	b[name] = val
+	return true
+}
+
+// matchSeq matches a list of argument patterns against a list of subject
+// arguments, with backtracking over sequence blanks.
+func matchSeq(pats, subj []expr.Expr, b Bindings, cond CondFunc) bool {
+	if len(pats) == 0 {
+		return len(subj) == 0
+	}
+	p := pats[0]
+	min, max, seqPat, named := seqInfo(p)
+	if seqPat == nil {
+		// Single-expression pattern.
+		if len(subj) == 0 {
+			return false
+		}
+		trial := b.clone()
+		if match(p, subj[0], trial, cond) && matchSeq(pats[1:], subj[1:], trial, cond) {
+			adopt(b, trial)
+			return true
+		}
+		return false
+	}
+	// Sequence pattern: try successively longer matches (shortest first,
+	// following the engine's ordering).
+	if max < 0 || max > len(subj) {
+		max = len(subj)
+	}
+	for n := min; n <= max; n++ {
+		ok := true
+		for i := 0; i < n; i++ {
+			if !matchBlankHead(seqPat, subj[i]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		trial := b.clone()
+		if named != nil {
+			val := expr.New(symSequence, append([]expr.Expr{}, subj[:n]...)...)
+			if !bind(trial, named, val) {
+				continue
+			}
+		}
+		if matchSeq(pats[1:], subj[n:], trial, cond) {
+			adopt(b, trial)
+			return true
+		}
+	}
+	return false
+}
+
+func adopt(dst, src Bindings) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// seqInfo classifies p as a sequence pattern, returning its arity bounds,
+// the underlying blank, and the bound name (nil if anonymous). For
+// non-sequence patterns seqPat is nil.
+func seqInfo(p expr.Expr) (min, max int, seqPat *expr.Normal, named *expr.Symbol) {
+	inner := p
+	if pn, ok := expr.IsNormalN(p, expr.SymPattern, 2); ok {
+		if nm, ok := pn.Arg(1).(*expr.Symbol); ok {
+			named = nm
+			inner = pn.Arg(2)
+		}
+	}
+	if n, ok := inner.(*expr.Normal); ok {
+		if h, ok := n.Head().(*expr.Symbol); ok {
+			switch h {
+			case symBlankSequence:
+				return 1, -1, n, named
+			case symBlankNullSequence:
+				return 0, -1, n, named
+			}
+		}
+	}
+	return 0, 0, nil, nil
+}
+
+// Substitute replaces bound pattern variables in e, splicing Sequence values
+// into surrounding argument lists.
+func Substitute(e expr.Expr, b Bindings) expr.Expr {
+	switch x := e.(type) {
+	case *expr.Symbol:
+		if v, ok := b[x]; ok {
+			return v
+		}
+		return e
+	case *expr.Normal:
+		head := Substitute(x.Head(), b)
+		args := make([]expr.Expr, 0, x.Len())
+		for _, a := range x.Args() {
+			sub := Substitute(a, b)
+			if seq, ok := expr.IsNormal(sub, symSequence); ok {
+				args = append(args, seq.Args()...)
+			} else {
+				args = append(args, sub)
+			}
+		}
+		return expr.New(head, args...)
+	default:
+		return e
+	}
+}
+
+// Rule is a rewrite rule LHS -> RHS.
+type Rule struct {
+	LHS, RHS expr.Expr
+}
+
+// Apply attempts to rewrite e with the rule; it reports whether it fired.
+func (r Rule) Apply(e expr.Expr, cond CondFunc) (expr.Expr, bool) {
+	b, ok := MatchCond(r.LHS, e, cond)
+	if !ok {
+		return e, false
+	}
+	return Substitute(r.RHS, b), true
+}
+
+// Specificity scores how specific a pattern is; higher scores are matched
+// first, approximating the engine's canonical rule ordering (paper §4.2
+// "matched based on the rules' pattern specificity").
+func Specificity(p expr.Expr) int {
+	switch x := p.(type) {
+	case *expr.Normal:
+		if h, ok := x.Head().(*expr.Symbol); ok {
+			switch h {
+			case expr.SymBlank:
+				if x.Len() == 1 {
+					return 4 // typed blank
+				}
+				return 1 // plain blank
+			case symBlankSequence:
+				return -2
+			case symBlankNullSequence:
+				return -3
+			case expr.SymPattern:
+				if x.Len() == 2 {
+					return Specificity(x.Arg(2)) // the name adds nothing
+				}
+			case symCondition:
+				if x.Len() == 2 {
+					return Specificity(x.Arg(1)) + 1 // a test narrows the match
+				}
+			case symAlternatives:
+				// As specific as its least specific branch.
+				best := 0
+				for i, alt := range x.Args() {
+					s := Specificity(alt)
+					if i == 0 || s < best {
+						best = s
+					}
+				}
+				return best
+			}
+		}
+		score := 2 // structural node
+		score += Specificity(x.Head())
+		for _, a := range x.Args() {
+			score += Specificity(a)
+		}
+		return score
+	default:
+		return 8 // literal atom
+	}
+}
+
+// SortRules stably sorts rules most-specific first.
+func SortRules(rules []Rule) {
+	sort.SliceStable(rules, func(i, j int) bool {
+		return Specificity(rules[i].LHS) > Specificity(rules[j].LHS)
+	})
+}

@@ -1,0 +1,212 @@
+package pattern
+
+import (
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+func pe(t *testing.T, src string) expr.Expr {
+	t.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+func TestMatchLiterals(t *testing.T) {
+	cases := []struct {
+		pat, subj string
+		want      bool
+	}{
+		{"1", "1", true},
+		{"1", "2", false},
+		{"x", "x", true},
+		{"x", "y", false},
+		{"f[1]", "f[1]", true},
+		{"f[1]", "f[2]", false},
+		{"f[1]", "g[1]", false},
+		{"f[1]", "f[1, 2]", false},
+		{`"s"`, `"s"`, true},
+	}
+	for _, c := range cases {
+		_, ok := Match(pe(t, c.pat), pe(t, c.subj))
+		if ok != c.want {
+			t.Errorf("Match(%s, %s) = %v, want %v", c.pat, c.subj, ok, c.want)
+		}
+	}
+}
+
+func TestMatchBlanks(t *testing.T) {
+	cases := []struct {
+		pat, subj string
+		want      bool
+	}{
+		{"_", "1", true},
+		{"_", "f[1]", true},
+		{"_Integer", "1", true},
+		{"_Integer", "1.5", false},
+		{"_Real", "1.5", true},
+		{"_Symbol", "x", true},
+		{"_String", `"s"`, true},
+		{"_List", "{1, 2}", true},
+		{"_f", "f[1, 2]", true},
+		{"_f", "g[1]", false},
+		{"f[_]", "f[99]", true},
+		{"f[_, _]", "f[1]", false},
+		{"f[_Integer, _Real]", "f[1, 2.5]", true},
+		{"f[_Integer, _Real]", "f[1.5, 2]", false},
+	}
+	for _, c := range cases {
+		_, ok := Match(pe(t, c.pat), pe(t, c.subj))
+		if ok != c.want {
+			t.Errorf("Match(%s, %s) = %v, want %v", c.pat, c.subj, ok, c.want)
+		}
+	}
+}
+
+func TestMatchBindings(t *testing.T) {
+	b, ok := Match(pe(t, "f[x_, y_]"), pe(t, "f[1, g[2]]"))
+	if !ok {
+		t.Fatal("should match")
+	}
+	if !expr.SameQ(b[expr.Sym("x")], expr.FromInt64(1)) {
+		t.Errorf("x bound to %v", b[expr.Sym("x")])
+	}
+	if expr.FullForm(b[expr.Sym("y")]) != "g[2]" {
+		t.Errorf("y bound to %v", b[expr.Sym("y")])
+	}
+	// Repeated variables must bind consistently.
+	if _, ok := Match(pe(t, "f[x_, x_]"), pe(t, "f[1, 1]")); !ok {
+		t.Error("f[x_, x_] should match f[1, 1]")
+	}
+	if _, ok := Match(pe(t, "f[x_, x_]"), pe(t, "f[1, 2]")); ok {
+		t.Error("f[x_, x_] should not match f[1, 2]")
+	}
+}
+
+func TestMatchSequences(t *testing.T) {
+	// __ needs at least one element; ___ matches empty.
+	if _, ok := Match(pe(t, "f[xs__]"), pe(t, "f[]")); ok {
+		t.Error("__ must not match zero args")
+	}
+	if _, ok := Match(pe(t, "f[xs___]"), pe(t, "f[]")); !ok {
+		t.Error("___ must match zero args")
+	}
+	b, ok := Match(pe(t, "f[first_, rest__]"), pe(t, "f[1, 2, 3]"))
+	if !ok {
+		t.Fatal("sequence match failed")
+	}
+	if expr.FullForm(b[expr.Sym("rest")]) != "Sequence[2, 3]" {
+		t.Errorf("rest = %s", expr.FullForm(b[expr.Sym("rest")]))
+	}
+	// Backtracking: a__ then b_ forces a to take all but the last.
+	b, ok = Match(pe(t, "f[a__, b_]"), pe(t, "f[1, 2, 3]"))
+	if !ok {
+		t.Fatal("backtracking match failed")
+	}
+	if expr.FullForm(b[expr.Sym("a")]) != "Sequence[1, 2]" {
+		t.Errorf("a = %s", expr.FullForm(b[expr.Sym("a")]))
+	}
+	// Typed sequences.
+	if _, ok := Match(pe(t, "f[xs__Integer]"), pe(t, "f[1, 2, 3]")); !ok {
+		t.Error("typed sequence should match")
+	}
+	if _, ok := Match(pe(t, "f[xs__Integer]"), pe(t, "f[1, 2.5]")); ok {
+		t.Error("typed sequence should reject a real")
+	}
+}
+
+func TestSubstituteSplicesSequences(t *testing.T) {
+	b, ok := Match(pe(t, "And[x_, y_, rest__]"), pe(t, "And[a, b, c, d]"))
+	if !ok {
+		t.Fatal("match failed")
+	}
+	out := Substitute(pe(t, "And[And[x, y], rest]"), b)
+	if expr.FullForm(out) != "And[And[a, b], c, d]" {
+		t.Fatalf("substitute = %s", expr.FullForm(out))
+	}
+}
+
+func TestCondition(t *testing.T) {
+	cond := func(test expr.Expr, b Bindings) bool {
+		// Evaluate "x > 0" style tests on integer bindings only.
+		n, ok := expr.IsNormalN(test, expr.Sym("Greater"), 2)
+		if !ok {
+			return false
+		}
+		v := Substitute(n.Arg(1), b)
+		i, ok := v.(*expr.Integer)
+		return ok && i.Int64() > 0
+	}
+	pat := pe(t, "Condition[f[x_], x > 0]")
+	if _, ok := MatchCond(pat, pe(t, "f[5]"), cond); !ok {
+		t.Error("condition should pass for f[5]")
+	}
+	if _, ok := MatchCond(pat, pe(t, "f[-5]"), cond); ok {
+		t.Error("condition should fail for f[-5]")
+	}
+	// With a nil evaluator conditions fail closed.
+	if _, ok := Match(pat, pe(t, "f[5]")); ok {
+		t.Error("condition with nil evaluator must fail")
+	}
+}
+
+func TestAlternatives(t *testing.T) {
+	pat := pe(t, "Alternatives[_Integer, _Real]")
+	if _, ok := Match(pat, pe(t, "3")); !ok {
+		t.Error("alternatives: integer")
+	}
+	if _, ok := Match(pat, pe(t, "3.5")); !ok {
+		t.Error("alternatives: real")
+	}
+	if _, ok := Match(pat, pe(t, `"s"`)); ok {
+		t.Error("alternatives: string must not match")
+	}
+}
+
+func TestRuleApply(t *testing.T) {
+	r := Rule{LHS: pe(t, "And[x_, y_]"), RHS: pe(t, "If[x === True, y === True, False]")}
+	out, ok := r.Apply(pe(t, "And[p, q]"), nil)
+	if !ok {
+		t.Fatal("rule should fire")
+	}
+	if expr.FullForm(out) != "If[SameQ[p, True], SameQ[q, True], False]" {
+		t.Fatalf("rewrite = %s", expr.FullForm(out))
+	}
+	if _, ok := r.Apply(pe(t, "Or[p, q]"), nil); ok {
+		t.Fatal("rule must not fire on Or")
+	}
+}
+
+func TestSpecificityOrdering(t *testing.T) {
+	// The paper's And macro rules: more specific rules must sort first.
+	rules := []Rule{
+		{LHS: pe(t, "And[x_, y_, rest__]")},
+		{LHS: pe(t, "And[x_]")},
+		{LHS: pe(t, "And[False, _]")},
+		{LHS: pe(t, "And[x_, y_]")},
+	}
+	SortRules(rules)
+	if expr.FullForm(rules[0].LHS) != "And[False, Blank[]]" {
+		t.Fatalf("most specific first, got %s", expr.FullForm(rules[0].LHS))
+	}
+	// The sequence rule is the least specific.
+	last := expr.FullForm(rules[len(rules)-1].LHS)
+	if last != "And[Pattern[x, Blank[]], Pattern[y, Blank[]], Pattern[rest, BlankSequence[]]]" {
+		t.Fatalf("least specific last, got %s", last)
+	}
+}
+
+func TestMatchHeadPattern(t *testing.T) {
+	// Patterns can appear in head position: _[args].
+	if _, ok := Match(pe(t, "_[1]"), pe(t, "f[1]")); !ok {
+		t.Error("head blank should match")
+	}
+	b, ok := Match(pe(t, "h_[1, 2]"), pe(t, "g[1, 2]"))
+	if !ok || !expr.SameQ(b[expr.Sym("h")], expr.Sym("g")) {
+		t.Error("named head pattern should bind h to g")
+	}
+}

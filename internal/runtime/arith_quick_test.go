@@ -1,0 +1,103 @@
+package runtime
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the checked-arithmetic laws the compiled code relies
+// on. Operands are drawn from int32 so the reference computations cannot
+// themselves overflow.
+
+// Division law: a == m*Quotient[a, m] + Mod[a, m], with Mod's sign following
+// the modulus and |Mod| < |m|.
+func TestModQuotDivisionLawQuick(t *testing.T) {
+	f := func(a32, m32 int32) bool {
+		if m32 == 0 {
+			return true
+		}
+		a, m := int64(a32), int64(m32)
+		q, r := QuotI64(a, m), ModI64(a, m)
+		if m*q+r != a {
+			return false
+		}
+		if r != 0 && ((r < 0) != (m < 0)) {
+			return false
+		}
+		abs := func(x int64) int64 {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		return abs(r) < abs(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PowI64 agrees with arbitrary-precision exponentiation wherever the result
+// fits in an int64, and throws ExcOverflow (the F2 soft-failure trigger)
+// wherever it does not.
+func TestPowMatchesBigIntQuick(t *testing.T) {
+	f := func(b8 int8, e8 uint8) bool {
+		base := int64(b8 % 10)
+		exp := int64(e8 % 64)
+		want := new(big.Int).Exp(big.NewInt(base), big.NewInt(exp), nil)
+		var got int64
+		exc := catch(func() { got = PowI64(base, exp) })
+		if want.IsInt64() {
+			return exc == nil && got == want.Int64()
+		}
+		return exc != nil && exc.Kind == ExcOverflow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// String laws used by the compiled string pipeline: joining preserves rune
+// counts, and taking the first (or last) part of a join recovers the piece.
+func TestStringJoinTakeLawsQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		joined := a + b
+		if StringRuneLen(joined) != StringRuneLen(a)+StringRuneLen(b) {
+			return false
+		}
+		if StringTakeN(joined, StringRuneLen(a)) != a {
+			return false
+		}
+		return StringTakeN(joined, -StringRuneLen(b)) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Character-code round trip: FromCharCodes(ToCharCodes(s)) == s for any
+// valid string.
+func TestCharCodeRoundTripQuick(t *testing.T) {
+	f := func(s string) bool {
+		return FromCharCodes(ToCharCodes(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Checked negation: NegI64 agrees with big-int negation or overflows only
+// at INT64_MIN.
+func TestNegI64Quick(t *testing.T) {
+	f := func(a int64) bool {
+		exc := catch(func() { _ = NegI64(a) })
+		if a == -1<<63 {
+			return exc != nil
+		}
+		return exc == nil && NegI64(a) == -a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,408 @@
+package runtime
+
+import (
+	"math/big"
+	"strconv"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/types"
+)
+
+// Boxing and unboxing between kernel expressions and runtime values (paper
+// §4.5 "Expression Boxing and Unboxing"): the auxiliary wrapper around each
+// compiled function unpacks arguments, checks their types, and packs the
+// result back into an expression.
+
+// KindOf maps a compiler type to the runtime register class.
+func KindOf(t types.Type) Kind {
+	switch x := t.(type) {
+	case *types.Atomic:
+		switch x.Name {
+		case "Boolean":
+			return KBool
+		case "Real32", "Real64":
+			return KR64
+		case "ComplexReal64":
+			return KC64
+		case "Integer8", "Integer16", "Integer32", "Integer64",
+			"UnsignedInteger8", "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64":
+			return KI64
+		case "Void":
+			return KBool // placeholder class; value unused
+		default: // String, Expression
+			return KObj
+		}
+	case *types.Compound, *types.Fn:
+		return KObj
+	}
+	return KObj
+}
+
+// Unbox converts an expression into the runtime representation for type t.
+// A conversion failure returns false; the wrapper then reports an argument
+// type error (F1 integration).
+func Unbox(e expr.Expr, t types.Type) (any, bool) {
+	switch x := t.(type) {
+	case *types.Atomic:
+		switch x.Name {
+		case "Integer64", "Integer32", "Integer16", "Integer8", "MachineInteger",
+			"UnsignedInteger8", "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64":
+			i, ok := e.(*expr.Integer)
+			if !ok || !i.IsMachine() {
+				return nil, false
+			}
+			return i.Int64(), true
+		case "Real64", "Real32":
+			switch v := e.(type) {
+			case *expr.Real:
+				return v.V, true
+			case *expr.Integer:
+				if v.IsMachine() {
+					return float64(v.Int64()), true
+				}
+			case *expr.Rational:
+				f, _ := v.V.Float64()
+				return f, true
+			}
+			return nil, false
+		case "ComplexReal64":
+			switch v := e.(type) {
+			case *expr.Complex:
+				return complex(v.Re, v.Im), true
+			case *expr.Real:
+				return complex(v.V, 0), true
+			case *expr.Integer:
+				if v.IsMachine() {
+					return complex(float64(v.Int64()), 0), true
+				}
+			case *expr.Normal:
+				// Unevaluated Complex[re, im] heads box fine too.
+				if c, ok := expr.IsNormalN(v, expr.Sym("Complex"), 2); ok {
+					re, ok1 := toF(c.Arg(1))
+					im, ok2 := toF(c.Arg(2))
+					if ok1 && ok2 {
+						return complex(re, im), true
+					}
+				}
+			}
+			return nil, false
+		case "Boolean":
+			if b, isBool := expr.TruthValue(e); isBool {
+				return b, true
+			}
+			return nil, false
+		case "String":
+			s, ok := e.(*expr.String)
+			if !ok {
+				return nil, false
+			}
+			return s.V, true
+		case "Expression":
+			return e, true
+		}
+	case *types.Compound:
+		if x.Ctor == "Tensor" && len(x.Args) == 2 {
+			rank, ok := x.Args[1].(*types.Literal)
+			if !ok {
+				return nil, false
+			}
+			return unboxTensor(e, x.Args[0], int(rank.Value))
+		}
+	}
+	return nil, false
+}
+
+func unboxTensor(e expr.Expr, elem types.Type, rank int) (any, bool) {
+	l, ok := expr.IsNormal(e, expr.SymList)
+	if !ok {
+		return nil, false
+	}
+	n := l.Len()
+	if rank == 1 {
+		switch KindOf(elem) {
+		case KI64:
+			t := NewTensor(KI64, n)
+			for i := 1; i <= n; i++ {
+				v, ok := l.Arg(i).(*expr.Integer)
+				if !ok || !v.IsMachine() {
+					return nil, false
+				}
+				t.I[i-1] = v.Int64()
+			}
+			t.Shared = true
+			return t, true
+		case KR64:
+			t := NewTensor(KR64, n)
+			for i := 1; i <= n; i++ {
+				f, ok := toF(l.Arg(i))
+				if !ok {
+					return nil, false
+				}
+				t.F[i-1] = f
+			}
+			t.Shared = true
+			return t, true
+		case KC64:
+			t := NewTensor(KC64, n)
+			for i := 1; i <= n; i++ {
+				switch v := l.Arg(i).(type) {
+				case *expr.Complex:
+					t.C[i-1] = complex(v.Re, v.Im)
+				default:
+					f, ok := toF(l.Arg(i))
+					if !ok {
+						return nil, false
+					}
+					t.C[i-1] = complex(f, 0)
+				}
+			}
+			t.Shared = true
+			return t, true
+		case KObj:
+			t := NewTensor(KObj, n)
+			for i := 1; i <= n; i++ {
+				v, ok := Unbox(l.Arg(i), elem)
+				if !ok {
+					return nil, false
+				}
+				t.O[i-1] = v
+			}
+			t.Shared = true
+			return t, true
+		}
+		return nil, false
+	}
+	// Rank >= 2: rectangular flattening.
+	if n == 0 {
+		return nil, false
+	}
+	first, ok := expr.IsNormal(l.Arg(1), expr.SymList)
+	if !ok {
+		return nil, false
+	}
+	cols := first.Len()
+	if rank == 2 {
+		kind := KindOf(elem)
+		t := NewTensor(kind, n, cols)
+		for i := 1; i <= n; i++ {
+			row, ok := expr.IsNormal(l.Arg(i), expr.SymList)
+			if !ok || row.Len() != cols {
+				return nil, false
+			}
+			for j := 1; j <= cols; j++ {
+				off := (i-1)*cols + (j - 1)
+				switch kind {
+				case KI64:
+					v, ok := row.Arg(j).(*expr.Integer)
+					if !ok || !v.IsMachine() {
+						return nil, false
+					}
+					t.I[off] = v.Int64()
+				case KR64:
+					f, ok := toF(row.Arg(j))
+					if !ok {
+						return nil, false
+					}
+					t.F[off] = f
+				default:
+					return nil, false
+				}
+			}
+		}
+		t.Shared = true
+		return t, true
+	}
+	return nil, false
+}
+
+func toF(e expr.Expr) (float64, bool) {
+	switch v := e.(type) {
+	case *expr.Real:
+		return v.V, true
+	case *expr.Integer:
+		if v.IsMachine() {
+			return float64(v.Int64()), true
+		}
+		f := new(big.Float).SetInt(v.Big())
+		out, _ := f.Float64()
+		return out, true
+	case *expr.Rational:
+		f, _ := v.V.Float64()
+		return f, true
+	}
+	return 0, false
+}
+
+// Box converts a runtime value of type t back into an expression.
+func Box(v any, t types.Type) expr.Expr {
+	switch x := t.(type) {
+	case *types.Atomic:
+		switch x.Name {
+		case "Void":
+			return expr.SymNull
+		case "Boolean":
+			return expr.Bool(v.(bool))
+		case "Real64", "Real32":
+			return expr.FromFloat(v.(float64))
+		case "ComplexReal64":
+			c := v.(complex128)
+			if imag(c) == 0 {
+				return expr.FromFloat(real(c))
+			}
+			return expr.FromComplex(real(c), imag(c))
+		case "String":
+			return expr.FromString(v.(string))
+		case "Expression":
+			return v.(expr.Expr)
+		default: // integer widths
+			return expr.FromInt64(v.(int64))
+		}
+	case *types.Compound:
+		if x.Ctor == "Tensor" && len(x.Args) == 2 {
+			t := v.(*Tensor)
+			return boxTensor(t, x.Args[0])
+		}
+	case *types.Fn:
+		return expr.NewS("CompiledCodeFunctionValue")
+	}
+	return expr.SymFailed
+}
+
+func boxTensor(t *Tensor, elem types.Type) expr.Expr {
+	if len(t.Dims) == 1 {
+		out := make([]expr.Expr, t.Len())
+		for i := range out {
+			switch t.Elem {
+			case KI64:
+				out[i] = expr.FromInt64(t.I[i])
+			case KR64:
+				out[i] = expr.FromFloat(t.F[i])
+			case KC64:
+				c := t.C[i]
+				out[i] = expr.FromComplex(real(c), imag(c))
+			case KBool:
+				out[i] = expr.Bool(t.B[i])
+			case KObj:
+				out[i] = Box(t.O[i], elem)
+			}
+		}
+		return expr.List(out...)
+	}
+	// rank 2
+	rows, cols := t.Dims[0], t.Dims[1]
+	out := make([]expr.Expr, rows)
+	for i := 0; i < rows; i++ {
+		row := make([]expr.Expr, cols)
+		for j := 0; j < cols; j++ {
+			off := i*cols + j
+			switch t.Elem {
+			case KI64:
+				row[j] = expr.FromInt64(t.I[off])
+			case KR64:
+				row[j] = expr.FromFloat(t.F[off])
+			case KC64:
+				c := t.C[off]
+				row[j] = expr.FromComplex(real(c), imag(c))
+			}
+		}
+		out[i] = expr.List(row...)
+	}
+	return expr.List(out...)
+}
+
+// --- symbolic Expression operations (F8) ---
+// Symbolic values flow through compiled code as expr.Expr in object
+// registers; arithmetic combines them with threaded interpretation through
+// the engine (paper §4.5: "Symbolic code still utilize the Wolfram Engine,
+// but uses threaded interpretation to bypass the Wolfram interpreter").
+
+// ExprBinary combines two symbolic values under the named head, folding
+// numerics through the engine.
+func ExprBinary(eng Engine, head string, a, b expr.Expr) expr.Expr {
+	if eng == nil {
+		Throw(ExcKernel, "symbolic computation requires the engine (disabled in standalone mode)")
+	}
+	out, err := eng.EvalExpr(expr.NewS(head, a, b))
+	if err != nil {
+		Throw(ExcKernel, "symbolic %s: %v", head, err)
+	}
+	return out
+}
+
+// KernelApply evaluates f[args...] in the interpreter (KernelFunction, F9).
+func KernelApply(eng Engine, f expr.Expr, args []expr.Expr) expr.Expr {
+	if eng == nil {
+		Throw(ExcKernel, "KernelFunction requires the engine (disabled in standalone mode)")
+	}
+	out, err := eng.EvalExpr(expr.New(f, args...))
+	if err != nil {
+		Throw(ExcKernel, "kernel escape: %v", err)
+	}
+	if out == expr.SymAborted {
+		Throw(ExcAbort, "aborted")
+	}
+	return out
+}
+
+// SameQExpr is structural identity on symbolic values.
+func SameQExpr(a, b expr.Expr) bool { return expr.SameQ(a, b) }
+
+// --- string helpers ---
+
+// StringByte returns the 1-based UTF-8 byte of s (the new compiler operates
+// on the UTF8 bytes within the string — paper §6 FNV1a).
+func StringByte(s string, i int64) int64 {
+	if i < 1 || i > int64(len(s)) {
+		Throw(ExcPartRange, "string byte index %d out of range for %d bytes", i, len(s))
+	}
+	return int64(s[i-1])
+}
+
+// StringRuneLen counts characters.
+func StringRuneLen(s string) int64 {
+	n := int64(0)
+	for range s {
+		n++
+	}
+	return n
+}
+
+// StringTakeN takes the first (or last, when negative) n characters.
+func StringTakeN(s string, n int64) string {
+	r := []rune(s)
+	if n >= 0 {
+		if n > int64(len(r)) {
+			Throw(ExcPartRange, "StringTake: %d exceeds length %d", n, len(r))
+		}
+		return string(r[:n])
+	}
+	if -n > int64(len(r)) {
+		Throw(ExcPartRange, "StringTake: %d exceeds length %d", n, len(r))
+	}
+	return string(r[int64(len(r))+n:])
+}
+
+// ToCharCodes converts a string to a tensor of code points.
+func ToCharCodes(s string) *Tensor {
+	runes := []rune(s)
+	t := NewTensor(KI64, len(runes))
+	for i, r := range runes {
+		t.I[i] = int64(r)
+	}
+	return t
+}
+
+// FromCharCodes builds a string from a tensor of code points.
+func FromCharCodes(t *Tensor) string {
+	out := make([]rune, t.Len())
+	for i := range out {
+		out[i] = rune(t.I[i])
+	}
+	return string(out)
+}
+
+// FormatInt renders an integer (ToString).
+func FormatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// FormatReal renders a real (ToString).
+func FormatReal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,524 @@
+// Package runtime is the compiled-code runtime for the new compiler (paper
+// §4.5, §4.6): typed dense tensors with copy-on-write sharing, checked
+// machine arithmetic whose numeric exceptions drive the soft interpreter
+// fallback (F2), reference counting entry points for the memory-management
+// pass (F7), string operations, symbolic Expression operations evaluated by
+// threaded interpretation through the engine (F8), and the abort flag the
+// inserted abort checks poll (F3).
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"wolfc/internal/blas"
+	"wolfc/internal/expr"
+)
+
+// Engine is the compiled code's view of the hosting Wolfram Engine: it
+// evaluates escaped expressions (KernelFunction, F9) and exposes the abort
+// flag and random state. In standalone exported code there is no engine and
+// these features are disabled (paper §4.6).
+type Engine interface {
+	EvalExpr(e expr.Expr) (expr.Expr, error)
+	Aborted() bool
+	RandReal() float64
+	RandInt(lo, hi int64) int64
+}
+
+// Exception kinds raised by compiled code. They unwind (as Go panics) to
+// the CompiledCodeFunction wrapper, which converts them into the soft
+// fallback or an abort (paper §4.5).
+type ExceptionKind int
+
+const (
+	ExcOverflow ExceptionKind = iota
+	ExcPartRange
+	ExcDivideByZero
+	ExcAbort
+	ExcKernel // interpreter escape failed
+	ExcType
+)
+
+// Exception is the panic payload for compiled-code runtime errors.
+type Exception struct {
+	Kind ExceptionKind
+	Msg  string
+}
+
+func (e *Exception) Error() string { return e.Msg }
+
+// Throw raises a runtime exception.
+func Throw(kind ExceptionKind, format string, args ...any) {
+	panic(&Exception{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// --- checked machine arithmetic ---
+
+// AddI64 adds with overflow checking.
+func AddI64(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		Throw(ExcOverflow, "IntegerOverflow")
+	}
+	return s
+}
+
+// SubI64 subtracts with overflow checking.
+func SubI64(a, b int64) int64 {
+	d := a - b
+	if (a >= 0 && b < 0 && d < 0) || (a < 0 && b > 0 && d >= 0) {
+		Throw(ExcOverflow, "IntegerOverflow")
+	}
+	return d
+}
+
+// MulI64 multiplies with overflow checking.
+func MulI64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) {
+		Throw(ExcOverflow, "IntegerOverflow")
+	}
+	return p
+}
+
+// NegI64 negates with overflow checking.
+func NegI64(a int64) int64 {
+	if a == math.MinInt64 {
+		Throw(ExcOverflow, "IntegerOverflow")
+	}
+	return -a
+}
+
+// PowI64 computes integer powers with overflow checking; negative exponents
+// are a numeric exception (exact rationals require the interpreter).
+func PowI64(base, exp int64) int64 {
+	if exp < 0 {
+		Throw(ExcOverflow, "NegativePower")
+	}
+	result := int64(1)
+	for n := exp; n > 0; n-- {
+		result = MulI64(result, base)
+	}
+	return result
+}
+
+// ModI64 is the language's Mod (sign follows the modulus).
+func ModI64(a, m int64) int64 {
+	if m == 0 {
+		Throw(ExcDivideByZero, "Mod by zero")
+	}
+	r := a % m
+	if r != 0 && (r < 0) != (m < 0) {
+		r += m
+	}
+	return r
+}
+
+// QuotI64 is floor division.
+func QuotI64(a, m int64) int64 {
+	if m == 0 {
+		Throw(ExcDivideByZero, "Quotient by zero")
+	}
+	q := a / m
+	if a%m != 0 && (a < 0) != (m < 0) {
+		q--
+	}
+	return q
+}
+
+// PowC computes complex powers.
+func PowC(b, e complex128) complex128 {
+	if b == 0 {
+		if real(e) > 0 {
+			return 0
+		}
+		Throw(ExcDivideByZero, "0 to a nonpositive complex power")
+	}
+	logB := complex(math.Log(AbsC(b)), math.Atan2(imag(b), real(b)))
+	p := e * logB
+	m := math.Exp(real(p))
+	return complex(m*math.Cos(imag(p)), m*math.Sin(imag(p)))
+}
+
+// PowCInt computes z^n by repeated squaring.
+func PowCInt(b complex128, n int64) complex128 {
+	if n < 0 {
+		return 1 / PowCInt(b, -n)
+	}
+	out := complex128(1)
+	for n > 0 {
+		if n&1 == 1 {
+			out *= b
+		}
+		b *= b
+		n >>= 1
+	}
+	return out
+}
+
+// AbsC is the complex modulus.
+func AbsC(v complex128) float64 { return math.Hypot(real(v), imag(v)) }
+
+// Kind is a runtime element kind for tensors.
+type Kind uint8
+
+const (
+	KI64 Kind = iota
+	KR64
+	KC64
+	KBool
+	KObj // nested tensors, strings, closures, expressions
+)
+
+// Tensor is the compiled runtime's dense array. One of the element slices
+// is non-nil according to Elem. Refs and Shared implement the reference
+// counting and copy-on-write protocol (F5/F7): Shared marks values that may
+// be aliased outside compiled code (function arguments, boxed results);
+// SetPart copies first when set.
+type Tensor struct {
+	Elem   Kind
+	Dims   []int
+	I      []int64
+	F      []float64
+	C      []complex128
+	B      []bool
+	O      []any
+	Refs   int32
+	Shared bool
+}
+
+// NewTensor allocates a zeroed tensor.
+func NewTensor(elem Kind, dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			Throw(ExcPartRange, "negative tensor dimension %d", d)
+		}
+		n *= d
+	}
+	t := &Tensor{Elem: elem, Dims: dims}
+	switch elem {
+	case KI64:
+		t.I = make([]int64, n)
+	case KR64:
+		t.F = make([]float64, n)
+	case KC64:
+		t.C = make([]complex128, n)
+	case KBool:
+		t.B = make([]bool, n)
+	case KObj:
+		t.O = make([]any, n)
+	}
+	return t
+}
+
+// FlatLen returns the number of scalar elements.
+func (t *Tensor) FlatLen() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Len returns the first-dimension length.
+func (t *Tensor) Len() int {
+	if len(t.Dims) == 0 {
+		return 0
+	}
+	return t.Dims[0]
+}
+
+// Copy deep-copies the tensor (one level; nested object elements are shared
+// but marked Shared so their own mutation copies).
+func (t *Tensor) Copy() *Tensor {
+	out := &Tensor{Elem: t.Elem, Dims: append([]int{}, t.Dims...)}
+	out.I = append([]int64{}, t.I...)
+	out.F = append([]float64{}, t.F...)
+	out.C = append([]complex128{}, t.C...)
+	out.B = append([]bool{}, t.B...)
+	out.O = append([]any{}, t.O...)
+	for _, o := range out.O {
+		if nt, ok := o.(*Tensor); ok {
+			nt.Shared = true
+		}
+	}
+	return out
+}
+
+// Acquire increments the reference count (MemoryAcquire, F7).
+func (t *Tensor) Acquire() { t.Refs++ }
+
+// Release decrements the reference count (MemoryRelease). The Go garbage
+// collector frees the storage; the count still drives copy-on-write.
+func (t *Tensor) Release() {
+	if t.Refs > 0 {
+		t.Refs--
+	}
+}
+
+// EnsureUnshared returns t, or a private copy if t may be aliased from
+// outside compiled code (the Shared flag is set at the ABI boundary:
+// unboxed arguments and embedded constants). Aliases created inside
+// compiled code are handled statically by the copy-insertion pass, so the
+// reference count — which the inserted MemoryAcquire/Release calls maintain
+// for lifetime bookkeeping — deliberately does not force copies here.
+func (t *Tensor) EnsureUnshared() *Tensor {
+	if t.Shared {
+		return t.Copy()
+	}
+	return t
+}
+
+// index resolves a 1-based possibly-negative index for dimension 0.
+func (t *Tensor) index(i int64) int {
+	n := int64(t.Len())
+	if i < 0 {
+		i = n + 1 + i
+	}
+	if i < 1 || i > n {
+		Throw(ExcPartRange, "Part: index %d is out of range for a length-%d tensor", i, n)
+	}
+	return int(i - 1)
+}
+
+// indexUnsafe resolves a 1-based index without range checking (macro loops
+// with proven-in-range indices; paper §6 index-check removal).
+func (t *Tensor) indexUnsafe(i int64) int { return int(i - 1) }
+
+// Scalar element access for rank-1 tensors.
+
+func (t *Tensor) GetI(i int64) int64       { return t.I[t.index(i)] }
+func (t *Tensor) GetF(i int64) float64     { return t.F[t.index(i)] }
+func (t *Tensor) GetC(i int64) complex128  { return t.C[t.index(i)] }
+func (t *Tensor) GetB(i int64) bool        { return t.B[t.index(i)] }
+func (t *Tensor) GetO(i int64) any         { return t.O[t.index(i)] }
+func (t *Tensor) GetIU(i int64) int64      { return t.I[t.indexUnsafe(i)] }
+func (t *Tensor) GetFU(i int64) float64    { return t.F[t.indexUnsafe(i)] }
+func (t *Tensor) GetCU(i int64) complex128 { return t.C[t.indexUnsafe(i)] }
+func (t *Tensor) GetBU(i int64) bool       { return t.B[t.indexUnsafe(i)] }
+func (t *Tensor) GetOU(i int64) any        { return t.O[t.indexUnsafe(i)] }
+
+// flat2 resolves a rank-2 index pair.
+func (t *Tensor) flat2(i, j int64) int {
+	rows, cols := int64(t.Dims[0]), int64(t.Dims[1])
+	if i < 0 {
+		i = rows + 1 + i
+	}
+	if j < 0 {
+		j = cols + 1 + j
+	}
+	if i < 1 || i > rows || j < 1 || j > cols {
+		Throw(ExcPartRange, "Part: index [%d, %d] out of range for %dx%d", i, j, rows, cols)
+	}
+	return int((i-1)*cols + (j - 1))
+}
+
+func (t *Tensor) flat2U(i, j int64) int { return int((i-1)*int64(t.Dims[1]) + (j - 1)) }
+
+func (t *Tensor) GetI2(i, j int64) int64       { return t.I[t.flat2(i, j)] }
+func (t *Tensor) GetF2(i, j int64) float64     { return t.F[t.flat2(i, j)] }
+func (t *Tensor) GetC2(i, j int64) complex128  { return t.C[t.flat2(i, j)] }
+func (t *Tensor) GetI2U(i, j int64) int64      { return t.I[t.flat2U(i, j)] }
+func (t *Tensor) GetF2U(i, j int64) float64    { return t.F[t.flat2U(i, j)] }
+func (t *Tensor) GetC2U(i, j int64) complex128 { return t.C[t.flat2U(i, j)] }
+
+// Row extracts row i of a rank-2 tensor as a fresh rank-1 tensor.
+func (t *Tensor) Row(i int64) *Tensor {
+	rows := int64(t.Dims[0])
+	if i < 0 {
+		i = rows + 1 + i
+	}
+	if i < 1 || i > rows {
+		Throw(ExcPartRange, "Part: row %d out of range for %d rows", i, rows)
+	}
+	cols := t.Dims[1]
+	out := &Tensor{Elem: t.Elem, Dims: []int{cols}}
+	off := int(i-1) * cols
+	switch t.Elem {
+	case KI64:
+		out.I = append([]int64{}, t.I[off:off+cols]...)
+	case KR64:
+		out.F = append([]float64{}, t.F[off:off+cols]...)
+	case KC64:
+		out.C = append([]complex128{}, t.C[off:off+cols]...)
+	case KObj:
+		out.O = append([]any{}, t.O[off:off+cols]...)
+	}
+	return out
+}
+
+// Set operations: the checked versions honour negative indices and apply
+// copy-on-write; they return the (possibly fresh) tensor, which compiled
+// code rebinds. The unsafe versions skip the range check only.
+
+func (t *Tensor) SetI(i int64, v int64) *Tensor {
+	u := t.EnsureUnshared()
+	u.I[u.index(i)] = v
+	return u
+}
+
+func (t *Tensor) SetF(i int64, v float64) *Tensor {
+	u := t.EnsureUnshared()
+	u.F[u.index(i)] = v
+	return u
+}
+
+func (t *Tensor) SetC(i int64, v complex128) *Tensor {
+	u := t.EnsureUnshared()
+	u.C[u.index(i)] = v
+	return u
+}
+
+func (t *Tensor) SetB(i int64, v bool) *Tensor {
+	u := t.EnsureUnshared()
+	u.B[u.index(i)] = v
+	return u
+}
+
+func (t *Tensor) SetO(i int64, v any) *Tensor {
+	u := t.EnsureUnshared()
+	u.O[u.index(i)] = v
+	return u
+}
+
+func (t *Tensor) SetIU(i int64, v int64) *Tensor {
+	u := t.EnsureUnshared()
+	u.I[u.indexUnsafe(i)] = v
+	return u
+}
+
+func (t *Tensor) SetFU(i int64, v float64) *Tensor {
+	u := t.EnsureUnshared()
+	u.F[u.indexUnsafe(i)] = v
+	return u
+}
+
+func (t *Tensor) SetCU(i int64, v complex128) *Tensor {
+	u := t.EnsureUnshared()
+	u.C[u.indexUnsafe(i)] = v
+	return u
+}
+
+func (t *Tensor) SetOU(i int64, v any) *Tensor {
+	u := t.EnsureUnshared()
+	u.O[u.indexUnsafe(i)] = v
+	return u
+}
+
+func (t *Tensor) SetI2(i, j int64, v int64) *Tensor {
+	u := t.EnsureUnshared()
+	u.I[u.flat2(i, j)] = v
+	return u
+}
+
+func (t *Tensor) SetF2(i, j int64, v float64) *Tensor {
+	u := t.EnsureUnshared()
+	u.F[u.flat2(i, j)] = v
+	return u
+}
+
+func (t *Tensor) SetC2(i, j int64, v complex128) *Tensor {
+	u := t.EnsureUnshared()
+	u.C[u.flat2(i, j)] = v
+	return u
+}
+
+func (t *Tensor) SetI2U(i, j int64, v int64) *Tensor {
+	u := t.EnsureUnshared()
+	u.I[u.flat2U(i, j)] = v
+	return u
+}
+
+func (t *Tensor) SetF2U(i, j int64, v float64) *Tensor {
+	u := t.EnsureUnshared()
+	u.F[u.flat2U(i, j)] = v
+	return u
+}
+
+func (t *Tensor) SetC2U(i, j int64, v complex128) *Tensor {
+	u := t.EnsureUnshared()
+	u.C[u.flat2U(i, j)] = v
+	return u
+}
+
+// Elementwise tensor arithmetic (Listable threading in compiled code).
+
+func (t *Tensor) zipF(o *Tensor, f func(a, b float64) float64) *Tensor {
+	if t.FlatLen() != o.FlatLen() {
+		Throw(ExcType, "Thread: tensors of unequal length")
+	}
+	out := NewTensor(KR64, t.Dims...)
+	for i := range out.F {
+		out.F[i] = f(t.F[i], o.F[i])
+	}
+	return out
+}
+
+func (t *Tensor) zipI(o *Tensor, f func(a, b int64) int64) *Tensor {
+	if t.FlatLen() != o.FlatLen() {
+		Throw(ExcType, "Thread: tensors of unequal length")
+	}
+	out := NewTensor(KI64, t.Dims...)
+	for i := range out.I {
+		out.I[i] = f(t.I[i], o.I[i])
+	}
+	return out
+}
+
+// ZipF/ZipI/MapF/MapI are the building blocks codegen uses for tensor
+// arithmetic natives.
+func (t *Tensor) ZipF(o *Tensor, f func(a, b float64) float64) *Tensor { return t.zipF(o, f) }
+func (t *Tensor) ZipI(o *Tensor, f func(a, b int64) int64) *Tensor     { return t.zipI(o, f) }
+
+func (t *Tensor) MapF(f func(float64) float64) *Tensor {
+	out := NewTensor(KR64, t.Dims...)
+	for i := range out.F {
+		out.F[i] = f(t.F[i])
+	}
+	return out
+}
+
+func (t *Tensor) MapI(f func(int64) int64) *Tensor {
+	out := NewTensor(KI64, t.Dims...)
+	for i := range out.I {
+		out.I[i] = f(t.I[i])
+	}
+	return out
+}
+
+// Dot products route through the shared BLAS (MKL stand-in; paper §6 Dot).
+
+// DotVV is vector·vector.
+func DotVV(a, b *Tensor) float64 {
+	if a.Len() != b.Len() {
+		Throw(ExcType, "Dot: length mismatch")
+	}
+	return blas.DDot(a.F, b.F)
+}
+
+// DotMV is matrix·vector.
+func DotMV(a, b *Tensor) *Tensor {
+	m, n := a.Dims[0], a.Dims[1]
+	if n != b.Len() {
+		Throw(ExcType, "Dot: shape mismatch")
+	}
+	out := NewTensor(KR64, m)
+	blas.DGemv(m, n, a.F, b.F, out.F)
+	return out
+}
+
+// DotMM is matrix·matrix.
+func DotMM(a, b *Tensor) *Tensor {
+	m, k, n := a.Dims[0], a.Dims[1], b.Dims[1]
+	if k != b.Dims[0] {
+		Throw(ExcType, "Dot: shape mismatch")
+	}
+	out := NewTensor(KR64, m, n)
+	blas.DGemm(m, k, n, a.F, b.F, out.F)
+	return out
+}

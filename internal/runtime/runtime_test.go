@@ -1,0 +1,286 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+	"wolfc/internal/types"
+)
+
+// catch runs f and returns the runtime exception it panics with, if any.
+func catch(f func()) (exc *Exception) {
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			exc, ok = r.(*Exception)
+			if !ok {
+				panic(r)
+			}
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestCheckedArithmetic(t *testing.T) {
+	if AddI64(2, 3) != 5 || SubI64(2, 3) != -1 || MulI64(6, 7) != 42 {
+		t.Fatal("basic arithmetic broken")
+	}
+	if exc := catch(func() { AddI64(math.MaxInt64, 1) }); exc == nil || exc.Kind != ExcOverflow {
+		t.Fatal("add overflow must throw")
+	}
+	if exc := catch(func() { SubI64(math.MinInt64, 1) }); exc == nil || exc.Kind != ExcOverflow {
+		t.Fatal("sub overflow must throw")
+	}
+	if exc := catch(func() { MulI64(1<<62, 4) }); exc == nil || exc.Kind != ExcOverflow {
+		t.Fatal("mul overflow must throw")
+	}
+	if exc := catch(func() { NegI64(math.MinInt64) }); exc == nil {
+		t.Fatal("neg overflow must throw")
+	}
+	if exc := catch(func() { ModI64(1, 0) }); exc == nil || exc.Kind != ExcDivideByZero {
+		t.Fatal("mod by zero must throw")
+	}
+}
+
+// Property: checked ops agree with big-integer arithmetic when in range.
+func TestCheckedArithmeticQuick(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		return AddI64(x, y) == x+y && SubI64(x, y) == x-y && MulI64(x, y) == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModQuotSemantics(t *testing.T) {
+	// Language semantics: Mod sign follows the modulus; Quotient floors.
+	cases := []struct{ a, m, mod, quot int64 }{
+		{7, 3, 1, 2},
+		{-7, 3, 2, -3},
+		{7, -3, -2, -3},
+		{-7, -3, -1, 2},
+	}
+	for _, c := range cases {
+		if got := ModI64(c.a, c.m); got != c.mod {
+			t.Errorf("Mod(%d, %d) = %d, want %d", c.a, c.m, got, c.mod)
+		}
+		if got := QuotI64(c.a, c.m); got != c.quot {
+			t.Errorf("Quot(%d, %d) = %d, want %d", c.a, c.m, got, c.quot)
+		}
+	}
+}
+
+func TestPowI64(t *testing.T) {
+	if PowI64(2, 10) != 1024 || PowI64(7, 0) != 1 || PowI64(0, 5) != 0 {
+		t.Fatal("PowI64 broken")
+	}
+	if exc := catch(func() { PowI64(2, 64) }); exc == nil {
+		t.Fatal("2^64 must overflow")
+	}
+	if exc := catch(func() { PowI64(2, -1) }); exc == nil {
+		t.Fatal("negative power must throw")
+	}
+}
+
+func TestComplexPow(t *testing.T) {
+	got := PowCInt(complex(0, 1), 2)
+	if math.Abs(real(got)+1) > 1e-12 || math.Abs(imag(got)) > 1e-12 {
+		t.Fatalf("i^2 = %v", got)
+	}
+	got = PowCInt(complex(2, 0), -2)
+	if math.Abs(real(got)-0.25) > 1e-12 {
+		t.Fatalf("2^-2 = %v", got)
+	}
+	if AbsC(complex(3, 4)) != 5 {
+		t.Fatal("AbsC broken")
+	}
+}
+
+func TestTensorIndexing(t *testing.T) {
+	tt := NewTensor(KR64, 3)
+	copy(tt.F, []float64{1, 2, 3})
+	if tt.GetF(1) != 1 || tt.GetF(3) != 3 || tt.GetF(-1) != 3 || tt.GetF(-3) != 1 {
+		t.Fatal("1-based/negative indexing broken")
+	}
+	if exc := catch(func() { tt.GetF(4) }); exc == nil || exc.Kind != ExcPartRange {
+		t.Fatal("out of range must throw")
+	}
+	if exc := catch(func() { tt.GetF(0) }); exc == nil {
+		t.Fatal("index 0 must throw")
+	}
+	m := NewTensor(KI64, 2, 3)
+	copy(m.I, []int64{1, 2, 3, 4, 5, 6})
+	if m.GetI2(2, 1) != 4 || m.GetI2(-1, -1) != 6 {
+		t.Fatal("rank-2 indexing broken")
+	}
+	row := m.Row(2)
+	if row.Len() != 3 || row.I[0] != 4 {
+		t.Fatal("Row broken")
+	}
+}
+
+func TestCopyOnWriteSharing(t *testing.T) {
+	orig := NewTensor(KR64, 2)
+	orig.F[0] = 1
+	orig.Shared = true
+	// Mutating a shared tensor copies; the original is untouched.
+	upd := orig.SetF(1, 99)
+	if upd == orig {
+		t.Fatal("shared tensor must copy on write")
+	}
+	if orig.F[0] != 1 || upd.F[0] != 99 {
+		t.Fatal("copy-on-write values wrong")
+	}
+	if upd.Shared {
+		t.Fatal("the private copy is not shared")
+	}
+	// A second write mutates in place.
+	upd2 := upd.SetF(1, 50)
+	if upd2 != upd {
+		t.Fatal("unshared tensor must mutate in place")
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	tt := NewTensor(KI64, 1)
+	tt.Acquire()
+	tt.Acquire()
+	if tt.Refs != 2 {
+		t.Fatal("acquire broken")
+	}
+	tt.Release()
+	tt.Release()
+	tt.Release() // extra release clamps at zero
+	if tt.Refs != 0 {
+		t.Fatal("release broken")
+	}
+}
+
+func TestZipMapArithmetic(t *testing.T) {
+	a := NewTensor(KR64, 3)
+	b := NewTensor(KR64, 3)
+	copy(a.F, []float64{1, 2, 3})
+	copy(b.F, []float64{10, 20, 30})
+	sum := a.ZipF(b, func(x, y float64) float64 { return x + y })
+	if sum.F[2] != 33 {
+		t.Fatal("ZipF broken")
+	}
+	neg := a.MapF(func(x float64) float64 { return -x })
+	if neg.F[0] != -1 {
+		t.Fatal("MapF broken")
+	}
+	short := NewTensor(KR64, 2)
+	if exc := catch(func() { a.ZipF(short, func(x, y float64) float64 { return 0 }) }); exc == nil {
+		t.Fatal("length mismatch must throw")
+	}
+}
+
+func TestDotShapes(t *testing.T) {
+	v := NewTensor(KR64, 2)
+	copy(v.F, []float64{3, 4})
+	if DotVV(v, v) != 25 {
+		t.Fatal("DotVV broken")
+	}
+	m := NewTensor(KR64, 2, 2)
+	copy(m.F, []float64{1, 0, 0, 2})
+	mv := DotMV(m, v)
+	if mv.F[0] != 3 || mv.F[1] != 8 {
+		t.Fatal("DotMV broken")
+	}
+	mm := DotMM(m, m)
+	if mm.F[0] != 1 || mm.F[3] != 4 {
+		t.Fatal("DotMM broken")
+	}
+	bad := NewTensor(KR64, 3)
+	if exc := catch(func() { DotVV(v, bad) }); exc == nil {
+		t.Fatal("shape mismatch must throw")
+	}
+}
+
+func TestUnboxBoxRoundTrip(t *testing.T) {
+	cases := []struct {
+		src string
+		ty  string
+	}{
+		{"42", `"Integer64"`},
+		{"2.5", `"Real64"`},
+		{"True", `"Boolean"`},
+		{`"hi"`, `"String"`},
+		{"{1, 2, 3}", `"Tensor"["Integer64", 1]`},
+		{"{1.5, 2.5}", `"Tensor"["Real64", 1]`},
+		{"{{1., 2.}, {3., 4.}}", `"Tensor"["Real64", 2]`},
+	}
+	env := types.Builtin()
+	for _, c := range cases {
+		ty := env.MustParseSpec(parser.MustParse(c.ty))
+		e := parser.MustParse(c.src)
+		v, ok := Unbox(e, ty)
+		if !ok {
+			t.Fatalf("Unbox(%s : %s) failed", c.src, c.ty)
+		}
+		back := Box(v, ty)
+		if !expr.SameQ(e, back) {
+			t.Fatalf("round trip %s -> %s", c.src, expr.InputForm(back))
+		}
+	}
+	// Mismatches fail cleanly.
+	i64 := env.MustParseSpec(parser.MustParse(`"Integer64"`))
+	if _, ok := Unbox(parser.MustParse(`"nope"`), i64); ok {
+		t.Fatal("string into Integer64 must fail")
+	}
+	if _, ok := Unbox(parser.MustParse("{1, x}"),
+		env.MustParseSpec(parser.MustParse(`"Tensor"["Integer64", 1]`))); ok {
+		t.Fatal("symbolic element must fail tensor unboxing")
+	}
+}
+
+func TestUnboxedTensorsAreShared(t *testing.T) {
+	env := types.Builtin()
+	ty := env.MustParseSpec(parser.MustParse(`"Tensor"["Real64", 1]`))
+	v, ok := Unbox(parser.MustParse("{1., 2.}"), ty)
+	if !ok {
+		t.Fatal("unbox failed")
+	}
+	if !v.(*Tensor).Shared {
+		t.Fatal("ABI tensors must arrive Shared (copy-on-write trigger, F5)")
+	}
+}
+
+func TestStringHelpers(t *testing.T) {
+	if StringByte("AB", 1) != 65 || StringByte("AB", 2) != 66 {
+		t.Fatal("StringByte broken")
+	}
+	if exc := catch(func() { StringByte("AB", 3) }); exc == nil {
+		t.Fatal("byte range must throw")
+	}
+	if StringRuneLen("héllo") != 5 {
+		t.Fatal("rune length broken")
+	}
+	if StringTakeN("hello", 2) != "he" || StringTakeN("hello", -2) != "lo" {
+		t.Fatal("StringTakeN broken")
+	}
+	codes := ToCharCodes("hi")
+	if codes.I[0] != 104 || codes.I[1] != 105 {
+		t.Fatal("ToCharCodes broken")
+	}
+	if FromCharCodes(codes) != "hi" {
+		t.Fatal("FromCharCodes broken")
+	}
+	if FormatInt(-3) != "-3" || FormatReal(2.5) != "2.5" {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestKernelApplyWithoutEngine(t *testing.T) {
+	if exc := catch(func() { KernelApply(nil, expr.Sym("f"), nil) }); exc == nil || exc.Kind != ExcKernel {
+		t.Fatal("standalone KernelApply must throw ExcKernel")
+	}
+	if exc := catch(func() { ExprBinary(nil, "Plus", expr.FromInt64(1), expr.FromInt64(2)) }); exc == nil {
+		t.Fatal("standalone symbolic op must throw")
+	}
+}

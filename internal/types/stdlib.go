@@ -1,0 +1,314 @@
+package types
+
+import (
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// Builtin returns the compiler's default builtin type environment: the type
+// classes, aliases, and primitive function declarations shared by every
+// compilation (paper §4.4: "a default builtin type environment is
+// provided"). The environment is rebuilt per call so callers can extend
+// their copy freely.
+func Builtin() *Env {
+	e := NewEnv(nil)
+
+	// Aliases (surface names → canonical constructors).
+	e.DeclareType("Integer8", "Integer16", "Integer32", "Integer64",
+		"UnsignedInteger8", "UnsignedInteger16", "UnsignedInteger32",
+		"UnsignedInteger64", "Real32", "Real64", "ComplexReal64", "Boolean",
+		"String", "Expression", "Void", "Tensor", "Function")
+	e.DeclareAlias("MachineInteger", "Integer64")
+	e.DeclareAlias("Integer", "Integer64")
+	e.DeclareAlias("Real", "Real64")
+	e.DeclareAlias("Complex", "ComplexReal64")
+	e.DeclareAlias("PackedArray", "Tensor")
+
+	// Type classes (paper §4.4: "Integral", "Ordered", "Reals", "Indexed",
+	// "MemoryManaged", etc.).
+	ints := []string{
+		"Integer8", "Integer16", "Integer32", "Integer64",
+		"UnsignedInteger8", "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64",
+	}
+	reals := []string{"Real32", "Real64"}
+	e.DeclareClass("Integral", ints...)
+	e.DeclareClass("Reals", reals...)
+	e.DeclareClass("Floating", "Real32", "Real64", "ComplexReal64")
+	e.DeclareClass("Number", append(append([]string{}, ints...), "Real32", "Real64", "ComplexReal64")...)
+	e.DeclareClass("Ordered", append(append([]string{}, ints...), "Real32", "Real64", "String")...)
+	e.DeclareClass("Equatable", append(append([]string{}, ints...),
+		"Real32", "Real64", "ComplexReal64", "String", "Boolean", "Expression")...)
+	e.DeclareClass("MemoryManaged", "String", "Expression", "Tensor", "Function")
+	e.DeclareClass("Container", "Tensor")
+	e.DeclareClass("Indexed", "Tensor")
+
+	decl := func(name, spec, native string) {
+		e.DeclareFunction(&FuncDef{
+			Name:   name,
+			Type:   e.MustParseSpec(parser.MustParse(spec)),
+			Native: native,
+		})
+	}
+
+	// Scalar arithmetic. Integer forms are overflow-checked by the runtime
+	// and raise the numeric exception driving the soft fallback (F2).
+	for _, op := range []string{"Plus", "Times", "Subtract"} {
+		decl(op, `TypeForAll[{"a"}, {Element["a", "Number"]}, {"a", "a"} -> "a"]`, "binary_"+lower(op))
+	}
+	decl("Minus", `TypeForAll[{"a"}, {Element["a", "Number"]}, {"a"} -> "a"]`, "unary_minus")
+	// Mixed-width promotion, as the engine's arithmetic tower does
+	// implicitly: integer operands widen to real, reals to complex. These
+	// rank below the same-type overloads, so exact arithmetic is preferred
+	// when it is consistent.
+	for _, op := range []string{"Plus", "Times", "Subtract"} {
+		decl(op, `{"Real64", "Integer64"} -> "Real64"`, "mixed_ri_"+lower(op))
+		decl(op, `{"Integer64", "Real64"} -> "Real64"`, "mixed_ir_"+lower(op))
+		decl(op, `{"ComplexReal64", "Real64"} -> "ComplexReal64"`, "mixed_cr_"+lower(op))
+		decl(op, `{"Real64", "ComplexReal64"} -> "ComplexReal64"`, "mixed_rc_"+lower(op))
+	}
+	decl("Divide", `{"Real64", "Integer64"} -> "Real64"`, "mixed_ri_divide")
+	decl("Divide", `{"Integer64", "Real64"} -> "Real64"`, "mixed_ir_divide")
+	decl("Divide", `TypeForAll[{"a"}, {Element["a", "Floating"]}, {"a", "a"} -> "a"]`, "binary_divide")
+	decl("Divide", `{"Integer64", "Integer64"} -> "Real64"`, "divide_int_real")
+	decl("Power", `{"Integer64", "Integer64"} -> "Integer64"`, "power_int")
+	decl("Power", `{"Real64", "Real64"} -> "Real64"`, "power_real")
+	decl("Power", `{"Real64", "Integer64"} -> "Real64"`, "power_real_int")
+	decl("Power", `{"ComplexReal64", "Integer64"} -> "ComplexReal64"`, "power_complex_int")
+	decl("Power", `{"ComplexReal64", "ComplexReal64"} -> "ComplexReal64"`, "power_complex")
+	decl("Mod", `TypeForAll[{"a"}, {Element["a", "Integral"]}, {"a", "a"} -> "a"]`, "mod_int")
+	decl("Mod", `{"Real64", "Real64"} -> "Real64"`, "mod_real")
+	decl("Quotient", `TypeForAll[{"a"}, {Element["a", "Integral"]}, {"a", "a"} -> "a"]`, "quotient_int")
+	decl("Abs", `{"Integer64"} -> "Integer64"`, "abs_int")
+	decl("Abs", `{"Real64"} -> "Real64"`, "abs_real")
+	decl("Abs", `{"ComplexReal64"} -> "Real64"`, "abs_complex")
+	decl("Min", `TypeForAll[{"a"}, {Element["a", "Ordered"]}, {"a", "a"} -> "a"]`, "min")
+	decl("Max", `TypeForAll[{"a"}, {Element["a", "Ordered"]}, {"a", "a"} -> "a"]`, "max")
+
+	// Comparisons.
+	for _, op := range []string{"Less", "LessEqual", "Greater", "GreaterEqual"} {
+		decl(op, `TypeForAll[{"a"}, {Element["a", "Ordered"]}, {"a", "a"} -> "Boolean"]`, "cmp_"+lower(op))
+	}
+	for _, op := range []string{"Equal", "Unequal"} {
+		decl(op, `TypeForAll[{"a"}, {Element["a", "Equatable"]}, {"a", "a"} -> "Boolean"]`, "cmp_"+lower(op))
+	}
+	for _, op := range []string{"Less", "LessEqual", "Greater", "GreaterEqual", "Equal", "Unequal"} {
+		decl(op, `{"Real64", "Integer64"} -> "Boolean"`, "mixed_ri_cmp_"+lower(op))
+		decl(op, `{"Integer64", "Real64"} -> "Boolean"`, "mixed_ir_cmp_"+lower(op))
+	}
+	decl("SameQ", `{"Boolean", "Boolean"} -> "Boolean"`, "sameq_bool")
+	decl("SameQ", `TypeForAll[{"a"}, {Element["a", "Number"]}, {"a", "a"} -> "Boolean"]`, "cmp_equal")
+	decl("SameQ", `{"Expression", "Expression"} -> "Boolean"`, "sameq_expr")
+	decl("SameQ", `{"String", "String"} -> "Boolean"`, "cmp_equal")
+	decl("Not", `{"Boolean"} -> "Boolean"`, "not")
+
+	// Elementary real functions; integer arguments coerce through a Real64
+	// overload, mirroring the engine's N-like promotion.
+	for _, fn := range []string{"Sin", "Cos", "Tan", "Exp", "Log", "Sqrt", "ArcTan", "ArcSin", "ArcCos"} {
+		decl(fn, `{"Real64"} -> "Real64"`, "math_"+lower(fn))
+		decl(fn, `{"Integer64"} -> "Real64"`, "math_"+lower(fn)+"_int")
+	}
+	decl("ArcTan", `{"Real64", "Real64"} -> "Real64"`, "math_atan2")
+	// Listable threading of the elementary functions over real tensors.
+	for _, fn := range []string{"Sin", "Cos", "Tan", "Exp", "Log", "Sqrt", "Abs"} {
+		decl(fn, `TypeForAll[{"r"}, {"Tensor"["Real64", "r"]} -> "Tensor"["Real64", "r"]]`,
+			"tensor_math_"+lower(fn))
+	}
+	for _, fn := range []string{"Floor", "Ceiling", "Round"} {
+		decl(fn, `{"Real64"} -> "Integer64"`, lower(fn)+"_real")
+		decl(fn, `{"Integer64"} -> "Integer64"`, "identity_int")
+	}
+	decl("Sign", `{"Integer64"} -> "Integer64"`, "sign_int")
+	decl("Sign", `{"Real64"} -> "Integer64"`, "sign_real")
+	decl("EvenQ", `{"Integer64"} -> "Boolean"`, "evenq")
+	decl("OddQ", `{"Integer64"} -> "Boolean"`, "oddq")
+	decl("N", `TypeForAll[{"a"}, {Element["a", "Number"]}, {"a"} -> "Real64"]`, "to_real64")
+
+	// Bit operations.
+	for _, op := range []string{"BitAnd", "BitOr", "BitXor"} {
+		decl(op, `TypeForAll[{"a"}, {Element["a", "Integral"]}, {"a", "a"} -> "a"]`, lower(op))
+	}
+	decl("BitShiftLeft", `TypeForAll[{"a"}, {Element["a", "Integral"]}, {"a", "Integer64"} -> "a"]`, "bitshiftleft")
+	decl("BitShiftRight", `TypeForAll[{"a"}, {Element["a", "Integral"]}, {"a", "Integer64"} -> "a"]`, "bitshiftright")
+
+	// Tensors. Checked Part honours negative indexing; the Unsafe variants
+	// are emitted by macro-generated loops whose indices are provably in
+	// range (paper §6: redundant index-check removal).
+	decl("Length", `TypeForAll[{"a", "r"}, {"Tensor"["a", "r"]} -> "Integer64"]`, "tensor_length")
+	decl("Length", `{"String"} -> "Integer64"`, "string_length")
+	decl("Part", `TypeForAll[{"a"}, {"Tensor"["a", 1], "Integer64"} -> "a"]`, "part_1")
+	decl("Part", `TypeForAll[{"a"}, {"Tensor"["a", 2], "Integer64", "Integer64"} -> "a"]`, "part_2")
+	decl("Part", `TypeForAll[{"a"}, {"Tensor"["a", 2], "Integer64"} -> "Tensor"["a", 1]]`, "part_row")
+	decl("Native`PartUnsafe", `TypeForAll[{"a"}, {"Tensor"["a", 1], "Integer64"} -> "a"]`, "part_unsafe_1")
+	decl("Native`PartUnsafe", `TypeForAll[{"a"}, {"Tensor"["a", 2], "Integer64", "Integer64"} -> "a"]`, "part_unsafe_2")
+	decl("Native`PartUnsafe", `TypeForAll[{"a"}, {"Tensor"["a", 2], "Integer64"} -> "Tensor"["a", 1]]`, "part_row")
+	decl("Native`SetPart", `TypeForAll[{"a"}, {"Tensor"["a", 1], "Integer64", "a"} -> "Tensor"["a", 1]]`, "setpart_1")
+	decl("Native`SetPart", `TypeForAll[{"a"}, {"Tensor"["a", 2], "Integer64", "Integer64", "a"} -> "Tensor"["a", 2]]`, "setpart_2")
+	decl("Native`SetPartUnsafe", `TypeForAll[{"a"}, {"Tensor"["a", 1], "Integer64", "a"} -> "Tensor"["a", 1]]`, "setpart_unsafe_1")
+	decl("Native`SetPartUnsafe", `TypeForAll[{"a"}, {"Tensor"["a", 2], "Integer64", "Integer64", "a"} -> "Tensor"["a", 2]]`, "setpart_unsafe_2")
+	decl("Native`ListNew", `TypeForAll[{"a"}, {"Integer64"} -> "Tensor"["a", 1]]`, "list_new")
+	decl("Native`MatrixNew", `TypeForAll[{"a"}, {"Integer64", "Integer64"} -> "Tensor"["a", 2]]`, "matrix_new")
+	decl("Native`Copy", `TypeForAll[{"a", "r"}, {"Tensor"["a", "r"]} -> "Tensor"["a", "r"]]`, "copy_tensor")
+	decl("Native`MemoryAcquire", `TypeForAll[{"a"}, {"a"} -> "Void"]`, "memory_acquire")
+	decl("Native`MemoryRelease", `TypeForAll[{"a"}, {"a"} -> "Void"]`, "memory_release")
+	decl("Native`ListTake", `TypeForAll[{"a"}, {"Tensor"["a", 1], "Integer64"} -> "Tensor"["a", 1]]`, "list_take")
+	decl("Take", `TypeForAll[{"a"}, {"Tensor"["a", 1], "Integer64"} -> "Tensor"["a", 1]]`, "list_take")
+
+	// Rank-discriminated library functions: the overload picks the rank,
+	// the Wolfram-source implementation is instantiated at it (§4.4/§4.5).
+	e.DeclareFunction(&FuncDef{
+		Name: "Dimensions",
+		Type: e.MustParseSpec(parser.MustParse(
+			`TypeForAll[{"a"}, {"Tensor"["a", 1]} -> "Tensor"["Integer64", 1]]`)),
+		Impl: parser.MustParse(`Function[{lst}, {Length[lst]}]`),
+	})
+	e.DeclareFunction(&FuncDef{
+		Name: "Dimensions",
+		Type: e.MustParseSpec(parser.MustParse(
+			`TypeForAll[{"a"}, {"Tensor"["a", 2]} -> "Tensor"["Integer64", 1]]`)),
+		Impl: parser.MustParse(`Function[{m}, {Length[m], Length[m[[1]]]}]`),
+	})
+	e.DeclareFunction(&FuncDef{
+		Name: "Flatten",
+		Type: e.MustParseSpec(parser.MustParse(
+			`TypeForAll[{"a"}, {"Tensor"["a", 2]} -> "Tensor"["a", 1]]`)),
+		Impl: parser.MustParse(`Function[{m},
+			Module[{flR = Length[m], flC = Length[m[[1]]], flOut, flI = 1, flJ = 1},
+				flOut = Native` + "`" + `ListNew[Length[m]*Length[m[[1]]]];
+				While[flI <= flR,
+					flJ = 1;
+					While[flJ <= flC,
+						Native` + "`" + `SetPartUnsafe[flOut, (flI - 1)*flC + flJ, m[[flI, flJ]]];
+						flJ = flJ + 1];
+					flI = flI + 1];
+				flOut]]`),
+	})
+
+	// Sort ships as a Wolfram-source implementation (insertion sort on a
+	// fresh copy), instantiated per concrete element type at function
+	// resolution — the paper's library-function mechanism (§4.4: "the
+	// implementations are written in the Wolfram Language"; §4.5).
+	sortImpl := `Function[{lst},
+		Module[{out = Native` + "`" + `Copy[lst], n = Length[lst], i = 2, j = 0, key},
+			key = Native` + "`" + `PartUnsafe[out, 1];
+			While[i <= n,
+				key = Native` + "`" + `PartUnsafe[out, i];
+				j = i - 1;
+				While[j >= 1 && Native` + "`" + `PartUnsafe[out, j] > key,
+					Native` + "`" + `SetPartUnsafe[out, j + 1, Native` + "`" + `PartUnsafe[out, j]];
+					j = j - 1];
+				Native` + "`" + `SetPartUnsafe[out, j + 1, key];
+				i = i + 1];
+			out]]`
+	e.DeclareFunction(&FuncDef{
+		Name: "Sort",
+		Type: e.MustParseSpec(parser.MustParse(
+			`TypeForAll[{"a"}, {Element["a", "Ordered"]}, {"Tensor"["a", 1]} -> "Tensor"["a", 1]]`)),
+		Impl: parser.MustParse(sortImpl),
+	})
+	// Sort with an explicit comparator (a function value, the capability
+	// the bytecode compiler lacks — §6 QSort).
+	sortByImpl := `Function[{lst, cmp},
+		Module[{out = Native` + "`" + `Copy[lst], n = Length[lst], i = 2, j = 0, key},
+			key = Native` + "`" + `PartUnsafe[out, 1];
+			While[i <= n,
+				key = Native` + "`" + `PartUnsafe[out, i];
+				j = i - 1;
+				While[j >= 1 && cmp[key, Native` + "`" + `PartUnsafe[out, j]] === True,
+					Native` + "`" + `SetPartUnsafe[out, j + 1, Native` + "`" + `PartUnsafe[out, j]];
+					j = j - 1];
+				Native` + "`" + `SetPartUnsafe[out, j + 1, key];
+				i = i + 1];
+			out]]`
+	e.DeclareFunction(&FuncDef{
+		Name: "Sort",
+		Type: e.MustParseSpec(parser.MustParse(
+			`TypeForAll[{"a"}, {"Tensor"["a", 1], {"a", "a"} -> "Boolean"} -> "Tensor"["a", 1]]`)),
+		Impl: parser.MustParse(sortByImpl),
+	})
+
+	// Tensor arithmetic (Listable threading in compiled code).
+	for _, op := range []string{"Plus", "Times", "Subtract"} {
+		decl(op, `TypeForAll[{"a", "r"}, {Element["a", "Number"]}, {"Tensor"["a", "r"], "Tensor"["a", "r"]} -> "Tensor"["a", "r"]]`,
+			"tensor_"+lower(op))
+		decl(op, `TypeForAll[{"a", "r"}, {Element["a", "Number"]}, {"Tensor"["a", "r"], "a"} -> "Tensor"["a", "r"]]`,
+			"tensor_scalar_"+lower(op))
+		decl(op, `TypeForAll[{"a", "r"}, {Element["a", "Number"]}, {"a", "Tensor"["a", "r"]} -> "Tensor"["a", "r"]]`,
+			"scalar_tensor_"+lower(op))
+	}
+	decl("Minus", `TypeForAll[{"a", "r"}, {Element["a", "Number"]}, {"Tensor"["a", "r"]} -> "Tensor"["a", "r"]]`, "tensor_minus")
+
+	// Dot routes through the shared BLAS (the MKL stand-in, paper §6).
+	decl("Dot", `{"Tensor"["Real64", 2], "Tensor"["Real64", 2]} -> "Tensor"["Real64", 2]`, "dot_mm")
+	decl("Dot", `{"Tensor"["Real64", 2], "Tensor"["Real64", 1]} -> "Tensor"["Real64", 1]`, "dot_mv")
+	decl("Dot", `{"Tensor"["Real64", 1], "Tensor"["Real64", 1]} -> "Real64"`, "dot_vv")
+
+	// Random numbers (range forms are normalised by the core lowering).
+	decl("Native`RandomReal01", `{} -> "Real64"`, "random_real01")
+	decl("Native`RandomRealRange", `{"Real64", "Real64"} -> "Real64"`, "random_real_range")
+	decl("Native`RandomIntegerRange", `{"Integer64", "Integer64"} -> "Integer64"`, "random_int_range")
+
+	// Strings (the new compiler's headline expressiveness win, L1/§6 FNV1a).
+	decl("StringJoin", `{"String", "String"} -> "String"`, "string_join")
+	decl("StringLength", `{"String"} -> "Integer64"`, "string_length")
+	decl("Native`StringByteLength", `{"String"} -> "Integer64"`, "string_byte_length")
+	decl("Native`StringByte", `{"String", "Integer64"} -> "Integer64"`, "string_byte")
+	decl("ToCharacterCode", `{"String"} -> "Tensor"["Integer64", 1]`, "to_char_code")
+	decl("FromCharacterCode", `{"Tensor"["Integer64", 1]} -> "String"`, "from_char_code")
+	decl("StringTake", `{"String", "Integer64"} -> "String"`, "string_take")
+	decl("ToString", `{"Integer64"} -> "String"`, "int_to_string")
+	decl("ToString", `{"Real64"} -> "String"`, "real_to_string")
+
+	// Complex number construction and parts.
+	decl("Complex", `{"Real64", "Real64"} -> "ComplexReal64"`, "make_complex")
+	decl("Re", `{"ComplexReal64"} -> "Real64"`, "re")
+	decl("Im", `{"ComplexReal64"} -> "Real64"`, "im")
+
+	// Symbolic computation on the Expression type (F8). These run through
+	// the engine runtime using threaded interpretation, bypassing the full
+	// interpreter loop (paper §4.5).
+	decl("Plus", `{"Expression", "Expression"} -> "Expression"`, "expr_binary_plus")
+	decl("Times", `{"Expression", "Expression"} -> "Expression"`, "expr_binary_times")
+	decl("Power", `{"Expression", "Expression"} -> "Expression"`, "expr_binary_power")
+	decl("Native`KernelCall", `{"Expression"} -> "Expression"`, "kernel_call")
+	decl("Native`ToExpression", `TypeForAll[{"a"}, {Element["a", "Number"]}, {"a"} -> "Expression"]`, "box_number")
+
+	// Type conversions between machine widths.
+	for _, from := range []string{"Integer8", "Integer16", "Integer32", "Integer64",
+		"UnsignedInteger8", "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64"} {
+		for _, to := range []string{"Integer8", "Integer16", "Integer32", "Integer64",
+			"UnsignedInteger8", "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64"} {
+			if from != to {
+				decl("Native`Cast"+to, `{"`+from+`"} -> "`+to+`"`, "cast")
+			}
+		}
+	}
+	decl("Native`CastReal64", `{"Integer64"} -> "Real64"`, "to_real64")
+
+	return e
+}
+
+func lower(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// TypedOf extracts a Typed[x, spec] annotation's type from an expression,
+// used by compile front ends.
+func TypedOf(env *Env, e expr.Expr) (expr.Expr, Type, bool, error) {
+	t, ok := expr.IsNormalN(e, expr.SymTyped, 2)
+	if !ok {
+		return e, nil, false, nil
+	}
+	ty, err := env.ParseSpec(t.Arg(2))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return t.Arg(1), ty, true, nil
+}

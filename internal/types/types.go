@@ -1,0 +1,446 @@
+// Package types implements the compiler's type system (paper §4.4): atomic
+// and compound type constructors, type-level literals, function types,
+// polymorphic TypeForAll types with type-class qualifiers, type
+// environments with arity/type-overloaded function declarations, and
+// unification with instantiation — everything the constraint-based
+// inference in internal/infer builds on.
+package types
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type is a compiler type.
+type Type interface {
+	String() string
+	isType()
+}
+
+// Atomic is an atomic type constructor such as "Integer64" or "Real64".
+type Atomic struct {
+	Name string
+}
+
+func (a *Atomic) String() string { return a.Name }
+func (a *Atomic) isType()        {}
+
+// Atomic types are interned so pointer equality works.
+var (
+	atomicsMu sync.Mutex
+	atomics   = map[string]*Atomic{}
+)
+
+// AtomicOf interns the atomic type with the given canonical name.
+func AtomicOf(name string) *Atomic {
+	atomicsMu.Lock()
+	defer atomicsMu.Unlock()
+	if t, ok := atomics[name]; ok {
+		return t
+	}
+	t := &Atomic{Name: name}
+	atomics[name] = t
+	return t
+}
+
+// The built-in scalar types.
+var (
+	TBool    = AtomicOf("Boolean")
+	TInt8    = AtomicOf("Integer8")
+	TInt16   = AtomicOf("Integer16")
+	TInt32   = AtomicOf("Integer32")
+	TInt64   = AtomicOf("Integer64")
+	TUint8   = AtomicOf("UnsignedInteger8")
+	TUint16  = AtomicOf("UnsignedInteger16")
+	TUint32  = AtomicOf("UnsignedInteger32")
+	TUint64  = AtomicOf("UnsignedInteger64")
+	TReal32  = AtomicOf("Real32")
+	TReal64  = AtomicOf("Real64")
+	TComplex = AtomicOf("ComplexReal64")
+	TString  = AtomicOf("String")
+	TExpr    = AtomicOf("Expression")
+	TVoid    = AtomicOf("Void")
+)
+
+// Compound is an applied type constructor, e.g. Tensor[Real64, 1].
+type Compound struct {
+	Ctor string
+	Args []Type
+}
+
+func (c *Compound) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s[%s]", c.Ctor, strings.Join(parts, ", "))
+}
+func (c *Compound) isType() {}
+
+// TensorOf builds the dense array type Tensor[elem, rank].
+func TensorOf(elem Type, rank int) *Compound {
+	return &Compound{Ctor: "Tensor", Args: []Type{elem, &Literal{Value: int64(rank)}}}
+}
+
+// Literal is a type-level constant (paper §4.4 TypeLiteral), used for
+// tensor ranks.
+type Literal struct {
+	Value int64
+}
+
+func (l *Literal) String() string { return fmt.Sprintf("%d", l.Value) }
+func (l *Literal) isType()        {}
+
+// Fn is a monomorphic function type {params...} -> ret.
+type Fn struct {
+	Params []Type
+	Ret    Type
+}
+
+func (f *Fn) String() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("{%s} -> %s", strings.Join(parts, ", "), f.Ret.String())
+}
+func (f *Fn) isType() {}
+
+// Var is a type variable. IDs are globally unique.
+type Var struct {
+	Name string
+	ID   int64
+}
+
+var varSeq int64
+
+// NewVar creates a fresh type variable.
+func NewVar(name string) *Var {
+	return &Var{Name: name, ID: atomic.AddInt64(&varSeq, 1)}
+}
+
+func (v *Var) String() string { return fmt.Sprintf("%s#%d", v.Name, v.ID) }
+func (v *Var) isType()        {}
+
+// Qual constrains a type variable to a type class (paper §4.4 qualified
+// polymorphic types).
+type Qual struct {
+	Var   *Var
+	Class string
+}
+
+func (q Qual) String() string { return fmt.Sprintf("%s ∈ %s", q.Var, q.Class) }
+
+// ForAll is a polymorphic type scheme with qualifiers.
+type ForAll struct {
+	Vars  []*Var
+	Quals []Qual
+	Body  Type
+}
+
+func (f *ForAll) String() string {
+	var vars []string
+	for _, v := range f.Vars {
+		vars = append(vars, v.String())
+	}
+	s := fmt.Sprintf("∀{%s}", strings.Join(vars, ", "))
+	if len(f.Quals) > 0 {
+		var qs []string
+		for _, q := range f.Quals {
+			qs = append(qs, q.String())
+		}
+		s += fmt.Sprintf("{%s}", strings.Join(qs, ", "))
+	}
+	return s + ". " + f.Body.String()
+}
+func (f *ForAll) isType() {}
+
+// Subst is a substitution from type-variable IDs to types.
+type Subst map[int64]Type
+
+// Apply substitutes vars in t.
+func (s Subst) Apply(t Type) Type {
+	switch x := t.(type) {
+	case *Var:
+		if r, ok := s[x.ID]; ok {
+			// Path-compress chains.
+			return s.Apply(r)
+		}
+		return x
+	case *Compound:
+		args := make([]Type, len(x.Args))
+		changed := false
+		for i, a := range x.Args {
+			args[i] = s.Apply(a)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return x
+		}
+		return &Compound{Ctor: x.Ctor, Args: args}
+	case *Fn:
+		params := make([]Type, len(x.Params))
+		changed := false
+		for i, p := range x.Params {
+			params[i] = s.Apply(p)
+			if params[i] != p {
+				changed = true
+			}
+		}
+		ret := s.Apply(x.Ret)
+		if ret != x.Ret {
+			changed = true
+		}
+		if !changed {
+			return x
+		}
+		return &Fn{Params: params, Ret: ret}
+	case *ForAll:
+		body := s.Apply(x.Body)
+		if body == x.Body {
+			return x
+		}
+		return &ForAll{Vars: x.Vars, Quals: x.Quals, Body: body}
+	}
+	return t
+}
+
+// occurs reports whether v appears in t under s.
+func occurs(v *Var, t Type, s Subst) bool {
+	switch x := s.Apply(t).(type) {
+	case *Var:
+		return x.ID == v.ID
+	case *Compound:
+		for _, a := range x.Args {
+			if occurs(v, a, s) {
+				return true
+			}
+		}
+	case *Fn:
+		for _, p := range x.Params {
+			if occurs(v, p, s) {
+				return true
+			}
+		}
+		return occurs(v, x.Ret, s)
+	}
+	return false
+}
+
+// Unify extends s so that s(a) == s(b), or reports an error. ForAll types
+// must be instantiated before unification.
+func Unify(a, b Type, s Subst) error {
+	return UnifyTracked(a, b, s, nil)
+}
+
+// UnifyTracked is Unify that records every variable it binds in added, so
+// speculative unifications can be rolled back in O(bindings) instead of
+// copying the whole substitution (the inference solver's trial mechanism).
+// Unification only ever adds bindings, never rewrites existing ones, so
+// deleting the recorded keys restores s exactly.
+func UnifyTracked(a, b Type, s Subst, added *[]int64) error {
+	a = s.Apply(a)
+	b = s.Apply(b)
+	if a == b {
+		return nil
+	}
+	if av, ok := a.(*Var); ok {
+		if occurs(av, b, s) {
+			return fmt.Errorf("occurs check: %s in %s", av, b)
+		}
+		s[av.ID] = b
+		if added != nil {
+			*added = append(*added, av.ID)
+		}
+		return nil
+	}
+	if _, ok := b.(*Var); ok {
+		return UnifyTracked(b, a, s, added)
+	}
+	switch x := a.(type) {
+	case *Atomic:
+		if y, ok := b.(*Atomic); ok && x.Name == y.Name {
+			return nil
+		}
+	case *Literal:
+		if y, ok := b.(*Literal); ok && x.Value == y.Value {
+			return nil
+		}
+	case *Compound:
+		y, ok := b.(*Compound)
+		if !ok || x.Ctor != y.Ctor || len(x.Args) != len(y.Args) {
+			break
+		}
+		for i := range x.Args {
+			if err := UnifyTracked(x.Args[i], y.Args[i], s, added); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Fn:
+		y, ok := b.(*Fn)
+		if !ok || len(x.Params) != len(y.Params) {
+			break
+		}
+		for i := range x.Params {
+			if err := UnifyTracked(x.Params[i], y.Params[i], s, added); err != nil {
+				return err
+			}
+		}
+		return UnifyTracked(x.Ret, y.Ret, s, added)
+	}
+	return fmt.Errorf("cannot unify %s with %s", a, b)
+}
+
+// Rollback removes the bindings recorded by UnifyTracked.
+func (s Subst) Rollback(added []int64) {
+	for _, id := range added {
+		delete(s, id)
+	}
+}
+
+// Instantiate replaces a scheme's bound variables with fresh ones,
+// returning the body and the pending qualifier obligations (paper §4.4
+// InstantiateConstraint).
+func Instantiate(t Type) (Type, []Qual) {
+	fa, ok := t.(*ForAll)
+	if !ok {
+		return t, nil
+	}
+	s := Subst{}
+	fresh := make(map[int64]*Var, len(fa.Vars))
+	for _, v := range fa.Vars {
+		nv := NewVar(v.Name)
+		fresh[v.ID] = nv
+		s[v.ID] = nv
+	}
+	quals := make([]Qual, len(fa.Quals))
+	for i, q := range fa.Quals {
+		nv, ok := fresh[q.Var.ID]
+		if !ok {
+			nv = q.Var
+		}
+		quals[i] = Qual{Var: nv, Class: q.Class}
+	}
+	return s.Apply(fa.Body), quals
+}
+
+// FreeVars collects the free type variables of t under s.
+func FreeVars(t Type, s Subst) []*Var {
+	var out []*Var
+	seen := map[int64]bool{}
+	var walk func(Type)
+	walk = func(t Type) {
+		switch x := s.Apply(t).(type) {
+		case *Var:
+			if !seen[x.ID] {
+				seen[x.ID] = true
+				out = append(out, x)
+			}
+		case *Compound:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *Fn:
+			for _, p := range x.Params {
+				walk(p)
+			}
+			walk(x.Ret)
+		case *ForAll:
+			walk(x.Body)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Mangle produces the resolved function name used after function resolution
+// rewrites calls (paper §4.5: "the call instruction is rewritten to the
+// mangled name of the function").
+func Mangle(name string, t Type) string {
+	var b strings.Builder
+	b.WriteString(name)
+	var walk func(Type)
+	walk = func(t Type) {
+		b.WriteByte('_')
+		switch x := t.(type) {
+		case *Atomic:
+			b.WriteString(shortName(x.Name))
+		case *Literal:
+			fmt.Fprintf(&b, "%d", x.Value)
+		case *Compound:
+			b.WriteString(x.Ctor)
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *Fn:
+			b.WriteString("Fn")
+			for _, p := range x.Params {
+				walk(p)
+			}
+			b.WriteString("_to")
+			walk(x.Ret)
+		case *Var:
+			fmt.Fprintf(&b, "v%d", x.ID)
+		}
+	}
+	if fn, ok := t.(*Fn); ok {
+		for _, p := range fn.Params {
+			walk(p)
+		}
+	} else {
+		walk(t)
+	}
+	return b.String()
+}
+
+func shortName(n string) string {
+	switch n {
+	case "Integer64":
+		return "I64"
+	case "Integer32":
+		return "I32"
+	case "Integer16":
+		return "I16"
+	case "Integer8":
+		return "I8"
+	case "UnsignedInteger8":
+		return "U8"
+	case "UnsignedInteger16":
+		return "U16"
+	case "UnsignedInteger32":
+		return "U32"
+	case "UnsignedInteger64":
+		return "U64"
+	case "Real64":
+		return "R64"
+	case "Real32":
+		return "R32"
+	case "ComplexReal64":
+		return "C64"
+	case "Boolean":
+		return "B"
+	case "String":
+		return "S"
+	case "Expression":
+		return "E"
+	case "Void":
+		return "V"
+	}
+	return n
+}
+
+// Equal reports structural equality of two ground types.
+func Equal(a, b Type) bool {
+	s := Subst{}
+	return Unify(a, b, s) == nil && len(s) == 0
+}
+
+// IsGround reports whether t contains no type variables.
+func IsGround(t Type) bool {
+	return len(FreeVars(t, Subst{})) == 0
+}

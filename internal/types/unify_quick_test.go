@@ -1,0 +1,190 @@
+package types
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the unifier that inference leans on (§4.4): generated
+// random types, not hand-picked cases.
+
+// genGroundType builds a random variable-free type.
+func genGroundType(rng *rand.Rand, depth int) Type {
+	atoms := []Type{TInt64, TReal64, TBool, TString, TComplex}
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return atoms[rng.Intn(len(atoms))]
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return TensorOf(genGroundType(rng, depth-1), 1+rng.Intn(2))
+	case 1:
+		n := rng.Intn(3)
+		params := make([]Type, n)
+		for i := range params {
+			params[i] = genGroundType(rng, depth-1)
+		}
+		return &Fn{Params: params, Ret: genGroundType(rng, depth-1)}
+	default:
+		return &Compound{Ctor: "Pair", Args: []Type{
+			genGroundType(rng, depth-1), genGroundType(rng, depth-1)}}
+	}
+}
+
+// punch replaces random subterms of a ground type with fresh variables,
+// returning the punched type. Unifying it against the original must always
+// succeed and reconstruct the original.
+func punch(rng *rand.Rand, t Type) Type {
+	if rng.Intn(4) == 0 {
+		return NewVar("h")
+	}
+	switch x := t.(type) {
+	case *Compound:
+		args := make([]Type, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = punch(rng, a)
+		}
+		return &Compound{Ctor: x.Ctor, Args: args}
+	case *Fn:
+		params := make([]Type, len(x.Params))
+		for i, p := range x.Params {
+			params[i] = punch(rng, p)
+		}
+		return &Fn{Params: params, Ret: punch(rng, x.Ret)}
+	}
+	return t
+}
+
+// Reflexivity: every ground type unifies with itself under the empty
+// substitution, and the substitution stays empty.
+func TestUnifyReflexiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genGroundType(rng, 1+rng.Intn(3))
+		s := Subst{}
+		if err := Unify(ty, ty, s); err != nil {
+			return false
+		}
+		return len(s) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Solving holes: a ground type unifies with any hole-punched copy of
+// itself, and applying the resulting substitution to the punched copy
+// reconstructs the ground type exactly.
+func TestUnifySolvesHolesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ground := genGroundType(rng, 1+rng.Intn(3))
+		holey := punch(rng, ground)
+		s := Subst{}
+		if err := Unify(holey, ground, s); err != nil {
+			return false
+		}
+		return s.Apply(holey).String() == ground.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Unification is symmetric in solvability and result.
+func TestUnifySymmetricQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ground := genGroundType(rng, 1+rng.Intn(3))
+		a := punch(rng, ground)
+		b := punch(rng, ground)
+		s1, s2 := Subst{}, Subst{}
+		err1 := Unify(a, b, s1)
+		err2 := Unify(b, a, s2)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		// Where a hole met a hole the two directions bind different (alpha-
+		// equivalent) variables, so compare only ground results exactly.
+		r1, r2 := s1.Apply(a), s2.Apply(a)
+		if !IsGround(r1) || !IsGround(r2) {
+			return true
+		}
+		return r1.String() == r2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// UnifyTracked + Rollback restores the substitution to its pre-trial state
+// whether the trial succeeded or failed — the invariant the inference
+// engine's overload trials depend on.
+func TestUnifyTrackedRollbackQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Pre-existing bindings that must survive the rollback untouched.
+		s := Subst{}
+		pre := NewVar("pre")
+		s[pre.ID] = genGroundType(rng, 2)
+		before := len(s)
+
+		groundA := genGroundType(rng, 1+rng.Intn(3))
+		a := punch(rng, groundA)
+		// Half the trials are against an unrelated type, so some fail.
+		b := genGroundType(rng, 1+rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			b = groundA
+		}
+		var added []int64
+		_ = UnifyTracked(a, b, s, &added)
+		s.Rollback(added)
+		if len(s) != before {
+			return false
+		}
+		return s[pre.ID] != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mangled names separate distinct signatures. A top-level function type is
+// keyed by its parameter tuple only (§4.5: overloads are chosen by argument
+// types; the return type is resolution's output), so the property compares
+// that domain, not the full type.
+func TestMangleSeparatesTypesQuick(t *testing.T) {
+	signature := func(t Type) string {
+		if fn, ok := t.(*Fn); ok {
+			parts := make([]string, len(fn.Params))
+			for i, p := range fn.Params {
+				parts[i] = p.String()
+			}
+			return "(" + strings.Join(parts, ",") + ")"
+		}
+		return t.String()
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genGroundType(rng, 1+rng.Intn(3))
+		b := genGroundType(rng, 1+rng.Intn(3))
+		// A bare type T and a function {T} -> R mangle to the same symbol
+		// by design, so only compare within the same kind.
+		_, aFn := a.(*Fn)
+		_, bFn := b.(*Fn)
+		if aFn != bFn {
+			return true
+		}
+		if signature(a) == signature(b) {
+			return Mangle("f", a) == Mangle("f", b)
+		}
+		return Mangle("f", a) != Mangle("f", b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

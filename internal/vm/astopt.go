@@ -1,0 +1,166 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"wolfc/internal/expr"
+)
+
+// AST-level common subexpression elimination, the optimisation the paper
+// attributes to the bytecode compiler (§2.2: "the bytecode compiler first
+// performs optimizations on the AST, such as common sub-expression
+// elimination"). A repeated pure subtree whose variables are never assigned
+// anywhere in the body is hoisted into a Module temporary.
+
+// pureCSEHeads are heads whose evaluation has no side effects and always
+// yields the same value for the same inputs.
+var pureCSEHeads = map[string]bool{
+	"Plus": true, "Times": true, "Subtract": true, "Divide": true,
+	"Power": true, "Minus": true, "Mod": true, "Quotient": true,
+	"Sin": true, "Cos": true, "Tan": true, "Exp": true, "Log": true,
+	"Sqrt": true, "Abs": true, "Floor": true, "Ceiling": true,
+	"Round": true, "ArcTan": true, "Min": true, "Max": true,
+	"Less": true, "LessEqual": true, "Greater": true, "GreaterEqual": true,
+	"Equal": true, "Unequal": true, "BitAnd": true, "BitOr": true,
+	"BitXor": true,
+}
+
+// cseOptimize hoists repeated pure subexpressions of body into Module
+// temporaries. assigned is the set of symbols written anywhere in the body
+// (their subtrees are not safe to hoist).
+func cseOptimize(body expr.Expr) expr.Expr {
+	assigned := map[*expr.Symbol]bool{}
+	expr.Walk(body, func(e expr.Expr) bool {
+		if n, ok := e.(*expr.Normal); ok {
+			if h, ok := n.Head().(*expr.Symbol); ok && n.Len() >= 1 {
+				switch h.Name {
+				case "Set", "SetDelayed", "Increment", "Decrement",
+					"AddTo", "SubtractFrom", "TimesBy", "DivideBy":
+					if s, ok := n.Arg(1).(*expr.Symbol); ok {
+						assigned[s] = true
+					}
+					// Part assignments mutate the underlying variable too.
+					if p, ok := expr.IsNormal(n.Arg(1), expr.Sym("Part")); ok && p.Len() >= 1 {
+						if s, ok := p.Arg(1).(*expr.Symbol); ok {
+							assigned[s] = true
+						}
+					}
+				case "Module", "Block", "With":
+					// Locals of inner scopes are assigned by their inits.
+					if l, ok := expr.IsNormal(n.Arg(1), expr.SymList); ok {
+						for _, v := range l.Args() {
+							if s, ok := v.(*expr.Symbol); ok {
+								assigned[s] = true
+							}
+							if st, ok := expr.IsNormalN(v, expr.SymSet, 2); ok {
+								if s, ok := st.Arg(1).(*expr.Symbol); ok {
+									assigned[s] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Count every hoistable subtree (including nested occurrences).
+	counts := map[uint64]int{}
+	reps := map[uint64]expr.Expr{}
+	expr.Walk(body, func(e expr.Expr) bool {
+		if hoistable(e, assigned) {
+			h := expr.Hash(e)
+			counts[h]++
+			reps[h] = e
+		}
+		return true
+	})
+	var candidates []expr.Expr
+	for h, n := range counts {
+		if n >= 2 {
+			candidates = append(candidates, reps[h])
+		}
+	}
+	// Largest subtrees first, so x*Sin[x] wins over Sin[x] when both
+	// repeat; ties broken deterministically by FullForm.
+	sort.Slice(candidates, func(i, j int) bool {
+		si, sj := treeSize(candidates[i]), treeSize(candidates[j])
+		if si != sj {
+			return si > sj
+		}
+		return expr.FullForm(candidates[i]) < expr.FullForm(candidates[j])
+	})
+
+	var temps []expr.Expr // Set[tmp, subtree] initialisers
+	out := body
+	seq := 0
+	for _, sub := range candidates {
+		// Recount in the current tree: an earlier hoist may have consumed
+		// these occurrences.
+		n := 0
+		expr.Walk(out, func(e expr.Expr) bool {
+			if expr.SameQ(e, sub) {
+				n++
+				return false
+			}
+			return true
+		})
+		if n < 2 {
+			continue
+		}
+		seq++
+		tmp := expr.Sym(fmt.Sprintf("WVMCSE$%d", seq))
+		temps = append(temps, expr.New(expr.SymSet, tmp, sub))
+		out = expr.Replace(out, func(e expr.Expr) expr.Expr {
+			if expr.SameQ(e, sub) {
+				return tmp
+			}
+			return e
+		})
+	}
+	if len(temps) == 0 {
+		return body
+	}
+	return expr.New(expr.SymModule, expr.List(temps...), out)
+}
+
+// treeSize counts nodes.
+func treeSize(e expr.Expr) int {
+	n := 0
+	expr.Walk(e, func(expr.Expr) bool { n++; return true })
+	return n
+}
+
+// hoistable reports whether e is a non-trivial pure subtree over
+// never-assigned variables.
+func hoistable(e expr.Expr, assigned map[*expr.Symbol]bool) bool {
+	n, ok := e.(*expr.Normal)
+	if !ok || n.Len() == 0 {
+		return false
+	}
+	h, ok := n.Head().(*expr.Symbol)
+	if !ok || !pureCSEHeads[h.Name] {
+		return false
+	}
+	pure := true
+	expr.Walk(e, func(sub expr.Expr) bool {
+		switch x := sub.(type) {
+		case *expr.Symbol:
+			if assigned[x] {
+				pure = false
+			}
+		case *expr.Normal:
+			if hh, ok := x.Head().(*expr.Symbol); ok {
+				if !pureCSEHeads[hh.Name] {
+					pure = false
+				}
+			} else {
+				pure = false
+			}
+		}
+		return pure
+	})
+	return pure
+}

@@ -1,0 +1,1531 @@
+package vm
+
+import (
+	"fmt"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+)
+
+// The bytecode compiler: a single forward monolithic transformation (paper
+// §2.2) from the expression AST to WVM bytecode. Types are propagated
+// bottom-up; anything unknown is assumed Real, and unsupported expressions
+// compile to interpreter-escape instructions.
+
+// ctype is the compile-time type of an expression: a scalar kind, or a
+// tensor with an element kind.
+type ctype struct {
+	kind Kind
+	elem Kind // element kind when kind == KTensor
+}
+
+// KDyn is a compile-time-only kind for values whose runtime type is unknown
+// (interpreter escapes); OpCoerce narrows them where a static type is
+// required.
+const KDyn Kind = 100
+
+var (
+	ctDyn     = ctype{kind: KDyn}
+	ctInt     = ctype{kind: KInt}
+	ctReal    = ctype{kind: KReal}
+	ctBool    = ctype{kind: KBool}
+	ctVoid    = ctype{kind: KVoid}
+	ctComplex = ctype{kind: KComplex}
+)
+
+func ctTensor(elem Kind) ctype { return ctype{kind: KTensor, elem: elem} }
+
+// CompileError reports why an expression cannot be bytecode-compiled at all
+// (escapes handle merely-unsupported subexpressions; this is for structural
+// failures like string arguments).
+type CompileError struct{ Msg string }
+
+func (e *CompileError) Error() string { return e.Msg }
+
+// ArgSpec declares one compiled-function parameter, mirroring the classic
+// Compile[{{x, _Real}, {v, _Real, 1}}, ...] specifications.
+type ArgSpec struct {
+	Name *expr.Symbol
+	Type ctype
+}
+
+// ParseArgSpecs interprets the first argument of Compile: a list of names
+// (assumed Real), or {name, _Type} / {name, _Type, rank} lists.
+func ParseArgSpecs(spec expr.Expr) ([]ArgSpec, error) {
+	l, ok := expr.IsNormal(spec, expr.SymList)
+	if !ok {
+		return nil, &CompileError{Msg: "Compile: argument list expected"}
+	}
+	var out []ArgSpec
+	for _, a := range l.Args() {
+		switch x := a.(type) {
+		case *expr.Symbol:
+			out = append(out, ArgSpec{Name: x, Type: ctReal})
+		case *expr.Normal:
+			item, ok := expr.IsNormal(x, expr.SymList)
+			if !ok || item.Len() < 1 || item.Len() > 3 {
+				return nil, &CompileError{Msg: fmt.Sprintf("Compile: bad argument spec %s", expr.InputForm(a))}
+			}
+			name, ok := item.Arg(1).(*expr.Symbol)
+			if !ok {
+				return nil, &CompileError{Msg: fmt.Sprintf("Compile: bad argument name in %s", expr.InputForm(a))}
+			}
+			t := ctReal
+			if item.Len() >= 2 {
+				blank, ok := expr.IsNormal(item.Arg(2), expr.SymBlank)
+				if !ok || blank.Len() != 1 {
+					return nil, &CompileError{Msg: fmt.Sprintf("Compile: bad type pattern in %s", expr.InputForm(a))}
+				}
+				head, ok := blank.Arg(1).(*expr.Symbol)
+				if !ok {
+					return nil, &CompileError{Msg: "Compile: bad type head"}
+				}
+				switch head.Name {
+				case "Integer":
+					t = ctInt
+				case "Real":
+					t = ctReal
+				case "Complex":
+					t = ctComplex
+				case "True", "False", "Boolean":
+					t = ctBool
+				default:
+					return nil, &CompileError{Msg: fmt.Sprintf("Compile: unsupported type _%s", head.Name)}
+				}
+			}
+			if item.Len() == 3 {
+				rank, ok := item.Arg(3).(*expr.Integer)
+				if !ok || !rank.IsMachine() || rank.Int64() < 1 {
+					return nil, &CompileError{Msg: "Compile: bad tensor rank"}
+				}
+				t = ctTensor(t.kind)
+			}
+			out = append(out, ArgSpec{Name: name, Type: t})
+		default:
+			return nil, &CompileError{Msg: fmt.Sprintf("Compile: bad argument spec %s", expr.InputForm(a))}
+		}
+	}
+	return out, nil
+}
+
+// CompileExpr compiles the classic form Compile[{specs...}, body].
+func CompileExpr(k *kernel.Kernel, e expr.Expr) (*CompiledFunction, error) {
+	n, ok := expr.IsNormal(e, expr.Sym("Compile"))
+	if !ok || n.Len() < 2 {
+		return nil, &CompileError{Msg: "Compile[{args}, body] expected"}
+	}
+	specs, err := ParseArgSpecs(n.Arg(1))
+	if err != nil {
+		return nil, err
+	}
+	return Compile(k, specs, n.Arg(2))
+}
+
+// Compile translates body with the given parameters into WVM bytecode.
+func Compile(k *kernel.Kernel, args []ArgSpec, body expr.Expr) (*CompiledFunction, error) {
+	c := &compiler{
+		k:     k,
+		slots: map[*expr.Symbol]int{},
+		cf: &CompiledFunction{
+			NumArgs:         len(args),
+			CompilerVersion: 11,
+			EngineVersion:   12,
+		},
+	}
+	for _, a := range args {
+		idx := c.newSlot(a.Name, a.Type)
+		c.cf.ArgKinds = append(c.cf.ArgKinds, c.slotTypes[idx].kind)
+	}
+	c.cf.Source = expr.New(expr.SymFunction, argNameList(args), body)
+	// AST-level CSE before code generation (§2.2).
+	body = cseOptimize(body)
+	c.inferVarTypes(body)
+	t, err := c.compile(body, true)
+	if err != nil {
+		return nil, err
+	}
+	_ = t
+	c.emit(OpRet, 0, 0)
+	for _, st := range c.slotTypes {
+		c.cf.SlotKinds = append(c.cf.SlotKinds, st.kind)
+	}
+	return c.cf, nil
+}
+
+func argNameList(args []ArgSpec) expr.Expr {
+	names := make([]expr.Expr, len(args))
+	for i, a := range args {
+		names[i] = a.Name
+	}
+	return expr.List(names...)
+}
+
+type compiler struct {
+	k         *kernel.Kernel
+	cf        *CompiledFunction
+	slots     map[*expr.Symbol]int
+	slotTypes []ctype
+}
+
+func (c *compiler) newSlot(sym *expr.Symbol, t ctype) int {
+	idx := len(c.slotTypes)
+	c.slots[sym] = idx
+	c.slotTypes = append(c.slotTypes, t)
+	c.cf.SlotSyms = append(c.cf.SlotSyms, sym)
+	return idx
+}
+
+func (c *compiler) emit(op Op, a, b int32) int {
+	c.cf.Code = append(c.cf.Code, Instr{Op: op, A: a, B: b})
+	return len(c.cf.Code) - 1
+}
+
+func (c *compiler) patch(at int, target int) {
+	c.cf.Code[at].A = int32(target)
+}
+
+func (c *compiler) here() int { return len(c.cf.Code) }
+
+func (c *compiler) pushConst(v Value) {
+	for i, cv := range c.cf.Consts {
+		if cv.Kind == v.Kind && cv == v {
+			c.emit(OpPushConst, int32(i), 0)
+			return
+		}
+	}
+	c.cf.Consts = append(c.cf.Consts, v)
+	c.emit(OpPushConst, int32(len(c.cf.Consts)-1), 0)
+}
+
+// inferVarTypes fixpoints variable types over all assignments in the body so
+// a single forward pass can emit typed opcodes.
+func (c *compiler) inferVarTypes(body expr.Expr) {
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		var walk func(e expr.Expr)
+		walk = func(e expr.Expr) {
+			n, ok := e.(*expr.Normal)
+			if !ok {
+				return
+			}
+			if h, ok := n.Head().(*expr.Symbol); ok {
+				switch h.Name {
+				case "Set":
+					if n.Len() == 2 {
+						if sym, ok := n.Arg(1).(*expr.Symbol); ok {
+							t := c.typeOf(n.Arg(2))
+							if c.recordVar(sym, t) {
+								changed = true
+							}
+						}
+					}
+				case "Module", "Block", "With":
+					if n.Len() == 2 {
+						if l, ok := expr.IsNormal(n.Arg(1), expr.SymList); ok {
+							for _, v := range l.Args() {
+								if s, ok := expr.IsNormalN(v, expr.SymSet, 2); ok {
+									if sym, ok := s.Arg(1).(*expr.Symbol); ok {
+										if c.recordVar(sym, c.typeOf(s.Arg(2))) {
+											changed = true
+										}
+									}
+								} else if sym, ok := v.(*expr.Symbol); ok {
+									if c.recordVar(sym, ctReal) {
+										changed = true
+									}
+								}
+							}
+						}
+					}
+				case "Do", "Table", "Sum":
+					for i := 2; i <= n.Len(); i++ {
+						if it, ok := expr.IsNormal(n.Arg(i), expr.SymList); ok && it.Len() >= 2 {
+							if sym, ok := it.Arg(1).(*expr.Symbol); ok {
+								t := ctInt
+								for j := 2; j <= it.Len(); j++ {
+									if c.typeOf(it.Arg(j)).kind == KReal {
+										t = ctReal
+									}
+								}
+								if c.recordVar(sym, t) {
+									changed = true
+								}
+							}
+						}
+					}
+				case "For":
+					// Handled through the nested Set in its init/step.
+				}
+			}
+			walk(n.Head())
+			for _, a := range n.Args() {
+				walk(a)
+			}
+		}
+		walk(body)
+		if !changed {
+			break
+		}
+	}
+}
+
+// recordVar joins a type into a variable slot, creating it on first sight;
+// reports whether anything changed.
+func (c *compiler) recordVar(sym *expr.Symbol, t ctype) bool {
+	idx, ok := c.slots[sym]
+	if !ok {
+		c.newSlot(sym, t)
+		return true
+	}
+	joined := joinTypes(c.slotTypes[idx], t)
+	if joined != c.slotTypes[idx] {
+		c.slotTypes[idx] = joined
+		return true
+	}
+	return false
+}
+
+// joinTypes computes the least upper type of two assignments to one slot.
+func joinTypes(a, b ctype) ctype {
+	if a == b {
+		return a
+	}
+	if a.kind == KVoid {
+		return b
+	}
+	if b.kind == KVoid {
+		return a
+	}
+	if a.kind == KInt && b.kind == KReal || a.kind == KReal && b.kind == KInt {
+		return ctReal
+	}
+	if a.kind == KTensor && b.kind == KTensor {
+		return ctTensor(joinTypes(ctype{kind: a.elem}, ctype{kind: b.elem}).kind)
+	}
+	// Incompatible: fall back to Real (the "unknown is Real" rule).
+	return ctReal
+}
+
+// typeOf infers the type of an expression bottom-up; unknown is Real.
+func (c *compiler) typeOf(e expr.Expr) ctype {
+	switch x := e.(type) {
+	case *expr.Integer:
+		if x.IsMachine() {
+			return ctInt
+		}
+		return ctReal
+	case *expr.Real:
+		return ctReal
+	case *expr.Complex:
+		return ctComplex
+	case *expr.Rational:
+		return ctReal
+	case *expr.Symbol:
+		if x == expr.SymTrue || x == expr.SymFalse {
+			return ctBool
+		}
+		if x == expr.SymNull {
+			return ctVoid
+		}
+		if idx, ok := c.slots[x]; ok {
+			return c.slotTypes[idx]
+		}
+		return ctReal
+	case *expr.Normal:
+		h, ok := x.Head().(*expr.Symbol)
+		if !ok {
+			return ctReal
+		}
+		switch h.Name {
+		case "List":
+			elem := KInt
+			for _, a := range x.Args() {
+				at := c.typeOf(a)
+				switch at.kind {
+				case KReal:
+					elem = KReal
+				case KTensor:
+					// Nested list: element kind bubbles up.
+					if at.elem == KReal {
+						elem = KReal
+					}
+				}
+			}
+			return ctTensor(elem)
+		case "Plus", "Times", "Subtract", "Minus", "Mod", "Quotient", "Max", "Min":
+			t := ctInt
+			for _, a := range x.Args() {
+				at := c.typeOf(a)
+				if at.kind == KReal {
+					t = ctReal
+				}
+				if at.kind == KTensor {
+					return at
+				}
+			}
+			return t
+		case "Divide":
+			return ctReal
+		case "Power":
+			bt := c.typeOf(x.Arg(1))
+			et := c.typeOf(x.Arg(2))
+			if bt.kind == KInt && et.kind == KInt {
+				if lit, ok := x.Arg(2).(*expr.Integer); ok && lit.IsMachine() && lit.Int64() >= 0 {
+					return ctInt
+				}
+			}
+			return ctReal
+		case "Equal", "Unequal", "Less", "LessEqual", "Greater", "GreaterEqual",
+			"And", "Or", "Not", "SameQ", "UnsameQ", "EvenQ", "OddQ":
+			return ctBool
+		case "If":
+			if x.Len() >= 3 {
+				return joinTypes(c.typeOf(x.Arg(2)), c.typeOf(x.Arg(3)))
+			}
+			if x.Len() == 2 {
+				return c.typeOf(x.Arg(2))
+			}
+			return ctVoid
+		case "CompoundExpression":
+			if x.Len() == 0 {
+				return ctVoid
+			}
+			return c.typeOf(x.Arg(x.Len()))
+		case "Module", "Block":
+			if x.Len() == 2 {
+				return c.typeOf(x.Arg(2))
+			}
+			return ctVoid
+		case "While", "Do", "For":
+			return ctVoid
+		case "Set":
+			if x.Len() == 2 {
+				return c.typeOf(x.Arg(2))
+			}
+			return ctVoid
+		case "Increment", "Decrement", "AddTo", "SubtractFrom", "TimesBy":
+			return c.typeOf(x.Arg(1))
+		case "DivideBy":
+			return ctReal
+		case "Part":
+			t := c.typeOf(x.Arg(1))
+			if t.kind == KTensor {
+				// Consuming one index of a rank-1 tensor yields the scalar.
+				return ctype{kind: t.elem}
+			}
+			return ctReal
+		case "Length", "Floor", "Ceiling", "Round", "Sign", "Boole",
+			"BitAnd", "BitOr", "BitXor", "BitShiftLeft", "BitShiftRight":
+			return ctInt
+		case "Sin", "Cos", "Tan", "Exp", "Log", "Sqrt", "ArcTan", "ArcSin",
+			"ArcCos", "N":
+			return ctReal
+		case "Abs":
+			return c.typeOf(x.Arg(1))
+		case "Total":
+			t := c.typeOf(x.Arg(1))
+			if t.kind == KTensor {
+				return ctype{kind: t.elem}
+			}
+			return ctReal
+		case "Dot":
+			return ctTensor(KReal) // refined at compile time for vec·vec
+		case "RandomReal":
+			return ctReal
+		case "RandomInteger":
+			return ctInt
+		case "Table":
+			return ctTensor(c.typeOf(x.Arg(1)).kind)
+		case "ConstantArray":
+			// Evaluated through an interpreter escape; the element type
+			// follows the fill value.
+			if x.Len() >= 1 {
+				return ctTensor(c.typeOf(x.Arg(1)).kind)
+			}
+			return ctTensor(KReal)
+		}
+		return ctReal
+	}
+	return ctReal
+}
+
+// coerce emits conversions to make the value on the stack (of type from)
+// usable as type want. It returns the resulting type; incompatible pairs
+// are reported as a compile error.
+func (c *compiler) coerce(from, want ctype) (ctype, error) {
+	if from == want || want.kind == KVoid {
+		return from, nil
+	}
+	if from.kind == KDyn {
+		// Escaped expressions carry no static type; narrow at runtime.
+		c.emit(OpCoerce, int32(want.kind), 0)
+		return want, nil
+	}
+	if from.kind == KInt && want.kind == KReal {
+		c.emit(OpToReal, 0, 0)
+		return ctReal, nil
+	}
+	if from.kind == KTensor && want.kind == KTensor {
+		if from.elem == KInt && want.elem == KReal {
+			c.emit(OpToReal, 0, 0)
+			return want, nil
+		}
+		return from, nil
+	}
+	return from, &CompileError{Msg: fmt.Sprintf("cannot convert %v to %v", from.kind, want.kind)}
+}
+
+// compile emits code for e. When needValue is false the expression is in
+// statement position and must leave the stack unchanged. Returns the type
+// of the pushed value (ctVoid when nothing was pushed).
+func (c *compiler) compile(e expr.Expr, needValue bool) (ctype, error) {
+	switch x := e.(type) {
+	case *expr.Integer:
+		if !needValue {
+			return ctVoid, nil
+		}
+		if !x.IsMachine() {
+			return c.escape(e, needValue)
+		}
+		c.pushConst(IntValue(x.Int64()))
+		return ctInt, nil
+	case *expr.Real:
+		if !needValue {
+			return ctVoid, nil
+		}
+		c.pushConst(RealValue(x.V))
+		return ctReal, nil
+	case *expr.Rational:
+		if !needValue {
+			return ctVoid, nil
+		}
+		f, _ := x.V.Float64()
+		c.pushConst(RealValue(f))
+		return ctReal, nil
+	case *expr.Symbol:
+		if !needValue {
+			return ctVoid, nil
+		}
+		switch x {
+		case expr.SymTrue:
+			c.pushConst(BoolValue(true))
+			return ctBool, nil
+		case expr.SymFalse:
+			c.pushConst(BoolValue(false))
+			return ctBool, nil
+		case expr.SymNull:
+			c.pushConst(Value{Kind: KVoid})
+			return ctVoid, nil
+		}
+		if x.Name == "Pi" {
+			c.pushConst(RealValue(3.141592653589793))
+			return ctReal, nil
+		}
+		if x.Name == "E" {
+			c.pushConst(RealValue(2.718281828459045))
+			return ctReal, nil
+		}
+		if idx, ok := c.slots[x]; ok {
+			c.emit(OpLoad, int32(idx), 0)
+			return c.slotTypes[idx], nil
+		}
+		return c.escape(e, needValue)
+	case *expr.String:
+		// Strings are outside the WVM's datatypes (limitation L1).
+		return ctVoid, &CompileError{Msg: "strings are not supported by the bytecode compiler"}
+	case *expr.Normal:
+		return c.compileNormal(x, needValue)
+	}
+	return c.escape(e, needValue)
+}
+
+func (c *compiler) compileNormal(n *expr.Normal, needValue bool) (ctype, error) {
+	h, ok := n.Head().(*expr.Symbol)
+	if !ok {
+		return c.escape(n, needValue)
+	}
+	switch h.Name {
+	case "CompoundExpression":
+		for i := 1; i < n.Len(); i++ {
+			if _, err := c.compile(n.Arg(i), false); err != nil {
+				return ctVoid, err
+			}
+		}
+		if n.Len() == 0 {
+			return ctVoid, nil
+		}
+		return c.compile(n.Arg(n.Len()), needValue)
+
+	case "Set":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		return c.compileSet(n.Arg(1), n.Arg(2), needValue)
+
+	case "Module", "Block":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		l, ok := expr.IsNormal(n.Arg(1), expr.SymList)
+		if !ok {
+			return c.escape(n, needValue)
+		}
+		for _, v := range l.Args() {
+			if s, ok := expr.IsNormalN(v, expr.SymSet, 2); ok {
+				if _, err := c.compileSet(s.Arg(1), s.Arg(2), false); err != nil {
+					return ctVoid, err
+				}
+			}
+		}
+		return c.compile(n.Arg(2), needValue)
+
+	case "If":
+		return c.compileIf(n, needValue)
+	case "While":
+		return c.compileWhile(n, needValue)
+	case "For":
+		return c.compileFor(n, needValue)
+	case "Do":
+		return c.compileDo(n, needValue)
+	case "Table":
+		return c.compileTable(n, needValue)
+
+	case "Plus":
+		return c.compileNaryArith(n, OpAddI, OpAddR, needValue)
+	case "Times":
+		return c.compileNaryArith(n, OpMulI, OpMulR, needValue)
+	case "Subtract":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		return c.compileBinArith(n.Arg(1), n.Arg(2), OpSubI, OpSubR, needValue)
+	case "Minus":
+		if n.Len() != 1 {
+			return c.escape(n, needValue)
+		}
+		t, err := c.compile(n.Arg(1), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		switch t.kind {
+		case KInt:
+			c.emit(OpNegI, 0, 0)
+		case KReal:
+			c.emit(OpNegR, 0, 0)
+		default:
+			return ctVoid, &CompileError{Msg: "Minus of non-scalar"}
+		}
+		return c.discardIfStmt(t, needValue), nil
+	case "Divide":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		t1, err := c.compileAs(n.Arg(1), ctReal)
+		if err != nil {
+			return ctVoid, err
+		}
+		_ = t1
+		if _, err := c.compileAs(n.Arg(2), ctReal); err != nil {
+			return ctVoid, err
+		}
+		c.emit(OpDivR, 0, 0)
+		return c.discardIfStmt(ctReal, needValue), nil
+	case "Power":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		want := c.typeOf(n)
+		if want.kind == KInt {
+			if _, err := c.compileAs(n.Arg(1), ctInt); err != nil {
+				return ctVoid, err
+			}
+			if _, err := c.compileAs(n.Arg(2), ctInt); err != nil {
+				return ctVoid, err
+			}
+			c.emit(OpPowI, 0, 0)
+			return c.discardIfStmt(ctInt, needValue), nil
+		}
+		if _, err := c.compileAs(n.Arg(1), ctReal); err != nil {
+			return ctVoid, err
+		}
+		if _, err := c.compileAs(n.Arg(2), ctReal); err != nil {
+			return ctVoid, err
+		}
+		c.emit(OpPowR, 0, 0)
+		return c.discardIfStmt(ctReal, needValue), nil
+	case "Mod":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		return c.compileIntBin(n, OpModI, needValue)
+	case "Quotient":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		return c.compileIntBin(n, OpQuotI, needValue)
+
+	case "Less", "LessEqual", "Greater", "GreaterEqual", "Equal", "Unequal":
+		return c.compileComparison(n, h.Name, needValue)
+	case "And", "Or":
+		return c.compileLogic(n, h.Name == "And", needValue)
+	case "Not":
+		if n.Len() != 1 {
+			return c.escape(n, needValue)
+		}
+		if _, err := c.compileAs(n.Arg(1), ctBool); err != nil {
+			return ctVoid, err
+		}
+		c.emit(OpNot, 0, 0)
+		return c.discardIfStmt(ctBool, needValue), nil
+
+	case "Increment", "Decrement":
+		return c.compileIncDec(n, h.Name == "Increment", needValue)
+	case "AddTo", "SubtractFrom", "TimesBy":
+		return c.compileOpAssign(n, h.Name, needValue)
+
+	case "Sin", "Cos", "Tan", "Exp", "Log", "Sqrt", "Abs", "Floor",
+		"Ceiling", "Round", "ArcTan", "ArcSin", "ArcCos", "Sign":
+		return c.compileMath1(n, h.Name, needValue)
+	case "Min", "Max":
+		return c.compileMinMax(n, h.Name == "Min", needValue)
+	case "N":
+		if n.Len() != 1 {
+			return c.escape(n, needValue)
+		}
+		t, err := c.compile(n.Arg(1), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		if t.kind == KInt || (t.kind == KTensor && t.elem == KInt) {
+			c.emit(OpToReal, 0, 0)
+			if t.kind == KTensor {
+				t = ctTensor(KReal)
+			} else {
+				t = ctReal
+			}
+		}
+		return c.discardIfStmt(t, needValue), nil
+	case "Boole":
+		if n.Len() != 1 {
+			return c.escape(n, needValue)
+		}
+		// Boole[b] compiles as If[b, 1, 0].
+		return c.compileIf(expr.NewS("If", n.Arg(1), expr.FromInt64(1), expr.FromInt64(0)), needValue)
+
+	case "BitAnd":
+		return c.compileNaryArith(n, OpBAnd, OpBAnd, needValue)
+	case "BitOr":
+		return c.compileNaryArith(n, OpBOr, OpBOr, needValue)
+	case "BitXor":
+		return c.compileNaryArith(n, OpBXor, OpBXor, needValue)
+	case "BitShiftLeft":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		return c.compileIntBin(n, OpShl, needValue)
+	case "BitShiftRight":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		return c.compileIntBin(n, OpShr, needValue)
+
+	case "Part":
+		return c.compilePart(n, needValue)
+	case "Length":
+		if n.Len() != 1 {
+			return c.escape(n, needValue)
+		}
+		if sym, ok := n.Arg(1).(*expr.Symbol); ok {
+			if idx, found := c.slots[sym]; found && c.slotTypes[idx].kind == KTensor {
+				c.emit(OpLengthV, int32(idx), 0)
+				return c.discardIfStmt(ctInt, needValue), nil
+			}
+		}
+		t, err := c.compile(n.Arg(1), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		if t.kind != KTensor {
+			return ctVoid, &CompileError{Msg: "Length of non-tensor"}
+		}
+		c.emit(OpLength, 0, 0)
+		return c.discardIfStmt(ctInt, needValue), nil
+	case "Total":
+		if n.Len() != 1 {
+			return c.escape(n, needValue)
+		}
+		t, err := c.compile(n.Arg(1), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		if t.kind != KTensor {
+			return ctVoid, &CompileError{Msg: "Total of non-tensor"}
+		}
+		c.emit(OpRuntime, RtTotal, 1)
+		return c.discardIfStmt(ctype{kind: t.elem}, needValue), nil
+	case "Reverse", "Flatten", "Transpose":
+		if n.Len() != 1 {
+			return c.escape(n, needValue)
+		}
+		t, err := c.compile(n.Arg(1), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		if t.kind != KTensor {
+			return ctVoid, &CompileError{Msg: h.Name + " of non-tensor"}
+		}
+		switch h.Name {
+		case "Reverse":
+			c.emit(OpRuntime, RtReverse, 1)
+		case "Flatten":
+			c.emit(OpRuntime, RtFlatten, 1)
+		case "Transpose":
+			c.emit(OpRuntime, RtTranspose, 1)
+		}
+		return c.discardIfStmt(t, needValue), nil
+	case "Take":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		t, err := c.compile(n.Arg(1), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		if t.kind != KTensor {
+			return ctVoid, &CompileError{Msg: "Take of non-tensor"}
+		}
+		if _, err := c.compile(n.Arg(2), true); err != nil {
+			return ctVoid, err
+		}
+		c.emit(OpRuntime, RtTake, 2)
+		return c.discardIfStmt(t, needValue), nil
+	case "Dot":
+		if n.Len() != 2 {
+			return c.escape(n, needValue)
+		}
+		t1, err := c.compile(n.Arg(1), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		t2, err := c.compile(n.Arg(2), true)
+		if err != nil {
+			return ctVoid, err
+		}
+		c.emit(OpRuntime, RtDot, 2)
+		out := ctTensor(KReal)
+		if t1.kind == KTensor && t2.kind == KTensor {
+			// vec·vec yields a scalar.
+			out = ctReal // refined below
+		}
+		// Without rank tracking beyond rank-1/2, assume scalar for two
+		// rank-1 args is not distinguishable statically; the runtime value
+		// carries its own kind, so report Real for vec·vec and tensor
+		// otherwise — both are safe for the stack discipline.
+		_ = out
+		return c.discardIfStmt(ctTensor(KReal), needValue), nil
+
+	case "RandomReal":
+		switch n.Len() {
+		case 0:
+			c.emit(OpRuntime, RtRandomReal, 0)
+			return c.discardIfStmt(ctReal, needValue), nil
+		case 1:
+			if rng, ok := expr.IsNormalN(n.Arg(1), expr.SymList, 2); ok {
+				if _, err := c.compileAs(rng.Arg(1), ctReal); err != nil {
+					return ctVoid, err
+				}
+				if _, err := c.compileAs(rng.Arg(2), ctReal); err != nil {
+					return ctVoid, err
+				}
+				c.emit(OpRuntime, RtRandomReal, 2)
+				return c.discardIfStmt(ctReal, needValue), nil
+			}
+		}
+		return c.escape(n, needValue)
+	case "RandomInteger":
+		if n.Len() == 1 {
+			if rng, ok := expr.IsNormalN(n.Arg(1), expr.SymList, 2); ok {
+				if _, err := c.compileAs(rng.Arg(1), ctInt); err != nil {
+					return ctVoid, err
+				}
+				if _, err := c.compileAs(rng.Arg(2), ctInt); err != nil {
+					return ctVoid, err
+				}
+				c.emit(OpRuntime, RtRandomInt, 2)
+				return c.discardIfStmt(ctInt, needValue), nil
+			}
+		}
+		return c.escape(n, needValue)
+	}
+	return c.escape(n, needValue)
+}
+
+// compileAs compiles e and coerces the result to want.
+func (c *compiler) compileAs(e expr.Expr, want ctype) (ctype, error) {
+	t, err := c.compile(e, true)
+	if err != nil {
+		return ctVoid, err
+	}
+	out, err := c.coerce(t, want)
+	if err != nil {
+		return ctVoid, err
+	}
+	if out.kind != want.kind {
+		return ctVoid, &CompileError{Msg: fmt.Sprintf("expected %v, got %v for %s",
+			want.kind, out.kind, expr.InputForm(e))}
+	}
+	return out, nil
+}
+
+// discardIfStmt pops the just-pushed value in statement position.
+func (c *compiler) discardIfStmt(t ctype, needValue bool) ctype {
+	if !needValue {
+		c.emit(OpPop, 0, 0)
+		return ctVoid
+	}
+	return t
+}
+
+// escape records e for interpreter evaluation at runtime (paper §2.2). Its
+// static type follows the "unknown is Real" rule.
+func (c *compiler) escape(e expr.Expr, needValue bool) (ctype, error) {
+	c.cf.Escapes = append(c.cf.Escapes, e)
+	c.emit(OpCallInterp, int32(len(c.cf.Escapes)-1), 0)
+	if !needValue {
+		c.emit(OpPop, 0, 0)
+		return ctVoid, nil
+	}
+	return ctDyn, nil
+}
+
+func (c *compiler) compileSet(lhs, rhs expr.Expr, needValue bool) (ctype, error) {
+	switch target := lhs.(type) {
+	case *expr.Symbol:
+		idx, ok := c.slots[target]
+		if !ok {
+			idx = c.newSlot(target, c.typeOf(rhs))
+		}
+		want := c.slotTypes[idx]
+		t, err := c.compile(rhs, true)
+		if err != nil {
+			return ctVoid, err
+		}
+		t, err = c.coerce(t, want)
+		if err != nil {
+			return ctVoid, err
+		}
+		if needValue {
+			c.emit(OpDup, 0, 0)
+		}
+		c.emit(OpStore, int32(idx), 0)
+		if needValue {
+			return t, nil
+		}
+		return ctVoid, nil
+	case *expr.Normal:
+		if p, ok := expr.IsNormal(target, expr.Sym("Part")); ok && p.Len() >= 2 {
+			sym, ok := p.Arg(1).(*expr.Symbol)
+			if !ok {
+				return c.escape(expr.New(expr.SymSet, lhs, rhs), needValue)
+			}
+			idx, ok := c.slots[sym]
+			if !ok || c.slotTypes[idx].kind != KTensor {
+				return c.escape(expr.New(expr.SymSet, lhs, rhs), needValue)
+			}
+			nIdx := p.Len() - 1
+			for i := 2; i <= p.Len(); i++ {
+				if _, err := c.compileAs(p.Arg(i), ctInt); err != nil {
+					return ctVoid, err
+				}
+			}
+			want := ctype{kind: c.slotTypes[idx].elem}
+			if _, err := c.compileAs(rhs, want); err != nil {
+				return ctVoid, err
+			}
+			c.emit(OpSetPart, int32(idx), int32(nIdx))
+			// OpSetPart leaves the stored value on the stack.
+			if !needValue {
+				c.emit(OpPop, 0, 0)
+				return ctVoid, nil
+			}
+			return want, nil
+		}
+	}
+	return c.escape(expr.New(expr.SymSet, lhs, rhs), needValue)
+}
+
+func (c *compiler) compileIf(e expr.Expr, needValue bool) (ctype, error) {
+	n := e.(*expr.Normal)
+	if n.Len() < 2 || n.Len() > 3 {
+		return c.escape(n, needValue)
+	}
+	if _, err := c.compileAs(n.Arg(1), ctBool); err != nil {
+		return ctVoid, err
+	}
+	jElse := c.emit(OpJmpIfFalse, 0, 0)
+	resType := c.typeOf(n)
+	if needValue && resType.kind == KVoid {
+		resType = ctReal
+	}
+	want := resType
+	if !needValue {
+		want = ctVoid
+	}
+	if needValue {
+		if _, err := c.compileAs(n.Arg(2), want); err != nil {
+			return ctVoid, err
+		}
+	} else {
+		if _, err := c.compile(n.Arg(2), false); err != nil {
+			return ctVoid, err
+		}
+	}
+	jEnd := c.emit(OpJmp, 0, 0)
+	c.patch(jElse, c.here())
+	if n.Len() == 3 {
+		if needValue {
+			if _, err := c.compileAs(n.Arg(3), want); err != nil {
+				return ctVoid, err
+			}
+		} else {
+			if _, err := c.compile(n.Arg(3), false); err != nil {
+				return ctVoid, err
+			}
+		}
+	} else if needValue {
+		c.pushConst(Value{Kind: KVoid})
+	}
+	c.patch(jEnd, c.here())
+	if needValue {
+		return resType, nil
+	}
+	return ctVoid, nil
+}
+
+func (c *compiler) compileWhile(n *expr.Normal, needValue bool) (ctype, error) {
+	if n.Len() < 1 || n.Len() > 2 {
+		return c.escape(n, needValue)
+	}
+	top := c.here()
+	c.emit(OpAbortCheck, 0, 0)
+	if _, err := c.compileAs(n.Arg(1), ctBool); err != nil {
+		return ctVoid, err
+	}
+	jEnd := c.emit(OpJmpIfFalse, 0, 0)
+	if n.Len() == 2 {
+		if _, err := c.compile(n.Arg(2), false); err != nil {
+			return ctVoid, err
+		}
+	}
+	c.emit(OpJmp, int32(top), 0)
+	c.patch(jEnd, c.here())
+	if needValue {
+		c.pushConst(Value{Kind: KVoid})
+		return ctVoid, nil
+	}
+	return ctVoid, nil
+}
+
+func (c *compiler) compileFor(n *expr.Normal, needValue bool) (ctype, error) {
+	if n.Len() < 3 || n.Len() > 4 {
+		return c.escape(n, needValue)
+	}
+	if _, err := c.compile(n.Arg(1), false); err != nil {
+		return ctVoid, err
+	}
+	top := c.here()
+	c.emit(OpAbortCheck, 0, 0)
+	if _, err := c.compileAs(n.Arg(2), ctBool); err != nil {
+		return ctVoid, err
+	}
+	jEnd := c.emit(OpJmpIfFalse, 0, 0)
+	if n.Len() == 4 {
+		if _, err := c.compile(n.Arg(4), false); err != nil {
+			return ctVoid, err
+		}
+	}
+	if _, err := c.compile(n.Arg(3), false); err != nil {
+		return ctVoid, err
+	}
+	c.emit(OpJmp, int32(top), 0)
+	c.patch(jEnd, c.here())
+	if needValue {
+		c.pushConst(Value{Kind: KVoid})
+	}
+	return ctVoid, nil
+}
+
+// iterVar parses {i, a, b} / {i, n} / n iterator specs for compiled loops.
+func (c *compiler) iterParts(spec expr.Expr) (sym *expr.Symbol, lo, hi, step expr.Expr, ok bool) {
+	one := expr.FromInt64(1)
+	if l, isList := expr.IsNormal(spec, expr.SymList); isList {
+		switch l.Len() {
+		case 2:
+			s, isSym := l.Arg(1).(*expr.Symbol)
+			if !isSym {
+				return nil, nil, nil, nil, false
+			}
+			return s, one, l.Arg(2), one, true
+		case 3:
+			s, isSym := l.Arg(1).(*expr.Symbol)
+			if !isSym {
+				return nil, nil, nil, nil, false
+			}
+			return s, l.Arg(2), l.Arg(3), one, true
+		case 4:
+			s, isSym := l.Arg(1).(*expr.Symbol)
+			if !isSym {
+				return nil, nil, nil, nil, false
+			}
+			return s, l.Arg(2), l.Arg(3), l.Arg(4), true
+		}
+		return nil, nil, nil, nil, false
+	}
+	return nil, one, spec, one, true
+}
+
+func (c *compiler) compileDo(n *expr.Normal, needValue bool) (ctype, error) {
+	if n.Len() != 2 {
+		return c.escape(n, needValue)
+	}
+	sym, lo, hi, step, ok := c.iterParts(n.Arg(2))
+	if !ok {
+		return c.escape(n, needValue)
+	}
+	if sym == nil {
+		sym = expr.Sym(fmt.Sprintf("WVM$do%d", c.here()))
+		c.recordVar(sym, ctInt)
+	}
+	return c.compileCountedLoop(sym, lo, hi, step, func() error {
+		_, err := c.compile(n.Arg(1), false)
+		return err
+	}, needValue)
+}
+
+// compileCountedLoop emits i = lo; while (i <= hi) { body; i += step }.
+// Only constant positive steps are supported; others escape.
+func (c *compiler) compileCountedLoop(sym *expr.Symbol, lo, hi, step expr.Expr,
+	body func() error, needValue bool) (ctype, error) {
+	idxSlot, ok := c.slots[sym]
+	if !ok {
+		idxSlot = c.newSlot(sym, ctInt)
+	}
+	iterT := c.slotTypes[idxSlot]
+	if iterT.kind != KInt && iterT.kind != KReal {
+		return ctVoid, &CompileError{Msg: "loop variable must be numeric"}
+	}
+	// hi is evaluated once into a scratch slot.
+	hiSym := expr.Sym(fmt.Sprintf("WVM$hi%d", c.here()))
+	hiSlot := c.newSlot(hiSym, iterT)
+	if _, err := c.compileAs(hi, iterT); err != nil {
+		return ctVoid, err
+	}
+	c.emit(OpStore, int32(hiSlot), 0)
+	if _, err := c.compileAs(lo, iterT); err != nil {
+		return ctVoid, err
+	}
+	c.emit(OpStore, int32(idxSlot), 0)
+	top := c.here()
+	c.emit(OpAbortCheck, 0, 0)
+	c.emit(OpLoad, int32(idxSlot), 0)
+	c.emit(OpLoad, int32(hiSlot), 0)
+	if iterT.kind == KInt {
+		c.emit(OpLeI, 0, 0)
+	} else {
+		c.emit(OpLeR, 0, 0)
+	}
+	jEnd := c.emit(OpJmpIfFalse, 0, 0)
+	if err := body(); err != nil {
+		return ctVoid, err
+	}
+	c.emit(OpLoad, int32(idxSlot), 0)
+	if _, err := c.compileAs(step, iterT); err != nil {
+		return ctVoid, err
+	}
+	if iterT.kind == KInt {
+		c.emit(OpAddI, 0, 0)
+	} else {
+		c.emit(OpAddR, 0, 0)
+	}
+	c.emit(OpStore, int32(idxSlot), 0)
+	c.emit(OpJmp, int32(top), 0)
+	c.patch(jEnd, c.here())
+	if needValue {
+		c.pushConst(Value{Kind: KVoid})
+	}
+	return ctVoid, nil
+}
+
+func (c *compiler) compileTable(n *expr.Normal, needValue bool) (ctype, error) {
+	if n.Len() != 2 {
+		return c.escape(n, needValue)
+	}
+	sym, lo, hi, step, ok := c.iterParts(n.Arg(2))
+	if !ok {
+		return c.escape(n, needValue)
+	}
+	// Only unit-step integer tables compile; the rest escapes.
+	if lit, isInt := step.(*expr.Integer); !isInt || lit.Int64() != 1 {
+		return c.escape(n, needValue)
+	}
+	if lit, isInt := lo.(*expr.Integer); !isInt || lit.Int64() != 1 {
+		return c.escape(n, needValue)
+	}
+	bodyT := c.typeOf(n.Arg(1))
+	if bodyT.kind != KInt && bodyT.kind != KReal {
+		return c.escape(n, needValue)
+	}
+	if sym == nil {
+		sym = expr.Sym(fmt.Sprintf("WVM$tbl%d", c.here()))
+	}
+	c.recordVar(sym, ctInt)
+	// result = zero tensor of length hi
+	resSym := expr.Sym(fmt.Sprintf("WVM$res%d", c.here()))
+	resSlot := c.newSlot(resSym, ctTensor(bodyT.kind))
+	if _, err := c.compileAs(hi, ctInt); err != nil {
+		return ctVoid, err
+	}
+	if bodyT.kind == KInt {
+		c.emit(OpRuntime, RtTableInt, 1)
+	} else {
+		c.emit(OpRuntime, RtTableReal, 1)
+	}
+	c.emit(OpStore, int32(resSlot), 0)
+	_, err := c.compileCountedLoop(sym, lo, hi, expr.FromInt64(1), func() error {
+		idxSlot := c.slots[sym]
+		c.emit(OpLoad, int32(idxSlot), 0)
+		if _, err := c.compileAs(n.Arg(1), bodyT); err != nil {
+			return err
+		}
+		c.emit(OpSetPart, int32(resSlot), 1)
+		c.emit(OpPop, 0, 0)
+		return nil
+	}, false)
+	if err != nil {
+		return ctVoid, err
+	}
+	c.emit(OpLoad, int32(resSlot), 0)
+	return c.discardIfStmt(ctTensor(bodyT.kind), needValue), nil
+}
+
+func (c *compiler) compileNaryArith(n *expr.Normal, opI, opR Op, needValue bool) (ctype, error) {
+	if n.Len() == 0 {
+		return c.escape(n, needValue)
+	}
+	want := c.typeOf(n)
+	if want.kind != KInt && want.kind != KReal {
+		return c.escape(n, needValue)
+	}
+	if _, err := c.compileAs(n.Arg(1), want); err != nil {
+		return ctVoid, err
+	}
+	for i := 2; i <= n.Len(); i++ {
+		if _, err := c.compileAs(n.Arg(i), want); err != nil {
+			return ctVoid, err
+		}
+		if want.kind == KInt {
+			c.emit(opI, 0, 0)
+		} else {
+			c.emit(opR, 0, 0)
+		}
+	}
+	return c.discardIfStmt(want, needValue), nil
+}
+
+func (c *compiler) compileBinArith(a, b expr.Expr, opI, opR Op, needValue bool) (ctype, error) {
+	want := joinTypes(c.typeOf(a), c.typeOf(b))
+	if want.kind != KInt && want.kind != KReal {
+		return c.escape(expr.NewS("Subtract", a, b), needValue)
+	}
+	if _, err := c.compileAs(a, want); err != nil {
+		return ctVoid, err
+	}
+	if _, err := c.compileAs(b, want); err != nil {
+		return ctVoid, err
+	}
+	if want.kind == KInt {
+		c.emit(opI, 0, 0)
+	} else {
+		c.emit(opR, 0, 0)
+	}
+	return c.discardIfStmt(want, needValue), nil
+}
+
+func (c *compiler) compileIntBin(n *expr.Normal, op Op, needValue bool) (ctype, error) {
+	if _, err := c.compileAs(n.Arg(1), ctInt); err != nil {
+		return ctVoid, err
+	}
+	if _, err := c.compileAs(n.Arg(2), ctInt); err != nil {
+		return ctVoid, err
+	}
+	c.emit(op, 0, 0)
+	return c.discardIfStmt(ctInt, needValue), nil
+}
+
+var cmpOps = map[string][2]Op{
+	"Less":         {OpLtI, OpLtR},
+	"LessEqual":    {OpLeI, OpLeR},
+	"Greater":      {OpGtI, OpGtR},
+	"GreaterEqual": {OpGeI, OpGeR},
+	"Equal":        {OpEqI, OpEqR},
+	"Unequal":      {OpNeI, OpNeR},
+}
+
+func (c *compiler) compileComparison(n *expr.Normal, name string, needValue bool) (ctype, error) {
+	if n.Len() < 2 {
+		return c.escape(n, needValue)
+	}
+	if n.Len() > 2 {
+		// a < b < c desugars to a < b && b < c.
+		var conj []expr.Expr
+		for i := 1; i < n.Len(); i++ {
+			conj = append(conj, expr.NewS(name, n.Arg(i), n.Arg(i+1)))
+		}
+		return c.compileLogic(expr.NewS("And", conj...), true, needValue)
+	}
+	want := joinTypes(c.typeOf(n.Arg(1)), c.typeOf(n.Arg(2)))
+	if want.kind != KInt && want.kind != KReal {
+		return c.escape(n, needValue)
+	}
+	if _, err := c.compileAs(n.Arg(1), want); err != nil {
+		return ctVoid, err
+	}
+	if _, err := c.compileAs(n.Arg(2), want); err != nil {
+		return ctVoid, err
+	}
+	ops := cmpOps[name]
+	if want.kind == KInt {
+		c.emit(ops[0], 0, 0)
+	} else {
+		c.emit(ops[1], 0, 0)
+	}
+	return c.discardIfStmt(ctBool, needValue), nil
+}
+
+// compileLogic emits short-circuit And/Or.
+func (c *compiler) compileLogic(e expr.Expr, isAnd bool, needValue bool) (ctype, error) {
+	n := e.(*expr.Normal)
+	if n.Len() == 0 {
+		c.pushConst(BoolValue(isAnd))
+		return c.discardIfStmt(ctBool, needValue), nil
+	}
+	var shorts []int
+	for i := 1; i <= n.Len(); i++ {
+		if _, err := c.compileAs(n.Arg(i), ctBool); err != nil {
+			return ctVoid, err
+		}
+		if i < n.Len() {
+			if isAnd {
+				shorts = append(shorts, c.emit(OpJmpIfFalse, 0, 0))
+			} else {
+				shorts = append(shorts, c.emit(OpJmpIfTrue, 0, 0))
+			}
+		}
+	}
+	jDone := c.emit(OpJmp, 0, 0)
+	shortTarget := c.here()
+	c.pushConst(BoolValue(!isAnd))
+	for _, s := range shorts {
+		c.patch(s, shortTarget)
+	}
+	c.patch(jDone, c.here())
+	return c.discardIfStmt(ctBool, needValue), nil
+}
+
+func (c *compiler) compileIncDec(n *expr.Normal, inc bool, needValue bool) (ctype, error) {
+	if n.Len() != 1 {
+		return c.escape(n, needValue)
+	}
+	sym, ok := n.Arg(1).(*expr.Symbol)
+	if !ok {
+		return c.escape(n, needValue)
+	}
+	idx, ok := c.slots[sym]
+	if !ok {
+		return c.escape(n, needValue)
+	}
+	t := c.slotTypes[idx]
+	if t.kind != KInt && t.kind != KReal {
+		return ctVoid, &CompileError{Msg: "Increment of non-numeric variable"}
+	}
+	c.emit(OpLoad, int32(idx), 0)
+	if needValue {
+		c.emit(OpDup, 0, 0) // old value is the expression's value
+	}
+	if t.kind == KInt {
+		c.pushConst(IntValue(1))
+		if inc {
+			c.emit(OpAddI, 0, 0)
+		} else {
+			c.emit(OpSubI, 0, 0)
+		}
+	} else {
+		c.pushConst(RealValue(1))
+		if inc {
+			c.emit(OpAddR, 0, 0)
+		} else {
+			c.emit(OpSubR, 0, 0)
+		}
+	}
+	c.emit(OpStore, int32(idx), 0)
+	if needValue {
+		return t, nil
+	}
+	return ctVoid, nil
+}
+
+func (c *compiler) compileOpAssign(n *expr.Normal, name string, needValue bool) (ctype, error) {
+	if n.Len() != 2 {
+		return c.escape(n, needValue)
+	}
+	sym, ok := n.Arg(1).(*expr.Symbol)
+	if !ok {
+		return c.escape(n, needValue)
+	}
+	idx, ok := c.slots[sym]
+	if !ok {
+		return c.escape(n, needValue)
+	}
+	t := c.slotTypes[idx]
+	if t.kind != KInt && t.kind != KReal {
+		return ctVoid, &CompileError{Msg: name + " of non-numeric variable"}
+	}
+	c.emit(OpLoad, int32(idx), 0)
+	if _, err := c.compileAs(n.Arg(2), t); err != nil {
+		return ctVoid, err
+	}
+	var op Op
+	switch name {
+	case "AddTo":
+		if t.kind == KInt {
+			op = OpAddI
+		} else {
+			op = OpAddR
+		}
+	case "SubtractFrom":
+		if t.kind == KInt {
+			op = OpSubI
+		} else {
+			op = OpSubR
+		}
+	case "TimesBy":
+		if t.kind == KInt {
+			op = OpMulI
+		} else {
+			op = OpMulR
+		}
+	}
+	c.emit(op, 0, 0)
+	if needValue {
+		c.emit(OpDup, 0, 0)
+	}
+	c.emit(OpStore, int32(idx), 0)
+	if needValue {
+		return t, nil
+	}
+	return ctVoid, nil
+}
+
+var math1IDs = map[string]int32{
+	"Sin": MfSin, "Cos": MfCos, "Tan": MfTan, "Exp": MfExp, "Log": MfLog,
+	"Sqrt": MfSqrt, "Abs": MfAbs, "Floor": MfFloor, "Ceiling": MfCeiling,
+	"Round": MfRound, "ArcTan": MfArcTan, "ArcSin": MfArcSin,
+	"ArcCos": MfArcCos, "Sign": MfSign,
+}
+
+func (c *compiler) compileMath1(n *expr.Normal, name string, needValue bool) (ctype, error) {
+	if name == "ArcTan" && n.Len() == 2 {
+		if _, err := c.compileAs(n.Arg(1), ctReal); err != nil {
+			return ctVoid, err
+		}
+		if _, err := c.compileAs(n.Arg(2), ctReal); err != nil {
+			return ctVoid, err
+		}
+		c.emit(OpMath2, MfArcTan2, 0)
+		return c.discardIfStmt(ctReal, needValue), nil
+	}
+	if n.Len() != 1 {
+		return c.escape(n, needValue)
+	}
+	argT := c.typeOf(n.Arg(1))
+	// Abs on integers stays integral.
+	if name == "Abs" && argT.kind == KInt {
+		// |x| via If[x < 0, -x, x]
+		arg := n.Arg(1)
+		return c.compileIf(expr.NewS("If",
+			expr.NewS("Less", arg, expr.FromInt64(0)),
+			expr.NewS("Minus", arg), arg), needValue)
+	}
+	if _, err := c.compileAs(n.Arg(1), ctReal); err != nil {
+		return ctVoid, err
+	}
+	c.emit(OpMath1, math1IDs[name], 0)
+	out := ctReal
+	switch name {
+	case "Floor", "Ceiling", "Round", "Sign":
+		out = ctInt
+	}
+	return c.discardIfStmt(out, needValue), nil
+}
+
+func (c *compiler) compileMinMax(n *expr.Normal, isMin bool, needValue bool) (ctype, error) {
+	if n.Len() < 1 {
+		return c.escape(n, needValue)
+	}
+	want := c.typeOf(n)
+	if want.kind != KInt && want.kind != KReal {
+		return c.escape(n, needValue)
+	}
+	if _, err := c.compileAs(n.Arg(1), want); err != nil {
+		return ctVoid, err
+	}
+	id := int32(MfMax)
+	if isMin {
+		id = MfMin
+	}
+	for i := 2; i <= n.Len(); i++ {
+		if _, err := c.compileAs(n.Arg(i), want); err != nil {
+			return ctVoid, err
+		}
+		c.emit(OpMath2, id, 0)
+	}
+	return c.discardIfStmt(want, needValue), nil
+}
+
+func (c *compiler) compilePart(n *expr.Normal, needValue bool) (ctype, error) {
+	if n.Len() < 2 {
+		return c.escape(n, needValue)
+	}
+	// Element reads of a tensor variable index the slot directly, avoiding
+	// the copy-on-read cost (the real WVM's Part instruction addresses the
+	// register).
+	if sym, ok := n.Arg(1).(*expr.Symbol); ok {
+		if idx, found := c.slots[sym]; found && c.slotTypes[idx].kind == KTensor {
+			for i := 2; i <= n.Len(); i++ {
+				if _, err := c.compileAs(n.Arg(i), ctInt); err != nil {
+					return ctVoid, err
+				}
+			}
+			c.emit(OpPartV, int32(idx), int32(n.Len()-1))
+			out := ctype{kind: c.slotTypes[idx].elem}
+			if n.Len()-1 < 1 {
+				out = c.slotTypes[idx]
+			}
+			return c.discardIfStmt(out, needValue), nil
+		}
+	}
+	t, err := c.compile(n.Arg(1), true)
+	if err != nil {
+		return ctVoid, err
+	}
+	if t.kind != KTensor {
+		return ctVoid, &CompileError{Msg: "Part of non-tensor"}
+	}
+	for i := 2; i <= n.Len(); i++ {
+		if _, err := c.compileAs(n.Arg(i), ctInt); err != nil {
+			return ctVoid, err
+		}
+	}
+	c.emit(OpPart, int32(n.Len()-1), 0)
+	return c.discardIfStmt(ctype{kind: t.elem}, needValue), nil
+}

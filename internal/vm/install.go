@@ -1,0 +1,159 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/pattern"
+)
+
+// Kernel integration: Install registers the classic Compile keyword and the
+// CompiledFunction applier, so bytecode-compiled functions behave like any
+// other function in a session (F1), fall back to the interpreter on runtime
+// errors (F2), and honour aborts (F3).
+
+var (
+	registryMu  sync.Mutex
+	registry    = map[int64]*CompiledFunction{}
+	registrySeq int64
+)
+
+func registerCompiled(cf *CompiledFunction) int64 {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registrySeq++
+	registry[registrySeq] = cf
+	return registrySeq
+}
+
+// Lookup returns a registered compiled function by id; used by tools that
+// disassemble CompiledFunction expressions.
+func Lookup(id int64) (*CompiledFunction, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	cf, ok := registry[id]
+	return cf, ok
+}
+
+var symCompiledFunction = expr.Sym("CompiledFunction")
+
+// Install adds Compile and CompiledFunction handling to a kernel.
+func Install(k *kernel.Kernel) {
+	k.Register("Compile", kernel.HoldAll, biCompile)
+	k.RegisterApplier("CompiledFunction", applyCompiled)
+}
+
+// biCompile implements Compile[{specs}, body]. On compile failure the
+// uncompiled Function is returned, as the engine does — the code still runs,
+// interpreted.
+func biCompile(k *kernel.Kernel, n *expr.Normal) (expr.Expr, bool) {
+	if n.Len() < 2 {
+		return n, false
+	}
+	specs, err := ParseArgSpecs(n.Arg(1))
+	if err != nil {
+		k.Out.Write([]byte(fmt.Sprintf("Compile::nospec: %v; returning uncompiled Function\n", err)))
+		return uncompiledFunction(n), true
+	}
+	cf, err := Compile(k, specs, n.Arg(2))
+	if err != nil {
+		k.Out.Write([]byte(fmt.Sprintf("Compile::nocomp: %v; returning uncompiled Function\n", err)))
+		return uncompiledFunction(n), true
+	}
+	id := registerCompiled(cf)
+	// CompiledFunction[{compilerVersion, engineVersion, id}, argnames, source]
+	return expr.New(symCompiledFunction,
+		expr.List(expr.FromInt64(int64(cf.CompilerVersion)),
+			expr.FromInt64(int64(cf.EngineVersion)),
+			expr.FromInt64(id)),
+		cf.Source), true
+}
+
+func uncompiledFunction(n *expr.Normal) expr.Expr {
+	specs, err := ParseArgSpecs(n.Arg(1))
+	if err != nil {
+		return expr.SymFailed
+	}
+	return expr.New(expr.SymFunction, argNameList(specs), n.Arg(2))
+}
+
+// applyCompiled runs CompiledFunction[meta, source][args...], falling back
+// to interpreting source on any VM runtime error (the soft failure mode).
+func applyCompiled(k *kernel.Kernel, head *expr.Normal, args []expr.Expr) (expr.Expr, bool) {
+	if head.Len() != 2 {
+		return nil, false
+	}
+	meta, ok := expr.IsNormalN(head.Arg(1), expr.SymList, 3)
+	if !ok {
+		return nil, false
+	}
+	idE, ok := meta.Arg(3).(*expr.Integer)
+	if !ok || !idE.IsMachine() {
+		return nil, false
+	}
+	cf, found := Lookup(idE.Int64())
+	source := head.Arg(2)
+	if !found {
+		// Version/session mismatch: recompile from source, as the engine
+		// does when the stamps do not match (paper §2.2).
+		fn, ok := expr.IsNormalN(source, expr.SymFunction, 2)
+		if !ok {
+			return nil, false
+		}
+		return interpretSource(k, fn, args), true
+	}
+
+	vmArgs := make([]Value, len(args))
+	for i, a := range args {
+		v, err := FromExpr(a)
+		if err != nil {
+			// Argument outside the VM's domain: interpret instead.
+			fn, _ := expr.IsNormalN(source, expr.SymFunction, 2)
+			if fn == nil {
+				return nil, false
+			}
+			return interpretSource(k, fn, args), true
+		}
+		vmArgs[i] = v
+	}
+	out, err := cf.Call(k, vmArgs...)
+	if err == nil {
+		return ToExpr(out), true
+	}
+	var verr *Error
+	if e, isVM := err.(*Error); isVM {
+		verr = e
+	}
+	if verr != nil && verr.Kind == ErrAborted {
+		return expr.SymAborted, true
+	}
+	// Soft failure: report and re-evaluate with the interpreter (F2).
+	fmt.Fprintf(k.Out, "CompiledFunction::cfse: compiled code runtime error (%v); reverting to uncompiled evaluation\n", err)
+	fn, ok := expr.IsNormalN(source, expr.SymFunction, 2)
+	if !ok {
+		return expr.SymFailed, true
+	}
+	return interpretSource(k, fn, args), true
+}
+
+// interpretSource applies the stored Function to args via the kernel.
+func interpretSource(k *kernel.Kernel, fn *expr.Normal, args []expr.Expr) expr.Expr {
+	params, ok := expr.IsNormal(fn.Arg(1), expr.SymList)
+	if !ok {
+		return expr.SymFailed
+	}
+	if params.Len() != len(args) {
+		return expr.SymFailed
+	}
+	b := pattern.Bindings{}
+	for i := 1; i <= params.Len(); i++ {
+		name, ok := params.Arg(i).(*expr.Symbol)
+		if !ok {
+			return expr.SymFailed
+		}
+		b[name] = args[i-1]
+	}
+	return k.Eval(pattern.Substitute(fn.Arg(2), b))
+}

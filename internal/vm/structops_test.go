@@ -1,0 +1,42 @@
+package vm
+
+import (
+	"testing"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/parser"
+)
+
+// The legacy bytecode compiler's structural tensor runtime calls
+// (OpRuntime Reverse/Flatten/Transpose/Take), §2.2's fixed-function style.
+func TestCompileStructuralRuntimeOps(t *testing.T) {
+	k := newKernel()
+	cases := []struct{ src, arg, want string }{
+		{`Compile[{{v, _Integer, 1}}, Reverse[v]]`, "{1, 2, 3}", "{3, 2, 1}"},
+		{`Compile[{{v, _Integer, 1}}, Take[v, 2]]`, "{7, 8, 9}", "{7, 8}"},
+		{`Compile[{{v, _Real, 2}}, Transpose[v]]`, "{{1., 2.}, {3., 4.}}", "{{1., 3.}, {2., 4.}}"},
+		{`Compile[{{v, _Real, 2}}, Flatten[v]]`, "{{1., 2.}, {3., 4.}}", "{1., 2., 3., 4.}"},
+		// The dynamic Part of a runtime-call result coerces through the
+		// VM's fixed datatypes and widens to real — the §2.2 limitation the
+		// baseline is built to exhibit.
+		{`Compile[{{v, _Integer, 1}}, Total[Reverse[v]] + Take[v, 1][[1]]]`, "{5, 6, 7}", "23."},
+	}
+	for _, cse := range cases {
+		cf := compileSrc(t, k, cse.src)
+		arg, err := FromExpr(parser.MustParse(cse.arg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := callScalar(t, k, cf, arg)
+		if got := expr.InputForm(ToExpr(out)); got != cse.want {
+			t.Fatalf("%s on %s = %s, want %s", cse.src, cse.arg, got, cse.want)
+		}
+	}
+	// Take beyond the length is a runtime error, caught as the VM's
+	// part-range condition.
+	cf := compileSrc(t, k, `Compile[{{v, _Integer, 1}}, Take[v, 9]]`)
+	arg, _ := FromExpr(parser.MustParse("{1, 2}"))
+	if _, err := cf.Call(k, arg); err == nil {
+		t.Fatal("Take[{1,2}, 9] must fail at runtime")
+	}
+}

@@ -1,0 +1,403 @@
+// Package vm implements the legacy bytecode compiler and the stack-based
+// Wolfram Virtual Machine — the baseline the paper's new compiler is
+// evaluated against (§2.2). It deliberately reproduces the baseline's design
+// limitations: a fixed datatype set (machine integer, real, complex,
+// boolean, and tensors of these), boxed stack values, copy-on-write-free
+// copy-on-assignment for tensors, no function values, no strings, no
+// inlining, and an escape instruction that calls the interpreter for
+// unsupported expressions.
+package vm
+
+import (
+	"fmt"
+
+	"wolfc/internal/expr"
+)
+
+// Kind enumerates the VM's fixed datatypes (paper §2.2: "machine integers,
+// reals, complex numbers, tensor representations of these scalars, and
+// booleans").
+type Kind uint8
+
+const (
+	KVoid Kind = iota
+	KBool
+	KInt
+	KReal
+	KComplex
+	KTensor
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KVoid:
+		return "Void"
+	case KBool:
+		return "Boolean"
+	case KInt:
+		return "Integer"
+	case KReal:
+		return "Real"
+	case KComplex:
+		return "Complex"
+	case KTensor:
+		return "Tensor"
+	}
+	return "?"
+}
+
+// Value is a boxed VM value. Every stack slot carries the full box — the
+// unboxing cost on each operation is part of the baseline the new compiler
+// improves on (paper §6 "operates on boxed array ... unboxing overhead").
+type Value struct {
+	Kind Kind
+	B    bool
+	I    int64
+	R    float64
+	C    complex128
+	T    *Tensor
+}
+
+// Typed constructors.
+func BoolValue(b bool) Value          { return Value{Kind: KBool, B: b} }
+func IntValue(i int64) Value          { return Value{Kind: KInt, I: i} }
+func RealValue(r float64) Value       { return Value{Kind: KReal, R: r} }
+func ComplexValue(c complex128) Value { return Value{Kind: KComplex, C: c} }
+func TensorValue(t *Tensor) Value     { return Value{Kind: KTensor, T: t} }
+
+// AsReal converts a numeric value to float64.
+func (v Value) AsReal() (float64, bool) {
+	switch v.Kind {
+	case KInt:
+		return float64(v.I), true
+	case KReal:
+		return v.R, true
+	}
+	return 0, false
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KVoid:
+		return "Null"
+	case KBool:
+		if v.B {
+			return "True"
+		}
+		return "False"
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KReal:
+		return fmt.Sprintf("%g", v.R)
+	case KComplex:
+		return fmt.Sprintf("%g+%gI", real(v.C), imag(v.C))
+	case KTensor:
+		return v.T.String()
+	}
+	return "?"
+}
+
+// Tensor is the VM's boxed dense array: rank, dims, and a flat element
+// slice of a single scalar kind.
+type Tensor struct {
+	Elem Kind // KInt, KReal, KBool, or KComplex
+	Dims []int
+	I    []int64
+	R    []float64
+	C    []complex128
+}
+
+// NewIntTensor allocates an integer tensor with the given dims.
+func NewIntTensor(dims ...int) *Tensor {
+	return &Tensor{Elem: KInt, Dims: dims, I: make([]int64, product(dims))}
+}
+
+// NewRealTensor allocates a real tensor with the given dims.
+func NewRealTensor(dims ...int) *Tensor {
+	return &Tensor{Elem: KReal, Dims: dims, R: make([]float64, product(dims))}
+}
+
+func product(dims []int) int {
+	p := 1
+	for _, d := range dims {
+		p *= d
+	}
+	return p
+}
+
+// Len returns the first-dimension length.
+func (t *Tensor) Len() int {
+	if len(t.Dims) == 0 {
+		return 0
+	}
+	return t.Dims[0]
+}
+
+// FlatLen returns the total number of scalar elements.
+func (t *Tensor) FlatLen() int { return product(t.Dims) }
+
+// Copy returns a deep copy. The bytecode VM copies eagerly on assignment and
+// part-mutation — the paper's "copying on read ... major performance
+// limiting factor" for the baseline (§3 F5).
+func (t *Tensor) Copy() *Tensor {
+	out := &Tensor{Elem: t.Elem, Dims: append([]int{}, t.Dims...)}
+	out.I = append([]int64{}, t.I...)
+	out.R = append([]float64{}, t.R...)
+	out.C = append([]complex128{}, t.C...)
+	return out
+}
+
+// flatIndex resolves possibly-negative 1-based multi-indices to a flat
+// offset plus the number of consumed dims.
+func (t *Tensor) flatIndex(idxs []int64) (int, error) {
+	if len(idxs) > len(t.Dims) {
+		return 0, fmt.Errorf("too many indices (%d) for rank-%d tensor", len(idxs), len(t.Dims))
+	}
+	off := 0
+	stride := product(t.Dims)
+	for d, ix := range idxs {
+		stride /= t.Dims[d]
+		i := int(ix)
+		if i < 0 {
+			i = t.Dims[d] + 1 + i
+		}
+		if i < 1 || i > t.Dims[d] {
+			return 0, fmt.Errorf("index %d out of range for dimension %d (size %d)", ix, d+1, t.Dims[d])
+		}
+		off += (i - 1) * stride
+	}
+	return off, nil
+}
+
+// Part extracts t[[idxs...]]: a scalar when all dims are consumed, a
+// sub-tensor copy otherwise.
+func (t *Tensor) Part(idxs ...int64) (Value, error) {
+	off, err := t.flatIndex(idxs)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(idxs) == len(t.Dims) {
+		switch t.Elem {
+		case KInt:
+			return IntValue(t.I[off]), nil
+		case KReal:
+			return RealValue(t.R[off]), nil
+		case KComplex:
+			return ComplexValue(t.C[off]), nil
+		}
+		return Value{}, fmt.Errorf("bad tensor element kind %v", t.Elem)
+	}
+	subDims := append([]int{}, t.Dims[len(idxs):]...)
+	n := product(subDims)
+	sub := &Tensor{Elem: t.Elem, Dims: subDims}
+	switch t.Elem {
+	case KInt:
+		sub.I = append([]int64{}, t.I[off:off+n]...)
+	case KReal:
+		sub.R = append([]float64{}, t.R[off:off+n]...)
+	case KComplex:
+		sub.C = append([]complex128{}, t.C[off:off+n]...)
+	}
+	return TensorValue(sub), nil
+}
+
+// SetPart writes a scalar into t[[idxs...]] in place. Callers are
+// responsible for copying first (the VM always copies; the new compiler's
+// alias analysis usually avoids it).
+func (t *Tensor) SetPart(v Value, idxs ...int64) error {
+	if len(idxs) != len(t.Dims) {
+		return fmt.Errorf("part assignment needs %d indices, got %d", len(t.Dims), len(idxs))
+	}
+	off, err := t.flatIndex(idxs)
+	if err != nil {
+		return err
+	}
+	switch t.Elem {
+	case KInt:
+		if v.Kind != KInt {
+			return fmt.Errorf("cannot store %v into integer tensor", v.Kind)
+		}
+		t.I[off] = v.I
+	case KReal:
+		r, ok := v.AsReal()
+		if !ok {
+			return fmt.Errorf("cannot store %v into real tensor", v.Kind)
+		}
+		t.R[off] = r
+	case KComplex:
+		switch v.Kind {
+		case KComplex:
+			t.C[off] = v.C
+		case KReal:
+			t.C[off] = complex(v.R, 0)
+		case KInt:
+			t.C[off] = complex(float64(v.I), 0)
+		default:
+			return fmt.Errorf("cannot store %v into complex tensor", v.Kind)
+		}
+	default:
+		return fmt.Errorf("bad tensor element kind %v", t.Elem)
+	}
+	return nil
+}
+
+func (t *Tensor) String() string {
+	if len(t.Dims) == 1 && t.FlatLen() <= 8 {
+		s := "{"
+		for i := 0; i < t.FlatLen(); i++ {
+			if i > 0 {
+				s += ", "
+			}
+			switch t.Elem {
+			case KInt:
+				s += fmt.Sprintf("%d", t.I[i])
+			case KReal:
+				s += fmt.Sprintf("%g", t.R[i])
+			case KComplex:
+				s += fmt.Sprintf("%g", t.C[i])
+			}
+		}
+		return s + "}"
+	}
+	return fmt.Sprintf("Tensor[%v, %v]", t.Elem, t.Dims)
+}
+
+// FromExpr converts an interpreter expression to a VM value.
+func FromExpr(e expr.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *expr.Integer:
+		if !x.IsMachine() {
+			return Value{}, fmt.Errorf("integer %s exceeds machine range", x)
+		}
+		return IntValue(x.Int64()), nil
+	case *expr.Real:
+		return RealValue(x.V), nil
+	case *expr.Complex:
+		return ComplexValue(complex(x.Re, x.Im)), nil
+	case *expr.Symbol:
+		if x == expr.SymTrue {
+			return BoolValue(true), nil
+		}
+		if x == expr.SymFalse {
+			return BoolValue(false), nil
+		}
+		if x == expr.SymNull {
+			return Value{Kind: KVoid}, nil
+		}
+		return Value{}, fmt.Errorf("symbol %s is not a VM value", x.Name)
+	case *expr.Rational:
+		f, _ := x.V.Float64()
+		return RealValue(f), nil
+	case *expr.Normal:
+		if _, ok := expr.IsNormal(x, expr.SymList); ok {
+			return tensorFromList(x)
+		}
+	}
+	return Value{}, fmt.Errorf("cannot convert %s to a VM value", expr.InputForm(e))
+}
+
+func tensorFromList(l *expr.Normal) (Value, error) {
+	// Determine shape and element kind from the first traversal.
+	dims := []int{}
+	cur := expr.Expr(l)
+	for {
+		n, ok := expr.IsNormal(cur, expr.SymList)
+		if !ok {
+			break
+		}
+		dims = append(dims, n.Len())
+		if n.Len() == 0 {
+			break
+		}
+		cur = n.Arg(1)
+	}
+	elem := KInt
+	var scan func(e expr.Expr, depth int) error
+	var flatI []int64
+	var flatR []float64
+	first := true
+	scan = func(e expr.Expr, depth int) error {
+		if depth < len(dims) {
+			n, ok := expr.IsNormal(e, expr.SymList)
+			if !ok || n.Len() != dims[depth] {
+				return fmt.Errorf("ragged or non-rectangular list")
+			}
+			for _, a := range n.Args() {
+				if err := scan(a, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		switch x := e.(type) {
+		case *expr.Integer:
+			if !x.IsMachine() {
+				return fmt.Errorf("big integer in tensor")
+			}
+			flatI = append(flatI, x.Int64())
+			flatR = append(flatR, float64(x.Int64()))
+		case *expr.Real:
+			if first || elem == KInt {
+				elem = KReal
+			}
+			flatI = append(flatI, int64(x.V))
+			flatR = append(flatR, x.V)
+		default:
+			return fmt.Errorf("unsupported tensor element %s", expr.InputForm(e))
+		}
+		first = false
+		return nil
+	}
+	if err := scan(l, 0); err != nil {
+		return Value{}, err
+	}
+	t := &Tensor{Elem: elem, Dims: dims}
+	if elem == KInt {
+		t.I = flatI
+	} else {
+		t.R = flatR
+	}
+	return TensorValue(t), nil
+}
+
+// ToExpr converts a VM value back to an interpreter expression.
+func ToExpr(v Value) expr.Expr {
+	switch v.Kind {
+	case KVoid:
+		return expr.SymNull
+	case KBool:
+		return expr.Bool(v.B)
+	case KInt:
+		return expr.FromInt64(v.I)
+	case KReal:
+		return expr.FromFloat(v.R)
+	case KComplex:
+		return expr.FromComplex(real(v.C), imag(v.C))
+	case KTensor:
+		return tensorToExpr(v.T, 0, 0)
+	}
+	return expr.SymFailed
+}
+
+func tensorToExpr(t *Tensor, dim, off int) expr.Expr {
+	if dim == len(t.Dims) {
+		switch t.Elem {
+		case KInt:
+			return expr.FromInt64(t.I[off])
+		case KReal:
+			return expr.FromFloat(t.R[off])
+		case KComplex:
+			return expr.FromComplex(real(t.C[off]), imag(t.C[off]))
+		}
+		return expr.SymFailed
+	}
+	stride := 1
+	for _, d := range t.Dims[dim+1:] {
+		stride *= d
+	}
+	elems := make([]expr.Expr, t.Dims[dim])
+	for i := range elems {
+		elems[i] = tensorToExpr(t, dim+1, off+i*stride)
+	}
+	return expr.List(elems...)
+}

@@ -1,0 +1,433 @@
+// Package wir implements the Wolfram compiler IR (paper §4.3): an SSA IR
+// inspired by LLVM where a sequence of instructions forms a basic block, a
+// DAG of basic blocks forms a function module, and a collection of function
+// modules forms a program module. The same representation serves both the
+// untyped WIR and, once every value carries a type annotation, the typed
+// TWIR (§4.5). Lowering goes straight to SSA form — there is no
+// stack-slot/mem2reg round trip — and arbitrary metadata (including the
+// originating MExpr) can be attached to any node.
+package wir
+
+import (
+	"fmt"
+	"strings"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/types"
+)
+
+// Value is an SSA value: an instruction result, a constant, a parameter, or
+// a function reference.
+type Value interface {
+	// Type returns the value's annotated type; nil while the IR is untyped.
+	Type() types.Type
+	// Name renders the operand for the textual form.
+	Name() string
+	isValue()
+}
+
+// Const is a literal constant. Expr holds the literal (numbers, strings,
+// booleans, whole constant arrays — §6 PrimeQ's seed table compiles to one
+// Const). Ty is nil until inference runs unless the literal form forces it.
+type Const struct {
+	Expr expr.Expr
+	Ty   types.Type
+}
+
+func (c *Const) Type() types.Type { return c.Ty }
+func (c *Const) Name() string {
+	s := expr.InputForm(c.Expr)
+	if len(s) > 24 {
+		s = s[:21] + "..."
+	}
+	if c.Ty != nil {
+		return fmt.Sprintf("%s:%s", s, c.Ty)
+	}
+	return s
+}
+func (c *Const) isValue() {}
+
+// Param is a function parameter.
+type Param struct {
+	Sym     *expr.Symbol
+	Index   int
+	Ty      types.Type
+	Capture bool // true for closure-capture parameters appended by lowering
+}
+
+func (p *Param) Type() types.Type { return p.Ty }
+func (p *Param) Name() string     { return "%" + p.Sym.Name }
+func (p *Param) isValue()         {}
+
+// FuncRef references another function in the module by name.
+type FuncRef struct {
+	Fn *Function
+	Ty types.Type
+}
+
+func (f *FuncRef) Type() types.Type { return f.Ty }
+func (f *FuncRef) Name() string     { return "@" + f.Fn.Name }
+func (f *FuncRef) isValue()         {}
+
+// Op enumerates instruction kinds.
+type Op uint8
+
+const (
+	OpCall         Op = iota // Callee(Args...)
+	OpCallIndirect           // Args[0] is the function value; rest are arguments
+	OpClosure                // make a closure over FuncRef Args[0] capturing Args[1:]
+	OpPhi                    // one argument per predecessor, in Preds order
+	OpBranch                 // unconditional jump to Targets[0]
+	OpCondBranch             // Args[0] cond; Targets[0] then, Targets[1] else
+	OpReturn                 // Args[0] optional result
+	OpAbortCheck             // poll the abort flag (inserted by passes, F3)
+)
+
+// Instr is one SSA instruction. Instructions are values (their result).
+type Instr struct {
+	IDNum   int
+	Op      Op
+	Callee  string // OpCall: unresolved function name, later the mangled name
+	Args    []Value
+	Targets []*Block
+	Block   *Block
+	Ty      types.Type
+
+	// Native is filled by function resolution for primitive callees.
+	Native string
+	// ResolvedFn is filled by function resolution for compiled callees.
+	ResolvedFn *Function
+
+	// Props carries arbitrary metadata; "mexpr" holds the source
+	// expression for error reporting and debug info (paper §4.3).
+	Props map[string]any
+}
+
+func (i *Instr) Type() types.Type { return i.Ty }
+func (i *Instr) Name() string     { return fmt.Sprintf("%%%d", i.IDNum) }
+func (i *Instr) isValue()         {}
+
+// SetProp attaches metadata to the instruction.
+func (i *Instr) SetProp(key string, v any) {
+	if i.Props == nil {
+		i.Props = map[string]any{}
+	}
+	i.Props[key] = v
+}
+
+// Prop reads metadata.
+func (i *Instr) Prop(key string) (any, bool) {
+	v, ok := i.Props[key]
+	return v, ok
+}
+
+// IsTerminator reports whether the instruction ends a block.
+func (i *Instr) IsTerminator() bool {
+	switch i.Op {
+	case OpBranch, OpCondBranch, OpReturn:
+		return true
+	}
+	return false
+}
+
+// Block is a basic block.
+type Block struct {
+	IDNum  int
+	Label  string
+	Phis   []*Instr
+	Instrs []*Instr // body; the last instruction is the terminator
+	Preds  []*Block
+	Fn     *Function
+
+	// AbortInhibit marks blocks lowered inside a Native`AbortInhibit
+	// region (paper §6): the abort-insertion pass skips them.
+	AbortInhibit bool
+
+	sealed         bool
+	incompletePhis map[*expr.Symbol]*Instr
+}
+
+// Term returns the block terminator, or nil if the block is unfinished.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// Function is a function module: a DAG of basic blocks.
+type Function struct {
+	Name   string
+	Params []*Param
+	Blocks []*Block
+	RetTy  types.Type
+	Module *Module
+	nextID int
+	// TypeAnnotations records explicit Typed[] constraints gathered during
+	// lowering, consumed by inference.
+	TypeAnnotations []Annotation
+	// Props carries function-level metadata (inline hints etc.).
+	Props map[string]any
+}
+
+// Annotation pins a value to a declared type.
+type Annotation struct {
+	Val Value
+	Ty  types.Type
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// FnType returns the function's (current) type.
+func (f *Function) FnType() *types.Fn {
+	ps := make([]types.Type, len(f.Params))
+	for i, p := range f.Params {
+		ps[i] = p.Ty
+	}
+	return &types.Fn{Params: ps, Ret: f.RetTy}
+}
+
+// SetProp attaches function-level metadata.
+func (f *Function) SetProp(key string, v any) {
+	if f.Props == nil {
+		f.Props = map[string]any{}
+	}
+	f.Props[key] = v
+}
+
+// NewBlock appends a fresh block.
+func (f *Function) NewBlock(label string) *Block {
+	b := &Block{
+		IDNum: len(f.Blocks), Label: label, Fn: f,
+		incompletePhis: map[*expr.Symbol]*Instr{},
+	}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+func (f *Function) newInstr(op Op) *Instr {
+	f.nextID++
+	return &Instr{IDNum: f.nextID, Op: op}
+}
+
+// Module is a program module: a collection of functions plus metadata.
+type Module struct {
+	Funcs []*Function
+	// Typed reports whether inference has annotated every value (TWIR).
+	Typed bool
+	Props map[string]any
+}
+
+// Main returns the module's entry function.
+func (m *Module) Main() *Function {
+	for _, f := range m.Funcs {
+		if f.Name == "Main" {
+			return f
+		}
+	}
+	if len(m.Funcs) > 0 {
+		return m.Funcs[0]
+	}
+	return nil
+}
+
+// FuncByName finds a function by name.
+func (m *Module) FuncByName(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// NewFunction appends an empty function with an entry block.
+func (m *Module) NewFunction(name string) *Function {
+	f := &Function{Name: name, Module: m}
+	m.Funcs = append(m.Funcs, f)
+	f.NewBlock("start")
+	return f
+}
+
+// --- textual form (paper §A.6: CompileToIR[...]["toString"]) ---
+
+// String renders the module.
+func (m *Module) String() string {
+	var b strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders one function module.
+func (f *Function) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s::Information={\"ArgumentAlias\"->False, \"AbortHandling\"->%v}\n",
+		f.Name, f.propBool("AbortHandling"))
+	fmt.Fprintf(&b, "%s", f.Name)
+	if f.Module != nil && f.Module.Typed {
+		var ps []string
+		for _, p := range f.Params {
+			ps = append(ps, typeStr(p.Ty))
+		}
+		fmt.Fprintf(&b, " : (%s)->%s", strings.Join(ps, ", "), typeStr(f.RetTy))
+	}
+	b.WriteByte('\n')
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s(%d):\n", blk.Label, blk.IDNum+1)
+		for _, phi := range blk.Phis {
+			b.WriteString("  " + phi.render() + "\n")
+		}
+		for _, in := range blk.Instrs {
+			b.WriteString("  " + in.render() + "\n")
+		}
+	}
+	return b.String()
+}
+
+func (f *Function) propBool(key string) bool {
+	v, ok := f.Props[key]
+	if !ok {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
+func typeStr(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return t.String()
+}
+
+func (i *Instr) render() string {
+	args := func(vs []Value) string {
+		parts := make([]string, len(vs))
+		for j, v := range vs {
+			parts[j] = v.Name()
+		}
+		return strings.Join(parts, ", ")
+	}
+	res := i.Name()
+	if i.Ty != nil {
+		res += ":" + i.Ty.String()
+	}
+	switch i.Op {
+	case OpCall:
+		callee := i.Callee
+		if i.Native != "" {
+			callee = fmt.Sprintf("Native`PrimitiveFunction[%s]", i.Native)
+		}
+		return fmt.Sprintf("%s = Call %s [%s]", res, callee, args(i.Args))
+	case OpCallIndirect:
+		return fmt.Sprintf("%s = CallIndirect %s [%s]", res, i.Args[0].Name(), args(i.Args[1:]))
+	case OpClosure:
+		return fmt.Sprintf("%s = Closure %s [%s]", res, i.Args[0].Name(), args(i.Args[1:]))
+	case OpPhi:
+		parts := make([]string, len(i.Args))
+		for j, v := range i.Args {
+			pred := "?"
+			if j < len(i.Block.Preds) {
+				pred = fmt.Sprintf("%d", i.Block.Preds[j].IDNum+1)
+			}
+			parts[j] = fmt.Sprintf("[%s, %s]", v.Name(), pred)
+		}
+		return fmt.Sprintf("%s = Phi %s", res, strings.Join(parts, " "))
+	case OpBranch:
+		return fmt.Sprintf("Jump %s(%d)", i.Targets[0].Label, i.Targets[0].IDNum+1)
+	case OpCondBranch:
+		return fmt.Sprintf("Branch %s ? %s(%d) : %s(%d)", i.Args[0].Name(),
+			i.Targets[0].Label, i.Targets[0].IDNum+1,
+			i.Targets[1].Label, i.Targets[1].IDNum+1)
+	case OpReturn:
+		if len(i.Args) == 0 {
+			return "Return"
+		}
+		return "Return " + i.Args[0].Name()
+	case OpAbortCheck:
+		return "AbortCheck"
+	}
+	return res + " = ?"
+}
+
+// Lint checks SSA invariants: every block terminated exactly once, phi
+// arity matches predecessor count, and every instruction operand is defined
+// in the module. The paper keeps an IR linter for pass authors (§4.3 fn 3).
+func (m *Module) Lint() error {
+	for _, f := range m.Funcs {
+		defined := map[Value]bool{}
+		for _, p := range f.Params {
+			defined[p] = true
+		}
+		for _, b := range f.Blocks {
+			for _, phi := range b.Phis {
+				defined[phi] = true
+			}
+			for _, in := range b.Instrs {
+				defined[in] = true
+			}
+		}
+		for _, b := range f.Blocks {
+			if b.Term() == nil {
+				return fmt.Errorf("lint %s: block %s(%d) not terminated", f.Name, b.Label, b.IDNum+1)
+			}
+			for idx, in := range b.Instrs {
+				if in.IsTerminator() && idx != len(b.Instrs)-1 {
+					return fmt.Errorf("lint %s: terminator mid-block in %s", f.Name, b.Label)
+				}
+			}
+			for _, phi := range b.Phis {
+				if len(phi.Args) != len(b.Preds) {
+					return fmt.Errorf("lint %s: phi arity %d != %d preds in %s",
+						f.Name, len(phi.Args), len(b.Preds), b.Label)
+				}
+			}
+			check := func(in *Instr) error {
+				for _, a := range in.Args {
+					switch v := a.(type) {
+					case *Instr:
+						if !defined[v] {
+							return fmt.Errorf("lint %s: use of undefined %%%d in %s", f.Name, v.IDNum, b.Label)
+						}
+					case *Param:
+						// Parameters of other functions would be a bug.
+						if !defined[v] {
+							return fmt.Errorf("lint %s: foreign parameter %s", f.Name, v.Name())
+						}
+					}
+				}
+				return nil
+			}
+			for _, phi := range b.Phis {
+				if err := check(phi); err != nil {
+					return err
+				}
+			}
+			for _, in := range b.Instrs {
+				if err := check(in); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
