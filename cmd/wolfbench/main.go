@@ -13,12 +13,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	gort "runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,36 +42,86 @@ var (
 	ablation  = flag.String("ablation", "", "ablations: inline | qsortcopy | abort | constants | all")
 	benchName = flag.String("bench", "", "run a single Figure 2 benchmark by name")
 	withInt   = flag.Bool("interp", true, "include the interpreter series (slow)")
+	parallelF = flag.Bool("parallel", false, "run the parallel tensor-runtime suite (Dot, Blur, Histogram, Map)")
+	workersF  = flag.String("workers", "1,2,4,8", "worker counts for -parallel, comma-separated")
+	jsonPath  = flag.String("json", "", "write machine-readable results (BENCH_<n>.json shape) to this path")
 )
+
+// benchResult is one row of the -json output.
+type benchResult struct {
+	Name    string  `json:"name"`
+	Impl    string  `json:"impl"`
+	Workers int     `json:"workers,omitempty"`
+	Size    int     `json:"size"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Checksum string `json:"checksum,omitempty"`
+}
+
+var jsonResults []benchResult
+
+func record(name, impl string, workers, size int, nsPerOp float64, checksum string) {
+	jsonResults = append(jsonResults, benchResult{
+		Name: name, Impl: impl, Workers: workers, Size: size,
+		NsPerOp: nsPerOp, Checksum: checksum,
+	})
+}
+
+func emitJSON(path string) {
+	doc := struct {
+		Schema     string        `json:"schema"`
+		GOMAXPROCS int           `json:"gomaxprocs"`
+		Full       bool          `json:"full"`
+		Results    []benchResult `json:"results"`
+	}{"wolfbench/v1", gort.GOMAXPROCS(0), *full, jsonResults}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -json:", err)
+		return
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -json:", err)
+		return
+	}
+	fmt.Printf("wrote %d results to %s\n", len(jsonResults), path)
+}
 
 func main() {
 	flag.Parse()
 	any := false
-	if *fig == 2 || *fig == 0 && *table == 0 && !*findroot && *ablation == "" {
+	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF
+	if *fig == 2 || defaults {
 		figure2()
 		any = true
 	}
-	if *fig == 1 || *fig == 0 && *table == 0 && !*findroot && *ablation == "" {
+	if *fig == 1 || defaults {
 		figure1()
 		any = true
 	}
-	if *table == 1 || *fig == 0 && *table == 0 && !*findroot && *ablation == "" {
+	if *table == 1 || defaults {
 		table1()
 		any = true
 	}
-	if *findroot || *fig == 0 && *table == 0 && *ablation == "" {
+	if *findroot || *fig == 0 && *table == 0 && *ablation == "" && !*parallelF {
 		findRootComparison()
+		any = true
+	}
+	if *parallelF || defaults {
+		parallelSuite()
 		any = true
 	}
 	if *ablation != "" {
 		ablations(*ablation)
 		any = true
-	} else if *fig == 0 && *table == 0 && !*findroot {
+	} else if defaults {
 		ablations("all")
 		any = true
 	}
 	if !any {
 		ablations("all")
+	}
+	if *jsonPath != "" {
+		emitJSON(*jsonPath)
 	}
 }
 
@@ -148,6 +201,7 @@ func figure2() {
 			continue
 		}
 		goNs := measure(goRun, 300*time.Millisecond)
+		record(name, "go", 0, sz, goNs, "")
 		fmt.Printf("%-12s %-18s %14s %10s\n", name, "go (ref)", fmtNs(goNs), "1.0x")
 		impls := []bench.Impl{bench.ImplCompiled, bench.ImplCompiledNoAbort, bench.ImplBytecode}
 		if *withInt {
@@ -178,7 +232,88 @@ func figure2() {
 				continue
 			}
 			ns := measure(run, 300*time.Millisecond) * scaleBack
+			record(name, string(impl), 0, sz, ns, "")
 			fmt.Printf("%-12s %-18s %14s %9.1fx\n", name, string(impl), fmtNs(ns), ns/goNs)
+		}
+		fmt.Println()
+	}
+}
+
+// parseWorkers turns the -workers flag ("1,2,4,8") into worker counts.
+// A leading 1 is forced: it is the baseline every other count is checked
+// (checksum) and normalised (speedup) against.
+func parseWorkers(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "wolfbench: bad -workers entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 || out[0] != 1 {
+		out = append([]int{1}, out...)
+	}
+	return out
+}
+
+func parallelSize(name string) int {
+	if *full {
+		return bench.ParallelDefaultSize(name)
+	}
+	switch name {
+	case "dot":
+		return 300
+	case "blur":
+		return 400
+	}
+	return 300_000
+}
+
+// parallelSuite measures the worker-pool kernels (satellite of the parallel
+// tensor runtime): each kernel is compiled once per worker count with
+// Parallelism->w, timed, and its checksum is required to be bit-identical to
+// the workers=1 run.
+func parallelSuite() {
+	fmt.Println("=== Parallel tensor runtime: compiled kernels vs worker count ===")
+	fmt.Printf("(GOMAXPROCS=%d; workers beyond that time-slice on the same cores,\n",
+		gort.GOMAXPROCS(0))
+	fmt.Println(" so speedups >1x need a multi-core host; checksums must match regardless)")
+	fmt.Println()
+	workers := parseWorkers(*workersF)
+	fmt.Printf("%-10s %9s %8s %14s %9s  %s\n",
+		"kernel", "size", "workers", "time/op", "speedup", "checksum")
+	for _, name := range bench.ParallelKernels() {
+		sz := parallelSize(name)
+		var baseNs float64
+		baseSum := ""
+		for _, w := range workers {
+			run, err := bench.PrepareParallelKernel(name, sz, w)
+			if err != nil {
+				fmt.Printf("%-10s %9d %8d failed: %v\n", name, sz, w, err)
+				break
+			}
+			sum := run()
+			if w == 1 {
+				baseSum = sum
+			} else if sum != baseSum {
+				fmt.Fprintf(os.Stderr,
+					"wolfbench: %s checksum diverged at workers=%d: %s != %s\n",
+					name, w, sum, baseSum)
+				os.Exit(1)
+			}
+			ns := measure(run, 300*time.Millisecond)
+			if w == 1 {
+				baseNs = ns
+			}
+			record(name, "compiled-parallel", w, sz, ns, sum)
+			fmt.Printf("%-10s %9d %8d %14s %8.2fx  %s\n",
+				name, sz, w, fmtNs(ns), baseNs/ns, sum)
 		}
 		fmt.Println()
 	}

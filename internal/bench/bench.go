@@ -107,14 +107,14 @@ func Prepare(name string, impl Impl, size int) (Runner, error) {
 func realTensor(v []float64, dims ...int) *runtime.Tensor {
 	t := runtime.NewTensor(runtime.KR64, dims...)
 	copy(t.F, v)
-	t.Shared = true
+	t.MarkShared()
 	return t
 }
 
 func intTensor(v []int64, dims ...int) *runtime.Tensor {
 	t := runtime.NewTensor(runtime.KI64, dims...)
 	copy(t.I, v)
-	t.Shared = true
+	t.MarkShared()
 	return t
 }
 

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"wolfc/internal/core"
+	"wolfc/internal/kernel"
+	"wolfc/internal/runtime"
+)
+
+// ParallelKernels lists the worker-pool benchmark kernels in display order:
+// the Dot/Blur/Histogram workloads from Figure 2 routed through the
+// data-parallel natives, plus an element-wise Map over 10⁶ reals.
+func ParallelKernels() []string { return []string{"dot", "blur", "histogram", "map"} }
+
+// ParallelDefaultSize returns the workload parameter for a parallel kernel.
+func ParallelDefaultSize(name string) int {
+	switch name {
+	case "dot", "blur":
+		return 1000 // side of the square operand (§6 workloads)
+	case "histogram", "map":
+		return 1_000_000 // element count
+	}
+	return 0
+}
+
+// PrepareParallelKernel compiles one data-parallel kernel with the given
+// Parallelism option (0 = process default, 1 = serial) and returns a
+// Runner whose checksum is stable across worker counts — the parallel
+// partitionings are bit-identical to the serial loops, so checksums from
+// different worker counts must agree exactly.
+func PrepareParallelKernel(name string, size, workers int) (Runner, error) {
+	k := kernel.New()
+	k.Out = io.Discard
+	c := core.NewCompiler(k)
+	c.Parallelism = workers
+	switch name {
+	case "dot":
+		n := size
+		a := matrixData(n, 0.1)
+		b := matrixData(n, 0.9)
+		ccf, err := c.FunctionCompile(newFn(
+			`Typed[a, "Tensor"["Real64", 2]], Typed[b, "Tensor"["Real64", 2]]`, "Dot[a, b]"))
+		if err != nil {
+			return nil, err
+		}
+		ta := realTensor(a, n, n)
+		tb := realTensor(b, n, n)
+		return func() string {
+			out := ccf.CallRaw(ta, tb).(*runtime.Tensor)
+			return fmt.Sprintf("%x", checksumF(out.F))
+		}, nil
+	case "blur":
+		rows, cols := size, size
+		img := imageData(rows, cols)
+		ccf, err := c.FunctionCompile(newFn(
+			`Typed[img, "Tensor"["Real64", 2]]`, "Native`GaussianBlur[img]"))
+		if err != nil {
+			return nil, err
+		}
+		t := realTensor(img, rows, cols)
+		return func() string {
+			out := ccf.CallRaw(t).(*runtime.Tensor)
+			return fmt.Sprintf("%x", checksumF(out.F))
+		}, nil
+	case "histogram":
+		data := uniformInts(size)
+		ccf, err := c.FunctionCompile(newFn(
+			`Typed[data, "Tensor"["Integer64", 1]]`, "Native`Histogram[data, 256]"))
+		if err != nil {
+			return nil, err
+		}
+		t := intTensor(data, len(data))
+		return func() string {
+			out := ccf.CallRaw(t).(*runtime.Tensor)
+			return fmt.Sprintf("%x", checksumI(out.I))
+		}, nil
+	case "map":
+		v := realVector(size)
+		ccf, err := c.FunctionCompile(newFn(
+			`Typed[v, "Tensor"["Real64", 1]]`, "Exp[v]"))
+		if err != nil {
+			return nil, err
+		}
+		t := realTensor(v, len(v))
+		return func() string {
+			out := ccf.CallRaw(t).(*runtime.Tensor)
+			return fmt.Sprintf("%x", checksumF(out.F))
+		}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown parallel kernel %q", name)
+}
+
+// realVector builds the parallel Map input: n deterministic reals in a
+// range where Exp stays finite.
+func realVector(n int) []float64 {
+	out := make([]float64, n)
+	v := 0.3
+	for i := range out {
+		v = v*1.0001 + 0.37
+		if v > 10 {
+			v -= 10
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// checksumF hashes the exact bit patterns of the values (FNV-1a), so two
+// runs agree only if every element is bit-identical.
+func checksumF(v []float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range v {
+		bits := math.Float64bits(x)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func checksumI(v []int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range v {
+		u := uint64(x)
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}

@@ -4,48 +4,86 @@
 // operations here, mirroring the paper's observation that all
 // implementations share one BLAS and therefore show no performance
 // difference on Dot. The kernels are deliberately not abortable, like MKL.
+//
+// The matrix kernels partition by row bands over the shared worker pool
+// (the threaded-MKL analogue). Each output row is owned by exactly one
+// worker and keeps the serial per-element accumulation order, so banded
+// results are bit-identical to the serial loops. DDot stays serial: its
+// single accumulator would need a split reduction, which changes FP
+// rounding order.
 package blas
 
+import "wolfc/internal/runtime/par"
+
+// gemmFlopGrain is the minimum ~flop count a parallel band must amortise;
+// below it the fork overhead beats the loop and the kernel stays serial.
+const gemmFlopGrain = 1 << 17
+
 // DGemm computes C = A·B for row-major dense matrices, A being m×k and B
-// k×n; C must have length m*n. The loop is the classic ikj blocked order,
-// which keeps the B row hot in cache.
-func DGemm(m, k, n int, a, b, c []float64) {
-	const block = 64
-	for i := range c {
-		c[i] = 0
+// k×n; C must have length m*n, at the process-default parallel width.
+func DGemm(m, k, n int, a, b, c []float64) { DGemmW(0, m, k, n, a, b, c) }
+
+// DGemmW is DGemm with an explicit worker count (0 = process default). Row
+// bands are distributed over the pool; within a band the loop is the
+// classic ikj blocked order, which keeps the B row hot in cache per worker.
+// Every element of C accumulates its k products in the same (kk-block, p)
+// order regardless of banding, so output is bit-identical to one worker.
+func DGemmW(workers, m, k, n int, a, b, c []float64) {
+	rowGrain := 1
+	if flops := 2 * k * n; flops > 0 && gemmFlopGrain/flops > 1 {
+		rowGrain = gemmFlopGrain / flops
 	}
-	for ii := 0; ii < m; ii += block {
-		iMax := min(ii+block, m)
-		for kk := 0; kk < k; kk += block {
-			kMax := min(kk+block, k)
-			for i := ii; i < iMax; i++ {
-				arow := a[i*k : (i+1)*k]
-				crow := c[i*n : (i+1)*n]
-				for p := kk; p < kMax; p++ {
-					aip := arow[p]
-					brow := b[p*n : (p+1)*n]
-					for j := 0; j < n; j++ {
-						crow[j] += aip * brow[j]
+	par.For(workers, m, rowGrain, func(lo, hi int) {
+		const block = 64
+		for i := lo * n; i < hi*n; i++ {
+			c[i] = 0
+		}
+		for ii := lo; ii < hi; ii += block {
+			iMax := min(ii+block, hi)
+			for kk := 0; kk < k; kk += block {
+				kMax := min(kk+block, k)
+				for i := ii; i < iMax; i++ {
+					arow := a[i*k : (i+1)*k]
+					crow := c[i*n : (i+1)*n]
+					for p := kk; p < kMax; p++ {
+						aip := arow[p]
+						brow := b[p*n : (p+1)*n]
+						for j := 0; j < n; j++ {
+							crow[j] += aip * brow[j]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 }
 
-// DGemv computes y = A·x for a row-major m×n matrix.
-func DGemv(m, n int, a, x, y []float64) {
-	for i := 0; i < m; i++ {
-		s := 0.0
-		row := a[i*n : (i+1)*n]
-		for j, xv := range x {
-			s += row[j] * xv
+// DGemv computes y = A·x for a row-major m×n matrix at the process-default
+// parallel width.
+func DGemv(m, n int, a, x, y []float64) { DGemvW(0, m, n, a, x, y) }
+
+// DGemvW is DGemv with an explicit worker count. Each output element is an
+// independent row dot product, so row banding preserves bit-identity.
+func DGemvW(workers, m, n int, a, x, y []float64) {
+	rowGrain := 1
+	if flops := 2 * n; flops > 0 && gemmFlopGrain/flops > 1 {
+		rowGrain = gemmFlopGrain / flops
+	}
+	par.For(workers, m, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			row := a[i*n : (i+1)*n]
+			for j, xv := range x {
+				s += row[j] * xv
+			}
+			y[i] = s
 		}
-		y[i] = s
-	}
+	})
 }
 
-// DDot returns the inner product of two equal-length vectors.
+// DDot returns the inner product of two equal-length vectors. Deliberately
+// serial: partitioning the sum would reassociate floating-point addition
+// and break bit-identity with the sequential result.
 func DDot(x, y []float64) float64 {
 	s := 0.0
 	for i, xv := range x {

@@ -117,3 +117,39 @@ func TestDDotDAxpyDSum(t *testing.T) {
 		t.Fatal("ISum broken")
 	}
 }
+
+// TestDGemmBandedBitIdentical checks that row-band parallel matmul matches
+// the single-worker result bit-for-bit: every element accumulates its k
+// products in the same order regardless of banding.
+func TestDGemmBandedBitIdentical(t *testing.T) {
+	m, k, n := 130, 71, 93
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	for i := range a {
+		a[i] = 0.001*float64(i) - 3.7
+	}
+	for i := range b {
+		b[i] = 0.002*float64(i%997) + 0.1
+	}
+	want := make([]float64, m*n)
+	DGemmW(1, m, k, n, a, b, want)
+	for _, workers := range []int{2, 4, 8} {
+		got := make([]float64, m*n)
+		DGemmW(workers, m, k, n, a, b, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("DGemmW workers=%d: element %d differs (%g vs %g)", workers, i, got[i], want[i])
+			}
+		}
+	}
+	y1 := make([]float64, m)
+	y8 := make([]float64, m)
+	x := b[:k]
+	DGemvW(1, m, k, a, x, y1)
+	DGemvW(8, m, k, a, x, y8)
+	for i := range y1 {
+		if math.Float64bits(y1[i]) != math.Float64bits(y8[i]) {
+			t.Fatalf("DGemvW: row %d differs", i)
+		}
+	}
+}

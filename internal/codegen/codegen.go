@@ -21,8 +21,15 @@ import (
 )
 
 // RT is the per-call runtime context threaded through compiled frames.
+// Each invocation gets its own RT value (built by the CompiledCodeFunction
+// wrapper in internal/core), so concurrent callers never share one.
 type RT struct {
 	Engine runtime.Engine
+	// Workers is the parallel width for data-parallel natives in this
+	// call: 0 means the process default (runtime.SetMaxWorkers, falling
+	// back to GOMAXPROCS), 1 forces serial execution. Set from the
+	// Parallelism compile option.
+	Workers int
 }
 
 // Aborted polls the abort flag; standalone code (nil engine) never aborts.
@@ -92,6 +99,9 @@ type Program struct {
 	Main   *CFunc
 	Module *wir.Module
 	byName map[string]*CFunc
+	// Parallelism is the worker count baked in from CompileOptions; the
+	// invocation wrapper copies it into each call's RT.
+	Parallelism int
 }
 
 // FuncByName returns a compiled function.
@@ -105,6 +115,10 @@ func (p *Program) FuncByName(name string) *CFunc {
 // observe a 1.5x performance degradation").
 type CompileOptions struct {
 	NaiveConstants bool
+	// Parallelism sets the worker count for data-parallel natives (tensor
+	// element-wise kernels, banded Dot, blur, histogram) in code compiled
+	// with these options: 0 = process default, 1 = serial.
+	Parallelism int
 }
 
 // Compile generates closure-threaded code for a typed module.
@@ -117,7 +131,7 @@ func CompileWithOptions(mod *wir.Module, opts CompileOptions) (*Program, error) 
 	if !mod.Typed {
 		return nil, fmt.Errorf("codegen: module is untyped; run inference first (§4.6: code generation only operates on fully typed TWIR)")
 	}
-	p := &Program{Module: mod, byName: map[string]*CFunc{}}
+	p := &Program{Module: mod, byName: map[string]*CFunc{}, Parallelism: opts.Parallelism}
 	// Create shells first so direct calls and closures can reference them.
 	for _, f := range mod.Funcs {
 		cf := &CFunc{Name: f.Name, naiveConsts: opts.NaiveConstants}

@@ -461,10 +461,10 @@ func (g *gen) selectNative(native string, in *wir.Instr, regs []reg, dst reg) st
 		"tensor_math_exp", "tensor_math_log", "tensor_math_sqrt":
 		f := mathFunc(strings.TrimPrefix(native, "tensor_math_"))
 		a := a0()
-		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapF(f) }
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapFP(fr.rt.Workers, f) }
 	case "tensor_math_abs":
 		a := a0()
-		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapF(math.Abs) }
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapFP(fr.rt.Workers, math.Abs) }
 
 	// --- Dot via BLAS ---
 	case "dot_vv":
@@ -472,10 +472,26 @@ func (g *gen) selectNative(native string, in *wir.Instr, regs []reg, dst reg) st
 		return func(fr *frame) { fr.f[d] = runtime.DotVV(tensorArg(fr, a), tensorArg(fr, b)) }
 	case "dot_mv":
 		a, b := a0(), a1()
-		return func(fr *frame) { fr.o[d] = runtime.DotMV(tensorArg(fr, a), tensorArg(fr, b)) }
+		return func(fr *frame) {
+			fr.o[d] = runtime.DotMVP(fr.rt.Workers, tensorArg(fr, a), tensorArg(fr, b))
+		}
 	case "dot_mm":
 		a, b := a0(), a1()
-		return func(fr *frame) { fr.o[d] = runtime.DotMM(tensorArg(fr, a), tensorArg(fr, b)) }
+		return func(fr *frame) {
+			fr.o[d] = runtime.DotMMP(fr.rt.Workers, tensorArg(fr, a), tensorArg(fr, b))
+		}
+
+	// --- data-parallel image/statistics kernels ---
+	case "gaussian_blur":
+		a := a0()
+		return func(fr *frame) {
+			fr.o[d] = runtime.GaussianBlur3x3P(fr.rt.Workers, tensorArg(fr, a))
+		}
+	case "histogram_bins":
+		a, b := a0(), a1()
+		return func(fr *frame) {
+			fr.o[d] = runtime.HistogramBinsP(fr.rt.Workers, int(fr.i[b]), tensorArg(fr, a))
+		}
 
 	// --- random numbers (engine-seeded) ---
 	case "random_real01":
@@ -808,9 +824,11 @@ func (g *gen) tensorArith(native string, in *wir.Instr, regs []reg, dst reg) ste
 	if native == "tensor_minus" {
 		a := regs[0].idx
 		if elem == runtime.KI64 {
-			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapI(runtime.NegI64) }
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapIP(fr.rt.Workers, runtime.NegI64) }
 		}
-		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).MapF(func(x float64) float64 { return -x }) }
+		return func(fr *frame) {
+			fr.o[d] = tensorArg(fr, a).MapFP(fr.rt.Workers, func(x float64) float64 { return -x })
+		}
 	}
 	op := native[strings.LastIndex(native, "_")+1:]
 	a, b := regs[0].idx, regs[1].idx
@@ -820,34 +838,34 @@ func (g *gen) tensorArith(native string, in *wir.Instr, regs []reg, dst reg) ste
 			f := intBinOp(op)
 			return func(fr *frame) {
 				s := fr.i[b]
-				fr.o[d] = tensorArg(fr, a).MapI(func(x int64) int64 { return f(x, s) })
+				fr.o[d] = tensorArg(fr, a).MapIP(fr.rt.Workers, func(x int64) int64 { return f(x, s) })
 			}
 		}
 		f := realBinOp(op)
 		return func(fr *frame) {
 			s := fr.f[b]
-			fr.o[d] = tensorArg(fr, a).MapF(func(x float64) float64 { return f(x, s) })
+			fr.o[d] = tensorArg(fr, a).MapFP(fr.rt.Workers, func(x float64) float64 { return f(x, s) })
 		}
 	case strings.HasPrefix(native, "scalar_tensor_"):
 		if elem == runtime.KI64 {
 			f := intBinOp(op)
 			return func(fr *frame) {
 				s := fr.i[a]
-				fr.o[d] = tensorArg(fr, b).MapI(func(x int64) int64 { return f(s, x) })
+				fr.o[d] = tensorArg(fr, b).MapIP(fr.rt.Workers, func(x int64) int64 { return f(s, x) })
 			}
 		}
 		f := realBinOp(op)
 		return func(fr *frame) {
 			s := fr.f[a]
-			fr.o[d] = tensorArg(fr, b).MapF(func(x float64) float64 { return f(s, x) })
+			fr.o[d] = tensorArg(fr, b).MapFP(fr.rt.Workers, func(x float64) float64 { return f(s, x) })
 		}
 	default: // tensor_plus / tensor_times / tensor_subtract
 		if elem == runtime.KI64 {
 			f := intBinOp(op)
-			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).ZipI(tensorArg(fr, b), f) }
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).ZipIP(fr.rt.Workers, tensorArg(fr, b), f) }
 		}
 		f := realBinOp(op)
-		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).ZipF(tensorArg(fr, b), f) }
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).ZipFP(fr.rt.Workers, tensorArg(fr, b), f) }
 	}
 }
 

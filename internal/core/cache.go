@@ -1,0 +1,194 @@
+// Process-wide content-addressed FunctionCompile cache (paper §4.5: the
+// implicit compilation mode amortises compile cost across repeated calls).
+// Entries are keyed by the canonical FullForm of the macro-expanded
+// (desugared) function together with everything else that influences code
+// generation: pass options, backend options, the type- and
+// macro-environment declaration signatures, the conditioned-macro compile
+// options, and the hosting kernel identity. Eviction is LRU with a bounded
+// entry count so long-lived processes do not accumulate compiled programs.
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wolfc/internal/expr"
+)
+
+// CompileCacheStats is a snapshot of cache effectiveness counters.
+type CompileCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+type cacheEntry struct {
+	key string
+	ccf *CompiledCodeFunction
+}
+
+var compileCache = struct {
+	mu    sync.Mutex
+	byKey map[string]*list.Element // -> *cacheEntry elements of lru
+	lru   *list.List               // front = most recently used
+	cap   int
+	stats CompileCacheStats
+}{
+	byKey: map[string]*list.Element{},
+	lru:   list.New(),
+	cap:   256,
+}
+
+// CompileCacheStatsNow returns the current cache counters.
+func CompileCacheStatsNow() CompileCacheStats {
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	s := compileCache.stats
+	s.Entries = compileCache.lru.Len()
+	return s
+}
+
+// SetCompileCacheCapacity bounds the cache entry count (minimum 1) and
+// returns the previous capacity, evicting LRU entries if the new capacity
+// is already exceeded.
+func SetCompileCacheCapacity(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	prev := compileCache.cap
+	compileCache.cap = n
+	for compileCache.lru.Len() > n {
+		evictOldestLocked()
+	}
+	return prev
+}
+
+// ResetCompileCache drops every entry and zeroes the counters (tests).
+func ResetCompileCache() {
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	compileCache.byKey = map[string]*list.Element{}
+	compileCache.lru.Init()
+	compileCache.stats = CompileCacheStats{}
+}
+
+func evictOldestLocked() {
+	back := compileCache.lru.Back()
+	if back == nil {
+		return
+	}
+	compileCache.lru.Remove(back)
+	delete(compileCache.byKey, back.Value.(*cacheEntry).key)
+	compileCache.stats.Evictions++
+}
+
+// cacheKey builds the content-addressed key for compiling fn under this
+// compiler's configuration. The desugared (macro-expanded) form is hashed
+// so that surface spellings that expand identically share one entry;
+// expansion runs to a fixed point, so compiling from the original source on
+// a miss produces exactly the cached program.
+func (c *Compiler) cacheKey(fn expr.Expr) (string, error) {
+	expanded, err := c.ExpandAST(fn)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "src:%s\n", expr.FullForm(expanded))
+	fmt.Fprintf(h, "passes:%+v\n", c.Options)
+	fmt.Fprintf(h, "backend:naive=%v parallelism=%d\n", c.NaiveConstants, c.Parallelism)
+	fmt.Fprintf(h, "tyenv:%x macroenv:%x\n", c.TypeEnv.Sig(), c.MacroEnv.Sig())
+	// The kernel identity matters: the compiled wrapper's fallback and
+	// engine escapes are bound to the hosting kernel.
+	fmt.Fprintf(h, "kernel:%p\n", c.Kernel)
+	opts := make([]string, 0, len(c.CompileOpts))
+	for k, v := range c.CompileOpts {
+		opts = append(opts, k+"="+expr.FullForm(v))
+	}
+	sort.Strings(opts)
+	for _, o := range opts {
+		fmt.Fprintf(h, "opt:%s\n", o)
+	}
+	return string(h.Sum(nil)), nil
+}
+
+// fastKey is the cheap first-tier key: the *unexpanded* source plus every
+// configuration input the content key depends on (the kernel is constant
+// per compiler). Macro-environment changes that would alter expansion are
+// covered by the environment signature, so a fastKey match guarantees the
+// memoised content key is still the one cacheKey would compute.
+func (c *Compiler) fastKey(fn expr.Expr) string {
+	opts := make([]string, 0, len(c.CompileOpts))
+	for k, v := range c.CompileOpts {
+		opts = append(opts, k+"="+expr.FullForm(v))
+	}
+	sort.Strings(opts)
+	return fmt.Sprintf("%s\x00%+v\x00%v\x00%d\x00%x\x00%x\x00%s",
+		expr.FullForm(fn), c.Options, c.NaiveConstants, c.Parallelism,
+		c.TypeEnv.Sig(), c.MacroEnv.Sig(), strings.Join(opts, "\x00"))
+}
+
+// FunctionCompileCached is FunctionCompile backed by the process-wide LRU
+// cache: a repeated compile of the same desugared source under the same
+// configuration returns the already-compiled function.
+func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, error) {
+	// Hot path (implicit compilation in a solver loop): skip macro
+	// expansion and hashing when this compiler has resolved the same
+	// source under the same configuration before. The memo stores only
+	// the content key — hits, misses, and LRU eviction all still go
+	// through the shared cache below.
+	fk := c.fastKey(fn)
+	c.fastMu.Lock()
+	key, memoised := c.fastKeys[fk]
+	c.fastMu.Unlock()
+	if !memoised {
+		var err error
+		key, err = c.cacheKey(fn)
+		if err != nil {
+			// Expansion failures surface through the regular pipeline so
+			// the error message carries its usual context.
+			return c.FunctionCompile(fn)
+		}
+		c.fastMu.Lock()
+		if c.fastKeys == nil || len(c.fastKeys) > 1024 {
+			c.fastKeys = map[string]string{}
+		}
+		c.fastKeys[fk] = key
+		c.fastMu.Unlock()
+	}
+	compileCache.mu.Lock()
+	if el, ok := compileCache.byKey[key]; ok {
+		compileCache.lru.MoveToFront(el)
+		compileCache.stats.Hits++
+		ccf := el.Value.(*cacheEntry).ccf
+		compileCache.mu.Unlock()
+		return ccf, nil
+	}
+	compileCache.stats.Misses++
+	compileCache.mu.Unlock()
+
+	// Compile outside the lock: concurrent first compiles of the same key
+	// may race and both do the work; the second insert wins the map slot
+	// and the first result simply stays uncached. Correctness is
+	// unaffected because both programs are equivalent.
+	ccf, err := c.FunctionCompile(fn)
+	if err != nil {
+		return nil, err
+	}
+	compileCache.mu.Lock()
+	if _, ok := compileCache.byKey[key]; !ok {
+		el := compileCache.lru.PushFront(&cacheEntry{key: key, ccf: ccf})
+		compileCache.byKey[key] = el
+		for compileCache.lru.Len() > compileCache.cap {
+			evictOldestLocked()
+		}
+	}
+	compileCache.mu.Unlock()
+	return ccf, nil
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"wolfc/internal/binding"
 	"wolfc/internal/codegen"
@@ -35,6 +36,16 @@ type Compiler struct {
 	// NaiveConstants disables constant-array interning in the backend
 	// (the §6 PrimeQ ablation).
 	NaiveConstants bool
+	// Parallelism is the worker count for data-parallel natives in
+	// compiled code: 0 = process default (runtime.SetMaxWorkers /
+	// GOMAXPROCS), 1 = serial.
+	Parallelism int
+
+	// fastKeys memoises raw source -> content-addressed cache key so
+	// repeated implicit compiles (FindRoot's solver loop) skip macro
+	// expansion and hashing. Guarded by fastMu; see cache.go.
+	fastMu   sync.Mutex
+	fastKeys map[string]string
 }
 
 // NewCompiler builds a compiler hosted in k with the default environments.
@@ -101,7 +112,10 @@ func (c *Compiler) compileNamed(selfName string, fn expr.Expr) (*CompiledCodeFun
 	if err := passes.Run(mod, c.TypeEnv, c.Options); err != nil {
 		return nil, err
 	}
-	prog, err := codegen.CompileWithOptions(mod, codegen.CompileOptions{NaiveConstants: c.NaiveConstants})
+	prog, err := codegen.CompileWithOptions(mod, codegen.CompileOptions{
+		NaiveConstants: c.NaiveConstants,
+		Parallelism:    c.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +359,7 @@ func (ccf *CompiledCodeFunction) Apply(args []expr.Expr) (out expr.Expr, err err
 	if !ccf.Standalone {
 		eng = ccf.compiler.Engine()
 	}
-	rt := &codegen.RT{Engine: eng}
+	rt := &codegen.RT{Engine: eng, Workers: ccf.Program.Parallelism}
 	res := ccf.Program.Main.CallValues(rt, raw...)
 	if ccf.RetType == types.TVoid {
 		return expr.SymNull, nil
@@ -360,7 +374,7 @@ func (ccf *CompiledCodeFunction) CallRaw(args ...any) any {
 	if !ccf.Standalone {
 		eng = ccf.compiler.Engine()
 	}
-	return ccf.Program.Main.CallValues(&codegen.RT{Engine: eng}, args...)
+	return ccf.Program.Main.CallValues(&codegen.RT{Engine: eng, Workers: ccf.Program.Parallelism}, args...)
 }
 
 // fallback re-evaluates the source through the interpreter (F2), printing

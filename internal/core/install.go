@@ -45,7 +45,9 @@ func Install(k *kernel.Kernel) *Compiler {
 		if n.Len() < 1 {
 			return n, false
 		}
-		ccf, err := c.FunctionCompile(n.Arg(1))
+		// Route through the process-wide cache so repeated FunctionCompile
+		// of the same source under unchanged environments is free.
+		ccf, err := c.FunctionCompileCached(n.Arg(1))
 		if err != nil {
 			fmt.Fprintf(k.Out, "FunctionCompile::cmperr: %v\n", err)
 			return expr.SymFailed, true

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"wolfc/internal/expr"
@@ -70,6 +71,9 @@ type Kernel struct {
 	// Out receives Print output and messages.
 	Out io.Writer
 
+	// rngMu guards rng: compiled code invoked from many goroutines shares
+	// the kernel's random stream through the Engine interface.
+	rngMu     sync.Mutex
 	rng       *rand.Rand
 	moduleSeq int64
 }
@@ -96,7 +100,11 @@ func New() *Kernel {
 }
 
 // Seed reseeds the kernel's random source (RandomReal, RandomInteger).
-func (k *Kernel) Seed(seed int64) { k.rng = rand.New(rand.NewSource(seed)) }
+func (k *Kernel) Seed(seed int64) {
+	k.rngMu.Lock()
+	k.rng = rand.New(rand.NewSource(seed))
+	k.rngMu.Unlock()
+}
 
 // Register installs a builtin with the given attributes. Used by the
 // standard library installers and by tests that extend the kernel.
@@ -519,12 +527,20 @@ func (k *Kernel) EvalGuarded(e expr.Expr) (result expr.Expr, err error) {
 
 // RandReal draws from the kernel's random stream, shared with compiled code
 // so interpreted and compiled runs of a seeded program agree.
-func (k *Kernel) RandReal() float64 { return k.rng.Float64() }
+func (k *Kernel) RandReal() float64 {
+	k.rngMu.Lock()
+	v := k.rng.Float64()
+	k.rngMu.Unlock()
+	return v
+}
 
 // RandInt draws a uniform integer in [lo, hi] from the kernel's stream.
 func (k *Kernel) RandInt(lo, hi int64) int64 {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	return lo + k.rng.Int63n(hi-lo+1)
+	k.rngMu.Lock()
+	v := lo + k.rng.Int63n(hi-lo+1)
+	k.rngMu.Unlock()
+	return v
 }

@@ -34,6 +34,9 @@ type Env struct {
 	rules  map[*expr.Symbol][]Macro
 	// CondEval evaluates Condition tests inside macro patterns; optional.
 	CondEval pattern.CondFunc
+	// sig is a running content hash over registrations, combined across
+	// the chain by Sig to key the process-wide compile cache.
+	sig uint64
 }
 
 // NewEnv returns an empty macro environment chained to parent (nil for a
@@ -41,6 +44,39 @@ type Env struct {
 func NewEnv(parent *Env) *Env {
 	return &Env{parent: parent, rules: map[*expr.Symbol][]Macro{}}
 }
+
+// bumpSig folds registration content into the signature (FNV-1a).
+func (e *Env) bumpSig(parts ...string) {
+	h := e.sig
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	e.sig = h
+}
+
+// Sig returns the chain's registration signature: environments with equal
+// signatures have registered the same rules in the same order. Conditioned
+// rules additionally mix in a per-registration marker, since their Go
+// predicate closures cannot be content-hashed; two conditioned
+// registrations therefore never alias in the compile cache.
+func (e *Env) Sig() uint64 {
+	var h uint64 = 14695981039346656037
+	for env := e; env != nil; env = env.parent {
+		h ^= env.sig
+		h *= 1099511628211
+	}
+	return h
+}
+
+var condSigCounter int64
 
 // Register adds macro rules for the given head, preserving the paper's rule
 // ordering: rules are matched most-specific first within one registration
@@ -51,6 +87,7 @@ func (e *Env) Register(head *expr.Symbol, rules ...pattern.Rule) {
 	pattern.SortRules(prs)
 	for i, r := range prs {
 		ms[i] = Macro{Rule: r}
+		e.bumpSig("rule", head.Name, expr.FullForm(r.LHS), expr.FullForm(r.RHS))
 	}
 	e.rules[head] = append(e.rules[head], ms...)
 }
@@ -60,6 +97,8 @@ func (e *Env) Register(head *expr.Symbol, rules ...pattern.Rule) {
 func (e *Env) RegisterConditioned(head *expr.Symbol, when func(opts map[string]expr.Expr) bool, rules ...pattern.Rule) {
 	for _, r := range rules {
 		e.rules[head] = append(e.rules[head], Macro{Rule: r, When: when})
+		e.bumpSig("cond", head.Name, expr.FullForm(r.LHS), expr.FullForm(r.RHS),
+			fmt.Sprint(atomic.AddInt64(&condSigCounter, 1)))
 	}
 }
 

@@ -84,36 +84,21 @@ func FindRoot(k *kernel.Kernel, eq expr.Expr, x *expr.Symbol, x0 float64, opts F
 	return xn, fmt.Errorf("FindRoot: no convergence within %d iterations (last x = %v)", opts.MaxIterations, xn)
 }
 
-// autoCompileCache memoises compiled equations per kernel, mirroring the
-// engine's caching of auto-compiled functions: repeated FindRoot calls on
-// the same equation compile once.
-var (
-	autoCacheMu sync.Mutex
-	autoCache   = map[*kernel.Kernel]map[string]*core.CompiledCodeFunction{}
-)
+// Auto-compiled equations go through the process-wide LRU compile cache in
+// internal/core (bounded, shared with explicit FunctionCompile), so
+// repeated FindRoot calls on the same equation compile once and long-lived
+// processes don't accumulate compiled programs. One default-environment
+// compiler is memoised per kernel: building the default macro/type
+// environments per lookup would dwarf the cache hit it feeds, and compilers
+// with identical environment histories share cache entries anyway.
+var autoCompilers sync.Map // *kernel.Kernel -> *core.Compiler
 
 func cachedCompile(k *kernel.Kernel, fn expr.Expr) (*core.CompiledCodeFunction, error) {
-	key := expr.FullForm(fn)
-	autoCacheMu.Lock()
-	perK := autoCache[k]
-	if perK == nil {
-		perK = map[string]*core.CompiledCodeFunction{}
-		autoCache[k] = perK
+	v, ok := autoCompilers.Load(k)
+	if !ok {
+		v, _ = autoCompilers.LoadOrStore(k, core.NewCompiler(k))
 	}
-	if ccf, ok := perK[key]; ok {
-		autoCacheMu.Unlock()
-		return ccf, nil
-	}
-	autoCacheMu.Unlock()
-	c := core.NewCompiler(k)
-	ccf, err := c.FunctionCompile(fn)
-	if err != nil {
-		return nil, err
-	}
-	autoCacheMu.Lock()
-	perK[key] = ccf
-	autoCacheMu.Unlock()
-	return ccf, nil
+	return v.(*core.Compiler).FunctionCompileCached(fn)
 }
 
 // makeEvaluator builds a float64 evaluator for eq(x): compiled when

@@ -129,7 +129,7 @@ func unboxTensor(e expr.Expr, elem types.Type, rank int) (any, bool) {
 				}
 				t.I[i-1] = v.Int64()
 			}
-			t.Shared = true
+			t.MarkShared()
 			return t, true
 		case KR64:
 			t := NewTensor(KR64, n)
@@ -140,7 +140,7 @@ func unboxTensor(e expr.Expr, elem types.Type, rank int) (any, bool) {
 				}
 				t.F[i-1] = f
 			}
-			t.Shared = true
+			t.MarkShared()
 			return t, true
 		case KC64:
 			t := NewTensor(KC64, n)
@@ -156,7 +156,7 @@ func unboxTensor(e expr.Expr, elem types.Type, rank int) (any, bool) {
 					t.C[i-1] = complex(f, 0)
 				}
 			}
-			t.Shared = true
+			t.MarkShared()
 			return t, true
 		case KObj:
 			t := NewTensor(KObj, n)
@@ -167,7 +167,7 @@ func unboxTensor(e expr.Expr, elem types.Type, rank int) (any, bool) {
 				}
 				t.O[i-1] = v
 			}
-			t.Shared = true
+			t.MarkShared()
 			return t, true
 		}
 		return nil, false
@@ -209,7 +209,7 @@ func unboxTensor(e expr.Expr, elem types.Type, rank int) (any, bool) {
 				}
 			}
 		}
-		t.Shared = true
+		t.MarkShared()
 		return t, true
 	}
 	return nil, false

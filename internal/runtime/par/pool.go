@@ -1,0 +1,188 @@
+// Package par is the shared data-parallel worker pool for the compiled
+// runtime. It lives in a leaf package so that both internal/runtime and
+// internal/blas (which runtime imports) can partition work over the same
+// pool without an import cycle.
+//
+// The pool is lazily started: no goroutines exist until the first For call
+// that actually splits work. Helper goroutines block on a global task
+// channel and are shared by every caller in the process, so concurrent
+// compiled functions share one pool rather than multiplying goroutines.
+// For never blocks waiting for helpers — the submitting goroutine works
+// through the chunk list itself and helpers join in opportunistically —
+// which makes nested For calls deadlock-free by construction.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxPoolWorkers caps how many helper goroutines the process will ever
+// start. The cap is intentionally above any realistic GOMAXPROCS so that
+// differential and race tests can exercise genuine multi-goroutine
+// schedules even on small machines.
+const maxPoolWorkers = 64
+
+var (
+	// maxWorkers is the process-wide default parallel width (0 means
+	// "use GOMAXPROCS"). Set through SetMaxWorkers.
+	maxWorkers atomic.Int64
+
+	// tasks is the global work channel helper goroutines drain.
+	tasks chan func()
+
+	// started counts helper goroutines already launched.
+	started atomic.Int64
+
+	startMu sync.Mutex
+)
+
+// Width resolves a requested worker count to the effective parallel width:
+// n <= 0 means the process default (SetMaxWorkers, falling back to
+// GOMAXPROCS), and the result is clamped to the pool cap.
+func Width(n int) int {
+	if n <= 0 {
+		n = int(maxWorkers.Load())
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetMaxWorkers sets the process-wide default parallel width and returns
+// the previous value. n <= 0 restores the GOMAXPROCS default. Values above
+// the pool cap are clamped.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// MaxWorkers reports the configured default width (0 = GOMAXPROCS).
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// ensureHelpers lazily launches up to want-1 helper goroutines (the caller
+// is itself a worker). Helpers are permanent and shared process-wide.
+func ensureHelpers(want int) {
+	need := int64(want - 1)
+	if need <= 0 || started.Load() >= need {
+		return
+	}
+	startMu.Lock()
+	if tasks == nil {
+		tasks = make(chan func())
+	}
+	for started.Load() < need && started.Load() < maxPoolWorkers-1 {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+		started.Add(1)
+	}
+	startMu.Unlock()
+}
+
+// For runs body over [0, n) split into contiguous chunks of at least grain
+// elements, using up to `workers` goroutines (0 = process default). Chunks
+// are handed out through an atomic counter, so the set of (lo, hi) ranges —
+// and therefore the work each element sees — is identical to the serial
+// loop; only the schedule varies. When the effective width is 1 or n is
+// below the grain size, body runs inline with no synchronisation at all.
+//
+// Panics raised by body (the runtime's exception protocol, including
+// aborts) are captured from whichever goroutine hit them first and
+// re-raised on the calling goroutine after all chunks finish.
+func For(workers, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Width(workers)
+	if w <= 1 || n <= grain {
+		body(0, n)
+		return
+	}
+
+	chunks := (n + grain - 1) / grain
+	if maxC := w * 4; chunks > maxC {
+		chunks = maxC
+	}
+	if chunks < 2 {
+		body(0, n)
+		return
+	}
+	ensureHelpers(w)
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+		panicMu  sync.Mutex
+	)
+	wg.Add(chunks)
+	runChunk := func(c int) {
+		// The Done must run after the recover so that the panic value is
+		// published before Wait returns (defers run LIFO).
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if panicked.CompareAndSwap(false, true) {
+					panicMu.Lock()
+					panicVal = r
+					panicMu.Unlock()
+				}
+			}
+		}()
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		if lo < hi && !panicked.Load() {
+			body(lo, hi)
+		}
+	}
+	worker := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			runChunk(c)
+		}
+	}
+	// Offer the work to up to w-1 helpers without blocking: if the pool is
+	// busy (or this is a nested For and every helper is occupied above us),
+	// the caller simply runs more of the chunks itself.
+	offered := 0
+offer:
+	for offered < w-1 {
+		select {
+		case tasks <- worker:
+			offered++
+		default:
+			break offer
+		}
+	}
+	worker()
+	wg.Wait()
+	if panicked.Load() {
+		panicMu.Lock()
+		r := panicVal
+		panicMu.Unlock()
+		panic(r)
+	}
+}

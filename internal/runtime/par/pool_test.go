@@ -1,0 +1,81 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 100, 4096, 10_000} {
+			counts := make([]int32, n)
+			For(workers, n, 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialFastPathBelowGrain(t *testing.T) {
+	calls := 0
+	For(8, 100, 4096, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("below-grain run must be one inline chunk, got [%d, %d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("below-grain run split into %d chunks", calls)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("expected panic %q to propagate, got %v", "boom", r)
+		}
+	}()
+	For(4, 10_000, 16, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+	t.Fatal("unreachable: panic must propagate")
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	var total atomic.Int64
+	For(4, 64, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(4, 64, 1, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != 64*64 {
+		t.Fatalf("nested For covered %d inner iterations, want %d", got, 64*64)
+	}
+}
+
+func TestWidthClamps(t *testing.T) {
+	prev := SetMaxWorkers(0)
+	defer SetMaxWorkers(prev)
+	if w := Width(3); w != 3 {
+		t.Fatalf("explicit width: got %d want 3", w)
+	}
+	if w := Width(1 << 20); w != maxPoolWorkers {
+		t.Fatalf("over-cap width: got %d want %d", w, maxPoolWorkers)
+	}
+	SetMaxWorkers(2)
+	if w := Width(0); w != 2 {
+		t.Fatalf("default width after SetMaxWorkers(2): got %d", w)
+	}
+}

@@ -10,9 +10,11 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"wolfc/internal/blas"
 	"wolfc/internal/expr"
+	"wolfc/internal/runtime/par"
 )
 
 // Engine is the compiled code's view of the hosting Wolfram Engine: it
@@ -175,20 +177,24 @@ const (
 )
 
 // Tensor is the compiled runtime's dense array. One of the element slices
-// is non-nil according to Elem. Refs and Shared implement the reference
-// counting and copy-on-write protocol (F5/F7): Shared marks values that may
+// is non-nil according to Elem. refs and shared implement the reference
+// counting and copy-on-write protocol (F5/F7): shared marks values that may
 // be aliased outside compiled code (function arguments, boxed results);
-// SetPart copies first when set.
+// SetPart copies first when set. Both fields are manipulated atomically so
+// one compiled function can be invoked from many goroutines that share
+// argument tensors; they are plain words (not atomic.Int32 values) so a
+// Tensor stays value-copyable without tripping vet's copylocks check.
 type Tensor struct {
-	Elem   Kind
-	Dims   []int
-	I      []int64
-	F      []float64
-	C      []complex128
-	B      []bool
-	O      []any
-	Refs   int32
-	Shared bool
+	Elem Kind
+	Dims []int
+	I    []int64
+	F    []float64
+	C    []complex128
+	B    []bool
+	O    []any
+
+	refs   int32
+	shared uint32
 }
 
 // NewTensor allocates a zeroed tensor.
@@ -244,31 +250,42 @@ func (t *Tensor) Copy() *Tensor {
 	out.O = append([]any{}, t.O...)
 	for _, o := range out.O {
 		if nt, ok := o.(*Tensor); ok {
-			nt.Shared = true
+			nt.MarkShared()
 		}
 	}
 	return out
 }
 
-// Acquire increments the reference count (MemoryAcquire, F7).
-func (t *Tensor) Acquire() { t.Refs++ }
+// Acquire atomically increments the reference count (MemoryAcquire, F7).
+func (t *Tensor) Acquire() { atomic.AddInt32(&t.refs, 1) }
 
-// Release decrements the reference count (MemoryRelease). The Go garbage
-// collector frees the storage; the count still drives copy-on-write.
+// Release atomically decrements the reference count (MemoryRelease). The Go
+// garbage collector frees the storage; the count still drives copy-on-write.
+// A concurrent over-release is repaired rather than left negative.
 func (t *Tensor) Release() {
-	if t.Refs > 0 {
-		t.Refs--
+	if atomic.AddInt32(&t.refs, -1) < 0 {
+		atomic.AddInt32(&t.refs, 1)
 	}
 }
 
+// RefCount reports the current reference count.
+func (t *Tensor) RefCount() int32 { return atomic.LoadInt32(&t.refs) }
+
+// MarkShared flags the tensor as possibly aliased from outside compiled
+// code, forcing the next mutation through EnsureUnshared to copy.
+func (t *Tensor) MarkShared() { atomic.StoreUint32(&t.shared, 1) }
+
+// IsShared reports whether the tensor is flagged as externally aliased.
+func (t *Tensor) IsShared() bool { return atomic.LoadUint32(&t.shared) != 0 }
+
 // EnsureUnshared returns t, or a private copy if t may be aliased from
-// outside compiled code (the Shared flag is set at the ABI boundary:
+// outside compiled code (the shared flag is set at the ABI boundary:
 // unboxed arguments and embedded constants). Aliases created inside
 // compiled code are handled statically by the copy-insertion pass, so the
 // reference count — which the inserted MemoryAcquire/Release calls maintain
 // for lifetime bookkeeping — deliberately does not force copies here.
 func (t *Tensor) EnsureUnshared() *Tensor {
-	if t.Shared {
+	if t.IsShared() {
 		return t.Copy()
 	}
 	return t
@@ -446,54 +463,71 @@ func (t *Tensor) SetC2U(i, j int64, v complex128) *Tensor {
 	return u
 }
 
-// Elementwise tensor arithmetic (Listable threading in compiled code).
-
-func (t *Tensor) zipF(o *Tensor, f func(a, b float64) float64) *Tensor {
-	if t.FlatLen() != o.FlatLen() {
-		Throw(ExcType, "Thread: tensors of unequal length")
-	}
-	out := NewTensor(KR64, t.Dims...)
-	for i := range out.F {
-		out.F[i] = f(t.F[i], o.F[i])
-	}
-	return out
-}
-
-func (t *Tensor) zipI(o *Tensor, f func(a, b int64) int64) *Tensor {
-	if t.FlatLen() != o.FlatLen() {
-		Throw(ExcType, "Thread: tensors of unequal length")
-	}
-	out := NewTensor(KI64, t.Dims...)
-	for i := range out.I {
-		out.I[i] = f(t.I[i], o.I[i])
-	}
-	return out
-}
+// Elementwise tensor arithmetic (Listable threading in compiled code). The
+// *P variants take an explicit worker count (0 = process default) and
+// partition the flat element range over the shared pool; each output
+// element depends only on the same-index inputs, so the parallel result is
+// bit-identical to the serial loop for any split.
 
 // ZipF/ZipI/MapF/MapI are the building blocks codegen uses for tensor
-// arithmetic natives.
-func (t *Tensor) ZipF(o *Tensor, f func(a, b float64) float64) *Tensor { return t.zipF(o, f) }
-func (t *Tensor) ZipI(o *Tensor, f func(a, b int64) int64) *Tensor     { return t.zipI(o, f) }
+// arithmetic natives. The plain forms run at the process default width.
+func (t *Tensor) ZipF(o *Tensor, f func(a, b float64) float64) *Tensor { return t.ZipFP(0, o, f) }
+func (t *Tensor) ZipI(o *Tensor, f func(a, b int64) int64) *Tensor     { return t.ZipIP(0, o, f) }
+func (t *Tensor) MapF(f func(float64) float64) *Tensor                 { return t.MapFP(0, f) }
+func (t *Tensor) MapI(f func(int64) int64) *Tensor                     { return t.MapIP(0, f) }
 
-func (t *Tensor) MapF(f func(float64) float64) *Tensor {
-	out := NewTensor(KR64, t.Dims...)
-	for i := range out.F {
-		out.F[i] = f(t.F[i])
+func (t *Tensor) ZipFP(workers int, o *Tensor, f func(a, b float64) float64) *Tensor {
+	if t.FlatLen() != o.FlatLen() {
+		Throw(ExcType, "Thread: tensors of unequal length")
 	}
+	out := NewTensor(KR64, t.Dims...)
+	par.For(workers, len(out.F), GrainSize(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.F[i] = f(t.F[i], o.F[i])
+		}
+	})
 	return out
 }
 
-func (t *Tensor) MapI(f func(int64) int64) *Tensor {
-	out := NewTensor(KI64, t.Dims...)
-	for i := range out.I {
-		out.I[i] = f(t.I[i])
+func (t *Tensor) ZipIP(workers int, o *Tensor, f func(a, b int64) int64) *Tensor {
+	if t.FlatLen() != o.FlatLen() {
+		Throw(ExcType, "Thread: tensors of unequal length")
 	}
+	out := NewTensor(KI64, t.Dims...)
+	par.For(workers, len(out.I), GrainSize(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.I[i] = f(t.I[i], o.I[i])
+		}
+	})
+	return out
+}
+
+func (t *Tensor) MapFP(workers int, f func(float64) float64) *Tensor {
+	out := NewTensor(KR64, t.Dims...)
+	par.For(workers, len(out.F), GrainSize(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.F[i] = f(t.F[i])
+		}
+	})
+	return out
+}
+
+func (t *Tensor) MapIP(workers int, f func(int64) int64) *Tensor {
+	out := NewTensor(KI64, t.Dims...)
+	par.For(workers, len(out.I), GrainSize(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.I[i] = f(t.I[i])
+		}
+	})
 	return out
 }
 
 // Dot products route through the shared BLAS (MKL stand-in; paper §6 Dot).
+// The *P variants carry an explicit worker count down into the banded BLAS
+// kernels; vector·vector stays serial because splitting the single
+// accumulation would change floating-point rounding order (see DESIGN.md).
 
-// DotVV is vector·vector.
+// DotVV is vector·vector. Always serial: one FP accumulator.
 func DotVV(a, b *Tensor) float64 {
 	if a.Len() != b.Len() {
 		Throw(ExcType, "Dot: length mismatch")
@@ -502,23 +536,29 @@ func DotVV(a, b *Tensor) float64 {
 }
 
 // DotMV is matrix·vector.
-func DotMV(a, b *Tensor) *Tensor {
+func DotMV(a, b *Tensor) *Tensor { return DotMVP(0, a, b) }
+
+// DotMVP is matrix·vector with an explicit worker count.
+func DotMVP(workers int, a, b *Tensor) *Tensor {
 	m, n := a.Dims[0], a.Dims[1]
 	if n != b.Len() {
 		Throw(ExcType, "Dot: shape mismatch")
 	}
 	out := NewTensor(KR64, m)
-	blas.DGemv(m, n, a.F, b.F, out.F)
+	blas.DGemvW(workers, m, n, a.F, b.F, out.F)
 	return out
 }
 
 // DotMM is matrix·matrix.
-func DotMM(a, b *Tensor) *Tensor {
+func DotMM(a, b *Tensor) *Tensor { return DotMMP(0, a, b) }
+
+// DotMMP is matrix·matrix with an explicit worker count.
+func DotMMP(workers int, a, b *Tensor) *Tensor {
 	m, k, n := a.Dims[0], a.Dims[1], b.Dims[1]
 	if k != b.Dims[0] {
 		Throw(ExcType, "Dot: shape mismatch")
 	}
 	out := NewTensor(KR64, m, n)
-	blas.DGemm(m, k, n, a.F, b.F, out.F)
+	blas.DGemmW(workers, m, k, n, a.F, b.F, out.F)
 	return out
 }

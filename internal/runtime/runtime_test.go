@@ -127,7 +127,7 @@ func TestTensorIndexing(t *testing.T) {
 func TestCopyOnWriteSharing(t *testing.T) {
 	orig := NewTensor(KR64, 2)
 	orig.F[0] = 1
-	orig.Shared = true
+	orig.MarkShared()
 	// Mutating a shared tensor copies; the original is untouched.
 	upd := orig.SetF(1, 99)
 	if upd == orig {
@@ -136,7 +136,7 @@ func TestCopyOnWriteSharing(t *testing.T) {
 	if orig.F[0] != 1 || upd.F[0] != 99 {
 		t.Fatal("copy-on-write values wrong")
 	}
-	if upd.Shared {
+	if upd.IsShared() {
 		t.Fatal("the private copy is not shared")
 	}
 	// A second write mutates in place.
@@ -150,13 +150,13 @@ func TestRefCounting(t *testing.T) {
 	tt := NewTensor(KI64, 1)
 	tt.Acquire()
 	tt.Acquire()
-	if tt.Refs != 2 {
+	if tt.RefCount() != 2 {
 		t.Fatal("acquire broken")
 	}
 	tt.Release()
 	tt.Release()
 	tt.Release() // extra release clamps at zero
-	if tt.Refs != 0 {
+	if tt.RefCount() != 0 {
 		t.Fatal("release broken")
 	}
 }
@@ -246,7 +246,7 @@ func TestUnboxedTensorsAreShared(t *testing.T) {
 	if !ok {
 		t.Fatal("unbox failed")
 	}
-	if !v.(*Tensor).Shared {
+	if !v.(*Tensor).IsShared() {
 		t.Fatal("ABI tensors must arrive Shared (copy-on-write trigger, F5)")
 	}
 }

@@ -34,6 +34,11 @@ type Env struct {
 	classes map[string]map[string]bool // class -> member ctor/atomic names
 	aliases map[string]string
 	known   map[string]bool // atomic type names ParseSpec accepts
+	// sig is a running content hash over every declaration made into this
+	// environment, used (together with the chain's parents) to key the
+	// process-wide compile cache: two environments with the same
+	// declaration history are interchangeable for compilation.
+	sig uint64
 }
 
 // NewEnv creates an environment chained to parent (nil for a root).
@@ -47,11 +52,114 @@ func NewEnv(parent *Env) *Env {
 	}
 }
 
+// bumpSig folds declaration content into the environment's signature
+// (FNV-1a over the parts, order-sensitive).
+func (e *Env) bumpSig(parts ...string) {
+	h := e.sig
+	if h == 0 {
+		h = 14695981039346656037 // FNV offset basis
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff // separator
+		h *= 1099511628211
+	}
+	e.sig = h
+}
+
+// Sig returns the environment chain's declaration signature. Environments
+// whose entire chains report equal signatures have seen identical
+// declaration histories and produce identical compilations.
+func (e *Env) Sig() uint64 {
+	var h uint64 = 14695981039346656037
+	for env := e; env != nil; env = env.parent {
+		h ^= env.sig
+		h *= 1099511628211
+	}
+	return h
+}
+
 // DeclareFunction adds a function definition (tyEnv["declareFunction", ...]
 // in the paper).
 func (e *Env) DeclareFunction(d *FuncDef) {
 	d.Rank = len(e.funcs[d.Name])
 	e.funcs[d.Name] = append(e.funcs[d.Name], d)
+	impl := ""
+	if d.Impl != nil {
+		impl = expr.FullForm(d.Impl)
+	}
+	e.bumpSig("fn", d.Name, canonicalTypeString(d.Type), impl, d.Native, fmt.Sprint(d.Inline))
+}
+
+// canonicalTypeString renders a type alpha-invariantly: type variables are
+// numbered by first occurrence instead of their globally unique IDs, so two
+// independently parsed copies of the same declaration hash identically.
+func canonicalTypeString(t Type) string {
+	var b []byte
+	seen := map[*Var]int{}
+	var render func(t Type)
+	render = func(t Type) {
+		switch x := t.(type) {
+		case *Atomic:
+			b = append(b, x.Name...)
+		case *Literal:
+			b = append(b, fmt.Sprint(x.Value)...)
+		case *Compound:
+			b = append(b, x.Ctor...)
+			b = append(b, '[')
+			for i, a := range x.Args {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				render(a)
+			}
+			b = append(b, ']')
+		case *Fn:
+			b = append(b, '(')
+			for i, p := range x.Params {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				render(p)
+			}
+			b = append(b, ")->"...)
+			render(x.Ret)
+		case *Var:
+			id, ok := seen[x]
+			if !ok {
+				id = len(seen)
+				seen[x] = id
+			}
+			b = append(b, fmt.Sprintf("%s#v%d", x.Name, id)...)
+		case *ForAll:
+			b = append(b, "forall["...)
+			for i, v := range x.Vars {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				render(v)
+			}
+			b = append(b, ';')
+			for i, q := range x.Quals {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				render(q.Var)
+				b = append(b, '@')
+				b = append(b, q.Class...)
+			}
+			b = append(b, ';')
+			render(x.Body)
+			b = append(b, ']')
+		default:
+			b = append(b, t.String()...)
+		}
+	}
+	render(t)
+	return string(b)
 }
 
 // Lookup returns all overloads visible for name, nearest environment first.
@@ -75,6 +183,7 @@ func (e *Env) DeclareClass(class string, members ...string) {
 		set[m] = true
 		e.known[m] = true
 	}
+	e.bumpSig(append([]string{"class", class}, members...)...)
 }
 
 // DeclareType registers an atomic type (or compound constructor) name so
@@ -84,6 +193,7 @@ func (e *Env) DeclareType(names ...string) {
 	for _, n := range names {
 		e.known[n] = true
 	}
+	e.bumpSig(append([]string{"type"}, names...)...)
 }
 
 // knownType reports whether a name was declared anywhere in the chain.
@@ -133,6 +243,7 @@ func (e *Env) DeclareAlias(alias, canonical string) {
 	e.aliases[alias] = canonical
 	e.known[alias] = true
 	e.known[canonical] = true
+	e.bumpSig("alias", alias, canonical)
 }
 
 func (e *Env) resolveAlias(name string) string {

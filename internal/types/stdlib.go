@@ -242,6 +242,11 @@ func Builtin() *Env {
 	decl("Dot", `{"Tensor"["Real64", 2], "Tensor"["Real64", 1]} -> "Tensor"["Real64", 1]`, "dot_mv")
 	decl("Dot", `{"Tensor"["Real64", 1], "Tensor"["Real64", 1]} -> "Real64"`, "dot_vv")
 
+	// Data-parallel image/statistics kernels (worker-pool natives; the
+	// scalar-loop benchmark bodies remain available for the serial paths).
+	decl("Native`GaussianBlur", `{"Tensor"["Real64", 2]} -> "Tensor"["Real64", 2]`, "gaussian_blur")
+	decl("Native`Histogram", `{"Tensor"["Integer64", 1], "Integer64"} -> "Tensor"["Integer64", 1]`, "histogram_bins")
+
 	// Random numbers (range forms are normalised by the core lowering).
 	decl("Native`RandomReal01", `{} -> "Real64"`, "random_real01")
 	decl("Native`RandomRealRange", `{"Real64", "Real64"} -> "Real64"`, "random_real_range")
