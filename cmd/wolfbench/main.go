@@ -10,6 +10,8 @@
 //	wolfbench -table 1        # the feature matrix
 //	wolfbench -findroot       # §1 auto-compilation
 //	wolfbench -ablation all   # §6 ablations
+//	wolfbench -fusion         # superinstruction fusion on/off (ISSUE 2)
+//	wolfbench -compare a b    # diff two -json files; exit 1 on >10% regression
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	gort "runtime"
 	"strconv"
 	"strings"
@@ -45,6 +48,8 @@ var (
 	parallelF = flag.Bool("parallel", false, "run the parallel tensor-runtime suite (Dot, Blur, Histogram, Map)")
 	workersF  = flag.String("workers", "1,2,4,8", "worker counts for -parallel, comma-separated")
 	jsonPath  = flag.String("json", "", "write machine-readable results (BENCH_<n>.json shape) to this path")
+	fusionF   = flag.Bool("fusion", false, "run the superinstruction-fusion suite (FuseLevel off vs on)")
+	compareF  = flag.Bool("compare", false, "compare two -json result files (old new); exit nonzero on >10% regression")
 )
 
 // benchResult is one row of the -json output.
@@ -88,8 +93,11 @@ func emitJSON(path string) {
 
 func main() {
 	flag.Parse()
+	if *compareF {
+		os.Exit(compareResults(flag.Arg(0), flag.Arg(1)))
+	}
 	any := false
-	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF
+	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF && !*fusionF
 	if *fig == 2 || defaults {
 		figure2()
 		any = true
@@ -102,12 +110,16 @@ func main() {
 		table1()
 		any = true
 	}
-	if *findroot || *fig == 0 && *table == 0 && *ablation == "" && !*parallelF {
+	if *findroot || defaults {
 		findRootComparison()
 		any = true
 	}
 	if *parallelF || defaults {
 		parallelSuite()
+		any = true
+	}
+	if *fusionF || defaults {
+		fusionSuite()
 		any = true
 	}
 	if *ablation != "" {
@@ -317,6 +329,139 @@ func parallelSuite() {
 		}
 		fmt.Println()
 	}
+}
+
+func fusionSize(name string) int {
+	if *full {
+		return bench.FusionDefaultSize(name)
+	}
+	switch name {
+	case "scalarloop":
+		return 1_000_000
+	case "mandelfuse":
+		return 120
+	case "partloop":
+		return 100_000
+	}
+	return 0
+}
+
+// fusionSuite measures the dispatch-bound kernels with superinstruction
+// fusion off and on (ISSUE 2). Checksums must be bit-identical; the
+// scalar-loop speedup is the PR's acceptance number.
+func fusionSuite() {
+	fmt.Println("=== Superinstruction fusion: dispatch-bound scalar kernels, FuseLevel off vs on ===")
+	fmt.Println("(single-threaded; off = one closure per TWIR instruction, on = fused expression trees)")
+	fmt.Println()
+	fmt.Printf("%-12s %9s %8s %14s %9s  %s\n",
+		"kernel", "size", "fusion", "time/op", "speedup", "checksum")
+	for _, name := range bench.FusionKernels() {
+		sz := fusionSize(name)
+		var offNs float64
+		offSum := ""
+		for _, mode := range []struct {
+			label string
+			level int
+		}{{"off", bench.FuseOffLevel}, {"on", 0}} {
+			run, err := bench.PrepareFusionKernel(name, sz, mode.level)
+			if err != nil {
+				fmt.Printf("%-12s %9d %8s failed: %v\n", name, sz, mode.label, err)
+				break
+			}
+			sum := run()
+			if mode.label == "off" {
+				offSum = sum
+			} else if sum != offSum {
+				fmt.Fprintf(os.Stderr,
+					"wolfbench: %s checksum diverged with fusion on: %s != %s\n",
+					name, sum, offSum)
+				os.Exit(1)
+			}
+			ns := measure(run, 300*time.Millisecond)
+			speedup := 1.0
+			if mode.label == "off" {
+				offNs = ns
+			} else {
+				speedup = offNs / ns
+			}
+			record(name, "fuse-"+mode.label, 0, sz, ns, sum)
+			fmt.Printf("%-12s %9d %8s %14s %8.2fx  %s\n",
+				name, sz, mode.label, fmtNs(ns), speedup, sum)
+		}
+		fmt.Println()
+	}
+}
+
+// compareResults diffs two -json result files keyed by (name, impl,
+// workers, size) and returns the process exit code: 1 when any shared row
+// regressed by more than 10% (the perf gate for future PRs), else 0.
+func compareResults(oldPath, newPath string) int {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: wolfbench -compare old.json new.json")
+		return 2
+	}
+	type doc struct {
+		Schema  string        `json:"schema"`
+		Results []benchResult `json:"results"`
+	}
+	load := func(path string) (map[string]benchResult, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var d doc
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if d.Schema != "wolfbench/v1" {
+			return nil, fmt.Errorf("%s: unknown schema %q", path, d.Schema)
+		}
+		m := map[string]benchResult{}
+		for _, r := range d.Results {
+			m[fmt.Sprintf("%s|%s|%d|%d", r.Name, r.Impl, r.Workers, r.Size)] = r
+		}
+		return m, nil
+	}
+	oldR, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -compare:", err)
+		return 2
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -compare:", err)
+		return 2
+	}
+	keys := make([]string, 0, len(oldR))
+	for k := range oldR {
+		if _, ok := newR[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "wolfbench: -compare: no common rows between files")
+		return 2
+	}
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	regressed := false
+	for _, k := range keys {
+		o, n := oldR[k], newR[k]
+		ratio := n.NsPerOp / o.NsPerOp
+		mark := ""
+		if ratio > 1.10 {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-44s %14s %14s %+7.1f%%%s\n",
+			k, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), (ratio-1)*100, mark)
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "wolfbench: -compare: regression above 10% detected")
+		return 1
+	}
+	fmt.Println("no regressions above 10%")
+	return 0
 }
 
 func figure1() {

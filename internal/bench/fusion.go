@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"wolfc/internal/codegen"
+	"wolfc/internal/core"
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+)
+
+// Fusion microbenchmarks (ISSUE 2): dispatch-bound scalar kernels where the
+// closure-per-instruction overhead dominates, run with superinstruction
+// fusion on and off. All three are single-threaded by construction.
+
+// FusionKernels lists the dispatch-bound kernels in display order.
+func FusionKernels() []string { return []string{"scalarloop", "mandelfuse", "partloop"} }
+
+// FusionDefaultSize returns the paper-scale workload parameter.
+func FusionDefaultSize(name string) int {
+	switch name {
+	case "scalarloop":
+		return 5_000_000 // loop trip count
+	case "mandelfuse":
+		return 400 // grid side; ≤50 escape iterations per pixel
+	case "partloop":
+		return 500_000 // vector length; 20 update sweeps
+	}
+	return 0
+}
+
+// fusionScalarLoopSrc is the tight scalar loop: one multiply-accumulate and
+// one induction step per iteration — the worst case for per-instruction
+// dispatch.
+const fusionScalarLoopSrc = `Function[{Typed[n, "MachineInteger"]},
+	Module[{s = 0, i = 1},
+		While[i <= n, s = s + i*i; i = i + 1];
+		s]]`
+
+// fusionMandelbrotSrc is the Mandelbrot-style escape iteration in unboxed
+// real arithmetic over an n x n grid (the paper's iterateFirstBound shape).
+const fusionMandelbrotSrc = `Function[{Typed[n, "MachineInteger"]},
+	Module[{total = 0, px = 1, py = 1, cr = 0., ci = 0., zr = 0., zi = 0., t = 0., k = 0},
+		While[px <= n,
+			py = 1;
+			While[py <= n,
+				cr = -2. + 3.*px/n;
+				ci = -1.25 + 2.5*py/n;
+				zr = 0.; zi = 0.; k = 0;
+				While[k < 50 && zr*zr + zi*zi < 4.,
+					t = zr*zr - zi*zi + cr;
+					zi = 2.*zr*zi + ci;
+					zr = t;
+					k = k + 1];
+				total = total + k;
+				py = py + 1];
+			px = px + 1];
+		total]]`
+
+// fusionPartLoopSrc is the Part-heavy tensor loop: each sweep is a fused
+// load-op-store per element when fusion is on.
+const fusionPartLoopSrc = `Function[{Typed[n, "MachineInteger"]},
+	Module[{v = ConstantArray[0, n], s = 0, i = 1, p = 1},
+		While[i <= n, v[[i]] = i; i = i + 1];
+		While[p <= 20,
+			i = 1;
+			While[i <= n, v[[i]] = Mod[v[[i]]*31 + i, 65521]; i = i + 1];
+			p = p + 1];
+		i = 1;
+		While[i <= n, s = s + v[[i]]; i = i + 1];
+		s]]`
+
+// PrepareFusionKernel compiles one fusion kernel with the given FuseLevel
+// (codegen.FuseOff for the unfused baseline, 0/FuseFull for the default).
+// Loop optimizations stay on in both configurations so the measurement
+// isolates superinstruction fusion itself.
+func PrepareFusionKernel(name string, size int, fuseLevel int) (Runner, error) {
+	k := kernel.New()
+	k.Out = io.Discard
+	c := core.NewCompiler(k)
+	c.FuseLevel = fuseLevel
+	c.Parallelism = 1
+	var src string
+	switch name {
+	case "scalarloop":
+		src = fusionScalarLoopSrc
+	case "mandelfuse":
+		src = fusionMandelbrotSrc
+	case "partloop":
+		src = fusionPartLoopSrc
+	default:
+		return nil, fmt.Errorf("bench: unknown fusion kernel %q", name)
+	}
+	ccf, err := c.FunctionCompile(parser.MustParse(src))
+	if err != nil {
+		return nil, err
+	}
+	n := int64(size)
+	return func() string { return fmt.Sprint(ccf.CallRaw(n)) }, nil
+}
+
+// FuseOffLevel re-exports the backend's "fusion disabled" level so cmd
+// callers don't need a codegen import.
+const FuseOffLevel = codegen.FuseOff

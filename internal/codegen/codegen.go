@@ -119,6 +119,30 @@ type CompileOptions struct {
 	// element-wise kernels, banded Dot, blur, histogram) in code compiled
 	// with these options: 0 = process default, 1 = serial.
 	Parallelism int
+	// FuseLevel selects superinstruction fusion: FuseOff emits one closure
+	// per instruction (the differential-testing baseline), FuseBranch folds
+	// single-use compares into their conditional branch, and FuseFull (the
+	// default; the zero value normalises to it) additionally fuses scalar
+	// def-use chains, Part load/store trees, and phi-edge moves into single
+	// closures.
+	FuseLevel int
+}
+
+// Fusion levels for CompileOptions.FuseLevel. The zero value means "not
+// set" and resolves to FuseFull so existing call sites get the optimised
+// backend.
+const (
+	FuseOff    = -1
+	FuseBranch = 1
+	FuseFull   = 2
+)
+
+// fuseLevelOf normalises the option's zero value to the default.
+func fuseLevelOf(opts CompileOptions) int {
+	if opts.FuseLevel == 0 {
+		return FuseFull
+	}
+	return opts.FuseLevel
 }
 
 // Compile generates closure-threaded code for a typed module.
@@ -139,7 +163,7 @@ func CompileWithOptions(mod *wir.Module, opts CompileOptions) (*Program, error) 
 		p.byName[f.Name] = cf
 	}
 	for i, f := range mod.Funcs {
-		g := &gen{prog: p, fn: f, cf: p.Funcs[i], regs: map[wir.Value]reg{}}
+		g := &gen{prog: p, fn: f, cf: p.Funcs[i], regs: map[wir.Value]reg{}, fuse: fuseLevelOf(opts)}
 		if err := g.generate(); err != nil {
 			return nil, err
 		}
@@ -271,11 +295,15 @@ type gen struct {
 	fn   *wir.Function
 	cf   *CFunc
 	regs map[wir.Value]reg
-	// scratch registers per class for parallel-move cycle breaking.
-	scratch [5]int
-	// fused marks compare instructions folded into their conditional
-	// branch (a superinstruction: one closure fewer per loop iteration).
+	// fuse is the normalised CompileOptions.FuseLevel.
+	fuse int
+	// fused marks instructions folded into their single consumer (a
+	// superinstruction: the chain becomes one closure; fused instructions
+	// get no step and no register of their own).
 	fused map[*wir.Instr]bool
+	// abortFold is set while generating a block whose leading abort check
+	// folds into the fused conditional-branch closure.
+	abortFold bool
 }
 
 // alloc assigns a register in v's class.
@@ -418,19 +446,20 @@ func (g *gen) generate() error {
 		g.cf.retReg = g.alloc(g.cf.retKind)
 		g.cf.hasRet = true
 	}
-	// Scratch registers for parallel moves.
-	for k := runtime.KI64; k <= runtime.KObj; k++ {
-		g.scratch[k] = g.allocScratch(k)
-	}
-
 	blockIdx := map[*wir.Block]int{}
 	for i, b := range g.fn.Blocks {
 		blockIdx[b] = i
 	}
-	g.markFusedCompares()
+	if err := g.markFused(); err != nil {
+		return err
+	}
 	for _, b := range g.fn.Blocks {
 		var cb cblock
-		for _, in := range b.Instrs {
+		g.abortFold = g.canFoldAbort(b)
+		for i, in := range b.Instrs {
+			if i == 0 && g.abortFold {
+				continue // polled inside the fused branch closure instead
+			}
 			if in.IsTerminator() {
 				t, err := g.genTerminator(b, in, blockIdx)
 				if err != nil {
@@ -440,7 +469,15 @@ func (g *gen) generate() error {
 				break
 			}
 			if g.fused[in] {
-				continue // folded into the terminator
+				continue // folded into its consumer superinstruction
+			}
+			if g.hasFusedArg(in) {
+				st, err := g.genFusedRoot(in)
+				if err != nil {
+					return err
+				}
+				cb.steps = append(cb.steps, st)
+				continue
 			}
 			st, err := g.genInstr(in)
 			if err != nil {
@@ -458,9 +495,28 @@ func (g *gen) generate() error {
 	return nil
 }
 
-func (g *gen) allocScratch(k runtime.Kind) int {
-	r := g.alloc(k)
-	return r.idx
+// canFoldAbort reports whether b's leading abort check can fold into its
+// fused conditional-branch closure. That needs every other non-terminator
+// instruction in the block fused too, so the branch closure runs exactly
+// once per block entry and the poll frequency is unchanged — the abort
+// contract (one poll per loop iteration) survives superinstruction fusion.
+func (g *gen) canFoldAbort(b *wir.Block) bool {
+	if len(b.Instrs) < 2 || b.Instrs[0].Op != wir.OpAbortCheck {
+		return false
+	}
+	t := b.Term()
+	if t == nil || t.Op != wir.OpCondBranch {
+		return false
+	}
+	if cmp, ok := t.Args[0].(*wir.Instr); !ok || !g.fused[cmp] {
+		return false
+	}
+	for _, in := range b.Instrs[1:] {
+		if !in.IsTerminator() && !g.fused[in] {
+			return false
+		}
+	}
+	return true
 }
 
 // genTerminator compiles a block terminator, including the parallel phi
@@ -469,6 +525,16 @@ func (g *gen) genTerminator(b *wir.Block, in *wir.Instr, blockIdx map[*wir.Block
 	switch in.Op {
 	case wir.OpReturn:
 		if len(in.Args) == 1 && g.cf.hasRet {
+			if a, ok := in.Args[0].(*wir.Instr); ok && g.fused[a] {
+				st, err := g.assignTo(g.cf.retReg, a)
+				if err != nil {
+					return nil, err
+				}
+				return func(fr *frame) int {
+					st(fr)
+					return -1
+				}, nil
+			}
 			src, err := g.regOf(in.Args[0])
 			if err != nil {
 				return nil, err
@@ -484,20 +550,50 @@ func (g *gen) genTerminator(b *wir.Block, in *wir.Instr, blockIdx map[*wir.Block
 	case wir.OpBranch:
 		target := in.Targets[0]
 		idx := blockIdx[target]
-		moves, err := g.phiMoves(b, target)
+		sts, err := g.phiMoveSteps(b, target)
 		if err != nil {
 			return nil, err
 		}
-		if moves == nil {
+		// Unroll small move lists into the terminator closure itself: loop
+		// latches are the hottest edges in the program and this removes the
+		// composed-moves wrapper call from every iteration.
+		switch len(sts) {
+		case 0:
 			return func(fr *frame) int { return idx }, nil
+		case 1:
+			m0 := sts[0]
+			return func(fr *frame) int {
+				m0(fr)
+				return idx
+			}, nil
+		case 2:
+			m0, m1 := sts[0], sts[1]
+			return func(fr *frame) int {
+				m0(fr)
+				m1(fr)
+				return idx
+			}, nil
+		case 3:
+			m0, m1, m2 := sts[0], sts[1], sts[2]
+			return func(fr *frame) int {
+				m0(fr)
+				m1(fr)
+				m2(fr)
+				return idx
+			}, nil
 		}
 		return func(fr *frame) int {
-			moves(fr)
+			for _, m := range sts {
+				m(fr)
+			}
 			return idx
 		}, nil
 	case wir.OpCondBranch:
 		if cmp, ok := in.Args[0].(*wir.Instr); ok && g.fused[cmp] {
-			return g.genFusedCondBranch(b, in, cmp, blockIdx)
+			if _, fusible := fusedCmpKind(cmp); fusible && !g.hasFusedArg(cmp) {
+				return g.genFusedCondBranch(b, in, cmp, blockIdx)
+			}
+			return g.genFusedCondBranchTree(b, in, cmp, blockIdx)
 		}
 		condReg, err := g.regOf(in.Args[0])
 		if err != nil {
@@ -533,9 +629,170 @@ func (g *gen) genTerminator(b *wir.Block, in *wir.Instr, blockIdx map[*wir.Block
 	return nil, fmt.Errorf("codegen %s: bad terminator", g.fn.Name)
 }
 
-// phiMoves builds the parallel copy for the edge from→to, sequentialised
-// with scratch registers to break cycles.
+// phiMoves builds the parallel copy for the edge from→to as a single step
+// (nil when the edge moves nothing).
 func (g *gen) phiMoves(from, to *wir.Block) (step, error) {
+	steps, err := g.phiMoveSteps(from, to)
+	if err != nil {
+		return nil, err
+	}
+	return composeSteps(steps), nil
+}
+
+// composeSteps folds a step list into one step (nil for an empty list).
+func composeSteps(sts []step) step {
+	switch len(sts) {
+	case 0:
+		return nil
+	case 1:
+		return sts[0]
+	case 2:
+		m0, m1 := sts[0], sts[1]
+		return func(fr *frame) {
+			m0(fr)
+			m1(fr)
+		}
+	}
+	all := sts
+	return func(fr *frame) {
+		for _, s := range all {
+			s(fr)
+		}
+	}
+}
+
+// blockFullyFused reports whether b contributes no steps: every
+// non-terminator instruction is folded into a superinstruction (a leading
+// abort check folded into the branch closure counts).
+func (g *gen) blockFullyFused(b *wir.Block) bool {
+	for i, in := range b.Instrs {
+		if in.IsTerminator() {
+			continue
+		}
+		if i == 0 && g.abortFold {
+			continue
+		}
+		if !g.fused[in] {
+			return false
+		}
+	}
+	return true
+}
+
+// threadEdge resolves the edge b→t for a fused conditional branch,
+// threading through t when t's whole body is fused into its outgoing
+// unconditional edge: the branch closure then performs both parallel moves
+// and lands directly at t's successor, saving a trip through the block
+// dispatch loop. On a While latch this rotates the loop so the branch
+// closure returns to its own block index.
+func (g *gen) threadEdge(b, t *wir.Block, blockIdx map[*wir.Block]int) ([]step, int, error) {
+	sts, err := g.phiMoveSteps(b, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	if g.fuse < FuseFull {
+		return sts, blockIdx[t], nil
+	}
+	tt := t.Term()
+	if tt == nil || tt.Op != wir.OpBranch {
+		return sts, blockIdx[t], nil
+	}
+	for _, in := range t.Instrs {
+		if !in.IsTerminator() && !g.fused[in] {
+			return sts, blockIdx[t], nil
+		}
+	}
+	sts2, err := g.phiMoveSteps(t, tt.Targets[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	return append(sts, sts2...), blockIdx[tt.Targets[0]], nil
+}
+
+// selfLoopTerm compiles a fused conditional branch whose taken edge loops
+// straight back to its own fully-fused block: the whole loop runs inside
+// one closure, preserving the per-iteration abort poll.
+func selfLoopTerm(poll bool, cond func(*frame) bool, body []step, exitMoves step, exitIdx int) term {
+	exit := func(fr *frame) int {
+		if exitMoves != nil {
+			exitMoves(fr)
+		}
+		return exitIdx
+	}
+	switch len(body) {
+	case 0:
+		return func(fr *frame) int {
+			for {
+				if poll && fr.rt.Aborted() {
+					runtime.Throw(runtime.ExcAbort, "aborted")
+				}
+				if !cond(fr) {
+					return exit(fr)
+				}
+			}
+		}
+	case 1:
+		m0 := body[0]
+		return func(fr *frame) int {
+			for {
+				if poll && fr.rt.Aborted() {
+					runtime.Throw(runtime.ExcAbort, "aborted")
+				}
+				if !cond(fr) {
+					return exit(fr)
+				}
+				m0(fr)
+			}
+		}
+	case 2:
+		m0, m1 := body[0], body[1]
+		return func(fr *frame) int {
+			for {
+				if poll && fr.rt.Aborted() {
+					runtime.Throw(runtime.ExcAbort, "aborted")
+				}
+				if !cond(fr) {
+					return exit(fr)
+				}
+				m0(fr)
+				m1(fr)
+			}
+		}
+	case 3:
+		m0, m1, m2 := body[0], body[1], body[2]
+		return func(fr *frame) int {
+			for {
+				if poll && fr.rt.Aborted() {
+					runtime.Throw(runtime.ExcAbort, "aborted")
+				}
+				if !cond(fr) {
+					return exit(fr)
+				}
+				m0(fr)
+				m1(fr)
+				m2(fr)
+			}
+		}
+	}
+	all := body
+	return func(fr *frame) int {
+		for {
+			if poll && fr.rt.Aborted() {
+				runtime.Throw(runtime.ExcAbort, "aborted")
+			}
+			if !cond(fr) {
+				return exit(fr)
+			}
+			for _, s := range all {
+				s(fr)
+			}
+		}
+	}
+}
+
+// phiMoveSteps builds the parallel copy for the edge from→to, sequentialised
+// with temporary registers to break cycles.
+func (g *gen) phiMoveSteps(from, to *wir.Block) ([]step, error) {
 	if len(to.Phis) == 0 {
 		return nil, nil
 	}
@@ -549,7 +806,16 @@ func (g *gen) phiMoves(from, to *wir.Block) (step, error) {
 	if predIdx == -1 {
 		return nil, fmt.Errorf("codegen %s: edge %s->%s not in preds", g.fn.Name, from.Label, to.Label)
 	}
-	type move struct{ dst, src reg }
+	// A move is either a plain register copy or (with full fusion) a
+	// prebuilt evaluation of a fused expression tree straight into the phi
+	// register; srcs lists every register the move reads so the
+	// sequentialiser can order around it.
+	type move struct {
+		dst, src reg
+		ev       step
+		ain      *wir.Instr // fused tree behind ev, for cycle re-rooting
+		srcs     []reg
+	}
 	var moves []move
 	for _, phi := range to.Phis {
 		if predIdx >= len(phi.Args) {
@@ -559,19 +825,36 @@ func (g *gen) phiMoves(from, to *wir.Block) (step, error) {
 		if err != nil {
 			return nil, err
 		}
-		src, err := g.regOf(phi.Args[predIdx])
+		arg := phi.Args[predIdx]
+		if ain, ok := arg.(*wir.Instr); ok && g.fused[ain] {
+			st, err := g.assignTo(dst, ain)
+			if err != nil {
+				return nil, err
+			}
+			var leaves []reg
+			if err := g.evalLeafRegs(ain, &leaves); err != nil {
+				return nil, err
+			}
+			moves = append(moves, move{dst: dst, ev: st, ain: ain, srcs: leaves})
+			continue
+		}
+		src, err := g.regOf(arg)
 		if err != nil {
 			return nil, err
 		}
 		if dst != src {
-			moves = append(moves, move{dst: dst, src: src})
+			moves = append(moves, move{dst: dst, src: src, srcs: []reg{src}})
 		}
 	}
 	if len(moves) == 0 {
 		return nil, nil
 	}
 	// Sequentialise: emit moves whose destination is not a pending source;
-	// break cycles through the scratch register of the class.
+	// break cycles through temporary registers. The emission rule
+	// guarantees that whenever we stall, every pending move's sources
+	// still hold their pre-edge values — so a cycle member may be routed
+	// through a temporary (plain copy) or evaluated into one right now
+	// (fused tree) without changing what the remaining moves read.
 	var steps []step
 	pending := moves
 	for len(pending) > 0 {
@@ -579,13 +862,25 @@ func (g *gen) phiMoves(from, to *wir.Block) (step, error) {
 		for i, m := range pending {
 			conflict := false
 			for j, other := range pending {
-				if j != i && other.src == m.dst {
-					conflict = true
+				if j == i {
+					continue
+				}
+				for _, s := range other.srcs {
+					if s == m.dst {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
 					break
 				}
 			}
 			if !conflict {
-				steps = append(steps, g.moveStep(m.dst, m.src))
+				if m.ev != nil {
+					steps = append(steps, m.ev)
+				} else {
+					steps = append(steps, g.moveStep(m.dst, m.src))
+				}
 				pending = append(pending[:i], pending[i+1:]...)
 				emitted = true
 				break
@@ -594,21 +889,37 @@ func (g *gen) phiMoves(from, to *wir.Block) (step, error) {
 		if emitted {
 			continue
 		}
-		// Cycle: route the first move through scratch.
-		m := pending[0]
-		sc := reg{kind: m.src.kind, idx: g.scratch[m.src.kind]}
-		steps = append(steps, g.moveStep(sc, m.src))
-		pending[0].src = sc
-	}
-	if len(steps) == 1 {
-		return steps[0], nil
-	}
-	all := steps
-	return func(fr *frame) {
-		for _, s := range all {
-			s(fr)
+		// Cycle: prefer routing a plain move through a fresh temporary (one
+		// extra copy); failing that, evaluate a fused tree into a temporary
+		// now — its leaves are untouched at this point — and demote it to a
+		// plain copy out of the temporary. Each break gets its own register
+		// so overlapping breaks in a tangled move graph can never clobber
+		// one another's saved value.
+		mi := -1
+		for i, m := range pending {
+			if m.ev == nil {
+				mi = i
+				break
+			}
 		}
-	}, nil
+		if mi >= 0 {
+			m := pending[mi]
+			sc := g.alloc(m.src.kind)
+			steps = append(steps, g.moveStep(sc, m.src))
+			pending[mi].src = sc
+			pending[mi].srcs = []reg{sc}
+			continue
+		}
+		m := pending[0]
+		sc := g.alloc(m.dst.kind)
+		ev, err := g.assignTo(sc, m.ain)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, ev)
+		pending[0] = move{dst: m.dst, src: sc, srcs: []reg{sc}}
+	}
+	return steps, nil
 }
 
 func (g *gen) moveStep(dst, src reg) step {
@@ -843,17 +1154,156 @@ func (g *gen) genFusedCondBranch(b *wir.Block, in *wir.Instr, cmp *wir.Instr,
 	if err != nil {
 		return nil, err
 	}
-	thenIdx := blockIdx[in.Targets[0]]
-	elseIdx := blockIdx[in.Targets[1]]
-	thenMoves, err := g.phiMoves(b, in.Targets[0])
+	thenSteps, thenIdx, err := g.threadEdge(b, in.Targets[0], blockIdx)
 	if err != nil {
 		return nil, err
 	}
-	elseMoves, err := g.phiMoves(b, in.Targets[1])
+	elseSteps, elseIdx, err := g.threadEdge(b, in.Targets[1], blockIdx)
 	if err != nil {
 		return nil, err
 	}
+	thenMoves := composeSteps(thenSteps)
+	elseMoves := composeSteps(elseSteps)
+	poll := g.abortFold
+	a, c := ra.idx, rb.idx
+	// Normalise > and >= to < and <= by swapping operands (NaN-safe for
+	// floats) so the direct fast path needs half as many closure shapes.
+	switch op {
+	case "cmp_greater":
+		op, a, c = "cmp_less", c, a
+	case "cmp_greaterequal":
+		op, a, c = "cmp_lessequal", c, a
+	}
+	var cond func(*frame) bool
+	if ra.kind == runtime.KI64 {
+		switch op {
+		case "cmp_less":
+			cond = func(fr *frame) bool { return fr.i[a] < fr.i[c] }
+		case "cmp_lessequal":
+			cond = func(fr *frame) bool { return fr.i[a] <= fr.i[c] }
+		case "cmp_equal":
+			cond = func(fr *frame) bool { return fr.i[a] == fr.i[c] }
+		default:
+			cond = func(fr *frame) bool { return fr.i[a] != fr.i[c] }
+		}
+	} else {
+		switch op {
+		case "cmp_less":
+			cond = func(fr *frame) bool { return fr.f[a] < fr.f[c] }
+		case "cmp_lessequal":
+			cond = func(fr *frame) bool { return fr.f[a] <= fr.f[c] }
+		case "cmp_equal":
+			cond = func(fr *frame) bool { return fr.f[a] == fr.f[c] }
+		default:
+			cond = func(fr *frame) bool { return fr.f[a] != fr.f[c] }
+		}
+	}
+	if ownIdx := blockIdx[b]; g.blockFullyFused(b) {
+		if thenIdx == ownIdx {
+			return selfLoopTerm(poll, cond, thenSteps, elseMoves, elseIdx), nil
+		}
+		if elseIdx == ownIdx {
+			neg := cond
+			return selfLoopTerm(poll, func(fr *frame) bool { return !neg(fr) }, elseSteps, thenMoves, thenIdx), nil
+		}
+	}
+	if thenMoves == nil && elseMoves == nil {
+		// Hot-loop headers land here: no phi moves on either edge, so the
+		// whole block — abort poll, compare, branch — is one closure with
+		// no inner indirect calls.
+		ti, ei := thenIdx, elseIdx
+		if ra.kind == runtime.KI64 {
+			switch op {
+			case "cmp_less":
+				return func(fr *frame) int {
+					if poll && fr.rt.Aborted() {
+						runtime.Throw(runtime.ExcAbort, "aborted")
+					}
+					if fr.i[a] < fr.i[c] {
+						return ti
+					}
+					return ei
+				}, nil
+			case "cmp_lessequal":
+				return func(fr *frame) int {
+					if poll && fr.rt.Aborted() {
+						runtime.Throw(runtime.ExcAbort, "aborted")
+					}
+					if fr.i[a] <= fr.i[c] {
+						return ti
+					}
+					return ei
+				}, nil
+			case "cmp_equal":
+				return func(fr *frame) int {
+					if poll && fr.rt.Aborted() {
+						runtime.Throw(runtime.ExcAbort, "aborted")
+					}
+					if fr.i[a] == fr.i[c] {
+						return ti
+					}
+					return ei
+				}, nil
+			case "cmp_unequal":
+				return func(fr *frame) int {
+					if poll && fr.rt.Aborted() {
+						runtime.Throw(runtime.ExcAbort, "aborted")
+					}
+					if fr.i[a] != fr.i[c] {
+						return ti
+					}
+					return ei
+				}, nil
+			}
+		}
+		switch op {
+		case "cmp_less":
+			return func(fr *frame) int {
+				if poll && fr.rt.Aborted() {
+					runtime.Throw(runtime.ExcAbort, "aborted")
+				}
+				if fr.f[a] < fr.f[c] {
+					return ti
+				}
+				return ei
+			}, nil
+		case "cmp_lessequal":
+			return func(fr *frame) int {
+				if poll && fr.rt.Aborted() {
+					runtime.Throw(runtime.ExcAbort, "aborted")
+				}
+				if fr.f[a] <= fr.f[c] {
+					return ti
+				}
+				return ei
+			}, nil
+		case "cmp_equal":
+			return func(fr *frame) int {
+				if poll && fr.rt.Aborted() {
+					runtime.Throw(runtime.ExcAbort, "aborted")
+				}
+				if fr.f[a] == fr.f[c] {
+					return ti
+				}
+				return ei
+			}, nil
+		}
+		return func(fr *frame) int {
+			if poll && fr.rt.Aborted() {
+				runtime.Throw(runtime.ExcAbort, "aborted")
+			}
+			if fr.f[a] != fr.f[c] {
+				return ti
+			}
+			return ei
+		}, nil
+	}
+	// Polling after the compare is equivalent to before it: register
+	// compares are pure, and the throw happens before any phi move runs.
 	finish := func(fr *frame, cond bool) int {
+		if poll && fr.rt.Aborted() {
+			runtime.Throw(runtime.ExcAbort, "aborted")
+		}
 		if cond {
 			if thenMoves != nil {
 				thenMoves(fr)
@@ -865,34 +1315,5 @@ func (g *gen) genFusedCondBranch(b *wir.Block, in *wir.Instr, cmp *wir.Instr,
 		}
 		return elseIdx
 	}
-	a, c := ra.idx, rb.idx
-	if ra.kind == runtime.KI64 {
-		switch op {
-		case "cmp_less":
-			return func(fr *frame) int { return finish(fr, fr.i[a] < fr.i[c]) }, nil
-		case "cmp_lessequal":
-			return func(fr *frame) int { return finish(fr, fr.i[a] <= fr.i[c]) }, nil
-		case "cmp_greater":
-			return func(fr *frame) int { return finish(fr, fr.i[a] > fr.i[c]) }, nil
-		case "cmp_greaterequal":
-			return func(fr *frame) int { return finish(fr, fr.i[a] >= fr.i[c]) }, nil
-		case "cmp_equal":
-			return func(fr *frame) int { return finish(fr, fr.i[a] == fr.i[c]) }, nil
-		case "cmp_unequal":
-			return func(fr *frame) int { return finish(fr, fr.i[a] != fr.i[c]) }, nil
-		}
-	}
-	switch op {
-	case "cmp_less":
-		return func(fr *frame) int { return finish(fr, fr.f[a] < fr.f[c]) }, nil
-	case "cmp_lessequal":
-		return func(fr *frame) int { return finish(fr, fr.f[a] <= fr.f[c]) }, nil
-	case "cmp_greater":
-		return func(fr *frame) int { return finish(fr, fr.f[a] > fr.f[c]) }, nil
-	case "cmp_greaterequal":
-		return func(fr *frame) int { return finish(fr, fr.f[a] >= fr.f[c]) }, nil
-	case "cmp_equal":
-		return func(fr *frame) int { return finish(fr, fr.f[a] == fr.f[c]) }, nil
-	}
-	return func(fr *frame) int { return finish(fr, fr.f[a] != fr.f[c]) }, nil
+	return func(fr *frame) int { return finish(fr, cond(fr)) }, nil
 }

@@ -1,0 +1,1669 @@
+// Superinstruction fusion (ISSUE 2): the closure-threaded analogue of
+// Copy-and-Patch stencil chaining. A def-use chain of scalar instructions
+// whose intermediates are dead after the chain collapses into one closure
+// evaluating the whole expression tree, so a hot loop body executes one or
+// two indirect calls instead of one per TWIR instruction. Fusion is purely
+// intra-block: OpAbortCheck instructions are never fused and never crossed,
+// so abort polling keeps its per-iteration granularity (every loop header
+// still polls between fused units).
+//
+// Marking runs in two phases. Phase 1 folds single-use instructions into a
+// later consumer in the same block (an evaluable native, a Part store, the
+// conditional branch, or the return). Phase 2 folds trees whose single use
+// is a phi argument on an edge leaving the defining block into that edge's
+// parallel move. Both phases defer the producer's evaluation to the
+// consumer's position, which is legal only when no instruction in between
+// can observe or change state the tree depends on — barrierInstr is the
+// gate. Registers are SSA (written once by their defining instruction;
+// phi registers only change on edges), so deferring register reads within
+// a block is always safe; the barrier exists for tensor stores, RNG draws,
+// and engine escapes.
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wolfc/internal/expr"
+	"wolfc/internal/runtime"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// Typed evaluators: a fused expression tree compiles to one of these per
+// node, reading operand registers (or literals, or nested evaluators)
+// directly off the frame.
+type (
+	evalI func(fr *frame) int64
+	evalF func(fr *frame) float64
+	evalB func(fr *frame) bool
+	evalC func(fr *frame) complex128
+)
+
+// Operand addressing modes for fused tree nodes.
+const (
+	opRegMode  = iota // read a frame register
+	opLitMode         // inlined constant
+	opEvalMode        // nested fused subtree
+)
+
+type opI struct {
+	mode int
+	idx  int
+	lit  int64
+	ev   evalI
+}
+
+func (x opI) get(fr *frame) int64 {
+	switch x.mode {
+	case opRegMode:
+		return fr.i[x.idx]
+	case opLitMode:
+		return x.lit
+	}
+	return x.ev(fr)
+}
+
+type opF struct {
+	mode int
+	idx  int
+	lit  float64
+	ev   evalF
+}
+
+func (x opF) get(fr *frame) float64 {
+	switch x.mode {
+	case opRegMode:
+		return fr.f[x.idx]
+	case opLitMode:
+		return x.lit
+	}
+	return x.ev(fr)
+}
+
+type opB struct {
+	mode int
+	idx  int
+	lit  bool
+	ev   evalB
+}
+
+func (x opB) get(fr *frame) bool {
+	switch x.mode {
+	case opRegMode:
+		return fr.b[x.idx]
+	case opLitMode:
+		return x.lit
+	}
+	return x.ev(fr)
+}
+
+type opC struct {
+	mode int
+	idx  int
+	lit  complex128
+	ev   evalC
+}
+
+func (x opC) get(fr *frame) complex128 {
+	switch x.mode {
+	case opRegMode:
+		return fr.c[x.idx]
+	case opLitMode:
+		return x.lit
+	}
+	return x.ev(fr)
+}
+
+// ---------------------------------------------------------------------------
+// Marking
+
+// markFused selects the fusion strategy for this function's level.
+func (g *gen) markFused() error {
+	g.fused = map[*wir.Instr]bool{}
+	switch {
+	case g.fuse <= FuseOff:
+		return nil
+	case g.fuse < FuseFull:
+		g.markFusedCompares()
+		return nil
+	}
+	return g.markFusedFull()
+}
+
+// markFusedFull marks every instruction foldable into its single consumer.
+func (g *gen) markFusedFull() error {
+	uses := map[wir.Value]int{}
+	for _, b := range g.fn.Blocks {
+		for _, phi := range b.Phis {
+			for _, a := range phi.Args {
+				uses[a]++
+			}
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				uses[a]++
+			}
+		}
+	}
+	// Phase 1: chains ending at a later instruction of the same block
+	// (including the conditional branch and the return). Reverse order so a
+	// consumer already marked fused extends the chain transitively.
+	for _, b := range g.fn.Blocks {
+		n := len(b.Instrs)
+		for idx := n - 1; idx >= 0; idx-- {
+			in := b.Instrs[idx]
+			if in.IsTerminator() || uses[in] != 1 || !g.fusibleProducer(in) {
+				continue
+			}
+			var consumer *wir.Instr
+			cidx := -1
+			for j := idx + 1; j < n; j++ {
+				if usesValue(b.Instrs[j], in) {
+					consumer = b.Instrs[j]
+					cidx = j
+					break
+				}
+			}
+			if consumer == nil {
+				continue // cross-block or phi use: phase 2
+			}
+			if !g.consumerAccepts(consumer, in) {
+				continue
+			}
+			if !clearPath(b.Instrs, idx, cidx) {
+				continue
+			}
+			g.fused[in] = true
+		}
+	}
+	// Phase 2: trees whose single use is a phi argument on an edge leaving
+	// the defining block fuse into the edge's parallel move. The move
+	// sequencer orders moves by their read sets, and phiMoveSteps breaks
+	// any residual eval cycle through a temporary register, so a tree may
+	// freely read registers that other moves on the same edge overwrite.
+	for _, b := range g.fn.Blocks {
+		t := b.Term()
+		if t == nil || len(t.Targets) == 0 {
+			continue
+		}
+		if len(t.Targets) == 2 && t.Targets[0] == t.Targets[1] {
+			continue // duplicate edge: predecessor index is ambiguous
+		}
+		n := len(b.Instrs)
+		for idx := n - 1; idx >= 0; idx-- {
+			in := b.Instrs[idx]
+			if in.IsTerminator() || g.fused[in] || uses[in] != 1 || !g.fusibleProducer(in) {
+				continue
+			}
+			local := false
+			for j := idx + 1; j < n; j++ {
+				if usesValue(b.Instrs[j], in) {
+					local = true
+					break
+				}
+			}
+			if local {
+				continue
+			}
+			phi, _ := g.findPhiUse(b, in)
+			if phi == nil {
+				continue
+			}
+			if !clearPath(b.Instrs, idx, n-1) {
+				continue
+			}
+			g.fused[in] = true
+		}
+	}
+	return nil
+}
+
+// usesValue reports whether in has v among its operands.
+func usesValue(in *wir.Instr, v wir.Value) bool {
+	for _, a := range in.Args {
+		if a == v {
+			return true
+		}
+	}
+	return false
+}
+
+// findPhiUse locates the phi using in as an argument on an edge out of b.
+func (g *gen) findPhiUse(b *wir.Block, in *wir.Instr) (*wir.Instr, *wir.Block) {
+	t := b.Term()
+	for _, s := range t.Targets {
+		for _, p := range s.Phis {
+			for pi, a := range p.Args {
+				if a == in && pi < len(s.Preds) && s.Preds[pi] == b {
+					return p, s
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// clearPath reports whether every instruction strictly between from and to
+// can be crossed by a deferred evaluation.
+func clearPath(instrs []*wir.Instr, from, to int) bool {
+	for k := from + 1; k < to; k++ {
+		if barrierInstr(instrs[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// nonBarrierNatives are natives a fused computation may be deferred across:
+// they read registers (and possibly tensor memory) but never mutate state a
+// deferred tree could observe — no tensor stores, no RNG draws, no engine
+// escapes. setpart_*, memory_*, random_*, kernel_call and expr_binary_* are
+// deliberately absent.
+var nonBarrierNatives = map[string]bool{
+	"binary_plus": true, "binary_times": true, "binary_subtract": true,
+	"binary_divide": true, "divide_int_real": true, "unary_minus": true,
+	"mixed_ri_plus": true, "mixed_ir_plus": true, "mixed_ri_times": true,
+	"mixed_ir_times": true, "mixed_ri_subtract": true, "mixed_ir_subtract": true,
+	"mixed_ri_divide": true, "mixed_ir_divide": true,
+	"mixed_cr_plus": true, "mixed_rc_plus": true, "mixed_cr_times": true,
+	"mixed_rc_times": true, "mixed_cr_subtract": true, "mixed_rc_subtract": true,
+	"power_int": true, "power_real": true, "power_real_int": true,
+	"power_complex": true, "power_complex_int": true,
+	"mod_int": true, "mod_real": true, "quotient_int": true,
+	"abs_int": true, "abs_real": true, "abs_complex": true,
+	"sign_int": true, "sign_real": true, "min": true, "max": true,
+	"cmp_less": true, "cmp_lessequal": true, "cmp_greater": true,
+	"cmp_greaterequal": true, "cmp_equal": true, "cmp_unequal": true,
+	"mixed_ri_cmp_less": true, "mixed_ri_cmp_lessequal": true,
+	"mixed_ri_cmp_greater": true, "mixed_ri_cmp_greaterequal": true,
+	"mixed_ri_cmp_equal": true, "mixed_ri_cmp_unequal": true,
+	"mixed_ir_cmp_less": true, "mixed_ir_cmp_lessequal": true,
+	"mixed_ir_cmp_greater": true, "mixed_ir_cmp_greaterequal": true,
+	"mixed_ir_cmp_equal": true, "mixed_ir_cmp_unequal": true,
+	"sameq_bool": true, "sameq_expr": true, "not": true,
+	"and": true, "or": true,
+	"math_sin": true, "math_cos": true, "math_tan": true, "math_exp": true,
+	"math_log": true, "math_sqrt": true, "math_arctan": true,
+	"math_arcsin": true, "math_arccos": true,
+	"math_sin_int": true, "math_cos_int": true, "math_tan_int": true,
+	"math_exp_int": true, "math_log_int": true, "math_sqrt_int": true,
+	"math_arctan_int": true, "math_arcsin_int": true, "math_arccos_int": true,
+	"math_atan2": true, "floor_real": true, "ceiling_real": true,
+	"round_real": true, "identity_int": true, "to_real64": true,
+	"evenq": true, "oddq": true,
+	"bitand": true, "bitor": true, "bitxor": true,
+	"bitshiftleft": true, "bitshiftright": true,
+	"tensor_length": true, "part_1": true, "part_2": true,
+	"part_unsafe_1": true, "part_unsafe_2": true, "part_row": true,
+	"copy_tensor": true, "list_take": true, "list_new": true,
+	"matrix_new": true,
+	"dot_vv": true, "dot_mv": true, "dot_mm": true,
+	"tensor_plus": true, "tensor_times": true, "tensor_subtract": true,
+	"tensor_scalar_plus": true, "tensor_scalar_times": true,
+	"tensor_scalar_subtract": true, "scalar_tensor_plus": true,
+	"scalar_tensor_times": true, "scalar_tensor_subtract": true,
+	"tensor_minus": true,
+	"tensor_math_sin": true, "tensor_math_cos": true, "tensor_math_tan": true,
+	"tensor_math_exp": true, "tensor_math_log": true, "tensor_math_sqrt": true,
+	"tensor_math_abs": true, "gaussian_blur": true, "histogram_bins": true,
+	"string_join": true, "string_length": true, "string_byte_length": true,
+	"string_byte": true, "to_char_code": true, "from_char_code": true,
+	"string_take": true, "int_to_string": true, "real_to_string": true,
+	"make_complex": true, "re": true, "im": true, "cast": true,
+	"box_number": true,
+}
+
+// barrierInstr reports whether a fused tree may NOT be deferred past in.
+func barrierInstr(in *wir.Instr) bool {
+	switch in.Op {
+	case wir.OpPhi, wir.OpClosure:
+		return false
+	case wir.OpCall:
+		if in.ResolvedFn != nil {
+			return true
+		}
+		switch in.Callee {
+		case "Native`List":
+			return false // pure construction from registers
+		case "Native`KernelApply":
+			return true
+		}
+		return !nonBarrierNatives[nativeOf(in)]
+	}
+	// Indirect calls, abort checks, terminators.
+	return true
+}
+
+// fusibleProducer reports whether in can become an interior node of a fused
+// tree: a native call with a scalar result kind the evaluator builders
+// cover. The switch must stay in sync with buildEvalI/F/B/C.
+func (g *gen) fusibleProducer(in *wir.Instr) bool {
+	if in.Op != wir.OpCall || in.ResolvedFn != nil || in.Ty == nil || in.IsTerminator() {
+		return false
+	}
+	switch in.Callee {
+	case "Native`List", "Native`KernelApply":
+		return false
+	}
+	native := nativeOf(in)
+	if native == "" {
+		return false
+	}
+	rk := runtime.KindOf(in.Ty)
+	switch native {
+	case "binary_plus", "binary_times", "binary_subtract", "unary_minus":
+		return rk == runtime.KI64 || rk == runtime.KR64 || rk == runtime.KC64
+	case "binary_divide":
+		return rk == runtime.KR64 || rk == runtime.KC64
+	case "divide_int_real", "mixed_ri_plus", "mixed_ir_plus", "mixed_ri_times",
+		"mixed_ir_times", "mixed_ri_subtract", "mixed_ir_subtract",
+		"mixed_ri_divide", "mixed_ir_divide",
+		"power_real", "power_real_int", "mod_real", "abs_real", "math_atan2",
+		"abs_complex", "re", "im", "to_real64":
+		return rk == runtime.KR64
+	case "mixed_cr_plus", "mixed_rc_plus", "mixed_cr_times", "mixed_rc_times",
+		"mixed_cr_subtract", "mixed_rc_subtract",
+		"power_complex", "power_complex_int", "make_complex":
+		return rk == runtime.KC64
+	case "power_int", "mod_int", "quotient_int", "abs_int", "sign_int",
+		"sign_real", "identity_int", "floor_real", "ceiling_real",
+		"round_real", "bitand", "bitor", "bitxor",
+		"bitshiftleft", "bitshiftright", "tensor_length":
+		return rk == runtime.KI64
+	case "min", "max":
+		return rk == runtime.KI64 || rk == runtime.KR64
+	case "math_sin", "math_cos", "math_tan", "math_exp", "math_log",
+		"math_sqrt", "math_arctan", "math_arcsin", "math_arccos",
+		"math_sin_int", "math_cos_int", "math_tan_int", "math_exp_int",
+		"math_log_int", "math_sqrt_int", "math_arctan_int",
+		"math_arcsin_int", "math_arccos_int":
+		return rk == runtime.KR64
+	case "evenq", "oddq", "not", "and", "or", "sameq_bool",
+		"mixed_ri_cmp_less", "mixed_ri_cmp_lessequal", "mixed_ri_cmp_greater",
+		"mixed_ri_cmp_greaterequal", "mixed_ri_cmp_equal", "mixed_ri_cmp_unequal",
+		"mixed_ir_cmp_less", "mixed_ir_cmp_lessequal", "mixed_ir_cmp_greater",
+		"mixed_ir_cmp_greaterequal", "mixed_ir_cmp_equal", "mixed_ir_cmp_unequal":
+		return rk == runtime.KBool
+	case "cmp_less", "cmp_lessequal", "cmp_greater", "cmp_greaterequal",
+		"cmp_equal", "cmp_unequal":
+		if rk != runtime.KBool || len(in.Args) != 2 || in.Args[0].Type() == nil {
+			return false
+		}
+		switch runtime.KindOf(in.Args[0].Type()) {
+		case runtime.KI64, runtime.KR64:
+			return true
+		case runtime.KC64:
+			return native == "cmp_equal" || native == "cmp_unequal"
+		}
+		return false
+	case "cast":
+		at, ok := in.Ty.(*types.Atomic)
+		if !ok {
+			return false
+		}
+		switch at.Name {
+		case "Integer8", "Integer16", "Integer32", "Integer64",
+			"UnsignedInteger8", "UnsignedInteger16", "UnsignedInteger32",
+			"UnsignedInteger64":
+			return true
+		}
+		return false
+	case "part_1", "part_unsafe_1":
+		return rk == runtime.KI64 || rk == runtime.KR64 || rk == runtime.KC64 || rk == runtime.KBool
+	case "part_2", "part_unsafe_2":
+		return rk == runtime.KI64 || rk == runtime.KR64 || rk == runtime.KC64
+	}
+	return false
+}
+
+// consumerAccepts reports whether the generator can evaluate in at
+// consumer's position (genFusedRoot / genFusedSetPart / the terminator
+// routes must cover everything accepted here).
+func (g *gen) consumerAccepts(consumer, in *wir.Instr) bool {
+	switch consumer.Op {
+	case wir.OpCondBranch:
+		return consumer.Args[0] == in && runtime.KindOf(in.Ty) == runtime.KBool
+	case wir.OpReturn:
+		return true
+	case wir.OpCall:
+		if consumer.ResolvedFn != nil {
+			return false
+		}
+		if g.fusibleProducer(consumer) {
+			return true
+		}
+		switch nativeOf(consumer) {
+		case "setpart_1", "setpart_unsafe_1":
+			// Index or value operands only; the tensor stays a register
+			// (it is an object, so it can never be a fused producer).
+			if consumer.Args[2] == in && runtime.KindOf(in.Ty) == runtime.KObj {
+				return false
+			}
+			return consumer.Args[0] != in
+		case "setpart_2", "setpart_unsafe_2":
+			if consumer.Args[3] == in && runtime.KindOf(in.Ty) == runtime.KBool {
+				return false // no rank-2 bool mutator
+			}
+			return consumer.Args[0] != in
+		}
+	}
+	return false
+}
+
+// hasFusedArg reports whether any direct operand of in was fused.
+func (g *gen) hasFusedArg(in *wir.Instr) bool {
+	for _, a := range in.Args {
+		if x, ok := a.(*wir.Instr); ok && g.fused[x] {
+			return true
+		}
+	}
+	return false
+}
+
+// evalLeafRegs collects the registers a fused tree reads: the registers of
+// every non-fused, non-constant operand reachable through fused children.
+func (g *gen) evalLeafRegs(in *wir.Instr, leaves *[]reg) error {
+	for _, a := range in.Args {
+		switch x := a.(type) {
+		case *wir.Const, *wir.FuncRef:
+			// Initialised at frame setup, never written by moves.
+		case *wir.Instr:
+			if g.fused[x] {
+				if err := g.evalLeafRegs(x, leaves); err != nil {
+					return err
+				}
+				continue
+			}
+			r, err := g.regOf(x)
+			if err != nil {
+				return err
+			}
+			*leaves = append(*leaves, r)
+		default:
+			r, err := g.regOf(a)
+			if err != nil {
+				return err
+			}
+			*leaves = append(*leaves, r)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Operand builders
+
+func (g *gen) opIFor(v wir.Value) (opI, error) {
+	if in, ok := v.(*wir.Instr); ok && g.fused[in] {
+		ev, err := g.buildEvalI(in)
+		if err != nil {
+			return opI{}, err
+		}
+		return opI{mode: opEvalMode, ev: ev}, nil
+	}
+	if c, ok := v.(*wir.Const); ok {
+		if i, ok2 := c.Expr.(*expr.Integer); ok2 && i.IsMachine() &&
+			c.Type() != nil && runtime.KindOf(c.Type()) == runtime.KI64 {
+			return opI{mode: opLitMode, lit: i.Int64()}, nil
+		}
+	}
+	r, err := g.regOf(v)
+	if err != nil {
+		return opI{}, err
+	}
+	if r.kind != runtime.KI64 {
+		return opI{}, fmt.Errorf("codegen %s: fused operand %s is not an integer", g.fn.Name, v.Name())
+	}
+	return opI{mode: opRegMode, idx: r.idx}, nil
+}
+
+func (g *gen) opFFor(v wir.Value) (opF, error) {
+	if in, ok := v.(*wir.Instr); ok && g.fused[in] {
+		ev, err := g.buildEvalF(in)
+		if err != nil {
+			return opF{}, err
+		}
+		return opF{mode: opEvalMode, ev: ev}, nil
+	}
+	if c, ok := v.(*wir.Const); ok && c.Type() != nil && runtime.KindOf(c.Type()) == runtime.KR64 {
+		switch x := c.Expr.(type) {
+		case *expr.Real:
+			return opF{mode: opLitMode, lit: x.V}, nil
+		case *expr.Integer:
+			return opF{mode: opLitMode, lit: float64(x.Int64())}, nil
+		case *expr.Rational:
+			f, _ := x.V.Float64()
+			return opF{mode: opLitMode, lit: f}, nil
+		}
+	}
+	r, err := g.regOf(v)
+	if err != nil {
+		return opF{}, err
+	}
+	if r.kind != runtime.KR64 {
+		return opF{}, fmt.Errorf("codegen %s: fused operand %s is not a real", g.fn.Name, v.Name())
+	}
+	return opF{mode: opRegMode, idx: r.idx}, nil
+}
+
+func (g *gen) opBFor(v wir.Value) (opB, error) {
+	if in, ok := v.(*wir.Instr); ok && g.fused[in] {
+		ev, err := g.buildEvalB(in)
+		if err != nil {
+			return opB{}, err
+		}
+		return opB{mode: opEvalMode, ev: ev}, nil
+	}
+	if c, ok := v.(*wir.Const); ok && c.Type() != nil && runtime.KindOf(c.Type()) == runtime.KBool {
+		if b, isBool := expr.TruthValue(c.Expr); isBool {
+			return opB{mode: opLitMode, lit: b}, nil
+		}
+	}
+	r, err := g.regOf(v)
+	if err != nil {
+		return opB{}, err
+	}
+	if r.kind != runtime.KBool {
+		return opB{}, fmt.Errorf("codegen %s: fused operand %s is not a boolean", g.fn.Name, v.Name())
+	}
+	return opB{mode: opRegMode, idx: r.idx}, nil
+}
+
+func (g *gen) opCFor(v wir.Value) (opC, error) {
+	if in, ok := v.(*wir.Instr); ok && g.fused[in] {
+		ev, err := g.buildEvalC(in)
+		if err != nil {
+			return opC{}, err
+		}
+		return opC{mode: opEvalMode, ev: ev}, nil
+	}
+	if c, ok := v.(*wir.Const); ok && c.Type() != nil && runtime.KindOf(c.Type()) == runtime.KC64 {
+		switch x := c.Expr.(type) {
+		case *expr.Complex:
+			return opC{mode: opLitMode, lit: complex(x.Re, x.Im)}, nil
+		case *expr.Real:
+			return opC{mode: opLitMode, lit: complex(x.V, 0)}, nil
+		case *expr.Integer:
+			return opC{mode: opLitMode, lit: complex(float64(x.Int64()), 0)}, nil
+		}
+	}
+	r, err := g.regOf(v)
+	if err != nil {
+		return opC{}, err
+	}
+	if r.kind != runtime.KC64 {
+		return opC{}, fmt.Errorf("codegen %s: fused operand %s is not a complex", g.fn.Name, v.Name())
+	}
+	return opC{mode: opRegMode, idx: r.idx}, nil
+}
+
+func (g *gen) opII(in *wir.Instr) (opI, opI, error) {
+	x, err := g.opIFor(in.Args[0])
+	if err != nil {
+		return opI{}, opI{}, err
+	}
+	y, err := g.opIFor(in.Args[1])
+	return x, y, err
+}
+
+func (g *gen) opFF(in *wir.Instr) (opF, opF, error) {
+	x, err := g.opFFor(in.Args[0])
+	if err != nil {
+		return opF{}, opF{}, err
+	}
+	y, err := g.opFFor(in.Args[1])
+	return x, y, err
+}
+
+func (g *gen) opCC(in *wir.Instr) (opC, opC, error) {
+	x, err := g.opCFor(in.Args[0])
+	if err != nil {
+		return opC{}, opC{}, err
+	}
+	y, err := g.opCFor(in.Args[1])
+	return x, y, err
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator builders (one closure per tree node)
+
+func (g *gen) buildEvalI(in *wir.Instr) (evalI, error) {
+	native := nativeOf(in)
+	switch native {
+	case "binary_plus":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return runtime.AddI64(x.get(fr), y.get(fr)) }, nil
+	case "binary_times":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return runtime.MulI64(x.get(fr), y.get(fr)) }, nil
+	case "binary_subtract":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return runtime.SubI64(x.get(fr), y.get(fr)) }, nil
+	case "unary_minus":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return runtime.NegI64(x.get(fr)) }, nil
+	case "power_int":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return runtime.PowI64(x.get(fr), y.get(fr)) }, nil
+	case "mod_int":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return runtime.ModI64(x.get(fr), y.get(fr)) }, nil
+	case "quotient_int":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return runtime.QuotI64(x.get(fr), y.get(fr)) }, nil
+	case "abs_int":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 {
+			v := x.get(fr)
+			if v < 0 {
+				v = runtime.NegI64(v)
+			}
+			return v
+		}, nil
+	case "sign_int":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 {
+			switch v := x.get(fr); {
+			case v > 0:
+				return 1
+			case v < 0:
+				return -1
+			}
+			return 0
+		}, nil
+	case "sign_real":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 {
+			switch v := x.get(fr); {
+			case v > 0:
+				return 1
+			case v < 0:
+				return -1
+			}
+			return 0
+		}, nil
+	case "min", "max":
+		isMin := native == "min"
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 {
+			a, b := x.get(fr), y.get(fr)
+			if (a < b) == isMin {
+				return a
+			}
+			return b
+		}, nil
+	case "floor_real":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return int64(math.Floor(x.get(fr))) }, nil
+	case "ceiling_real":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return int64(math.Ceil(x.get(fr))) }, nil
+	case "round_real":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return int64(math.RoundToEven(x.get(fr))) }, nil
+	case "identity_int":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return x.get(fr) }, nil
+	case "bitand":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return x.get(fr) & y.get(fr) }, nil
+	case "bitor":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return x.get(fr) | y.get(fr) }, nil
+	case "bitxor":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return x.get(fr) ^ y.get(fr) }, nil
+	case "bitshiftleft":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return x.get(fr) << uint64(y.get(fr)) }, nil
+	case "bitshiftright":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) int64 { return x.get(fr) >> uint64(y.get(fr)) }, nil
+	case "cast":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		at, ok := in.Ty.(*types.Atomic)
+		if !ok {
+			return nil, fmt.Errorf("codegen %s: fused cast to %s", g.fn.Name, in.Ty)
+		}
+		switch at.Name {
+		case "Integer8":
+			return func(fr *frame) int64 { return int64(int8(x.get(fr))) }, nil
+		case "Integer16":
+			return func(fr *frame) int64 { return int64(int16(x.get(fr))) }, nil
+		case "Integer32":
+			return func(fr *frame) int64 { return int64(int32(x.get(fr))) }, nil
+		case "UnsignedInteger8":
+			return func(fr *frame) int64 { return int64(uint8(x.get(fr))) }, nil
+		case "UnsignedInteger16":
+			return func(fr *frame) int64 { return int64(uint16(x.get(fr))) }, nil
+		case "UnsignedInteger32":
+			return func(fr *frame) int64 { return int64(uint32(x.get(fr))) }, nil
+		case "Integer64", "UnsignedInteger64":
+			return func(fr *frame) int64 { return x.get(fr) }, nil
+		}
+		return nil, fmt.Errorf("codegen %s: fused cast to %s", g.fn.Name, at.Name)
+	case "tensor_length":
+		r, err := g.regOf(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		a := r.idx
+		return func(fr *frame) int64 { return int64(tensorArg(fr, a).Len()) }, nil
+	case "part_1", "part_unsafe_1", "part_2", "part_unsafe_2":
+		return g.partEvalI(in, native)
+	}
+	return nil, fmt.Errorf("codegen %s: no fused integer evaluator for native %q", g.fn.Name, native)
+}
+
+func (g *gen) buildEvalF(in *wir.Instr) (evalF, error) {
+	native := nativeOf(in)
+	switch native {
+	case "binary_plus":
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return x.get(fr) + y.get(fr) }, nil
+	case "binary_times":
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return x.get(fr) * y.get(fr) }, nil
+	case "binary_subtract":
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return x.get(fr) - y.get(fr) }, nil
+	case "binary_divide":
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return x.get(fr) / y.get(fr) }, nil
+	case "unary_minus":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return -x.get(fr) }, nil
+	case "divide_int_real":
+		x, y, err := g.opII(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return float64(x.get(fr)) / float64(y.get(fr)) }, nil
+	case "mixed_ri_plus", "mixed_ri_times", "mixed_ri_subtract", "mixed_ri_divide":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opIFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch native {
+		case "mixed_ri_plus":
+			return func(fr *frame) float64 { return x.get(fr) + float64(y.get(fr)) }, nil
+		case "mixed_ri_times":
+			return func(fr *frame) float64 { return x.get(fr) * float64(y.get(fr)) }, nil
+		case "mixed_ri_subtract":
+			return func(fr *frame) float64 { return x.get(fr) - float64(y.get(fr)) }, nil
+		}
+		return func(fr *frame) float64 { return x.get(fr) / float64(y.get(fr)) }, nil
+	case "mixed_ir_plus", "mixed_ir_times", "mixed_ir_subtract", "mixed_ir_divide":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opFFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch native {
+		case "mixed_ir_plus":
+			return func(fr *frame) float64 { return float64(x.get(fr)) + y.get(fr) }, nil
+		case "mixed_ir_times":
+			return func(fr *frame) float64 { return float64(x.get(fr)) * y.get(fr) }, nil
+		case "mixed_ir_subtract":
+			return func(fr *frame) float64 { return float64(x.get(fr)) - y.get(fr) }, nil
+		}
+		return func(fr *frame) float64 { return float64(x.get(fr)) / y.get(fr) }, nil
+	case "power_real":
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return math.Pow(x.get(fr), y.get(fr)) }, nil
+	case "power_real_int":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opIFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return math.Pow(x.get(fr), float64(y.get(fr))) }, nil
+	case "mod_real":
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 {
+			a, b := x.get(fr), y.get(fr)
+			r := math.Mod(a, b)
+			if r != 0 && (r < 0) != (b < 0) {
+				r += b
+			}
+			return r
+		}, nil
+	case "abs_real":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return math.Abs(x.get(fr)) }, nil
+	case "abs_complex":
+		x, err := g.opCFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return runtime.AbsC(x.get(fr)) }, nil
+	case "min", "max":
+		isMin := native == "min"
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 {
+			a, b := x.get(fr), y.get(fr)
+			if (a < b) == isMin {
+				return a
+			}
+			return b
+		}, nil
+	case "math_sin", "math_cos", "math_tan", "math_exp", "math_log",
+		"math_sqrt", "math_arctan", "math_arcsin", "math_arccos":
+		f := mathFunc(strings.TrimPrefix(native, "math_"))
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return f(x.get(fr)) }, nil
+	case "math_sin_int", "math_cos_int", "math_tan_int", "math_exp_int",
+		"math_log_int", "math_sqrt_int", "math_arctan_int",
+		"math_arcsin_int", "math_arccos_int":
+		f := mathFunc(strings.TrimSuffix(strings.TrimPrefix(native, "math_"), "_int"))
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return f(float64(x.get(fr))) }, nil
+	case "math_atan2":
+		x, y, err := g.opFF(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return math.Atan2(y.get(fr), x.get(fr)) }, nil
+	case "to_real64":
+		if in.Args[0].Type() != nil && runtime.KindOf(in.Args[0].Type()) == runtime.KI64 {
+			x, err := g.opIFor(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) float64 { return float64(x.get(fr)) }, nil
+		}
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return x.get(fr) }, nil
+	case "re":
+		x, err := g.opCFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return real(x.get(fr)) }, nil
+	case "im":
+		x, err := g.opCFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) float64 { return imag(x.get(fr)) }, nil
+	case "part_1", "part_unsafe_1", "part_2", "part_unsafe_2":
+		return g.partEvalF(in, native)
+	}
+	return nil, fmt.Errorf("codegen %s: no fused real evaluator for native %q", g.fn.Name, native)
+}
+
+func (g *gen) buildEvalB(in *wir.Instr) (evalB, error) {
+	native := nativeOf(in)
+	switch native {
+	case "cmp_less", "cmp_lessequal", "cmp_greater", "cmp_greaterequal",
+		"cmp_equal", "cmp_unequal":
+		op := strings.TrimPrefix(native, "cmp_")
+		switch runtime.KindOf(in.Args[0].Type()) {
+		case runtime.KI64:
+			x, y, err := g.opII(in)
+			if err != nil {
+				return nil, err
+			}
+			return cmpIEval(op, x, y), nil
+		case runtime.KR64:
+			x, y, err := g.opFF(in)
+			if err != nil {
+				return nil, err
+			}
+			return cmpFEval(op, x, y), nil
+		case runtime.KC64:
+			x, y, err := g.opCC(in)
+			if err != nil {
+				return nil, err
+			}
+			if op == "equal" {
+				return func(fr *frame) bool { return x.get(fr) == y.get(fr) }, nil
+			}
+			return func(fr *frame) bool { return x.get(fr) != y.get(fr) }, nil
+		}
+	case "mixed_ri_cmp_less", "mixed_ri_cmp_lessequal", "mixed_ri_cmp_greater",
+		"mixed_ri_cmp_greaterequal", "mixed_ri_cmp_equal", "mixed_ri_cmp_unequal":
+		op := strings.TrimPrefix(native, "mixed_ri_cmp_")
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opIFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) bool { return cmpF(op, x.get(fr), float64(y.get(fr))) }, nil
+	case "mixed_ir_cmp_less", "mixed_ir_cmp_lessequal", "mixed_ir_cmp_greater",
+		"mixed_ir_cmp_greaterequal", "mixed_ir_cmp_equal", "mixed_ir_cmp_unequal":
+		op := strings.TrimPrefix(native, "mixed_ir_cmp_")
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opFFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) bool { return cmpF(op, float64(x.get(fr)), y.get(fr)) }, nil
+	case "sameq_bool":
+		x, err := g.opBFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opBFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) bool { return x.get(fr) == y.get(fr) }, nil
+	case "not":
+		x, err := g.opBFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) bool { return !x.get(fr) }, nil
+	case "and", "or":
+		x, err := g.opBFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opBFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		// Eager by construction: FlattenCond only builds these over
+		// speculatable operands, so evaluating both sides is safe.
+		if native == "and" {
+			return func(fr *frame) bool { return x.get(fr) && y.get(fr) }, nil
+		}
+		return func(fr *frame) bool { return x.get(fr) || y.get(fr) }, nil
+	case "evenq":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) bool { return x.get(fr)%2 == 0 }, nil
+	case "oddq":
+		x, err := g.opIFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) bool { return x.get(fr)%2 != 0 }, nil
+	case "part_1", "part_unsafe_1":
+		r, err := g.regOf(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		i1, err := g.opIFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		a := r.idx
+		if strings.Contains(native, "unsafe") {
+			return func(fr *frame) bool { return tensorArg(fr, a).GetBU(i1.get(fr)) }, nil
+		}
+		return func(fr *frame) bool { return tensorArg(fr, a).GetB(i1.get(fr)) }, nil
+	}
+	return nil, fmt.Errorf("codegen %s: no fused boolean evaluator for native %q", g.fn.Name, native)
+}
+
+func (g *gen) buildEvalC(in *wir.Instr) (evalC, error) {
+	native := nativeOf(in)
+	switch native {
+	case "binary_plus":
+		x, y, err := g.opCC(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return x.get(fr) + y.get(fr) }, nil
+	case "binary_times":
+		x, y, err := g.opCC(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return x.get(fr) * y.get(fr) }, nil
+	case "binary_subtract":
+		x, y, err := g.opCC(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return x.get(fr) - y.get(fr) }, nil
+	case "binary_divide":
+		x, y, err := g.opCC(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return x.get(fr) / y.get(fr) }, nil
+	case "unary_minus":
+		x, err := g.opCFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return -x.get(fr) }, nil
+	case "mixed_cr_plus", "mixed_cr_times", "mixed_cr_subtract":
+		x, err := g.opCFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opFFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch native {
+		case "mixed_cr_plus":
+			return func(fr *frame) complex128 { return x.get(fr) + complex(y.get(fr), 0) }, nil
+		case "mixed_cr_times":
+			return func(fr *frame) complex128 { return x.get(fr) * complex(y.get(fr), 0) }, nil
+		}
+		return func(fr *frame) complex128 { return x.get(fr) - complex(y.get(fr), 0) }, nil
+	case "mixed_rc_plus", "mixed_rc_times", "mixed_rc_subtract":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opCFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch native {
+		case "mixed_rc_plus":
+			return func(fr *frame) complex128 { return complex(x.get(fr), 0) + y.get(fr) }, nil
+		case "mixed_rc_times":
+			return func(fr *frame) complex128 { return complex(x.get(fr), 0) * y.get(fr) }, nil
+		}
+		return func(fr *frame) complex128 { return complex(x.get(fr), 0) - y.get(fr) }, nil
+	case "power_complex":
+		x, y, err := g.opCC(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return runtime.PowC(x.get(fr), y.get(fr)) }, nil
+	case "power_complex_int":
+		x, err := g.opCFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opIFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return runtime.PowCInt(x.get(fr), y.get(fr)) }, nil
+	case "make_complex":
+		x, err := g.opFFor(in.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := g.opFFor(in.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) complex128 { return complex(x.get(fr), y.get(fr)) }, nil
+	case "part_1", "part_unsafe_1", "part_2", "part_unsafe_2":
+		return g.partEvalC(in, native)
+	}
+	return nil, fmt.Errorf("codegen %s: no fused complex evaluator for native %q", g.fn.Name, native)
+}
+
+func cmpIEval(op string, x, y opI) evalB {
+	switch op {
+	case "less":
+		return func(fr *frame) bool { return x.get(fr) < y.get(fr) }
+	case "lessequal":
+		return func(fr *frame) bool { return x.get(fr) <= y.get(fr) }
+	case "greater":
+		return func(fr *frame) bool { return x.get(fr) > y.get(fr) }
+	case "greaterequal":
+		return func(fr *frame) bool { return x.get(fr) >= y.get(fr) }
+	case "equal":
+		return func(fr *frame) bool { return x.get(fr) == y.get(fr) }
+	}
+	return func(fr *frame) bool { return x.get(fr) != y.get(fr) }
+}
+
+func cmpFEval(op string, x, y opF) evalB {
+	switch op {
+	case "less":
+		return func(fr *frame) bool { return x.get(fr) < y.get(fr) }
+	case "lessequal":
+		return func(fr *frame) bool { return x.get(fr) <= y.get(fr) }
+	case "greater":
+		return func(fr *frame) bool { return x.get(fr) > y.get(fr) }
+	case "greaterequal":
+		return func(fr *frame) bool { return x.get(fr) >= y.get(fr) }
+	case "equal":
+		return func(fr *frame) bool { return x.get(fr) == y.get(fr) }
+	}
+	return func(fr *frame) bool { return x.get(fr) != y.get(fr) }
+}
+
+// partEval* compile fused tensor element reads (the load half of the
+// load-op-store forms).
+
+func (g *gen) partEvalI(in *wir.Instr, native string) (evalI, error) {
+	a, i1, i2, rank2, unsafe, err := g.partOperands(in, native)
+	if err != nil {
+		return nil, err
+	}
+	if rank2 {
+		if unsafe {
+			return func(fr *frame) int64 { return tensorArg(fr, a).GetI2U(i1.get(fr), i2.get(fr)) }, nil
+		}
+		return func(fr *frame) int64 { return tensorArg(fr, a).GetI2(i1.get(fr), i2.get(fr)) }, nil
+	}
+	if unsafe {
+		return func(fr *frame) int64 { return tensorArg(fr, a).GetIU(i1.get(fr)) }, nil
+	}
+	return func(fr *frame) int64 { return tensorArg(fr, a).GetI(i1.get(fr)) }, nil
+}
+
+func (g *gen) partEvalF(in *wir.Instr, native string) (evalF, error) {
+	a, i1, i2, rank2, unsafe, err := g.partOperands(in, native)
+	if err != nil {
+		return nil, err
+	}
+	if rank2 {
+		if unsafe {
+			return func(fr *frame) float64 { return tensorArg(fr, a).GetF2U(i1.get(fr), i2.get(fr)) }, nil
+		}
+		return func(fr *frame) float64 { return tensorArg(fr, a).GetF2(i1.get(fr), i2.get(fr)) }, nil
+	}
+	if unsafe {
+		return func(fr *frame) float64 { return tensorArg(fr, a).GetFU(i1.get(fr)) }, nil
+	}
+	return func(fr *frame) float64 { return tensorArg(fr, a).GetF(i1.get(fr)) }, nil
+}
+
+func (g *gen) partEvalC(in *wir.Instr, native string) (evalC, error) {
+	a, i1, i2, rank2, unsafe, err := g.partOperands(in, native)
+	if err != nil {
+		return nil, err
+	}
+	if rank2 {
+		if unsafe {
+			return func(fr *frame) complex128 { return tensorArg(fr, a).GetC2U(i1.get(fr), i2.get(fr)) }, nil
+		}
+		return func(fr *frame) complex128 { return tensorArg(fr, a).GetC2(i1.get(fr), i2.get(fr)) }, nil
+	}
+	if unsafe {
+		return func(fr *frame) complex128 { return tensorArg(fr, a).GetCU(i1.get(fr)) }, nil
+	}
+	return func(fr *frame) complex128 { return tensorArg(fr, a).GetC(i1.get(fr)) }, nil
+}
+
+func (g *gen) partOperands(in *wir.Instr, native string) (a int, i1, i2 opI, rank2, unsafe bool, err error) {
+	r, err := g.regOf(in.Args[0])
+	if err != nil {
+		return 0, opI{}, opI{}, false, false, err
+	}
+	if r.kind != runtime.KObj {
+		return 0, opI{}, opI{}, false, false,
+			fmt.Errorf("codegen %s: fused Part of non-object %s", g.fn.Name, in.Args[0].Name())
+	}
+	i1, err = g.opIFor(in.Args[1])
+	if err != nil {
+		return 0, opI{}, opI{}, false, false, err
+	}
+	rank2 = strings.HasSuffix(native, "2")
+	if rank2 {
+		i2, err = g.opIFor(in.Args[2])
+		if err != nil {
+			return 0, opI{}, opI{}, false, false, err
+		}
+	}
+	return r.idx, i1, i2, rank2, strings.Contains(native, "unsafe"), nil
+}
+
+// ---------------------------------------------------------------------------
+// Root generation
+
+// genFusedRoot compiles an unfused instruction with fused operands: the
+// whole tree becomes one assignment step (or a fused load-op-store for
+// setpart roots).
+func (g *gen) genFusedRoot(in *wir.Instr) (step, error) {
+	switch native := nativeOf(in); native {
+	case "setpart_1", "setpart_unsafe_1":
+		return g.genFusedSetPart(in, strings.Contains(native, "unsafe"), false)
+	case "setpart_2", "setpart_unsafe_2":
+		return g.genFusedSetPart(in, strings.Contains(native, "unsafe"), true)
+	}
+	if in.Ty == types.TVoid {
+		return nil, fmt.Errorf("codegen %s: fused operand feeding void native %q", g.fn.Name, nativeOf(in))
+	}
+	dst, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	return g.assignTo(dst, in)
+}
+
+// assignTo compiles "dst = tree(root)" as a single step. The hot arithmetic
+// roots inline the operator into the assignment closure (including fused
+// multiply-accumulate shapes); everything else wraps the node evaluator.
+func (g *gen) assignTo(dst reg, root *wir.Instr) (step, error) {
+	d := dst.idx
+	native := nativeOf(root)
+	switch dst.kind {
+	case runtime.KI64:
+		switch native {
+		case "binary_plus", "binary_times", "binary_subtract":
+			return g.assignArithI(d, native, root)
+		}
+		ev, err := g.buildEvalI(root)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) { fr.i[d] = ev(fr) }, nil
+	case runtime.KR64:
+		switch native {
+		case "binary_plus", "binary_times", "binary_subtract", "binary_divide":
+			return g.assignArithF(d, native, root)
+		}
+		ev, err := g.buildEvalF(root)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) { fr.f[d] = ev(fr) }, nil
+	case runtime.KC64:
+		ev, err := g.buildEvalC(root)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) { fr.c[d] = ev(fr) }, nil
+	case runtime.KBool:
+		ev, err := g.buildEvalB(root)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) { fr.b[d] = ev(fr) }, nil
+	}
+	return nil, fmt.Errorf("codegen %s: cannot fuse assignment of kind %v for native %q", g.fn.Name, dst.kind, native)
+}
+
+// fusedArgNative returns root's operand v if it is a fused binary node of
+// the given native.
+func (g *gen) fusedArgNative(v wir.Value, native string) (*wir.Instr, bool) {
+	in, ok := v.(*wir.Instr)
+	if !ok || !g.fused[in] || nativeOf(in) != native || len(in.Args) != 2 {
+		return nil, false
+	}
+	return in, true
+}
+
+func (g *gen) assignArithI(d int, native string, root *wir.Instr) (step, error) {
+	// Multiply-accumulate: s ± a*b and a*b ± s collapse to one closure —
+	// the accumulation shape of tight scalar loops.
+	if native != "binary_times" {
+		sub := native == "binary_subtract"
+		if m, ok := g.fusedArgNative(root.Args[1], "binary_times"); ok {
+			x, err := g.opIFor(root.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			ma, mb, err := g.opII(m)
+			if err != nil {
+				return nil, err
+			}
+			if sub {
+				return func(fr *frame) {
+					fr.i[d] = runtime.SubI64(x.get(fr), runtime.MulI64(ma.get(fr), mb.get(fr)))
+				}, nil
+			}
+			return func(fr *frame) {
+				fr.i[d] = runtime.AddI64(x.get(fr), runtime.MulI64(ma.get(fr), mb.get(fr)))
+			}, nil
+		}
+		if m, ok := g.fusedArgNative(root.Args[0], "binary_times"); ok {
+			ma, mb, err := g.opII(m)
+			if err != nil {
+				return nil, err
+			}
+			y, err := g.opIFor(root.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			if sub {
+				return func(fr *frame) {
+					fr.i[d] = runtime.SubI64(runtime.MulI64(ma.get(fr), mb.get(fr)), y.get(fr))
+				}, nil
+			}
+			return func(fr *frame) {
+				fr.i[d] = runtime.AddI64(runtime.MulI64(ma.get(fr), mb.get(fr)), y.get(fr))
+			}, nil
+		}
+	}
+	x, y, err := g.opII(root)
+	if err != nil {
+		return nil, err
+	}
+	switch native {
+	case "binary_plus":
+		return func(fr *frame) { fr.i[d] = runtime.AddI64(x.get(fr), y.get(fr)) }, nil
+	case "binary_times":
+		return func(fr *frame) { fr.i[d] = runtime.MulI64(x.get(fr), y.get(fr)) }, nil
+	}
+	return func(fr *frame) { fr.i[d] = runtime.SubI64(x.get(fr), y.get(fr)) }, nil
+}
+
+func (g *gen) assignArithF(d int, native string, root *wir.Instr) (step, error) {
+	if native == "binary_plus" || native == "binary_subtract" {
+		sub := native == "binary_subtract"
+		if m, ok := g.fusedArgNative(root.Args[1], "binary_times"); ok {
+			x, err := g.opFFor(root.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			ma, mb, err := g.opFF(m)
+			if err != nil {
+				return nil, err
+			}
+			if sub {
+				return func(fr *frame) { fr.f[d] = x.get(fr) - ma.get(fr)*mb.get(fr) }, nil
+			}
+			return func(fr *frame) { fr.f[d] = x.get(fr) + ma.get(fr)*mb.get(fr) }, nil
+		}
+		if m, ok := g.fusedArgNative(root.Args[0], "binary_times"); ok {
+			ma, mb, err := g.opFF(m)
+			if err != nil {
+				return nil, err
+			}
+			y, err := g.opFFor(root.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			if sub {
+				return func(fr *frame) { fr.f[d] = ma.get(fr)*mb.get(fr) - y.get(fr) }, nil
+			}
+			return func(fr *frame) { fr.f[d] = ma.get(fr)*mb.get(fr) + y.get(fr) }, nil
+		}
+	}
+	x, y, err := g.opFF(root)
+	if err != nil {
+		return nil, err
+	}
+	switch native {
+	case "binary_plus":
+		return func(fr *frame) { fr.f[d] = x.get(fr) + y.get(fr) }, nil
+	case "binary_times":
+		return func(fr *frame) { fr.f[d] = x.get(fr) * y.get(fr) }, nil
+	case "binary_subtract":
+		return func(fr *frame) { fr.f[d] = x.get(fr) - y.get(fr) }, nil
+	}
+	return func(fr *frame) { fr.f[d] = x.get(fr) / y.get(fr) }, nil
+}
+
+// genFusedSetPart compiles a Part store whose index or value operands are
+// fused trees: a single load-op-store closure.
+func (g *gen) genFusedSetPart(in *wir.Instr, unsafe, rank2 bool) (step, error) {
+	tr, err := g.regOf(in.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	dstR, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	a, d := tr.idx, dstR.idx
+	i1, err := g.opIFor(in.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	if rank2 {
+		i2, err := g.opIFor(in.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		switch runtime.KindOf(in.Args[3].Type()) {
+		case runtime.KI64:
+			v, err := g.opIFor(in.Args[3])
+			if err != nil {
+				return nil, err
+			}
+			if unsafe {
+				return func(fr *frame) {
+					fr.o[d] = tensorArg(fr, a).SetI2U(i1.get(fr), i2.get(fr), v.get(fr))
+				}, nil
+			}
+			return func(fr *frame) {
+				fr.o[d] = tensorArg(fr, a).SetI2(i1.get(fr), i2.get(fr), v.get(fr))
+			}, nil
+		case runtime.KR64:
+			v, err := g.opFFor(in.Args[3])
+			if err != nil {
+				return nil, err
+			}
+			if unsafe {
+				return func(fr *frame) {
+					fr.o[d] = tensorArg(fr, a).SetF2U(i1.get(fr), i2.get(fr), v.get(fr))
+				}, nil
+			}
+			return func(fr *frame) {
+				fr.o[d] = tensorArg(fr, a).SetF2(i1.get(fr), i2.get(fr), v.get(fr))
+			}, nil
+		case runtime.KC64:
+			v, err := g.opCFor(in.Args[3])
+			if err != nil {
+				return nil, err
+			}
+			if unsafe {
+				return func(fr *frame) {
+					fr.o[d] = tensorArg(fr, a).SetC2U(i1.get(fr), i2.get(fr), v.get(fr))
+				}, nil
+			}
+			return func(fr *frame) {
+				fr.o[d] = tensorArg(fr, a).SetC2(i1.get(fr), i2.get(fr), v.get(fr))
+			}, nil
+		}
+		return nil, fmt.Errorf("codegen %s: fused rank-2 setpart of kind %v", g.fn.Name, runtime.KindOf(in.Args[3].Type()))
+	}
+	switch runtime.KindOf(in.Args[2].Type()) {
+	case runtime.KI64:
+		v, err := g.opIFor(in.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetIU(i1.get(fr), v.get(fr)) }, nil
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetI(i1.get(fr), v.get(fr)) }, nil
+	case runtime.KR64:
+		v, err := g.opFFor(in.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetFU(i1.get(fr), v.get(fr)) }, nil
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetF(i1.get(fr), v.get(fr)) }, nil
+	case runtime.KC64:
+		v, err := g.opCFor(in.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetCU(i1.get(fr), v.get(fr)) }, nil
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetC(i1.get(fr), v.get(fr)) }, nil
+	case runtime.KBool:
+		v, err := g.opBFor(in.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetB(i1.get(fr), v.get(fr)) }, nil
+	case runtime.KObj:
+		v, err := g.regOf(in.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		vi := v.idx
+		if unsafe {
+			return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetOU(i1.get(fr), fr.o[vi]) }, nil
+		}
+		return func(fr *frame) { fr.o[d] = tensorArg(fr, a).SetO(i1.get(fr), fr.o[vi]) }, nil
+	}
+	return nil, fmt.Errorf("codegen %s: fused setpart of kind %v", g.fn.Name, runtime.KindOf(in.Args[2].Type()))
+}
+
+// genFusedCondBranchTree is the general form of genFusedCondBranch: the
+// condition is an arbitrary fused boolean tree.
+func (g *gen) genFusedCondBranchTree(b *wir.Block, in *wir.Instr, cmp *wir.Instr,
+	blockIdx map[*wir.Block]int) (term, error) {
+	eb, err := g.buildEvalB(cmp)
+	if err != nil {
+		return nil, err
+	}
+	thenSteps, thenIdx, err := g.threadEdge(b, in.Targets[0], blockIdx)
+	if err != nil {
+		return nil, err
+	}
+	elseSteps, elseIdx, err := g.threadEdge(b, in.Targets[1], blockIdx)
+	if err != nil {
+		return nil, err
+	}
+	thenMoves := composeSteps(thenSteps)
+	elseMoves := composeSteps(elseSteps)
+	poll := g.abortFold
+	if ownIdx := blockIdx[b]; g.blockFullyFused(b) {
+		if thenIdx == ownIdx {
+			return selfLoopTerm(poll, eb, thenSteps, elseMoves, elseIdx), nil
+		}
+		if elseIdx == ownIdx {
+			return selfLoopTerm(poll, func(fr *frame) bool { return !eb(fr) }, elseSteps, thenMoves, thenIdx), nil
+		}
+	}
+	if thenMoves == nil && elseMoves == nil {
+		return func(fr *frame) int {
+			if poll && fr.rt.Aborted() {
+				runtime.Throw(runtime.ExcAbort, "aborted")
+			}
+			if eb(fr) {
+				return thenIdx
+			}
+			return elseIdx
+		}, nil
+	}
+	return func(fr *frame) int {
+		if poll && fr.rt.Aborted() {
+			runtime.Throw(runtime.ExcAbort, "aborted")
+		}
+		if eb(fr) {
+			if thenMoves != nil {
+				thenMoves(fr)
+			}
+			return thenIdx
+		}
+		if elseMoves != nil {
+			elseMoves(fr)
+		}
+		return elseIdx
+	}, nil
+}

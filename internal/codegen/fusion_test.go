@@ -1,0 +1,195 @@
+package codegen
+
+import (
+	"testing"
+
+	"wolfc/internal/binding"
+	"wolfc/internal/expr"
+	"wolfc/internal/infer"
+	"wolfc/internal/macro"
+	"wolfc/internal/parser"
+	"wolfc/internal/passes"
+	"wolfc/internal/runtime"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// compileSrcFuse runs the whole pipeline at a given fusion level.
+func compileSrcFuse(t *testing.T, src string, fuse int) *Program {
+	t.Helper()
+	env := macro.DefaultEnv()
+	e, err := env.Expand(parser.MustParse(src), nil)
+	if err != nil {
+		t.Fatalf("macro: %v", err)
+	}
+	e = macro.ExpandSlots(e)
+	res, err := binding.Analyze(e)
+	if err != nil {
+		t.Fatalf("binding: %v", err)
+	}
+	tenv := types.Builtin()
+	mod, err := wir.Lower(res, tenv)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if err := infer.Infer(mod, tenv); err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	if err := passes.Run(mod, tenv, passes.DefaultOptions()); err != nil {
+		t.Fatalf("passes: %v", err)
+	}
+	prog, err := CompileWithOptions(mod, CompileOptions{FuseLevel: fuse})
+	if err != nil {
+		t.Fatalf("codegen (fuse=%d): %v", fuse, err)
+	}
+	return prog
+}
+
+func totalSteps(p *Program) int {
+	n := 0
+	for _, b := range p.Main.blocks {
+		n += len(b.steps)
+	}
+	return n
+}
+
+// fusionCorpus exercises every evaluator family: checked integer
+// arithmetic, float/complex chains, comparisons, conversions, bit ops,
+// Part loads and stores at rank 1 and 2, and phi-edge fusion of loop
+// induction updates.
+var fusionCorpus = []struct {
+	name string
+	src  string
+	args []any
+	want any
+}{
+	{"int-madd-loop", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]`,
+		[]any{int64(1000)}, int64(333833500)},
+	{"int-mixed-chain", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1},
+			While[i <= n,
+				s = Mod[s*31 + Quotient[i*i + 7, 3] - Min[s, i] + Max[i, 5], 100003];
+				s = s + BitXor[BitAnd[i, 255], BitOr[s, 1]];
+				i = i + 1];
+			s]]`,
+		[]any{int64(500)}, nil},
+	{"int-abs-sign-evenq", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1},
+			While[i <= n,
+				s = s + If[EvenQ[i], Abs[5 - i], Sign[i - 7]*2];
+				i = i + 1];
+			s]]`,
+		[]any{int64(100)}, nil},
+	{"real-poly-loop", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0., x = 0.5, i = 1},
+			While[i <= n, s = s + x*x - s*0.25 + 1.5; x = x*1.0001; i = i + 1];
+			s]]`,
+		[]any{int64(200)}, nil},
+	{"real-math-chain", `Function[{Typed[x, "Real64"]},
+		Sqrt[Abs[Sin[x]*Cos[x] + Exp[-x]]] + Floor[x]*1. + Ceiling[x/2.]*1.]`,
+		[]any{2.75}, nil},
+	{"real-mixed-int", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0., i = 1},
+			While[i <= n, s = s + 1./i + i*0.5; i = i + 1]; s]]`,
+		[]any{int64(64)}, nil},
+	{"complex-iteration", `Function[{Typed[c, "ComplexReal64"]},
+		Module[{z = c, k = 0},
+			While[k < 16 && Re[z]*Re[z] + Im[z]*Im[z] < 4., z = z^2 + c; k = k + 1];
+			k]]`,
+		[]any{complex(-0.5, 0.3)}, nil},
+	{"bool-chain", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1},
+			While[i <= n,
+				If[!EvenQ[i] && i*3 > n, s = s + 1];
+				i = i + 1];
+			s]]`,
+		[]any{int64(90)}, nil},
+	{"part-load-store-rank1", `Function[{Typed[n, "MachineInteger"]},
+		Module[{v = ConstantArray[0, n], s = 0, i = 1},
+			While[i <= n, v[[i]] = i*i + 1; i++];
+			i = 1;
+			While[i <= n, s = Mod[s*31 + v[[i]]*2 - 1, 100003]; i++];
+			s]]`,
+		[]any{int64(128)}, nil},
+	{"part-rank2-trace", `Function[{Typed[n, "MachineInteger"]},
+		Module[{m = ConstantArray[0, {n, n}], i = 1, j = 1, s = 0},
+			While[i <= n, j = 1; While[j <= n, m[[i, j]] = i*10 + j*j; j++]; i++];
+			i = 1;
+			While[i <= n, s = s + m[[i, i]]*3 - 1; i++];
+			s]]`,
+		[]any{int64(9)}, nil},
+	{"real-vector-update", `Function[{Typed[n, "MachineInteger"]},
+		Module[{v = ConstantArray[0., n], s = 0., i = 1},
+			While[i <= n, v[[i]] = 1./i + 0.25*i; i++];
+			i = 1;
+			While[i <= n, s = s + v[[i]]*v[[i]]; i++];
+			s]]`,
+		[]any{int64(80)}, nil},
+}
+
+// TestFuseLevelsAgree asserts bit-identical results across all fusion
+// levels on the corpus.
+func TestFuseLevelsAgree(t *testing.T) {
+	for _, tc := range fusionCorpus {
+		levels := map[string]int{"off": FuseOff, "branch": FuseBranch, "full": FuseFull}
+		results := map[string]any{}
+		for name, lvl := range levels {
+			prog := compileSrcFuse(t, tc.src, lvl)
+			results[name] = prog.Main.CallValues(&RT{}, tc.args...)
+		}
+		if tc.want != nil && results["full"] != tc.want {
+			t.Errorf("%s: fused = %v, want %v", tc.name, results["full"], tc.want)
+		}
+		for name, got := range results {
+			if got != results["full"] {
+				t.Errorf("%s: fuse=%s produced %v, fuse=full produced %v",
+					tc.name, name, got, results["full"])
+			}
+		}
+	}
+}
+
+// TestFusionReducesDispatch: the tight scalar loop must execute strictly
+// fewer closure steps when fused — the whole point of the superinstruction
+// pass.
+func TestFusionReducesDispatch(t *testing.T) {
+	src := `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]`
+	on := compileSrcFuse(t, src, FuseFull)
+	off := compileSrcFuse(t, src, FuseOff)
+	sOn, sOff := totalSteps(on), totalSteps(off)
+	if sOn >= sOff {
+		t.Fatalf("fusion did not reduce steps: fused=%d unfused=%d", sOn, sOff)
+	}
+	// The loop body collapses to the abort poll plus at most one step per
+	// live assignment chain; anything more means marking regressed.
+	if sOff-sOn < 2 {
+		t.Fatalf("fusion only removed %d steps (fused=%d unfused=%d)", sOff-sOn, sOn, sOff)
+	}
+}
+
+// abortedEngine reports an abort on every poll.
+type abortedEngine struct{}
+
+func (abortedEngine) EvalExpr(x expr.Expr) (expr.Expr, error) { return x, nil }
+func (abortedEngine) Aborted() bool                           { return true }
+func (abortedEngine) RandReal() float64                       { return 0 }
+func (abortedEngine) RandInt(lo, hi int64) int64              { return lo }
+
+// TestAbortPollsBetweenFusedUnits: fusion must not swallow the OpAbortCheck
+// in the loop header — a pending abort interrupts the loop rather than
+// running it to completion.
+func TestAbortPollsBetweenFusedUnits(t *testing.T) {
+	prog := compileSrcFuse(t, `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]`, FuseFull)
+	defer func() {
+		r := recover()
+		exc, ok := r.(*runtime.Exception)
+		if !ok || exc.Kind != runtime.ExcAbort {
+			t.Fatalf("want abort exception, got %v", r)
+		}
+	}()
+	prog.Main.CallValues(&RT{Engine: abortedEngine{}}, int64(1_000_000_000))
+	t.Fatal("loop ran to completion despite pending abort")
+}

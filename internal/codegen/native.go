@@ -316,6 +316,12 @@ func (g *gen) selectNative(native string, in *wir.Instr, regs []reg, dst reg) st
 	case "not":
 		a := a0()
 		return func(fr *frame) { fr.b[d] = !fr.b[a] }
+	case "and":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.b[d] = fr.b[a] && fr.b[b] }
+	case "or":
+		a, b := a0(), a1()
+		return func(fr *frame) { fr.b[d] = fr.b[a] || fr.b[b] }
 
 	// --- elementary functions ---
 	case "math_sin", "math_cos", "math_tan", "math_exp", "math_log",

@@ -485,6 +485,10 @@ func (w *wvmGen) genNative(in *wir.Instr) error {
 		return w.mixedOp(in, vm.OpGeR, false)
 	case "not":
 		return w.unOp(in, vm.OpNot)
+	case "and":
+		return w.binOp(in, vm.OpAndB)
+	case "or":
+		return w.binOp(in, vm.OpOrB)
 	case "bitand":
 		return w.binOp(in, vm.OpBAnd)
 	case "bitor":

@@ -40,6 +40,9 @@ type Compiler struct {
 	// compiled code: 0 = process default (runtime.SetMaxWorkers /
 	// GOMAXPROCS), 1 = serial.
 	Parallelism int
+	// FuseLevel controls backend superinstruction fusion: 0 = default
+	// (full fusion), codegen.FuseOff disables it for differential runs.
+	FuseLevel int
 
 	// fastKeys memoises raw source -> content-addressed cache key so
 	// repeated implicit compiles (FindRoot's solver loop) skip macro
@@ -115,6 +118,7 @@ func (c *Compiler) compileNamed(selfName string, fn expr.Expr) (*CompiledCodeFun
 	prog, err := codegen.CompileWithOptions(mod, codegen.CompileOptions{
 		NaiveConstants: c.NaiveConstants,
 		Parallelism:    c.Parallelism,
+		FuseLevel:      c.FuseLevel,
 	})
 	if err != nil {
 		return nil, err

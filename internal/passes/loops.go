@@ -1,0 +1,523 @@
+// Loop optimisations over TWIR (paper §4.5 lists loop-invariant code
+// motion and strength reduction among the TWIR passes). Natural loops are
+// recovered from back edges on the dominator tree; each optimised loop gets
+// a preheader block so hoisted code runs exactly once before entry.
+//
+// Exception discipline: compiled integer arithmetic is overflow-checked and
+// throws (soft interpreter fallback, F2), so LICM only hoists natives that
+// can never throw — a hoisted instruction executes even when the loop body
+// would not (trip count 0). Strength reduction keeps the checked ops for
+// the derived induction variable; a spurious overflow at most shifts *when*
+// the fallback triggers, never the final value, because the interpreter
+// re-evaluates from the original (copy-protected) arguments.
+package passes
+
+import (
+	"wolfc/internal/expr"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// Loop is one natural loop: the back-edge target plus every block that can
+// reach a back edge without leaving the header's dominance region.
+type Loop struct {
+	Header *wir.Block
+	Body   map[*wir.Block]bool // includes Header
+}
+
+// FindLoops recovers the natural loops of fn from its back edges. Loops
+// sharing a header are merged (standard natural-loop construction).
+func FindLoops(fn *wir.Function, dom *Dominators) []*Loop {
+	byHeader := map[*wir.Block]*Loop{}
+	var order []*wir.Block
+	for _, b := range fn.Blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if !dom.Dominates(s, b) {
+				continue
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Body: map[*wir.Block]bool{s: true}}
+				byHeader[s] = l
+				order = append(order, s)
+			}
+			// Walk predecessors backwards from the latch to the header.
+			stack := []*wir.Block{b}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Body[n] {
+					continue
+				}
+				l.Body[n] = true
+				stack = append(stack, n.Preds...)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// insertPreheader gives the loop a dedicated preheader: every entry edge is
+// redirected through a fresh block that branches to the header, so hoisted
+// instructions have a place that runs once per loop entry. Returns nil when
+// the header is the function entry (no edge to redirect).
+func insertPreheader(f *wir.Function, l *Loop) *wir.Block {
+	header := l.Header
+	if header == f.Entry() {
+		return nil
+	}
+	var insideIdx, outsideIdx []int
+	for i, p := range header.Preds {
+		if l.Body[p] {
+			insideIdx = append(insideIdx, i)
+		} else {
+			outsideIdx = append(outsideIdx, i)
+		}
+	}
+	if len(outsideIdx) == 0 {
+		return nil
+	}
+	pre := &wir.Block{Label: header.Label + "_pre", Fn: f, AbortInhibit: header.AbortInhibit}
+	// Fresh IDs are handed out manually: nextID only sees blocks already
+	// spliced into the function, and the preheader is inserted last.
+	id := nextID(f)
+	// Rewire each header phi: the outside operands merge in the preheader
+	// (through a preheader phi when there is more than one entry edge).
+	for _, phi := range header.Phis {
+		var entry wir.Value
+		if len(outsideIdx) == 1 {
+			entry = phi.Args[outsideIdx[0]]
+		} else {
+			prePhi := &wir.Instr{IDNum: id, Op: wir.OpPhi, Ty: phi.Ty, Block: pre}
+			id++
+			for _, oi := range outsideIdx {
+				prePhi.Args = append(prePhi.Args, phi.Args[oi])
+			}
+			pre.Phis = append(pre.Phis, prePhi)
+			entry = prePhi
+		}
+		newArgs := []wir.Value{entry}
+		for _, ii := range insideIdx {
+			newArgs = append(newArgs, phi.Args[ii])
+		}
+		phi.Args = newArgs
+	}
+	pre.Instrs = []*wir.Instr{{
+		IDNum: id, Op: wir.OpBranch, Targets: []*wir.Block{header}, Block: pre,
+	}}
+	newPreds := []*wir.Block{pre}
+	for _, ii := range insideIdx {
+		newPreds = append(newPreds, header.Preds[ii])
+	}
+	for _, oi := range outsideIdx {
+		p := header.Preds[oi]
+		pre.Preds = append(pre.Preds, p)
+		if t := p.Term(); t != nil {
+			for ti, tgt := range t.Targets {
+				if tgt == header {
+					t.Targets[ti] = pre
+				}
+			}
+		}
+	}
+	header.Preds = newPreds
+	// Place the preheader right before the header and renumber.
+	for i, b := range f.Blocks {
+		if b == header {
+			f.Blocks = append(f.Blocks[:i], append([]*wir.Block{pre}, f.Blocks[i:]...)...)
+			break
+		}
+	}
+	for i, b := range f.Blocks {
+		b.IDNum = i
+	}
+	return pre
+}
+
+// nativeName mirrors codegen's native resolution: the Native field when a
+// pass filled it, else the overload chosen by inference.
+func nativeName(in *wir.Instr) string {
+	if in.Native != "" {
+		return in.Native
+	}
+	if d, ok := in.Prop("overload"); ok {
+		return d.(*types.FuncDef).Native
+	}
+	return ""
+}
+
+// hoistableNative reports whether a native is pure *and can never throw*,
+// making it safe to execute speculatively in a preheader. Checked integer
+// arithmetic (overflow), part access (range), division/mod of integers
+// (zero divide), and anything effectful or engine-backed stay put.
+func hoistableNative(native string) bool {
+	switch native {
+	case "binary_divide", "divide_int_real",
+		"mixed_ri_plus", "mixed_ir_plus", "mixed_ri_times", "mixed_ir_times",
+		"mixed_ri_subtract", "mixed_ir_subtract", "mixed_ri_divide", "mixed_ir_divide",
+		"mixed_cr_plus", "mixed_rc_plus", "mixed_cr_times", "mixed_rc_times",
+		"mixed_cr_subtract", "mixed_rc_subtract",
+		"power_real", "power_real_int", "mod_real",
+		"cmp_less", "cmp_lessequal", "cmp_greater", "cmp_greaterequal",
+		"cmp_equal", "cmp_unequal",
+		"mixed_ri_cmp_less", "mixed_ri_cmp_lessequal", "mixed_ri_cmp_greater",
+		"mixed_ri_cmp_greaterequal", "mixed_ri_cmp_equal", "mixed_ri_cmp_unequal",
+		"mixed_ir_cmp_less", "mixed_ir_cmp_lessequal", "mixed_ir_cmp_greater",
+		"mixed_ir_cmp_greaterequal", "mixed_ir_cmp_equal", "mixed_ir_cmp_unequal",
+		"sameq_bool", "not", "and", "or", "min", "max",
+		"math_sin", "math_cos", "math_tan", "math_exp", "math_log",
+		"math_sqrt", "math_arctan", "math_arcsin", "math_arccos",
+		"math_sin_int", "math_cos_int", "math_tan_int", "math_exp_int", "math_log_int",
+		"math_sqrt_int", "math_arctan_int", "math_arcsin_int", "math_arccos_int",
+		"math_atan2", "floor_real", "ceiling_real", "round_real",
+		"identity_int", "to_real64", "evenq", "oddq",
+		"bitand", "bitor", "bitxor", "bitshiftleft", "bitshiftright",
+		"abs_real", "abs_complex", "sign_int", "sign_real",
+		"make_complex", "re", "im", "cast", "tensor_length":
+		return true
+	}
+	// Real (unchecked) basic arithmetic never throws; the integer overloads
+	// of the same natives do, so gate on the result type.
+	switch native {
+	case "binary_plus", "binary_times", "binary_subtract", "unary_minus":
+		return false // resolved per instruction below (needs the type)
+	}
+	return false
+}
+
+// hoistable reports whether in may be moved to the loop preheader.
+func hoistable(in *wir.Instr) bool {
+	if in.Op != wir.OpCall || in.ResolvedFn != nil || in.IsTerminator() || in.Ty == nil {
+		return false
+	}
+	if d, ok := in.Prop("overload"); ok {
+		if d.(*types.FuncDef).Impl != nil {
+			return false
+		}
+	}
+	n := nativeName(in)
+	if n == "" {
+		return false
+	}
+	switch n {
+	case "binary_plus", "binary_times", "binary_subtract", "unary_minus":
+		// Real and complex arithmetic is unchecked; integer throws on
+		// overflow and must not run speculatively.
+		if in.Ty == types.TReal64 || in.Ty == types.TComplex {
+			return true
+		}
+		return false
+	case "tensor_length":
+		// Length is immutable per tensor value, so loop-body stores cannot
+		// change it — but guard against the dead Null placeholder constant
+		// (a typed nil tensor) which would fault when executed.
+		if c, ok := in.Args[0].(*wir.Const); ok && expr.SameQ(c.Expr, expr.SymNull) {
+			return false
+		}
+		return true
+	}
+	return hoistableNative(n)
+}
+
+// registerPreheader keeps sibling loop bodies consistent: a preheader of a
+// nested loop lies inside every enclosing loop, so enclosing Body sets must
+// absorb it or later invariance checks would misclassify hoisted values.
+func registerPreheader(loops []*Loop, l *Loop, pre *wir.Block) {
+	if pre == nil {
+		return
+	}
+	for _, m := range loops {
+		if m != l && m.Body[l.Header] {
+			m.Body[pre] = true
+		}
+	}
+}
+
+// bodyBlocks returns the loop body in function block order (deterministic
+// compile output; map iteration order must not leak into the IR).
+func bodyBlocks(f *wir.Function, l *Loop) []*wir.Block {
+	var bs []*wir.Block
+	for _, b := range f.Blocks {
+		if l.Body[b] {
+			bs = append(bs, b)
+		}
+	}
+	return bs
+}
+
+// LICM hoists loop-invariant, no-throw pure instructions into loop
+// preheaders. Reports whether anything changed.
+func LICM(f *wir.Function) bool {
+	dom := ComputeDominators(f)
+	loops := FindLoops(f, dom)
+	changed := false
+	for _, l := range loops {
+		var pre *wir.Block
+		preTried := false
+		getPre := func() *wir.Block {
+			if !preTried {
+				preTried = true
+				pre = insertPreheader(f, l)
+				registerPreheader(loops, l, pre)
+			}
+			return pre
+		}
+		// An operand is invariant when defined outside the loop body
+		// (constants, params, hoisted or pre-loop instructions).
+		invariant := func(v wir.Value) bool {
+			if x, ok := v.(*wir.Instr); ok {
+				return !l.Body[x.Block]
+			}
+			return true // Const, Param, FuncRef
+		}
+		for again := true; again; {
+			again = false
+			for _, b := range bodyBlocks(f, l) {
+				for i := 0; i < len(b.Instrs); i++ {
+					in := b.Instrs[i]
+					if !hoistable(in) {
+						continue
+					}
+					inv := true
+					for _, a := range in.Args {
+						if !invariant(a) {
+							inv = false
+							break
+						}
+					}
+					if !inv {
+						continue
+					}
+					p := getPre()
+					if p == nil {
+						break // header is the entry block; cannot hoist
+					}
+					// Move before the preheader terminator; dependency order
+					// is preserved because an instruction hoists only after
+					// its loop-defined operands already did.
+					b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+					i--
+					term := p.Instrs[len(p.Instrs)-1]
+					p.Instrs = append(p.Instrs[:len(p.Instrs)-1], in, term)
+					in.Block = p
+					changed = true
+					again = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// StrengthReduce rewrites induction-variable multiplies i*k (k constant,
+// int64) into an additive derived induction variable j with j ≡ i*k,
+// stepped by c*k alongside i's own increment (§4.5 strength reduction).
+// The derived update uses the same checked arithmetic as the multiply it
+// replaces, so overflow still unwinds into the interpreter fallback.
+func StrengthReduce(f *wir.Function) bool {
+	dom := ComputeDominators(f)
+	loops := FindLoops(f, dom)
+	changed := false
+	for _, l := range loops {
+		header := l.Header
+		if header == f.Entry() || len(header.Preds) != 2 {
+			continue
+		}
+		// Fast path: no candidate multiply, leave the loop untouched.
+		hasTimes := false
+		for _, b := range bodyBlocks(f, l) {
+			for _, in := range b.Instrs {
+				if nativeName(in) == "binary_times" && in.Ty == types.TInt64 {
+					hasTimes = true
+				}
+			}
+		}
+		if !hasTimes {
+			continue
+		}
+		latchIdx, entryIdx := -1, -1
+		for i, p := range header.Preds {
+			if l.Body[p] {
+				latchIdx = i
+			} else {
+				entryIdx = i
+			}
+		}
+		if latchIdx == -1 || entryIdx == -1 {
+			continue
+		}
+		// The entry value of a derived IV may need computing once before the
+		// loop; that needs a dedicated preheader (an entry predecessor whose
+		// only successor is the header) so it cannot run on paths that skip
+		// the loop.
+		if len(header.Preds[entryIdx].Succs()) != 1 {
+			pre := insertPreheader(f, l)
+			if pre == nil {
+				continue
+			}
+			registerPreheader(loops, l, pre)
+			entryIdx, latchIdx = 0, 1
+			if l.Body[header.Preds[0]] {
+				entryIdx, latchIdx = 1, 0
+			}
+		}
+		for _, iv := range header.Phis {
+			if iv.Ty != types.TInt64 || len(iv.Args) != 2 {
+				continue
+			}
+			step, ok := iv.Args[latchIdx].(*wir.Instr)
+			if !ok || !l.Body[step.Block] || nativeName(step) != "binary_plus" || step.Ty != types.TInt64 {
+				continue
+			}
+			c, ok := addendOf(step, iv)
+			if !ok {
+				continue
+			}
+			derived := map[int64]*wir.Instr{} // multiplier k -> derived phi
+			for _, b := range bodyBlocks(f, l) {
+				for _, in := range b.Instrs {
+					if nativeName(in) != "binary_times" || in.Ty != types.TInt64 || in == step {
+						continue
+					}
+					k, ok := addendOf(in, iv)
+					if !ok || k == 0 {
+						continue
+					}
+					ck, ok := mulNoOverflow(c, k)
+					if !ok {
+						continue
+					}
+					jphi := derived[k]
+					if jphi == nil {
+						jphi = buildDerivedIV(f, l, iv, step, k, ck, entryIdx, latchIdx)
+						if jphi == nil {
+							continue
+						}
+						derived[k] = jphi
+					}
+					replaceAllUses(f, in, jphi)
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// addendOf matches in = native(iv, Const) | native(Const, iv) and returns
+// the constant.
+func addendOf(in *wir.Instr, iv wir.Value) (int64, bool) {
+	if len(in.Args) != 2 {
+		return 0, false
+	}
+	for i := 0; i < 2; i++ {
+		if in.Args[i] == iv {
+			if v, ok := constValue(in.Args[1-i]); ok {
+				if n, isInt := v.(int64); isInt {
+					return n, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func mulNoOverflow(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if r/b != a {
+		return 0, false
+	}
+	return r, true
+}
+
+// buildDerivedIV creates the phi j = φ(entry: i0*k, latch: j + c*k) and the
+// latch update, returning the phi (nil if the entry value cannot be built).
+func buildDerivedIV(f *wir.Function, l *Loop, iv, step *wir.Instr, k, ck int64,
+	entryIdx, latchIdx int) *wir.Instr {
+	header := l.Header
+	intTy := types.TInt64
+	id := nextID(f) // handed out manually; see insertPreheader
+	mkConst := func(v int64) *wir.Const {
+		return &wir.Const{Expr: expr.FromInt64(v), Ty: intTy}
+	}
+	var entry wir.Value
+	if v, ok := constValue(iv.Args[entryIdx]); ok {
+		n, isInt := v.(int64)
+		if !isInt {
+			return nil
+		}
+		j0, ok := mulNoOverflow(n, k)
+		if !ok {
+			return nil
+		}
+		entry = mkConst(j0)
+	} else {
+		// Compute i0*k once in the preheader (the caller guaranteed the
+		// entry predecessor's only successor is the header). MulI64 may
+		// throw here on paths the multiply never ran — that only turns a
+		// would-be in-loop overflow into an earlier interpreter fallback
+		// with the same final value.
+		pre := header.Preds[entryIdx]
+		mul := &wir.Instr{
+			IDNum: id, Op: wir.OpCall, Callee: "Native`Times",
+			Native: "binary_times", Ty: intTy, Block: pre,
+			Args: []wir.Value{iv.Args[entryIdx], mkConst(k)},
+		}
+		id++
+		term := pre.Instrs[len(pre.Instrs)-1]
+		pre.Instrs = append(pre.Instrs[:len(pre.Instrs)-1], mul, term)
+		entry = mul
+	}
+	jphi := &wir.Instr{IDNum: id, Op: wir.OpPhi, Ty: intTy, Block: header}
+	jnext := &wir.Instr{
+		IDNum: id + 1, Op: wir.OpCall, Callee: "Native`Plus",
+		Native: "binary_plus", Ty: intTy, Block: step.Block,
+		Args: []wir.Value{jphi, mkConst(ck)},
+	}
+	jphi.Args = make([]wir.Value, 2)
+	jphi.Args[entryIdx] = entry
+	jphi.Args[latchIdx] = jnext
+	// Insert the update right after i's own increment so it dominates the
+	// back edge exactly as the increment does.
+	for i, in := range step.Block.Instrs {
+		if in == step {
+			rest := append([]*wir.Instr{jnext}, step.Block.Instrs[i+1:]...)
+			step.Block.Instrs = append(step.Block.Instrs[:i+1], rest...)
+			break
+		}
+	}
+	header.Phis = append(header.Phis, jphi)
+	return jphi
+}
+
+// LoopOptimize runs LICM and strength reduction over every function until a
+// fixed point (bounded). Reports whether anything changed.
+func LoopOptimize(mod *wir.Module) bool {
+	changed := false
+	for _, f := range mod.Funcs {
+		for round := 0; round < 4; round++ {
+			any := false
+			if LICM(f) {
+				any = true
+			}
+			if StrengthReduce(f) {
+				any = true
+			}
+			if !any {
+				break
+			}
+			changed = true
+		}
+	}
+	return changed
+}

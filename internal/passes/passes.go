@@ -19,7 +19,8 @@ type Options struct {
 	// a 10x Mandelbrot slowdown with inlining disabled).
 	InlinePolicy string
 	// OptimizationLevel 0 disables the optimisation passes; 1 enables
-	// folding, CSE, and DCE.
+	// folding, CSE, and DCE; 2 adds the loop pipeline (LICM and strength
+	// reduction over natural loops, §4.5).
 	OptimizationLevel int
 	// DisableCopyElision forces the conservative mutation protocol (the
 	// QSort copy ablation).
@@ -28,7 +29,7 @@ type Options struct {
 
 // DefaultOptions returns the production configuration.
 func DefaultOptions() Options {
-	return Options{AbortHandling: true, InlinePolicy: "auto", OptimizationLevel: 1}
+	return Options{AbortHandling: true, InlinePolicy: "auto", OptimizationLevel: 2}
 }
 
 // Run applies the full pass pipeline to a typed module.
@@ -62,6 +63,24 @@ func Run(mod *wir.Module, env *types.Env, opts Options) error {
 			}
 			if !changed {
 				break
+			}
+		}
+	}
+	if opts.OptimizationLevel > 1 {
+		flattened := false
+		for _, f := range mod.Funcs {
+			for FlattenCond(f) {
+				flattened = true
+			}
+		}
+		if LoopOptimize(mod) || flattened {
+			// Hoisting and strength reduction leave dead residue behind
+			// (the replaced multiplies, invariant chains now unused in the
+			// body); clean it up before codegen sees the module, and fuse
+			// away single-edge preheader seams.
+			FuseBlocks(mod)
+			for _, f := range mod.Funcs {
+				DCE(f)
 			}
 		}
 	}

@@ -57,6 +57,8 @@ const (
 	OpNeI
 	OpNeR
 	OpNot
+	OpAndB // eager boolean and (operands already evaluated)
+	OpOrB  // eager boolean or
 
 	// Calls into the maths runtime: A = function id.
 	OpMath1 // unary real function
@@ -100,7 +102,8 @@ var opNames = map[Op]string{
 	OpBXor: "BXor", OpShl: "Shl", OpShr: "Shr", OpToReal: "ToReal", OpLtI: "LtI",
 	OpLtR: "LtR", OpLeI: "LeI", OpLeR: "LeR", OpGtI: "GtI", OpGtR: "GtR",
 	OpGeI: "GeI", OpGeR: "GeR", OpEqI: "EqI", OpEqR: "EqR", OpNeI: "NeI",
-	OpNeR: "NeR", OpNot: "Not", OpMath1: "Math1", OpMath2: "Math2",
+	OpNeR: "NeR", OpNot: "Not", OpAndB: "AndB", OpOrB: "OrB",
+	OpMath1: "Math1", OpMath2: "Math2",
 	OpLength: "Length", OpLengthV: "LengthV", OpPart: "Part", OpPartV: "PartV",
 	OpSetPart: "SetPart", OpNewTable: "NewTable", OpRuntime: "Runtime", OpCallInterp: "CallInterp",
 	OpAbortCheck: "AbortCheck", OpCoerce: "Coerce", OpRet: "Ret",
@@ -115,7 +118,7 @@ type Instr struct {
 func (in Instr) String() string {
 	name := opNames[in.Op]
 	switch in.Op {
-	case OpNop, OpDup, OpPop, OpRet, OpAbortCheck, OpNot,
+	case OpNop, OpDup, OpPop, OpRet, OpAbortCheck, OpNot, OpAndB, OpOrB,
 		OpAddI, OpAddR, OpSubI, OpSubR, OpMulI, OpMulR, OpDivR, OpModI,
 		OpQuotI, OpNegI, OpNegR, OpPowI, OpPowR, OpToReal,
 		OpBAnd, OpBOr, OpBXor, OpShl, OpShr,

@@ -299,6 +299,18 @@ func (m *machine) run() (Value, error) {
 				return Value{}, vmErrf(ErrTypeMismatch, "Not of %v", a.Kind)
 			}
 			m.push(BoolValue(!a.B))
+		case OpAndB:
+			b, a := m.pop(), m.pop()
+			if a.Kind != KBool || b.Kind != KBool {
+				return Value{}, vmErrf(ErrTypeMismatch, "And of %v, %v", a.Kind, b.Kind)
+			}
+			m.push(BoolValue(a.B && b.B))
+		case OpOrB:
+			b, a := m.pop(), m.pop()
+			if a.Kind != KBool || b.Kind != KBool {
+				return Value{}, vmErrf(ErrTypeMismatch, "Or of %v, %v", a.Kind, b.Kind)
+			}
+			m.push(BoolValue(a.B || b.B))
 
 		case OpMath1:
 			a := m.pop()
