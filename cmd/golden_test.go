@@ -1,0 +1,78 @@
+package cmd_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./cmd -run Golden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// TestGoldenStages pins the exact wolfc output for the paper's §A.6 addOne
+// example at each printable stage of the pipeline.
+func TestGoldenStages(t *testing.T) {
+	for _, stage := range []string{"ast", "wir", "twir"} {
+		t.Run(stage, func(t *testing.T) {
+			out, err := run(t, "wolfc", "", "-e", addOne, "-stage", stage)
+			if err != nil {
+				t.Fatalf("%v\n%s", err, out)
+			}
+			checkGolden(t, "addone_"+stage, out)
+		})
+	}
+}
+
+// TestGoldenParseError pins the positioned parse diagnostic, including the
+// file name when the source comes from -file.
+func TestGoldenParseError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.wl")
+	src := "Function[{Typed[arg, \"MachineInteger\"]},\n  arg +\n]"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "wolfc", "", "-file", path, "-stage", "ast")
+	if err == nil {
+		t.Fatalf("parse error must exit non-zero:\n%s", out)
+	}
+	// The file path is temp-dir dependent; strip the directory before
+	// comparing.
+	got := strings.ReplaceAll(out, dir+string(os.PathSeparator), "")
+	checkGolden(t, "parse_error", got)
+}
+
+// TestGoldenTypeError pins the positioned type diagnostic for an overload
+// failure inside the function body.
+func TestGoldenTypeError(t *testing.T) {
+	out, err := run(t, "wolfc", "",
+		"-e", "Function[{Typed[arg, \"MachineInteger\"]},\n  arg + \"one\"]", "-stage", "twir")
+	if err == nil {
+		t.Fatalf("type error must exit non-zero:\n%s", out)
+	}
+	checkGolden(t, "type_error", out)
+}

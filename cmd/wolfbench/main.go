@@ -50,6 +50,7 @@ var (
 	jsonPath  = flag.String("json", "", "write machine-readable results (BENCH_<n>.json shape) to this path")
 	fusionF   = flag.Bool("fusion", false, "run the superinstruction-fusion suite (FuseLevel off vs on)")
 	compareF  = flag.Bool("compare", false, "compare two -json result files (old new); exit nonzero on >10% regression")
+	reportF   = flag.Bool("report", false, "emit a JSON compile-report block (per-stage/per-pass timings) for the Figure 2 kernels")
 )
 
 // benchResult is one row of the -json output.
@@ -91,10 +92,59 @@ func emitJSON(path string) {
 	fmt.Printf("wrote %d results to %s\n", len(jsonResults), path)
 }
 
+// compileReports compiles the Figure 2 kernels at O0/O1/O2 with
+// instrumentation on and writes one JSON block (per-stage and per-pass
+// timings, fixpoint trip counts) to stdout. Returns a process exit code.
+func compileReports() int {
+	type row struct {
+		Name     string              `json:"name"`
+		OptLevel int                 `json:"opt_level"`
+		Report   *core.CompileReport `json:"report"`
+	}
+	out := struct {
+		Schema  string `json:"schema"`
+		Reports []row  `json:"reports"`
+	}{Schema: "wolfbench/compile-report/v1"}
+	k := kernel.New()
+	for _, name := range []string{"fnv1a", "mandelbrot", "dot", "blur", "histogram"} {
+		src, ok := bench.FnSource(name)
+		if !ok {
+			continue
+		}
+		fn, tab, err := parser.ParseSource(name, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wolfbench: -report: %s: %v\n", name, err)
+			return 1
+		}
+		for _, o := range []int{0, 1, 2} {
+			c := core.NewCompiler(k)
+			c.Options.OptimizationLevel = o
+			ccf, err := c.FunctionCompileRequest(fn, core.CompileRequest{
+				Source: tab, Collect: true,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wolfbench: -report: %s at O%d: %v\n", name, o, err)
+				return 1
+			}
+			out.Reports = append(out.Reports, row{Name: name, OptLevel: o, Report: ccf.Report})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -report:", err)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	flag.Parse()
 	if *compareF {
 		os.Exit(compareResults(flag.Arg(0), flag.Arg(1)))
+	}
+	if *reportF {
+		os.Exit(compileReports())
 	}
 	any := false
 	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF && !*fusionF

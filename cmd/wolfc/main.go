@@ -9,15 +9,20 @@
 //	wolfc -e '...' -stage c
 //	wolfc -e '...' -run '41'
 //	wolfc -file prog.wl -stage ast
+//	wolfc -e '...' -time-passes -stage twir   (per-stage/per-pass timing table)
+//	wolfc -e '...' -verify-each -run '41'     (SSA lint between every pass)
+//	wolfc -explain                            (print the pass pipeline)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"wolfc/internal/core"
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/kernel"
 	"wolfc/internal/parser"
@@ -25,33 +30,18 @@ import (
 
 func main() {
 	var (
-		src      = flag.String("e", "", "function source text to compile")
-		file     = flag.String("file", "", "file containing the function source")
-		stage    = flag.String("stage", "twir", "stage to print: ast | wir | twir | c | cexe | wvm")
-		runArgs  = flag.String("run", "", "comma-separated arguments; run instead of printing a stage")
-		noAbort  = flag.Bool("no-abort-handling", false, "disable abort-check insertion")
-		noInline = flag.Bool("no-inline", false, "disable inlining (the §6 ablation)")
-		optLevel = flag.Int("O", 1, "optimisation level (0 disables folding/CSE/DCE)")
+		src        = flag.String("e", "", "function source text to compile")
+		file       = flag.String("file", "", "file containing the function source")
+		stage      = flag.String("stage", "twir", "stage to print: ast | wir | twir | c | cexe | wvm")
+		runArgs    = flag.String("run", "", "comma-separated arguments; run instead of printing a stage")
+		noAbort    = flag.Bool("no-abort-handling", false, "disable abort-check insertion")
+		noInline   = flag.Bool("no-inline", false, "disable inlining (the §6 ablation)")
+		optLevel   = flag.Int("O", 1, "optimisation level (0 disables folding/CSE/DCE)")
+		timePasses = flag.Bool("time-passes", false, "print per-stage and per-pass timing/changed table to stderr")
+		verifyEach = flag.Bool("verify-each", false, "run the SSA verifier after every pass")
+		explain    = flag.Bool("explain", false, "print the pass pipeline for the selected options and exit")
 	)
 	flag.Parse()
-
-	text := *src
-	if *file != "" {
-		data, err := os.ReadFile(*file)
-		if err != nil {
-			fatal(err)
-		}
-		text = string(data)
-	}
-	if text == "" {
-		fmt.Fprintln(os.Stderr, "usage: wolfc -e '<Function[...]>' [-stage ast|wir|twir|c|cexe|wvm] [-run args]")
-		os.Exit(2)
-	}
-
-	fn, err := parser.Parse(text)
-	if err != nil {
-		fatal(err)
-	}
 
 	k := kernel.New()
 	c := core.NewCompiler(k)
@@ -61,11 +51,48 @@ func main() {
 	}
 	c.Options.OptimizationLevel = *optLevel
 
-	if *runArgs != "" {
-		ccf, err := c.FunctionCompile(fn)
+	if *explain {
+		explainPipeline(os.Stdout, c)
+		return
+	}
+
+	text := *src
+	name := ""
+	if *file != "" {
+		data, err := os.ReadFile(*file)
 		if err != nil {
 			fatal(err)
 		}
+		text = string(data)
+		name = *file
+	}
+	if text == "" {
+		fmt.Fprintln(os.Stderr, "usage: wolfc -e '<Function[...]>' [-stage ast|wir|twir|c|cexe|wvm] [-run args] [-time-passes] [-verify-each] [-explain]")
+		os.Exit(2)
+	}
+
+	fn, srcTab, err := parser.ParseSource(name, text)
+	if err != nil {
+		fatal(err)
+	}
+	req := core.CompileRequest{
+		Source:     srcTab,
+		VerifyEach: *verifyEach,
+		Collect:    *timePasses,
+	}
+	compile := func() *core.CompiledCodeFunction {
+		ccf, err := c.FunctionCompileRequest(fn, req)
+		if err != nil {
+			fatal(err)
+		}
+		if *timePasses {
+			printReport(os.Stderr, ccf.Report)
+		}
+		return ccf
+	}
+
+	if *runArgs != "" {
+		ccf := compile()
 		var args []expr.Expr
 		for _, a := range strings.Split(*runArgs, ",") {
 			e, err := parser.Parse(strings.TrimSpace(a))
@@ -90,30 +117,24 @@ func main() {
 	case "ast":
 		out, err := c.ExpandAST(fn)
 		if err != nil {
-			fatal(err)
+			fatal(diag.Resolve(err, srcTab))
 		}
 		fmt.Println(expr.FullForm(out))
 	case "wir":
 		mod, err := c.BuildWIR(fn)
 		if err != nil {
-			fatal(err)
+			fatal(diag.Resolve(err, srcTab))
 		}
 		fmt.Print(mod.String())
 	case "twir":
-		ccf, err := c.FunctionCompile(fn)
-		if err != nil {
-			fatal(err)
-		}
+		ccf := compile()
 		out, err := ccf.ExportString("TWIR")
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(out)
 	case "c", "wvm":
-		ccf, err := c.FunctionCompile(fn)
-		if err != nil {
-			fatal(err)
-		}
+		ccf := compile()
 		out, err := ccf.ExportString(strings.ToUpper(*stage))
 		if err != nil {
 			fatal(err)
@@ -122,10 +143,7 @@ func main() {
 	case "cexe":
 		// Self-contained C: the emitted source with the wolfrt runtime
 		// inlined; compile the output directly with `cc prog.c -lm`.
-		ccf, err := c.FunctionCompile(fn)
-		if err != nil {
-			fatal(err)
-		}
+		ccf := compile()
 		out, err := ccf.ExportString("CStandalone")
 		if err != nil {
 			fatal(err)
@@ -133,6 +151,39 @@ func main() {
 		fmt.Print(out)
 	default:
 		fatal(fmt.Errorf("unknown stage %q", *stage))
+	}
+}
+
+// explainPipeline prints the staged pipeline and the pass schedule the
+// current options produce.
+func explainPipeline(w io.Writer, c *core.Compiler) {
+	fmt.Fprintln(w, "stages: parse -> macro -> binding -> lower(WIR) -> infer(TWIR) -> resolve -> passes -> codegen")
+	fmt.Fprintf(w, "pass pipeline (O%d, inline=%s, abort=%v):\n",
+		c.Options.OptimizationLevel, c.Options.InlinePolicy, c.Options.AbortHandling)
+	fmt.Fprint(w, c.PipelineDescription())
+}
+
+// printReport renders the compile report as the -time-passes table.
+func printReport(w io.Writer, rep *core.CompileReport) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintln(w, "stage timings:")
+	for _, s := range rep.Stages {
+		fmt.Fprintf(w, "  %-12s %12s\n", s.Name, s.Duration)
+	}
+	fmt.Fprintf(w, "  %-12s %12s\n", "total", rep.TotalDuration())
+	if rep.Passes == nil {
+		return
+	}
+	fmt.Fprintln(w, "pass statistics:")
+	fmt.Fprintf(w, "  %-22s %5s %8s %16s %12s\n", "pass", "runs", "changed", "instrs(in->out)", "time")
+	for _, ps := range rep.Passes.Passes {
+		fmt.Fprintf(w, "  %-22s %5d %8d %10d -> %3d %12s\n",
+			ps.Name, ps.Runs, ps.Changed, ps.InstrsBefore, ps.InstrsAfter, ps.Duration)
+	}
+	for name, trips := range rep.Passes.Trips {
+		fmt.Fprintf(w, "  fixpoint %q: %d trip(s)\n", name, trips)
 	}
 }
 

@@ -210,6 +210,25 @@ const randomWalkLoopBody = `Module[{out = ConstantArray[0., {len + 1, 2}], arg =
    i = i + 1];
   out]`
 
+// FnSource returns the typed Function source text of a Figure 2 kernel, for
+// callers that compile out-of-band with their own options or instrumentation
+// (wolfbench -report, the verify-each corpus sweep).
+func FnSource(name string) (string, bool) {
+	switch name {
+	case "mandelbrot":
+		return `Function[{Typed[maxIter, "MachineInteger"]}, ` + mandelbrotBody + `]`, true
+	case "fnv1a":
+		return fnv1aNewSrc, true
+	case "dot":
+		return `Function[{Typed[a, "Tensor"["Real64", 2]], Typed[b, "Tensor"["Real64", 2]]}, Dot[a, b]]`, true
+	case "blur":
+		return `Function[{Typed[img, "Tensor"["Real64", 2]], Typed[rows, "MachineInteger"], Typed[cols, "MachineInteger"]}, ` + blurBody + `]`, true
+	case "histogram":
+		return `Function[{Typed[data, "Tensor"["Integer64", 1]]}, ` + histogramBody + `]`, true
+	}
+	return "", false
+}
+
 // newFn wraps a body with a typed Function head for the new compiler.
 func newFn(params string, body string) expr.Expr {
 	return parser.MustParse("Function[{" + params + "}, " + body + "]")

@@ -9,6 +9,7 @@ package binding
 import (
 	"fmt"
 
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/pattern"
 )
@@ -38,26 +39,30 @@ type Lambda struct {
 	Body     expr.Expr
 }
 
-// Error reports a binding-analysis failure with the offending expression.
-type Error struct {
-	Msg  string
-	Expr expr.Expr
-}
-
-func (e *Error) Error() string {
-	return fmt.Sprintf("binding: %s in %s", e.Msg, expr.InputForm(e.Expr))
+// errAt builds a binding diagnostic anchored at the offending expression;
+// the compile driver resolves it to a source position via the span table.
+func errAt(msg string, e expr.Expr) error {
+	return diag.Newf(diag.Bind, "B001", "%s", msg).WithSubject(e)
 }
 
 // Analyze processes Function[{params...}, body]; params may carry Typed
 // annotations: Typed[x, "ty"].
 func Analyze(fn expr.Expr) (*Result, error) {
+	return AnalyzeSource(fn, nil)
+}
+
+// AnalyzeSource is Analyze with source-span propagation: nodes rebuilt
+// during scope flattening and renaming inherit the span of the node they
+// replace (nil src disables propagation).
+func AnalyzeSource(fn expr.Expr, src *diag.Source) (*Result, error) {
 	f, ok := expr.IsNormalN(fn, expr.SymFunction, 2)
 	if !ok {
-		return nil, &Error{Msg: "Function[{params}, body] expected", Expr: fn}
+		return nil, errAt("Function[{params}, body] expected", fn)
 	}
 	a := &analyzer{
 		used:    map[string]bool{},
 		lambdas: map[*expr.Normal]*Lambda{},
+		src:     src,
 	}
 	params, types, err := a.parseParams(f.Arg(1))
 	if err != nil {
@@ -102,6 +107,7 @@ type analyzer struct {
 	locals  []*expr.Symbol
 	current *Result
 	lambdas map[*expr.Normal]*Lambda
+	src     *diag.Source // span table for provenance propagation; may be nil
 	// lambdaStack tracks nested lambda analyses so captures land on the
 	// innermost lambda and propagate outward.
 	lambdaStack []*Lambda
@@ -162,15 +168,15 @@ func (a *analyzer) parseParams(spec expr.Expr) ([]*expr.Symbol, []expr.Expr, err
 			if ty, ok := expr.IsNormalN(x, expr.SymTyped, 2); ok {
 				name, ok := ty.Arg(1).(*expr.Symbol)
 				if !ok {
-					return nil, nil, &Error{Msg: "Typed parameter name expected", Expr: it}
+					return nil, nil, errAt("Typed parameter name expected", it)
 				}
 				names = append(names, name)
 				types = append(types, ty.Arg(2))
 				continue
 			}
-			return nil, nil, &Error{Msg: "invalid parameter", Expr: it}
+			return nil, nil, errAt("invalid parameter", it)
 		default:
-			return nil, nil, &Error{Msg: "invalid parameter", Expr: it}
+			return nil, nil, errAt("invalid parameter", it)
 		}
 	}
 	return names, types, nil
@@ -212,7 +218,9 @@ func (a *analyzer) walk(e expr.Expr, scope *scopeFrame) (expr.Expr, error) {
 				return nil, err
 			}
 		}
-		return expr.New(head, args...), nil
+		rebuilt := expr.New(head, args...)
+		a.src.CopySpan(rebuilt, x)
+		return rebuilt, nil
 	default:
 		return e, nil
 	}
@@ -247,11 +255,11 @@ func containsSym(list []*expr.Symbol, s *expr.Symbol) bool {
 // scope entry (preserving evaluation order, unlike naive hoisting).
 func (a *analyzer) walkModule(m *expr.Normal, scope *scopeFrame) (expr.Expr, error) {
 	if m.Len() != 2 {
-		return nil, &Error{Msg: "Module[{vars}, body] expected", Expr: m}
+		return nil, errAt("Module[{vars}, body] expected", m)
 	}
 	l, ok := expr.IsNormal(m.Arg(1), expr.SymList)
 	if !ok {
-		return nil, &Error{Msg: "Module variable list expected", Expr: m}
+		return nil, errAt("Module variable list expected", m)
 	}
 	inner := &scopeFrame{parent: scope, vars: map[*expr.Symbol]*expr.Symbol{}}
 	var stmts []expr.Expr
@@ -263,7 +271,7 @@ func (a *analyzer) walkModule(m *expr.Normal, scope *scopeFrame) (expr.Expr, err
 			if s, ok := expr.IsNormalN(it, symSet, 2); ok {
 				name, ok := s.Arg(1).(*expr.Symbol)
 				if !ok {
-					return nil, &Error{Msg: "Module variable name expected", Expr: v}
+					return nil, errAt("Module variable name expected", v)
 				}
 				// The initialiser is evaluated in the OUTER scope.
 				init, err := a.walk(s.Arg(2), scope)
@@ -279,15 +287,15 @@ func (a *analyzer) walkModule(m *expr.Normal, scope *scopeFrame) (expr.Expr, err
 			if ty, ok := expr.IsNormalN(it, symTyped, 2); ok {
 				name, ok := ty.Arg(1).(*expr.Symbol)
 				if !ok {
-					return nil, &Error{Msg: "Typed local name expected", Expr: v}
+					return nil, errAt("Typed local name expected", v)
 				}
 				r := a.declareLocal(inner, name)
 				stmts = append(stmts, expr.New(symTyped, r, ty.Arg(2)))
 				continue
 			}
-			return nil, &Error{Msg: "invalid Module variable", Expr: v}
+			return nil, errAt("invalid Module variable", v)
 		default:
-			return nil, &Error{Msg: "invalid Module variable", Expr: v}
+			return nil, errAt("invalid Module variable", v)
 		}
 	}
 	body, err := a.walk(m.Arg(2), inner)
@@ -298,27 +306,29 @@ func (a *analyzer) walkModule(m *expr.Normal, scope *scopeFrame) (expr.Expr, err
 		return body, nil
 	}
 	stmts = append(stmts, body)
-	return expr.New(expr.SymCompoundExpression, stmts...), nil
+	out := expr.New(expr.SymCompoundExpression, stmts...)
+	a.src.CopySpan(out, m)
+	return out, nil
 }
 
 // walkWith substitutes the initialiser values directly (With's semantics).
 func (a *analyzer) walkWith(m *expr.Normal, scope *scopeFrame) (expr.Expr, error) {
 	if m.Len() != 2 {
-		return nil, &Error{Msg: "With[{vars}, body] expected", Expr: m}
+		return nil, errAt("With[{vars}, body] expected", m)
 	}
 	l, ok := expr.IsNormal(m.Arg(1), expr.SymList)
 	if !ok {
-		return nil, &Error{Msg: "With variable list expected", Expr: m}
+		return nil, errAt("With variable list expected", m)
 	}
 	b := pattern.Bindings{}
 	for _, v := range l.Args() {
 		s, ok := expr.IsNormalN(v, symSet, 2)
 		if !ok {
-			return nil, &Error{Msg: "With variables need initialisers", Expr: v}
+			return nil, errAt("With variables need initialisers", v)
 		}
 		name, ok := s.Arg(1).(*expr.Symbol)
 		if !ok {
-			return nil, &Error{Msg: "With variable name expected", Expr: v}
+			return nil, errAt("With variable name expected", v)
 		}
 		init, err := a.walk(s.Arg(2), scope)
 		if err != nil {
@@ -332,7 +342,7 @@ func (a *analyzer) walkWith(m *expr.Normal, scope *scopeFrame) (expr.Expr, error
 // walkLambda analyses a nested Function literal, recording its captures.
 func (a *analyzer) walkLambda(f *expr.Normal, scope *scopeFrame) (expr.Expr, error) {
 	if f.Len() != 2 {
-		return nil, &Error{Msg: "Function[{params}, body] expected", Expr: f}
+		return nil, errAt("Function[{params}, body] expected", f)
 	}
 	params, types, err := a.parseParams(f.Arg(1))
 	if err != nil {
@@ -361,6 +371,7 @@ func (a *analyzer) walkLambda(f *expr.Normal, scope *scopeFrame) (expr.Expr, err
 	}
 	lam.Body = body
 	out := expr.New(expr.SymFunction, expr.List(renamed...), body)
+	a.src.CopySpan(out, f)
 	a.lambdas[out] = lam
 	// Captures referenced from a doubly-nested lambda are also captures of
 	// this one if they come from outside; noteCapture already handled that

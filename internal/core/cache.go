@@ -138,6 +138,16 @@ func (c *Compiler) fastKey(fn expr.Expr) string {
 // cache: a repeated compile of the same desugared source under the same
 // configuration returns the already-compiled function.
 func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, error) {
+	ccf, _, err := c.FunctionCompileCachedRequest(fn, CompileRequest{})
+	return ccf, err
+}
+
+// FunctionCompileCachedRequest is the cache-backed compile with
+// per-invocation context. The returned CompileReport describes THIS
+// invocation — on a cache hit it is a bare report with CacheHit set (the
+// cached function's own compile-time report stays on ccf.Report); it is nil
+// when req.Collect is false.
+func (c *Compiler) FunctionCompileCachedRequest(fn expr.Expr, req CompileRequest) (*CompiledCodeFunction, *CompileReport, error) {
 	// Hot path (implicit compilation in a solver loop): skip macro
 	// expansion and hashing when this compiler has resolved the same
 	// source under the same configuration before. The memo stores only
@@ -153,7 +163,8 @@ func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, e
 		if err != nil {
 			// Expansion failures surface through the regular pipeline so
 			// the error message carries its usual context.
-			return c.FunctionCompile(fn)
+			ccf, err := c.FunctionCompileRequest(fn, req)
+			return ccf, ccf.reportOrNil(), err
 		}
 		c.fastMu.Lock()
 		if c.fastKeys == nil || len(c.fastKeys) > 1024 {
@@ -168,7 +179,11 @@ func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, e
 		compileCache.stats.Hits++
 		ccf := el.Value.(*cacheEntry).ccf
 		compileCache.mu.Unlock()
-		return ccf, nil
+		var rep *CompileReport
+		if req.Collect {
+			rep = &CompileReport{CacheHit: true}
+		}
+		return ccf, rep, nil
 	}
 	compileCache.stats.Misses++
 	compileCache.mu.Unlock()
@@ -177,9 +192,9 @@ func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, e
 	// may race and both do the work; the second insert wins the map slot
 	// and the first result simply stays uncached. Correctness is
 	// unaffected because both programs are equivalent.
-	ccf, err := c.FunctionCompile(fn)
+	ccf, err := c.FunctionCompileRequest(fn, req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	compileCache.mu.Lock()
 	if _, ok := compileCache.byKey[key]; !ok {
@@ -190,5 +205,13 @@ func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, e
 		}
 	}
 	compileCache.mu.Unlock()
-	return ccf, nil
+	return ccf, ccf.reportOrNil(), nil
+}
+
+// reportOrNil is nil-safe access to the compile-time report.
+func (ccf *CompiledCodeFunction) reportOrNil() *CompileReport {
+	if ccf == nil {
+		return nil
+	}
+	return ccf.Report
 }

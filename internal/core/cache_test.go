@@ -81,6 +81,54 @@ func TestCompileCacheKeySensitivity(t *testing.T) {
 	}
 }
 
+// TestCompileCacheKeyCoversEveryOption flips every code-affecting option one
+// at a time and asserts each flip is a cache miss: no configuration that
+// changes generated code may share a cache entry with the default build.
+func TestCompileCacheKeyCoversEveryOption(t *testing.T) {
+	ResetCompileCache()
+	k := kernel.New()
+	k.Out = io.Discard
+	fn := parser.MustParse(`Function[{Typed[x, "MachineInteger"]}, x * 3]`)
+
+	base := NewCompiler(k)
+	if _, err := base.FunctionCompileCached(fn); err != nil {
+		t.Fatal(err)
+	}
+	flips := []struct {
+		name string
+		mut  func(c *Compiler)
+	}{
+		{"OptimizationLevel", func(c *Compiler) { c.Options.OptimizationLevel = 0 }},
+		{"InlinePolicy", func(c *Compiler) { c.Options.InlinePolicy = "none" }},
+		{"AbortHandling", func(c *Compiler) { c.Options.AbortHandling = !c.Options.AbortHandling }},
+		{"DisableCopyElision", func(c *Compiler) { c.Options.DisableCopyElision = true }},
+		{"Parallelism", func(c *Compiler) { c.Parallelism = 7 }},
+		{"FuseLevel", func(c *Compiler) { c.FuseLevel = c.FuseLevel + 1 }},
+	}
+	for _, f := range flips {
+		before := CompileCacheStatsNow()
+		c := NewCompiler(k)
+		f.mut(c)
+		if _, err := c.FunctionCompileCached(fn); err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		after := CompileCacheStatsNow()
+		if after.Misses != before.Misses+1 {
+			t.Errorf("flipping %s must be a cache miss: before %+v after %+v", f.name, before, after)
+		}
+		if after.Hits != before.Hits {
+			t.Errorf("flipping %s produced a cache hit: before %+v after %+v", f.name, before, after)
+		}
+	}
+	// Sanity: the unmodified configuration still hits.
+	if _, err := NewCompiler(k).FunctionCompileCached(fn); err != nil {
+		t.Fatal(err)
+	}
+	if s := CompileCacheStatsNow(); s.Hits != 1 {
+		t.Fatalf("default configuration must still hit: %+v", s)
+	}
+}
+
 func TestCompileCacheLRUEviction(t *testing.T) {
 	ResetCompileCache()
 	prev := SetCompileCacheCapacity(2)

@@ -13,6 +13,7 @@ import (
 
 	"wolfc/internal/binding"
 	"wolfc/internal/codegen"
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/infer"
 	"wolfc/internal/kernel"
@@ -89,6 +90,9 @@ type CompiledCodeFunction struct {
 	compiler   *Compiler
 	// Standalone disables engine-dependent features (export mode, F10).
 	Standalone bool
+	// Report holds the compile instrumentation when it was requested
+	// (CompileRequest.Collect); nil otherwise.
+	Report *CompileReport
 }
 
 // FunctionCompile compiles Function[{Typed[x, ty]...}, body] through the
@@ -105,16 +109,45 @@ func (c *Compiler) CompileNamed(name string, fn expr.Expr) (*CompiledCodeFunctio
 }
 
 func (c *Compiler) compileNamed(selfName string, fn expr.Expr) (*CompiledCodeFunction, error) {
-	mod, err := c.BuildTWIR(selfName, fn)
+	return c.FunctionCompileRequest(fn, CompileRequest{SelfName: selfName})
+}
+
+// FunctionCompileRequest is FunctionCompile with per-invocation context:
+// source spans for positioned diagnostics, between-pass SSA verification,
+// and compile-report collection.
+func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf *CompiledCodeFunction, err error) {
+	var rep *CompileReport
+	if req.Collect {
+		rep = &CompileReport{}
+	}
+	// Any diagnostic escaping the pipeline gets its position filled in from
+	// the span table here, once, at the boundary every stage funnels
+	// through.
+	defer func() {
+		if err != nil {
+			err = diag.Resolve(err, req.Source)
+		}
+	}()
+	mod, err := c.buildTWIR(req.SelfName, fn, req.Source, rep)
 	if err != nil {
 		return nil, err
 	}
+	t := startTimer(rep)
 	if err := c.ResolveFunctions(mod); err != nil {
 		return nil, err
 	}
-	if err := passes.Run(mod, c.TypeEnv, c.Options); err != nil {
+	rep.stage("resolve", t)
+	pctx := &passes.Context{Env: c.TypeEnv, Opts: c.Options, VerifyEach: req.VerifyEach}
+	if rep != nil {
+		pctx.Report = passes.NewReport()
+		rep.Passes = pctx.Report
+	}
+	t = startTimer(rep)
+	if err := passes.RunPipeline(mod, pctx); err != nil {
 		return nil, err
 	}
+	rep.stage("passes", t)
+	t = startTimer(rep)
 	prog, err := codegen.CompileWithOptions(mod, codegen.CompileOptions{
 		NaiveConstants: c.NaiveConstants,
 		Parallelism:    c.Parallelism,
@@ -123,13 +156,15 @@ func (c *Compiler) compileNamed(selfName string, fn expr.Expr) (*CompiledCodeFun
 	if err != nil {
 		return nil, err
 	}
+	rep.stage("codegen", t)
 	main := mod.Main()
-	ccf := &CompiledCodeFunction{
+	ccf = &CompiledCodeFunction{
 		Source:   fn,
 		Module:   mod,
 		Program:  prog,
 		RetType:  main.RetTy,
 		compiler: c,
+		Report:   rep,
 	}
 	for _, p := range main.Params {
 		if !p.Capture {
@@ -142,11 +177,17 @@ func (c *Compiler) compileNamed(selfName string, fn expr.Expr) (*CompiledCodeFun
 // BuildTWIR runs the front half of the pipeline: macro expansion, binding
 // analysis, lowering, and type inference (§A.6 CompileToIR).
 func (c *Compiler) BuildTWIR(selfName string, fn expr.Expr) (*wir.Module, error) {
-	expanded, err := c.MacroEnv.Expand(fn, c.CompileOpts)
+	return c.buildTWIR(selfName, fn, nil, nil)
+}
+
+func (c *Compiler) buildTWIR(selfName string, fn expr.Expr, src *diag.Source, rep *CompileReport) (*wir.Module, error) {
+	t := startTimer(rep)
+	expanded, err := c.MacroEnv.ExpandSource(fn, c.CompileOpts, src)
 	if err != nil {
 		return nil, fmt.Errorf("macro expansion: %w", err)
 	}
-	expanded = macro.ExpandSlots(expanded)
+	expanded = macro.ExpandSlotsSource(expanded, src)
+	rep.stage("macro", t)
 	if selfName != "" {
 		self := expr.Sym(selfName)
 		expanded = expr.Replace(expanded, func(e expr.Expr) expr.Expr {
@@ -156,17 +197,23 @@ func (c *Compiler) BuildTWIR(selfName string, fn expr.Expr) (*wir.Module, error)
 			return e
 		})
 	}
-	res, err := binding.Analyze(expanded)
+	t = startTimer(rep)
+	res, err := binding.AnalyzeSource(expanded, src)
 	if err != nil {
 		return nil, err
 	}
+	rep.stage("binding", t)
+	t = startTimer(rep)
 	mod, err := wir.Lower(res, c.TypeEnv)
 	if err != nil {
 		return nil, err
 	}
+	rep.stage("lower", t)
+	t = startTimer(rep)
 	if err := infer.Infer(mod, c.TypeEnv); err != nil {
 		return nil, err
 	}
+	rep.stage("infer", t)
 	return mod, nil
 }
 

@@ -1,0 +1,265 @@
+// Package diag implements the compiler's structured, source-located
+// diagnostics. Every user-facing failure in the pipeline — parse, binding,
+// lowering, type inference, the optimisation passes, code generation — is a
+// Diagnostic: a coded message from a named stage, anchored either directly
+// at a source position (parse errors) or at the MExpr node that produced
+// the failing IR (everything downstream). A Source carries the original
+// program text together with a span side-table filled in by the parser and
+// preserved through macro expansion and binding analysis, so a type error
+// deep in TWIR can still be reported as "type error in Part[...] at 2:7".
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wolfc/internal/expr"
+)
+
+// Stage names the pipeline stage a diagnostic originates from. The stage is
+// part of the rendered message ("parse error ...", "type error ...").
+type Stage string
+
+const (
+	// Parse covers lexer and parser failures.
+	Parse Stage = "parse"
+	// MacroStage covers macro-expansion failures (non-terminating rules).
+	MacroStage Stage = "macro"
+	// Bind covers binding-analysis failures (scoping, parameter forms).
+	Bind Stage = "binding"
+	// Lower covers MExpr→WIR lowering failures.
+	Lower Stage = "lower"
+	// Type covers type-inference failures.
+	Type Stage = "type"
+	// PassStage covers optimisation-pass failures, including SSA
+	// verification between passes and recovered pass panics.
+	PassStage Stage = "pass"
+	// Codegen covers backend failures.
+	Codegen Stage = "codegen"
+)
+
+// Pos is a 1-based line:column source position. The zero value means
+// "unknown".
+type Pos struct {
+	Line, Col int
+}
+
+// Valid reports whether the position is known.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Span is a half-open byte-offset range [Start, End) in a Source's text.
+type Span struct {
+	Start, End int
+}
+
+// Diagnostic is one structured compiler diagnostic. It implements error;
+// the rendered form is
+//
+//	<stage> error[ in <subject>][ at [file:]line:col]: <msg> [<code>]
+//
+// matching the paper artifact's user-visible error style while carrying
+// enough structure for tools (stage, code, position) to filter and group.
+type Diagnostic struct {
+	Stage Stage
+	// Code identifies the diagnostic kind (P001, T003, X901, ...): the
+	// first letter names the stage, the number the specific failure.
+	Code string
+	Msg  string
+	// File and Pos locate the diagnostic; Pos is filled either at creation
+	// (parse errors) or later by Resolve from the Subject's span.
+	File string
+	Pos  Pos
+	// Subject is the MExpr node the failure is anchored to, when one is
+	// known. Resolve uses it to recover a position; the renderer shows its
+	// InputForm so errors stay actionable even without source text.
+	Subject expr.Expr
+	// Pass names the offending optimisation pass for Stage == PassStage.
+	Pass string
+}
+
+// Newf builds a diagnostic with a formatted message.
+func Newf(stage Stage, code, format string, args ...any) *Diagnostic {
+	return &Diagnostic{Stage: stage, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// WithSubject anchors the diagnostic at an MExpr node and returns it.
+func (d *Diagnostic) WithSubject(e expr.Expr) *Diagnostic {
+	d.Subject = e
+	return d
+}
+
+// WithPos sets an explicit position and returns the diagnostic.
+func (d *Diagnostic) WithPos(file string, pos Pos) *Diagnostic {
+	d.File = file
+	d.Pos = pos
+	return d
+}
+
+// WithPass tags the diagnostic with the pass that produced it.
+func (d *Diagnostic) WithPass(name string) *Diagnostic {
+	d.Pass = name
+	return d
+}
+
+func (d *Diagnostic) Error() string {
+	var b strings.Builder
+	b.WriteString(string(d.Stage))
+	b.WriteString(" error")
+	if d.Pass != "" {
+		fmt.Fprintf(&b, " in pass %s", d.Pass)
+	} else if d.Subject != nil {
+		form := expr.InputForm(d.Subject)
+		if len(form) > 40 {
+			form = form[:37] + "..."
+		}
+		fmt.Fprintf(&b, " in %s", form)
+	}
+	if d.Pos.Valid() {
+		b.WriteString(" at ")
+		if d.File != "" {
+			b.WriteString(d.File)
+			b.WriteString(":")
+		}
+		b.WriteString(d.Pos.String())
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Msg)
+	if d.Code != "" {
+		fmt.Fprintf(&b, " [%s]", d.Code)
+	}
+	return b.String()
+}
+
+// Position converts a byte offset in text to a 1-based line:column. Offsets
+// past the end of text report the position just after the last rune.
+func Position(text string, offset int) Pos {
+	if offset > len(text) {
+		offset = len(text)
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	line, col := 1, 1
+	for i := 0; i < offset; i++ {
+		if text[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return Pos{Line: line, Col: col}
+}
+
+// Source is one compiled source unit: a name (file path or a synthetic
+// label), the program text, and the span side-table mapping MExpr nodes to
+// the text ranges they were parsed from. Spans survive tree rewrites when
+// each rewriting stage copies them onto rebuilt nodes (CopySpan); lookups
+// fall back to a node's children so a rewritten parent can still be
+// positioned by any surviving original subexpression.
+type Source struct {
+	Name string
+	Text string
+	// spans is keyed by node pointer. Interned atoms (symbols) are shared
+	// process-wide across unrelated programs, so they are never recorded;
+	// positions for them resolve through their enclosing Normal node.
+	spans map[expr.Expr]Span
+}
+
+// NewSource builds an empty source unit for the given text.
+func NewSource(name, text string) *Source {
+	return &Source{Name: name, Text: text, spans: map[expr.Expr]Span{}}
+}
+
+// SetSpan records the span of a node. Interned symbols are skipped: one
+// *Symbol pointer serves every occurrence in the process, so a span for it
+// would leak across programs.
+func (s *Source) SetSpan(e expr.Expr, start, end int) {
+	if s == nil || e == nil {
+		return
+	}
+	if _, interned := e.(*expr.Symbol); interned {
+		return
+	}
+	s.spans[e] = Span{Start: start, End: end}
+}
+
+// CopySpan gives dst the span of src (typically: a rewritten node inherits
+// the position of the node it replaced). A missing src span is a no-op, as
+// is an already-positioned dst — the first recorded span for a node is its
+// parse position and must not be overwritten by later rewrites.
+func (s *Source) CopySpan(dst, src expr.Expr) {
+	if s == nil || dst == nil || src == nil || dst == src {
+		return
+	}
+	if _, interned := dst.(*expr.Symbol); interned {
+		return
+	}
+	if _, have := s.spans[dst]; have {
+		return
+	}
+	if sp, ok := s.spans[src]; ok {
+		s.spans[dst] = sp
+	}
+}
+
+// SpanOf returns the recorded span of e, falling back to the first
+// positioned descendant (preorder) when e itself was rebuilt by a rewrite
+// that could not preserve provenance.
+func (s *Source) SpanOf(e expr.Expr) (Span, bool) {
+	if s == nil || e == nil {
+		return Span{}, false
+	}
+	if sp, ok := s.spans[e]; ok {
+		return sp, true
+	}
+	if n, ok := e.(*expr.Normal); ok {
+		if sp, ok := s.SpanOf(n.Head()); ok {
+			return sp, true
+		}
+		for _, a := range n.Args() {
+			if sp, ok := s.SpanOf(a); ok {
+				return sp, true
+			}
+		}
+	}
+	return Span{}, false
+}
+
+// PosOf returns the line:column of e's span start.
+func (s *Source) PosOf(e expr.Expr) (Pos, bool) {
+	sp, ok := s.SpanOf(e)
+	if !ok {
+		return Pos{}, false
+	}
+	return Position(s.Text, sp.Start), true
+}
+
+// Resolve fills in position information for every Diagnostic in err's chain
+// from the source's span table. It returns err unchanged (diagnostics are
+// mutated in place), so call sites can keep their wrap-and-return style. A
+// nil source or nil error is a no-op.
+func Resolve(err error, src *Source) error {
+	if err == nil || src == nil {
+		return err
+	}
+	for e := err; e != nil; {
+		var d *Diagnostic
+		if !errors.As(e, &d) {
+			break
+		}
+		if !d.Pos.Valid() && d.Subject != nil {
+			if pos, ok := src.PosOf(d.Subject); ok {
+				d.Pos = pos
+			}
+		}
+		if d.File == "" && d.Pos.Valid() {
+			d.File = src.Name
+		}
+		e = errors.Unwrap(d)
+	}
+	return err
+}

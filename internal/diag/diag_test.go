@@ -1,0 +1,108 @@
+package diag
+
+import (
+	"fmt"
+	"testing"
+
+	"wolfc/internal/expr"
+)
+
+func TestPosition(t *testing.T) {
+	text := "ab\ncde\nf"
+	cases := []struct {
+		offset int
+		want   Pos
+	}{
+		{0, Pos{1, 1}},
+		{1, Pos{1, 2}},
+		{2, Pos{1, 3}}, // the newline itself
+		{3, Pos{2, 1}},
+		{6, Pos{2, 4}},
+		{7, Pos{3, 1}},
+		{99, Pos{3, 2}}, // clamped past end
+		{-1, Pos{1, 1}}, // clamped before start
+	}
+	for _, c := range cases {
+		if got := Position(text, c.offset); got != c.want {
+			t.Errorf("Position(%d) = %v, want %v", c.offset, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticRendering(t *testing.T) {
+	d := Newf(Type, "T001", "no overload of %s", "Plus").
+		WithSubject(expr.New(expr.Sym("Plus"), expr.FromInt64(1))).
+		WithPos("prog.wl", Pos{2, 7})
+	want := `type error in Plus[1] at prog.wl:2:7: no overload of Plus [T001]`
+	if d.Error() != want {
+		t.Fatalf("got %q, want %q", d.Error(), want)
+	}
+	p := Newf(PassStage, "X901", "broke SSA").WithPass("cse")
+	if got := p.Error(); got != "pass error in pass cse: broke SSA [X901]" {
+		t.Fatalf("pass rendering: %q", got)
+	}
+}
+
+func TestSpanTableSkipsInternedSymbols(t *testing.T) {
+	src := NewSource("t", "x + y")
+	x := expr.Sym("x")
+	src.SetSpan(x, 0, 1)
+	if _, ok := src.SpanOf(x); ok {
+		t.Fatal("interned symbol must never carry a span")
+	}
+	n := expr.New(expr.Sym("Plus"), x, expr.Sym("y"))
+	src.SetSpan(n, 0, 5)
+	src.CopySpan(x, n)
+	if _, ok := src.spans[x]; ok {
+		t.Fatal("CopySpan must not record spans on symbols")
+	}
+}
+
+func TestCopySpanFirstWins(t *testing.T) {
+	src := NewSource("t", "f[g[1]]")
+	inner := expr.New(expr.Sym("g"), expr.FromInt64(1))
+	outer := expr.New(expr.Sym("f"), inner)
+	src.SetSpan(inner, 2, 6)
+	src.SetSpan(outer, 0, 7)
+	// A rewrite replacing outer keeps outer's position...
+	rewritten := expr.New(expr.Sym("h"), inner)
+	src.CopySpan(rewritten, outer)
+	if sp, _ := src.SpanOf(rewritten); sp.Start != 0 {
+		t.Fatalf("rewritten span = %+v", sp)
+	}
+	// ...and a later copy from elsewhere must not overwrite it.
+	src.CopySpan(rewritten, inner)
+	if sp, _ := src.SpanOf(rewritten); sp.Start != 0 {
+		t.Fatalf("span overwritten: %+v", sp)
+	}
+}
+
+func TestSpanOfFallsBackToDescendants(t *testing.T) {
+	src := NewSource("t", "f[g[1]]")
+	inner := expr.New(expr.Sym("g"), expr.FromInt64(1))
+	src.SetSpan(inner, 2, 6)
+	// A rebuilt parent with no span of its own positions through the child.
+	parent := expr.New(expr.Sym("f"), inner)
+	sp, ok := src.SpanOf(parent)
+	if !ok || sp.Start != 2 {
+		t.Fatalf("fallback span = %+v ok=%v", sp, ok)
+	}
+}
+
+func TestResolveFillsChain(t *testing.T) {
+	src := NewSource("prog.wl", "f[x] +\ng[y]")
+	subject := expr.New(expr.Sym("g"), expr.Sym("y"))
+	src.SetSpan(subject, 7, 11)
+	inner := Newf(Type, "T001", "boom").WithSubject(subject)
+	wrapped := fmt.Errorf("compiling Main: %w", inner)
+	if got := Resolve(wrapped, src); got != wrapped {
+		t.Fatal("Resolve must return the error unchanged")
+	}
+	if inner.Pos != (Pos{2, 1}) || inner.File != "prog.wl" {
+		t.Fatalf("not resolved: pos=%v file=%q", inner.Pos, inner.File)
+	}
+	// nil-safety.
+	if Resolve(nil, src) != nil || Resolve(wrapped, nil) != wrapped {
+		t.Fatal("nil handling broken")
+	}
+}

@@ -13,22 +13,17 @@ import (
 	"fmt"
 	"sort"
 
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/types"
 	"wolfc/internal/wir"
 )
 
-// Error is an inference failure, anchored to source when available.
-type Error struct {
-	Msg    string
-	Source expr.Expr
-}
-
-func (e *Error) Error() string {
-	if e.Source != nil {
-		return fmt.Sprintf("type inference: %s (in %s)", e.Msg, expr.InputForm(e.Source))
-	}
-	return "type inference: " + e.Msg
+// typeErr builds a type-inference diagnostic anchored at the source MExpr
+// recovered from the instruction's "mexpr" provenance property (nil when
+// the instruction has no recorded source).
+func typeErr(msg string, source expr.Expr) error {
+	return diag.Newf(diag.Type, "T001", "%s", msg).WithSubject(source)
 }
 
 // Infer annotates every value in the module with a ground type, turning the
@@ -229,7 +224,7 @@ func (in *inferer) constListType(l expr.Expr) types.Type {
 
 func (in *inferer) unify(a, b types.Type, src expr.Expr) error {
 	if err := types.Unify(a, b, in.s); err != nil {
-		return &Error{Msg: err.Error(), Source: src}
+		return typeErr(err.Error(), src)
 	}
 	return nil
 }
@@ -281,13 +276,13 @@ func (in *inferer) constrainInstr(f *wir.Function, i *wir.Instr) error {
 	case wir.OpClosure:
 		ref, ok := i.Args[0].(*wir.FuncRef)
 		if !ok {
-			return &Error{Msg: "closure over non-function", Source: srcOf(i)}
+			return typeErr("closure over non-function", srcOf(i))
 		}
 		callee := ref.Fn
 		captures := i.Args[1:]
 		nPlain := len(callee.Params) - len(captures)
 		if nPlain < 0 {
-			return &Error{Msg: "closure capture arity mismatch", Source: srcOf(i)}
+			return typeErr("closure capture arity mismatch", srcOf(i))
 		}
 		for j, c := range captures {
 			if err := in.unify(in.typeOf(c), in.typeOf(callee.Params[nPlain+j]), srcOf(i)); err != nil {
@@ -372,10 +367,7 @@ func (in *inferer) constrainCall(f *wir.Function, i *wir.Instr) error {
 	}
 	if len(opts) == 0 {
 		name := i.Callee
-		return &Error{
-			Msg:    fmt.Sprintf("no matching implementation for %s with %d arguments; the function is unknown to the compiler (wrap the call in KernelFunction to evaluate it in the interpreter)", name, len(i.Args)),
-			Source: srcOf(i),
-		}
+		return typeErr(fmt.Sprintf("no matching implementation for %s with %d arguments; the function is unknown to the compiler (wrap the call in KernelFunction to evaluate it in the interpreter)", name, len(i.Args)), srcOf(i))
 	}
 	in.alts = append(in.alts, &altConstraint{
 		want: want, options: opts, instr: i, name: i.Callee, source: srcOf(i),
@@ -448,7 +440,7 @@ func headDecidable(t types.Type) bool {
 
 func (in *inferer) commit(a *altConstraint, opt altOption) error {
 	if err := types.Unify(a.want, opt.ty, in.s); err != nil {
-		return &Error{Msg: err.Error(), Source: a.source}
+		return typeErr(err.Error(), a.source)
 	}
 	for _, q := range opt.quals {
 		in.quals = append(in.quals, qualOb{q: q, source: a.source})
@@ -478,10 +470,7 @@ func (in *inferer) solve() error {
 			}
 			switch len(viable) {
 			case 0:
-				return &Error{
-					Msg:    fmt.Sprintf("no overload of %s matches %s", a.name, in.s.Apply(a.want)),
-					Source: a.source,
-				}
+				return typeErr(fmt.Sprintf("no overload of %s matches %s", a.name, in.s.Apply(a.want)), a.source)
 			case 1:
 				if err := in.commit(a, viable[0]); err != nil {
 					return err
@@ -521,10 +510,7 @@ func (in *inferer) solve() error {
 				}
 			}
 			if len(viable) == 0 {
-				return &Error{
-					Msg:    fmt.Sprintf("no overload of %s matches %s", a.name, in.s.Apply(a.want)),
-					Source: a.source,
-				}
+				return typeErr(fmt.Sprintf("no overload of %s matches %s", a.name, in.s.Apply(a.want)), a.source)
 			}
 			sort.SliceStable(viable, func(x, y int) bool { return viable[x].rank < viable[y].rank })
 			// Declaration order provides the canonical overload ordering,
@@ -554,16 +540,10 @@ func (in *inferer) solve() error {
 	for _, ob := range in.quals {
 		t := in.s.Apply(ob.q.Var)
 		if !types.IsGround(t) {
-			return &Error{
-				Msg:    fmt.Sprintf("unresolved type %s constrained to class %s", t, ob.q.Class),
-				Source: ob.source,
-			}
+			return typeErr(fmt.Sprintf("unresolved type %s constrained to class %s", t, ob.q.Class), ob.source)
 		}
 		if !in.env.MemberOf(t, ob.q.Class) {
-			return &Error{
-				Msg:    fmt.Sprintf("type %s is not a member of class %q", t, ob.q.Class),
-				Source: ob.source,
-			}
+			return typeErr(fmt.Sprintf("type %s is not a member of class %q", t, ob.q.Class), ob.source)
 		}
 	}
 	return nil
@@ -580,7 +560,7 @@ func (in *inferer) writeBack(mod *wir.Module) error {
 				in.s[fv.ID] = types.TVoid
 				return types.TVoid, nil
 			}
-			return nil, &Error{Msg: fmt.Sprintf("could not infer a concrete type (got %s) in %s", t, owner.Name)}
+			return nil, typeErr(fmt.Sprintf("could not infer a concrete type (got %s) in %s", t, owner.Name), nil)
 		}
 		return t, nil
 	}

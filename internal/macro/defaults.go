@@ -1,6 +1,7 @@
 package macro
 
 import (
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/parser"
 	"wolfc/internal/pattern"
@@ -324,38 +325,70 @@ func DefaultEnv() *Env {
 // macro expansion because the rewrite needs tree inspection, not just
 // pattern matching.
 func ExpandSlots(e expr.Expr) expr.Expr {
+	return ExpandSlotsSource(e, nil)
+}
+
+// ExpandSlotsSource is ExpandSlots with source-span propagation: rebuilt
+// nodes inherit the span of the node they replace (nil src disables). The
+// traversal is bottom-up, matching expr.Replace.
+func ExpandSlotsSource(e expr.Expr, src *diag.Source) expr.Expr {
 	slotFn := expr.Sym("Native`SlotFunction")
-	return expr.Replace(e, func(x expr.Expr) expr.Expr {
-		n, ok := expr.IsNormalN(x, slotFn, 1)
-		if !ok {
-			return x
-		}
-		maxSlot := 0
-		expr.Walk(n.Arg(1), func(sub expr.Expr) bool {
-			if s, ok := expr.IsNormalN(sub, expr.SymSlot, 1); ok {
-				if i, ok := s.Arg(1).(*expr.Integer); ok && i.IsMachine() && int(i.Int64()) > maxSlot {
-					maxSlot = int(i.Int64())
+	var rec func(x expr.Expr) expr.Expr
+	rec = func(x expr.Expr) expr.Expr {
+		if n, ok := x.(*expr.Normal); ok {
+			head := rec(n.Head())
+			changed := !expr.SameQ(head, n.Head())
+			args := make([]expr.Expr, n.Len())
+			for i := 1; i <= n.Len(); i++ {
+				args[i-1] = rec(n.Arg(i))
+				if !expr.SameQ(args[i-1], n.Arg(i)) {
+					changed = true
 				}
 			}
-			return true
-		})
-		params := make([]expr.Expr, maxSlot)
-		renames := map[int64]*expr.Symbol{}
-		for i := 1; i <= maxSlot; i++ {
-			p := freshSym(expr.Sym("slot"))
-			params[i-1] = p
-			renames[int64(i)] = p
-		}
-		body := expr.Replace(n.Arg(1), func(sub expr.Expr) expr.Expr {
-			if s, ok := expr.IsNormalN(sub, expr.SymSlot, 1); ok {
-				if i, ok := s.Arg(1).(*expr.Integer); ok && i.IsMachine() {
-					if p, found := renames[i.Int64()]; found {
-						return p
-					}
-				}
+			if changed {
+				rebuilt := expr.New(head, args...)
+				src.CopySpan(rebuilt, x)
+				x = rebuilt
 			}
-			return sub
-		})
-		return expr.New(expr.SymFunction, expr.List(params...), body)
+		}
+		if n, ok := expr.IsNormalN(x, slotFn, 1); ok {
+			out := rewriteSlotFunction(n)
+			src.CopySpan(out, x)
+			return out
+		}
+		return x
+	}
+	return rec(e)
+}
+
+// rewriteSlotFunction converts one Native`SlotFunction[body] node into
+// Function[{params}, body'] by scanning for the highest Slot index.
+func rewriteSlotFunction(n *expr.Normal) expr.Expr {
+	maxSlot := 0
+	expr.Walk(n.Arg(1), func(sub expr.Expr) bool {
+		if s, ok := expr.IsNormalN(sub, expr.SymSlot, 1); ok {
+			if i, ok := s.Arg(1).(*expr.Integer); ok && i.IsMachine() && int(i.Int64()) > maxSlot {
+				maxSlot = int(i.Int64())
+			}
+		}
+		return true
 	})
+	params := make([]expr.Expr, maxSlot)
+	renames := map[int64]*expr.Symbol{}
+	for i := 1; i <= maxSlot; i++ {
+		p := freshSym(expr.Sym("slot"))
+		params[i-1] = p
+		renames[int64(i)] = p
+	}
+	body := expr.Replace(n.Arg(1), func(sub expr.Expr) expr.Expr {
+		if s, ok := expr.IsNormalN(sub, expr.SymSlot, 1); ok {
+			if i, ok := s.Arg(1).(*expr.Integer); ok && i.IsMachine() {
+				if p, found := renames[i.Int64()]; found {
+					return p
+				}
+			}
+		}
+		return sub
+	})
+	return expr.New(expr.SymFunction, expr.List(params...), body)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/pattern"
 )
@@ -125,6 +126,14 @@ func freshSym(base *expr.Symbol) *expr.Symbol {
 // terminate when a fixed point is reached"). opts are the compile options
 // consulted by conditioned macros.
 func (e *Env) Expand(root expr.Expr, opts map[string]expr.Expr) (expr.Expr, error) {
+	return e.ExpandSource(root, opts, nil)
+}
+
+// ExpandSource is Expand with source-span propagation: every node rebuilt
+// during expansion (children changed, or a macro fired) inherits the span of
+// the node it replaced, so positions recorded by the parser survive into the
+// expanded tree. A nil src disables propagation at zero cost.
+func (e *Env) ExpandSource(root expr.Expr, opts map[string]expr.Expr, src *diag.Source) (expr.Expr, error) {
 	const maxRounds = 10_000
 	rounds := 0
 	var rewrite func(x expr.Expr) (expr.Expr, error)
@@ -132,8 +141,9 @@ func (e *Env) Expand(root expr.Expr, opts map[string]expr.Expr) (expr.Expr, erro
 		for {
 			rounds++
 			if rounds > maxRounds {
-				return nil, fmt.Errorf("macro expansion did not reach a fixed point (last at %s)",
-					expr.InputForm(x))
+				return nil, diag.Newf(diag.MacroStage, "M001",
+					"macro expansion did not reach a fixed point (last at %s)",
+					expr.InputForm(x)).WithSubject(x)
 			}
 			// Depth-first: expand children first.
 			if n, ok := x.(*expr.Normal); ok {
@@ -154,7 +164,9 @@ func (e *Env) Expand(root expr.Expr, opts map[string]expr.Expr) (expr.Expr, erro
 					}
 				}
 				if changed {
-					x = expr.New(head, args...)
+					rebuilt := expr.New(head, args...)
+					src.CopySpan(rebuilt, x)
+					x = rebuilt
 				}
 			}
 			out, fired, err := e.expandOnce(x, opts)
@@ -164,6 +176,7 @@ func (e *Env) Expand(root expr.Expr, opts map[string]expr.Expr) (expr.Expr, erro
 			if !fired {
 				return x, nil
 			}
+			src.CopySpan(out, x)
 			x = out
 		}
 	}

@@ -31,7 +31,8 @@ const (
 type token struct {
 	kind tokKind
 	text string // raw text (punct: the operator; string: unquoted value)
-	pos  int    // byte offset in input, for error messages
+	pos  int    // byte offset in input, for error messages and spans
+	end  int    // byte offset just past the token, filled in by emit
 
 	// pattern fields
 	patName  string // "" for anonymous blanks
@@ -50,7 +51,7 @@ type lexer struct {
 
 func (lx *lexer) errorf(pos int, format string, args ...any) {
 	if lx.err == nil {
-		lx.err = fmt.Errorf("%s at offset %d", fmt.Sprintf(format, args...), pos)
+		lx.err = fmt.Errorf(format, args...)
 		lx.errPos = pos
 	}
 }
@@ -63,17 +64,23 @@ func isIdentPart(r rune) bool {
 	return r == '$' || r == '`' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
-// lex tokenises the whole input.
-func lex(src string) ([]token, error) {
+// lex tokenises the whole input. On error, the returned offset locates the
+// failure in src.
+func lex(src string) (toks []token, errPos int, err error) {
 	lx := &lexer{src: src}
 	for lx.pos < len(lx.src) && lx.err == nil {
 		lx.next()
 	}
 	lx.emit(token{kind: tokEOF, pos: lx.pos})
-	return lx.toks, lx.err
+	return lx.toks, lx.errPos, lx.err
 }
 
-func (lx *lexer) emit(t token) { lx.toks = append(lx.toks, t) }
+// emit appends a token; every emit site runs with lx.pos just past the
+// token's text, so the end offset is recorded here.
+func (lx *lexer) emit(t token) {
+	t.end = lx.pos
+	lx.toks = append(lx.toks, t)
+}
 
 func (lx *lexer) peekRune() (rune, int) {
 	if lx.pos >= len(lx.src) {

@@ -6,25 +6,36 @@ import (
 	"strconv"
 	"strings"
 
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 )
 
 // Parse parses src as a single expression; trailing input is an error.
 func Parse(src string) (expr.Expr, error) {
-	p, err := newParser(src)
+	e, _, err := ParseSource("", src)
+	return e, err
+}
+
+// ParseSource is Parse for a named source unit. It additionally returns the
+// diag.Source holding the span table that maps every parsed non-atomic node
+// (and fresh numeric/string atoms) back to its byte range in src, so
+// downstream stages can report "type error ... at line:col". Errors are
+// positioned *diag.Diagnostics.
+func ParseSource(name, src string) (expr.Expr, *diag.Source, error) {
+	p, err := newParser(name, src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p.skipNewlines()
 	e, err := p.parseExpr(0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p.skipNewlines()
 	if t := p.peek(); t.kind != tokEOF {
-		return nil, p.errAt(t, "unexpected %q after expression", t.text)
+		return nil, nil, p.errAt(t, "unexpected %q after expression", t.text)
 	}
-	return e, nil
+	return e, p.tab, nil
 }
 
 // MustParse is Parse but panics on error; for tests and static program text.
@@ -38,23 +49,29 @@ func MustParse(src string) expr.Expr {
 
 // ParseAll parses a newline-separated sequence of top-level expressions.
 func ParseAll(src string) ([]expr.Expr, error) {
-	p, err := newParser(src)
+	out, _, err := ParseAllSource("", src)
+	return out, err
+}
+
+// ParseAllSource is ParseAll with a named source unit and span table.
+func ParseAllSource(name, src string) ([]expr.Expr, *diag.Source, error) {
+	p, err := newParser(name, src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []expr.Expr
 	for {
 		p.skipNewlines()
 		if p.peek().kind == tokEOF {
-			return out, nil
+			return out, p.tab, nil
 		}
 		e, err := p.parseExpr(0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, e)
 		if t := p.peek(); t.kind != tokNewline && t.kind != tokEOF {
-			return nil, p.errAt(t, "unexpected %q after expression", t.text)
+			return nil, nil, p.errAt(t, "unexpected %q after expression", t.text)
 		}
 	}
 }
@@ -63,14 +80,16 @@ type parser struct {
 	src  string
 	toks []token
 	i    int
+	tab  *diag.Source
 }
 
-func newParser(src string) (*parser, error) {
-	toks, err := lex(src)
+func newParser(name, src string) (*parser, error) {
+	toks, errPos, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, diag.Newf(diag.Parse, "P001", "%s", err).
+			WithPos(name, diag.Position(src, errPos))
 	}
-	return &parser{src: src, toks: toks}, nil
+	return &parser{src: src, toks: toks, tab: diag.NewSource(name, src)}, nil
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -83,15 +102,19 @@ func (p *parser) skipNewlines() {
 }
 
 func (p *parser) errAt(t token, format string, args ...any) error {
-	line := 1 + strings.Count(p.src[:min(t.pos, len(p.src))], "\n")
-	return fmt.Errorf("parse error line %d: %s", line, fmt.Sprintf(format, args...))
+	return diag.Newf(diag.Parse, "P002", "%s", fmt.Sprintf(format, args...)).
+		WithPos(p.tab.Name, diag.Position(p.src, t.pos))
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// span records e's byte range [start, end-of-previous-token) in the span
+// table and returns e, so parse productions can tag nodes as they build them.
+func (p *parser) span(e expr.Expr, start int) expr.Expr {
+	end := start
+	if p.i > 0 {
+		end = p.toks[p.i-1].end
 	}
-	return b
+	p.tab.SetSpan(e, start, end)
+	return e
 }
 
 func (p *parser) expectPunct(op string) error {
@@ -165,9 +188,10 @@ var infixTable = map[string]infixSpec{
 }
 
 // parseExpr parses an expression whose infix operators all bind tighter than
-// minPrec.
+// minPrec. Every node built here is tagged with the byte range it was parsed
+// from (the span table skips interned symbols).
 func (p *parser) parseExpr(minPrec int) (expr.Expr, error) {
-	lhs, err := p.parsePrefix()
+	lhs, start, err := p.parsePrefix()
 	if err != nil {
 		return nil, err
 	}
@@ -185,27 +209,28 @@ func (p *parser) parseExpr(minPrec int) (expr.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.span(lhs, start)
 			continue
 		case "&":
 			if precFunc < minPrec {
 				return lhs, nil
 			}
 			p.next()
-			lhs = expr.New(expr.SymFunction, lhs)
+			lhs = p.span(expr.New(expr.SymFunction, lhs), start)
 			continue
 		case "++":
 			if precPostfix < minPrec {
 				return lhs, nil
 			}
 			p.next()
-			lhs = expr.NewS("Increment", lhs)
+			lhs = p.span(expr.NewS("Increment", lhs), start)
 			continue
 		case "--":
 			if precPostfix < minPrec {
 				return lhs, nil
 			}
 			p.next()
-			lhs = expr.NewS("Decrement", lhs)
+			lhs = p.span(expr.NewS("Decrement", lhs), start)
 			continue
 		case "@":
 			if precMapAt < minPrec {
@@ -216,7 +241,7 @@ func (p *parser) parseExpr(minPrec int) (expr.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			lhs = expr.New(lhs, rhs)
+			lhs = p.span(expr.New(lhs, rhs), start)
 			continue
 		case "[":
 			if precPostfix < minPrec {
@@ -226,6 +251,7 @@ func (p *parser) parseExpr(minPrec int) (expr.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.span(lhs, start)
 			continue
 		}
 		spec, ok := infixTable[t.text]
@@ -244,11 +270,11 @@ func (p *parser) parseExpr(minPrec int) (expr.Expr, error) {
 		head := expr.Sym(spec.head)
 		if spec.nary {
 			if n, ok := expr.IsNormal(lhs, head); ok {
-				lhs = n.WithArgs(append(append([]expr.Expr{}, n.Args()...), rhs)...)
+				lhs = p.span(n.WithArgs(append(append([]expr.Expr{}, n.Args()...), rhs)...), start)
 				continue
 			}
 		}
-		lhs = expr.New(head, lhs, rhs)
+		lhs = p.span(expr.New(head, lhs, rhs), start)
 	}
 }
 
@@ -326,86 +352,95 @@ func (p *parser) parseArgList(closer string) ([]expr.Expr, error) {
 	}
 }
 
-func (p *parser) parsePrefix() (expr.Expr, error) {
+// parsePrefix parses one prefix operand and returns it together with the
+// byte offset of its first token, which parseExpr reuses as the start of
+// every infix node the operand ends up inside.
+func (p *parser) parsePrefix() (expr.Expr, int, error) {
 	p.skipNewlinesInOperand()
 	t := p.next()
+	ok2 := func(e expr.Expr) (expr.Expr, int, error) { return p.span(e, t.pos), t.pos, nil }
+	fail := func(err error) (expr.Expr, int, error) { return nil, t.pos, err }
 	switch t.kind {
 	case tokInt:
 		if v, err := strconv.ParseInt(t.text, 10, 64); err == nil {
-			return expr.FromInt64(v), nil
+			return ok2(expr.FromInt64(v))
 		}
 		b, ok := new(big.Int).SetString(t.text, 10)
 		if !ok {
-			return nil, p.errAt(t, "bad integer %q", t.text)
+			return fail(p.errAt(t, "bad integer %q", t.text))
 		}
-		return expr.FromBig(b), nil
+		return ok2(expr.FromBig(b))
 	case tokReal:
 		text := strings.Replace(t.text, "*^", "e", 1)
 		v, err := strconv.ParseFloat(text, 64)
 		if err != nil {
-			return nil, p.errAt(t, "bad real %q", t.text)
+			return fail(p.errAt(t, "bad real %q", t.text))
 		}
-		return expr.FromFloat(v), nil
+		return ok2(expr.FromFloat(v))
 	case tokString:
-		return expr.FromString(t.text), nil
+		return ok2(expr.FromString(t.text))
 	case tokIdent:
-		return expr.Sym(t.text), nil
+		return ok2(expr.Sym(t.text))
 	case tokSlot:
 		if t.text == "" {
-			return expr.New(expr.SymSlot, expr.FromInt64(1)), nil
+			return ok2(expr.New(expr.SymSlot, expr.FromInt64(1)))
 		}
 		v, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, p.errAt(t, "bad slot %q", t.text)
+			return fail(p.errAt(t, "bad slot %q", t.text))
 		}
-		return expr.New(expr.SymSlot, expr.FromInt64(v)), nil
+		return ok2(expr.New(expr.SymSlot, expr.FromInt64(v)))
 	case tokPattern:
-		return buildPattern(t), nil
+		return ok2(buildPattern(t))
 	case tokPunct:
 		switch t.text {
 		case "(":
 			e, err := p.parseExpr(0)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			if err := p.expectPunct(")"); err != nil {
-				return nil, err
+				return fail(err)
 			}
-			return e, nil
+			return e, t.pos, nil
 		case "{":
 			args, err := p.parseArgList("}")
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			return expr.List(args...), nil
+			return ok2(expr.List(args...))
 		case "-":
 			operand, err := p.parseExpr(precUnary)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			switch v := operand.(type) {
 			case *expr.Integer:
 				if v.IsMachine() {
-					return expr.FromInt64(-v.Int64()), nil
+					return ok2(expr.FromInt64(-v.Int64()))
 				}
-				return expr.FromBig(new(big.Int).Neg(v.Big())), nil
+				return ok2(expr.FromBig(new(big.Int).Neg(v.Big())))
 			case *expr.Real:
-				return expr.FromFloat(-v.V), nil
+				return ok2(expr.FromFloat(-v.V))
 			}
-			return expr.NewS("Minus", operand), nil
+			return ok2(expr.NewS("Minus", operand))
 		case "+":
-			return p.parseExpr(precUnary)
+			e, err := p.parseExpr(precUnary)
+			if err != nil {
+				return fail(err)
+			}
+			return e, t.pos, nil
 		case "!":
 			operand, err := p.parseExpr(precNot)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			return expr.NewS("Not", operand), nil
+			return ok2(expr.NewS("Not", operand))
 		}
 	case tokEOF:
-		return nil, p.errAt(t, "unexpected end of input")
+		return fail(p.errAt(t, "unexpected end of input"))
 	}
-	return nil, p.errAt(t, "unexpected token %q", t.text)
+	return fail(p.errAt(t, "unexpected token %q", t.text))
 }
 
 // skipNewlinesInOperand skips newlines when an operand is expected, so that

@@ -300,8 +300,41 @@ func TestParserNeverPanicsQuick(t *testing.T) {
 
 func TestErrorsMentionLine(t *testing.T) {
 	_, err := Parse("a = 1 +\nb = ]")
-	if err == nil || !strings.Contains(err.Error(), "line 2") {
-		t.Fatalf("error should mention line 2, got %v", err)
+	if err == nil || !strings.Contains(err.Error(), "at 2:") {
+		t.Fatalf("error should carry a line-2 position, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Fatalf("error should be labelled a parse error, got %v", err)
+	}
+	// With a named source the file appears before the position.
+	_, _, err = ParseSource("prog.wl", "f[1,")
+	if err == nil || !strings.Contains(err.Error(), "prog.wl:1:") {
+		t.Fatalf("named-source error should read file:line:col, got %v", err)
+	}
+}
+
+func TestParseSourceSpans(t *testing.T) {
+	e, src, err := ParseSource("t.wl", "f[x] +\ng[y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := src.PosOf(e)
+	if !ok || pos.Line != 1 || pos.Col != 1 {
+		t.Fatalf("whole-expression position = %v, %v; want 1:1", pos, ok)
+	}
+	plus, ok := e.(*expr.Normal)
+	if !ok || len(plus.Args()) != 2 {
+		t.Fatalf("expected binary Plus, got %s", expr.FullForm(e))
+	}
+	gpos, ok := src.PosOf(plus.Args()[1])
+	if !ok || gpos.Line != 2 || gpos.Col != 1 {
+		t.Fatalf("g[y] position = %v, %v; want 2:1", gpos, ok)
+	}
+	// Interned symbols are never recorded directly: they resolve through an
+	// enclosing Normal, and a bare lookup fails rather than returning a
+	// position leaked from an unrelated parse.
+	if _, ok := src.SpanOf(expr.Sym("CompletelyFreshSymbolZZZ")); ok {
+		t.Fatal("interned symbol should have no span of its own")
 	}
 }
 

@@ -8,9 +8,11 @@ import (
 // function is inlined at this stage if it has been marked by users to be
 // forcibly inlined"; §6 attributes much of the new compiler's advantage on
 // tight loops to inlining). policy is "all" or "auto" (size-bounded).
-func Inline(mod *wir.Module, policy string) {
+// Reports whether any call was inlined.
+func Inline(mod *wir.Module, policy string) bool {
+	did := false
 	if policy == "none" {
-		return
+		return false
 	}
 	const (
 		maxBlocks = 12
@@ -40,6 +42,7 @@ func Inline(mod *wir.Module, policy string) {
 						continue // arity mismatch would be a resolution bug
 					}
 					inlineAt(f, b, ii, in, callee)
+					did = true
 					budget--
 					again = true
 					break scan // block layout changed; rescan
@@ -47,6 +50,7 @@ func Inline(mod *wir.Module, policy string) {
 			}
 		}
 	}
+	return did
 }
 
 func callsSelf(f *wir.Function) bool {

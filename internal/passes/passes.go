@@ -32,67 +32,12 @@ func DefaultOptions() Options {
 	return Options{AbortHandling: true, InlinePolicy: "auto", OptimizationLevel: 2}
 }
 
-// Run applies the full pass pipeline to a typed module.
+// Run applies the full pass pipeline to a typed module. It is the
+// uninstrumented entry point; callers that want per-pass timing, trip
+// counts, or between-pass SSA verification build a Context and use
+// RunPipeline (see manager.go).
 func Run(mod *wir.Module, env *types.Env, opts Options) error {
-	ResolveIndirectCalls(mod)
-	if opts.InlinePolicy != "none" {
-		Inline(mod, opts.InlinePolicy)
-	}
-	if opts.OptimizationLevel > 0 {
-		for round := 0; round < 3; round++ {
-			changed := false
-			for _, f := range mod.Funcs {
-				if FoldConstants(f) {
-					changed = true
-				}
-				if SimplifyBranches(f) {
-					changed = true
-				}
-			}
-			RemoveUnreachable(mod)
-			if FuseBlocks(mod) {
-				changed = true
-			}
-			for _, f := range mod.Funcs {
-				if CSE(f) {
-					changed = true
-				}
-				if DCE(f) {
-					changed = true
-				}
-			}
-			if !changed {
-				break
-			}
-		}
-	}
-	if opts.OptimizationLevel > 1 {
-		flattened := false
-		for _, f := range mod.Funcs {
-			for FlattenCond(f) {
-				flattened = true
-			}
-		}
-		if LoopOptimize(mod) || flattened {
-			// Hoisting and strength reduction leave dead residue behind
-			// (the replaced multiplies, invariant chains now unused in the
-			// body); clean it up before codegen sees the module, and fuse
-			// away single-edge preheader seams.
-			FuseBlocks(mod)
-			for _, f := range mod.Funcs {
-				DCE(f)
-			}
-		}
-	}
-	InsertCopies(mod, opts)
-	if opts.AbortHandling {
-		InsertAbortChecks(mod)
-	}
-	InsertRefCounts(mod, env)
-	if err := mod.Lint(); err != nil {
-		return fmt.Errorf("internal: pass pipeline broke SSA: %w", err)
-	}
-	return nil
+	return RunPipeline(mod, &Context{Env: env, Opts: opts})
 }
 
 // ResolveIndirectCalls converts indirect calls through known function

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wolfc/internal/binding"
+	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/types"
 )
@@ -13,14 +14,10 @@ import (
 // to SSA (paper §4.3). Every generated instruction carries its source MExpr
 // in the "mexpr" property for error reporting and debug symbols.
 
-// LowerError reports a lowering failure anchored at an expression.
-type LowerError struct {
-	Msg  string
-	Expr expr.Expr
-}
-
-func (e *LowerError) Error() string {
-	return fmt.Sprintf("lower: %s in %s", e.Msg, expr.InputForm(e.Expr))
+// lowerErr builds a lowering diagnostic anchored at the offending
+// expression; positions are resolved later from the span table.
+func lowerErr(msg string, e expr.Expr) error {
+	return diag.Newf(diag.Lower, "L001", "%s", msg).WithSubject(e)
 }
 
 // Lower builds a program module from a binding result. env parses Typed
@@ -73,7 +70,7 @@ func (lw *lowerer) lowerFunctionBody(fn *Function, params []*expr.Symbol,
 		if paramTys != nil && paramTys[i] != nil {
 			ty, err := lw.env.ParseSpec(paramTys[i])
 			if err != nil {
-				return &LowerError{Msg: err.Error(), Expr: paramTys[i]}
+				return lowerErr(err.Error(), paramTys[i])
 			}
 			param.Ty = ty
 		}
@@ -194,7 +191,7 @@ func (lw *lowerer) lowerExpr(ctx *context, blk *Block, e expr.Expr) (Value, *Blo
 		if ctx.declared[x] {
 			v, err := ctx.ssa.read(blk, x)
 			if err != nil {
-				return nil, nil, &LowerError{Msg: err.Error(), Expr: e}
+				return nil, nil, lowerErr(err.Error(), e)
 			}
 			return v, blk, nil
 		}
@@ -203,7 +200,7 @@ func (lw *lowerer) lowerExpr(ctx *context, blk *Block, e expr.Expr) (Value, *Blo
 	case *expr.Normal:
 		return lw.lowerNormal(ctx, blk, x)
 	}
-	return nil, nil, &LowerError{Msg: "unsupported expression", Expr: e}
+	return nil, nil, lowerErr("unsupported expression", e)
 }
 
 func (lw *lowerer) lowerNormal(ctx *context, blk *Block, n *expr.Normal) (Value, *Block, error) {
@@ -226,7 +223,7 @@ func (lw *lowerer) lowerNormal(ctx *context, blk *Block, n *expr.Normal) (Value,
 
 		case "Set":
 			if n.Len() != 2 {
-				return nil, nil, &LowerError{Msg: "Set arity", Expr: n}
+				return nil, nil, lowerErr("Set arity", n)
 			}
 			return lw.lowerSet(ctx, blk, n)
 
@@ -253,20 +250,20 @@ func (lw *lowerer) lowerNormal(ctx *context, blk *Block, n *expr.Normal) (Value,
 			return nil, nil, nil
 		case "Break":
 			if len(ctx.loops) == 0 {
-				return nil, nil, &LowerError{Msg: "Break outside a loop", Expr: n}
+				return nil, nil, lowerErr("Break outside a loop", n)
 			}
 			lw.branch(ctx, blk, ctx.loops[len(ctx.loops)-1].exit)
 			return nil, nil, nil
 		case "Continue":
 			if len(ctx.loops) == 0 {
-				return nil, nil, &LowerError{Msg: "Continue outside a loop", Expr: n}
+				return nil, nil, lowerErr("Continue outside a loop", n)
 			}
 			lw.branch(ctx, blk, ctx.loops[len(ctx.loops)-1].header)
 			return nil, nil, nil
 
 		case "Typed":
 			if n.Len() != 2 {
-				return nil, nil, &LowerError{Msg: "Typed arity", Expr: n}
+				return nil, nil, lowerErr("Typed arity", n)
 			}
 			v, cur, err := lw.lowerExpr(ctx, blk, n.Arg(1))
 			if err != nil || cur == nil {
@@ -274,7 +271,7 @@ func (lw *lowerer) lowerNormal(ctx *context, blk *Block, n *expr.Normal) (Value,
 			}
 			ty, err := lw.env.ParseSpec(n.Arg(2))
 			if err != nil {
-				return nil, nil, &LowerError{Msg: err.Error(), Expr: n}
+				return nil, nil, lowerErr(err.Error(), n)
 			}
 			ctx.fn.TypeAnnotations = append(ctx.fn.TypeAnnotations, Annotation{Val: v, Ty: ty})
 			return v, cur, nil
@@ -288,13 +285,13 @@ func (lw *lowerer) lowerNormal(ctx *context, blk *Block, n *expr.Normal) (Value,
 		case "KernelFunction":
 			// A bare KernelFunction[f] is a first-class value only through
 			// application; see the application case below.
-			return nil, nil, &LowerError{Msg: "KernelFunction must be applied directly", Expr: n}
+			return nil, nil, lowerErr("KernelFunction must be applied directly", n)
 
 		case "Native`AbortInhibit":
 			// §6: abort checking toggled "selectively on expressions by
 			// wrapping them with the Native`AbortInhibit decorator".
 			if n.Len() != 1 {
-				return nil, nil, &LowerError{Msg: "Native`AbortInhibit[expr] expected", Expr: n}
+				return nil, nil, lowerErr("Native`AbortInhibit[expr] expected", n)
 			}
 			prev := ctx.abortInhibit
 			ctx.abortInhibit = true
@@ -309,7 +306,7 @@ func (lw *lowerer) lowerNormal(ctx *context, blk *Block, n *expr.Normal) (Value,
 		if ctx.declared[h] {
 			fv, err := ctx.ssa.read(blk, h)
 			if err != nil {
-				return nil, nil, &LowerError{Msg: err.Error(), Expr: n}
+				return nil, nil, lowerErr(err.Error(), n)
 			}
 			args, cur, err := lw.lowerArgs(ctx, blk, n)
 			if err != nil || cur == nil {
@@ -351,7 +348,7 @@ func (lw *lowerer) lowerNormal(ctx *context, blk *Block, n *expr.Normal) (Value,
 				// Gradual compilation escape (F9): box the arguments, build
 				// the call expression, and evaluate it in the kernel.
 				if hn.Len() != 1 {
-					return nil, nil, &LowerError{Msg: "KernelFunction[f] expected", Expr: hn}
+					return nil, nil, lowerErr("KernelFunction[f] expected", hn)
 				}
 				args, cur, err := lw.lowerArgs(ctx, blk, n)
 				if err != nil || cur == nil {
@@ -419,11 +416,11 @@ func (lw *lowerer) lowerSet(ctx *context, blk *Block, n *expr.Normal) (Value, *B
 		if p, ok := expr.IsNormal(target, expr.Sym("Part")); ok && p.Len() >= 2 {
 			sym, ok := p.Arg(1).(*expr.Symbol)
 			if !ok || !ctx.declared[sym] {
-				return nil, nil, &LowerError{Msg: "Part assignment needs a local tensor variable", Expr: n}
+				return nil, nil, lowerErr("Part assignment needs a local tensor variable", n)
 			}
 			tensor, err := ctx.ssa.read(blk, sym)
 			if err != nil {
-				return nil, nil, &LowerError{Msg: err.Error(), Expr: n}
+				return nil, nil, lowerErr(err.Error(), n)
 			}
 			args := []Value{tensor}
 			cur := blk
@@ -447,12 +444,12 @@ func (lw *lowerer) lowerSet(ctx *context, blk *Block, n *expr.Normal) (Value, *B
 			return rv, cur, nil
 		}
 	}
-	return nil, nil, &LowerError{Msg: "unsupported assignment target", Expr: n}
+	return nil, nil, lowerErr("unsupported assignment target", n)
 }
 
 func (lw *lowerer) lowerIf(ctx *context, blk *Block, n *expr.Normal) (Value, *Block, error) {
 	if n.Len() < 2 || n.Len() > 3 {
-		return nil, nil, &LowerError{Msg: "If arity", Expr: n}
+		return nil, nil, lowerErr("If arity", n)
 	}
 	cond, cur, err := lw.lowerExpr(ctx, blk, n.Arg(1))
 	if err != nil || cur == nil {
@@ -490,7 +487,7 @@ func (lw *lowerer) lowerIf(ctx *context, blk *Block, n *expr.Normal) (Value, *Bl
 		lw.branch(ctx, eEnd, contB)
 	}
 	if err := ctx.ssa.seal(contB); err != nil {
-		return nil, nil, &LowerError{Msg: err.Error(), Expr: n}
+		return nil, nil, lowerErr(err.Error(), n)
 	}
 	switch {
 	case tEnd != nil && eEnd != nil:
@@ -508,7 +505,7 @@ func (lw *lowerer) lowerIf(ctx *context, blk *Block, n *expr.Normal) (Value, *Bl
 
 func (lw *lowerer) lowerWhile(ctx *context, blk *Block, n *expr.Normal) (Value, *Block, error) {
 	if n.Len() < 1 || n.Len() > 2 {
-		return nil, nil, &LowerError{Msg: "While arity", Expr: n}
+		return nil, nil, lowerErr("While arity", n)
 	}
 	header := ctx.fn.NewBlock("while_head")
 	body := ctx.fn.NewBlock("while_body")
@@ -523,7 +520,7 @@ func (lw *lowerer) lowerWhile(ctx *context, blk *Block, n *expr.Normal) (Value, 
 		return nil, nil, err
 	}
 	if condEnd == nil {
-		return nil, nil, &LowerError{Msg: "loop condition diverges", Expr: n}
+		return nil, nil, lowerErr("loop condition diverges", n)
 	}
 	lw.condBranch(ctx, condEnd, cond, body, exit)
 	body.sealed = true
@@ -541,10 +538,10 @@ func (lw *lowerer) lowerWhile(ctx *context, blk *Block, n *expr.Normal) (Value, 
 		lw.branch(ctx, bodyEnd, header)
 	}
 	if err := ctx.ssa.seal(header); err != nil {
-		return nil, nil, &LowerError{Msg: err.Error(), Expr: n}
+		return nil, nil, lowerErr(err.Error(), n)
 	}
 	if err := ctx.ssa.seal(exit); err != nil {
-		return nil, nil, &LowerError{Msg: err.Error(), Expr: n}
+		return nil, nil, lowerErr(err.Error(), n)
 	}
 	return constNull(), exit, nil
 }
@@ -585,7 +582,7 @@ func isLiteralList(e expr.Expr) bool {
 func (lw *lowerer) lowerLambda(ctx *context, blk *Block, n *expr.Normal) (Value, *Block, error) {
 	lam := lw.lambdas[n]
 	if lam == nil {
-		return nil, nil, &LowerError{Msg: "lambda without binding analysis (internal)", Expr: n}
+		return nil, nil, lowerErr("lambda without binding analysis (internal)", n)
 	}
 	lw.lambdaSeq++
 	fname := fmt.Sprintf("%s`lambda%d", ctx.fn.Name, lw.lambdaSeq)
@@ -613,7 +610,7 @@ func (lw *lowerer) lowerLambda(ctx *context, blk *Block, n *expr.Normal) (Value,
 	for _, c := range lam.Captures {
 		cv, err := ctx.ssa.read(blk, c)
 		if err != nil {
-			return nil, nil, &LowerError{Msg: err.Error(), Expr: n}
+			return nil, nil, lowerErr(err.Error(), n)
 		}
 		in.Args = append(in.Args, cv)
 	}
