@@ -1,0 +1,49 @@
+package cmd_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var traceTimes = regexp.MustCompile(`"(t_ns|dur_ns)":\d+`)
+
+// TestGoldenTraceStream pins the JSONL trace of a small session: one
+// compile, one successful invoke, and one overflow fallback. Timestamps
+// and durations are run-dependent and are normalised to 0 before the
+// comparison; everything else — event order, types, names, backend, the
+// fallback reason — must be byte-stable.
+func TestGoldenTraceStream(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	session := strings.Join([]string{
+		`cf = FunctionCompile[Function[{Typed[n, "MachineInteger"]}, n*n*n*n*n]]`,
+		`cf[3]`,
+		`cf[10000000]`,
+	}, "\n") + "\n"
+	out, err := run(t, "wolfrepl", session, "-trace-out", tracePath)
+	if err != nil {
+		t.Fatalf("repl exited badly: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Out[2]= 243") {
+		t.Fatalf("session transcript missing the compiled result:\n%s", out)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every line must be a standalone JSON object before normalisation.
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if _, ok := ev["type"]; !ok {
+			t.Fatalf("trace line %d has no type: %s", i+1, line)
+		}
+	}
+	got := traceTimes.ReplaceAllString(string(raw), `"$1":0`)
+	checkGolden(t, "trace_session", got)
+}

@@ -25,6 +25,7 @@ import (
 	"wolfc/internal/diag"
 	"wolfc/internal/expr"
 	"wolfc/internal/kernel"
+	"wolfc/internal/obs"
 	"wolfc/internal/parser"
 )
 
@@ -40,8 +41,22 @@ func main() {
 		timePasses = flag.Bool("time-passes", false, "print per-stage and per-pass timing/changed table to stderr")
 		verifyEach = flag.Bool("verify-each", false, "run the SSA verifier after every pass")
 		explain    = flag.Bool("explain", false, "print the pass pipeline for the selected options and exit")
+		profileLvl = flag.Int("profile", 0, "block profiling level (> 0 emits per-block counters; with -run, print the hot-block table to stderr)")
+		traceOut   = flag.String("trace-out", "", "write JSONL trace events (compile/invoke/fallback) to this file")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		obs.SetTraceWriter(f)
+		defer func() {
+			obs.SetTraceWriter(nil)
+			f.Close()
+		}()
+	}
 
 	k := kernel.New()
 	c := core.NewCompiler(k)
@@ -50,6 +65,7 @@ func main() {
 		c.Options.InlinePolicy = "none"
 	}
 	c.Options.OptimizationLevel = *optLevel
+	c.ProfileLevel = *profileLvl
 
 	if *explain {
 		explainPipeline(os.Stdout, c)
@@ -110,6 +126,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(expr.InputForm(out))
+		if *profileLvl > 0 {
+			for _, f := range ccf.Program.Funcs {
+				if f.Profiled() {
+					fmt.Fprint(os.Stderr, f.ProfileTable())
+				}
+			}
+		}
 		return
 	}
 

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -16,11 +17,40 @@ import (
 	"wolfc/internal/core"
 	"wolfc/internal/expr"
 	"wolfc/internal/kernel"
+	"wolfc/internal/obs"
 	"wolfc/internal/parser"
 	"wolfc/internal/vm"
 )
 
+var (
+	metricsAddr = flag.String("metrics-addr", "", "serve live /metrics and /debug/funcs on this address for the session")
+	traceOut    = flag.String("trace-out", "", "write JSONL trace events (compile/invoke/fallback) to this file")
+)
+
 func main() {
+	flag.Parse()
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wolfrepl:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics and /debug/funcs\n", srv.Addr())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wolfrepl: -trace-out:", err)
+			os.Exit(2)
+		}
+		obs.SetTraceWriter(f)
+		defer func() {
+			obs.SetTraceWriter(nil)
+			f.Close()
+		}()
+	}
+
 	k := kernel.New()
 	k.Out = os.Stdout
 	vm.Install(k)   // legacy Compile

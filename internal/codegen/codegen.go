@@ -13,6 +13,7 @@ package codegen
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"wolfc/internal/expr"
 	"wolfc/internal/runtime"
@@ -74,6 +75,14 @@ type CFunc struct {
 	// constant-array ablation).
 	naiveConsts bool
 
+	// Profiling state (ProfileLevel > 0): one shared atomic execution
+	// counter per basic block, incremented by a counter step prepended to
+	// the block's closure array. Loop headers (targets of back edges) are
+	// flagged so the hot-block table can report trip counts.
+	profCounts []atomic.Uint64
+	profLabels []string
+	profLoop   []bool
+
 	pool sync.Pool
 }
 
@@ -126,6 +135,13 @@ type CompileOptions struct {
 	// def-use chains, Part load/store trees, and phi-edge moves into single
 	// closures.
 	FuseLevel int
+	// ProfileLevel > 0 instruments every basic block with an atomic
+	// execution counter (ISSUE 4): exact per-block and loop-trip counts,
+	// dumpable as a hot-block table (CFunc.ProfileTable). Profiling
+	// disables the fusion shortcuts that skip block dispatch (edge
+	// threading, whole-loop rotation) so the counts stay exact; in-block
+	// superinstruction fusion is unaffected.
+	ProfileLevel int
 }
 
 // Fusion levels for CompileOptions.FuseLevel. The zero value means "not
@@ -163,7 +179,7 @@ func CompileWithOptions(mod *wir.Module, opts CompileOptions) (*Program, error) 
 		p.byName[f.Name] = cf
 	}
 	for i, f := range mod.Funcs {
-		g := &gen{prog: p, fn: f, cf: p.Funcs[i], regs: map[wir.Value]reg{}, fuse: fuseLevelOf(opts)}
+		g := &gen{prog: p, fn: f, cf: p.Funcs[i], regs: map[wir.Value]reg{}, fuse: fuseLevelOf(opts), profile: opts.ProfileLevel > 0}
 		if err := g.generate(); err != nil {
 			return nil, err
 		}
@@ -304,6 +320,9 @@ type gen struct {
 	// abortFold is set while generating a block whose leading abort check
 	// folds into the fused conditional-branch closure.
 	abortFold bool
+	// profile enables per-block execution counters (CompileOptions.
+	// ProfileLevel > 0) and disables dispatch-skipping fusion shortcuts.
+	profile bool
 }
 
 // alloc assigns a register in v's class.
@@ -453,9 +472,28 @@ func (g *gen) generate() error {
 	if err := g.markFused(); err != nil {
 		return err
 	}
-	for _, b := range g.fn.Blocks {
+	if g.profile {
+		g.cf.profCounts = make([]atomic.Uint64, len(g.fn.Blocks))
+		g.cf.profLabels = make([]string, len(g.fn.Blocks))
+		g.cf.profLoop = make([]bool, len(g.fn.Blocks))
+	}
+	for bi, b := range g.fn.Blocks {
 		var cb cblock
 		g.abortFold = g.canFoldAbort(b)
+		if g.profile {
+			g.cf.profLabels[bi] = b.Label
+			ctr := &g.cf.profCounts[bi]
+			cb.steps = append(cb.steps, func(fr *frame) { ctr.Add(1) })
+			// A terminator edge to an earlier (or the same) block is a back
+			// edge; its target is a loop header.
+			if t := b.Term(); t != nil {
+				for _, tgt := range t.Targets {
+					if ti, ok := blockIdx[tgt]; ok && ti <= bi {
+						g.cf.profLoop[ti] = true
+					}
+				}
+			}
+		}
 		for i, in := range b.Instrs {
 			if i == 0 && g.abortFold {
 				continue // polled inside the fused branch closure instead
@@ -665,6 +703,12 @@ func composeSteps(sts []step) step {
 // non-terminator instruction is folded into a superinstruction (a leading
 // abort check folded into the branch closure counts).
 func (g *gen) blockFullyFused(b *wir.Block) bool {
+	// Under profiling every block carries its counter step, so no block is
+	// ever "fully fused"; this keeps whole-loop rotation (selfLoopTerm) off
+	// and the per-block counts exact.
+	if g.profile {
+		return false
+	}
 	for i, in := range b.Instrs {
 		if in.IsTerminator() {
 			continue
@@ -690,7 +734,9 @@ func (g *gen) threadEdge(b, t *wir.Block, blockIdx map[*wir.Block]int) ([]step, 
 	if err != nil {
 		return nil, 0, err
 	}
-	if g.fuse < FuseFull {
+	// Profiling needs every block entry to pass through the dispatch loop
+	// (where the counter step runs), so edge threading is disabled.
+	if g.fuse < FuseFull || g.profile {
 		return sts, blockIdx[t], nil
 	}
 	tt := t.Term()

@@ -1,0 +1,71 @@
+// Block-level profiling readout for the closure backend (ISSUE 4). The
+// counters themselves are emitted by generate() when CompileOptions.
+// ProfileLevel > 0; this file is the reporting side: raw counts for tests
+// and the rendered hot-block table for wolfc -profile and /debug/funcs.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BlockProfile is one row of a profiled function's block table.
+type BlockProfile struct {
+	Index int
+	Label string
+	// Count is the number of times the block was entered, summed over
+	// every invocation since compile (or the last ResetProfile).
+	Count uint64
+	// LoopHeader marks targets of back edges; for a While loop the header
+	// count is trips+1 (the final failing condition check still enters it).
+	LoopHeader bool
+}
+
+// Profiled reports whether the function was compiled with ProfileLevel > 0.
+func (cf *CFunc) Profiled() bool { return cf.profCounts != nil }
+
+// BlockProfiles returns the per-block execution counts in block order.
+// Nil when the function was not compiled for profiling.
+func (cf *CFunc) BlockProfiles() []BlockProfile {
+	if cf.profCounts == nil {
+		return nil
+	}
+	out := make([]BlockProfile, len(cf.profCounts))
+	for i := range cf.profCounts {
+		out[i] = BlockProfile{
+			Index:      i,
+			Label:      cf.profLabels[i],
+			Count:      cf.profCounts[i].Load(),
+			LoopHeader: cf.profLoop[i],
+		}
+	}
+	return out
+}
+
+// ResetProfile zeroes the block counters (tests, repeated -profile runs).
+func (cf *CFunc) ResetProfile() {
+	for i := range cf.profCounts {
+		cf.profCounts[i].Store(0)
+	}
+}
+
+// ProfileTable renders the hot-block table, hottest block first. Empty for
+// unprofiled functions.
+func (cf *CFunc) ProfileTable() string {
+	rows := cf.BlockProfiles()
+	if rows == nil {
+		return ""
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hot blocks of %s:\n", cf.Name)
+	for _, r := range rows {
+		mark := ""
+		if r.LoopHeader {
+			mark = "  [loop header]"
+		}
+		fmt.Fprintf(&sb, "  block %-3d %-12s %12d%s\n", r.Index, r.Label, r.Count, mark)
+	}
+	return sb.String()
+}

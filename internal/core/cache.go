@@ -17,14 +17,38 @@ import (
 	"sync"
 
 	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/obs"
 )
 
 // CompileCacheStats is a snapshot of cache effectiveness counters.
+//
+// Snapshot/reset contract: every counter is guarded by one mutex, so a
+// snapshot is internally consistent (hits+misses counted under the same
+// lock that moved the entry). Snapshots may be taken concurrently with
+// compiles and with ResetCompileCache; a reset zeroes counters and entries
+// atomically, so a concurrent snapshot observes either the pre-reset or the
+// post-reset state, never a mix. Counters are cumulative since process
+// start or the last reset.
 type CompileCacheStats struct {
-	Hits      uint64
-	Misses    uint64
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries dropped by capacity pressure (LRU) only.
 	Evictions uint64
-	Entries   int
+	// Invalidations counts entries dropped by explicit invalidation
+	// (InvalidateCompileCache); they are deliberately not folded into
+	// Evictions so capacity tuning reads a clean signal.
+	Invalidations uint64
+	Entries       int
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (s CompileCacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 type cacheEntry struct {
@@ -44,13 +68,31 @@ var compileCache = struct {
 	cap:   256,
 }
 
-// CompileCacheStatsNow returns the current cache counters.
+// CompileCacheStatsNow returns the current cache counters. Safe to call
+// concurrently with compiles and resets; see the CompileCacheStats contract.
 func CompileCacheStatsNow() CompileCacheStats {
 	compileCache.mu.Lock()
 	defer compileCache.mu.Unlock()
 	s := compileCache.stats
 	s.Entries = compileCache.lru.Len()
 	return s
+}
+
+func init() {
+	// The compile cache reports through the observability layer as gauges
+	// (obs cannot import core; the provider callback inverts the
+	// dependency). Polled per /metrics scrape.
+	obs.RegisterGaugeProvider(func() []obs.Gauge {
+		s := CompileCacheStatsNow()
+		return []obs.Gauge{
+			{Name: "compile_cache_hits_total", Value: float64(s.Hits)},
+			{Name: "compile_cache_misses_total", Value: float64(s.Misses)},
+			{Name: "compile_cache_evictions_total", Value: float64(s.Evictions)},
+			{Name: "compile_cache_invalidations_total", Value: float64(s.Invalidations)},
+			{Name: "compile_cache_entries", Value: float64(s.Entries)},
+			{Name: "compile_cache_hit_ratio", Value: s.HitRatio()},
+		}
+	})
 }
 
 // SetCompileCacheCapacity bounds the cache entry count (minimum 1) and
@@ -71,12 +113,47 @@ func SetCompileCacheCapacity(n int) int {
 }
 
 // ResetCompileCache drops every entry and zeroes the counters (tests).
+// Entries and counters go together under one lock, so concurrent snapshots
+// see either the old state or the fresh one.
 func ResetCompileCache() {
 	compileCache.mu.Lock()
 	defer compileCache.mu.Unlock()
 	compileCache.byKey = map[string]*list.Element{}
 	compileCache.lru.Init()
 	compileCache.stats = CompileCacheStats{}
+}
+
+// InvalidateCompileCache drops every cached function matching pred and
+// returns how many were dropped. Explicit drops count as Invalidations,
+// not Evictions — the eviction counter stays a pure capacity-pressure
+// signal. Typical use: invalidating the entries bound to a kernel that is
+// being discarded, InvalidateCompileCache(func(ccf *CompiledCodeFunction)
+// bool { return ccf.BoundKernel() == k }).
+func InvalidateCompileCache(pred func(*CompiledCodeFunction) bool) int {
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	dropped := 0
+	for el := compileCache.lru.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if pred(ent.ccf) {
+			compileCache.lru.Remove(el)
+			delete(compileCache.byKey, ent.key)
+			compileCache.stats.Invalidations++
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// BoundKernel returns the kernel the compiled wrapper's fallback and engine
+// escapes are bound to (the cache keys on its identity).
+func (ccf *CompiledCodeFunction) BoundKernel() *kernel.Kernel {
+	if ccf == nil || ccf.compiler == nil {
+		return nil
+	}
+	return ccf.compiler.Kernel
 }
 
 func evictOldestLocked() {
@@ -102,7 +179,7 @@ func (c *Compiler) cacheKey(fn expr.Expr) (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "src:%s\n", expr.FullForm(expanded))
 	fmt.Fprintf(h, "passes:%+v\n", c.Options)
-	fmt.Fprintf(h, "backend:naive=%v parallelism=%d fuse=%d\n", c.NaiveConstants, c.Parallelism, c.FuseLevel)
+	fmt.Fprintf(h, "backend:naive=%v parallelism=%d fuse=%d profile=%d\n", c.NaiveConstants, c.Parallelism, c.FuseLevel, c.ProfileLevel)
 	fmt.Fprintf(h, "tyenv:%x macroenv:%x\n", c.TypeEnv.Sig(), c.MacroEnv.Sig())
 	// The kernel identity matters: the compiled wrapper's fallback and
 	// engine escapes are bound to the hosting kernel.
@@ -129,9 +206,9 @@ func (c *Compiler) fastKey(fn expr.Expr) string {
 		opts = append(opts, k+"="+expr.FullForm(v))
 	}
 	sort.Strings(opts)
-	return fmt.Sprintf("%s\x00%+v\x00%v\x00%d\x00%d\x00%x\x00%x\x00%s",
+	return fmt.Sprintf("%s\x00%+v\x00%v\x00%d\x00%d\x00%d\x00%x\x00%x\x00%s",
 		expr.FullForm(fn), c.Options, c.NaiveConstants, c.Parallelism,
-		c.FuseLevel, c.TypeEnv.Sig(), c.MacroEnv.Sig(), strings.Join(opts, "\x00"))
+		c.FuseLevel, c.ProfileLevel, c.TypeEnv.Sig(), c.MacroEnv.Sig(), strings.Join(opts, "\x00"))
 }
 
 // FunctionCompileCached is FunctionCompile backed by the process-wide LRU
@@ -179,6 +256,10 @@ func (c *Compiler) FunctionCompileCachedRequest(fn expr.Expr, req CompileRequest
 		compileCache.stats.Hits++
 		ccf := el.Value.(*cacheEntry).ccf
 		compileCache.mu.Unlock()
+		if obs.TraceEnabled() {
+			obs.Emit(obs.TraceEvent{Type: "compile", Name: ccf.Metrics.Name(),
+				TNs: obs.TraceNow(), CacheHit: true})
+		}
 		var rep *CompileReport
 		if req.Collect {
 			rep = &CompileReport{CacheHit: true}

@@ -104,6 +104,7 @@ func TestCompileCacheKeyCoversEveryOption(t *testing.T) {
 		{"DisableCopyElision", func(c *Compiler) { c.Options.DisableCopyElision = true }},
 		{"Parallelism", func(c *Compiler) { c.Parallelism = 7 }},
 		{"FuseLevel", func(c *Compiler) { c.FuseLevel = c.FuseLevel + 1 }},
+		{"ProfileLevel", func(c *Compiler) { c.ProfileLevel = 1 }},
 	}
 	for _, f := range flips {
 		before := CompileCacheStatsNow()

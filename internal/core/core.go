@@ -9,7 +9,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"wolfc/internal/binding"
 	"wolfc/internal/codegen"
@@ -18,6 +20,7 @@ import (
 	"wolfc/internal/infer"
 	"wolfc/internal/kernel"
 	"wolfc/internal/macro"
+	"wolfc/internal/obs"
 	"wolfc/internal/passes"
 	"wolfc/internal/runtime"
 	"wolfc/internal/types"
@@ -44,6 +47,10 @@ type Compiler struct {
 	// FuseLevel controls backend superinstruction fusion: 0 = default
 	// (full fusion), codegen.FuseOff disables it for differential runs.
 	FuseLevel int
+	// ProfileLevel > 0 makes the backend emit per-block execution counters
+	// (ISSUE 4); the hot-block table is exposed through the compiled
+	// function's metrics detail and codegen.CFunc.ProfileTable.
+	ProfileLevel int
 
 	// fastKeys memoises raw source -> content-addressed cache key so
 	// repeated implicit compiles (FindRoot's solver loop) skip macro
@@ -93,6 +100,11 @@ type CompiledCodeFunction struct {
 	// Report holds the compile instrumentation when it was requested
 	// (CompileRequest.Collect); nil otherwise.
 	Report *CompileReport
+	// Metrics is this function's observability block (internal/obs):
+	// invocation latency, fallback and abort counts. Always non-nil for
+	// functions built by FunctionCompile*; recording is gated by
+	// obs.Enabled so the disabled invoke path pays one atomic load.
+	Metrics *obs.FuncMetrics
 }
 
 // FunctionCompile compiles Function[{Typed[x, ty]...}, body] through the
@@ -119,6 +131,17 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 	var rep *CompileReport
 	if req.Collect {
 		rep = &CompileReport{}
+	}
+	if obs.TraceEnabled() {
+		tStart, t0 := obs.TraceNow(), time.Now()
+		name := displayName(req.SelfName, fn)
+		defer func() {
+			ev := obs.TraceEvent{Type: "compile", Name: name, TNs: tStart, DurNs: time.Since(t0).Nanoseconds()}
+			if err != nil {
+				ev.Detail = err.Error()
+			}
+			obs.Emit(ev)
+		}()
 	}
 	// Any diagnostic escaping the pipeline gets its position filled in from
 	// the span table here, once, at the boundary every stage funnels
@@ -152,6 +175,7 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 		NaiveConstants: c.NaiveConstants,
 		Parallelism:    c.Parallelism,
 		FuseLevel:      c.FuseLevel,
+		ProfileLevel:   c.ProfileLevel,
 	})
 	if err != nil {
 		return nil, err
@@ -165,6 +189,10 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 		RetType:  main.RetTy,
 		compiler: c,
 		Report:   rep,
+		Metrics:  obs.RegisterFunc(displayName(req.SelfName, fn), "closure"),
+	}
+	if c.ProfileLevel > 0 {
+		ccf.Metrics.SetDetail(ccf.profileDetail)
 	}
 	for _, p := range main.Params {
 		if !p.Capture {
@@ -172,6 +200,27 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 		}
 	}
 	return ccf, nil
+}
+
+// displayName labels a compiled function for metrics and traces: the
+// assignment name when the compile had one, otherwise the source form.
+func displayName(selfName string, fn expr.Expr) string {
+	if selfName != "" {
+		return selfName
+	}
+	return expr.InputForm(fn)
+}
+
+// profileDetail renders the hot-block tables of every profiled function in
+// the program (ProfileLevel > 0) for /debug/funcs and wolfc -profile.
+func (ccf *CompiledCodeFunction) profileDetail() string {
+	var sb strings.Builder
+	for _, f := range ccf.Program.Funcs {
+		if f.Profiled() {
+			sb.WriteString(f.ProfileTable())
+		}
+	}
+	return sb.String()
 }
 
 // BuildTWIR runs the front half of the pipeline: macro expansion, binding
@@ -400,18 +449,40 @@ func (ccf *CompiledCodeFunction) Apply(args []expr.Expr) (out expr.Expr, err err
 				panic(r)
 			}
 			if exc.Kind == runtime.ExcAbort {
+				// Cold path: abort already paid for a panic unwind, so the
+				// counter is unconditional.
+				ccf.Metrics.RecordAbort()
 				out, err = expr.SymAborted, nil
 				return
 			}
 			out, err = ccf.fallback(args, exc.Msg)
 		}
 	}()
+	// Invocation metrics: one atomic load when disabled; clock reads and
+	// recording only on the enabled path.
+	rec := obs.Enabled()
+	var t0 time.Time
+	var tStart int64
+	if rec {
+		if obs.TraceEnabled() {
+			tStart = obs.TraceNow()
+		}
+		t0 = time.Now()
+	}
 	var eng runtime.Engine
 	if !ccf.Standalone {
 		eng = ccf.compiler.Engine()
 	}
 	rt := &codegen.RT{Engine: eng, Workers: ccf.Program.Parallelism}
 	res := ccf.Program.Main.CallValues(rt, raw...)
+	if rec {
+		d := time.Since(t0)
+		ccf.Metrics.RecordInvoke(d)
+		if obs.TraceEnabled() {
+			obs.Emit(obs.TraceEvent{Type: "invoke", Name: ccf.Metrics.Name(),
+				TNs: tStart, DurNs: d.Nanoseconds(), Backend: ccf.Metrics.Backend()})
+		}
+	}
 	if ccf.RetType == types.TVoid {
 		return expr.SymNull, nil
 	}
@@ -419,18 +490,33 @@ func (ccf *CompiledCodeFunction) Apply(args []expr.Expr) (out expr.Expr, err err
 }
 
 // CallRaw invokes the compiled code with unboxed Go values (used by the
-// benchmark harness to measure pure compiled-code time).
+// benchmark harness to measure pure compiled-code time). The disabled
+// observability cost is one atomic load and a predictable branch.
 func (ccf *CompiledCodeFunction) CallRaw(args ...any) any {
 	var eng runtime.Engine
 	if !ccf.Standalone {
 		eng = ccf.compiler.Engine()
 	}
-	return ccf.Program.Main.CallValues(&codegen.RT{Engine: eng, Workers: ccf.Program.Parallelism}, args...)
+	rt := &codegen.RT{Engine: eng, Workers: ccf.Program.Parallelism}
+	if obs.Enabled() {
+		t0 := time.Now()
+		res := ccf.Program.Main.CallValues(rt, args...)
+		ccf.Metrics.RecordInvoke(time.Since(t0))
+		return res
+	}
+	return ccf.Program.Main.CallValues(rt, args...)
 }
 
 // fallback re-evaluates the source through the interpreter (F2), printing
 // the paper's warning.
 func (ccf *CompiledCodeFunction) fallback(args []expr.Expr, reason string) (expr.Expr, error) {
+	// A fallback re-runs the whole call through the interpreter, so the
+	// counter is unconditional; the trace event is gated.
+	ccf.Metrics.RecordFallback()
+	if obs.TraceEnabled() {
+		obs.Emit(obs.TraceEvent{Type: "fallback", Name: ccf.Metrics.Name(),
+			TNs: obs.TraceNow(), Backend: ccf.Metrics.Backend(), Detail: reason})
+	}
 	k := ccf.compiler.Kernel
 	if k == nil || ccf.Standalone {
 		return nil, fmt.Errorf("compiled code runtime error (%s) and no interpreter available (standalone mode)", reason)

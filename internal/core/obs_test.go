@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wolfc/internal/codegen"
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/obs"
+	"wolfc/internal/parser"
+	"wolfc/internal/runtime"
+	"wolfc/internal/runtime/par"
+)
+
+// The ISSUE 4 acceptance loop: s = 1^2 + ... + n^2 via While. With n = 10
+// the entry block runs once, the loop header 11 times (10 passing checks +
+// the final failing one), the body 10 times, and the exit once.
+const profiledLoopSrc = `Function[{Typed[n, "MachineInteger"]},
+	Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]`
+
+// TestExactBlockCountsUnderProfiling asserts exact per-block execution
+// counts at ProfileLevel > 0 — under full fusion (whose dispatch-skipping
+// shortcuts must be disabled by profiling) and with fusion off.
+func TestExactBlockCountsUnderProfiling(t *testing.T) {
+	for _, fuse := range []struct {
+		label string
+		level int
+	}{{"fuse-full", 0}, {"fuse-off", codegen.FuseOff}} {
+		t.Run(fuse.label, func(t *testing.T) {
+			k := kernel.New()
+			k.Out = io.Discard
+			c := NewCompiler(k)
+			c.FuseLevel = fuse.level
+			c.ProfileLevel = 1
+			ccf, err := c.FunctionCompile(parser.MustParse(profiledLoopSrc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ccf.CallRaw(int64(10)); got != int64(385) {
+				t.Fatalf("profiled loop computed %v, want 385", got)
+			}
+			main := ccf.Program.Main
+			if !main.Profiled() {
+				t.Fatal("ProfileLevel=1 did not instrument the function")
+			}
+			want := map[string]uint64{
+				"start":      1,
+				"while_head": 11,
+				"while_body": 10,
+				"while_exit": 1,
+			}
+			seen := map[string]uint64{}
+			for _, bp := range main.BlockProfiles() {
+				seen[bp.Label] = bp.Count
+				if bp.Label == "while_head" && !bp.LoopHeader {
+					t.Error("while_head not flagged as a loop header")
+				}
+			}
+			for label, count := range want {
+				if seen[label] != count {
+					t.Errorf("block %q executed %d times, want %d (all: %v)",
+						label, seen[label], count, seen)
+				}
+			}
+			if table := main.ProfileTable(); table == "" {
+				t.Error("ProfileTable is empty for a profiled function")
+			}
+			main.ResetProfile()
+			for _, bp := range main.BlockProfiles() {
+				if bp.Count != 0 {
+					t.Fatalf("ResetProfile left block %q at %d", bp.Label, bp.Count)
+				}
+			}
+		})
+	}
+}
+
+// TestUnprofiledHasNoCounters: the default compile carries no profiling
+// state at all (the zero-overhead contract for ProfileLevel = 0).
+func TestUnprofiledHasNoCounters(t *testing.T) {
+	k := kernel.New()
+	k.Out = io.Discard
+	ccf, err := NewCompiler(k).FunctionCompile(parser.MustParse(profiledLoopSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccf.Program.Main.Profiled() {
+		t.Fatal("default compile is profiled")
+	}
+	if ccf.Program.Main.BlockProfiles() != nil {
+		t.Fatal("default compile has block profiles")
+	}
+}
+
+// TestInvokeAndFallbackMetrics checks the invocation-boundary recording:
+// a successful Apply counts an invocation, an overflowing one counts a
+// fallback (F2), and the counters live on ccf.Metrics.
+func TestInvokeAndFallbackMetrics(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	k := kernel.New()
+	k.Out = io.Discard
+	c := NewCompiler(k)
+	ccf, err := c.FunctionCompile(parser.MustParse(
+		`Function[{Typed[n, "MachineInteger"]}, n*n*n*n*n]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccf.Metrics == nil {
+		t.Fatal("compiled function has no metrics block")
+	}
+	if _, err := ccf.Apply([]expr.Expr{expr.FromInt64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ccf.Apply([]expr.Expr{expr.FromInt64(10000000)}); err != nil {
+		t.Fatal(err)
+	}
+	s := ccf.Metrics.Snapshot()
+	if s.Invocations != 1 {
+		t.Fatalf("Invocations = %d, want 1 (the overflow run is not a completed invoke)", s.Invocations)
+	}
+	if s.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", s.Fallbacks)
+	}
+	if s.Backend != "closure" {
+		t.Fatalf("Backend = %q", s.Backend)
+	}
+	if s.TotalNs == 0 {
+		t.Fatal("latency sum is zero after a timed invocation")
+	}
+}
+
+// TestAbortCountersAndPoolGaugesSettle is the satellite race test: abort
+// the kernel while 8 goroutines run a parallel compiled kernel through
+// Apply, then require (a) the abort counter to equal the observed $Aborted
+// results exactly and (b) the pool's in-flight gauge to settle to 0.
+func TestAbortCountersAndPoolGaugesSettle(t *testing.T) {
+	prevObs := obs.SetEnabled(true)
+	defer obs.SetEnabled(prevObs)
+	prevStats := par.EnableStats(true)
+	defer par.EnableStats(prevStats)
+
+	k := kernel.New()
+	k.Out = io.Discard
+	c := NewCompiler(k)
+	c.Parallelism = 4
+	ccf, err := c.FunctionCompile(parser.MustParse(stressKernelSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20_000
+	tv := runtime.NewTensor(runtime.KR64, n)
+	for i := range tv.F {
+		tv.F[i] = 0.0001 * float64(i)
+	}
+	tv.MarkShared()
+	args := []expr.Expr{runtime.Box(tv, ccf.ParamTypes[0]), expr.FromInt64(200)}
+
+	var wg sync.WaitGroup
+	var aborted, completed atomic.Uint64
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for r := 0; r < 30; r++ {
+				out, err := ccf.Apply(args)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if out == expr.SymAborted {
+					aborted.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	close(start)
+	k.Abort()
+	wg.Wait()
+	k.ClearAbort()
+
+	if aborted.Load() == 0 {
+		t.Fatal("abort was never observed")
+	}
+	s := ccf.Metrics.Snapshot()
+	if s.Aborts != aborted.Load() {
+		t.Fatalf("abort counter %d != observed $Aborted results %d", s.Aborts, aborted.Load())
+	}
+	if s.Invocations != completed.Load() {
+		t.Fatalf("invocation counter %d != completed calls %d", s.Invocations, completed.Load())
+	}
+	ps := par.StatsNow()
+	if ps.InFlight != 0 {
+		t.Fatalf("pool in-flight gauge = %d after every caller returned, want 0", ps.InFlight)
+	}
+}
+
+// TestCompileCacheSnapshotResetRace is the documented snapshot/reset
+// contract under -race: concurrent compiles, snapshots, and resets must
+// not race, and every snapshot must be internally consistent.
+func TestCompileCacheSnapshotResetRace(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	k := kernel.New()
+	k.Out = io.Discard
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewCompiler(k)
+			for i := 0; i < 20; i++ {
+				src := fmt.Sprintf(`Function[{Typed[x, "MachineInteger"]}, x + %d]`, i%5)
+				if _, err := c.FunctionCompileCached(parser.MustParse(src)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			ResetCompileCache()
+		}
+	}()
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := CompileCacheStatsNow()
+			if s.Entries < 0 || s.Entries > 256 {
+				t.Errorf("impossible entry count %d", s.Entries)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-snapDone
+}
+
+// TestInvalidationIsNotEviction: explicit invalidation bumps Invalidations
+// and leaves the capacity-pressure Evictions counter untouched.
+func TestInvalidationIsNotEviction(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	k := kernel.New()
+	k.Out = io.Discard
+	c := NewCompiler(k)
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf(`Function[{Typed[x, "MachineInteger"]}, x * %d]`, i+2)
+		if _, err := c.FunctionCompileCached(parser.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := CompileCacheStatsNow(); s.Entries != 3 {
+		t.Fatalf("Entries = %d, want 3", s.Entries)
+	}
+	dropped := InvalidateCompileCache(func(ccf *CompiledCodeFunction) bool {
+		return ccf.BoundKernel() == k
+	})
+	if dropped != 3 {
+		t.Fatalf("invalidated %d entries, want 3", dropped)
+	}
+	s := CompileCacheStatsNow()
+	if s.Invalidations != 3 {
+		t.Fatalf("Invalidations = %d, want 3", s.Invalidations)
+	}
+	if s.Evictions != 0 {
+		t.Fatalf("explicit invalidation inflated Evictions to %d", s.Evictions)
+	}
+	if s.Entries != 0 {
+		t.Fatalf("Entries = %d after full invalidation", s.Entries)
+	}
+
+	// Capacity pressure, by contrast, is an eviction.
+	prevCap := SetCompileCacheCapacity(1)
+	defer SetCompileCacheCapacity(prevCap)
+	for i := 0; i < 2; i++ {
+		src := fmt.Sprintf(`Function[{Typed[x, "MachineInteger"]}, x - %d]`, i+1)
+		if _, err := c.FunctionCompileCached(parser.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = CompileCacheStatsNow()
+	if s.Evictions != 1 {
+		t.Fatalf("Evictions = %d after capacity overflow, want 1", s.Evictions)
+	}
+	if s.Invalidations != 3 {
+		t.Fatalf("Invalidations changed to %d on eviction", s.Invalidations)
+	}
+}
+
+// TestProfileLevelJoinsCacheKey: a profiled and an unprofiled compile of
+// the same source must not share a cache entry (the profiled program has
+// different code).
+func TestProfileLevelJoinsCacheKey(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	k := kernel.New()
+	k.Out = io.Discard
+	c := NewCompiler(k)
+	plain, err := c.FunctionCompileCached(parser.MustParse(profiledLoopSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCompiler(k)
+	c2.ProfileLevel = 1
+	profiled, err := c2.FunctionCompileCached(parser.MustParse(profiledLoopSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == profiled {
+		t.Fatal("ProfileLevel=1 compile was served the unprofiled cached program")
+	}
+	if !profiled.Program.Main.Profiled() || plain.Program.Main.Profiled() {
+		t.Fatal("profiling state crossed the cache boundary")
+	}
+}

@@ -15,8 +15,13 @@ import (
 	"wolfc/internal/core"
 	"wolfc/internal/expr"
 	"wolfc/internal/kernel"
+	"wolfc/internal/obs"
 	"wolfc/internal/pattern"
 )
+
+// numericsFallbacks counts solver evaluators that could not auto-compile
+// and fell back to interpreted evaluation (gradual compilation, F9).
+var numericsFallbacks = obs.NewCounter("numerics_fallbacks")
 
 // FindRootOptions tunes the Newton iteration.
 type FindRootOptions struct {
@@ -125,7 +130,14 @@ func makeEvaluator(k *kernel.Kernel, eq expr.Expr, x *expr.Symbol, autoCompile b
 				}
 			}, nil
 		}
-		// Fall through to the interpreter (gradual compilation).
+		// Fall through to the interpreter (gradual compilation). Compile
+		// failure is already the expensive path, so the counter is
+		// unconditional; the trace event is gated.
+		numericsFallbacks.Inc()
+		if obs.TraceEnabled() {
+			obs.Emit(obs.TraceEvent{Type: "fallback", Name: expr.InputForm(eq),
+				TNs: obs.TraceNow(), Detail: "auto-compile failed: " + err.Error()})
+		}
 	}
 	return func(v float64) (float64, error) {
 		bound := pattern.Substitute(eq, pattern.Bindings{x: expr.FromFloat(v)})

@@ -1,0 +1,171 @@
+// The live metrics endpoint: an expvar-style HTTP server exposing
+// /metrics (text exposition, one `wolfc_*` line per counter/gauge) and
+// /debug/funcs (a human-readable per-function table with latency
+// histograms and, for profiled functions, the hot-block table).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"wolfc/internal/runtime/par"
+)
+
+// MetricsServer is a running /metrics endpoint.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// ServeMetrics binds addr and serves /metrics and /debug/funcs in a
+// background goroutine. Starting the endpoint enables metric recording.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		RenderMetrics(w)
+	})
+	mux.HandleFunc("/debug/funcs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderFuncs(w)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &MetricsServer{ln: ln, srv: srv}
+	SetEnabled(true)
+	par.EnableStats(true)
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// RenderMetrics writes the text exposition: per-function counters and
+// latency histograms, global counters, worker-pool gauges, and every
+// registered gauge provider (the compile cache).
+func RenderMetrics(w io.Writer) {
+	snaps, overflow := FuncSnapshots()
+	for _, s := range snaps {
+		lbl := fmt.Sprintf("{func=%q,backend=%q}", sanitizeLabel(shortName(s.Name)), s.Backend)
+		fmt.Fprintf(w, "wolfc_func_invocations_total%s %d\n", lbl, s.Invocations)
+		fmt.Fprintf(w, "wolfc_func_fallbacks_total%s %d\n", lbl, s.Fallbacks)
+		fmt.Fprintf(w, "wolfc_func_aborts_total%s %d\n", lbl, s.Aborts)
+		fmt.Fprintf(w, "wolfc_func_latency_ns_sum%s %d\n", lbl, s.TotalNs)
+		cum := uint64(0)
+		for i, n := range s.Buckets {
+			cum += n
+			if n == 0 {
+				continue // sparse exposition: only buckets that ever fired
+			}
+			fmt.Fprintf(w, "wolfc_func_latency_ns_bucket{func=%q,backend=%q,le=%q} %d\n",
+				sanitizeLabel(shortName(s.Name)), s.Backend, fmt.Sprint(BucketUpperNs(i)), cum)
+		}
+	}
+	if overflow > 0 {
+		fmt.Fprintf(w, "wolfc_func_registry_overflow %d\n", overflow)
+	}
+	// Per-backend rollup so dashboards don't need to aggregate labels.
+	byBackend := map[string]*[3]uint64{}
+	for _, s := range snaps {
+		agg := byBackend[s.Backend]
+		if agg == nil {
+			agg = &[3]uint64{}
+			byBackend[s.Backend] = agg
+		}
+		agg[0] += s.Invocations
+		agg[1] += s.Fallbacks
+		agg[2] += s.Aborts
+	}
+	backends := make([]string, 0, len(byBackend))
+	for b := range byBackend {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	for _, b := range backends {
+		agg := byBackend[b]
+		fmt.Fprintf(w, "wolfc_backend_invocations_total{backend=%q} %d\n", b, agg[0])
+		fmt.Fprintf(w, "wolfc_backend_fallbacks_total{backend=%q} %d\n", b, agg[1])
+		fmt.Fprintf(w, "wolfc_backend_aborts_total{backend=%q} %d\n", b, agg[2])
+	}
+	for _, c := range Counters() {
+		fmt.Fprintf(w, "wolfc_%s_total %d\n", c.Name(), c.Value())
+	}
+	ps := par.StatsNow()
+	fmt.Fprintf(w, "wolfc_pool_parallel_fors_total %d\n", ps.ParallelFors)
+	fmt.Fprintf(w, "wolfc_pool_chunks_total %d\n", ps.Chunks)
+	fmt.Fprintf(w, "wolfc_pool_chunks_stolen_total %d\n", ps.ChunksStolen)
+	fmt.Fprintf(w, "wolfc_pool_busy_ns_total %d\n", ps.BusyNs)
+	fmt.Fprintf(w, "wolfc_pool_helpers_started %d\n", ps.HelpersStarted)
+	fmt.Fprintf(w, "wolfc_pool_inflight_fors %d\n", ps.InFlight)
+	for _, g := range ProviderGauges() {
+		fmt.Fprintf(w, "wolfc_%s %v\n", g.Name, g.Value)
+	}
+}
+
+// RenderFuncs writes the human-readable per-function table, most invoked
+// first, with a compact latency histogram and any attached detail (the
+// hot-block table of a ProfileLevel > 0 compile).
+func RenderFuncs(w io.Writer) {
+	snaps, overflow := FuncSnapshots()
+	fmt.Fprintf(w, "compiled functions: %d registered", len(snaps))
+	if overflow > 0 {
+		fmt.Fprintf(w, " (+%d past registry cap)", overflow)
+	}
+	fmt.Fprintln(w)
+	for _, s := range snaps {
+		fmt.Fprintf(w, "\n%s [%s]\n", shortName(s.Name), s.Backend)
+		fmt.Fprintf(w, "  invocations %d  fallbacks %d  aborts %d  mean %.0fns\n",
+			s.Invocations, s.Fallbacks, s.Aborts, s.MeanNs())
+		for i, n := range s.Buckets {
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  latency < %s: %d\n", fmtBucketNs(BucketUpperNs(i)), n)
+		}
+		if s.Detail != "" {
+			fmt.Fprintf(w, "%s", indent(s.Detail))
+		}
+	}
+}
+
+func fmtBucketNs(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2gs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2gms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2gµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func indent(s string) string {
+	out := make([]byte, 0, len(s)+16)
+	atStart := true
+	for i := 0; i < len(s); i++ {
+		if atStart {
+			out = append(out, ' ', ' ')
+			atStart = false
+		}
+		out = append(out, s[i])
+		if s[i] == '\n' {
+			atStart = true
+		}
+	}
+	if len(out) > 0 && out[len(out)-1] != '\n' {
+		out = append(out, '\n')
+	}
+	return string(out)
+}

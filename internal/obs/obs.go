@@ -1,0 +1,354 @@
+// Package obs is the runtime observability layer (ISSUE 4). The paper's
+// headline claims are runtime behaviours — gradual compilation with
+// interpreter fallback (F9), soft numeric failure (F2), abortability (F3) —
+// and this package makes them measurable in a long-lived process: per
+// compiled function it tracks invocation counts, a log-scale latency
+// histogram, soft-failure/fallback counts, and abort counts; globally it
+// tracks runtime-exception counters, worker-pool gauges, and compile-cache
+// effectiveness; and it can stream JSONL trace events (compile span, invoke
+// span, fallback event) to a writer.
+//
+// Cost model: everything is off by default. The hot-path contract is one
+// atomic load and one predictable branch per guarded site when disabled
+// (Enabled() / TraceEnabled()), and zero allocation either way — recording
+// uses preallocated fixed-size atomic counter arrays. Sinks (the /metrics
+// HTTP endpoint in http.go, the trace stream) enable collection when
+// attached.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates all metric recording. SetEnabled flips it; attaching a sink
+// (ServeMetrics, SetTraceWriter) enables it implicitly.
+var enabled atomic.Bool
+
+// SetEnabled turns metric recording on or off and returns the previous
+// state. Counters are not reset: disable/enable pairs pause collection.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether metric recording is on. This is the hot-path
+// guard: one atomic load, no allocation.
+func Enabled() bool { return enabled.Load() }
+
+// NumLatencyBuckets is the fixed size of the per-function latency
+// histogram. Bucket i counts invocations whose wall time in nanoseconds has
+// bit-length i (i.e. duration in [2^(i-1), 2^i) ns for i >= 1; bucket 0 is
+// sub-nanosecond/zero). 48 buckets cover ~3.2 days per call.
+const NumLatencyBuckets = 48
+
+// latencyBucket maps a duration to its histogram bucket.
+func latencyBucket(d time.Duration) int {
+	b := bits.Len64(uint64(d.Nanoseconds()))
+	if b >= NumLatencyBuckets {
+		b = NumLatencyBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperNs returns the exclusive upper bound (in ns) of histogram
+// bucket i, for rendering `le` labels.
+func BucketUpperNs(i int) uint64 {
+	if i >= 63 {
+		return ^uint64(0)
+	}
+	return uint64(1) << uint(i)
+}
+
+// FuncMetrics is the per-compiled-function counter block, recorded at the
+// core invocation boundary. All fields are atomics; the struct is shared by
+// every concurrent caller of one compiled function and must not be copied.
+type FuncMetrics struct {
+	name    string
+	backend string
+
+	invocations atomic.Uint64
+	fallbacks   atomic.Uint64
+	aborts      atomic.Uint64
+	totalNs     atomic.Uint64
+	buckets     [NumLatencyBuckets]atomic.Uint64
+
+	// detail, when set, renders extra per-function text for /debug/funcs
+	// (the hot-block table of a profiled function). Stored atomically so a
+	// compile can attach it while the endpoint reads.
+	detail atomic.Value // func() string
+}
+
+// Name returns the display name the function was registered under.
+func (m *FuncMetrics) Name() string {
+	if m == nil {
+		return ""
+	}
+	return m.name
+}
+
+// Backend returns the backend label ("closure", "closure-aot", "wvm").
+func (m *FuncMetrics) Backend() string {
+	if m == nil {
+		return ""
+	}
+	return m.backend
+}
+
+// SetDetail attaches a lazy detail renderer shown under /debug/funcs.
+func (m *FuncMetrics) SetDetail(f func() string) {
+	if m == nil || f == nil {
+		return
+	}
+	m.detail.Store(f)
+}
+
+// RecordInvoke counts one successful invocation of duration d. Callers
+// should guard with Enabled() so the clock reads stay off the disabled
+// path; RecordInvoke itself only touches preallocated atomics.
+func (m *FuncMetrics) RecordInvoke(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.invocations.Add(1)
+	m.totalNs.Add(uint64(d.Nanoseconds()))
+	m.buckets[latencyBucket(d)].Add(1)
+}
+
+// RecordFallback counts one soft failure that re-evaluated through the
+// interpreter (F2) or an argument that missed the compiled signature.
+func (m *FuncMetrics) RecordFallback() {
+	if m == nil {
+		return
+	}
+	m.fallbacks.Add(1)
+}
+
+// RecordAbort counts one invocation that ended in $Aborted (F3).
+func (m *FuncMetrics) RecordAbort() {
+	if m == nil {
+		return
+	}
+	m.aborts.Add(1)
+}
+
+// FuncSnapshot is a point-in-time copy of one function's counters.
+type FuncSnapshot struct {
+	Name        string
+	Backend     string
+	Invocations uint64
+	Fallbacks   uint64
+	Aborts      uint64
+	TotalNs     uint64
+	Buckets     [NumLatencyBuckets]uint64
+	Detail      string
+}
+
+// MeanNs returns the mean invocation latency in nanoseconds.
+func (s FuncSnapshot) MeanNs() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return float64(s.TotalNs) / float64(s.Invocations)
+}
+
+// Snapshot copies the counters. The copy is per-field atomic (not a single
+// consistent cut), which is the usual monitoring contract.
+func (m *FuncMetrics) Snapshot() FuncSnapshot {
+	s := FuncSnapshot{
+		Name:        m.name,
+		Backend:     m.backend,
+		Invocations: m.invocations.Load(),
+		Fallbacks:   m.fallbacks.Load(),
+		Aborts:      m.aborts.Load(),
+		TotalNs:     m.totalNs.Load(),
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = m.buckets[i].Load()
+	}
+	if f, ok := m.detail.Load().(func() string); ok && f != nil {
+		s.Detail = f()
+	}
+	return s
+}
+
+// maxRegisteredFuncs bounds the registry so a long-lived process compiling
+// unbounded distinct sources cannot leak metric blocks. Past the cap,
+// RegisterFunc still returns a live (recordable) block — it just isn't
+// listed by the endpoint; overflowCount reports how many were dropped.
+const maxRegisteredFuncs = 1024
+
+var funcReg = struct {
+	mu       sync.Mutex
+	funcs    []*FuncMetrics
+	overflow uint64
+}{}
+
+// RegisterFunc creates (and, registry capacity permitting, lists) a metric
+// block for one compiled function. name is a display label — typically the
+// assignment name or a source snippet; backend labels the executing backend.
+func RegisterFunc(name, backend string) *FuncMetrics {
+	m := &FuncMetrics{name: name, backend: backend}
+	funcReg.mu.Lock()
+	if len(funcReg.funcs) < maxRegisteredFuncs {
+		funcReg.funcs = append(funcReg.funcs, m)
+	} else {
+		funcReg.overflow++
+	}
+	funcReg.mu.Unlock()
+	return m
+}
+
+// FuncSnapshots returns a snapshot of every registered function, most
+// invoked first, plus the count of unregistered overflow functions.
+func FuncSnapshots() ([]FuncSnapshot, uint64) {
+	funcReg.mu.Lock()
+	funcs := append([]*FuncMetrics{}, funcReg.funcs...)
+	overflow := funcReg.overflow
+	funcReg.mu.Unlock()
+	out := make([]FuncSnapshot, 0, len(funcs))
+	for _, m := range funcs {
+		out = append(out, m.Snapshot())
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Invocations > out[j].Invocations })
+	return out, overflow
+}
+
+// ResetFuncRegistry drops every registered function block (tests).
+func ResetFuncRegistry() {
+	funcReg.mu.Lock()
+	funcReg.funcs = nil
+	funcReg.overflow = 0
+	funcReg.mu.Unlock()
+}
+
+// Counter is a named process-global monotonic counter (runtime exceptions
+// by kind, numerics fallbacks, ...). Counters always count — they live on
+// cold paths (a thrown exception, a failed auto-compile) where one atomic
+// add is free — and are rendered by /metrics.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+var counterReg = struct {
+	mu       sync.Mutex
+	counters []*Counter
+}{}
+
+// NewCounter registers a named global counter. Names should be
+// snake_case; /metrics renders them as wolfc_<name>_total.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	counterReg.mu.Lock()
+	counterReg.counters = append(counterReg.counters, c)
+	counterReg.mu.Unlock()
+	return c
+}
+
+// Counters returns the registered global counters in registration order.
+func Counters() []*Counter {
+	counterReg.mu.Lock()
+	defer counterReg.mu.Unlock()
+	return append([]*Counter{}, counterReg.counters...)
+}
+
+// Gauge is one named instantaneous value contributed by a provider.
+type Gauge struct {
+	Name  string
+	Value float64
+}
+
+// GaugeProvider supplies a gauge set on demand (the compile cache in
+// internal/core registers one; the endpoint polls it per scrape).
+type GaugeProvider func() []Gauge
+
+var gaugeReg = struct {
+	mu        sync.Mutex
+	providers []GaugeProvider
+}{}
+
+// RegisterGaugeProvider adds a gauge source polled by /metrics. Providers
+// must be safe for concurrent calls.
+func RegisterGaugeProvider(p GaugeProvider) {
+	gaugeReg.mu.Lock()
+	gaugeReg.providers = append(gaugeReg.providers, p)
+	gaugeReg.mu.Unlock()
+}
+
+// ProviderGauges polls every registered provider.
+func ProviderGauges() []Gauge {
+	gaugeReg.mu.Lock()
+	providers := append([]GaugeProvider{}, gaugeReg.providers...)
+	gaugeReg.mu.Unlock()
+	var out []Gauge
+	for _, p := range providers {
+		out = append(out, p()...)
+	}
+	return out
+}
+
+// sanitizeLabel escapes a metric label value for the text exposition
+// format (quotes, backslashes, newlines).
+func sanitizeLabel(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' || s[i] == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	out := make([]byte, 0, len(s)+8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			out = append(out, '\\', '"')
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// shortName truncates long display names (whole-source snippets) so the
+// exposition stays readable.
+func shortName(s string) string {
+	const max = 80
+	if len(s) <= max {
+		return s
+	}
+	return fmt.Sprintf("%s…(%d chars)", s[:max], len(s))
+}

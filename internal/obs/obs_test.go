@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wolfc/internal/runtime/par"
+)
+
+func TestLatencyBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1 * time.Nanosecond, 1},
+		{2 * time.Nanosecond, 2},
+		{3 * time.Nanosecond, 2},
+		{4 * time.Nanosecond, 3},
+		{1023 * time.Nanosecond, 10},
+		{1024 * time.Nanosecond, 11},
+		{time.Second, 30},
+		{200 * time.Hour, NumLatencyBuckets - 1}, // clamped to the top bucket
+	}
+	for _, c := range cases {
+		if got := latencyBucket(c.d); got != c.want {
+			t.Errorf("latencyBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Bucket upper bounds are monotone powers of two.
+	for i := 1; i < NumLatencyBuckets; i++ {
+		if BucketUpperNs(i) != 2*BucketUpperNs(i-1) {
+			t.Fatalf("BucketUpperNs not doubling at %d", i)
+		}
+	}
+}
+
+func TestFuncMetricsRecordAndSnapshot(t *testing.T) {
+	ResetFuncRegistry()
+	m := RegisterFunc("f", "closure")
+	m.RecordInvoke(100 * time.Nanosecond)
+	m.RecordInvoke(3 * time.Nanosecond)
+	m.RecordFallback()
+	m.RecordAbort()
+	s := m.Snapshot()
+	if s.Invocations != 2 || s.Fallbacks != 1 || s.Aborts != 1 {
+		t.Fatalf("snapshot counters = %+v", s)
+	}
+	if s.TotalNs != 103 {
+		t.Fatalf("TotalNs = %d, want 103", s.TotalNs)
+	}
+	if s.Buckets[latencyBucket(100*time.Nanosecond)] != 1 || s.Buckets[2] != 1 {
+		t.Fatalf("bucket placement wrong: %v", s.Buckets[:12])
+	}
+	if got := s.MeanNs(); got != 51.5 {
+		t.Fatalf("MeanNs = %v, want 51.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var m *FuncMetrics
+	m.RecordInvoke(time.Second)
+	m.RecordFallback()
+	m.RecordAbort()
+	m.SetDetail(func() string { return "" })
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+}
+
+func TestRecordInvokeZeroAlloc(t *testing.T) {
+	m := &FuncMetrics{name: "z", backend: "closure"}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.RecordInvoke(5 * time.Microsecond)
+		m.RecordFallback()
+		m.RecordAbort()
+	})
+	if allocs != 0 {
+		t.Fatalf("recording allocated %v times per run", allocs)
+	}
+}
+
+func TestEnableGate(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if Enabled() {
+		t.Fatal("expected disabled")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("expected enabled")
+	}
+}
+
+func TestRegistryCapOverflow(t *testing.T) {
+	ResetFuncRegistry()
+	defer ResetFuncRegistry()
+	for i := 0; i < maxRegisteredFuncs; i++ {
+		RegisterFunc(fmt.Sprintf("f%d", i), "closure")
+	}
+	over := RegisterFunc("overflowed", "closure")
+	over.RecordInvoke(time.Nanosecond) // still live, just unlisted
+	snaps, overflow := FuncSnapshots()
+	if len(snaps) != maxRegisteredFuncs {
+		t.Fatalf("listed %d funcs, want %d", len(snaps), maxRegisteredFuncs)
+	}
+	if overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", overflow)
+	}
+	if over.Snapshot().Invocations != 1 {
+		t.Fatal("overflow block did not record")
+	}
+}
+
+func TestFuncSnapshotsSorted(t *testing.T) {
+	ResetFuncRegistry()
+	defer ResetFuncRegistry()
+	a := RegisterFunc("cold", "closure")
+	b := RegisterFunc("hot", "closure")
+	a.RecordInvoke(time.Nanosecond)
+	for i := 0; i < 5; i++ {
+		b.RecordInvoke(time.Nanosecond)
+	}
+	snaps, _ := FuncSnapshots()
+	if snaps[0].Name != "hot" {
+		t.Fatalf("want hot first, got %q", snaps[0].Name)
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := sanitizeLabel(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Fatalf("sanitizeLabel = %q", got)
+	}
+	if got := sanitizeLabel("plain"); got != "plain" {
+		t.Fatalf("sanitizeLabel(plain) = %q", got)
+	}
+}
+
+func TestTraceStream(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	defer SetTraceWriter(nil)
+	if !TraceEnabled() || !Enabled() {
+		t.Fatal("attaching the trace writer should enable tracing and metrics")
+	}
+	Emit(TraceEvent{Type: "compile", Name: "f", TNs: TraceNow(), DurNs: 10, CacheHit: true})
+	Emit(TraceEvent{Type: "fallback", Name: "f", TNs: TraceNow(), Detail: "IntegerOverflow"})
+	SetTraceWriter(nil)
+	Emit(TraceEvent{Type: "invoke"}) // detached: dropped
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var ev TraceEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Type != "compile" || !ev.CacheHit || ev.DurNs != 10 {
+		t.Fatalf("compile event = %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if ev.Type != "fallback" || ev.Detail != "IntegerOverflow" {
+		t.Fatalf("fallback event = %+v", ev)
+	}
+}
+
+func TestRenderMetricsAndEndpoint(t *testing.T) {
+	ResetFuncRegistry()
+	defer ResetFuncRegistry()
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	m := RegisterFunc("sq", "closure")
+	m.RecordInvoke(100 * time.Nanosecond)
+	m.RecordFallback()
+	m.SetDetail(func() string { return "block 0: 1\n" })
+	c := NewCounter("test_render_metric")
+	c.Add(7)
+	RegisterGaugeProvider(func() []Gauge {
+		return []Gauge{{Name: "test_render_gauge", Value: 4}}
+	})
+
+	srv, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`wolfc_func_invocations_total{func="sq",backend="closure"} 1`,
+		`wolfc_func_fallbacks_total{func="sq",backend="closure"} 1`,
+		`wolfc_backend_invocations_total{backend="closure"} 1`,
+		"wolfc_test_render_metric_total 7",
+		"wolfc_test_render_gauge 4",
+		"wolfc_pool_inflight_fors",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+	funcs := get("/debug/funcs")
+	for _, want := range []string{"sq [closure]", "invocations 1  fallbacks 1", "block 0: 1"} {
+		if !strings.Contains(funcs, want) {
+			t.Errorf("/debug/funcs missing %q\n%s", want, funcs)
+		}
+	}
+}
+
+func TestPoolStatsGaugesSettle(t *testing.T) {
+	prev := par.EnableStats(true)
+	defer par.EnableStats(prev)
+	par.ResetStats()
+	var sink [64]int64
+	par.For(4, 1_000_000, 10, func(lo, hi int) {
+		s := int64(0)
+		for i := lo; i < hi; i++ {
+			s += int64(i * i)
+		}
+		sink[lo%64] = s
+	})
+	_ = sink
+	s := par.StatsNow()
+	if s.ParallelFors != 1 {
+		t.Fatalf("ParallelFors = %d, want 1", s.ParallelFors)
+	}
+	if s.Chunks == 0 {
+		t.Fatalf("Chunks = 0, want > 0")
+	}
+	if s.InFlight != 0 {
+		t.Fatalf("InFlight = %d after For returned, want 0", s.InFlight)
+	}
+	if s.BusyNs == 0 {
+		t.Fatalf("BusyNs = 0 with stats enabled")
+	}
+}
+
+func TestPoolStatsDisabledRecordsNothing(t *testing.T) {
+	prev := par.EnableStats(false)
+	defer par.EnableStats(prev)
+	par.ResetStats()
+	par.For(4, 10000, 10, func(lo, hi int) {})
+	s := par.StatsNow()
+	if s.ParallelFors != 0 || s.Chunks != 0 || s.BusyNs != 0 {
+		t.Fatalf("disabled stats recorded: %+v", s)
+	}
+}

@@ -1,0 +1,86 @@
+// JSONL trace-event stream: one JSON object per line, in emission order.
+// Three event types cover the runtime story end to end — a compile span
+// (explicit or implicit compilation, with cache-hit flag), an invoke span
+// (one call of a compiled function), and a fallback event (soft failure /
+// signature miss / numerics auto-compile giving up). Timestamps are
+// nanosecond offsets from SetTraceWriter so separate runs differ only in
+// the offsets themselves (the golden test normalises them).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one line of the JSONL stream.
+type TraceEvent struct {
+	// Type is "compile", "invoke", or "fallback".
+	Type string `json:"type"`
+	// Name is the compiled function's display name.
+	Name string `json:"name,omitempty"`
+	// TNs is the event start, nanoseconds since the stream was attached.
+	TNs int64 `json:"t_ns"`
+	// DurNs is the span length for compile/invoke events.
+	DurNs int64 `json:"dur_ns,omitempty"`
+	// Backend labels the executing backend for invoke spans.
+	Backend string `json:"backend,omitempty"`
+	// CacheHit marks compile spans served from the compile cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Detail carries the fallback reason or compile error.
+	Detail string `json:"detail,omitempty"`
+}
+
+var trace = struct {
+	on    atomic.Bool
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+}{}
+
+// SetTraceWriter attaches (or, with nil, detaches) the JSONL sink and
+// implicitly enables metric recording while attached. The caller owns the
+// writer's lifecycle; events are written line-buffered under a mutex.
+func SetTraceWriter(w io.Writer) {
+	trace.mu.Lock()
+	trace.w = w
+	trace.start = time.Now()
+	trace.mu.Unlock()
+	trace.on.Store(w != nil)
+	if w != nil {
+		enabled.Store(true)
+	}
+}
+
+// TraceEnabled is the hot-path guard for trace emission: one atomic load.
+func TraceEnabled() bool { return trace.on.Load() }
+
+// TraceNow returns the current offset into the trace stream; pass it as
+// TraceEvent.TNs for span starts captured before the work ran.
+func TraceNow() int64 {
+	trace.mu.Lock()
+	start := trace.start
+	trace.mu.Unlock()
+	return time.Since(start).Nanoseconds()
+}
+
+// Emit writes one event line. Safe to call concurrently; a detached stream
+// drops the event. Marshalling allocates, which is fine: emission only
+// happens when tracing was explicitly attached.
+func Emit(ev TraceEvent) {
+	if !trace.on.Load() {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	trace.mu.Lock()
+	if trace.w != nil {
+		trace.w.Write(data)
+	}
+	trace.mu.Unlock()
+}

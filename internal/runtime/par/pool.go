@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxPoolWorkers caps how many helper goroutines the process will ever
@@ -128,6 +129,11 @@ func For(workers, n, grain int, body func(lo, hi int)) {
 	}
 	ensureHelpers(w)
 
+	rec := statsOn.Load()
+	if rec {
+		sParallelFors.Add(1)
+		sInFlight.Add(1)
+	}
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -149,6 +155,11 @@ func For(workers, n, grain int, body func(lo, hi int)) {
 				}
 			}
 		}()
+		if rec {
+			sChunks.Add(1)
+			t0 := time.Now()
+			defer func() { sBusyNs.Add(uint64(time.Since(t0))) }()
+		}
 		lo := c * n / chunks
 		hi := (c + 1) * n / chunks
 		if lo < hi && !panicked.Load() {
@@ -177,8 +188,23 @@ offer:
 			break offer
 		}
 	}
-	worker()
+	// The caller runs its own chunk loop (same atomic hand-out as worker);
+	// every chunk it does not claim was run by a helper, which is what the
+	// stolen-chunk gauge reports.
+	mine := 0
+	for {
+		c := int(next.Add(1)) - 1
+		if c >= chunks {
+			break
+		}
+		runChunk(c)
+		mine++
+	}
 	wg.Wait()
+	if rec {
+		sChunksStolen.Add(uint64(chunks - mine))
+		sInFlight.Add(-1)
+	}
 	if panicked.Load() {
 		panicMu.Lock()
 		r := panicVal

@@ -1,0 +1,65 @@
+// Pool gauges for the observability layer (ISSUE 4). par is a leaf
+// package, so the counters live here and internal/obs re-renders them;
+// collection is gated by EnableStats so the disabled For path pays one
+// atomic load and no clock reads.
+package par
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of the pool counters.
+type Stats struct {
+	// ParallelFors counts For calls that actually split work (the inline
+	// fast path — width 1 or n below the grain — is not counted).
+	ParallelFors uint64
+	// Chunks counts chunk executions across all goroutines.
+	Chunks uint64
+	// ChunksStolen counts the chunks run by helper goroutines rather than
+	// the submitting goroutine.
+	ChunksStolen uint64
+	// BusyNs sums wall time spent inside chunk bodies, across goroutines.
+	BusyNs uint64
+	// HelpersStarted is the number of helper goroutines ever launched.
+	HelpersStarted int64
+	// InFlight is the number of split For calls currently executing; it
+	// settles back to 0 once every caller returns (including abort
+	// unwinds, which decrement before re-raising the panic).
+	InFlight int64
+}
+
+var (
+	statsOn       atomic.Bool
+	sParallelFors atomic.Uint64
+	sChunks       atomic.Uint64
+	sChunksStolen atomic.Uint64
+	sBusyNs       atomic.Uint64
+	sInFlight     atomic.Int64
+)
+
+// EnableStats turns pool-stat collection on or off and returns the
+// previous state. When off, For records nothing and reads no clocks.
+func EnableStats(on bool) bool { return statsOn.Swap(on) }
+
+// StatsEnabled reports whether pool-stat collection is on.
+func StatsEnabled() bool { return statsOn.Load() }
+
+// StatsNow snapshots the pool counters. Per-field atomic, not a
+// consistent cut — the usual monitoring contract.
+func StatsNow() Stats {
+	return Stats{
+		ParallelFors:   sParallelFors.Load(),
+		Chunks:         sChunks.Load(),
+		ChunksStolen:   sChunksStolen.Load(),
+		BusyNs:         sBusyNs.Load(),
+		HelpersStarted: started.Load(),
+		InFlight:       sInFlight.Load(),
+	}
+}
+
+// ResetStats zeroes the cumulative counters (tests). InFlight is live
+// state and is not touched; HelpersStarted reflects pool history.
+func ResetStats() {
+	sParallelFors.Store(0)
+	sChunks.Store(0)
+	sChunksStolen.Store(0)
+	sBusyNs.Store(0)
+}

@@ -14,6 +14,7 @@ import (
 
 	"wolfc/internal/blas"
 	"wolfc/internal/expr"
+	"wolfc/internal/obs"
 	"wolfc/internal/runtime/par"
 )
 
@@ -50,8 +51,23 @@ type Exception struct {
 
 func (e *Exception) Error() string { return e.Msg }
 
+// excCounters counts thrown exceptions by kind for /metrics. A throw is
+// already the expensive path (panic + fallback re-evaluation), so these
+// count unconditionally.
+var excCounters = [...]*obs.Counter{
+	ExcOverflow:     obs.NewCounter("exc_overflow"),
+	ExcPartRange:    obs.NewCounter("exc_part_range"),
+	ExcDivideByZero: obs.NewCounter("exc_divide_by_zero"),
+	ExcAbort:        obs.NewCounter("exc_abort"),
+	ExcKernel:       obs.NewCounter("exc_kernel"),
+	ExcType:         obs.NewCounter("exc_type"),
+}
+
 // Throw raises a runtime exception.
 func Throw(kind ExceptionKind, format string, args ...any) {
+	if int(kind) < len(excCounters) {
+		excCounters[kind].Inc()
+	}
 	panic(&Exception{Kind: kind, Msg: fmt.Sprintf(format, args...)})
 }
 

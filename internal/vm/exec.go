@@ -3,12 +3,19 @@ package vm
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wolfc/internal/blas"
 	"wolfc/internal/expr"
 	"wolfc/internal/kernel"
+	"wolfc/internal/obs"
 	"wolfc/internal/pattern"
 )
+
+// wvmMetrics aggregates invocation metrics over every bytecode-compiled
+// function: the baseline VM has no per-function identity worth a registry
+// slot each, so the whole backend reports as one row.
+var wvmMetrics = obs.RegisterFunc("(all WVM functions)", "wvm")
 
 // ErrorKind classifies VM runtime errors; numeric errors trigger the soft
 // interpreter fallback (F2), abort propagates the user interrupt (F3).
@@ -71,6 +78,19 @@ func (cf *CompiledFunction) Call(k *kernel.Kernel, args ...Value) (Value, error)
 		slots[i] = a
 	}
 	m := &machine{cf: cf, k: k, slots: slots, stack: make([]Value, 0, 64)}
+	if obs.Enabled() {
+		t0 := time.Now()
+		v, err := m.run()
+		wvmMetrics.RecordInvoke(time.Since(t0))
+		if vmErr, ok := err.(*Error); ok {
+			if vmErr.Kind == ErrAborted {
+				wvmMetrics.RecordAbort()
+			} else {
+				wvmMetrics.RecordFallback()
+			}
+		}
+		return v, err
+	}
 	return m.run()
 }
 

@@ -52,4 +52,17 @@ for i in (1, 2, 3):
 json.dump(best, open(f"{tmp}/fusion.json", "w"))
 EOF
 go run ./cmd/wolfbench -compare BENCH_fusion.json "$tmp/fusion.json"
+
+echo "== obs gate: /metrics endpoint + trace stream smoke test =="
+go run ./cmd/wolfbench -metrics-selftest
+
+echo "== obs gate: observability overhead on scalarloop (>2% fails) =="
+# The observability layer must be free when nobody is watching. The host's
+# absolute wall-clock drifts more than 2% between runs (see EXPERIMENTS.md),
+# so the budget is enforced drift-immune: one process interleaves scalarloop
+# with metrics disabled and enabled; the ratio cancels machine speed, and
+# the disabled path is a strict subset of the enabled path, so the bound
+# covers both. A failure means per-iteration instrumentation leaked into
+# the default build.
+go run ./cmd/wolfbench -obs-overhead -threshold 0.02
 echo "verify: OK"
