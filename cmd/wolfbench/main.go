@@ -11,6 +11,7 @@
 //	wolfbench -findroot       # §1 auto-compilation
 //	wolfbench -ablation all   # §6 ablations
 //	wolfbench -fusion         # superinstruction fusion on/off (ISSUE 2)
+//	wolfbench -autocompile    # tiered execution: interpreted vs auto-promoted (ISSUE 5)
 //	wolfbench -compare a b    # diff two -json files; exit 1 on a regression
 //	                          # beyond -threshold (default 10%)
 //	wolfbench -metrics-selftest  # ephemeral /metrics endpoint smoke test
@@ -55,6 +56,7 @@ var (
 	workersF  = flag.String("workers", "1,2,4,8", "worker counts for -parallel, comma-separated")
 	jsonPath  = flag.String("json", "", "write machine-readable results (BENCH_<n>.json shape) to this path")
 	fusionF   = flag.Bool("fusion", false, "run the superinstruction-fusion suite (FuseLevel off vs on)")
+	autoF     = flag.Bool("autocompile", false, "run the tiered-execution suite: interpreted vs auto-promoted DownValues, and registry vs boxed cross-unit calls")
 	compareF  = flag.Bool("compare", false, "compare two -json result files (old new); exit nonzero on a regression beyond -threshold")
 	reportF   = flag.Bool("report", false, "emit a JSON compile-report block (per-stage/per-pass timings) for the Figure 2 kernels")
 	threshF   = flag.Float64("threshold", 0.10, "per-row regression threshold for -compare (0.10 = 10%)")
@@ -94,15 +96,29 @@ type cacheStatsJSON struct {
 	HitRatio      float64 `json:"hit_ratio"`
 }
 
+// envJSON records the machine the numbers were taken on, so two -json files
+// can be compared with their environments in view.
+type envJSON struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
 func emitJSON(path string) {
 	cs := core.CompileCacheStatsNow()
 	doc := struct {
 		Schema       string         `json:"schema"`
-		GOMAXPROCS   int            `json:"gomaxprocs"`
+		GOMAXPROCS   int            `json:"gomaxprocs"` // kept for older readers; see env
+		Env          envJSON        `json:"env"`
 		Full         bool           `json:"full"`
 		CompileCache cacheStatsJSON `json:"compile_cache"`
 		Results      []benchResult  `json:"results"`
-	}{"wolfbench/v1", gort.GOMAXPROCS(0), *full, cacheStatsJSON{
+	}{"wolfbench/v1", gort.GOMAXPROCS(0), envJSON{
+		GoVersion: gort.Version(), GOOS: gort.GOOS, GOARCH: gort.GOARCH,
+		GOMAXPROCS: gort.GOMAXPROCS(0), NumCPU: gort.NumCPU(),
+	}, *full, cacheStatsJSON{
 		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
 		Invalidations: cs.Invalidations, Entries: cs.Entries, HitRatio: cs.HitRatio(),
 	}, jsonResults}
@@ -201,7 +217,7 @@ func main() {
 		}()
 	}
 	any := false
-	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF && !*fusionF
+	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF && !*fusionF && !*autoF
 	if *fig == 2 || defaults {
 		figure2()
 		any = true
@@ -224,6 +240,10 @@ func main() {
 	}
 	if *fusionF || defaults {
 		fusionSuite()
+		any = true
+	}
+	if *autoF || defaults {
+		autocompileSuite()
 		any = true
 	}
 	if *ablation != "" {

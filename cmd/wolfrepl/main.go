@@ -23,8 +23,10 @@ import (
 )
 
 var (
-	metricsAddr = flag.String("metrics-addr", "", "serve live /metrics and /debug/funcs on this address for the session")
-	traceOut    = flag.String("trace-out", "", "write JSONL trace events (compile/invoke/fallback) to this file")
+	metricsAddr          = flag.String("metrics-addr", "", "serve live /metrics and /debug/funcs on this address for the session")
+	traceOut             = flag.String("trace-out", "", "write JSONL trace events (compile/invoke/fallback) to this file")
+	autoCompile          = flag.Bool("autocompile", false, "tiered execution: compile hot DownValue definitions in the background and dispatch them as compiled code")
+	autoCompileThreshold = flag.Uint64("autocompile-threshold", 50, "invocation count at which a definition is considered hot (with -autocompile)")
 )
 
 func main() {
@@ -55,6 +57,20 @@ func main() {
 	k.Out = os.Stdout
 	vm.Install(k)   // legacy Compile
 	core.Install(k) // new FunctionCompile
+	if *autoCompile {
+		// Tiered execution (ISSUE 5): hot DownValue definitions are
+		// compiled in the background and dispatched as compiled code.
+		// Stats go to stderr on exit so stdout stays bit-identical to an
+		// untiered session.
+		tr := core.EnableTiering(k, core.TierPolicy{Threshold: *autoCompileThreshold})
+		defer func() {
+			tr.Close() // drain the worker so in-flight promotions are counted
+			s := tr.Stats()
+			fmt.Fprintf(os.Stderr,
+				"autocompile: %d symbols tracked, %d promoted (%d installed now), %d compiled dispatches, %d guard misses, %d soft fallbacks, %d compile failures, %d retires, %d aborts\n",
+				s.Tracked, s.Promotions, s.Installed, s.CompiledCalls, s.GuardMisses, s.SoftFallbacks, s.CompileFailures, s.Retires, s.Aborts)
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

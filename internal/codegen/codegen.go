@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"wolfc/internal/expr"
+	"wolfc/internal/fnreg"
 	"wolfc/internal/runtime"
 	"wolfc/internal/types"
 	"wolfc/internal/wir"
@@ -1001,6 +1002,9 @@ func (g *gen) genInstr(in *wir.Instr) (step, error) {
 		if in.ResolvedFn != nil {
 			return g.genDirectCall(in)
 		}
+		if _, ok := in.Prop("regcall"); ok {
+			return g.genRegistryCall(in)
+		}
 		return g.genNative(in)
 	}
 	return nil, fmt.Errorf("codegen %s: unexpected op %d", g.fn.Name, in.Op)
@@ -1136,8 +1140,61 @@ func (g *gen) genCallIndirect(in *wir.Instr) (step, error) {
 	}, nil
 }
 
+// genRegistryCall compiles a cross-unit call resolved through the function
+// registry: a direct unboxed call into a separately compiled function,
+// instead of a boxed KernelApply round-trip through the interpreter. The
+// *fnreg.Entry was baked in by inference; the installed binding is loaded
+// per call (one atomic load), so redefinition-driven retirement takes
+// effect on the next call. A retired/uninstalled entry throws a soft
+// kernel exception, which the invocation wrapper in internal/core converts
+// into an interpreter fallback (F2): stale callers degrade to the correct
+// new semantics rather than running dead code.
+func (g *gen) genRegistryCall(in *wir.Instr) (step, error) {
+	p, _ := in.Prop("regcall")
+	ent, ok := p.(*fnreg.Entry)
+	if !ok || ent == nil {
+		return nil, fmt.Errorf("codegen %s: call %s has a malformed registry resolution", g.fn.Name, in.Callee)
+	}
+	argRegs := make([]reg, len(in.Args))
+	for i, a := range in.Args {
+		r, err := g.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		argRegs[i] = r
+	}
+	dst, err := g.regOf(in)
+	if err != nil {
+		return nil, err
+	}
+	hasResult := in.Ty != types.TVoid
+	name := in.Callee
+	return func(fr *frame) {
+		b := ent.Binding()
+		if b == nil {
+			runtime.Throw(runtime.ExcKernel, "call to %s: compiled entry is retired or not yet installed (definition changed); re-evaluate through the kernel", name)
+		}
+		fv, ok := b.Fn.(*FuncVal)
+		if !ok {
+			runtime.Throw(runtime.ExcKernel, "call to %s: registry entry is not closure-backend code", name)
+		}
+		target := fv.Fn
+		cfr := target.newFrame(fr.rt)
+		copyArgs(fr, cfr, argRegs, target.params)
+		for i, c := range fv.Caps {
+			writeReg(cfr, target.params[len(argRegs)+i], c)
+		}
+		target.exec(cfr)
+		if hasResult && target.hasRet {
+			copyRet(fr, cfr, dst, target.retReg)
+		}
+		target.releaseFrame(cfr)
+	}, nil
+}
+
 // markFusedCompares finds scalar comparisons whose single use is the
 // conditional branch of their own block; those fold into the terminator.
+
 func (g *gen) markFusedCompares() {
 	g.fused = map[*wir.Instr]bool{}
 	uses := map[wir.Value]int{}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"wolfc/internal/codegen"
 	"wolfc/internal/diag"
 	"wolfc/internal/expr"
+	"wolfc/internal/fnreg"
 	"wolfc/internal/infer"
 	"wolfc/internal/kernel"
 	"wolfc/internal/macro"
@@ -105,6 +107,11 @@ type CompiledCodeFunction struct {
 	// functions built by FunctionCompile*; recording is gated by
 	// obs.Enabled so the disabled invoke path pays one atomic load.
 	Metrics *obs.FuncMetrics
+	// RegDeps names the function-registry entries this compiled code calls
+	// directly (cross-unit calls resolved through internal/fnreg). When any
+	// of them is retired the cached compile is stale: InvalidateCompileCache
+	// drops it so a recompile re-resolves against the live registry.
+	RegDeps []string
 }
 
 // FunctionCompile compiles Function[{Typed[x, ty]...}, body] through the
@@ -199,7 +206,34 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 			ccf.ParamTypes = append(ccf.ParamTypes, p.Ty)
 		}
 	}
+	ccf.RegDeps = collectRegDeps(mod)
 	return ccf, nil
+}
+
+// collectRegDeps lists the registry entry names the module's compiled code
+// calls through the function registry, deduplicated and sorted.
+func collectRegDeps(mod *wir.Module) []string {
+	seen := map[string]bool{}
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if p, ok := in.Prop("regcall"); ok {
+					if ent, ok := p.(*fnreg.Entry); ok {
+						seen[ent.Name()] = true
+					}
+				}
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // displayName labels a compiled function for metrics and traces: the

@@ -23,6 +23,9 @@ import (
 //	"TWIR" — the typed IR textual form
 //	"AST"  — the macro-expanded AST in FullForm
 func (ccf *CompiledCodeFunction) ExportString(format string) (string, error) {
+	if len(ccf.RegDeps) > 0 && format != "TWIR" && format != "AST" {
+		return "", fmt.Errorf("export: function calls process-registry entries (%v); registry calls are process-local and cannot be exported", ccf.RegDeps)
+	}
 	switch format {
 	case "C":
 		return codegen.EmitC(ccf.Module)
@@ -70,6 +73,9 @@ func (ccf *CompiledCodeFunction) CompileToWVM() (*vm.CompiledFunction, error) {
 // FunctionCompileExportLibrary path (F10). The artifact can be reloaded
 // with LoadCompiledLibrary without access to the source.
 func (ccf *CompiledCodeFunction) ExportLibrary(w io.Writer) error {
+	if len(ccf.RegDeps) > 0 {
+		return fmt.Errorf("export: function calls process-registry entries (%v); registry calls are process-local and cannot be exported", ccf.RegDeps)
+	}
 	return codegen.Marshal(w, ccf.Module)
 }
 

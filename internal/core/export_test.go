@@ -133,8 +133,16 @@ func TestStandaloneModeDisablesEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loaded.Apply([]expr.Expr{expr.FromInt64(1)}); err == nil {
+	// The escape surfaces as a soft error naming the head, not a crash.
+	_, err = loaded.Apply([]expr.Expr{expr.FromInt64(1)})
+	if err == nil {
 		t.Fatal("kernel escape must fail in standalone mode")
+	}
+	if !strings.Contains(err.Error(), "userFn") {
+		t.Fatalf("standalone escape error %q does not name the escaping head", err)
+	}
+	if !strings.Contains(err.Error(), "standalone") {
+		t.Fatalf("standalone escape error %q does not mention standalone mode", err)
 	}
 }
 

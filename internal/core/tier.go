@@ -1,0 +1,669 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wolfc/internal/codegen"
+	"wolfc/internal/expr"
+	"wolfc/internal/fnreg"
+	"wolfc/internal/infer"
+	"wolfc/internal/kernel"
+	"wolfc/internal/obs"
+	"wolfc/internal/pattern"
+	"wolfc/internal/runtime"
+	"wolfc/internal/types"
+	"wolfc/internal/wir"
+)
+
+// Tiered execution (ISSUE 5): the interpreter is tier 0, compiled code is
+// tier 1. EnableTiering hooks the kernel's DownValues dispatch; the hook
+// counts invocations per symbol and sketches the observed argument kinds.
+// When a symbol gets hot its definition (plus any mutually recursive
+// partners, compiled as a group through reserved registry entries) is
+// compiled on a single background worker and installed atomically — both
+// into the function registry, so other compiles resolve it as a direct
+// call, and into the dispatch table, so the kernel calls it without
+// pattern matching. The compiled path is guarded (F2-style): an argument
+// outside the compiled signature, or a soft runtime failure, silently
+// falls through to the interpreter rules, so tiering never changes
+// results — only how fast they arrive. Redefinition (Set/SetDelayed/Clear)
+// retires the registry entry, cascades through dependents, and invalidates
+// dependent compile-cache entries; the symbol re-earns promotion under its
+// new definition.
+
+// TierPolicy tunes the promotion engine.
+type TierPolicy struct {
+	// Threshold is the invocation count at which a symbol is considered
+	// hot. 0 means the default (50).
+	Threshold uint64
+	// MaxGroup bounds a mutual-recursion compile group. 0 means 6.
+	MaxGroup int
+	// FailureLimit retires a compiled entry after this many soft runtime
+	// failures (each already fell back to the interpreter, so this only
+	// stops paying for guards that always fail). 0 means 8.
+	FailureLimit int
+}
+
+func (p TierPolicy) withDefaults() TierPolicy {
+	if p.Threshold == 0 {
+		p.Threshold = 50
+	}
+	if p.MaxGroup == 0 {
+		p.MaxGroup = 6
+	}
+	if p.FailureLimit == 0 {
+		p.FailureLimit = 8
+	}
+	return p
+}
+
+// TieringStats is a snapshot of the engine's activity.
+type TieringStats struct {
+	Tracked         int    // symbols observed at dispatch
+	Installed       int    // symbols currently on the compiled tier
+	Promotions      uint64 // definitions successfully compiled and installed
+	CompileFailures uint64 // promotion attempts that did not produce code
+	Retires         uint64 // entries uninstalled by redefinition or failure
+	CompiledCalls   uint64 // dispatches served by compiled code
+	GuardMisses     uint64 // dispatches that missed the compiled signature
+	SoftFallbacks   uint64 // compiled runs that soft-failed to the interpreter
+	Aborts          uint64 // compiled runs ended by abort
+}
+
+// Package-level mirrors of the per-engine stats for /metrics.
+var (
+	ctrTierPromotions      = obs.NewCounter("tier_promotions")
+	ctrTierCompileFailures = obs.NewCounter("tier_compile_failures")
+	ctrTierRetires         = obs.NewCounter("tier_retires")
+	ctrTierCompiledCalls   = obs.NewCounter("tier_compiled_calls")
+	ctrTierGuardMisses     = obs.NewCounter("tier_guard_misses")
+	ctrTierSoftFallbacks   = obs.NewCounter("tier_soft_fallbacks")
+)
+
+type symStatus int
+
+const (
+	symIdle symStatus = iota
+	symQueued
+	symInstalled
+	symFailed
+)
+
+// symState is the per-symbol tiering record. All fields are guarded by
+// Tiering.mu except where noted.
+type symState struct {
+	sym     *expr.Symbol
+	count   uint64       // interpreted dispatches under the current sketch
+	nextTry uint64       // count gate for the next promotion attempt
+	kinds   []types.Type // argument-kind sketch from observed dispatches
+	defSeq  uint64       // bumped on every definition change
+	status  symStatus
+	entry   *fnreg.Entry
+	ccf     *CompiledCodeFunction
+}
+
+// tierMember is one definition snapshot handed to the compile worker.
+type tierMember struct {
+	sym    *expr.Symbol
+	name   string
+	fn     expr.Expr // synthesized Function[{Typed...}, body]
+	kinds  []types.Type
+	defSeq uint64
+}
+
+type tierJob struct{ members []*tierMember }
+
+// Tiering is one kernel's tiered-execution engine.
+type Tiering struct {
+	k   *kernel.Kernel
+	c   *Compiler // dedicated compiler: isolated env, shares the kernel
+	pol TierPolicy
+
+	mu    sync.Mutex
+	syms  map[*expr.Symbol]*symState
+	stats TieringStats
+
+	// Hot-path counters, outside mu.
+	compiledCalls atomic.Uint64
+	guardMisses   atomic.Uint64
+	softFallbacks atomic.Uint64
+	aborts        atomic.Uint64
+
+	jobs     chan tierJob
+	wg       sync.WaitGroup // the worker goroutine
+	inflight sync.WaitGroup // queued-but-not-installed jobs
+	closed   bool
+}
+
+// EnableTiering attaches a tiered-execution engine to k and starts its
+// background compile worker. Call Close to detach and stop the worker. The
+// engine installs the kernel's dispatch hook and definition observer; only
+// one engine per kernel.
+func EnableTiering(k *kernel.Kernel, pol TierPolicy) *Tiering {
+	t := &Tiering{
+		k:    k,
+		c:    NewCompiler(k),
+		pol:  pol.withDefaults(),
+		syms: map[*expr.Symbol]*symState{},
+		jobs: make(chan tierJob, 16),
+	}
+	k.SetDispatchHook(t.dispatch)
+	k.SetDefObserver(t.defChanged)
+	t.wg.Add(1)
+	go t.worker()
+	return t
+}
+
+// Close detaches the engine from the kernel and stops the worker. Must be
+// called from the evaluating goroutine (like evaluation itself).
+func (t *Tiering) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.k.SetDispatchHook(nil)
+	t.k.SetDefObserver(nil)
+	close(t.jobs)
+	t.wg.Wait()
+}
+
+// WaitIdle blocks until every queued promotion has compiled and installed
+// (or failed). Tests and benchmarks use it to make promotion deterministic.
+func (t *Tiering) WaitIdle() { t.inflight.Wait() }
+
+// Stats snapshots the engine counters.
+func (t *Tiering) Stats() TieringStats {
+	t.mu.Lock()
+	s := t.stats
+	s.Tracked = len(t.syms)
+	s.Installed = 0
+	for _, st := range t.syms {
+		if st.status == symInstalled {
+			s.Installed++
+		}
+	}
+	t.mu.Unlock()
+	s.CompiledCalls = t.compiledCalls.Load()
+	s.GuardMisses = t.guardMisses.Load()
+	s.SoftFallbacks = t.softFallbacks.Load()
+	s.Aborts = t.aborts.Load()
+	return s
+}
+
+// Compiled reports whether sym is currently served by compiled code.
+func (t *Tiering) Compiled(sym *expr.Symbol) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.syms[sym]
+	return st != nil && st.status == symInstalled
+}
+
+// dispatch is the kernel hook: called on the evaluating goroutine for every
+// DownValues application, with the arguments already evaluated.
+func (t *Tiering) dispatch(k *kernel.Kernel, head *expr.Symbol, call *expr.Normal) (expr.Expr, bool) {
+	t.mu.Lock()
+	st := t.syms[head]
+	if st == nil {
+		st = &symState{sym: head}
+		t.syms[head] = st
+	}
+	if st.status == symInstalled {
+		ccf := st.ccf
+		// The lock is released before running compiled code: the engine can
+		// escape back into the evaluator (KernelFunction) and re-enter this
+		// hook.
+		t.mu.Unlock()
+		return t.applyCompiled(st, ccf, call.Args())
+	}
+	// Interpreted tier: sketch the argument kinds and count.
+	kinds := sketchKinds(call.Args())
+	if kinds == nil {
+		// Not machine-numeric arguments; never promotable for this call
+		// shape, and not evidence against the current sketch either.
+		t.mu.Unlock()
+		return nil, false
+	}
+	if st.kinds == nil || !kindsEqual(st.kinds, kinds) {
+		st.kinds = kinds
+		st.count = 1
+	} else {
+		st.count++
+	}
+	if st.status == symIdle && st.count >= t.pol.Threshold && st.count >= st.nextTry {
+		t.tryPromote(st)
+	}
+	t.mu.Unlock()
+	return nil, false
+}
+
+// sketchKinds maps evaluated call arguments to compiled-parameter kinds;
+// nil when any argument is outside the machine-numeric fragment.
+func sketchKinds(args []expr.Expr) []types.Type {
+	kinds := make([]types.Type, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case *expr.Integer:
+			if !x.IsMachine() {
+				return nil
+			}
+			kinds[i] = types.TInt64
+		case *expr.Real:
+			kinds[i] = types.TReal64
+		default:
+			return nil
+		}
+	}
+	return kinds
+}
+
+func kindsEqual(a, b []types.Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !types.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryPromote (t.mu held, evaluating goroutine) builds the compile group
+// rooted at st and queues it on the worker.
+func (t *Tiering) tryPromote(st *symState) {
+	members, transient := t.buildGroup(st)
+	if members == nil {
+		if transient {
+			st.nextTry = st.count + t.pol.Threshold
+		} else {
+			st.status = symFailed
+			t.stats.CompileFailures++
+			ctrTierCompileFailures.Inc()
+		}
+		return
+	}
+	for _, m := range members {
+		t.syms[m.sym].status = symQueued
+	}
+	t.inflight.Add(1)
+	select {
+	case t.jobs <- tierJob{members: members}:
+	default:
+		// Worker backlog: revert and retry later.
+		for _, m := range members {
+			ms := t.syms[m.sym]
+			ms.status = symIdle
+			ms.nextTry = ms.count + t.pol.Threshold
+		}
+		t.inflight.Done()
+	}
+}
+
+// buildGroup analyzes st's definition and every reachable DownValue
+// definition it calls (the mutual-recursion closure), bounded by MaxGroup.
+// Returns (nil, true) for transient obstructions (a partner has no sketch
+// yet, or is mid-compile) and (nil, false) for structural ones (the
+// definition shape is not compilable).
+func (t *Tiering) buildGroup(root *symState) ([]*tierMember, bool) {
+	var members []*tierMember
+	visited := map[*expr.Symbol]bool{root.sym: true}
+	queue := []*symState{root}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		if len(members) >= t.pol.MaxGroup {
+			return nil, false
+		}
+		if len(t.c.TypeEnv.Lookup(st.sym.Name)) > 0 {
+			// The name shadows a compiler declaration; promoting it would
+			// change which definition compiled callers bind.
+			return nil, false
+		}
+		rules := append([]pattern.Rule{}, t.k.DownValues(st.sym)...)
+		p, err := analyzeDownValues(t.k, st.sym, rules, st.kinds)
+		if err != nil {
+			return nil, false
+		}
+		members = append(members, &tierMember{
+			sym:    st.sym,
+			name:   st.sym.Name,
+			fn:     synthesizeDownValues(p),
+			kinds:  st.kinds,
+			defSeq: st.defSeq,
+		})
+		for _, dep := range p.deps {
+			if visited[dep] {
+				continue
+			}
+			visited[dep] = true
+			ds := t.syms[dep]
+			if ds == nil || ds.kinds == nil {
+				// Partner never dispatched with machine arguments yet; it
+				// may still warm up.
+				return nil, true
+			}
+			switch ds.status {
+			case symInstalled:
+				continue // resolves through its live registry entry
+			case symQueued:
+				return nil, true
+			case symFailed:
+				return nil, false
+			}
+			queue = append(queue, ds)
+		}
+	}
+	return members, false
+}
+
+// worker is the single background compile goroutine.
+func (t *Tiering) worker() {
+	defer t.wg.Done()
+	for job := range t.jobs {
+		t.compileJob(job)
+		t.inflight.Done()
+	}
+}
+
+// compileJob compiles a promotion group and installs it atomically.
+func (t *Tiering) compileJob(job tierJob) {
+	members := job.members
+	entries := make([]*fnreg.Entry, len(members))
+	ccfs := make([]*CompiledCodeFunction, len(members))
+	fail := func() {
+		for _, e := range entries {
+			fnreg.RetireEntry(e)
+		}
+		t.mu.Lock()
+		for _, m := range members {
+			if st := t.syms[m.sym]; st != nil && st.defSeq == m.defSeq && st.status == symQueued {
+				st.status = symFailed
+			}
+		}
+		t.stats.CompileFailures++
+		t.mu.Unlock()
+		ctrTierCompileFailures.Inc()
+	}
+
+	if len(members) == 1 {
+		// A self-contained (or self-recursive) definition: compile, then
+		// register. Calls to already installed entries resolve through the
+		// registry during inference.
+		m := members[0]
+		ccf, err := t.c.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+		if err != nil {
+			fail()
+			return
+		}
+		sig := &types.Fn{Params: ccf.ParamTypes, Ret: ccf.RetType}
+		ent, err := fnreg.Reserve(m.name, sig, nil)
+		if err != nil {
+			fail()
+			return
+		}
+		ent.AddDeps(ccf.RegDeps)
+		entries[0], ccfs[0] = ent, ccf
+		t.install(members, entries, ccfs)
+		return
+	}
+
+	// Mutual-recursion group. Ground signatures must exist before any
+	// member compiles (each member's cross-calls resolve against the
+	// others' reserved entries), so a typing pre-pass lowers every member
+	// into one merged module — where the members see each other as module
+	// functions — and infers it as a whole.
+	merged := &wir.Module{}
+	for _, m := range members {
+		sub, err := t.c.BuildWIR(m.fn)
+		if err != nil {
+			fail()
+			return
+		}
+		for _, sf := range sub.Funcs {
+			if sf.Name == "Main" {
+				sf.Name = m.name
+			} else {
+				sf.Name = m.name + "`" + sf.Name
+			}
+			sf.Module = merged
+			merged.Funcs = append(merged.Funcs, sf)
+		}
+	}
+	if err := infer.Infer(merged, t.c.TypeEnv); err != nil {
+		fail()
+		return
+	}
+	for i, m := range members {
+		f := merged.FuncByName(m.name)
+		if f == nil || !types.IsGround(f.FnType()) {
+			fail()
+			return
+		}
+		deps := make([]string, 0, len(members)-1)
+		for _, o := range members {
+			if o != m {
+				deps = append(deps, o.name)
+			}
+		}
+		ent, err := fnreg.Reserve(m.name, f.FnType(), deps)
+		if err != nil {
+			fail()
+			return
+		}
+		entries[i] = ent
+	}
+	for i, m := range members {
+		ccf, err := t.c.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+		if err != nil {
+			fail()
+			return
+		}
+		if !types.Equal(ccf.RetType, entries[i].Sig().Ret) {
+			fail()
+			return
+		}
+		entries[i].AddDeps(ccf.RegDeps)
+		ccfs[i] = ccf
+	}
+	t.install(members, entries, ccfs)
+}
+
+// install publishes a compiled group: all members or none. A member whose
+// definition changed while the compile was in flight (defSeq mismatch)
+// poisons the whole group — its partners' code bakes calls to the stale
+// reservation.
+func (t *Tiering) install(members []*tierMember, entries []*fnreg.Entry, ccfs []*CompiledCodeFunction) {
+	t.mu.Lock()
+	stale := false
+	for _, m := range members {
+		st := t.syms[m.sym]
+		if st == nil || st.defSeq != m.defSeq || st.status != symQueued {
+			stale = true
+			break
+		}
+	}
+	if stale {
+		for _, m := range members {
+			if st := t.syms[m.sym]; st != nil && st.status == symQueued {
+				st.status = symIdle
+			}
+		}
+		t.mu.Unlock()
+		for _, e := range entries {
+			fnreg.RetireEntry(e)
+		}
+		return
+	}
+	for i, m := range members {
+		fnreg.Install(entries[i], ccfs[i].FunctionValue(), ccfs[i])
+		st := t.syms[m.sym]
+		st.entry = entries[i]
+		st.ccf = ccfs[i]
+		st.status = symInstalled
+		st.count = 0 // repurposed as the soft-failure tally on this tier
+		st.nextTry = 0
+		t.stats.Promotions++
+		ctrTierPromotions.Inc()
+	}
+	t.mu.Unlock()
+}
+
+// defChanged is the kernel's definition observer (evaluating goroutine):
+// Set/SetDelayed/Clear on a symbol with DownValues lands here. The symbol's
+// compiled entry is retired; the retirement cascades through registry
+// dependents, whose dispatch states drop back to the interpreted tier; and
+// compile-cache entries that baked calls to any retired entry are dropped.
+func (t *Tiering) defChanged(s *expr.Symbol) {
+	t.mu.Lock()
+	st := t.syms[s]
+	if st == nil {
+		st = &symState{sym: s}
+		t.syms[s] = st
+	}
+	st.defSeq++
+	st.count = 0
+	st.nextTry = 0
+	st.kinds = nil
+	st.status = symIdle
+	st.entry = nil
+	st.ccf = nil
+	retired := fnreg.Retire(s.Name)
+	for _, name := range retired {
+		if name == s.Name {
+			continue
+		}
+		// Dependents keep their definitions and heat; they just lose their
+		// compiled tier and re-promote against the new registry state.
+		if ds := t.syms[expr.Sym(name)]; ds != nil && ds.status == symInstalled {
+			ds.status = symIdle
+			ds.entry = nil
+			ds.ccf = nil
+		}
+	}
+	if n := len(retired); n > 0 {
+		t.stats.Retires += uint64(n)
+		ctrTierRetires.Add(uint64(n))
+	}
+	t.mu.Unlock()
+	if len(retired) > 0 {
+		gone := map[string]bool{}
+		for _, n := range retired {
+			gone[n] = true
+		}
+		InvalidateCompileCache(func(ccf *CompiledCodeFunction) bool {
+			for _, d := range ccf.RegDeps {
+				if gone[d] {
+					return true
+				}
+			}
+			return false
+		})
+	}
+}
+
+// applyCompiled runs one dispatch through the compiled tier. ok=false means
+// the caller (the kernel) proceeds with pattern matching exactly as if no
+// hook existed — the guarantee that tiering is invisible in results. This
+// mirrors CompiledCodeFunction.Apply but never re-evaluates through the
+// interpreter itself and never prints: the kernel's own rule path is the
+// fallback, keeping output bit-identical to an untired kernel.
+func (t *Tiering) applyCompiled(st *symState, ccf *CompiledCodeFunction, args []expr.Expr) (out expr.Expr, ok bool) {
+	if len(args) != len(ccf.ParamTypes) {
+		t.guardMisses.Add(1)
+		ctrTierGuardMisses.Inc()
+		return nil, false
+	}
+	raw := make([]any, len(args))
+	for i, a := range args {
+		v, u := runtime.Unbox(a, ccf.ParamTypes[i])
+		if !u {
+			// E.g. a bignum into a machine-integer slot: interpreter rules
+			// handle it (F2-style guard miss).
+			t.guardMisses.Add(1)
+			ctrTierGuardMisses.Inc()
+			ccf.Metrics.RecordFallback()
+			return nil, false
+		}
+		raw[i] = v
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			exc, isExc := r.(*runtime.Exception)
+			if !isExc {
+				panic(r)
+			}
+			if exc.Kind == runtime.ExcAbort {
+				// The kernel's abort flag is still set; the evaluator loop
+				// unwinds to $Aborted exactly as an interpreted abort does.
+				t.aborts.Add(1)
+				ccf.Metrics.RecordAbort()
+				out, ok = expr.SymAborted, true
+				return
+			}
+			// Soft runtime failure (overflow, retired callee, kernel
+			// escape): silently hand the call to the interpreter rules.
+			t.softFallbacks.Add(1)
+			ctrTierSoftFallbacks.Inc()
+			ccf.Metrics.RecordFallback()
+			t.noteSoftFailure(st)
+			out, ok = nil, false
+		}
+	}()
+	rec := obs.Enabled()
+	var t0 time.Time
+	if rec {
+		t0 = time.Now()
+	}
+	rt := &codegen.RT{Engine: t.c.Engine(), Workers: ccf.Program.Parallelism}
+	res := ccf.Program.Main.CallValues(rt, raw...)
+	if rec {
+		ccf.Metrics.RecordInvoke(time.Since(t0))
+	}
+	t.compiledCalls.Add(1)
+	ctrTierCompiledCalls.Inc()
+	if ccf.RetType == types.TVoid {
+		return expr.SymNull, true
+	}
+	return runtime.Box(res, ccf.RetType), true
+}
+
+// noteSoftFailure demotes a compiled entry whose guards pass but whose body
+// keeps soft-failing: every such call already paid a compiled attempt plus
+// an interpreted evaluation.
+func (t *Tiering) noteSoftFailure(st *symState) {
+	t.mu.Lock()
+	if st.status != symInstalled {
+		t.mu.Unlock()
+		return
+	}
+	st.count++ // repurposed as the soft-failure tally while installed
+	if st.count < uint64(t.pol.FailureLimit) {
+		t.mu.Unlock()
+		return
+	}
+	entry := st.entry
+	st.status = symFailed
+	st.entry = nil
+	st.ccf = nil
+	st.count = 0
+	t.mu.Unlock()
+	retired := fnreg.RetireEntry(entry)
+	t.mu.Lock()
+	for _, name := range retired {
+		if ds := t.syms[expr.Sym(name)]; ds != nil && ds.status == symInstalled {
+			ds.status = symIdle
+			ds.entry = nil
+			ds.ccf = nil
+		}
+	}
+	if n := len(retired); n > 0 {
+		t.stats.Retires += uint64(n)
+		ctrTierRetires.Add(uint64(n))
+	}
+	t.mu.Unlock()
+}

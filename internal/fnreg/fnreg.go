@@ -1,0 +1,269 @@
+// Package fnreg is the process-wide function registry at the
+// kernel↔compiler boundary (ISSUE 5). It maps symbol names to compiled
+// entry points with typed signatures, so that (a) the kernel's DownValues
+// apply path can dispatch a hot symbol straight into compiled code, and
+// (b) type inference and code generation can resolve a cross-unit call to
+// another compiled function as a direct unboxed call instead of a boxed
+// KernelApply round-trip through the interpreter.
+//
+// The package sits below both worlds on purpose: it depends only on the
+// type language and the observability layer, so internal/kernel,
+// internal/infer, internal/codegen and internal/core can all import it
+// without a cycle. Compiled values are stored as opaque `any` (in practice
+// *codegen.FuncVal) and asserted by the backend.
+//
+// Lifecycle: an entry is Reserved (signature visible to inference, not yet
+// callable), then Installed (callable), then Retired (permanently dead).
+// An entry is never re-pointed at a different function: redefining a
+// symbol retires its entry and any future compile installs a fresh one.
+// Code that baked a pointer to a retired entry throws a soft kernel
+// exception on the next call, which the invocation wrapper converts into
+// an interpreter fallback (F2) — stale callers degrade to the correct
+// semantics instead of running stale code.
+package fnreg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wolfc/internal/obs"
+	"wolfc/internal/types"
+)
+
+// Binding is the installed payload of an entry: the backend function value
+// plus an owner-defined payload (core stores the *CompiledCodeFunction).
+type Binding struct {
+	Fn      any
+	Payload any
+}
+
+// Entry is one registered function. The signature and dependency set are
+// fixed at reservation; only the binding transitions (nil → installed →
+// nil again on retirement), through a single atomic pointer so compiled
+// call sites pay one load on the hot path.
+type Entry struct {
+	name string
+	sig  *types.Fn
+
+	mu      sync.Mutex // guards deps
+	deps    []string
+	binding atomic.Pointer[Binding]
+	retired atomic.Bool
+}
+
+// Name returns the symbol name the entry is registered under.
+func (e *Entry) Name() string { return e.name }
+
+// Sig returns the entry's ground signature.
+func (e *Entry) Sig() *types.Fn { return e.sig }
+
+// Deps returns the names of other registry entries this entry's compiled
+// code calls through the registry (the invalidation cascade edges).
+func (e *Entry) Deps() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string{}, e.deps...)
+}
+
+// AddDeps extends the dependency set (recorded after compilation, when the
+// compiled module's registry-resolved calls are known).
+func (e *Entry) AddDeps(names []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.deps = append(e.deps, names...)
+}
+
+// Binding returns the installed binding, or nil while the entry is only
+// reserved or after it was retired. This is the compiled call-site hot
+// path: one atomic load.
+func (e *Entry) Binding() *Binding {
+	if e == nil {
+		return nil
+	}
+	return e.binding.Load()
+}
+
+// Installed reports whether the entry is currently callable.
+func (e *Entry) Installed() bool { return e.Binding() != nil }
+
+// Retired reports whether the entry was permanently uninstalled.
+func (e *Entry) Retired() bool { return e.retired.Load() }
+
+var reg = struct {
+	mu   sync.RWMutex
+	live map[string]*Entry
+}{live: map[string]*Entry{}}
+
+// Registry traffic counters, rendered by /metrics (the promotion signal
+// plumbing of ISSUE 5 rides on the obs layer from ISSUE 4).
+var (
+	ctrReserves = obs.NewCounter("fnreg_reserves")
+	ctrInstalls = obs.NewCounter("fnreg_installs")
+	ctrRetires  = obs.NewCounter("fnreg_retires")
+)
+
+func init() {
+	obs.RegisterGaugeProvider(func() []obs.Gauge {
+		reg.mu.RLock()
+		live, installed := len(reg.live), 0
+		for _, e := range reg.live {
+			if e.Installed() {
+				installed++
+			}
+		}
+		reg.mu.RUnlock()
+		return []obs.Gauge{
+			{Name: "fnreg_entries", Value: float64(live)},
+			{Name: "fnreg_entries_installed", Value: float64(installed)},
+		}
+	})
+}
+
+// Reserve registers a new entry for name with a ground signature. The
+// entry is visible to type inference immediately (so mutually recursive
+// compilation units can resolve each other before either is installed) but
+// is not callable until Install. Reserving over a live entry is an error:
+// the caller must Retire the old definition first.
+func Reserve(name string, sig *types.Fn, deps []string) (*Entry, error) {
+	if name == "" || sig == nil {
+		return nil, fmt.Errorf("fnreg: reserve needs a name and a signature")
+	}
+	if !types.IsGround(sig) {
+		return nil, fmt.Errorf("fnreg: signature for %s is not ground: %s", name, sig)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.live[name]; ok {
+		return nil, fmt.Errorf("fnreg: %s is already registered", name)
+	}
+	e := &Entry{name: name, sig: sig, deps: append([]string{}, deps...)}
+	reg.live[name] = e
+	ctrReserves.Inc()
+	return e, nil
+}
+
+// Install makes a reserved entry callable. Installing a retired entry is a
+// no-op (a racing redefinition won: the stale compile is discarded). The
+// registry lock serialises Install against Retire so a retired entry can
+// never end up callable.
+func Install(e *Entry, fn any, payload any) {
+	if e == nil || fn == nil {
+		return
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if e.retired.Load() {
+		return
+	}
+	e.binding.Store(&Binding{Fn: fn, Payload: payload})
+	ctrInstalls.Inc()
+}
+
+// Lookup returns the live (reserved or installed) entry for name.
+func Lookup(name string) (*Entry, bool) {
+	reg.mu.RLock()
+	e, ok := reg.live[name]
+	reg.mu.RUnlock()
+	return e, ok
+}
+
+// Retire permanently uninstalls name and cascades through reverse
+// dependencies: every live entry whose compiled code calls a retired entry
+// is retired too (its baked call sites would otherwise reach a dead
+// binding; retiring it makes its own callers fall back cleanly as well).
+// Returns the names retired, in sorted order; empty when name is not live.
+func Retire(name string) []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.live[name]; !ok {
+		return nil
+	}
+	return cascadeLocked(name)
+}
+
+// RetireEntry retires e only if it is still the live entry under its name.
+// A stale background compile discarding its reservation must not take down
+// a successor entry registered for a newer definition; the orphan is still
+// marked retired so a late Install on it stays a no-op.
+func RetireEntry(e *Entry) []string {
+	if e == nil {
+		return nil
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.live[e.name] != e {
+		e.retired.Store(true)
+		e.binding.Store(nil)
+		return nil
+	}
+	return cascadeLocked(e.name)
+}
+
+func cascadeLocked(name string) []string {
+	retired := map[string]bool{}
+	retireLocked(name, retired)
+	// Cascade to a fixed point: an entry depending on anything retired goes
+	// down with it, which may expose further dependents.
+	for {
+		var next string
+		for n, e := range reg.live {
+			for _, d := range e.Deps() {
+				if retired[d] {
+					next = n
+					break
+				}
+			}
+			if next != "" {
+				break
+			}
+		}
+		if next == "" {
+			break
+		}
+		retireLocked(next, retired)
+	}
+	names := make([]string, 0, len(retired))
+	for n := range retired {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func retireLocked(name string, retired map[string]bool) {
+	e := reg.live[name]
+	if e == nil {
+		return
+	}
+	e.retired.Store(true)
+	e.binding.Store(nil)
+	delete(reg.live, name)
+	retired[name] = true
+	ctrRetires.Inc()
+}
+
+// Names returns the live entry names, sorted (diagnostics and tests).
+func Names() []string {
+	reg.mu.RLock()
+	out := make([]string, 0, len(reg.live))
+	for n := range reg.live {
+		out = append(out, n)
+	}
+	reg.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Reset retires every live entry (tests; also used when a hosting kernel
+// is discarded). Counters are not reset.
+func Reset() {
+	reg.mu.Lock()
+	for n, e := range reg.live {
+		e.retired.Store(true)
+		e.binding.Store(nil)
+		delete(reg.live, n)
+	}
+	reg.mu.Unlock()
+}

@@ -15,6 +15,7 @@ import (
 
 	"wolfc/internal/diag"
 	"wolfc/internal/expr"
+	"wolfc/internal/fnreg"
 	"wolfc/internal/types"
 	"wolfc/internal/wir"
 )
@@ -366,6 +367,21 @@ func (in *inferer) constrainCall(f *wir.Function, i *wir.Instr) error {
 		opts = append(opts, altOption{def: d, ty: fn, quals: quals, rank: rank})
 	}
 	if len(opts) == 0 {
+		// Last resort before failing: the function registry. A name that is
+		// neither a module function nor a declared builtin may be another
+		// separately compiled unit (an auto-promoted DownValue definition, or
+		// a member of a mutual-recursion group reserved mid-compile). Resolve
+		// the call against its ground registry signature and mark the
+		// instruction so codegen emits a direct registry call instead of a
+		// boxed KernelApply round-trip.
+		if ent, ok := fnreg.Lookup(i.Callee); ok {
+			sig := ent.Sig()
+			if len(sig.Params) == len(i.Args) {
+				i.SetProp("regcall", ent)
+				return in.unify(want, sig, srcOf(i))
+			}
+			return typeErr(fmt.Sprintf("registry function %s takes %d arguments, called with %d", i.Callee, len(sig.Params), len(i.Args)), srcOf(i))
+		}
 		name := i.Callee
 		return typeErr(fmt.Sprintf("no matching implementation for %s with %d arguments; the function is unknown to the compiler (wrap the call in KernelFunction to evaluate it in the interpreter)", name, len(i.Args)), srcOf(i))
 	}

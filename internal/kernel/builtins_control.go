@@ -493,7 +493,9 @@ func biClear(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
 	for _, a := range n.Args() {
 		if s, ok := a.(*expr.Symbol); ok {
 			delete(k.own, s)
-			delete(k.down, s)
+			// Through the accessor so definition observers see the change
+			// (the tiered-execution registry uninstalls compiled entries).
+			k.ClearDownValues(s)
 		}
 	}
 	return expr.SymNull, true

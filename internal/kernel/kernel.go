@@ -49,6 +49,20 @@ type Applier func(k *Kernel, head *expr.Normal, args []expr.Expr) (expr.Expr, bo
 // Sin[x]).
 type Builtin func(k *Kernel, n *expr.Normal) (expr.Expr, bool)
 
+// DispatchHook is consulted on the DownValues apply path, before pattern
+// matching, for a symbol that has DownValues (ISSUE 5 tiered execution:
+// the hook dispatches hot symbols into compiled code). It receives the
+// call with evaluated arguments and reports whether it produced a result;
+// returning false falls through to ordinary rule dispatch, so a hook that
+// cannot handle the call (argument shape outside the compiled signature,
+// no compiled entry yet) costs one predictable branch and changes nothing.
+type DispatchHook func(k *Kernel, head *expr.Symbol, call *expr.Normal) (expr.Expr, bool)
+
+// DefObserver is notified after a symbol's DownValues change (a definition
+// added, replaced, or cleared), on the evaluating goroutine. Registries
+// keyed on definitions use it to invalidate compiled entries.
+type DefObserver func(s *expr.Symbol)
+
 // Kernel is an interpreter instance: symbol values, rules, attributes, and
 // evaluation state. It is not safe for concurrent evaluation; Abort may be
 // called from any goroutine.
@@ -76,6 +90,12 @@ type Kernel struct {
 	rngMu     sync.Mutex
 	rng       *rand.Rand
 	moduleSeq int64
+
+	// dispatchHook and defObserver wire the function registry into the
+	// evaluator (ISSUE 5); both are nil unless tiered execution is enabled
+	// and are only read/written on the evaluating goroutine.
+	dispatchHook DispatchHook
+	defObserver  DefObserver
 }
 
 // New returns a kernel with all builtins installed.
@@ -148,6 +168,7 @@ func (k *Kernel) DownValues(s *expr.Symbol) []pattern.Rule { return k.down[s] }
 // keeping rules sorted most-specific first. A rule whose LHS matches an
 // existing rule's LHS structurally replaces it.
 func (k *Kernel) AddDownValue(s *expr.Symbol, r pattern.Rule) {
+	defer k.notifyDefChange(s)
 	rules := k.down[s]
 	for i := range rules {
 		if expr.SameQ(rules[i].LHS, r.LHS) {
@@ -158,6 +179,31 @@ func (k *Kernel) AddDownValue(s *expr.Symbol, r pattern.Rule) {
 	rules = append(rules, r)
 	pattern.SortRules(rules)
 	k.down[s] = rules
+}
+
+// ClearDownValues removes every rewrite rule attached to s (Clear).
+func (k *Kernel) ClearDownValues(s *expr.Symbol) {
+	if _, had := k.down[s]; !had {
+		return
+	}
+	delete(k.down, s)
+	k.notifyDefChange(s)
+}
+
+// SetDispatchHook installs (or, with nil, removes) the compiled-dispatch
+// hook consulted before DownValues pattern matching. Only one hook can be
+// active; call from the evaluating goroutine.
+func (k *Kernel) SetDispatchHook(h DispatchHook) { k.dispatchHook = h }
+
+// SetDefObserver installs (or, with nil, removes) the definition-change
+// observer. Only one observer can be active; call from the evaluating
+// goroutine.
+func (k *Kernel) SetDefObserver(f DefObserver) { k.defObserver = f }
+
+func (k *Kernel) notifyDefChange(s *expr.Symbol) {
+	if k.defObserver != nil {
+		k.defObserver(s)
+	}
 }
 
 // Abort requests an asynchronous abort of the current evaluation (F3). It is
@@ -329,6 +375,15 @@ func (k *Kernel) evalNormal(n *expr.Normal) (expr.Expr, bool) {
 		// User DownValues take precedence over builtins, so users can
 		// overload system symbols that are not Protected.
 		if rules := k.down[headSym]; len(rules) != 0 {
+			// Tiered execution (ISSUE 5): a compiled entry for this symbol
+			// is tried before pattern matching. The hook is guarded — an
+			// argument outside the compiled signature returns false and the
+			// rules below apply exactly as without the hook (F2-style).
+			if k.dispatchHook != nil {
+				if out, ok := k.dispatchHook(k, headSym, cur); ok {
+					return out, true
+				}
+			}
 			for _, r := range rules {
 				b, ok := pattern.MatchCond(r.LHS, cur, k.condEval)
 				if ok {

@@ -72,9 +72,10 @@ func RenderMetrics(w io.Writer) {
 				sanitizeLabel(shortName(s.Name)), s.Backend, fmt.Sprint(BucketUpperNs(i)), cum)
 		}
 	}
-	if overflow > 0 {
-		fmt.Fprintf(w, "wolfc_func_registry_overflow %d\n", overflow)
-	}
+	// Rendered unconditionally (not just when non-zero) so dashboards can
+	// alert on the transition: a silently capped registry looks exactly
+	// like a quiet one if the series only appears after the first drop.
+	fmt.Fprintf(w, "wolfc_func_registry_overflow_total %d\n", overflow)
 	// Per-backend rollup so dashboards don't need to aggregate labels.
 	byBackend := map[string]*[3]uint64{}
 	for _, s := range snaps {

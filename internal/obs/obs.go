@@ -215,6 +215,15 @@ func FuncSnapshots() ([]FuncSnapshot, uint64) {
 	return out, overflow
 }
 
+// RegistryOverflow reports how many RegisterFunc calls landed past the
+// registry cap: their metric blocks record but are not listed, so a
+// non-zero value means the per-function tables undercount the process.
+func RegistryOverflow() uint64 {
+	funcReg.mu.Lock()
+	defer funcReg.mu.Unlock()
+	return funcReg.overflow
+}
+
 // ResetFuncRegistry drops every registered function block (tests).
 func ResetFuncRegistry() {
 	funcReg.mu.Lock()

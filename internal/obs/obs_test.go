@@ -119,6 +119,26 @@ func TestRegistryCapOverflow(t *testing.T) {
 	if over.Snapshot().Invocations != 1 {
 		t.Fatal("overflow block did not record")
 	}
+	if RegistryOverflow() != 1 {
+		t.Fatalf("RegistryOverflow = %d, want 1", RegistryOverflow())
+	}
+	RegisterFunc("overflowed2", "closure")
+	if RegistryOverflow() != 2 {
+		t.Fatalf("RegistryOverflow = %d, want 2", RegistryOverflow())
+	}
+	// The counter is always present in the exposition, zero or not, so a
+	// dashboard can alert on its first increment.
+	var sb strings.Builder
+	RenderMetrics(&sb)
+	if !strings.Contains(sb.String(), "wolfc_func_registry_overflow_total 2\n") {
+		t.Fatal("overflow counter missing from /metrics exposition")
+	}
+	ResetFuncRegistry()
+	sb.Reset()
+	RenderMetrics(&sb)
+	if !strings.Contains(sb.String(), "wolfc_func_registry_overflow_total 0\n") {
+		t.Fatal("zero overflow counter must still be exposed")
+	}
 }
 
 func TestFuncSnapshotsSorted(t *testing.T) {

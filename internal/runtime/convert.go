@@ -320,7 +320,7 @@ func boxTensor(t *Tensor, elem types.Type) expr.Expr {
 // numerics through the engine.
 func ExprBinary(eng Engine, head string, a, b expr.Expr) expr.Expr {
 	if eng == nil {
-		Throw(ExcKernel, "symbolic computation requires the engine (disabled in standalone mode)")
+		Throw(ExcKernel, "symbolic %s requires the engine (disabled in standalone mode)", head)
 	}
 	out, err := eng.EvalExpr(expr.NewS(head, a, b))
 	if err != nil {
@@ -332,16 +332,26 @@ func ExprBinary(eng Engine, head string, a, b expr.Expr) expr.Expr {
 // KernelApply evaluates f[args...] in the interpreter (KernelFunction, F9).
 func KernelApply(eng Engine, f expr.Expr, args []expr.Expr) expr.Expr {
 	if eng == nil {
-		Throw(ExcKernel, "KernelFunction requires the engine (disabled in standalone mode)")
+		Throw(ExcKernel, "KernelFunction escape to %s requires the engine (disabled in standalone mode)", escapeHeadName(f))
 	}
 	out, err := eng.EvalExpr(expr.New(f, args...))
 	if err != nil {
-		Throw(ExcKernel, "kernel escape: %v", err)
+		Throw(ExcKernel, "kernel escape to %s: %v", escapeHeadName(f), err)
 	}
 	if out == expr.SymAborted {
 		Throw(ExcAbort, "aborted")
 	}
 	return out
+}
+
+// escapeHeadName names the head a kernel escape would have applied, for
+// error messages: the symbol name when the head is a symbol, otherwise its
+// InputForm. Standalone-mode failures name what could not be evaluated.
+func escapeHeadName(f expr.Expr) string {
+	if s, ok := f.(*expr.Symbol); ok {
+		return s.Name
+	}
+	return expr.InputForm(f)
 }
 
 // SameQExpr is structural identity on symbolic values.

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -277,10 +278,25 @@ func TestStringHelpers(t *testing.T) {
 }
 
 func TestKernelApplyWithoutEngine(t *testing.T) {
-	if exc := catch(func() { KernelApply(nil, expr.Sym("f"), nil) }); exc == nil || exc.Kind != ExcKernel {
+	// The throw names the offending head so a standalone-mode user can see
+	// which call needed the engine.
+	exc := catch(func() { KernelApply(nil, expr.Sym("myKernelFn"), nil) })
+	if exc == nil || exc.Kind != ExcKernel {
 		t.Fatal("standalone KernelApply must throw ExcKernel")
 	}
-	if exc := catch(func() { ExprBinary(nil, "Plus", expr.FromInt64(1), expr.FromInt64(2)) }); exc == nil {
+	if !strings.Contains(exc.Msg, "myKernelFn") {
+		t.Fatalf("standalone KernelApply message %q does not name the head", exc.Msg)
+	}
+	exc = catch(func() { ExprBinary(nil, "Plus", expr.FromInt64(1), expr.FromInt64(2)) })
+	if exc == nil {
 		t.Fatal("standalone symbolic op must throw")
+	}
+	if !strings.Contains(exc.Msg, "Plus") {
+		t.Fatalf("standalone symbolic message %q does not name the operation", exc.Msg)
+	}
+	// Non-symbol heads render in InputForm.
+	exc = catch(func() { KernelApply(nil, expr.NewS("Derivative", expr.FromInt64(1)), nil) })
+	if exc == nil || !strings.Contains(exc.Msg, "Derivative[1]") {
+		t.Fatalf("standalone KernelApply with compound head: %v", exc)
 	}
 }

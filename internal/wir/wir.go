@@ -121,6 +121,33 @@ func (i *Instr) Prop(key string) (any, bool) {
 	return v, ok
 }
 
+// CallKind classifies how a call instruction's target is resolved:
+// "indirect" (through a function value), "direct" (another function in the
+// same module), "registry" (a separately compiled unit via the function
+// registry), "native" (a runtime primitive), or "kernel" (a boxed
+// KernelApply escape to the interpreter). Returns "" for non-calls.
+func (i *Instr) CallKind() string {
+	switch i.Op {
+	case OpCallIndirect:
+		return "indirect"
+	case OpCall:
+		if i.ResolvedFn != nil {
+			return "direct"
+		}
+		if _, ok := i.Prop("regcall"); ok {
+			return "registry"
+		}
+		if i.Callee == "Native`KernelApply" {
+			return "kernel"
+		}
+		if i.Native != "" {
+			return "native"
+		}
+		return "unresolved"
+	}
+	return ""
+}
+
 // IsTerminator reports whether the instruction ends a block.
 func (i *Instr) IsTerminator() bool {
 	switch i.Op {

@@ -25,12 +25,30 @@ if [ "${1:-}" = "-fast" ]; then
     exit 0
 fi
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== autocompile gate: tiered wolfrepl is bit-identical to the interpreter =="
+# Tiered execution (ISSUE 5) promotes hot DownValues to compiled code in
+# the background; the differential smoke runs the example corpus with and
+# without -autocompile and requires byte-identical stdout. The threshold
+# of 2 promotes everything the corpus defines, and the corpus covers
+# overflow fallback, guard misses, redefinition, and Clear.
+go build -o "$tmp/wolfrepl" ./cmd/wolfrepl
+"$tmp/wolfrepl" < examples/autocompile/corpus.wl > "$tmp/plain.out"
+"$tmp/wolfrepl" -autocompile -autocompile-threshold 2 \
+    < examples/autocompile/corpus.wl > "$tmp/tiered.out" 2> "$tmp/tiered.stats"
+cmp "$tmp/plain.out" "$tmp/tiered.out" || {
+    echo "verify: FAIL — tiered output diverged from the interpreter"
+    diff "$tmp/plain.out" "$tmp/tiered.out" | head -20
+    exit 1
+}
+cat "$tmp/tiered.stats"
+
 echo "== perf gate: wolfbench -fusion vs BENCH_fusion.json (>10% fails) =="
 # Shared-machine timing is noisy; a per-row best-of-3 filters load spikes
 # so the 10% threshold measures the code, not the neighbours. The
 # checked-in baseline is recorded the same way.
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 for i in 1 2 3; do
     go run ./cmd/wolfbench -fusion -json "$tmp/fusion$i.json" >/dev/null
 done
