@@ -106,22 +106,52 @@ type envJSON struct {
 	NumCPU     int    `json:"num_cpu"`
 }
 
+// histJSON summarises one named latency histogram (per-tier compile times).
+type histJSON struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+// tierJSON is the per-tier compile block of the -json document: how many
+// background compiles each tier ran, their mean latency, and the compile
+// queue depth at emit time (nonzero = the worker pool ended the run behind).
+func tierJSON() (map[string]histJSON, float64) {
+	hists := map[string]histJSON{}
+	for _, h := range obs.Histograms() {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		hists[s.Name] = histJSON{Count: s.Count, MeanNs: s.MeanNs()}
+	}
+	depth := 0.0
+	for _, g := range obs.ProviderGauges() {
+		if g.Name == "tier_compile_queue_depth" {
+			depth = g.Value
+		}
+	}
+	return hists, depth
+}
+
 func emitJSON(path string) {
 	cs := core.CompileCacheStatsNow()
+	hists, depth := tierJSON()
 	doc := struct {
-		Schema       string         `json:"schema"`
-		GOMAXPROCS   int            `json:"gomaxprocs"` // kept for older readers; see env
-		Env          envJSON        `json:"env"`
-		Full         bool           `json:"full"`
-		CompileCache cacheStatsJSON `json:"compile_cache"`
-		Results      []benchResult  `json:"results"`
+		Schema       string              `json:"schema"`
+		GOMAXPROCS   int                 `json:"gomaxprocs"` // kept for older readers; see env
+		Env          envJSON             `json:"env"`
+		Full         bool                `json:"full"`
+		CompileCache cacheStatsJSON      `json:"compile_cache"`
+		TierCompile  map[string]histJSON `json:"tier_compile,omitempty"`
+		TierQueue    float64             `json:"tier_compile_queue_depth"`
+		Results      []benchResult       `json:"results"`
 	}{"wolfbench/v1", gort.GOMAXPROCS(0), envJSON{
 		GoVersion: gort.Version(), GOOS: gort.GOOS, GOARCH: gort.GOARCH,
 		GOMAXPROCS: gort.GOMAXPROCS(0), NumCPU: gort.NumCPU(),
 	}, *full, cacheStatsJSON{
 		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
 		Invalidations: cs.Invalidations, Entries: cs.Entries, HitRatio: cs.HitRatio(),
-	}, jsonResults}
+	}, hists, depth, jsonResults}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wolfbench: -json:", err)
@@ -191,6 +221,9 @@ func main() {
 	}
 	if *selftestF {
 		os.Exit(metricsSelftest())
+	}
+	if *warmupF {
+		os.Exit(warmupSuite())
 	}
 	if *obsGateF {
 		os.Exit(obsOverheadGate())

@@ -26,11 +26,18 @@ var (
 	metricsAddr          = flag.String("metrics-addr", "", "serve live /metrics and /debug/funcs on this address for the session")
 	traceOut             = flag.String("trace-out", "", "write JSONL trace events (compile/invoke/fallback) to this file")
 	autoCompile          = flag.Bool("autocompile", false, "tiered execution: compile hot DownValue definitions in the background and dispatch them as compiled code")
-	autoCompileThreshold = flag.Uint64("autocompile-threshold", 50, "invocation count at which a definition is considered hot (with -autocompile)")
+	autoCompileThreshold = flag.Uint64("autocompile-threshold", 50, "invocation count at which a definition is promoted to the optimising tier (with -autocompile)")
+	stencilThreshold     = flag.Uint64("autocompile-stencil-threshold", 0, "invocation count for the fast stencil baseline tier (0 = threshold/5, with -autocompile)")
+	stencilOnly          = flag.Bool("autocompile-stencil-only", false, "pin hot definitions to the stencil baseline tier; never upgrade to the optimising backend")
+	noStencil            = flag.Bool("autocompile-no-stencil", false, "skip the stencil baseline tier: promote hot definitions straight to the optimising backend")
 )
 
 func main() {
 	flag.Parse()
+	if *stencilOnly && *noStencil {
+		fmt.Fprintln(os.Stderr, "wolfrepl: -autocompile-stencil-only and -autocompile-no-stencil are mutually exclusive")
+		os.Exit(2)
+	}
 	if *metricsAddr != "" {
 		srv, err := obs.ServeMetrics(*metricsAddr)
 		if err != nil {
@@ -62,13 +69,18 @@ func main() {
 		// compiled in the background and dispatched as compiled code.
 		// Stats go to stderr on exit so stdout stays bit-identical to an
 		// untiered session.
-		tr := core.EnableTiering(k, core.TierPolicy{Threshold: *autoCompileThreshold})
+		tr := core.EnableTiering(k, core.TierPolicy{
+			Threshold:        *autoCompileThreshold,
+			StencilThreshold: *stencilThreshold,
+			DisableO2:        *stencilOnly,
+			DisableStencil:   *noStencil,
+		})
 		defer func() {
-			tr.Close() // drain the worker so in-flight promotions are counted
+			tr.Close() // drain the worker pool so in-flight promotions are counted
 			s := tr.Stats()
 			fmt.Fprintf(os.Stderr,
-				"autocompile: %d symbols tracked, %d promoted (%d installed now), %d compiled dispatches, %d guard misses, %d soft fallbacks, %d compile failures, %d retires, %d aborts\n",
-				s.Tracked, s.Promotions, s.Installed, s.CompiledCalls, s.GuardMisses, s.SoftFallbacks, s.CompileFailures, s.Retires, s.Aborts)
+				"autocompile: %d symbols tracked, %d promoted (%d stencil, %d upgraded; %d installed now), %d compiled dispatches, %d guard misses, %d soft fallbacks, %d compile failures, %d retires, %d aborts\n",
+				s.Tracked, s.Promotions, s.StencilPromotions, s.Upgrades, s.Installed, s.CompiledCalls, s.GuardMisses, s.SoftFallbacks, s.CompileFailures, s.Retires, s.Aborts)
 		}()
 	}
 

@@ -179,7 +179,7 @@ func (c *Compiler) cacheKey(fn expr.Expr) (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "src:%s\n", expr.FullForm(expanded))
 	fmt.Fprintf(h, "passes:%+v\n", c.Options)
-	fmt.Fprintf(h, "backend:naive=%v parallelism=%d fuse=%d profile=%d\n", c.NaiveConstants, c.Parallelism, c.FuseLevel, c.ProfileLevel)
+	fmt.Fprintf(h, "backend:naive=%v parallelism=%d fuse=%d profile=%d stencil=%v\n", c.NaiveConstants, c.Parallelism, c.FuseLevel, c.ProfileLevel, c.Stencil)
 	fmt.Fprintf(h, "tyenv:%x macroenv:%x\n", c.TypeEnv.Sig(), c.MacroEnv.Sig())
 	// The kernel identity matters: the compiled wrapper's fallback and
 	// engine escapes are bound to the hosting kernel.
@@ -206,9 +206,9 @@ func (c *Compiler) fastKey(fn expr.Expr) string {
 		opts = append(opts, k+"="+expr.FullForm(v))
 	}
 	sort.Strings(opts)
-	return fmt.Sprintf("%s\x00%+v\x00%v\x00%d\x00%d\x00%d\x00%x\x00%x\x00%s",
+	return fmt.Sprintf("%s\x00%+v\x00%v\x00%d\x00%d\x00%d\x00%v\x00%x\x00%x\x00%s",
 		expr.FullForm(fn), c.Options, c.NaiveConstants, c.Parallelism,
-		c.FuseLevel, c.ProfileLevel, c.TypeEnv.Sig(), c.MacroEnv.Sig(), strings.Join(opts, "\x00"))
+		c.FuseLevel, c.ProfileLevel, c.Stencil, c.TypeEnv.Sig(), c.MacroEnv.Sig(), strings.Join(opts, "\x00"))
 }
 
 // FunctionCompileCached is FunctionCompile backed by the process-wide LRU

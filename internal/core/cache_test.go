@@ -105,6 +105,7 @@ func TestCompileCacheKeyCoversEveryOption(t *testing.T) {
 		{"Parallelism", func(c *Compiler) { c.Parallelism = 7 }},
 		{"FuseLevel", func(c *Compiler) { c.FuseLevel = c.FuseLevel + 1 }},
 		{"ProfileLevel", func(c *Compiler) { c.ProfileLevel = 1 }},
+		{"Stencil", func(c *Compiler) { c.Stencil = true }},
 	}
 	for _, f := range flips {
 		before := CompileCacheStatsNow()

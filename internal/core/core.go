@@ -53,6 +53,14 @@ type Compiler struct {
 	// (ISSUE 4); the hot-block table is exposed through the compiled
 	// function's metrics detail and codegen.CFunc.ProfileTable.
 	ProfileLevel int
+	// Stencil selects the baseline copy-and-patch backend (tier F1.5):
+	// quick scalar inference instead of the constraint solver, no pass
+	// pipeline, and table-lookup stencil assembly instead of instruction
+	// selection. Compiles land ~an order of magnitude faster; coverage is
+	// the machine-scalar fragment, and anything outside it fails with
+	// codegen.ErrStencilUnsupported/infer.ErrQuickUnsupported so callers
+	// can fall back to the full pipeline.
+	Stencil bool
 
 	// fastKeys memoises raw source -> content-addressed cache key so
 	// repeated implicit compiles (FindRoot's solver loop) skip macro
@@ -158,6 +166,9 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 			err = diag.Resolve(err, req.Source)
 		}
 	}()
+	if c.Stencil {
+		return c.stencilCompile(fn, req, rep)
+	}
 	mod, err := c.buildTWIR(req.SelfName, fn, req.Source, rep)
 	if err != nil {
 		return nil, err
@@ -264,6 +275,23 @@ func (c *Compiler) BuildTWIR(selfName string, fn expr.Expr) (*wir.Module, error)
 }
 
 func (c *Compiler) buildTWIR(selfName string, fn expr.Expr, src *diag.Source, rep *CompileReport) (*wir.Module, error) {
+	mod, err := c.buildUntypedWIR(selfName, fn, src, rep)
+	if err != nil {
+		return nil, err
+	}
+	t := startTimer(rep)
+	if err := infer.Infer(mod, c.TypeEnv); err != nil {
+		return nil, err
+	}
+	rep.stage("infer", t)
+	return mod, nil
+}
+
+// buildUntypedWIR is the shared front half of both pipelines: macro
+// expansion, the SelfName recursion rewrite, binding, and SSA lowering.
+// The full pipeline follows it with the constraint solver; the stencil
+// tier with the single-pass quick annotator.
+func (c *Compiler) buildUntypedWIR(selfName string, fn expr.Expr, src *diag.Source, rep *CompileReport) (*wir.Module, error) {
 	t := startTimer(rep)
 	expanded, err := c.MacroEnv.ExpandSource(fn, c.CompileOpts, src)
 	if err != nil {
@@ -292,12 +320,53 @@ func (c *Compiler) buildTWIR(selfName string, fn expr.Expr, src *diag.Source, re
 		return nil, err
 	}
 	rep.stage("lower", t)
-	t = startTimer(rep)
-	if err := infer.Infer(mod, c.TypeEnv); err != nil {
+	return mod, nil
+}
+
+// stencilCompile is the baseline-tier pipeline (F1.5): shared front end,
+// quick scalar inference, abort-check insertion, and copy-and-patch
+// assembly. Everything the pass manager would otherwise do is skipped —
+// the scalar fragment needs no copy insertion or refcounting, and
+// optimisation is the O2 tier's job after re-promotion.
+func (c *Compiler) stencilCompile(fn expr.Expr, req CompileRequest, rep *CompileReport) (*CompiledCodeFunction, error) {
+	mod, err := c.buildUntypedWIR(req.SelfName, fn, req.Source, rep)
+	if err != nil {
 		return nil, err
 	}
-	rep.stage("infer", t)
-	return mod, nil
+	t := startTimer(rep)
+	if err := infer.Quick(mod, c.TypeEnv); err != nil {
+		return nil, err
+	}
+	rep.stage("quick-infer", t)
+	t = startTimer(rep)
+	if c.Options.AbortHandling {
+		passes.InsertAbortChecks(mod)
+	}
+	// No Lint here: the quick annotator and the stencil assembler both
+	// reject anything malformed, and linting would cost a double-digit
+	// share of the whole baseline compile.
+	prog, err := codegen.StencilCompile(mod)
+	if err != nil {
+		return nil, err
+	}
+	rep.stage("stencil", t)
+	main := mod.Main()
+	ccf := &CompiledCodeFunction{
+		Source:   fn,
+		Module:   mod,
+		Program:  prog,
+		RetType:  main.RetTy,
+		compiler: c,
+		Report:   rep,
+		Metrics:  obs.RegisterFunc(displayName(req.SelfName, fn), "stencil"),
+	}
+	for _, p := range main.Params {
+		if !p.Capture {
+			ccf.ParamTypes = append(ccf.ParamTypes, p.Ty)
+		}
+	}
+	ccf.RegDeps = collectRegDeps(mod)
+	return ccf, nil
 }
 
 // BuildWIR runs the pipeline up to untyped WIR (§A.6 CompileToIR with

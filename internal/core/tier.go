@@ -1,6 +1,7 @@
 package core
 
 import (
+	gort "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,33 +12,65 @@ import (
 	"wolfc/internal/infer"
 	"wolfc/internal/kernel"
 	"wolfc/internal/obs"
+	"wolfc/internal/parser"
 	"wolfc/internal/pattern"
 	"wolfc/internal/runtime"
 	"wolfc/internal/types"
 	"wolfc/internal/wir"
 )
 
-// Tiered execution (ISSUE 5): the interpreter is tier 0, compiled code is
-// tier 1. EnableTiering hooks the kernel's DownValues dispatch; the hook
-// counts invocations per symbol and sketches the observed argument kinds.
-// When a symbol gets hot its definition (plus any mutually recursive
-// partners, compiled as a group through reserved registry entries) is
-// compiled on a single background worker and installed atomically — both
-// into the function registry, so other compiles resolve it as a direct
-// call, and into the dispatch table, so the kernel calls it without
-// pattern matching. The compiled path is guarded (F2-style): an argument
-// outside the compiled signature, or a soft runtime failure, silently
-// falls through to the interpreter rules, so tiering never changes
-// results — only how fast they arrive. Redefinition (Set/SetDelayed/Clear)
-// retires the registry entry, cascades through dependents, and invalidates
-// dependent compile-cache entries; the symbol re-earns promotion under its
-// new definition.
+// Tiered execution (ISSUE 5, extended by ISSUE 6): the interpreter is tier
+// F2, the copy-and-patch stencil backend is the baseline tier F1.5, and
+// the full optimising pipeline is tier F1. EnableTiering hooks the
+// kernel's DownValues dispatch; the hook counts invocations per symbol and
+// sketches the observed argument kinds. A symbol that gets even mildly hot
+// (StencilThreshold) is compiled almost immediately on the cheap stencil
+// path — no constraint solver, no pass manager, straight table lookup from
+// TWIR instruction shapes to pre-built closure templates — and installed.
+// If it stays hot (Threshold compiled calls), the same definition is
+// recompiled through the full pipeline and the registry entry is re-pointed
+// in place (fnreg.Upgrade), so dependents' baked call sites pick up the
+// optimised code on their next atomic load. Definitions the stencil tier
+// cannot hold (uncovered instruction shapes, non-scalar types) skip
+// straight to the optimised pipeline.
+//
+// Compilation runs on a bounded pool of background workers (at most
+// GOMAXPROCS); each worker owns its own Compiler pair so concurrent
+// compiles never share mutable front-end state. Per-symbol ordering is
+// preserved by the status machine: a symbol is queued for promotion only
+// from the idle state, and for upgrade only from the installed state, so
+// two jobs for one symbol are never in flight together. The compiled path
+// is guarded (F2-style): an argument outside the compiled signature, or a
+// soft runtime failure, silently falls through to the interpreter rules,
+// so tiering never changes results — only how fast they arrive.
+// Redefinition (Set/SetDelayed/Clear) retires the registry entry, cascades
+// through dependents, and invalidates dependent compile-cache entries; the
+// symbol re-earns promotion under its new definition, and any in-flight
+// compile for the old definition is discarded at install time.
 
 // TierPolicy tunes the promotion engine.
 type TierPolicy struct {
-	// Threshold is the invocation count at which a symbol is considered
-	// hot. 0 means the default (50).
+	// Threshold is the invocation count at which a symbol graduates to the
+	// fully optimised tier: interpreted dispatches when the stencil tier is
+	// disabled, stencil-compiled calls otherwise. 0 means the default (50).
 	Threshold uint64
+	// StencilThreshold is the interpreted-dispatch count at which a symbol
+	// is promoted to the stencil baseline tier. 0 means Threshold/5,
+	// clamped to at least 2 — hot symbols leave the interpreter almost
+	// immediately.
+	StencilThreshold uint64
+	// DisableStencil skips the baseline tier: hot symbols go straight from
+	// the interpreter to the optimised pipeline at Threshold (the pre-ISSUE
+	// 6 behaviour).
+	DisableStencil bool
+	// DisableO2 pins promoted symbols to the stencil tier: no upgrade hop.
+	// Used by the differential harness to exercise stencil code in steady
+	// state. Definitions the stencil backend cannot hold still compile
+	// through the full pipeline (correctness beats tier purity).
+	DisableO2 bool
+	// Workers bounds the background compile pool. 0 means GOMAXPROCS;
+	// values above GOMAXPROCS are clamped to it.
+	Workers int
 	// MaxGroup bounds a mutual-recursion compile group. 0 means 6.
 	MaxGroup int
 	// FailureLimit retires a compiled entry after this many soft runtime
@@ -50,37 +83,67 @@ func (p TierPolicy) withDefaults() TierPolicy {
 	if p.Threshold == 0 {
 		p.Threshold = 50
 	}
+	if p.StencilThreshold == 0 {
+		p.StencilThreshold = p.Threshold / 5
+		if p.StencilThreshold < 2 {
+			p.StencilThreshold = 2
+		}
+	}
 	if p.MaxGroup == 0 {
 		p.MaxGroup = 6
 	}
 	if p.FailureLimit == 0 {
 		p.FailureLimit = 8
 	}
+	if max := gort.GOMAXPROCS(0); p.Workers <= 0 || p.Workers > max {
+		p.Workers = max
+	}
 	return p
 }
 
 // TieringStats is a snapshot of the engine's activity.
 type TieringStats struct {
-	Tracked         int    // symbols observed at dispatch
-	Installed       int    // symbols currently on the compiled tier
-	Promotions      uint64 // definitions successfully compiled and installed
-	CompileFailures uint64 // promotion attempts that did not produce code
-	Retires         uint64 // entries uninstalled by redefinition or failure
-	CompiledCalls   uint64 // dispatches served by compiled code
-	GuardMisses     uint64 // dispatches that missed the compiled signature
-	SoftFallbacks   uint64 // compiled runs that soft-failed to the interpreter
-	Aborts          uint64 // compiled runs ended by abort
+	Tracked           int    // symbols observed at dispatch
+	Installed         int    // symbols currently on a compiled tier
+	StencilInstalled  int    // subset of Installed still on the stencil tier
+	Promotions        uint64 // definitions successfully compiled and installed
+	StencilPromotions uint64 // promotions whose first compiled tier was the stencil
+	Upgrades          uint64 // stencil entries re-pointed at optimised code
+	CompileFailures   uint64 // promotion attempts that did not produce code
+	Retires           uint64 // entries uninstalled by redefinition or failure
+	CompiledCalls     uint64 // dispatches served by compiled code
+	GuardMisses       uint64 // dispatches that missed the compiled signature
+	SoftFallbacks     uint64 // compiled runs that soft-failed to the interpreter
+	Aborts            uint64 // compiled runs ended by abort
 }
 
-// Package-level mirrors of the per-engine stats for /metrics.
+// Package-level mirrors of the per-engine stats for /metrics, plus the
+// per-tier compile-latency histograms and the queue-depth gauge: the
+// compile-latency story is the point of the baseline tier, so it is
+// first-class observable.
 var (
-	ctrTierPromotions      = obs.NewCounter("tier_promotions")
-	ctrTierCompileFailures = obs.NewCounter("tier_compile_failures")
-	ctrTierRetires         = obs.NewCounter("tier_retires")
-	ctrTierCompiledCalls   = obs.NewCounter("tier_compiled_calls")
-	ctrTierGuardMisses     = obs.NewCounter("tier_guard_misses")
-	ctrTierSoftFallbacks   = obs.NewCounter("tier_soft_fallbacks")
+	ctrTierPromotions        = obs.NewCounter("tier_promotions")
+	ctrTierStencilPromotions = obs.NewCounter("tier_stencil_promotions")
+	ctrTierUpgrades          = obs.NewCounter("tier_upgrades")
+	ctrTierCompileFailures   = obs.NewCounter("tier_compile_failures")
+	ctrTierRetires           = obs.NewCounter("tier_retires")
+	ctrTierCompiledCalls     = obs.NewCounter("tier_compiled_calls")
+	ctrTierGuardMisses       = obs.NewCounter("tier_guard_misses")
+	ctrTierSoftFallbacks     = obs.NewCounter("tier_soft_fallbacks")
+
+	histStencilCompile = obs.NewHistogram("tier_compile_stencil")
+	histO2Compile      = obs.NewHistogram("tier_compile_o2")
+
+	tierQueueDepth atomic.Int64
 )
+
+func init() {
+	obs.RegisterGaugeProvider(func() []obs.Gauge {
+		return []obs.Gauge{
+			{Name: "tier_compile_queue_depth", Value: float64(tierQueueDepth.Load())},
+		}
+	})
+}
 
 type symStatus int
 
@@ -91,20 +154,36 @@ const (
 	symFailed
 )
 
+// tierLevel identifies which compiled tier currently serves a symbol.
+type tierLevel int
+
+const (
+	tierNone    tierLevel = iota
+	tierStencil           // F1.5: copy-and-patch baseline
+	tierO2                // F1: full optimising pipeline
+)
+
 // symState is the per-symbol tiering record. All fields are guarded by
-// Tiering.mu except where noted.
+// Tiering.mu except tierCalls, which the compiled hot path bumps without
+// the lock.
 type symState struct {
-	sym     *expr.Symbol
-	count   uint64       // interpreted dispatches under the current sketch
-	nextTry uint64       // count gate for the next promotion attempt
-	kinds   []types.Type // argument-kind sketch from observed dispatches
-	defSeq  uint64       // bumped on every definition change
-	status  symStatus
-	entry   *fnreg.Entry
-	ccf     *CompiledCodeFunction
+	sym           *expr.Symbol
+	count         uint64       // interpreted dispatches under the current sketch
+	nextTry       uint64       // count gate for the next promotion attempt
+	kinds         []types.Type // argument-kind sketch from observed dispatches
+	defSeq        uint64       // bumped on every definition change
+	status        symStatus
+	tier          tierLevel // which compiled tier, while installed
+	entry         *fnreg.Entry
+	ccf           *CompiledCodeFunction
+	srcFn         expr.Expr // synthesized source, kept for the upgrade recompile
+	softFails     uint64    // soft-failure tally while installed
+	upgradeQueued bool      // an O2 upgrade job is queued or in flight
+
+	tierCalls atomic.Uint64 // successful compiled calls on the current tier
 }
 
-// tierMember is one definition snapshot handed to the compile worker.
+// tierMember is one definition snapshot handed to a compile worker.
 type tierMember struct {
 	sym    *expr.Symbol
 	name   string
@@ -113,12 +192,29 @@ type tierMember struct {
 	defSeq uint64
 }
 
-type tierJob struct{ members []*tierMember }
+// tierUpgrade is a stencil→optimised recompile request for an installed
+// entry. The entry pointer pins the exact installation generation: if the
+// symbol was redefined (or demoted) while the recompile was in flight, the
+// identity check fails and the result is discarded.
+type tierUpgrade struct {
+	sym    *expr.Symbol
+	name   string
+	fn     expr.Expr
+	defSeq uint64
+	entry  *fnreg.Entry
+}
+
+// tierJob is one unit of background work: either a promotion group or an
+// upgrade (exactly one field is set).
+type tierJob struct {
+	members []*tierMember
+	upgrade *tierUpgrade
+}
 
 // Tiering is one kernel's tiered-execution engine.
 type Tiering struct {
 	k   *kernel.Kernel
-	c   *Compiler // dedicated compiler: isolated env, shares the kernel
+	c   *Compiler // dedicated compiler: env lookups and the engine handle
 	pol TierPolicy
 
 	mu    sync.Mutex
@@ -132,13 +228,13 @@ type Tiering struct {
 	aborts        atomic.Uint64
 
 	jobs     chan tierJob
-	wg       sync.WaitGroup // the worker goroutine
+	wg       sync.WaitGroup // the worker pool
 	inflight sync.WaitGroup // queued-but-not-installed jobs
 	closed   bool
 }
 
 // EnableTiering attaches a tiered-execution engine to k and starts its
-// background compile worker. Call Close to detach and stop the worker. The
+// background compile pool. Call Close to detach and stop the workers. The
 // engine installs the kernel's dispatch hook and definition observer; only
 // one engine per kernel.
 func EnableTiering(k *kernel.Kernel, pol TierPolicy) *Tiering {
@@ -147,16 +243,18 @@ func EnableTiering(k *kernel.Kernel, pol TierPolicy) *Tiering {
 		c:    NewCompiler(k),
 		pol:  pol.withDefaults(),
 		syms: map[*expr.Symbol]*symState{},
-		jobs: make(chan tierJob, 16),
+		jobs: make(chan tierJob, 64),
 	}
 	k.SetDispatchHook(t.dispatch)
 	k.SetDefObserver(t.defChanged)
-	t.wg.Add(1)
-	go t.worker()
+	for i := 0; i < t.pol.Workers; i++ {
+		t.wg.Add(1)
+		go t.worker()
+	}
 	return t
 }
 
-// Close detaches the engine from the kernel and stops the worker. Must be
+// Close detaches the engine from the kernel and stops the workers. Must be
 // called from the evaluating goroutine (like evaluation itself).
 func (t *Tiering) Close() {
 	t.mu.Lock()
@@ -172,8 +270,9 @@ func (t *Tiering) Close() {
 	t.wg.Wait()
 }
 
-// WaitIdle blocks until every queued promotion has compiled and installed
-// (or failed). Tests and benchmarks use it to make promotion deterministic.
+// WaitIdle blocks until every queued compile has installed (or failed,
+// or been discarded). Tests and benchmarks use it to make promotion
+// deterministic.
 func (t *Tiering) WaitIdle() { t.inflight.Wait() }
 
 // Stats snapshots the engine counters.
@@ -181,10 +280,13 @@ func (t *Tiering) Stats() TieringStats {
 	t.mu.Lock()
 	s := t.stats
 	s.Tracked = len(t.syms)
-	s.Installed = 0
+	s.Installed, s.StencilInstalled = 0, 0
 	for _, st := range t.syms {
 		if st.status == symInstalled {
 			s.Installed++
+			if st.tier == tierStencil {
+				s.StencilInstalled++
+			}
 		}
 	}
 	t.mu.Unlock()
@@ -195,12 +297,22 @@ func (t *Tiering) Stats() TieringStats {
 	return s
 }
 
-// Compiled reports whether sym is currently served by compiled code.
+// Compiled reports whether sym is currently served by compiled code (on
+// either compiled tier).
 func (t *Tiering) Compiled(sym *expr.Symbol) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st := t.syms[sym]
 	return st != nil && st.status == symInstalled
+}
+
+// OnStencilTier reports whether sym is currently served by the stencil
+// baseline tier (as opposed to the optimised tier).
+func (t *Tiering) OnStencilTier(sym *expr.Symbol) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.syms[sym]
+	return st != nil && st.status == symInstalled && st.tier == tierStencil
 }
 
 // dispatch is the kernel hook: called on the evaluating goroutine for every
@@ -214,11 +326,14 @@ func (t *Tiering) dispatch(k *kernel.Kernel, head *expr.Symbol, call *expr.Norma
 	}
 	if st.status == symInstalled {
 		ccf := st.ccf
+		// The upgrade hop triggers off successful calls served by the
+		// stencil tier; once an upgrade is queued the trigger disarms.
+		hop := st.tier == tierStencil && !st.upgradeQueued && !t.pol.DisableO2
 		// The lock is released before running compiled code: the engine can
 		// escape back into the evaluator (KernelFunction) and re-enter this
 		// hook.
 		t.mu.Unlock()
-		return t.applyCompiled(st, ccf, call.Args())
+		return t.applyCompiled(st, ccf, call.Args(), hop)
 	}
 	// Interpreted tier: sketch the argument kinds and count.
 	kinds := sketchKinds(call.Args())
@@ -234,7 +349,11 @@ func (t *Tiering) dispatch(k *kernel.Kernel, head *expr.Symbol, call *expr.Norma
 	} else {
 		st.count++
 	}
-	if st.status == symIdle && st.count >= t.pol.Threshold && st.count >= st.nextTry {
+	gate := t.pol.Threshold
+	if !t.pol.DisableStencil {
+		gate = t.pol.StencilThreshold
+	}
+	if st.status == symIdle && st.count >= gate && st.count >= st.nextTry {
 		t.tryPromote(st)
 	}
 	t.mu.Unlock()
@@ -274,8 +393,11 @@ func kindsEqual(a, b []types.Type) bool {
 }
 
 // tryPromote (t.mu held, evaluating goroutine) builds the compile group
-// rooted at st and queues it on the worker.
+// rooted at st and queues it on the worker pool.
 func (t *Tiering) tryPromote(st *symState) {
+	if t.closed {
+		return
+	}
 	members, transient := t.buildGroup(st)
 	if members == nil {
 		if transient {
@@ -293,6 +415,7 @@ func (t *Tiering) tryPromote(st *symState) {
 	t.inflight.Add(1)
 	select {
 	case t.jobs <- tierJob{members: members}:
+		tierQueueDepth.Add(1)
 	default:
 		// Worker backlog: revert and retry later.
 		for _, m := range members {
@@ -300,6 +423,30 @@ func (t *Tiering) tryPromote(st *symState) {
 			ms.status = symIdle
 			ms.nextTry = ms.count + t.pol.Threshold
 		}
+		t.inflight.Done()
+	}
+}
+
+// maybeQueueUpgrade queues a stencil→optimised recompile for st once it has
+// proven hot on the stencil tier. Caller does not hold t.mu.
+func (t *Tiering) maybeQueueUpgrade(st *symState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || st.status != symInstalled || st.tier != tierStencil ||
+		st.upgradeQueued || t.pol.DisableO2 {
+		return
+	}
+	u := &tierUpgrade{sym: st.sym, name: st.sym.Name, fn: st.srcFn,
+		defSeq: st.defSeq, entry: st.entry}
+	st.upgradeQueued = true
+	t.inflight.Add(1)
+	select {
+	case t.jobs <- tierJob{upgrade: u}:
+		tierQueueDepth.Add(1)
+	default:
+		// Worker backlog: re-arm the trigger for another Threshold calls.
+		st.upgradeQueued = false
+		st.tierCalls.Store(0)
 		t.inflight.Done()
 	}
 }
@@ -361,20 +508,62 @@ func (t *Tiering) buildGroup(root *symState) ([]*tierMember, bool) {
 	return members, false
 }
 
-// worker is the single background compile goroutine.
+// worker is one background compile goroutine. Each worker owns its own
+// Compiler pair (full pipeline and stencil), so concurrent compiles never
+// share mutable front-end state; all workers serve one kernel.
 func (t *Tiering) worker() {
 	defer t.wg.Done()
+	full := NewCompiler(t.k)
+	stencil := NewCompiler(t.k)
+	stencil.Stencil = true
+	// Pre-warm both compilers off the critical path: the first compile on a
+	// fresh Compiler pays lazy environment initialisation and first-touch
+	// allocation growth (~3× a steady-state compile), which would otherwise
+	// land on the first promotion — exactly the latency the baseline tier
+	// exists to remove.
+	warm := parser.MustParse(`Function[{Typed[w, "MachineInteger"]}, w + 1]`)
+	_, _ = stencil.FunctionCompileRequest(warm, CompileRequest{})
+	_, _ = full.FunctionCompileRequest(warm, CompileRequest{})
 	for job := range t.jobs {
-		t.compileJob(job)
+		tierQueueDepth.Add(-1)
+		if job.upgrade != nil {
+			t.upgradeJob(full, job.upgrade)
+		} else {
+			t.compileJob(full, stencil, job)
+		}
 		t.inflight.Done()
 	}
 }
 
+// compileOne compiles one member on the cheapest admissible tier: the
+// stencil backend first (unless disabled), falling back to the full
+// pipeline when the definition leaves the stencil fragment (uncovered
+// instruction shape, non-scalar types). Compile latency feeds the per-tier
+// histograms.
+func (t *Tiering) compileOne(full, stencil *Compiler, m *tierMember) (*CompiledCodeFunction, tierLevel, error) {
+	if !t.pol.DisableStencil {
+		t0 := time.Now()
+		ccf, err := stencil.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+		if err == nil {
+			histStencilCompile.Observe(time.Since(t0))
+			return ccf, tierStencil, nil
+		}
+	}
+	t0 := time.Now()
+	ccf, err := full.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+	if err != nil {
+		return nil, tierNone, err
+	}
+	histO2Compile.Observe(time.Since(t0))
+	return ccf, tierO2, nil
+}
+
 // compileJob compiles a promotion group and installs it atomically.
-func (t *Tiering) compileJob(job tierJob) {
+func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 	members := job.members
 	entries := make([]*fnreg.Entry, len(members))
 	ccfs := make([]*CompiledCodeFunction, len(members))
+	tiers := make([]tierLevel, len(members))
 	fail := func() {
 		for _, e := range entries {
 			fnreg.RetireEntry(e)
@@ -389,13 +578,31 @@ func (t *Tiering) compileJob(job tierJob) {
 		t.mu.Unlock()
 		ctrTierCompileFailures.Inc()
 	}
+	// A Reserve conflict is transient under the worker pool: another
+	// worker may still hold a reservation it is about to discard (stale
+	// compile racing a redefinition). Back off and re-earn promotion
+	// rather than permanently failing the symbol.
+	failTransient := func() {
+		for _, e := range entries {
+			fnreg.RetireEntry(e)
+		}
+		t.mu.Lock()
+		for _, m := range members {
+			if st := t.syms[m.sym]; st != nil && st.defSeq == m.defSeq && st.status == symQueued {
+				st.status = symIdle
+				st.nextTry = st.count + t.pol.Threshold
+			}
+		}
+		t.mu.Unlock()
+	}
 
 	if len(members) == 1 {
 		// A self-contained (or self-recursive) definition: compile, then
 		// register. Calls to already installed entries resolve through the
-		// registry during inference.
+		// registry during inference (full pipeline) or the quick typer
+		// (stencil path).
 		m := members[0]
-		ccf, err := t.c.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+		ccf, tier, err := t.compileOne(full, stencil, m)
 		if err != nil {
 			fail()
 			return
@@ -403,12 +610,12 @@ func (t *Tiering) compileJob(job tierJob) {
 		sig := &types.Fn{Params: ccf.ParamTypes, Ret: ccf.RetType}
 		ent, err := fnreg.Reserve(m.name, sig, nil)
 		if err != nil {
-			fail()
+			failTransient()
 			return
 		}
 		ent.AddDeps(ccf.RegDeps)
-		entries[0], ccfs[0] = ent, ccf
-		t.install(members, entries, ccfs)
+		entries[0], ccfs[0], tiers[0] = ent, ccf, tier
+		t.install(members, entries, ccfs, tiers)
 		return
 	}
 
@@ -416,10 +623,12 @@ func (t *Tiering) compileJob(job tierJob) {
 	// member compiles (each member's cross-calls resolve against the
 	// others' reserved entries), so a typing pre-pass lowers every member
 	// into one merged module — where the members see each other as module
-	// functions — and infers it as a whole.
+	// functions — and infers it as a whole. The per-member compiles then
+	// run on the cheapest admissible tier; the quick typer resolves
+	// partners through the reserved entries exactly as full inference does.
 	merged := &wir.Module{}
 	for _, m := range members {
-		sub, err := t.c.BuildWIR(m.fn)
+		sub, err := full.BuildWIR(m.fn)
 		if err != nil {
 			fail()
 			return
@@ -434,7 +643,7 @@ func (t *Tiering) compileJob(job tierJob) {
 			merged.Funcs = append(merged.Funcs, sf)
 		}
 	}
-	if err := infer.Infer(merged, t.c.TypeEnv); err != nil {
+	if err := infer.Infer(merged, full.TypeEnv); err != nil {
 		fail()
 		return
 	}
@@ -452,13 +661,13 @@ func (t *Tiering) compileJob(job tierJob) {
 		}
 		ent, err := fnreg.Reserve(m.name, f.FnType(), deps)
 		if err != nil {
-			fail()
+			failTransient()
 			return
 		}
 		entries[i] = ent
 	}
 	for i, m := range members {
-		ccf, err := t.c.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+		ccf, tier, err := t.compileOne(full, stencil, m)
 		if err != nil {
 			fail()
 			return
@@ -468,16 +677,56 @@ func (t *Tiering) compileJob(job tierJob) {
 			return
 		}
 		entries[i].AddDeps(ccf.RegDeps)
-		ccfs[i] = ccf
+		ccfs[i], tiers[i] = ccf, tier
 	}
-	t.install(members, entries, ccfs)
+	t.install(members, entries, ccfs, tiers)
+}
+
+// upgradeJob recompiles an installed stencil entry through the full
+// pipeline and re-points the registry binding in place. The entry identity
+// pins the installation generation: a redefinition or demotion while the
+// compile was in flight makes the check fail and the result is discarded
+// (the symbol keeps whatever is correct now).
+func (t *Tiering) upgradeJob(full *Compiler, u *tierUpgrade) {
+	t0 := time.Now()
+	ccf, err := full.FunctionCompileRequest(u.fn, CompileRequest{SelfName: u.name})
+	if err != nil {
+		// The stencil result stays installed — it is correct, just not
+		// optimised. The trigger stays disarmed: a pipeline that failed
+		// once on this definition will fail again.
+		t.mu.Lock()
+		t.stats.CompileFailures++
+		t.mu.Unlock()
+		ctrTierCompileFailures.Inc()
+		return
+	}
+	histO2Compile.Observe(time.Since(t0))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.syms[u.sym]
+	if st == nil || st.defSeq != u.defSeq || st.status != symInstalled || st.entry != u.entry {
+		return // redefined or demoted while compiling: discard
+	}
+	sig := &types.Fn{Params: ccf.ParamTypes, Ret: ccf.RetType}
+	if !types.Equal(sig, u.entry.Sig()) {
+		return // the optimised pipeline typed it differently; keep the stencil
+	}
+	if !fnreg.Upgrade(u.entry, ccf.FunctionValue(), ccf) {
+		return // lost a race with retirement
+	}
+	u.entry.AddDeps(ccf.RegDeps)
+	st.ccf = ccf
+	st.tier = tierO2
+	st.tierCalls.Store(0)
+	t.stats.Upgrades++
+	ctrTierUpgrades.Inc()
 }
 
 // install publishes a compiled group: all members or none. A member whose
 // definition changed while the compile was in flight (defSeq mismatch)
 // poisons the whole group — its partners' code bakes calls to the stale
 // reservation.
-func (t *Tiering) install(members []*tierMember, entries []*fnreg.Entry, ccfs []*CompiledCodeFunction) {
+func (t *Tiering) install(members []*tierMember, entries []*fnreg.Entry, ccfs []*CompiledCodeFunction, tiers []tierLevel) {
 	t.mu.Lock()
 	stale := false
 	for _, m := range members {
@@ -505,10 +754,19 @@ func (t *Tiering) install(members []*tierMember, entries []*fnreg.Entry, ccfs []
 		st.entry = entries[i]
 		st.ccf = ccfs[i]
 		st.status = symInstalled
-		st.count = 0 // repurposed as the soft-failure tally on this tier
+		st.tier = tiers[i]
+		st.srcFn = m.fn
+		st.upgradeQueued = false
+		st.softFails = 0
+		st.tierCalls.Store(0)
+		st.count = 0
 		st.nextTry = 0
 		t.stats.Promotions++
 		ctrTierPromotions.Inc()
+		if tiers[i] == tierStencil {
+			t.stats.StencilPromotions++
+			ctrTierStencilPromotions.Inc()
+		}
 	}
 	t.mu.Unlock()
 }
@@ -530,8 +788,13 @@ func (t *Tiering) defChanged(s *expr.Symbol) {
 	st.nextTry = 0
 	st.kinds = nil
 	st.status = symIdle
+	st.tier = tierNone
 	st.entry = nil
 	st.ccf = nil
+	st.srcFn = nil
+	st.softFails = 0
+	st.upgradeQueued = false
+	st.tierCalls.Store(0)
 	retired := fnreg.Retire(s.Name)
 	for _, name := range retired {
 		if name == s.Name {
@@ -541,8 +804,11 @@ func (t *Tiering) defChanged(s *expr.Symbol) {
 		// compiled tier and re-promote against the new registry state.
 		if ds := t.syms[expr.Sym(name)]; ds != nil && ds.status == symInstalled {
 			ds.status = symIdle
+			ds.tier = tierNone
 			ds.entry = nil
 			ds.ccf = nil
+			ds.srcFn = nil
+			ds.upgradeQueued = false
 		}
 	}
 	if n := len(retired); n > 0 {
@@ -571,8 +837,10 @@ func (t *Tiering) defChanged(s *expr.Symbol) {
 // hook existed — the guarantee that tiering is invisible in results. This
 // mirrors CompiledCodeFunction.Apply but never re-evaluates through the
 // interpreter itself and never prints: the kernel's own rule path is the
-// fallback, keeping output bit-identical to an untired kernel.
-func (t *Tiering) applyCompiled(st *symState, ccf *CompiledCodeFunction, args []expr.Expr) (out expr.Expr, ok bool) {
+// fallback, keeping output bit-identical to an untired kernel. hop arms the
+// stencil→optimised trigger: once Threshold successful calls land on the
+// stencil tier, an upgrade recompile is queued.
+func (t *Tiering) applyCompiled(st *symState, ccf *CompiledCodeFunction, args []expr.Expr, hop bool) (out expr.Expr, ok bool) {
 	if len(args) != len(ccf.ParamTypes) {
 		t.guardMisses.Add(1)
 		ctrTierGuardMisses.Inc()
@@ -626,6 +894,11 @@ func (t *Tiering) applyCompiled(st *symState, ccf *CompiledCodeFunction, args []
 	}
 	t.compiledCalls.Add(1)
 	ctrTierCompiledCalls.Inc()
+	if hop {
+		if n := st.tierCalls.Add(1); n >= t.pol.Threshold {
+			t.maybeQueueUpgrade(st)
+		}
+	}
 	if ccf.RetType == types.TVoid {
 		return expr.SymNull, true
 	}
@@ -641,24 +914,30 @@ func (t *Tiering) noteSoftFailure(st *symState) {
 		t.mu.Unlock()
 		return
 	}
-	st.count++ // repurposed as the soft-failure tally while installed
-	if st.count < uint64(t.pol.FailureLimit) {
+	st.softFails++
+	if st.softFails < uint64(t.pol.FailureLimit) {
 		t.mu.Unlock()
 		return
 	}
 	entry := st.entry
 	st.status = symFailed
+	st.tier = tierNone
 	st.entry = nil
 	st.ccf = nil
-	st.count = 0
+	st.srcFn = nil
+	st.softFails = 0
+	st.upgradeQueued = false
 	t.mu.Unlock()
 	retired := fnreg.RetireEntry(entry)
 	t.mu.Lock()
 	for _, name := range retired {
 		if ds := t.syms[expr.Sym(name)]; ds != nil && ds.status == symInstalled {
 			ds.status = symIdle
+			ds.tier = tierNone
 			ds.entry = nil
 			ds.ccf = nil
+			ds.srcFn = nil
+			ds.upgradeQueued = false
 		}
 	}
 	if n := len(retired); n > 0 {

@@ -101,6 +101,7 @@ var reg = struct {
 var (
 	ctrReserves = obs.NewCounter("fnreg_reserves")
 	ctrInstalls = obs.NewCounter("fnreg_installs")
+	ctrUpgrades = obs.NewCounter("fnreg_upgrades")
 	ctrRetires  = obs.NewCounter("fnreg_retires")
 )
 
@@ -159,6 +160,29 @@ func Install(e *Entry, fn any, payload any) {
 	}
 	e.binding.Store(&Binding{Fn: fn, Payload: payload})
 	ctrInstalls.Inc()
+}
+
+// Upgrade atomically re-points an installed entry's binding to a new
+// implementation of the *same definition and signature* — the tiering
+// engine's stencil→optimised hop (tier F1.5 → F1). Unlike redefinition it
+// must NOT retire: the entry identity, signature, and semantics are
+// unchanged, so dependents' baked call sites stay valid and simply pick up
+// the faster code on their next atomic Binding load. Returns false (and
+// leaves the entry untouched) if the entry is not currently installed or
+// was retired — the caller's compile raced a redefinition and must discard
+// its result.
+func Upgrade(e *Entry, fn any, payload any) bool {
+	if e == nil || fn == nil {
+		return false
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if e.retired.Load() || e.binding.Load() == nil {
+		return false
+	}
+	e.binding.Store(&Binding{Fn: fn, Payload: payload})
+	ctrUpgrades.Inc()
+	return true
 }
 
 // Lookup returns the live (reserved or installed) entry for name.

@@ -52,8 +52,9 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 }
 
 // RenderMetrics writes the text exposition: per-function counters and
-// latency histograms, global counters, worker-pool gauges, and every
-// registered gauge provider (the compile cache).
+// latency histograms, global counters, named histograms (per-tier compile
+// latency), worker-pool gauges, and every registered gauge provider (the
+// compile cache, the tier compile queue).
 func RenderMetrics(w io.Writer) {
 	snaps, overflow := FuncSnapshots()
 	for _, s := range snaps {
@@ -101,6 +102,20 @@ func RenderMetrics(w io.Writer) {
 	}
 	for _, c := range Counters() {
 		fmt.Fprintf(w, "wolfc_%s_total %d\n", c.Name(), c.Value())
+	}
+	for _, h := range Histograms() {
+		s := h.Snapshot()
+		fmt.Fprintf(w, "wolfc_%s_ns_sum %d\n", s.Name, s.TotalNs)
+		fmt.Fprintf(w, "wolfc_%s_ns_count %d\n", s.Name, s.Count)
+		cum := uint64(0)
+		for i, n := range s.Buckets {
+			cum += n
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "wolfc_%s_ns_bucket{le=%q} %d\n",
+				s.Name, fmt.Sprint(BucketUpperNs(i)), cum)
+		}
 	}
 	ps := par.StatsNow()
 	fmt.Fprintf(w, "wolfc_pool_parallel_fors_total %d\n", ps.ParallelFors)

@@ -288,6 +288,80 @@ func Counters() []*Counter {
 	return append([]*Counter{}, counterReg.counters...)
 }
 
+// Histogram is a named process-global log₂ duration histogram, using the
+// same bucket scheme as the per-function latency histograms. The tiering
+// engine registers one per compile tier ("stencil", "o2") so the
+// compile-latency story — the whole point of the baseline tier — is
+// observable from /metrics and wolfbench.
+type Histogram struct {
+	name    string
+	count   atomic.Uint64
+	totalNs atomic.Uint64
+	buckets [NumLatencyBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Histograms always record (they live on
+// cold paths — a compile — where two atomic adds are free).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.totalNs.Add(uint64(d.Nanoseconds()))
+	h.buckets[latencyBucket(d)].Add(1)
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Name    string
+	Count   uint64
+	TotalNs uint64
+	Buckets [NumLatencyBuckets]uint64
+}
+
+// MeanNs returns the mean observed duration in nanoseconds.
+func (s HistSnapshot) MeanNs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.TotalNs) / float64(s.Count)
+}
+
+// Snapshot copies the counters (per-field atomic).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Name: h.name, Count: h.count.Load(), TotalNs: h.totalNs.Load()}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+var histReg = struct {
+	mu    sync.Mutex
+	hists []*Histogram
+}{}
+
+// NewHistogram registers a named global histogram. Names should be
+// snake_case; /metrics renders wolfc_<name>_ns_{bucket,sum,count}.
+func NewHistogram(name string) *Histogram {
+	h := &Histogram{name: name}
+	histReg.mu.Lock()
+	histReg.hists = append(histReg.hists, h)
+	histReg.mu.Unlock()
+	return h
+}
+
+// Histograms returns the registered global histograms in registration
+// order.
+func Histograms() []*Histogram {
+	histReg.mu.Lock()
+	defer histReg.mu.Unlock()
+	return append([]*Histogram{}, histReg.hists...)
+}
+
 // Gauge is one named instantaneous value contributed by a provider.
 type Gauge struct {
 	Name  string

@@ -206,6 +206,8 @@ func TestRenderMetricsAndEndpoint(t *testing.T) {
 	m.SetDetail(func() string { return "block 0: 1\n" })
 	c := NewCounter("test_render_metric")
 	c.Add(7)
+	h := NewHistogram("test_render_hist")
+	h.Observe(100 * time.Nanosecond)
 	RegisterGaugeProvider(func() []Gauge {
 		return []Gauge{{Name: "test_render_gauge", Value: 4}}
 	})
@@ -230,6 +232,9 @@ func TestRenderMetricsAndEndpoint(t *testing.T) {
 		`wolfc_func_fallbacks_total{func="sq",backend="closure"} 1`,
 		`wolfc_backend_invocations_total{backend="closure"} 1`,
 		"wolfc_test_render_metric_total 7",
+		"wolfc_test_render_hist_ns_sum 100",
+		"wolfc_test_render_hist_ns_count 1",
+		`wolfc_test_render_hist_ns_bucket{le=`,
 		"wolfc_test_render_gauge 4",
 		"wolfc_pool_inflight_fors",
 	} {
