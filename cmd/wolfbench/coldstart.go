@@ -1,0 +1,313 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	gort "runtime"
+	"time"
+
+	"wolfc/internal/artifact"
+	"wolfc/internal/core"
+	"wolfc/internal/expr"
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+)
+
+// The -coldstart mode (ROADMAP item 4): cold vs warm start against the
+// persistent artifact store, written to BENCH_coldstart.json.
+//
+// Two phases run over the same corpus against the same artifact directory.
+// The cold phase starts from an empty (or caller-provided) store and pays
+// full compiles; the warm phase simulates a new process — fresh kernel,
+// fresh compiler, in-memory cache dropped, store reopened — so every
+// compile must be served by the disk tier. Per function the suite records
+// time-to-first-result (compile + first call) and compile wall time, and
+// requires the warm result bit-identical to the cold one.
+//
+// A second block A/Bs the in-memory front's lock structure: raw hit-path
+// throughput at 8 goroutines with the sharded front vs a single-lock
+// configuration (core.BenchCompileCacheHits — the end-to-end path spends
+// its time building lookup keys outside any lock, which would hide the
+// lock structure behind Amdahl's law).
+//
+// The suite reports numbers and enforces only result identity; the ≥5×
+// warm-compile and ≥2× throughput gates live in scripts/verify.sh, so a
+// re-run against a pre-populated store (the corrupt-artifact smoke test)
+// is not misjudged against cold-start expectations.
+
+var (
+	coldstartF   = flag.Bool("coldstart", false, "run the artifact-store cold/warm-start suite and the sharded-cache throughput A/B")
+	coldstartOut = flag.String("coldstart-out", "BENCH_coldstart.json", "output path for the -coldstart JSON document")
+)
+
+// coldstartCorpus leans on medium-sized kernels on purpose: tiny
+// definitions spend so little in the front half of the pipeline that a
+// disk hit saves almost nothing, while realistic nested-loop kernels pay
+// multi-millisecond inference the warm path skips entirely.
+var coldstartCorpus = []struct {
+	name, src string
+	arg       int64
+}{
+	{"mandelcount", `Function[{Typed[maxIter, "MachineInteger"]},
+		Module[{total = 0, xi = 0, yi = 0, step = Function[{zr, zi, cr}, zr*zr - zi*zi + cr], cr = 0., ci = 0., zr = 0., zi = 0., t = 0., iters = 0},
+			While[xi <= 20,
+				cr = -1. + 0.1*xi; yi = 0;
+				While[yi <= 15,
+					ci = -1. + 0.1*yi; zr = 0.; zi = 0.; iters = 0;
+					While[iters < maxIter && zr*zr + zi*zi < 4.,
+						t = step[zr, zi, cr]; zi = 2.*zr*zi + ci; zr = t; iters = iters + 1];
+					total = total + iters; yi = yi + 1];
+				xi = xi + 1];
+			total]]`, 60},
+	{"convgrid", `Function[{Typed[n, "MachineInteger"]},
+		Module[{acc = 0., i = 1, j = 1, k = 1, w = 0., f = Function[{a, b}, a*0.5 + b*0.25]},
+			While[i <= n,
+				j = 1;
+				While[j <= n,
+					k = 1; w = 0.;
+					While[k <= 3,
+						w = f[w, 1. / (0. + i + j + k)]; k = k + 1];
+					acc = acc + w; j = j + 1];
+				i = i + 1];
+			Floor[acc*1000000.]]]`, 48},
+	{"horner", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0., x = 0., i = 0, p = 0.},
+			While[i < n,
+				x = 0.001*i;
+				p = ((((x*0.3 + 1.1)*x - 0.7)*x + 0.25)*x - 1.9)*x + 0.5;
+				s = s + p*p - 0.1*p; i = i + 1];
+			Floor[s*1000.]]]`, 5000},
+	{"gcdsum", `Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1, a = 0, b = 0, t = 0},
+			While[i <= n,
+				a = i; b = n - i + 3;
+				While[b != 0, t = Mod[a, b]; a = b; b = t];
+				s = s + a; i = i + 1];
+			s]]`, 2000},
+	{"square", `Function[{Typed[x, "MachineInteger"]}, x*x + 1]`, 41},
+	{"rhalf", `Function[{Typed[x, "MachineInteger"]}, Floor[(0. + x)/2.0 + 1.5]]`, 13},
+}
+
+type coldstartPhaseRow struct {
+	compileNs float64
+	firstNs   float64
+	artifact  bool
+	checksum  string
+}
+
+type coldstartRow struct {
+	Name          string  `json:"name"`
+	ColdCompileNs float64 `json:"cold_compile_ns"`
+	WarmCompileNs float64 `json:"warm_compile_ns"`
+	ColdFirstNs   float64 `json:"cold_first_result_ns"`
+	WarmFirstNs   float64 `json:"warm_first_result_ns"`
+	ArtifactHit   bool    `json:"warm_artifact_hit"`
+	Checksum      string  `json:"checksum"`
+	Match         bool    `json:"warm_matches_cold"`
+}
+
+// coldstartPhase compiles and runs the corpus once against the store in
+// dir, as a fresh "process": new kernel, new compiler, in-memory compile
+// cache dropped, artifact store reopened from disk. The returned stats
+// belong to this phase's store instance (counters start at zero).
+func coldstartPhase(dir string) ([]coldstartPhaseRow, artifact.Stats, error) {
+	core.ResetCompileCache()
+	core.SetArtifactStore(nil)
+	s, err := core.EnableArtifactStore(dir)
+	if err != nil {
+		return nil, artifact.Stats{}, err
+	}
+	k := kernel.New()
+	k.Out = io.Discard
+	c := core.NewCompiler(k)
+	rows := make([]coldstartPhaseRow, 0, len(coldstartCorpus))
+	for _, ent := range coldstartCorpus {
+		fn := parser.MustParse(ent.src)
+		t0 := time.Now()
+		ccf, rep, err := c.FunctionCompileCachedRequest(fn, core.CompileRequest{Collect: true})
+		compileNs := float64(time.Since(t0).Nanoseconds())
+		if err != nil {
+			return nil, artifact.Stats{}, fmt.Errorf("%s: %w", ent.name, err)
+		}
+		out, err := ccf.Apply([]expr.Expr{expr.FromInt64(ent.arg)})
+		if err != nil {
+			return nil, artifact.Stats{}, fmt.Errorf("%s: %w", ent.name, err)
+		}
+		rows = append(rows, coldstartPhaseRow{
+			compileNs: compileNs,
+			firstNs:   float64(time.Since(t0).Nanoseconds()),
+			artifact:  rep != nil && rep.ArtifactHit,
+			checksum:  expr.InputForm(out),
+		})
+	}
+	return rows, s.Stats(), nil
+}
+
+// sumArtifactStats folds two per-phase counter snapshots into run totals
+// (BytesOnDisk/Entries are point-in-time, so the later phase's value wins).
+func sumArtifactStats(a, b artifact.Stats) artifact.Stats {
+	return artifact.Stats{
+		Hits: a.Hits + b.Hits, Misses: a.Misses + b.Misses,
+		Writes: a.Writes + b.Writes, WriteErrors: a.WriteErrors + b.WriteErrors,
+		CorruptDrops: a.CorruptDrops + b.CorruptDrops,
+		Evictions:    a.Evictions + b.Evictions,
+		BytesOnDisk:  b.BytesOnDisk, Entries: b.Entries,
+	}
+}
+
+// coldstartThroughput is the sharded vs single-lock hit-throughput A/B,
+// best of reps rounds per configuration.
+func coldstartThroughput(workers, entries int, reps int, dur time.Duration) (sharded, single float64, shards int) {
+	shards = core.CompileCacheShardCount()
+	for i := 0; i < reps; i++ {
+		if v := core.BenchCompileCacheHits(shards, entries, workers, dur); v > sharded {
+			sharded = v
+		}
+		if v := core.BenchCompileCacheHits(1, entries, workers, dur); v > single {
+			single = v
+		}
+	}
+	return sharded, single, shards
+}
+
+// coldstartSuite is the -coldstart entry point; returns the process exit
+// code.
+func coldstartSuite() int {
+	dir := *artifactDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "wolfc-coldstart")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wolfbench: -coldstart:", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fmt.Println("=== Cold vs warm start: persistent artifact store, fresh process each phase ===")
+	fmt.Printf("(artifact dir %s)\n\n", dir)
+
+	cold, coldStats, err := coldstartPhase(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -coldstart: cold phase:", err)
+		return 1
+	}
+	warm, warmStats, err := coldstartPhase(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -coldstart: warm phase:", err)
+		return 1
+	}
+
+	var rows []coldstartRow
+	var coldTotal, warmTotal float64
+	allMatch := true
+	fmt.Printf("%-12s %14s %14s %9s %9s  %s\n",
+		"function", "cold compile", "warm compile", "speedup", "artifact", "match")
+	for i, ent := range coldstartCorpus {
+		r := coldstartRow{
+			Name:          ent.name,
+			ColdCompileNs: cold[i].compileNs,
+			WarmCompileNs: warm[i].compileNs,
+			ColdFirstNs:   cold[i].firstNs,
+			WarmFirstNs:   warm[i].firstNs,
+			ArtifactHit:   warm[i].artifact,
+			Checksum:      cold[i].checksum,
+			Match:         cold[i].checksum == warm[i].checksum,
+		}
+		rows = append(rows, r)
+		coldTotal += r.ColdCompileNs
+		warmTotal += r.WarmCompileNs
+		if !r.Match {
+			allMatch = false
+			fmt.Fprintf(os.Stderr,
+				"wolfbench: -coldstart: %s diverged: cold %s, warm %s\n",
+				ent.name, cold[i].checksum, warm[i].checksum)
+		}
+		fmt.Printf("%-12s %14s %14s %8.1fx %9v  %v\n", r.Name,
+			fmtNs(r.ColdCompileNs), fmtNs(r.WarmCompileNs),
+			r.ColdCompileNs/r.WarmCompileNs, r.ArtifactHit, r.Match)
+	}
+	speedup := coldTotal / warmTotal
+	fmt.Printf("%-12s %14s %14s %8.1fx\n\n", "total",
+		fmtNs(coldTotal), fmtNs(warmTotal), speedup)
+
+	workers, entries := 8, 256
+	fmt.Printf("hit-path throughput, %d goroutines over %d entries (lock structure only):\n",
+		workers, entries)
+	if gort.NumCPU() < 2 {
+		fmt.Println("  (single-core host: goroutines time-slice, so no lock structure can win;")
+		fmt.Println("   the sharded speedup needs a multi-core host — verify.sh gates accordingly)")
+	}
+	sharded, single, shards := coldstartThroughput(workers, entries, 3, 250*time.Millisecond)
+	tpSpeedup := sharded / single
+	fmt.Printf("  %d shards  %12.0f lookups/s\n", shards, sharded)
+	fmt.Printf("  1 shard   %12.0f lookups/s\n", single)
+	fmt.Printf("  speedup   %11.2fx\n\n", tpSpeedup)
+
+	cs := core.CompileCacheStatsNow()
+	doc := struct {
+		Schema        string         `json:"schema"`
+		Env           envJSON        `json:"env"`
+		ArtifactDir   string         `json:"artifact_dir"`
+		Rows          []coldstartRow `json:"rows"`
+		ColdCompileNs float64        `json:"cold_total_compile_ns"`
+		WarmCompileNs float64        `json:"warm_total_compile_ns"`
+		WarmSpeedup   float64        `json:"warm_compile_speedup"`
+		AllMatch      bool           `json:"all_outputs_match"`
+		Throughput    struct {
+			Workers   int     `json:"workers"`
+			Entries   int     `json:"entries"`
+			Shards    int     `json:"shards"`
+			ShardedPS float64 `json:"sharded_lookups_per_sec"`
+			SinglePS  float64 `json:"single_lock_lookups_per_sec"`
+			Speedup   float64 `json:"sharded_speedup"`
+		} `json:"hit_throughput"`
+		CompileCache cacheStatsJSON `json:"compile_cache"`
+		// ArtifactCold/ArtifactWarm are the per-phase store counters (each
+		// phase reopens the store, so each starts at zero); artifact_store
+		// sums them for readers that only care about totals.
+		ArtifactCold artifact.Stats `json:"artifact_store_cold"`
+		ArtifactWarm artifact.Stats `json:"artifact_store_warm"`
+		Artifact     artifact.Stats `json:"artifact_store"`
+	}{
+		Schema: "wolfbench/coldstart/v1",
+		Env: envJSON{
+			GoVersion: gort.Version(), GOOS: gort.GOOS, GOARCH: gort.GOARCH,
+			GOMAXPROCS: gort.GOMAXPROCS(0), NumCPU: gort.NumCPU(),
+		},
+		ArtifactDir:   dir,
+		Rows:          rows,
+		ColdCompileNs: coldTotal,
+		WarmCompileNs: warmTotal,
+		WarmSpeedup:   speedup,
+		AllMatch:      allMatch,
+		CompileCache:  cacheJSON(cs),
+		ArtifactCold:  coldStats,
+		ArtifactWarm:  warmStats,
+		Artifact:      sumArtifactStats(coldStats, warmStats),
+	}
+	doc.Throughput.Workers = workers
+	doc.Throughput.Entries = entries
+	doc.Throughput.Shards = shards
+	doc.Throughput.ShardedPS = sharded
+	doc.Throughput.SinglePS = single
+	doc.Throughput.Speedup = tpSpeedup
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -coldstart:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*coldstartOut, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -coldstart:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", *coldstartOut)
+	if !allMatch {
+		return 1
+	}
+	return 0
+}

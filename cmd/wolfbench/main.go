@@ -61,6 +61,8 @@ var (
 	reportF   = flag.Bool("report", false, "emit a JSON compile-report block (per-stage/per-pass timings) for the Figure 2 kernels")
 	threshF   = flag.Float64("threshold", 0.10, "per-row regression threshold for -compare (0.10 = 10%)")
 
+	artifactDir = flag.String("artifact-dir", os.Getenv("WOLFC_ARTIFACT_DIR"), "persist compiled artifacts to this directory (the disk tier of the compile cache; also WOLFC_ARTIFACT_DIR)")
+
 	metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/funcs on this address for the run (enables metric recording)")
 	traceOut    = flag.String("trace-out", "", "write JSONL trace events (compile/invoke/fallback) to this file")
 	selftestF   = flag.Bool("metrics-selftest", false, "start an ephemeral /metrics endpoint, run a tiny workload, verify the exposition, exit")
@@ -90,10 +92,22 @@ func record(name, impl string, workers, size int, nsPerOp float64, checksum stri
 type cacheStatsJSON struct {
 	Hits          uint64  `json:"hits"`
 	Misses        uint64  `json:"misses"`
+	Coalesced     uint64  `json:"coalesced"`
 	Evictions     uint64  `json:"evictions"`
 	Invalidations uint64  `json:"invalidations"`
 	Entries       int     `json:"entries"`
 	HitRatio      float64 `json:"hit_ratio"`
+	Shards        int     `json:"shards"`
+	Contention    uint64  `json:"shard_contention"`
+}
+
+func cacheJSON(cs core.CompileCacheStats) cacheStatsJSON {
+	return cacheStatsJSON{
+		Hits: cs.Hits, Misses: cs.Misses, Coalesced: cs.Coalesced,
+		Evictions: cs.Evictions, Invalidations: cs.Invalidations,
+		Entries: cs.Entries, HitRatio: cs.HitRatio(),
+		Shards: cs.Shards, Contention: cs.Contention,
+	}
 }
 
 // envJSON records the machine the numbers were taken on, so two -json files
@@ -148,10 +162,7 @@ func emitJSON(path string) {
 	}{"wolfbench/v1", gort.GOMAXPROCS(0), envJSON{
 		GoVersion: gort.Version(), GOOS: gort.GOOS, GOARCH: gort.GOARCH,
 		GOMAXPROCS: gort.GOMAXPROCS(0), NumCPU: gort.NumCPU(),
-	}, *full, cacheStatsJSON{
-		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
-		Invalidations: cs.Invalidations, Entries: cs.Entries, HitRatio: cs.HitRatio(),
-	}, hists, depth, jsonResults}
+	}, *full, cacheJSON(cs), hists, depth, jsonResults}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wolfbench: -json:", err)
@@ -224,6 +235,15 @@ func main() {
 	}
 	if *warmupF {
 		os.Exit(warmupSuite())
+	}
+	if *coldstartF {
+		os.Exit(coldstartSuite())
+	}
+	if *artifactDir != "" {
+		if _, err := core.EnableArtifactStore(*artifactDir); err != nil {
+			fmt.Fprintln(os.Stderr, "wolfbench: -artifact-dir:", err)
+			os.Exit(2)
+		}
 	}
 	if *obsGateF {
 		os.Exit(obsOverheadGate())
@@ -694,6 +714,8 @@ func metricsSelftest() int {
 		"wolfc_backend_invocations_total",
 		"wolfc_exc_overflow_total",
 		"wolfc_compile_cache_misses_total",
+		"wolfc_compile_cache_coalesced_total",
+		"wolfc_compile_cache_shards",
 		"wolfc_compile_cache_hit_ratio",
 		"wolfc_pool_chunks_total",
 		"wolfc_pool_inflight_fors",

@@ -43,8 +43,15 @@ func main() {
 		explain    = flag.Bool("explain", false, "print the pass pipeline for the selected options and exit")
 		profileLvl = flag.Int("profile", 0, "block profiling level (> 0 emits per-block counters; with -run, print the hot-block table to stderr)")
 		traceOut   = flag.String("trace-out", "", "write JSONL trace events (compile/invoke/fallback) to this file")
+		artDir     = flag.String("artifact-dir", os.Getenv("WOLFC_ARTIFACT_DIR"), "persist compiled artifacts to this directory (warm starts skip the pipeline front half; also WOLFC_ARTIFACT_DIR)")
 	)
 	flag.Parse()
+
+	if *artDir != "" {
+		if _, err := core.EnableArtifactStore(*artDir); err != nil {
+			fatal(fmt.Errorf("-artifact-dir: %w", err))
+		}
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -97,7 +104,16 @@ func main() {
 		Collect:    *timePasses,
 	}
 	compile := func() *core.CompiledCodeFunction {
-		ccf, err := c.FunctionCompileRequest(fn, req)
+		var ccf *core.CompiledCodeFunction
+		var err error
+		if *artDir != "" {
+			// With a store attached the cached path probes it, so repeated
+			// wolfc invocations of the same function skip the pipeline's
+			// front half entirely.
+			ccf, _, err = c.FunctionCompileCachedRequest(fn, req)
+		} else {
+			ccf, err = c.FunctionCompileRequest(fn, req)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -30,6 +30,7 @@ var (
 	stencilThreshold     = flag.Uint64("autocompile-stencil-threshold", 0, "invocation count for the fast stencil baseline tier (0 = threshold/5, with -autocompile)")
 	stencilOnly          = flag.Bool("autocompile-stencil-only", false, "pin hot definitions to the stencil baseline tier; never upgrade to the optimising backend")
 	noStencil            = flag.Bool("autocompile-no-stencil", false, "skip the stencil baseline tier: promote hot definitions straight to the optimising backend")
+	artifactDir          = flag.String("artifact-dir", os.Getenv("WOLFC_ARTIFACT_DIR"), "persist compiled artifacts to this directory so later sessions warm-start from disk (also WOLFC_ARTIFACT_DIR)")
 )
 
 func main() {
@@ -37,6 +38,12 @@ func main() {
 	if *stencilOnly && *noStencil {
 		fmt.Fprintln(os.Stderr, "wolfrepl: -autocompile-stencil-only and -autocompile-no-stencil are mutually exclusive")
 		os.Exit(2)
+	}
+	if *artifactDir != "" {
+		if _, err := core.EnableArtifactStore(*artifactDir); err != nil {
+			fmt.Fprintln(os.Stderr, "wolfrepl: -artifact-dir:", err)
+			os.Exit(2)
+		}
 	}
 	if *metricsAddr != "" {
 		srv, err := obs.ServeMetrics(*metricsAddr)

@@ -1,0 +1,346 @@
+// Package artifact is the disk tier of the compiled-artifact store
+// (ROADMAP item 4): a content-addressed directory of serialised compiled
+// modules keyed by the process-independent half of the compile-cache key.
+// A fleet of processes sharing one directory compiles each function once;
+// every later process — or the same process after a restart — loads the
+// typed module from disk and only re-runs code generation.
+//
+// The store is deliberately dumb about what it holds: payloads are opaque
+// bytes (the codegen.Marshal library format) and the caller owns key
+// derivation. What the store does own is integrity and atomicity:
+//
+//   - Writes go to a temp file in the same directory and are renamed into
+//     place, so readers never observe a partial entry and concurrent
+//     writers of the same key settle on one complete file.
+//   - Every entry carries a header — format magic+version, the full
+//     32-byte content key, payload length, and a SHA-256 payload checksum.
+//     A read validates all four; any mismatch (torn write survived a
+//     crash, bit rot, a truncated file, a format bump) deletes the entry
+//     and reports a clean miss. Corruption is never an error the caller
+//     has to handle — the compile pipeline just recompiles and rewrites.
+//
+// Entries whose compiled code depends on process-local state (function-
+// registry calls, CCF.RegDeps) must not reach the store; core enforces
+// that gate before calling Put, mirroring the ExportLibrary rules.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// formatMagic versions the on-disk entry layout. Bumping the trailing
+// digits invalidates every existing entry: readers treat an unknown magic
+// as corruption, drop the file, and fall through to a recompile.
+const formatMagic = "WCAF0001"
+
+const (
+	keyLen    = sha256.Size
+	sumLen    = sha256.Size
+	headerLen = len(formatMagic) + keyLen + 8 + sumLen // + payload
+
+	// maxPayload bounds a single entry (64 MiB). Serialised modules are
+	// kilobytes; anything larger is corruption, not data.
+	maxPayload = 64 << 20
+
+	entryExt = ".wca"
+)
+
+// Stats is a snapshot of store activity since Open (counters) plus the
+// current on-disk footprint (gauges). BytesOnDisk/Entries track entries
+// this store instance has observed: the Open scan plus its own writes,
+// drops, and evictions.
+type Stats struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Writes       uint64 `json:"writes"`
+	WriteErrors  uint64 `json:"write_errors"`
+	CorruptDrops uint64 `json:"corrupt_drops"`
+	Evictions    uint64 `json:"evictions"`
+	BytesOnDisk  int64  `json:"bytes_on_disk"`
+	Entries      int    `json:"entries"`
+}
+
+// Store is a handle on one artifact directory. Safe for concurrent use by
+// any number of goroutines; multiple processes may share the directory
+// (atomic rename keeps entries consistent, and cross-process races on the
+// same key converge because the content key determines the payload).
+type Store struct {
+	dir string
+
+	mu           sync.Mutex
+	maxBytes     int64 // 0 = unbounded
+	bytes        int64
+	entries      int
+	hits         uint64
+	misses       uint64
+	writes       uint64
+	writeErrors  uint64
+	corruptDrops uint64
+	evictions    uint64
+}
+
+// Open creates (if needed) and scans the artifact directory. The scan
+// only sizes the existing footprint; entry validation happens lazily on
+// Get, so a directory full of stale or corrupt entries opens instantly.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	s := &Store{dir: dir}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != entryExt {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			s.bytes += info.Size()
+			s.entries++
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetMaxBytes bounds the on-disk footprint (0 = unbounded) and evicts
+// oldest-first if the bound is already exceeded. Returns the previous
+// bound.
+func (s *Store) SetMaxBytes(n int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.maxBytes
+	if n < 0 {
+		n = 0
+	}
+	s.maxBytes = n
+	s.evictLocked()
+	return prev
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Writes:       s.writes,
+		WriteErrors:  s.writeErrors,
+		CorruptDrops: s.corruptDrops,
+		Evictions:    s.evictions,
+		BytesOnDisk:  s.bytes,
+		Entries:      s.entries,
+	}
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(key))+entryExt)
+}
+
+// Get returns the payload stored under key, or (nil, false) on a miss.
+// A present-but-invalid entry — wrong magic (format bump), key mismatch,
+// bad length, checksum failure — is deleted and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if len(key) != keyLen {
+		return nil, false
+	}
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	payload, ok := validate(raw, key)
+	if !ok {
+		s.drop(p, int64(len(raw)))
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return payload, true
+}
+
+// validate checks an entry's header against the expected key and returns
+// the payload on success.
+func validate(raw []byte, key string) ([]byte, bool) {
+	if len(raw) < headerLen {
+		return nil, false
+	}
+	off := 0
+	if string(raw[:len(formatMagic)]) != formatMagic {
+		return nil, false
+	}
+	off += len(formatMagic)
+	if string(raw[off:off+keyLen]) != key {
+		return nil, false
+	}
+	off += keyLen
+	plen := binary.BigEndian.Uint64(raw[off : off+8])
+	off += 8
+	if plen > maxPayload || int64(plen) != int64(len(raw)-headerLen) {
+		return nil, false
+	}
+	sum := raw[off : off+sumLen]
+	off += sumLen
+	payload := raw[off:]
+	got := sha256.Sum256(payload)
+	if string(got[:]) != string(sum) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// DropUndecodable removes an entry whose payload passed the store's
+// integrity checks but could not be decoded by the caller (e.g. a module
+// written by an incompatible serialiser under the same store format).
+// Counted as a corrupt drop so the fleet's /metrics surfaces it.
+func (s *Store) DropUndecodable(key string) {
+	if len(key) != keyLen {
+		return
+	}
+	p := s.path(key)
+	if info, err := os.Stat(p); err == nil {
+		s.drop(p, info.Size())
+	}
+}
+
+// drop removes a corrupt entry and adjusts the footprint accounting.
+func (s *Store) drop(path string, size int64) {
+	err := os.Remove(path)
+	s.mu.Lock()
+	s.corruptDrops++
+	if err == nil {
+		s.bytes -= size
+		s.entries--
+		if s.bytes < 0 {
+			s.bytes = 0
+		}
+		if s.entries < 0 {
+			s.entries = 0
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Put stores payload under key. Content addressing makes Put idempotent:
+// if the entry already exists it is left untouched (same key ⇒ same
+// payload). Write failures are counted and swallowed — the disk tier is
+// an optimisation, never a correctness dependency.
+func (s *Store) Put(key string, payload []byte) {
+	if len(key) != keyLen || len(payload) == 0 || len(payload) > maxPayload {
+		return
+	}
+	p := s.path(key)
+	if _, err := os.Stat(p); err == nil {
+		return // already stored
+	}
+	buf := make([]byte, 0, headerLen+len(payload))
+	buf = append(buf, formatMagic...)
+	buf = append(buf, key...)
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], uint64(len(payload)))
+	buf = append(buf, lenb[:]...)
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		s.noteWriteError()
+		return
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		s.noteWriteError()
+		return
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		s.noteWriteError()
+		return
+	}
+	s.mu.Lock()
+	s.writes++
+	s.bytes += int64(len(buf))
+	s.entries++
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+func (s *Store) noteWriteError() {
+	s.mu.Lock()
+	s.writeErrors++
+	s.mu.Unlock()
+}
+
+// evictLocked enforces maxBytes by deleting oldest entries (by mtime)
+// first. Called with s.mu held.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type cand struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var cands []cand
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != entryExt {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{
+			path:  filepath.Join(s.dir, e.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mtime < cands[j].mtime })
+	for _, c := range cands {
+		if s.bytes <= s.maxBytes {
+			break
+		}
+		if os.Remove(c.path) == nil {
+			s.bytes -= c.size
+			s.entries--
+			s.evictions++
+		}
+	}
+	if s.bytes < 0 {
+		s.bytes = 0
+	}
+	if s.entries < 0 {
+		s.entries = 0
+	}
+}

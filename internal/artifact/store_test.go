@@ -1,0 +1,290 @@
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(seed string) string {
+	h := sha256.Sum256([]byte(seed))
+	return string(h[:])
+}
+
+func mustOpen(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t)
+	key := testKey("k1")
+	payload := []byte("compiled module bytes")
+	s.Put(key, payload)
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesOnDisk != int64(headerLen+len(payload)) {
+		t.Fatalf("BytesOnDisk = %d, want %d", st.BytesOnDisk, headerLen+len(payload))
+	}
+}
+
+func TestGetMissingIsMiss(t *testing.T) {
+	s := mustOpen(t)
+	if _, ok := s.Get(testKey("absent")); ok {
+		t.Fatal("expected miss")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestPutIsIdempotent(t *testing.T) {
+	s := mustOpen(t)
+	key := testKey("k")
+	s.Put(key, []byte("payload"))
+	s.Put(key, []byte("payload"))
+	st := s.Stats()
+	if st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("stats after double Put = %+v", st)
+	}
+}
+
+func TestReopenSeesExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("persist")
+	s1.Put(key, []byte("survives restarts"))
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "survives restarts" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.BytesOnDisk == 0 {
+		t.Fatalf("reopen scan stats = %+v", st)
+	}
+}
+
+// Corruption anywhere in the entry — header or payload — must be a clean
+// miss that removes the file, never an error or a wrong payload.
+func TestCorruptionIsCleanMiss(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"magic flip", flipAt(0)},
+		{"version bump", flipAt(len(formatMagic) - 1)},
+		{"key flip", flipAt(len(formatMagic) + 3)},
+		{"length flip", flipAt(len(formatMagic) + keyLen + 7)},
+		{"checksum flip", flipAt(len(formatMagic) + keyLen + 8 + 5)},
+		{"payload flip", flipAt(headerLen + 2)},
+		{"truncated header", func(b []byte) []byte { return b[:headerLen/2] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"appended junk", func(b []byte) []byte { return append(b, 0xFF, 0x00, 0xFF) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustOpen(t)
+			key := testKey("victim " + tc.name)
+			s.Put(key, []byte("payload bytes under test"))
+			p := s.path(key)
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, tc.mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupt entry returned payload %q", got)
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not removed: %v", err)
+			}
+			st := s.Stats()
+			if st.CorruptDrops != 1 {
+				t.Fatalf("CorruptDrops = %d, want 1", st.CorruptDrops)
+			}
+			// The store self-heals: a rewrite after the drop works.
+			s.Put(key, []byte("payload bytes under test"))
+			if _, ok := s.Get(key); !ok {
+				t.Fatal("rewrite after corrupt drop missed")
+			}
+		})
+	}
+}
+
+func flipAt(off int) func([]byte) []byte {
+	return func(b []byte) []byte {
+		if off < len(b) {
+			b[off] ^= 0x40
+		}
+		return b
+	}
+}
+
+// A format-version bump (different magic) written by a future process
+// reads as a miss here and is dropped, so mixed-version fleets degrade to
+// recompiles rather than loading entries they cannot parse.
+func TestVersionBumpInvalidates(t *testing.T) {
+	s := mustOpen(t)
+	key := testKey("versioned")
+	s.Put(key, []byte("old world payload"))
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(raw, "WCAF9999")
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("future-format entry served")
+	}
+	if st := s.Stats(); st.CorruptDrops != 1 {
+		t.Fatalf("CorruptDrops = %d, want 1", st.CorruptDrops)
+	}
+}
+
+// An entry stored under one key must not satisfy a different key even if
+// the file is copied into place (the header binds the full content key,
+// not just the filename).
+func TestKeyMismatchRejected(t *testing.T) {
+	s := mustOpen(t)
+	k1, k2 := testKey("a"), testKey("b")
+	s.Put(k1, []byte("payload for a"))
+	raw, err := os.ReadFile(s.path(k1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k2), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k2); ok {
+		t.Fatalf("cross-key entry served: %q", got)
+	}
+}
+
+func TestRejectsBadKeysAndPayloads(t *testing.T) {
+	s := mustOpen(t)
+	s.Put("short", []byte("x"))  // wrong key length
+	s.Put(testKey("empty"), nil) // empty payload
+	if st := s.Stats(); st.Writes != 0 {
+		t.Fatalf("invalid Put wrote: %+v", st)
+	}
+	if _, ok := s.Get("short"); ok {
+		t.Fatal("short key hit")
+	}
+}
+
+func TestMaxBytesEvictsOldest(t *testing.T) {
+	s := mustOpen(t)
+	payload := bytes.Repeat([]byte("x"), 100)
+	entrySize := int64(headerLen + len(payload))
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = testKey(fmt.Sprintf("evict-%d", i))
+		s.Put(keys[i], payload)
+		// mtime granularity on some filesystems is coarse; space the
+		// writes so oldest-first ordering is deterministic.
+		past := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+		os.Chtimes(s.path(keys[i]), past, past)
+	}
+	s.SetMaxBytes(2 * entrySize)
+	st := s.Stats()
+	if st.Entries != 2 || st.Evictions != 2 {
+		t.Fatalf("after SetMaxBytes: %+v", st)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := s.Get(keys[3]); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+// Concurrent readers, writers, corruptors, and evictors on overlapping
+// keys: run under -race. Correctness bar: Get never returns a payload
+// that differs from what Put stored for that key.
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t)
+	s.SetMaxBytes(64 << 10)
+	const keys = 16
+	payloadFor := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 200+i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 200; it++ {
+				i := (g + it) % keys
+				key := testKey(fmt.Sprintf("conc-%d", i))
+				switch it % 4 {
+				case 0:
+					s.Put(key, payloadFor(i))
+				case 1, 2:
+					if got, ok := s.Get(key); ok && !bytes.Equal(got, payloadFor(i)) {
+						t.Errorf("key %d: wrong payload (%d bytes)", i, len(got))
+					}
+				case 3:
+					// Simulate an external truncation racing readers.
+					p := s.path(key)
+					if raw, err := os.ReadFile(p); err == nil && len(raw) > 4 {
+						os.WriteFile(p+".t", raw[:len(raw)/2], 0o644)
+						os.Rename(p+".t", p)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The store must still function after the storm.
+	key := testKey("post-storm")
+	s.Put(key, []byte("still alive"))
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("store broken after concurrent access")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not an artifact"), 0o644)
+	os.Mkdir(filepath.Join(dir, "sub"), 0o755)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("foreign files counted: %+v", st)
+	}
+}

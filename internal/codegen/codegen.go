@@ -544,7 +544,7 @@ func (g *gen) canFoldAbort(b *wir.Block) bool {
 		return false
 	}
 	t := b.Term()
-	if t == nil || t.Op != wir.OpCondBranch {
+	if t == nil || t.Op != wir.OpCondBranch || len(t.Args) == 0 {
 		return false
 	}
 	if cmp, ok := t.Args[0].(*wir.Instr); !ok || !g.fused[cmp] {

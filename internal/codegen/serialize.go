@@ -179,8 +179,25 @@ func marshalInstr(w *bufio.Writer, in *wir.Instr, f *wir.Function,
 	return nil
 }
 
-// Unmarshal reads a module written by Marshal.
-func Unmarshal(r io.Reader, env *types.Env) (*wir.Module, error) {
+// Decode limits: a library is kilobytes of IR, so any count beyond these
+// bounds is corruption, not data. They exist so a flipped bit in a varint
+// cannot make the decoder attempt a multi-gigabyte allocation.
+const (
+	maxDecodeString = 1 << 20 // symbol/label/callee names
+	maxDecodeCount  = 1 << 20 // functions, params, blocks, phis, instrs, args, targets
+)
+
+// Unmarshal reads a module written by Marshal. The input is untrusted —
+// the artifact store feeds it bytes straight from disk — so every length
+// is bounded, every cross-reference index is range-checked, and a
+// recover() backstop converts any decoder panic into an error: corrupt
+// or truncated input must never take the process down.
+func Unmarshal(r io.Reader, env *types.Env) (mod *wir.Module, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			mod, err = nil, fmt.Errorf("import: corrupt library: %v", p)
+		}
+	}()
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(libraryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -193,16 +210,22 @@ func Unmarshal(r io.Reader, env *types.Env) (*wir.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	mod := &wir.Module{Typed: true}
+	if nFuncs > maxDecodeCount {
+		return nil, fmt.Errorf("import: implausible function count %d", nFuncs)
+	}
+	mod = &wir.Module{Typed: true}
 	d := &decoder{br: br, env: env, mod: mod}
 	for i := 0; i < int(nFuncs); i++ {
 		if _, err := d.readFunction(); err != nil {
 			return nil, fmt.Errorf("import: function %d: %w", i, err)
 		}
 	}
-	// Resolve deferred references.
+	// Resolve deferred references (checked: indices may point at functions
+	// or instructions the truncated stream never delivered).
 	for _, fix := range d.fixups {
-		fix()
+		if err := fix(); err != nil {
+			return nil, fmt.Errorf("import: %w", err)
+		}
 	}
 	if err := mod.Lint(); err != nil {
 		return nil, fmt.Errorf("import: invalid module: %w", err)
@@ -214,15 +237,31 @@ type decoder struct {
 	br     *bufio.Reader
 	env    *types.Env
 	mod    *wir.Module
-	fixups []func()
+	fixups []func() error
 }
 
 func (d *decoder) readUvarint() (uint64, error) { return binary.ReadUvarint(d.br) }
+
+// readCount reads a collection length and rejects implausible values
+// before anything is allocated from them.
+func (d *decoder) readCount(what string) (int, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxDecodeCount {
+		return 0, fmt.Errorf("implausible %s count %d", what, n)
+	}
+	return int(n), nil
+}
 
 func (d *decoder) readString() (string, error) {
 	n, err := d.readUvarint()
 	if err != nil {
 		return "", err
+	}
+	if n > maxDecodeString {
+		return "", fmt.Errorf("implausible string length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(d.br, buf); err != nil {
@@ -246,11 +285,11 @@ func (d *decoder) readFunction() (*wir.Function, error) {
 	}
 	f := d.mod.NewFunction(name)
 	f.Blocks = nil // NewFunction adds an entry block; rebuild from the wire
-	nParams, err := d.readUvarint()
+	nParams, err := d.readCount("parameter")
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < int(nParams); i++ {
+	for i := 0; i < nParams; i++ {
 		pname, err := d.readString()
 		if err != nil {
 			return nil, err
@@ -270,7 +309,7 @@ func (d *decoder) readFunction() (*wir.Function, error) {
 	if f.RetTy, err = d.readType(); err != nil {
 		return nil, err
 	}
-	nBlocks, err := d.readUvarint()
+	nBlocks, err := d.readCount("block")
 	if err != nil {
 		return nil, err
 	}
@@ -284,22 +323,25 @@ func (d *decoder) readFunction() (*wir.Function, error) {
 		if b.Label, err = d.readString(); err != nil {
 			return nil, err
 		}
-		nPreds, err := d.readUvarint()
+		nPreds, err := d.readCount("predecessor")
 		if err != nil {
 			return nil, err
 		}
-		for j := 0; j < int(nPreds); j++ {
+		for j := 0; j < nPreds; j++ {
 			pi, err := d.readUvarint()
 			if err != nil {
 				return nil, err
 			}
+			if pi >= uint64(len(blocks)) {
+				return nil, fmt.Errorf("predecessor index %d out of range (%d blocks)", pi, len(blocks))
+			}
 			b.Preds = append(b.Preds, blocks[pi])
 		}
-		nPhis, err := d.readUvarint()
+		nPhis, err := d.readCount("phi")
 		if err != nil {
 			return nil, err
 		}
-		for j := 0; j < int(nPhis); j++ {
+		for j := 0; j < nPhis; j++ {
 			in, err := d.readInstr(f, blocks, instrByID)
 			if err != nil {
 				return nil, err
@@ -307,11 +349,11 @@ func (d *decoder) readFunction() (*wir.Function, error) {
 			in.Block = b
 			b.Phis = append(b.Phis, in)
 		}
-		nInstrs, err := d.readUvarint()
+		nInstrs, err := d.readCount("instruction")
 		if err != nil {
 			return nil, err
 		}
-		for j := 0; j < int(nInstrs); j++ {
+		for j := 0; j < nInstrs; j++ {
 			in, err := d.readInstr(f, blocks, instrByID)
 			if err != nil {
 				return nil, err
@@ -346,12 +388,18 @@ func (d *decoder) readInstr(f *wir.Function, blocks []*wir.Block, instrByID map[
 	}
 	if target > 0 {
 		ti := int(target - 1)
-		d.fixups = append(d.fixups, func() { in.ResolvedFn = d.mod.Funcs[ti] })
+		d.fixups = append(d.fixups, func() error {
+			if ti >= len(d.mod.Funcs) {
+				return fmt.Errorf("resolved-function index %d out of range (%d functions)", ti, len(d.mod.Funcs))
+			}
+			in.ResolvedFn = d.mod.Funcs[ti]
+			return nil
+		})
 	}
 	if in.Ty, err = d.readType(); err != nil {
 		return nil, err
 	}
-	nArgs, err := d.readUvarint()
+	nArgs, err := d.readCount("argument")
 	if err != nil {
 		return nil, err
 	}
@@ -369,11 +417,21 @@ func (d *decoder) readInstr(f *wir.Function, blocks []*wir.Block, instrByID map[
 			}
 			idx := i
 			irid := int(rid)
-			d.fixups = append(d.fixups, func() { in.Args[idx] = instrByID[irid] })
+			d.fixups = append(d.fixups, func() error {
+				ref, ok := instrByID[irid]
+				if !ok {
+					return fmt.Errorf("argument references undefined instruction %%%d", irid)
+				}
+				in.Args[idx] = ref
+				return nil
+			})
 		case refParam:
 			pidx, err := d.readUvarint()
 			if err != nil {
 				return nil, err
+			}
+			if pidx >= uint64(len(f.Params)) {
+				return nil, fmt.Errorf("parameter index %d out of range (%d params)", pidx, len(f.Params))
 			}
 			in.Args[i] = f.Params[pidx]
 		case refConst:
@@ -393,15 +451,19 @@ func (d *decoder) readInstr(f *wir.Function, blocks []*wir.Block, instrByID map[
 			}
 			idx := i
 			ffi := int(fi)
-			d.fixups = append(d.fixups, func() {
+			d.fixups = append(d.fixups, func() error {
+				if ffi >= len(d.mod.Funcs) {
+					return fmt.Errorf("function-ref index %d out of range (%d functions)", ffi, len(d.mod.Funcs))
+				}
 				target := d.mod.Funcs[ffi]
 				in.Args[idx] = &wir.FuncRef{Fn: target, Ty: target.FnType()}
+				return nil
 			})
 		default:
 			return nil, fmt.Errorf("import: bad value tag %d", tag)
 		}
 	}
-	nTargets, err := d.readUvarint()
+	nTargets, err := d.readCount("branch target")
 	if err != nil {
 		return nil, err
 	}
@@ -410,6 +472,9 @@ func (d *decoder) readInstr(f *wir.Function, blocks []*wir.Block, instrByID map[
 		bi, err := d.readUvarint()
 		if err != nil {
 			return nil, err
+		}
+		if bi >= uint64(len(blocks)) {
+			return nil, fmt.Errorf("branch-target index %d out of range (%d blocks)", bi, len(blocks))
 		}
 		in.Targets[i] = blocks[bi]
 	}

@@ -1,0 +1,163 @@
+// The disk tier of the compile cache (ROADMAP item 4): compiled modules
+// are persisted to an artifact store keyed by the process-independent
+// half of the content key (cacheKeys.stable), so warm starts — a new
+// process, or this process after ResetCompileCache — skip the front half
+// of the pipeline (macro → binding → lower → infer → passes) and only
+// re-run code generation against the hosting kernel, exactly the
+// LibraryFunctionLoad rebinding model.
+package core
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"wolfc/internal/artifact"
+	"wolfc/internal/codegen"
+	"wolfc/internal/expr"
+	"wolfc/internal/obs"
+)
+
+// artifactStore is the process-wide disk tier; nil disables it. Swapped
+// atomically so tools can attach a store after flag parsing while
+// background tier compiles are already running.
+var artifactStore atomic.Pointer[artifact.Store]
+
+// ArtifactStore returns the attached disk tier, or nil when the compile
+// cache is memory-only.
+func ArtifactStore() *artifact.Store { return artifactStore.Load() }
+
+// SetArtifactStore attaches (or, with nil, detaches) the disk tier and
+// returns the previous store.
+func SetArtifactStore(s *artifact.Store) *artifact.Store {
+	return artifactStore.Swap(s)
+}
+
+// EnableArtifactStore opens dir as the process-wide artifact store (the
+// -artifact-dir / WOLFC_ARTIFACT_DIR wiring used by the tools).
+func EnableArtifactStore(dir string) (*artifact.Store, error) {
+	s, err := artifact.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	SetArtifactStore(s)
+	return s, nil
+}
+
+func init() {
+	// Disk-tier gauges ride the same inverted-dependency provider as the
+	// in-memory cache (cache.go); families appear once a store attaches.
+	obs.RegisterGaugeProvider(func() []obs.Gauge {
+		s := ArtifactStore()
+		if s == nil {
+			return nil
+		}
+		st := s.Stats()
+		return []obs.Gauge{
+			{Name: "artifact_store_hits_total", Value: float64(st.Hits)},
+			{Name: "artifact_store_misses_total", Value: float64(st.Misses)},
+			{Name: "artifact_store_writes_total", Value: float64(st.Writes)},
+			{Name: "artifact_store_write_errors_total", Value: float64(st.WriteErrors)},
+			{Name: "artifact_store_corrupt_drops_total", Value: float64(st.CorruptDrops)},
+			{Name: "artifact_store_evictions_total", Value: float64(st.Evictions)},
+			{Name: "artifact_store_bytes", Value: float64(st.BytesOnDisk)},
+			{Name: "artifact_store_entries", Value: float64(st.Entries)},
+		}
+	})
+}
+
+// loadArtifact probes the disk tier for a module compiled under the same
+// stable content key and, on a hit, regenerates executable code for it in
+// this compiler. Every failure mode is a soft miss (return nil): the
+// caller falls through to a full compile, and undecodable payloads are
+// dropped from the store so they are not re-probed forever.
+func (c *Compiler) loadArtifact(stableKey string, fn expr.Expr, req CompileRequest) (ccf *CompiledCodeFunction) {
+	s := ArtifactStore()
+	if s == nil {
+		return nil
+	}
+	payload, ok := s.Get(stableKey)
+	if !ok {
+		return nil
+	}
+	// Same backstop as LoadCompiledLibrary: a checksum-clean payload from
+	// an incompatible writer must degrade to a recompile, never a crash.
+	defer func() {
+		if p := recover(); p != nil {
+			s.DropUndecodable(stableKey)
+			ccf = nil
+		}
+	}()
+	mod, err := codegen.Unmarshal(bytes.NewReader(payload), c.TypeEnv)
+	if err != nil {
+		s.DropUndecodable(stableKey)
+		return nil
+	}
+	// Re-run the backend this compiler is configured for. The backend
+	// options are part of the stable key, so the regenerated program is
+	// the one the storing process ran.
+	var prog *codegen.Program
+	if c.Stencil {
+		prog, err = codegen.StencilCompile(mod)
+	} else {
+		prog, err = codegen.CompileWithOptions(mod, codegen.CompileOptions{
+			NaiveConstants: c.NaiveConstants,
+			Parallelism:    c.Parallelism,
+			FuseLevel:      c.FuseLevel,
+			ProfileLevel:   c.ProfileLevel,
+		})
+	}
+	if err != nil {
+		s.DropUndecodable(stableKey)
+		return nil
+	}
+	main := mod.Main()
+	if main == nil {
+		s.DropUndecodable(stableKey)
+		return nil
+	}
+	backend := "closure-aot"
+	if c.Stencil {
+		backend = "stencil-aot"
+	}
+	ccf = &CompiledCodeFunction{
+		Source:   fn,
+		Module:   mod,
+		Program:  prog,
+		RetType:  main.RetTy,
+		compiler: c, // rebind to the hosting kernel (install.go's model)
+		Metrics:  obs.RegisterFunc(displayName(req.SelfName, fn), backend),
+	}
+	if c.ProfileLevel > 0 {
+		ccf.Metrics.SetDetail(ccf.profileDetail)
+	}
+	for _, p := range main.Params {
+		if !p.Capture {
+			ccf.ParamTypes = append(ccf.ParamTypes, p.Ty)
+		}
+	}
+	// Serialised modules never carry registry calls (maybeStoreArtifact
+	// gates them), so RegDeps stays nil by construction; collect anyway so
+	// a future format that does carry them keeps the invalidation wiring.
+	ccf.RegDeps = collectRegDeps(mod)
+	return ccf
+}
+
+// maybeStoreArtifact persists a freshly compiled module to the disk tier.
+// Functions that call process-registry entries (RegDeps) are process-
+// local — their baked call targets die with this process — and are never
+// written, the same gate ExportLibrary enforces. Serialisation failures
+// are swallowed: the disk tier is an optimisation, not a dependency.
+func (c *Compiler) maybeStoreArtifact(stableKey string, ccf *CompiledCodeFunction) {
+	s := ArtifactStore()
+	if s == nil || ccf == nil || ccf.Module == nil {
+		return
+	}
+	if len(ccf.RegDeps) > 0 || !ccf.Module.Typed {
+		return
+	}
+	var buf bytes.Buffer
+	if err := codegen.Marshal(&buf, ccf.Module); err != nil {
+		return
+	}
+	s.Put(stableKey, buf.Bytes())
+}

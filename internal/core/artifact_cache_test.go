@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"wolfc/internal/kernel"
+	"wolfc/internal/parser"
+)
+
+// Tests for the two-tier compile cache (ROADMAP item 4): singleflight
+// coalescing, the generational source→key memo, the sharded front's
+// configuration knob, and the persistent artifact tier.
+
+// withArtifactDir attaches a fresh store over dir for the test's duration
+// and restores the previous (usually nil) store afterwards.
+func withArtifactDir(t *testing.T, dir string) {
+	t.Helper()
+	prev := ArtifactStore()
+	if _, err := EnableArtifactStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { SetArtifactStore(prev) })
+}
+
+func TestSingleflightCoalescesConcurrentFirstCompiles(t *testing.T) {
+	ResetCompileCache()
+	k := kernel.New()
+	k.Out = io.Discard
+	fn := parser.MustParse(`Function[{Typed[n, "MachineInteger"]},
+		Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i++]; s]]`)
+
+	const n = 16
+	results := make([]*CompiledCodeFunction, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// One compiler per goroutine: the content key ignores compiler
+			// identity, so they all race toward the same cache slot.
+			c := NewCompiler(k)
+			<-start
+			ccf, _, err := c.FunctionCompileCachedRequest(fn, CompileRequest{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = ccf
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	s := CompileCacheStatsNow()
+	if s.Misses != 1 {
+		t.Fatalf("singleflight must compile exactly once, got %d misses (%+v)", s.Misses, s)
+	}
+	// Every non-winner either waited on the flight (Coalesced) or arrived
+	// after the insert (Hits); both must return the winner's function.
+	if s.Hits+s.Coalesced != n-1 {
+		t.Fatalf("hits (%d) + coalesced (%d) must account for the %d non-winners (%+v)",
+			s.Hits, s.Coalesced, n-1, s)
+	}
+	for i, ccf := range results {
+		if ccf != results[0] {
+			t.Fatalf("goroutine %d got a different compiled function", i)
+		}
+	}
+	if got := results[0].CallRaw(int64(4)); got != int64(30) {
+		t.Fatalf("coalesced function broken: %v", got)
+	}
+}
+
+func TestFastMemoHotKeysSurviveGenerationFlips(t *testing.T) {
+	m := fastMemo{cap: 4}
+	hot := "hot-key"
+	m.put(hot, cacheKeys{full: "hot"})
+	m.put("cold-key", cacheKeys{full: "cold"})
+
+	// Churn far past the old wholesale-wipe threshold, touching the hot key
+	// between insertions the way a solver loop re-resolves its kernel.
+	for i := 0; i < 10*m.cap; i++ {
+		m.put(fmt.Sprintf("churn-%d", i), cacheKeys{})
+		if _, ok := m.get(hot); !ok {
+			t.Fatalf("hot key evicted after %d churn insertions", i+1)
+		}
+		if got := m.size(); got > 2*m.cap {
+			t.Fatalf("memo grew to %d entries; bound is 2×cap = %d", got, 2*m.cap)
+		}
+	}
+	// The untouched cold key must have aged out — the memo is bounded, not
+	// merely lucky.
+	if _, ok := m.get("cold-key"); ok {
+		t.Fatal("cold key survived sustained churn; generational eviction is not evicting")
+	}
+	if v, _ := m.get(hot); v.full != "hot" {
+		t.Fatalf("hot key's value corrupted: %+v", v)
+	}
+}
+
+func TestSetCompileCacheShards(t *testing.T) {
+	ResetCompileCache()
+	defer SetCompileCacheShards(0)
+
+	if got := SetCompileCacheShards(4); got == 0 {
+		t.Fatalf("previous shard count must be reported, got %d", got)
+	}
+	if got := CompileCacheShardCount(); got != 4 {
+		t.Fatalf("shard count = %d, want 4", got)
+	}
+	// Non-power-of-two rounds up; the single-lock configuration is exact.
+	SetCompileCacheShards(3)
+	if got := CompileCacheShardCount(); got != 4 {
+		t.Fatalf("3 shards must round to 4, got %d", got)
+	}
+	SetCompileCacheShards(1)
+	if got := CompileCacheShardCount(); got != 1 {
+		t.Fatalf("shard count = %d, want 1", got)
+	}
+
+	// The rebuilt single-shard cache must still behave: miss, hit, evict.
+	k := kernel.New()
+	k.Out = io.Discard
+	c := NewCompiler(k)
+	fn := parser.MustParse(`Function[{Typed[x, "MachineInteger"]}, x + 7]`)
+	if _, err := c.FunctionCompileCached(fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FunctionCompileCached(fn); err != nil {
+		t.Fatal(err)
+	}
+	s := CompileCacheStatsNow()
+	if s.Misses != 1 || s.Hits != 1 || s.Shards != 1 {
+		t.Fatalf("single-shard cache misbehaving: %+v", s)
+	}
+}
+
+func TestArtifactStoreWarmStartAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	srcs := []struct{ src, arg, want string }{
+		{`Function[{Typed[n, "MachineInteger"]}, Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i++]; s]]`, "5", "55"},
+		{`Function[{Typed[x, "MachineInteger"]}, x*x - 1]`, "7", "48"},
+		{`Function[{Typed[x, "Real64"]}, x/2.0 + 1.5]`, "3.0", "3."},
+	}
+
+	// "Process" one: cold compiles populate the store.
+	ResetCompileCache()
+	withArtifactDir(t, dir)
+	k1 := kernel.New()
+	k1.Out = io.Discard
+	c1 := NewCompiler(k1)
+	for _, s := range srcs {
+		ccf, rep, err := c1.FunctionCompileCachedRequest(parser.MustParse(s.src), CompileRequest{Collect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == nil || rep.ArtifactHit {
+			t.Fatalf("cold compile must not be an artifact hit: %+v", rep)
+		}
+		if got := apply(t, ccf, s.arg); got != s.want {
+			t.Fatalf("cold %s(%s) = %s, want %s", s.src, s.arg, got, s.want)
+		}
+	}
+	if st := ArtifactStore().Stats(); st.Writes != uint64(len(srcs)) || st.Entries != len(srcs) {
+		t.Fatalf("cold phase must write every artifact: %+v", st)
+	}
+
+	// "Process" two: fresh kernel, fresh compiler, empty in-memory cache,
+	// store reopened from disk. Every compile must be served by the disk
+	// tier and produce bit-identical results.
+	ResetCompileCache()
+	SetArtifactStore(nil)
+	withArtifactDir(t, dir)
+	k2 := kernel.New()
+	k2.Out = io.Discard
+	c2 := NewCompiler(k2)
+	for _, s := range srcs {
+		ccf, rep, err := c2.FunctionCompileCachedRequest(parser.MustParse(s.src), CompileRequest{Collect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == nil || !rep.ArtifactHit {
+			t.Fatalf("warm compile of %s must hit the disk tier: %+v", s.src, rep)
+		}
+		if got := apply(t, ccf, s.arg); got != s.want {
+			t.Fatalf("warm %s(%s) = %s, want %s", s.src, s.arg, got, s.want)
+		}
+		if ccf.Metrics.Backend() != "closure-aot" {
+			t.Fatalf("artifact-loaded function backend = %q, want closure-aot", ccf.Metrics.Backend())
+		}
+		if ccf.BoundKernel() != k2 {
+			t.Fatal("artifact-loaded function must be rebound to the loading kernel")
+		}
+	}
+	st := ArtifactStore().Stats()
+	if st.Hits != uint64(len(srcs)) || st.Misses != 0 {
+		t.Fatalf("warm phase must be all disk hits: %+v", st)
+	}
+	// The in-memory front counts artifact loads as misses (no compiled
+	// entry existed in memory) — the disk stats above carry the hit signal.
+	if cs := CompileCacheStatsNow(); cs.Misses != uint64(len(srcs)) {
+		t.Fatalf("in-memory stats after warm start: %+v", cs)
+	}
+}
+
+func TestArtifactStoreStencilRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ResetCompileCache()
+	withArtifactDir(t, dir)
+	src := `Function[{Typed[n, "MachineInteger"]}, n*n + 3]`
+
+	k1 := kernel.New()
+	k1.Out = io.Discard
+	c1 := NewCompiler(k1)
+	c1.Stencil = true
+	ccf, _, err := c1.FunctionCompileCachedRequest(parser.MustParse(src), CompileRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := apply(t, ccf, "10")
+
+	ResetCompileCache()
+	SetArtifactStore(nil)
+	withArtifactDir(t, dir)
+	k2 := kernel.New()
+	k2.Out = io.Discard
+	c2 := NewCompiler(k2)
+	c2.Stencil = true
+	warm, rep, err := c2.FunctionCompileCachedRequest(parser.MustParse(src), CompileRequest{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || !rep.ArtifactHit {
+		t.Fatalf("stencil warm start must hit the disk tier: %+v", rep)
+	}
+	if got := apply(t, warm, "10"); got != cold {
+		t.Fatalf("stencil artifact round-trip diverged: %s vs %s", got, cold)
+	}
+	if warm.Metrics.Backend() != "stencil-aot" {
+		t.Fatalf("backend = %q, want stencil-aot", warm.Metrics.Backend())
+	}
+	// Stencil and full-pipeline compiles of the same source must not share
+	// a stable key (the backend configuration joins it): a full compiler
+	// must miss the store entry the stencil compiler wrote.
+	c3 := NewCompiler(k2)
+	if _, rep, err := c3.FunctionCompileCachedRequest(parser.MustParse(src), CompileRequest{Collect: true}); err != nil {
+		t.Fatal(err)
+	} else if rep != nil && rep.ArtifactHit {
+		t.Fatal("full-pipeline compile hit the stencil compiler's artifact; backend options must join the stable key")
+	}
+}
+
+func TestRegDepsNeverWrittenToDisk(t *testing.T) {
+	dir := t.TempDir()
+	ResetCompileCache()
+	withArtifactDir(t, dir)
+	c := newCompiler()
+	ccf := compile(t, c, `Function[{Typed[x, "MachineInteger"]}, x + 1]`)
+	if ccf.Module == nil || !ccf.Module.Typed {
+		t.Fatal("test premise: compiled module must be typed")
+	}
+	// White-box: registry calls are process-local — their baked targets die
+	// with this process — so the gate must refuse to persist the module.
+	// (Keys are raw SHA-256 sums; the store ignores any other length.)
+	key := string(bytes.Repeat([]byte{0xab}, 32))
+	ccf.RegDeps = []string{"someRegisteredFn"}
+	c.maybeStoreArtifact(key, ccf)
+	if st := ArtifactStore().Stats(); st.Writes != 0 || st.Entries != 0 {
+		t.Fatalf("module with RegDeps was written to disk: %+v", st)
+	}
+	// Sanity: the same module without RegDeps is accepted.
+	ccf.RegDeps = nil
+	c.maybeStoreArtifact(key, ccf)
+	if st := ArtifactStore().Stats(); st.Writes != 1 {
+		t.Fatalf("RegDeps-free module must be written: %+v", st)
+	}
+}
+
+func TestCachedCompilesRaceWithResetAndStore(t *testing.T) {
+	dir := t.TempDir()
+	ResetCompileCache()
+	withArtifactDir(t, dir)
+	k := kernel.New()
+	k.Out = io.Discard
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewCompiler(k)
+			for i := 0; i < 20; i++ {
+				src := fmt.Sprintf(`Function[{Typed[x, "MachineInteger"]}, x + %d]`, i%5)
+				ccf, _, err := c.FunctionCompileCachedRequest(parser.MustParse(src), CompileRequest{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := ccf.CallRaw(int64(10)); got != int64(10+i%5) {
+					t.Errorf("worker %d iter %d: got %v", w, i, got)
+					return
+				}
+				if w == 0 && i%7 == 3 {
+					ResetCompileCache()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -4,17 +4,42 @@
 // (desugared) function together with everything else that influences code
 // generation: pass options, backend options, the type- and
 // macro-environment declaration signatures, the conditioned-macro compile
-// options, and the hosting kernel identity. Eviction is LRU with a bounded
-// entry count so long-lived processes do not accumulate compiled programs.
+// options, the compile's SelfName recursion binding, and the hosting
+// kernel identity. Eviction is LRU with a bounded entry count so
+// long-lived processes do not accumulate compiled programs.
+//
+// The cache is two-tier (ROADMAP item 4):
+//
+//   - The in-memory front is sharded by content-hash prefix: the hit path
+//     takes only its shard's mutex, so concurrent hot-query lookups scale
+//     with cores instead of serialising on one lock. Misses, capacity
+//     eviction, invalidation, and stats snapshots serialise on a global
+//     structural mutex (they are rare — a miss costs a compile anyway),
+//     which keeps observable semantics identical to the old single-lock
+//     cache: one global LRU order, one global capacity, snapshots that
+//     never observe an over-capacity state.
+//
+//   - First compiles of the same key are coalesced (singleflight): one
+//     winner compiles, duplicates block on it and count as Coalesced
+//     rather than re-doing the work. This fixes the documented
+//     double-compile race.
+//
+//   - Below memory sits the optional disk tier (SetArtifactStore): on a
+//     miss the winner probes the artifact store under the
+//     process-independent half of the content key and, on a load, skips
+//     the whole front half of the pipeline. See artifact.go.
 package core
 
 import (
 	"container/list"
 	"crypto/sha256"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"wolfc/internal/expr"
 	"wolfc/internal/kernel"
@@ -23,16 +48,22 @@ import (
 
 // CompileCacheStats is a snapshot of cache effectiveness counters.
 //
-// Snapshot/reset contract: every counter is guarded by one mutex, so a
-// snapshot is internally consistent (hits+misses counted under the same
-// lock that moved the entry). Snapshots may be taken concurrently with
-// compiles and with ResetCompileCache; a reset zeroes counters and entries
-// atomically, so a concurrent snapshot observes either the pre-reset or the
-// post-reset state, never a mix. Counters are cumulative since process
-// start or the last reset.
+// Snapshot/reset contract: Entries, Misses, Evictions, and Invalidations
+// are guarded by the cache's structural mutex, so a snapshot is internally
+// consistent and never observes more than Capacity entries; a reset
+// zeroes counters and entries together, so a concurrent snapshot observes
+// either the pre-reset or the post-reset state. Hits, Coalesced, and
+// Contention accumulate per shard and are summed under the same
+// structural mutex at snapshot time. Counters are cumulative since
+// process start or the last reset.
 type CompileCacheStats struct {
 	Hits   uint64
 	Misses uint64
+	// Coalesced counts lookups that arrived while another goroutine was
+	// already compiling the same key and simply waited for its result
+	// (the singleflight path). They are neither hits (the entry was not
+	// yet cached) nor misses (no compile work was done).
+	Coalesced uint64
 	// Evictions counts entries dropped by capacity pressure (LRU) only.
 	Evictions uint64
 	// Invalidations counts entries dropped by explicit invalidation
@@ -40,9 +71,15 @@ type CompileCacheStats struct {
 	// Evictions so capacity tuning reads a clean signal.
 	Invalidations uint64
 	Entries       int
+	// Shards is the shard count of the in-memory front; Contention counts
+	// lookups that found their shard's mutex held (a cheap proxy for lock
+	// pressure — watch it grow to decide whether more shards would help).
+	Shards     int
+	Contention uint64
 }
 
-// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+// HitRatio returns hits/(hits+misses), or 0 before any lookup. Coalesced
+// waits are excluded: they neither found nor compiled an entry.
 func (s CompileCacheStats) HitRatio() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
@@ -54,27 +91,210 @@ func (s CompileCacheStats) HitRatio() float64 {
 type cacheEntry struct {
 	key string
 	ccf *CompiledCodeFunction
+	// stamp is the global LRU clock tick of the last touch (insert or
+	// hit). Within a shard the list order matches stamp order; across
+	// shards the minimum-stamp back entry is the global LRU victim.
+	stamp uint64
 }
 
-var compileCache = struct {
-	mu    sync.Mutex
-	byKey map[string]*list.Element // -> *cacheEntry elements of lru
-	lru   *list.List               // front = most recently used
-	cap   int
-	stats CompileCacheStats
-}{
-	byKey: map[string]*list.Element{},
-	lru:   list.New(),
-	cap:   256,
+// cacheShard is one lock-domain of the in-memory front. The hit path
+// (lookup + LRU move + hit count) touches only this struct.
+type cacheShard struct {
+	mu         sync.Mutex
+	byKey      map[string]*list.Element // -> *cacheEntry elements of lru
+	lru        *list.List               // front = most recently used in this shard
+	hits       uint64
+	coalesced  uint64
+	contention uint64
+}
+
+// inflightCompile is one singleflight slot: the winner publishes the
+// compile result and closes done; waiters block on done.
+type inflightCompile struct {
+	done chan struct{}
+	ccf  *CompiledCodeFunction
+	err  error
+}
+
+// shardedCache is the process-wide compile cache. Structural state —
+// entry count vs capacity, miss/eviction/invalidation counters — is
+// guarded by mu; per-shard state by the shard mutexes (mu is acquired
+// strictly before shard locks). The singleflight table has its own lock.
+type shardedCache struct {
+	shards []*cacheShard
+	mask   uint32        // len(shards)-1; shard count is a power of two
+	clock  atomic.Uint64 // global LRU ordering; bumped on insert and hit
+
+	mu            sync.Mutex // structural: misses/evict/invalidate/reset/snapshot
+	cap           int
+	entries       int
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
+
+	flightMu sync.Mutex
+	inflight map[string]*inflightCompile
+}
+
+// defaultShardCount is 2×GOMAXPROCS rounded up to a power of two, minimum
+// 8: enough lock domains that the hit path scales past the core count
+// without making the eviction scan (O(shards), misses only) noticeable.
+func defaultShardCount() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	return n
+}
+
+func newShardedCache(shards, capacity int) *shardedCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards&(shards-1) != 0 {
+		shards = 1 << bits.Len(uint(shards))
+	}
+	c := &shardedCache{
+		shards:   make([]*cacheShard, shards),
+		mask:     uint32(shards - 1),
+		cap:      capacity,
+		inflight: map[string]*inflightCompile{},
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{byKey: map[string]*list.Element{}, lru: list.New()}
+	}
+	return c
+}
+
+// compileCachePtr holds the live cache; SetCompileCacheShards swaps in a
+// rebuilt one, and every operation snapshots the pointer once so it works
+// against a consistent instance end to end.
+var compileCachePtr = func() *atomic.Pointer[shardedCache] {
+	p := new(atomic.Pointer[shardedCache])
+	p.Store(newShardedCache(defaultShardCount(), 256))
+	return p
+}()
+
+func cacheNow() *shardedCache { return compileCachePtr.Load() }
+
+// shardFor picks the shard from the key's leading bytes. Keys are raw
+// SHA-256 sums, so the prefix is uniformly distributed.
+func (c *shardedCache) shardFor(key string) *cacheShard {
+	var p uint32
+	if len(key) >= 4 {
+		p = uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24
+	} else {
+		for i := 0; i < len(key); i++ {
+			p = p<<8 | uint32(key[i])
+		}
+	}
+	return c.shards[p&c.mask]
+}
+
+// lock acquires the shard mutex, counting a failed fast-path acquisition
+// as contention (the /metrics proxy for "would more shards help").
+func (sh *cacheShard) lock() {
+	if sh.mu.TryLock() {
+		return
+	}
+	atomic.AddUint64(&sh.contention, 1)
+	sh.mu.Lock()
+}
+
+// lookup is the sharded hot path: hit ⇒ LRU front of the shard, stamp
+// refreshed from the global clock.
+func (c *shardedCache) lookup(key string) (*CompiledCodeFunction, bool) {
+	sh := c.shardFor(key)
+	sh.lock()
+	el, ok := sh.byKey[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.hits++
+	ent := el.Value.(*cacheEntry)
+	ent.stamp = c.clock.Add(1)
+	ccf := ent.ccf
+	sh.mu.Unlock()
+	return ccf, true
+}
+
+// insert files a fresh compile under key, evicting LRU entries while over
+// capacity. Holds the structural mutex so snapshots never observe an
+// over-capacity cache. First insert wins on a duplicate key.
+func (c *shardedCache) insert(key string, ccf *CompiledCodeFunction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.lock()
+	if _, ok := sh.byKey[key]; ok {
+		sh.mu.Unlock()
+		return
+	}
+	sh.byKey[key] = sh.lru.PushFront(&cacheEntry{key: key, ccf: ccf, stamp: c.clock.Add(1)})
+	sh.mu.Unlock()
+	c.entries++
+	for c.entries > c.cap {
+		c.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked drops the least-recently-used entry across all
+// shards: every shard's list is stamp-ordered, so the global LRU victim
+// is the minimum-stamp back entry. The scan is O(shards) and runs only
+// on capacity overflow — a path that just paid for a compile. Called
+// with c.mu held; concurrent hits may refresh a stamp between the scan
+// and the removal, in which case the evicted entry is the then-oldest of
+// its shard — still an LRU-ordered victim.
+func (c *shardedCache) evictOldestLocked() {
+	var victim *cacheShard
+	var oldest uint64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if back := sh.lru.Back(); back != nil {
+			if s := back.Value.(*cacheEntry).stamp; victim == nil || s < oldest {
+				victim, oldest = sh, s
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if victim == nil {
+		return
+	}
+	victim.mu.Lock()
+	if back := victim.lru.Back(); back != nil {
+		victim.lru.Remove(back)
+		delete(victim.byKey, back.Value.(*cacheEntry).key)
+		c.entries--
+		c.evictions++
+	}
+	victim.mu.Unlock()
 }
 
 // CompileCacheStatsNow returns the current cache counters. Safe to call
 // concurrently with compiles and resets; see the CompileCacheStats contract.
 func CompileCacheStatsNow() CompileCacheStats {
-	compileCache.mu.Lock()
-	defer compileCache.mu.Unlock()
-	s := compileCache.stats
-	s.Entries = compileCache.lru.Len()
+	c := cacheNow()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CompileCacheStats{
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.entries,
+		Shards:        len(c.shards),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Coalesced += sh.coalesced
+		s.Contention += atomic.LoadUint64(&sh.contention)
+		sh.mu.Unlock()
+	}
 	return s
 }
 
@@ -87,10 +307,13 @@ func init() {
 		return []obs.Gauge{
 			{Name: "compile_cache_hits_total", Value: float64(s.Hits)},
 			{Name: "compile_cache_misses_total", Value: float64(s.Misses)},
+			{Name: "compile_cache_coalesced_total", Value: float64(s.Coalesced)},
 			{Name: "compile_cache_evictions_total", Value: float64(s.Evictions)},
 			{Name: "compile_cache_invalidations_total", Value: float64(s.Invalidations)},
 			{Name: "compile_cache_entries", Value: float64(s.Entries)},
 			{Name: "compile_cache_hit_ratio", Value: s.HitRatio()},
+			{Name: "compile_cache_shards", Value: float64(s.Shards)},
+			{Name: "compile_cache_shard_contention_total", Value: float64(s.Contention)},
 		}
 	})
 }
@@ -102,25 +325,57 @@ func SetCompileCacheCapacity(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	compileCache.mu.Lock()
-	defer compileCache.mu.Unlock()
-	prev := compileCache.cap
-	compileCache.cap = n
-	for compileCache.lru.Len() > n {
-		evictOldestLocked()
+	c := cacheNow()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.cap
+	c.cap = n
+	for c.entries > n {
+		c.evictOldestLocked()
 	}
 	return prev
 }
 
+// SetCompileCacheShards rebuilds the in-memory front with n shards
+// (rounded up to a power of two; n <= 0 restores the default of
+// 2×GOMAXPROCS) and returns the previous shard count. All entries and
+// counters are dropped — this is a benchmarking and test knob (wolfbench
+// -coldstart A/Bs sharded vs single-lock), not a production tuning path.
+func SetCompileCacheShards(n int) int {
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	old := cacheNow()
+	old.mu.Lock()
+	prevShards, prevCap := len(old.shards), old.cap
+	old.mu.Unlock()
+	compileCachePtr.Store(newShardedCache(n, prevCap))
+	return prevShards
+}
+
+// CompileCacheShardCount reports the current shard count of the in-memory
+// front.
+func CompileCacheShardCount() int {
+	return len(cacheNow().shards)
+}
+
 // ResetCompileCache drops every entry and zeroes the counters (tests).
-// Entries and counters go together under one lock, so concurrent snapshots
-// see either the old state or the fresh one.
+// Entries and counters go together under the structural lock, so
+// concurrent snapshots see either the old state or the fresh one.
 func ResetCompileCache() {
-	compileCache.mu.Lock()
-	defer compileCache.mu.Unlock()
-	compileCache.byKey = map[string]*list.Element{}
-	compileCache.lru.Init()
-	compileCache.stats = CompileCacheStats{}
+	c := cacheNow()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.byKey = map[string]*list.Element{}
+		sh.lru.Init()
+		sh.hits, sh.coalesced = 0, 0
+		atomic.StoreUint64(&sh.contention, 0)
+		sh.mu.Unlock()
+	}
+	c.entries = 0
+	c.misses, c.evictions, c.invalidations = 0, 0, 0
 }
 
 // InvalidateCompileCache drops every cached function matching pred and
@@ -130,19 +385,25 @@ func ResetCompileCache() {
 // being discarded, InvalidateCompileCache(func(ccf *CompiledCodeFunction)
 // bool { return ccf.BoundKernel() == k }).
 func InvalidateCompileCache(pred func(*CompiledCodeFunction) bool) int {
-	compileCache.mu.Lock()
-	defer compileCache.mu.Unlock()
+	c := cacheNow()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	dropped := 0
-	for el := compileCache.lru.Front(); el != nil; {
-		next := el.Next()
-		ent := el.Value.(*cacheEntry)
-		if pred(ent.ccf) {
-			compileCache.lru.Remove(el)
-			delete(compileCache.byKey, ent.key)
-			compileCache.stats.Invalidations++
-			dropped++
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			ent := el.Value.(*cacheEntry)
+			if pred(ent.ccf) {
+				sh.lru.Remove(el)
+				delete(sh.byKey, ent.key)
+				c.invalidations++
+				c.entries--
+				dropped++
+			}
+			el = next
 		}
-		el = next
+		sh.mu.Unlock()
 	}
 	return dropped
 }
@@ -156,34 +417,97 @@ func (ccf *CompiledCodeFunction) BoundKernel() *kernel.Kernel {
 	return ccf.compiler.Kernel
 }
 
-func evictOldestLocked() {
-	back := compileCache.lru.Back()
-	if back == nil {
-		return
-	}
-	compileCache.lru.Remove(back)
-	delete(compileCache.byKey, back.Value.(*cacheEntry).key)
-	compileCache.stats.Evictions++
+// cacheKeys holds both halves of the content key: full is the in-memory
+// key (everything including the hosting-kernel identity); stable is the
+// process-independent prefix the disk tier is keyed by — identical
+// compiles in different processes (or the same process across restarts)
+// share one stable key, and the loaded module is rebound to the hosting
+// kernel exactly as LibraryFunctionLoad does.
+type cacheKeys struct {
+	full   string
+	stable string
 }
 
-// cacheKey builds the content-addressed key for compiling fn under this
-// compiler's configuration. The desugared (macro-expanded) form is hashed
-// so that surface spellings that expand identically share one entry;
-// expansion runs to a fixed point, so compiling from the original source on
-// a miss produces exactly the cached program.
-func (c *Compiler) cacheKey(fn expr.Expr) (string, error) {
+// cacheKeyVersion joins the stable key so that incompatible changes to
+// the serialised module format or key derivation invalidate old disk
+// entries wholesale (belt to the artifact store's format-magic braces).
+const cacheKeyVersion = "wolfc-key/v1"
+
+// canonicalizeHygiene alpha-renames the macro expander's hygienic
+// temporaries (`<base>`h<counter>`, freshSym's marker — the backtick
+// cannot appear in user symbols) to sequential numbering in depth-first
+// encounter order. The fresh-symbol counter is process-global, so without
+// this every expansion of a gensym-introducing macro (Increment, say)
+// would hash differently — silently defeating the cross-compiler share
+// and, worse, the cross-process artifact store. Renaming is a bijection
+// (distinct temporaries get distinct canonical slots), so two functions
+// canonicalize alike exactly when they are alpha-equivalent in their
+// temporaries.
+func canonicalizeHygiene(e expr.Expr) expr.Expr {
+	var renames map[*expr.Symbol]*expr.Symbol
+	next := 0
+	expr.Walk(e, func(x expr.Expr) bool {
+		if s, ok := x.(*expr.Symbol); ok {
+			if base, isTemp := hygieneBase(s.Name); isTemp {
+				if _, seen := renames[s]; !seen {
+					if renames == nil {
+						renames = map[*expr.Symbol]*expr.Symbol{}
+					}
+					next++
+					renames[s] = expr.Sym(fmt.Sprintf("%s`h%d", base, next))
+				}
+			}
+		}
+		return true
+	})
+	if renames == nil {
+		return e
+	}
+	return expr.Replace(e, func(x expr.Expr) expr.Expr {
+		if s, ok := x.(*expr.Symbol); ok {
+			if r, ok := renames[s]; ok {
+				return r
+			}
+		}
+		return x
+	})
+}
+
+// hygieneBase splits a hygienic temporary name `<base>`h<digits>` into its
+// base; non-temporaries report false.
+func hygieneBase(name string) (string, bool) {
+	i := strings.LastIndex(name, "`h")
+	if i < 0 || i+2 >= len(name) {
+		return "", false
+	}
+	for _, r := range name[i+2:] {
+		if r < '0' || r > '9' {
+			return "", false
+		}
+	}
+	return name[:i], true
+}
+
+// computeCacheKeys builds the content-addressed keys for compiling fn
+// under this compiler's configuration with the given SelfName recursion
+// binding. The desugared (macro-expanded) form is hashed — with hygienic
+// temporaries canonically renumbered — so that surface spellings that
+// expand alpha-equivalently share one entry; expansion runs to a fixed
+// point, so compiling from the original source on a miss produces exactly
+// the cached program.
+func (c *Compiler) computeCacheKeys(selfName string, fn expr.Expr) (cacheKeys, error) {
 	expanded, err := c.ExpandAST(fn)
 	if err != nil {
-		return "", err
+		return cacheKeys{}, err
 	}
+	expanded = canonicalizeHygiene(expanded)
 	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", cacheKeyVersion)
 	fmt.Fprintf(h, "src:%s\n", expr.FullForm(expanded))
+	fmt.Fprintf(h, "self:%s\n", selfName)
 	fmt.Fprintf(h, "passes:%+v\n", c.Options)
 	fmt.Fprintf(h, "backend:naive=%v parallelism=%d fuse=%d profile=%d stencil=%v\n", c.NaiveConstants, c.Parallelism, c.FuseLevel, c.ProfileLevel, c.Stencil)
 	fmt.Fprintf(h, "tyenv:%x macroenv:%x\n", c.TypeEnv.Sig(), c.MacroEnv.Sig())
-	// The kernel identity matters: the compiled wrapper's fallback and
-	// engine escapes are bound to the hosting kernel.
-	fmt.Fprintf(h, "kernel:%p\n", c.Kernel)
 	opts := make([]string, 0, len(c.CompileOpts))
 	for k, v := range c.CompileOpts {
 		opts = append(opts, k+"="+expr.FullForm(v))
@@ -192,22 +516,31 @@ func (c *Compiler) cacheKey(fn expr.Expr) (string, error) {
 	for _, o := range opts {
 		fmt.Fprintf(h, "opt:%s\n", o)
 	}
-	return string(h.Sum(nil)), nil
+	// Everything above is process-independent: the environment signatures
+	// are content hashes of the declarations, not pointers. The kernel
+	// identity is appended after snapshotting the stable key — the
+	// compiled wrapper's fallback and engine escapes are bound to the
+	// hosting kernel, so the in-memory tier must not share entries across
+	// kernels, but the serialised module (regenerated against the loading
+	// compiler) can cross processes freely.
+	stable := string(h.Sum(nil))
+	fmt.Fprintf(h, "kernel:%p\n", c.Kernel)
+	return cacheKeys{full: string(h.Sum(nil)), stable: stable}, nil
 }
 
 // fastKey is the cheap first-tier key: the *unexpanded* source plus every
 // configuration input the content key depends on (the kernel is constant
 // per compiler). Macro-environment changes that would alter expansion are
 // covered by the environment signature, so a fastKey match guarantees the
-// memoised content key is still the one cacheKey would compute.
-func (c *Compiler) fastKey(fn expr.Expr) string {
+// memoised content key is still the one computeCacheKeys would compute.
+func (c *Compiler) fastKey(selfName string, fn expr.Expr) string {
 	opts := make([]string, 0, len(c.CompileOpts))
 	for k, v := range c.CompileOpts {
 		opts = append(opts, k+"="+expr.FullForm(v))
 	}
 	sort.Strings(opts)
-	return fmt.Sprintf("%s\x00%+v\x00%v\x00%d\x00%d\x00%d\x00%v\x00%x\x00%x\x00%s",
-		expr.FullForm(fn), c.Options, c.NaiveConstants, c.Parallelism,
+	return fmt.Sprintf("%s\x00%s\x00%+v\x00%v\x00%d\x00%d\x00%d\x00%v\x00%x\x00%x\x00%s",
+		selfName, expr.FullForm(fn), c.Options, c.NaiveConstants, c.Parallelism,
 		c.FuseLevel, c.ProfileLevel, c.Stencil, c.TypeEnv.Sig(), c.MacroEnv.Sig(), strings.Join(opts, "\x00"))
 }
 
@@ -221,72 +554,130 @@ func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, e
 
 // FunctionCompileCachedRequest is the cache-backed compile with
 // per-invocation context. The returned CompileReport describes THIS
-// invocation — on a cache hit it is a bare report with CacheHit set (the
-// cached function's own compile-time report stays on ccf.Report); it is nil
-// when req.Collect is false.
+// invocation — on a cache hit it is a bare report with CacheHit set, on
+// an artifact-store load a bare report with ArtifactHit set (the cached
+// function's own compile-time report stays on ccf.Report); it is nil when
+// req.Collect is false.
+//
+// Concurrent first compiles of the same key are coalesced: one goroutine
+// wins and compiles (probing the disk tier first when an artifact store
+// is attached), the rest block on its result and count as Coalesced.
 func (c *Compiler) FunctionCompileCachedRequest(fn expr.Expr, req CompileRequest) (*CompiledCodeFunction, *CompileReport, error) {
 	// Hot path (implicit compilation in a solver loop): skip macro
 	// expansion and hashing when this compiler has resolved the same
 	// source under the same configuration before. The memo stores only
-	// the content key — hits, misses, and LRU eviction all still go
+	// the content keys — hits, misses, and LRU eviction all still go
 	// through the shared cache below.
-	fk := c.fastKey(fn)
-	c.fastMu.Lock()
-	key, memoised := c.fastKeys[fk]
-	c.fastMu.Unlock()
+	fk := c.fastKey(req.SelfName, fn)
+	keys, memoised := c.memo.get(fk)
 	if !memoised {
 		var err error
-		key, err = c.cacheKey(fn)
+		keys, err = c.computeCacheKeys(req.SelfName, fn)
 		if err != nil {
 			// Expansion failures surface through the regular pipeline so
 			// the error message carries its usual context.
 			ccf, err := c.FunctionCompileRequest(fn, req)
 			return ccf, ccf.reportOrNil(), err
 		}
-		c.fastMu.Lock()
-		if c.fastKeys == nil || len(c.fastKeys) > 1024 {
-			c.fastKeys = map[string]string{}
-		}
-		c.fastKeys[fk] = key
-		c.fastMu.Unlock()
+		c.memo.put(fk, keys)
 	}
-	compileCache.mu.Lock()
-	if el, ok := compileCache.byKey[key]; ok {
-		compileCache.lru.MoveToFront(el)
-		compileCache.stats.Hits++
-		ccf := el.Value.(*cacheEntry).ccf
-		compileCache.mu.Unlock()
-		if obs.TraceEnabled() {
-			obs.Emit(obs.TraceEvent{Type: "compile", Name: ccf.Metrics.Name(),
-				TNs: obs.TraceNow(), CacheHit: true})
-		}
-		var rep *CompileReport
-		if req.Collect {
-			rep = &CompileReport{CacheHit: true}
-		}
-		return ccf, rep, nil
-	}
-	compileCache.stats.Misses++
-	compileCache.mu.Unlock()
 
-	// Compile outside the lock: concurrent first compiles of the same key
-	// may race and both do the work; the second insert wins the map slot
-	// and the first result simply stays uncached. Correctness is
-	// unaffected because both programs are equivalent.
+	cache := cacheNow()
+	for {
+		if ccf, ok := cache.lookup(keys.full); ok {
+			return ccf, hitReport(ccf, req, false), nil
+		}
+		flight, winner := cache.beginFlight(keys.full)
+		if winner {
+			break
+		}
+		sh := cache.shardFor(keys.full)
+		sh.lock()
+		sh.coalesced++
+		sh.mu.Unlock()
+		<-flight.done
+		if flight.err != nil {
+			return nil, nil, flight.err
+		}
+		if flight.ccf != nil {
+			return flight.ccf, hitReport(flight.ccf, req, false), nil
+		}
+		// The winner vanished without a result (should not happen);
+		// retry from the top rather than failing the compile.
+	}
+
+	ccf, rep, err := c.compileFlight(cache, keys, fn, req)
+	cache.endFlight(keys.full, ccf, err)
+	return ccf, rep, err
+}
+
+// compileFlight is the singleflight winner's body: count the miss, probe
+// the disk tier, fall back to a full compile, file the result.
+func (c *Compiler) compileFlight(cache *shardedCache, keys cacheKeys, fn expr.Expr, req CompileRequest) (*CompiledCodeFunction, *CompileReport, error) {
+	// Another goroutine may have filed the entry between our lookup and
+	// winning the flight slot.
+	if ccf, ok := cache.lookup(keys.full); ok {
+		return ccf, hitReport(ccf, req, false), nil
+	}
+	cache.mu.Lock()
+	cache.misses++
+	cache.mu.Unlock()
+
+	if ccf := c.loadArtifact(keys.stable, fn, req); ccf != nil {
+		cache.insert(keys.full, ccf)
+		return ccf, hitReport(ccf, req, true), nil
+	}
+
 	ccf, err := c.FunctionCompileRequest(fn, req)
 	if err != nil {
 		return nil, nil, err
 	}
-	compileCache.mu.Lock()
-	if _, ok := compileCache.byKey[key]; !ok {
-		el := compileCache.lru.PushFront(&cacheEntry{key: key, ccf: ccf})
-		compileCache.byKey[key] = el
-		for compileCache.lru.Len() > compileCache.cap {
-			evictOldestLocked()
-		}
-	}
-	compileCache.mu.Unlock()
+	cache.insert(keys.full, ccf)
+	c.maybeStoreArtifact(keys.stable, ccf)
 	return ccf, ccf.reportOrNil(), nil
+}
+
+// beginFlight claims the singleflight slot for key. The first caller wins
+// (returns true) and must call endFlight exactly once; later callers get
+// the winner's flight to wait on.
+func (c *shardedCache) beginFlight(key string) (*inflightCompile, bool) {
+	c.flightMu.Lock()
+	defer c.flightMu.Unlock()
+	if f, ok := c.inflight[key]; ok {
+		return f, false
+	}
+	f := &inflightCompile{done: make(chan struct{})}
+	c.inflight[key] = f
+	return f, true
+}
+
+// endFlight publishes the winner's result and releases the waiters.
+func (c *shardedCache) endFlight(key string, ccf *CompiledCodeFunction, err error) {
+	c.flightMu.Lock()
+	f, ok := c.inflight[key]
+	if ok {
+		delete(c.inflight, key)
+	}
+	c.flightMu.Unlock()
+	if !ok {
+		return
+	}
+	f.ccf, f.err = ccf, err
+	close(f.done)
+}
+
+// hitReport builds the per-invocation report (and trace event) for a
+// lookup served without compiling: from the in-memory cache, from a
+// coalesced flight, or — artifact=true — from the disk tier.
+func hitReport(ccf *CompiledCodeFunction, req CompileRequest, artifact bool) *CompileReport {
+	if obs.TraceEnabled() {
+		obs.Emit(obs.TraceEvent{Type: "compile", Name: ccf.Metrics.Name(),
+			TNs: obs.TraceNow(), CacheHit: true})
+	}
+	if !req.Collect {
+		return nil
+	}
+	return &CompileReport{CacheHit: !artifact, ArtifactHit: artifact}
 }
 
 // reportOrNil is nil-safe access to the compile-time report.
@@ -295,4 +686,59 @@ func (ccf *CompiledCodeFunction) reportOrNil() *CompileReport {
 		return nil
 	}
 	return ccf.Report
+}
+
+// fastMemo is the per-compiler source→content-key memo. It is
+// generational (young + old maps): when the young generation fills, it
+// becomes the old generation and a fresh young map starts — hot keys are
+// re-promoted to young on access, so steady churn evicts only cold keys
+// instead of wiping the whole memo (the old behaviour discarded every
+// memoised key at once). Total footprint is bounded by 2×cap entries.
+type fastMemo struct {
+	mu    sync.Mutex
+	cap   int // per-generation bound; 0 = default 1024
+	young map[string]cacheKeys
+	old   map[string]cacheKeys
+}
+
+const fastMemoDefaultCap = 1024
+
+func (m *fastMemo) get(k string) (cacheKeys, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.young[k]; ok {
+		return v, true
+	}
+	if v, ok := m.old[k]; ok {
+		m.putLocked(k, v) // promote: hot keys survive the next flip
+		return v, true
+	}
+	return cacheKeys{}, false
+}
+
+func (m *fastMemo) put(k string, v cacheKeys) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.putLocked(k, v)
+}
+
+func (m *fastMemo) putLocked(k string, v cacheKeys) {
+	if m.cap <= 0 {
+		m.cap = fastMemoDefaultCap
+	}
+	if m.young == nil {
+		m.young = make(map[string]cacheKeys)
+	}
+	if _, dup := m.young[k]; !dup && len(m.young) >= m.cap {
+		m.old = m.young
+		m.young = make(map[string]cacheKeys, m.cap)
+	}
+	m.young[k] = v
+}
+
+// size reports the current entry count across both generations (tests).
+func (m *fastMemo) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.young) + len(m.old)
 }

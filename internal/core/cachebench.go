@@ -1,0 +1,63 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BenchCompileCacheHits measures raw hit-path throughput of the in-memory
+// compile-cache front: a private cache with the given shard count is
+// pre-populated with entries and hammered with lookups from workers
+// goroutines for roughly dur. The return value is lookups per second.
+//
+// This is the A/B instrument behind wolfbench -coldstart's sharded vs
+// single-lock comparison: the end-to-end cached-compile path spends most
+// of its time building the lookup key (FullForm of the source) outside
+// any lock, so an end-to-end measurement would Amdahl-hide the lock
+// structure this PR changes. Hammering lookup directly isolates it. The
+// process-wide cache is untouched.
+func BenchCompileCacheHits(shards, entries, workers int, dur time.Duration) float64 {
+	if entries < 1 {
+		entries = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bench := newShardedCache(shards, entries)
+	keys := make([]string, entries)
+	for i := range keys {
+		// Real keys are SHA-256 sums; synthetic ones must match that shape
+		// so the leading-bytes shard pick distributes the same way.
+		sum := sha256.Sum256([]byte(fmt.Sprintf("cachebench-%d", i)))
+		keys[i] = string(sum[:])
+		bench.insert(keys[i], &CompiledCodeFunction{})
+	}
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var n uint64
+			for !stop.Load() {
+				bench.lookup(keys[i%len(keys)])
+				i++
+				n++
+			}
+			total.Add(n)
+		}(w * 7919) // staggered starting offsets spread workers over shards
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(total.Load()) / elapsed
+}

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"wolfc/internal/binding"
@@ -62,11 +61,10 @@ type Compiler struct {
 	// can fall back to the full pipeline.
 	Stencil bool
 
-	// fastKeys memoises raw source -> content-addressed cache key so
+	// memo memoises raw source -> content-addressed cache keys so
 	// repeated implicit compiles (FindRoot's solver loop) skip macro
-	// expansion and hashing. Guarded by fastMu; see cache.go.
-	fastMu   sync.Mutex
-	fastKeys map[string]string
+	// expansion and hashing. Generationally evicted; see cache.go.
+	memo fastMemo
 }
 
 // NewCompiler builds a compiler hosted in k with the default environments.

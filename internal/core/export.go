@@ -83,17 +83,37 @@ func (ccf *CompiledCodeFunction) ExportLibrary(w io.Writer) error {
 // regenerates executable code for it (LibraryFunctionLoad). standalone
 // disables engine-dependent features — interpreter integration and
 // abortability — as the paper describes for standalone mode (§4.6).
-func LoadCompiledLibrary(c *Compiler, r io.Reader, standalone bool) (*CompiledCodeFunction, error) {
+func LoadCompiledLibrary(c *Compiler, r io.Reader, standalone bool) (ccf *CompiledCodeFunction, err error) {
+	// The input is untrusted (the artifact store reads it straight off
+	// disk). The decoder bounds-checks everything it can, but a mutated
+	// module that is still lint-clean can trip the backend in ways no
+	// structural check anticipates; the backstop turns any such panic into
+	// a load error so corrupt input can never take the process down.
+	defer func() {
+		if p := recover(); p != nil {
+			ccf, err = nil, fmt.Errorf("import: corrupt library: %v", p)
+		}
+	}()
 	mod, err := codegen.Unmarshal(r, c.TypeEnv)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := codegen.Compile(mod)
+	// The loading compiler's backend options apply: the module is typed IR,
+	// and code generation happens here, in this process.
+	prog, err := codegen.CompileWithOptions(mod, codegen.CompileOptions{
+		NaiveConstants: c.NaiveConstants,
+		Parallelism:    c.Parallelism,
+		FuseLevel:      c.FuseLevel,
+		ProfileLevel:   c.ProfileLevel,
+	})
 	if err != nil {
 		return nil, err
 	}
 	main := mod.Main()
-	ccf := &CompiledCodeFunction{
+	if main == nil {
+		return nil, fmt.Errorf("import: library has no entry function")
+	}
+	ccf = &CompiledCodeFunction{
 		Module:     mod,
 		Program:    prog,
 		RetType:    main.RetTy,

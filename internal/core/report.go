@@ -25,6 +25,11 @@ type CompileReport struct {
 	Stages   []StageTime    `json:"stages,omitempty"`
 	Passes   *passes.Report `json:"passes,omitempty"`
 	CacheHit bool           `json:"cache_hit"`
+	// ArtifactHit marks an invocation served from the disk artifact store:
+	// the typed module was loaded and only code generation re-ran, the
+	// front half of the pipeline (macro → binding → lower → infer →
+	// passes) was skipped entirely.
+	ArtifactHit bool `json:"artifact_hit,omitempty"`
 }
 
 // CompileRequest carries per-invocation compile context.

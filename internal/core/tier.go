@@ -540,17 +540,38 @@ func (t *Tiering) worker() {
 // pipeline when the definition leaves the stencil fragment (uncovered
 // instruction shape, non-scalar types). Compile latency feeds the per-tier
 // histograms.
-func (t *Tiering) compileOne(full, stencil *Compiler, m *tierMember) (*CompiledCodeFunction, tierLevel, error) {
+//
+// shared routes the compile through the process-wide compile cache (and
+// its disk tier): a promotion this process — or, with an artifact store
+// attached, any previous process — has compiled before skips the
+// pipeline. Only self-contained members may share: group members bake
+// registry calls to entries reserved for this specific promotion, and
+// those reservations die with the job on failure, which would leave a
+// cached entry pointing at retired registry slots.
+func (t *Tiering) compileOne(full, stencil *Compiler, m *tierMember, shared bool) (*CompiledCodeFunction, tierLevel, error) {
+	req := CompileRequest{SelfName: m.name}
 	if !t.pol.DisableStencil {
 		t0 := time.Now()
-		ccf, err := stencil.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+		var ccf *CompiledCodeFunction
+		var err error
+		if shared {
+			ccf, _, err = stencil.FunctionCompileCachedRequest(m.fn, req)
+		} else {
+			ccf, err = stencil.FunctionCompileRequest(m.fn, req)
+		}
 		if err == nil {
 			histStencilCompile.Observe(time.Since(t0))
 			return ccf, tierStencil, nil
 		}
 	}
 	t0 := time.Now()
-	ccf, err := full.FunctionCompileRequest(m.fn, CompileRequest{SelfName: m.name})
+	var ccf *CompiledCodeFunction
+	var err error
+	if shared {
+		ccf, _, err = full.FunctionCompileCachedRequest(m.fn, req)
+	} else {
+		ccf, err = full.FunctionCompileRequest(m.fn, req)
+	}
 	if err != nil {
 		return nil, tierNone, err
 	}
@@ -602,7 +623,7 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 		// registry during inference (full pipeline) or the quick typer
 		// (stencil path).
 		m := members[0]
-		ccf, tier, err := t.compileOne(full, stencil, m)
+		ccf, tier, err := t.compileOne(full, stencil, m, true)
 		if err != nil {
 			fail()
 			return
@@ -667,7 +688,7 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 		entries[i] = ent
 	}
 	for i, m := range members {
-		ccf, tier, err := t.compileOne(full, stencil, m)
+		ccf, tier, err := t.compileOne(full, stencil, m, false)
 		if err != nil {
 			fail()
 			return
@@ -689,7 +710,10 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 // (the symbol keeps whatever is correct now).
 func (t *Tiering) upgradeJob(full *Compiler, u *tierUpgrade) {
 	t0 := time.Now()
-	ccf, err := full.FunctionCompileRequest(u.fn, CompileRequest{SelfName: u.name})
+	// Upgrades are self-contained recompiles (the stencil entry already
+	// installed stands alone), so they share the process-wide cache and
+	// its disk tier like first promotions do.
+	ccf, _, err := full.FunctionCompileCachedRequest(u.fn, CompileRequest{SelfName: u.name})
 	if err != nil {
 		// The stencil result stays installed — it is correct, just not
 		// optimised. The trigger stays disarmed: a pipeline that failed
