@@ -239,6 +239,9 @@ func main() {
 	if *coldstartF {
 		os.Exit(coldstartSuite())
 	}
+	if *serveF {
+		os.Exit(serveSuite())
+	}
 	if *artifactDir != "" {
 		if _, err := core.EnableArtifactStore(*artifactDir); err != nil {
 			fmt.Fprintln(os.Stderr, "wolfbench: -artifact-dir:", err)

@@ -4,6 +4,10 @@
 // in the paper's notebook sessions (Figure 1). Ctrl-C aborts the running
 // evaluation without quitting the session (F3); a second Ctrl-C at the
 // prompt exits.
+//
+// The session is one internal/engine Engine — the same isolated unit
+// wolfserve hands to each tenant — so the REPL exercises the exact
+// kernel + compiler + tiering + registry wiring the serving layer uses.
 package main
 
 import (
@@ -15,11 +19,9 @@ import (
 	"strings"
 
 	"wolfc/internal/core"
+	"wolfc/internal/engine"
 	"wolfc/internal/expr"
-	"wolfc/internal/kernel"
 	"wolfc/internal/obs"
-	"wolfc/internal/parser"
-	"wolfc/internal/vm"
 )
 
 var (
@@ -67,24 +69,28 @@ func main() {
 		}()
 	}
 
-	k := kernel.New()
-	k.Out = os.Stdout
-	vm.Install(k)   // legacy Compile
-	core.Install(k) // new FunctionCompile
-	if *autoCompile {
-		// Tiered execution (ISSUE 5): hot DownValue definitions are
-		// compiled in the background and dispatched as compiled code.
-		// Stats go to stderr on exit so stdout stays bit-identical to an
-		// untiered session.
-		tr := core.EnableTiering(k, core.TierPolicy{
+	e := engine.New(engine.Options{
+		ID:       "repl",
+		LegacyVM: true, // the legacy bytecode Compile, alongside FunctionCompile
+		Tiering:  *autoCompile,
+		Tier: core.TierPolicy{
 			Threshold:        *autoCompileThreshold,
 			StencilThreshold: *stencilThreshold,
 			DisableO2:        *stencilOnly,
 			DisableStencil:   *noStencil,
-		})
+		},
+	})
+	defer e.Close()
+	if *autoCompile {
+		// Tiered execution (ISSUE 5): hot DownValue definitions are
+		// compiled in the background and dispatched as compiled code.
+		// Stats go to stderr on exit so stdout stays bit-identical to an
+		// untiered session. The worker pool is drained before the snapshot
+		// (and before the deferred e.Close retires the namespace) so
+		// in-flight promotions are counted, not inflated by shutdown.
 		defer func() {
-			tr.Close() // drain the worker pool so in-flight promotions are counted
-			s := tr.Stats()
+			e.Tiering.Close()
+			s := e.Stats()
 			fmt.Fprintf(os.Stderr,
 				"autocompile: %d symbols tracked, %d promoted (%d stencil, %d upgraded; %d installed now), %d compiled dispatches, %d guard misses, %d soft fallbacks, %d compile failures, %d retires, %d aborts\n",
 				s.Tracked, s.Promotions, s.StencilPromotions, s.Upgrades, s.Installed, s.CompiledCalls, s.GuardMisses, s.SoftFallbacks, s.CompileFailures, s.Retires, s.Aborts)
@@ -98,7 +104,7 @@ func main() {
 		for range sig {
 			select {
 			case <-busy: // evaluation in flight: abort it (F3)
-				k.Abort()
+				e.Abort()
 				busy <- struct{}{}
 			default: // idle prompt: quit
 				fmt.Println("\nGoodbye.")
@@ -127,20 +133,20 @@ func main() {
 		if line == "Quit" || line == "Exit" {
 			return
 		}
-		e, err := parser.Parse(line)
-		if err != nil {
-			fmt.Println("Syntax:", err)
-			continue
-		}
 		busy <- struct{}{}
-		out, err := k.Run(e)
+		res, err := e.Eval(line, 0)
 		<-busy
+		fmt.Print(res.Output) // Print/message text, in evaluation order
 		if err != nil {
-			fmt.Println("Error:", err)
+			if msg, ok := strings.CutPrefix(err.Error(), "syntax: "); ok {
+				fmt.Println("Syntax:", msg)
+			} else {
+				fmt.Println("Error:", err)
+			}
 			continue
 		}
-		if out != expr.SymNull {
-			fmt.Printf("Out[%d]= %s\n", n, expr.InputForm(out))
+		if res.Value != nil && res.Value != expr.SymNull {
+			fmt.Printf("Out[%d]= %s\n", n, expr.InputForm(res.Value))
 		}
 	}
 }

@@ -1,0 +1,74 @@
+// Command wolfserve runs the multi-tenant evaluation service: per-session
+// isolated engines (kernel + compiler + tiering + registry namespace) over
+// HTTP/JSON, with the process-wide compile cache and artifact store shared
+// across sessions so tenants warm each other's compiles.
+//
+//	wolfserve -addr :8080 -autocompile
+//	curl -s -X POST localhost:8080/v1/sessions                      # {"id":"s-1"}
+//	curl -s -X POST localhost:8080/v1/sessions/s-1/eval \
+//	     -d '{"input":"f[n_] := 2*n + 1; f[20]", "timeout_ms": 5000}'
+//	curl -s -X DELETE localhost:8080/v1/sessions/s-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"wolfc/internal/artifact"
+	"wolfc/internal/core"
+	"wolfc/internal/serve"
+)
+
+var (
+	addr        = flag.String("addr", ":8080", "listen address")
+	maxSessions = flag.Int("max-sessions", 64, "maximum live sessions; creation past this answers 429")
+	maxInflight = flag.Int("max-inflight", 32, "maximum concurrently admitted eval requests; admission past this answers 429")
+	defTimeout  = flag.Duration("default-timeout", 30*time.Second, "evaluation deadline when a request omits timeout_ms")
+	maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "hard cap on any requested evaluation deadline")
+
+	autoCompile          = flag.Bool("autocompile", true, "tiered execution inside each session: compile hot definitions in the background")
+	autoCompileThreshold = flag.Uint64("autocompile-threshold", 50, "invocation count at which a definition is promoted to the optimising tier")
+	tierWorkers          = flag.Int("autocompile-workers", 1, "background compile workers per session (0 = GOMAXPROCS)")
+
+	artifactDir = flag.String("artifact-dir", os.Getenv("WOLFC_ARTIFACT_DIR"),
+		"persist compiled artifacts to this directory, shared across sessions and server restarts (also WOLFC_ARTIFACT_DIR; empty = in-process memory store shared across sessions only)")
+)
+
+func main() {
+	flag.Parse()
+
+	// The artifact tier is keyed by the registry-free stable content key, so
+	// every session shares it: tenant B's first compile of a function tenant
+	// A already compiled is a cheap load instead of a full pipeline run.
+	// With no directory configured the store is memory-backed — shared
+	// within the process, gone at exit.
+	if *artifactDir != "" {
+		if _, err := core.EnableArtifactStore(*artifactDir); err != nil {
+			fmt.Fprintf(os.Stderr, "wolfserve: artifact store: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		core.SetArtifactStore(artifact.OpenMemory())
+	}
+
+	srv := serve.NewServer(serve.Options{
+		MaxSessions:    *maxSessions,
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Tiering:        *autoCompile,
+		Tier: core.TierPolicy{
+			Threshold: *autoCompileThreshold,
+			Workers:   *tierWorkers,
+		},
+	})
+	fmt.Fprintf(os.Stderr, "wolfserve: listening on %s (max-sessions %d, max-inflight %d)\n",
+		*addr, *maxSessions, *maxInflight)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "wolfserve: %v\n", err)
+		os.Exit(1)
+	}
+}

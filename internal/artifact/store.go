@@ -84,6 +84,20 @@ type Store struct {
 	writeErrors  uint64
 	corruptDrops uint64
 	evictions    uint64
+
+	// mem, when non-nil, makes the store memory-backed (OpenMemory): one
+	// process's sessions share compiled modules through the same stable-key
+	// tier without touching disk. Headers and checksums are skipped — bytes
+	// in a map cannot tear — but the Get/Put/eviction contract is identical.
+	mem    map[string]memEntry
+	memSeq uint64
+}
+
+// memEntry is one memory-backed payload; seq orders eviction (oldest
+// first, standing in for the disk tier's mtime).
+type memEntry struct {
+	payload []byte
+	seq     uint64
 }
 
 // Open creates (if needed) and scans the artifact directory. The scan
@@ -113,8 +127,19 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// Dir returns the store directory.
+// OpenMemory returns a memory-backed store: same keying, counters, and
+// bounds as the disk tier, no filesystem. A serving process uses it so all
+// sessions share each other's compiles even with no -artifact-dir
+// configured; entries die with the process.
+func OpenMemory() *Store {
+	return &Store{mem: map[string]memEntry{}}
+}
+
+// Dir returns the store directory ("" for a memory-backed store).
 func (s *Store) Dir() string { return s.dir }
+
+// InMemory reports whether the store is memory-backed.
+func (s *Store) InMemory() bool { return s.mem != nil }
 
 // SetMaxBytes bounds the on-disk footprint (0 = unbounded) and evicts
 // oldest-first if the bound is already exceeded. Returns the previous
@@ -157,6 +182,17 @@ func (s *Store) path(key string) string {
 func (s *Store) Get(key string) ([]byte, bool) {
 	if len(key) != keyLen {
 		return nil, false
+	}
+	if s.mem != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		e, ok := s.mem[key]
+		if !ok {
+			s.misses++
+			return nil, false
+		}
+		s.hits++
+		return e.payload, true
 	}
 	p := s.path(key)
 	raw, err := os.ReadFile(p)
@@ -218,6 +254,17 @@ func (s *Store) DropUndecodable(key string) {
 	if len(key) != keyLen {
 		return
 	}
+	if s.mem != nil {
+		s.mu.Lock()
+		if e, ok := s.mem[key]; ok {
+			delete(s.mem, key)
+			s.bytes -= int64(len(e.payload))
+			s.entries--
+		}
+		s.corruptDrops++
+		s.mu.Unlock()
+		return
+	}
 	p := s.path(key)
 	if info, err := os.Stat(p); err == nil {
 		s.drop(p, info.Size())
@@ -248,6 +295,19 @@ func (s *Store) drop(path string, size int64) {
 // an optimisation, never a correctness dependency.
 func (s *Store) Put(key string, payload []byte) {
 	if len(key) != keyLen || len(payload) == 0 || len(payload) > maxPayload {
+		return
+	}
+	if s.mem != nil {
+		s.mu.Lock()
+		if _, ok := s.mem[key]; !ok {
+			s.memSeq++
+			s.mem[key] = memEntry{payload: append([]byte{}, payload...), seq: s.memSeq}
+			s.writes++
+			s.bytes += int64(len(payload))
+			s.entries++
+			s.evictLocked()
+		}
+		s.mu.Unlock()
 		return
 	}
 	p := s.path(key)
@@ -300,6 +360,27 @@ func (s *Store) noteWriteError() {
 // first. Called with s.mu held.
 func (s *Store) evictLocked() {
 	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	if s.mem != nil {
+		type mc struct {
+			key string
+			e   memEntry
+		}
+		cands := make([]mc, 0, len(s.mem))
+		for k, e := range s.mem {
+			cands = append(cands, mc{k, e})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].e.seq < cands[j].e.seq })
+		for _, c := range cands {
+			if s.bytes <= s.maxBytes {
+				break
+			}
+			delete(s.mem, c.key)
+			s.bytes -= int64(len(c.e.payload))
+			s.entries--
+			s.evictions++
+		}
 		return
 	}
 	ents, err := os.ReadDir(s.dir)

@@ -288,3 +288,84 @@ func TestOpenIgnoresForeignFiles(t *testing.T) {
 		t.Fatalf("foreign files counted: %+v", st)
 	}
 }
+
+// TestMemoryStore exercises OpenMemory: same Get/Put/eviction contract as
+// the disk store, no filesystem underneath.
+func TestMemoryStore(t *testing.T) {
+	s := OpenMemory()
+	if !s.InMemory() || s.Dir() != "" {
+		t.Fatalf("InMemory = %v, Dir = %q", s.InMemory(), s.Dir())
+	}
+	key := testKey("mem1")
+	payload := []byte("compiled module bytes")
+	s.Put(key, payload)
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	if _, ok := s.Get(testKey("absent")); ok {
+		t.Fatal("expected miss")
+	}
+	s.Put(key, []byte("different")) // idempotent: first write wins
+	got, _ = s.Get(key)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("second Put overwrote: %q", got)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.DropUndecodable(key)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("entry survives DropUndecodable")
+	}
+	if st := s.Stats(); st.CorruptDrops != 1 || st.Entries != 0 {
+		t.Fatalf("stats after drop = %+v", st)
+	}
+}
+
+// TestMemoryStoreEvictsOldest checks seq-ordered eviction under a byte cap.
+func TestMemoryStoreEvictsOldest(t *testing.T) {
+	s := OpenMemory()
+	payload := bytes.Repeat([]byte("x"), 100)
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i] = testKey(fmt.Sprintf("evict-%d", i))
+		s.Put(keys[i], payload)
+	}
+	s.SetMaxBytes(250) // room for two 100-byte entries
+	if st := s.Stats(); st.BytesOnDisk > 250 {
+		t.Fatalf("BytesOnDisk = %d after cap", st.BytesOnDisk)
+	}
+	// Oldest inserted go first; the newest survive.
+	if _, ok := s.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := s.Get(keys[4]); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions", st)
+	}
+}
+
+// TestMemoryStoreConcurrent hammers the memory store from many goroutines.
+func TestMemoryStoreConcurrent(t *testing.T) {
+	s := OpenMemory()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := testKey(fmt.Sprintf("c-%d", i%10))
+				s.Put(key, []byte(fmt.Sprintf("payload-%d", i%10)))
+				s.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Entries != 10 {
+		t.Fatalf("Entries = %d, want 10", st.Entries)
+	}
+}

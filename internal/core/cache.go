@@ -525,6 +525,11 @@ func (c *Compiler) computeCacheKeys(selfName string, fn expr.Expr) (cacheKeys, e
 	// compiler) can cross processes freely.
 	stable := string(h.Sum(nil))
 	fmt.Fprintf(h, "kernel:%p\n", c.Kernel)
+	// The registry namespace is kernel-like state: compiled registry calls
+	// bake *fnreg.Entry pointers from it, so the in-memory tier must not
+	// share entries across engines either. (The stable key stays
+	// registry-free: artifacts with registry deps never reach the store.)
+	fmt.Fprintf(h, "registry:%p\n", c.reg())
 	return cacheKeys{full: string(h.Sum(nil)), stable: stable}, nil
 }
 

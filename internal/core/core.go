@@ -60,6 +60,12 @@ type Compiler struct {
 	// codegen.ErrStencilUnsupported/infer.ErrQuickUnsupported so callers
 	// can fall back to the full pipeline.
 	Stencil bool
+	// Registry is the function-registry namespace compiles resolve
+	// cross-unit calls against (nil = the process-wide default). Engines
+	// set it so concurrent sessions never bind each other's promoted
+	// definitions; it also keys the in-memory compile cache alongside the
+	// kernel identity.
+	Registry *fnreg.Registry
 
 	// memo memoises raw source -> content-addressed cache keys so
 	// repeated implicit compiles (FindRoot's solver loop) skip macro
@@ -67,14 +73,31 @@ type Compiler struct {
 	memo fastMemo
 }
 
-// NewCompiler builds a compiler hosted in k with the default environments.
+// NewCompiler builds a compiler hosted in k with the default environments
+// and the default function registry.
 func NewCompiler(k *kernel.Kernel) *Compiler {
+	return NewCompilerWith(k, nil)
+}
+
+// NewCompilerWith builds a compiler hosted in k resolving registry calls
+// against reg (nil = the process-wide default registry).
+func NewCompilerWith(k *kernel.Kernel, reg *fnreg.Registry) *Compiler {
 	return &Compiler{
 		Kernel:   k,
 		MacroEnv: macro.DefaultEnv(),
 		TypeEnv:  types.Builtin(),
 		Options:  passes.DefaultOptions(),
+		Registry: reg,
 	}
+}
+
+// reg returns the compiler's registry namespace, defaulting to the
+// process-wide instance.
+func (c *Compiler) reg() *fnreg.Registry {
+	if c.Registry != nil {
+		return c.Registry
+	}
+	return fnreg.Default()
 }
 
 // kernelEngine adapts the kernel to the runtime's Engine interface.
@@ -205,7 +228,7 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 		RetType:  main.RetTy,
 		compiler: c,
 		Report:   rep,
-		Metrics:  obs.RegisterFunc(displayName(req.SelfName, fn), "closure"),
+		Metrics:  obs.RegisterFuncScoped(displayName(req.SelfName, fn), "closure", c.reg().ID()),
 	}
 	if c.ProfileLevel > 0 {
 		ccf.Metrics.SetDetail(ccf.profileDetail)
@@ -278,7 +301,7 @@ func (c *Compiler) buildTWIR(selfName string, fn expr.Expr, src *diag.Source, re
 		return nil, err
 	}
 	t := startTimer(rep)
-	if err := infer.Infer(mod, c.TypeEnv); err != nil {
+	if err := infer.InferWith(mod, c.TypeEnv, c.reg()); err != nil {
 		return nil, err
 	}
 	rep.stage("infer", t)
@@ -332,7 +355,7 @@ func (c *Compiler) stencilCompile(fn expr.Expr, req CompileRequest, rep *Compile
 		return nil, err
 	}
 	t := startTimer(rep)
-	if err := infer.Quick(mod, c.TypeEnv); err != nil {
+	if err := infer.QuickWith(mod, c.TypeEnv, c.reg()); err != nil {
 		return nil, err
 	}
 	rep.stage("quick-infer", t)
@@ -356,7 +379,7 @@ func (c *Compiler) stencilCompile(fn expr.Expr, req CompileRequest, rep *Compile
 		RetType:  main.RetTy,
 		compiler: c,
 		Report:   rep,
-		Metrics:  obs.RegisterFunc(displayName(req.SelfName, fn), "stencil"),
+		Metrics:  obs.RegisterFuncScoped(displayName(req.SelfName, fn), "stencil", c.reg().ID()),
 	}
 	for _, p := range main.Params {
 		if !p.Capture {

@@ -214,7 +214,8 @@ type tierJob struct {
 // Tiering is one kernel's tiered-execution engine.
 type Tiering struct {
 	k   *kernel.Kernel
-	c   *Compiler // dedicated compiler: env lookups and the engine handle
+	c   *Compiler       // dedicated compiler: env lookups and the engine handle
+	reg *fnreg.Registry // the engine's registry namespace
 	pol TierPolicy
 
 	mu    sync.Mutex
@@ -227,6 +228,11 @@ type Tiering struct {
 	softFallbacks atomic.Uint64
 	aborts        atomic.Uint64
 
+	// queueDepth mirrors the engine's share of tierQueueDepth for the
+	// per-engine gauge; releaseGauges unregisters it on Close.
+	queueDepth    atomic.Int64
+	releaseGauges func()
+
 	jobs     chan tierJob
 	wg       sync.WaitGroup // the worker pool
 	inflight sync.WaitGroup // queued-but-not-installed jobs
@@ -234,16 +240,37 @@ type Tiering struct {
 }
 
 // EnableTiering attaches a tiered-execution engine to k and starts its
-// background compile pool. Call Close to detach and stop the workers. The
-// engine installs the kernel's dispatch hook and definition observer; only
-// one engine per kernel.
+// background compile pool, promoting into the process-wide default
+// registry. Call Close to detach and stop the workers. The engine installs
+// the kernel's dispatch hook and definition observer; only one engine per
+// kernel.
 func EnableTiering(k *kernel.Kernel, pol TierPolicy) *Tiering {
+	return EnableTieringWith(k, nil, pol)
+}
+
+// EnableTieringWith is EnableTiering with an explicit function-registry
+// namespace (nil = the process-wide default): promotions Reserve/Install
+// into reg, workers compile against it, and redefinition invalidation
+// retires from it, so concurrent engines tier the same symbol names
+// independently.
+func EnableTieringWith(k *kernel.Kernel, reg *fnreg.Registry, pol TierPolicy) *Tiering {
+	if reg == nil {
+		reg = fnreg.Default()
+	}
 	t := &Tiering{
 		k:    k,
-		c:    NewCompiler(k),
+		c:    NewCompilerWith(k, reg),
+		reg:  reg,
 		pol:  pol.withDefaults(),
 		syms: map[*expr.Symbol]*symState{},
 		jobs: make(chan tierJob, 64),
+	}
+	if id := reg.ID(); id != "" {
+		t.releaseGauges = obs.RegisterEngineGauges(id, func() []obs.Gauge {
+			return []obs.Gauge{
+				{Name: "tier_compile_queue_depth", Value: float64(t.queueDepth.Load()), Engine: id},
+			}
+		})
 	}
 	k.SetDispatchHook(t.dispatch)
 	k.SetDefObserver(t.defChanged)
@@ -268,6 +295,9 @@ func (t *Tiering) Close() {
 	t.k.SetDefObserver(nil)
 	close(t.jobs)
 	t.wg.Wait()
+	if t.releaseGauges != nil {
+		t.releaseGauges()
+	}
 }
 
 // WaitIdle blocks until every queued compile has installed (or failed,
@@ -416,6 +446,7 @@ func (t *Tiering) tryPromote(st *symState) {
 	select {
 	case t.jobs <- tierJob{members: members}:
 		tierQueueDepth.Add(1)
+		t.queueDepth.Add(1)
 	default:
 		// Worker backlog: revert and retry later.
 		for _, m := range members {
@@ -443,6 +474,7 @@ func (t *Tiering) maybeQueueUpgrade(st *symState) {
 	select {
 	case t.jobs <- tierJob{upgrade: u}:
 		tierQueueDepth.Add(1)
+		t.queueDepth.Add(1)
 	default:
 		// Worker backlog: re-arm the trigger for another Threshold calls.
 		st.upgradeQueued = false
@@ -513,8 +545,8 @@ func (t *Tiering) buildGroup(root *symState) ([]*tierMember, bool) {
 // share mutable front-end state; all workers serve one kernel.
 func (t *Tiering) worker() {
 	defer t.wg.Done()
-	full := NewCompiler(t.k)
-	stencil := NewCompiler(t.k)
+	full := NewCompilerWith(t.k, t.reg)
+	stencil := NewCompilerWith(t.k, t.reg)
 	stencil.Stencil = true
 	// Pre-warm both compilers off the critical path: the first compile on a
 	// fresh Compiler pays lazy environment initialisation and first-touch
@@ -526,6 +558,7 @@ func (t *Tiering) worker() {
 	_, _ = full.FunctionCompileRequest(warm, CompileRequest{})
 	for job := range t.jobs {
 		tierQueueDepth.Add(-1)
+		t.queueDepth.Add(-1)
 		if job.upgrade != nil {
 			t.upgradeJob(full, job.upgrade)
 		} else {
@@ -587,7 +620,7 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 	tiers := make([]tierLevel, len(members))
 	fail := func() {
 		for _, e := range entries {
-			fnreg.RetireEntry(e)
+			t.reg.RetireEntry(e)
 		}
 		t.mu.Lock()
 		for _, m := range members {
@@ -605,7 +638,7 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 	// rather than permanently failing the symbol.
 	failTransient := func() {
 		for _, e := range entries {
-			fnreg.RetireEntry(e)
+			t.reg.RetireEntry(e)
 		}
 		t.mu.Lock()
 		for _, m := range members {
@@ -629,7 +662,7 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 			return
 		}
 		sig := &types.Fn{Params: ccf.ParamTypes, Ret: ccf.RetType}
-		ent, err := fnreg.Reserve(m.name, sig, nil)
+		ent, err := t.reg.Reserve(m.name, sig, nil)
 		if err != nil {
 			failTransient()
 			return
@@ -664,7 +697,7 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 			merged.Funcs = append(merged.Funcs, sf)
 		}
 	}
-	if err := infer.Infer(merged, full.TypeEnv); err != nil {
+	if err := infer.InferWith(merged, full.TypeEnv, t.reg); err != nil {
 		fail()
 		return
 	}
@@ -680,7 +713,7 @@ func (t *Tiering) compileJob(full, stencil *Compiler, job tierJob) {
 				deps = append(deps, o.name)
 			}
 		}
-		ent, err := fnreg.Reserve(m.name, f.FnType(), deps)
+		ent, err := t.reg.Reserve(m.name, f.FnType(), deps)
 		if err != nil {
 			failTransient()
 			return
@@ -735,7 +768,7 @@ func (t *Tiering) upgradeJob(full *Compiler, u *tierUpgrade) {
 	if !types.Equal(sig, u.entry.Sig()) {
 		return // the optimised pipeline typed it differently; keep the stencil
 	}
-	if !fnreg.Upgrade(u.entry, ccf.FunctionValue(), ccf) {
+	if !t.reg.Upgrade(u.entry, ccf.FunctionValue(), ccf) {
 		return // lost a race with retirement
 	}
 	u.entry.AddDeps(ccf.RegDeps)
@@ -768,12 +801,12 @@ func (t *Tiering) install(members []*tierMember, entries []*fnreg.Entry, ccfs []
 		}
 		t.mu.Unlock()
 		for _, e := range entries {
-			fnreg.RetireEntry(e)
+			t.reg.RetireEntry(e)
 		}
 		return
 	}
 	for i, m := range members {
-		fnreg.Install(entries[i], ccfs[i].FunctionValue(), ccfs[i])
+		t.reg.Install(entries[i], ccfs[i].FunctionValue(), ccfs[i])
 		st := t.syms[m.sym]
 		st.entry = entries[i]
 		st.ccf = ccfs[i]
@@ -819,7 +852,7 @@ func (t *Tiering) defChanged(s *expr.Symbol) {
 	st.softFails = 0
 	st.upgradeQueued = false
 	st.tierCalls.Store(0)
-	retired := fnreg.Retire(s.Name)
+	retired := t.reg.Retire(s.Name)
 	for _, name := range retired {
 		if name == s.Name {
 			continue
@@ -952,7 +985,7 @@ func (t *Tiering) noteSoftFailure(st *symState) {
 	st.softFails = 0
 	st.upgradeQueued = false
 	t.mu.Unlock()
-	retired := fnreg.RetireEntry(entry)
+	retired := t.reg.RetireEntry(entry)
 	t.mu.Lock()
 	for _, name := range retired {
 		if ds := t.syms[expr.Sym(name)]; ds != nil && ds.status == symInstalled {

@@ -1,5 +1,5 @@
-// Package fnreg is the process-wide function registry at the
-// kernel↔compiler boundary (ISSUE 5). It maps symbol names to compiled
+// Package fnreg is the function registry at the kernel↔compiler boundary
+// (ISSUE 5, de-globalized in ISSUE 8). It maps symbol names to compiled
 // entry points with typed signatures, so that (a) the kernel's DownValues
 // apply path can dispatch a hot symbol straight into compiled code, and
 // (b) type inference and code generation can resolve a cross-unit call to
@@ -12,6 +12,13 @@
 // without a cycle. Compiled values are stored as opaque `any` (in practice
 // *codegen.FuncVal) and asserted by the backend.
 //
+// Scope (ISSUE 8): the registry is an instance type — one *Registry per
+// engine (kernel + compiler + tiering bundle), so two kernels in one
+// process never cross-wire promoted definitions. The former process-wide
+// package-level API survives as deprecated shims over a default instance
+// (default.go) while call sites migrate; no other package-level mutable
+// registry state exists.
+//
 // Lifecycle: an entry is Reserved (signature visible to inference, not yet
 // callable), then Installed (callable), then Retired (permanently dead).
 // An entry is never re-pointed at a different function: redefining a
@@ -19,7 +26,8 @@
 // Code that baked a pointer to a retired entry throws a soft kernel
 // exception on the next call, which the invocation wrapper converts into
 // an interpreter fallback (F2) — stale callers degrade to the correct
-// semantics instead of running stale code.
+// semantics instead of running stale code. The one sanctioned re-point is
+// Upgrade: the same definition recompiled on a better tier.
 package fnreg
 
 import (
@@ -91,13 +99,38 @@ func (e *Entry) Installed() bool { return e.Binding() != nil }
 // Retired reports whether the entry was permanently uninstalled.
 func (e *Entry) Retired() bool { return e.retired.Load() }
 
-var reg = struct {
+// Registry is one engine's function-registry namespace. Each engine
+// (kernel + compiler + tiering) owns exactly one; entries registered in
+// one Registry are invisible to every other, so symbol names collide
+// freely across engines in one process. Safe for concurrent use.
+type Registry struct {
+	id   string
 	mu   sync.RWMutex
 	live map[string]*Entry
-}{live: map[string]*Entry{}}
+
+	// Lifetime traffic counters for this instance (the process-wide
+	// aggregates in default.go ride the obs counters instead).
+	reserves atomic.Uint64
+	installs atomic.Uint64
+	upgrades atomic.Uint64
+	retires  atomic.Uint64
+
+	releaseGauges func()
+}
+
+// RegistryStats is a snapshot of one registry's traffic and live state.
+type RegistryStats struct {
+	Live      int
+	Installed int
+	Reserves  uint64
+	Installs  uint64
+	Upgrades  uint64
+	Retires   uint64
+}
 
 // Registry traffic counters, rendered by /metrics (the promotion signal
-// plumbing of ISSUE 5 rides on the obs layer from ISSUE 4).
+// plumbing of ISSUE 5 rides on the obs layer from ISSUE 4). These are
+// process-wide aggregates across every registry instance.
 var (
 	ctrReserves = obs.NewCounter("fnreg_reserves")
 	ctrInstalls = obs.NewCounter("fnreg_installs")
@@ -105,21 +138,46 @@ var (
 	ctrRetires  = obs.NewCounter("fnreg_retires")
 )
 
-func init() {
-	obs.RegisterGaugeProvider(func() []obs.Gauge {
-		reg.mu.RLock()
-		live, installed := len(reg.live), 0
-		for _, e := range reg.live {
-			if e.Installed() {
-				installed++
-			}
-		}
-		reg.mu.RUnlock()
+// NewRegistry creates an isolated registry namespace. id labels the
+// instance's gauges on /metrics (`wolfc_fnreg_entries{engine="<id>"}`);
+// an empty id emits the unlabeled legacy series (the default instance).
+// Engine-labeled gauge registration is capacity-bounded in obs (thousands
+// of short-lived sessions degrade to unlabeled aggregates, counted, not
+// unbounded label cardinality); call Release when the owning engine shuts
+// down to retire every entry and free the label slot.
+func NewRegistry(id string) *Registry {
+	r := &Registry{id: id, live: map[string]*Entry{}}
+	r.releaseGauges = obs.RegisterEngineGauges(id, func() []obs.Gauge {
+		s := r.Stats()
 		return []obs.Gauge{
-			{Name: "fnreg_entries", Value: float64(live)},
-			{Name: "fnreg_entries_installed", Value: float64(installed)},
+			{Name: "fnreg_entries", Value: float64(s.Live), Engine: id},
+			{Name: "fnreg_entries_installed", Value: float64(s.Installed), Engine: id},
 		}
 	})
+	return r
+}
+
+// ID returns the engine label the registry was created with.
+func (r *Registry) ID() string { return r.id }
+
+// Stats snapshots the registry's live state and lifetime traffic.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.RLock()
+	live, installed := len(r.live), 0
+	for _, e := range r.live {
+		if e.Installed() {
+			installed++
+		}
+	}
+	r.mu.RUnlock()
+	return RegistryStats{
+		Live:      live,
+		Installed: installed,
+		Reserves:  r.reserves.Load(),
+		Installs:  r.installs.Load(),
+		Upgrades:  r.upgrades.Load(),
+		Retires:   r.retires.Load(),
+	}
 }
 
 // Reserve registers a new entry for name with a ground signature. The
@@ -127,20 +185,21 @@ func init() {
 // compilation units can resolve each other before either is installed) but
 // is not callable until Install. Reserving over a live entry is an error:
 // the caller must Retire the old definition first.
-func Reserve(name string, sig *types.Fn, deps []string) (*Entry, error) {
+func (r *Registry) Reserve(name string, sig *types.Fn, deps []string) (*Entry, error) {
 	if name == "" || sig == nil {
 		return nil, fmt.Errorf("fnreg: reserve needs a name and a signature")
 	}
 	if !types.IsGround(sig) {
 		return nil, fmt.Errorf("fnreg: signature for %s is not ground: %s", name, sig)
 	}
-	reg.mu.Lock()
-	defer reg.mu.Unlock()
-	if _, ok := reg.live[name]; ok {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.live[name]; ok {
 		return nil, fmt.Errorf("fnreg: %s is already registered", name)
 	}
 	e := &Entry{name: name, sig: sig, deps: append([]string{}, deps...)}
-	reg.live[name] = e
+	r.live[name] = e
+	r.reserves.Add(1)
 	ctrReserves.Inc()
 	return e, nil
 }
@@ -149,16 +208,17 @@ func Reserve(name string, sig *types.Fn, deps []string) (*Entry, error) {
 // no-op (a racing redefinition won: the stale compile is discarded). The
 // registry lock serialises Install against Retire so a retired entry can
 // never end up callable.
-func Install(e *Entry, fn any, payload any) {
+func (r *Registry) Install(e *Entry, fn any, payload any) {
 	if e == nil || fn == nil {
 		return
 	}
-	reg.mu.Lock()
-	defer reg.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if e.retired.Load() {
 		return
 	}
 	e.binding.Store(&Binding{Fn: fn, Payload: payload})
+	r.installs.Add(1)
 	ctrInstalls.Inc()
 }
 
@@ -171,25 +231,29 @@ func Install(e *Entry, fn any, payload any) {
 // leaves the entry untouched) if the entry is not currently installed or
 // was retired — the caller's compile raced a redefinition and must discard
 // its result.
-func Upgrade(e *Entry, fn any, payload any) bool {
+func (r *Registry) Upgrade(e *Entry, fn any, payload any) bool {
 	if e == nil || fn == nil {
 		return false
 	}
-	reg.mu.Lock()
-	defer reg.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if e.retired.Load() || e.binding.Load() == nil {
 		return false
 	}
 	e.binding.Store(&Binding{Fn: fn, Payload: payload})
+	r.upgrades.Add(1)
 	ctrUpgrades.Inc()
 	return true
 }
 
 // Lookup returns the live (reserved or installed) entry for name.
-func Lookup(name string) (*Entry, bool) {
-	reg.mu.RLock()
-	e, ok := reg.live[name]
-	reg.mu.RUnlock()
+func (r *Registry) Lookup(name string) (*Entry, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	e, ok := r.live[name]
+	r.mu.RUnlock()
 	return e, ok
 }
 
@@ -198,41 +262,41 @@ func Lookup(name string) (*Entry, bool) {
 // is retired too (its baked call sites would otherwise reach a dead
 // binding; retiring it makes its own callers fall back cleanly as well).
 // Returns the names retired, in sorted order; empty when name is not live.
-func Retire(name string) []string {
-	reg.mu.Lock()
-	defer reg.mu.Unlock()
-	if _, ok := reg.live[name]; !ok {
+func (r *Registry) Retire(name string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.live[name]; !ok {
 		return nil
 	}
-	return cascadeLocked(name)
+	return r.cascadeLocked(name)
 }
 
 // RetireEntry retires e only if it is still the live entry under its name.
 // A stale background compile discarding its reservation must not take down
 // a successor entry registered for a newer definition; the orphan is still
 // marked retired so a late Install on it stays a no-op.
-func RetireEntry(e *Entry) []string {
+func (r *Registry) RetireEntry(e *Entry) []string {
 	if e == nil {
 		return nil
 	}
-	reg.mu.Lock()
-	defer reg.mu.Unlock()
-	if reg.live[e.name] != e {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.live[e.name] != e {
 		e.retired.Store(true)
 		e.binding.Store(nil)
 		return nil
 	}
-	return cascadeLocked(e.name)
+	return r.cascadeLocked(e.name)
 }
 
-func cascadeLocked(name string) []string {
+func (r *Registry) cascadeLocked(name string) []string {
 	retired := map[string]bool{}
-	retireLocked(name, retired)
+	r.retireLocked(name, retired)
 	// Cascade to a fixed point: an entry depending on anything retired goes
 	// down with it, which may expose further dependents.
 	for {
 		var next string
-		for n, e := range reg.live {
+		for n, e := range r.live {
 			for _, d := range e.Deps() {
 				if retired[d] {
 					next = n
@@ -246,7 +310,7 @@ func cascadeLocked(name string) []string {
 		if next == "" {
 			break
 		}
-		retireLocked(next, retired)
+		r.retireLocked(next, retired)
 	}
 	names := make([]string, 0, len(retired))
 	for n := range retired {
@@ -256,38 +320,55 @@ func cascadeLocked(name string) []string {
 	return names
 }
 
-func retireLocked(name string, retired map[string]bool) {
-	e := reg.live[name]
+func (r *Registry) retireLocked(name string, retired map[string]bool) {
+	e := r.live[name]
 	if e == nil {
 		return
 	}
 	e.retired.Store(true)
 	e.binding.Store(nil)
-	delete(reg.live, name)
+	delete(r.live, name)
 	retired[name] = true
+	r.retires.Add(1)
 	ctrRetires.Inc()
 }
 
 // Names returns the live entry names, sorted (diagnostics and tests).
-func Names() []string {
-	reg.mu.RLock()
-	out := make([]string, 0, len(reg.live))
-	for n := range reg.live {
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.live))
+	for n := range r.live {
 		out = append(out, n)
 	}
-	reg.mu.RUnlock()
+	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
-// Reset retires every live entry (tests; also used when a hosting kernel
-// is discarded). Counters are not reset.
-func Reset() {
-	reg.mu.Lock()
-	for n, e := range reg.live {
+// Reset retires every live entry. Tests use it between cases; Release
+// calls it on engine shutdown. Counters are not reset.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	n := len(r.live)
+	for name, e := range r.live {
 		e.retired.Store(true)
 		e.binding.Store(nil)
-		delete(reg.live, n)
+		delete(r.live, name)
 	}
-	reg.mu.Unlock()
+	r.mu.Unlock()
+	r.retires.Add(uint64(n))
+	ctrRetires.Add(uint64(n))
+}
+
+// Release retires every live entry and unregisters the instance's gauges,
+// freeing its engine-label slot in the obs layer. Called on engine
+// shutdown; the registry stays usable afterwards (a late background
+// compile hitting it degrades to ordinary retired-entry semantics) but is
+// no longer observable.
+func (r *Registry) Release() {
+	r.Reset()
+	if r.releaseGauges != nil {
+		r.releaseGauges()
+		r.releaseGauges = nil
+	}
 }

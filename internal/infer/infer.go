@@ -29,10 +29,19 @@ func typeErr(msg string, source expr.Expr) error {
 
 // Infer annotates every value in the module with a ground type, turning the
 // WIR into TWIR (paper §4.5). Overload choices are recorded on each call
-// instruction under the "overload" property.
+// instruction under the "overload" property. Registry calls resolve against
+// the process-wide default registry; engine-scoped compiles use InferWith.
 func Infer(mod *wir.Module, env *types.Env) error {
+	return InferWith(mod, env, fnreg.Default())
+}
+
+// InferWith is Infer with an explicit function-registry namespace: unknown
+// callees resolve against reg, so a compile running inside one engine never
+// binds a call to another engine's promoted definitions.
+func InferWith(mod *wir.Module, env *types.Env, reg *fnreg.Registry) error {
 	in := &inferer{
 		env:   env,
+		reg:   reg,
 		s:     types.Subst{},
 		valTy: map[wir.Value]types.Type{},
 	}
@@ -79,6 +88,7 @@ type altConstraint struct {
 
 type inferer struct {
 	env   *types.Env
+	reg   *fnreg.Registry
 	s     types.Subst
 	valTy map[wir.Value]types.Type
 	rets  map[*wir.Function]types.Type
@@ -374,7 +384,7 @@ func (in *inferer) constrainCall(f *wir.Function, i *wir.Instr) error {
 		// the call against its ground registry signature and mark the
 		// instruction so codegen emits a direct registry call instead of a
 		// boxed KernelApply round-trip.
-		if ent, ok := fnreg.Lookup(i.Callee); ok {
+		if ent, ok := in.reg.Lookup(i.Callee); ok {
 			sig := ent.Sig()
 			if len(sig.Params) == len(i.Args) {
 				i.SetProp("regcall", ent)

@@ -45,6 +45,7 @@ const (
 // quick is the single-pass annotator state for one module.
 type quick struct {
 	env  *types.Env
+	reg  *fnreg.Registry
 	mod  *wir.Module
 	s    types.Subst
 	ty   map[wir.Value]types.Type
@@ -56,8 +57,15 @@ type quick struct {
 // Quick type-annotates mod in one forward pass, producing the same TWIR
 // contract as Infer (ground value types, overload/regcall props, Typed
 // module) for the scalar fragment, or an ErrQuickUnsupported-wrapped error
-// when the module needs the full solver.
+// when the module needs the full solver. Registry calls resolve against the
+// process-wide default registry; engine-scoped compiles use QuickWith.
 func Quick(mod *wir.Module, env *types.Env) error {
+	return QuickWith(mod, env, fnreg.Default())
+}
+
+// QuickWith is Quick with an explicit function-registry namespace (the same
+// contract as InferWith).
+func QuickWith(mod *wir.Module, env *types.Env, reg *fnreg.Registry) error {
 	// Presize the value-type table: one entry per param, instruction and phi
 	// is the exact steady state, and growth rehashes cost a measurable slice
 	// of the whole baseline compile.
@@ -70,6 +78,7 @@ func Quick(mod *wir.Module, env *types.Env) error {
 	}
 	q := &quick{
 		env:  env,
+		reg:  reg,
 		mod:  mod,
 		s:    types.Subst{},
 		ty:   make(map[wir.Value]types.Type, nv),
@@ -439,7 +448,7 @@ func (q *quick) typeCall(f *wir.Function, in *wir.Instr) error {
 	if defs := q.env.Lookup(in.Callee); len(defs) > 0 {
 		return q.selectOverload(f, in, defs)
 	}
-	if ent, ok := fnreg.Lookup(in.Callee); ok {
+	if ent, ok := q.reg.Lookup(in.Callee); ok {
 		sig := ent.Sig()
 		if len(sig.Params) != len(in.Args) {
 			return quickErr("%s: registry function %s takes %d arguments, got %d", f.Name, in.Callee, len(sig.Params), len(in.Args))

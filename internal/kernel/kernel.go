@@ -96,6 +96,14 @@ type Kernel struct {
 	// and are only read/written on the evaluating goroutine.
 	dispatchHook DispatchHook
 	defObserver  DefObserver
+
+	// assocMu guards assoc: kernel-lifetime state attached by other
+	// packages (numerics caches its compiler here), keyed by an
+	// owner-chosen string. Stored on the kernel, the state dies with it —
+	// unlike a package-level map keyed by kernel pointer, which outlives
+	// every kernel put into it.
+	assocMu sync.Mutex
+	assoc   map[string]any
 }
 
 // New returns a kernel with all builtins installed.
@@ -190,6 +198,52 @@ func (k *Kernel) ClearDownValues(s *expr.Symbol) {
 	k.notifyDefChange(s)
 }
 
+// Assoc returns the kernel-associated value stored under key, if any.
+func (k *Kernel) Assoc(key string) (any, bool) {
+	k.assocMu.Lock()
+	defer k.assocMu.Unlock()
+	v, ok := k.assoc[key]
+	return v, ok
+}
+
+// SetAssoc stores v under key on this kernel (nil v deletes the key).
+func (k *Kernel) SetAssoc(key string, v any) {
+	k.assocMu.Lock()
+	defer k.assocMu.Unlock()
+	if v == nil {
+		delete(k.assoc, key)
+		return
+	}
+	if k.assoc == nil {
+		k.assoc = map[string]any{}
+	}
+	k.assoc[key] = v
+}
+
+// AssocOrStore returns the value under key, storing (and returning) the
+// result of mk() if the key is empty. mk runs under the assoc lock, so it
+// executes at most once per key.
+func (k *Kernel) AssocOrStore(key string, mk func() any) any {
+	k.assocMu.Lock()
+	defer k.assocMu.Unlock()
+	if v, ok := k.assoc[key]; ok {
+		return v
+	}
+	v := mk()
+	if k.assoc == nil {
+		k.assoc = map[string]any{}
+	}
+	k.assoc[key] = v
+	return v
+}
+
+// ClearAssoc drops every kernel-associated value (engine shutdown).
+func (k *Kernel) ClearAssoc() {
+	k.assocMu.Lock()
+	k.assoc = nil
+	k.assocMu.Unlock()
+}
+
 // SetDispatchHook installs (or, with nil, removes) the compiled-dispatch
 // hook consulted before DownValues pattern matching. Only one hook can be
 // active; call from the evaluating goroutine.
@@ -246,6 +300,15 @@ func (k *Kernel) message(sym, tag, body string) {
 // thrown value as Hold, or an error) instead of panics.
 func (k *Kernel) Run(e expr.Expr) (result expr.Expr, err error) {
 	k.ClearAbort()
+	return k.RunArmed(e)
+}
+
+// RunArmed is Run without the initial ClearAbort: the caller owns the abort
+// flag's lifecycle. A serving layer that arms a request-deadline timer
+// (time.AfterFunc → Abort) before evaluation must use this form — with Run,
+// a timer firing between arming and the ClearAbort at Run's entry would be
+// silently swallowed and the request would run unbounded.
+func (k *Kernel) RunArmed(e expr.Expr) (result expr.Expr, err error) {
 	k.depth = 0
 	k.steps = 0
 	defer func() {

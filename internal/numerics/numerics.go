@@ -10,7 +10,6 @@ package numerics
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"wolfc/internal/core"
 	"wolfc/internal/expr"
@@ -95,15 +94,29 @@ func FindRoot(k *kernel.Kernel, eq expr.Expr, x *expr.Symbol, x0 float64, opts F
 // processes don't accumulate compiled programs. One default-environment
 // compiler is memoised per kernel: building the default macro/type
 // environments per lookup would dwarf the cache hit it feeds, and compilers
-// with identical environment histories share cache entries anyway.
-var autoCompilers sync.Map // *kernel.Kernel -> *core.Compiler
+// with identical environment histories share cache entries anyway. The memo
+// lives on the kernel itself (kernel.Assoc) rather than in a package-level
+// map keyed by kernel pointer — the former sync.Map version pinned every
+// kernel (and its compiler) ever used for numerics for the process
+// lifetime, a real leak once sessions churn.
+const compilerAssocKey = "numerics.compiler"
 
 func cachedCompile(k *kernel.Kernel, fn expr.Expr) (*core.CompiledCodeFunction, error) {
-	v, ok := autoCompilers.Load(k)
-	if !ok {
-		v, _ = autoCompilers.LoadOrStore(k, core.NewCompiler(k))
-	}
-	return v.(*core.Compiler).FunctionCompileCached(fn)
+	c := k.AssocOrStore(compilerAssocKey, func() any { return core.NewCompiler(k) }).(*core.Compiler)
+	return c.FunctionCompileCached(fn)
+}
+
+// UseCompiler pins c as the kernel's numerics compiler (an engine installs
+// its registry-scoped compiler here so implicit FindRoot/NIntegrate
+// compiles resolve and cache inside the engine's namespace).
+func UseCompiler(k *kernel.Kernel, c *core.Compiler) {
+	k.SetAssoc(compilerAssocKey, c)
+}
+
+// ReleaseCompiler drops the kernel's memoised numerics compiler (engine
+// shutdown; also drops any UseCompiler pin).
+func ReleaseCompiler(k *kernel.Kernel) {
+	k.SetAssoc(compilerAssocKey, nil)
 }
 
 // makeEvaluator builds a float64 evaluator for eq(x): compiled when

@@ -58,7 +58,11 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 func RenderMetrics(w io.Writer) {
 	snaps, overflow := FuncSnapshots()
 	for _, s := range snaps {
-		lbl := fmt.Sprintf("{func=%q,backend=%q}", sanitizeLabel(shortName(s.Name)), s.Backend)
+		eng := ""
+		if s.Engine != "" {
+			eng = fmt.Sprintf(",engine=%q", sanitizeLabel(s.Engine))
+		}
+		lbl := fmt.Sprintf("{func=%q,backend=%q%s}", sanitizeLabel(shortName(s.Name)), s.Backend, eng)
 		fmt.Fprintf(w, "wolfc_func_invocations_total%s %d\n", lbl, s.Invocations)
 		fmt.Fprintf(w, "wolfc_func_fallbacks_total%s %d\n", lbl, s.Fallbacks)
 		fmt.Fprintf(w, "wolfc_func_aborts_total%s %d\n", lbl, s.Aborts)
@@ -69,8 +73,8 @@ func RenderMetrics(w io.Writer) {
 			if n == 0 {
 				continue // sparse exposition: only buckets that ever fired
 			}
-			fmt.Fprintf(w, "wolfc_func_latency_ns_bucket{func=%q,backend=%q,le=%q} %d\n",
-				sanitizeLabel(shortName(s.Name)), s.Backend, fmt.Sprint(BucketUpperNs(i)), cum)
+			fmt.Fprintf(w, "wolfc_func_latency_ns_bucket{func=%q,backend=%q%s,le=%q} %d\n",
+				sanitizeLabel(shortName(s.Name)), s.Backend, eng, fmt.Sprint(BucketUpperNs(i)), cum)
 		}
 	}
 	// Rendered unconditionally (not just when non-zero) so dashboards can
@@ -125,8 +129,15 @@ func RenderMetrics(w io.Writer) {
 	fmt.Fprintf(w, "wolfc_pool_helpers_started %d\n", ps.HelpersStarted)
 	fmt.Fprintf(w, "wolfc_pool_inflight_fors %d\n", ps.InFlight)
 	for _, g := range ProviderGauges() {
-		fmt.Fprintf(w, "wolfc_%s %v\n", g.Name, g.Value)
+		if g.Engine != "" {
+			fmt.Fprintf(w, "wolfc_%s{engine=%q} %v\n", g.Name, sanitizeLabel(g.Engine), g.Value)
+		} else {
+			fmt.Fprintf(w, "wolfc_%s %v\n", g.Name, g.Value)
+		}
 	}
+	live, dropped := EngineGaugeStats()
+	fmt.Fprintf(w, "wolfc_obs_engine_gauges_live %d\n", live)
+	_ = dropped // lifetime drops already render via the counter registry
 }
 
 // RenderFuncs writes the human-readable per-function table, most invoked

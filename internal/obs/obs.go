@@ -67,6 +67,7 @@ func BucketUpperNs(i int) uint64 {
 type FuncMetrics struct {
 	name    string
 	backend string
+	engine  string
 
 	invocations atomic.Uint64
 	fallbacks   atomic.Uint64
@@ -94,6 +95,15 @@ func (m *FuncMetrics) Backend() string {
 		return ""
 	}
 	return m.backend
+}
+
+// Engine returns the engine id the function was registered under ("" for
+// process-scoped registrations).
+func (m *FuncMetrics) Engine() string {
+	if m == nil {
+		return ""
+	}
+	return m.engine
 }
 
 // SetDetail attaches a lazy detail renderer shown under /debug/funcs.
@@ -137,6 +147,7 @@ func (m *FuncMetrics) RecordAbort() {
 type FuncSnapshot struct {
 	Name        string
 	Backend     string
+	Engine      string
 	Invocations uint64
 	Fallbacks   uint64
 	Aborts      uint64
@@ -159,6 +170,7 @@ func (m *FuncMetrics) Snapshot() FuncSnapshot {
 	s := FuncSnapshot{
 		Name:        m.name,
 		Backend:     m.backend,
+		Engine:      m.engine,
 		Invocations: m.invocations.Load(),
 		Fallbacks:   m.fallbacks.Load(),
 		Aborts:      m.aborts.Load(),
@@ -189,7 +201,15 @@ var funcReg = struct {
 // block for one compiled function. name is a display label — typically the
 // assignment name or a source snippet; backend labels the executing backend.
 func RegisterFunc(name, backend string) *FuncMetrics {
-	m := &FuncMetrics{name: name, backend: backend}
+	return RegisterFuncScoped(name, backend, "")
+}
+
+// RegisterFuncScoped is RegisterFunc with an engine id attached, so a
+// multi-tenant process can (a) tell sessions apart on /metrics and (b) free
+// a dead session's registry slots with ReleaseEngineFuncs. Past the cap the
+// block still records but is unlisted, exactly like RegisterFunc.
+func RegisterFuncScoped(name, backend, engine string) *FuncMetrics {
+	m := &FuncMetrics{name: name, backend: backend, engine: engine}
 	funcReg.mu.Lock()
 	if len(funcReg.funcs) < maxRegisteredFuncs {
 		funcReg.funcs = append(funcReg.funcs, m)
@@ -198,6 +218,34 @@ func RegisterFunc(name, backend string) *FuncMetrics {
 	}
 	funcReg.mu.Unlock()
 	return m
+}
+
+// ReleaseEngineFuncs unlists every metric block registered under engine,
+// returning how many were dropped. Freed slots are reusable, so churning
+// short-lived engines through a process does not exhaust the registry cap.
+// Blocks already held by live compiled code keep recording — they just stop
+// being listed. The overflow count is NOT rewound: it is a lifetime drop
+// counter, not a gauge.
+func ReleaseEngineFuncs(engine string) int {
+	if engine == "" {
+		return 0
+	}
+	funcReg.mu.Lock()
+	defer funcReg.mu.Unlock()
+	kept := funcReg.funcs[:0]
+	dropped := 0
+	for _, m := range funcReg.funcs {
+		if m.engine == engine {
+			dropped++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	for i := len(kept); i < len(funcReg.funcs); i++ {
+		funcReg.funcs[i] = nil
+	}
+	funcReg.funcs = kept
+	return dropped
 }
 
 // FuncSnapshots returns a snapshot of every registered function, most
@@ -362,33 +410,108 @@ func Histograms() []*Histogram {
 	return append([]*Histogram{}, histReg.hists...)
 }
 
-// Gauge is one named instantaneous value contributed by a provider.
+// Gauge is one named instantaneous value contributed by a provider. A
+// non-empty Engine renders as an `engine="<id>"` label on the series.
 type Gauge struct {
-	Name  string
-	Value float64
+	Name   string
+	Value  float64
+	Engine string
 }
 
 // GaugeProvider supplies a gauge set on demand (the compile cache in
 // internal/core registers one; the endpoint polls it per scrape).
 type GaugeProvider func() []Gauge
 
+// maxEngineGauges bounds the number of concurrently registered
+// engine-labeled gauge providers. A serving process churning thousands of
+// short-lived sessions must not grow the scrape output (or this registry)
+// without bound: past the cap, RegisterEngineGauges declines the
+// registration — the engine's state still aggregates into the process-wide
+// series, it just loses its own labeled series — and counts the drop.
+const maxEngineGauges = 128
+
 var gaugeReg = struct {
 	mu        sync.Mutex
 	providers []GaugeProvider
+	engines   map[uint64]GaugeProvider
+	engineSeq uint64
+	dropped   uint64
 }{}
 
-// RegisterGaugeProvider adds a gauge source polled by /metrics. Providers
-// must be safe for concurrent calls.
+// RegisterGaugeProvider adds a permanent gauge source polled by /metrics.
+// Providers must be safe for concurrent calls. There is deliberately no
+// unregister: this is for process-lifetime subsystems; per-engine state
+// goes through RegisterEngineGauges.
 func RegisterGaugeProvider(p GaugeProvider) {
 	gaugeReg.mu.Lock()
 	gaugeReg.providers = append(gaugeReg.providers, p)
 	gaugeReg.mu.Unlock()
 }
 
-// ProviderGauges polls every registered provider.
+// RegisterEngineGauges adds a releasable gauge source for one engine and
+// returns its release function (idempotent, safe to call more than once).
+// Registration is capacity-bounded by maxEngineGauges: past the cap the
+// provider is not polled, the drop is counted on
+// wolfc_obs_engine_gauges_dropped_total, and the returned release is a
+// no-op. An empty engine id is a process-lifetime provider in disguise and
+// is routed to RegisterGaugeProvider (never dropped, never released).
+func RegisterEngineGauges(engine string, p GaugeProvider) (release func()) {
+	if p == nil {
+		return func() {}
+	}
+	if engine == "" {
+		RegisterGaugeProvider(p)
+		return func() {}
+	}
+	gaugeReg.mu.Lock()
+	defer gaugeReg.mu.Unlock()
+	if len(gaugeReg.engines) >= maxEngineGauges {
+		gaugeReg.dropped++
+		ctrEngineGaugesDropped.Inc()
+		return func() {}
+	}
+	if gaugeReg.engines == nil {
+		gaugeReg.engines = map[uint64]GaugeProvider{}
+	}
+	gaugeReg.engineSeq++
+	id := gaugeReg.engineSeq
+	gaugeReg.engines[id] = p
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			gaugeReg.mu.Lock()
+			delete(gaugeReg.engines, id)
+			gaugeReg.mu.Unlock()
+		})
+	}
+}
+
+// EngineGaugeStats reports the live engine-provider count and the lifetime
+// number of registrations declined at the cardinality cap.
+func EngineGaugeStats() (live int, dropped uint64) {
+	gaugeReg.mu.Lock()
+	defer gaugeReg.mu.Unlock()
+	return len(gaugeReg.engines), gaugeReg.dropped
+}
+
+// ctrEngineGaugesDropped counts engine gauge registrations declined at the
+// cardinality cap, so a fleet dashboard can see label loss happening.
+var ctrEngineGaugesDropped = NewCounter("obs_engine_gauges_dropped")
+
+// ProviderGauges polls every registered provider: the permanent ones in
+// registration order, then the live engine providers in a deterministic
+// (registration-sequence) order so scrapes are stable.
 func ProviderGauges() []Gauge {
 	gaugeReg.mu.Lock()
 	providers := append([]GaugeProvider{}, gaugeReg.providers...)
+	ids := make([]uint64, 0, len(gaugeReg.engines))
+	for id := range gaugeReg.engines {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		providers = append(providers, gaugeReg.engines[id])
+	}
 	gaugeReg.mu.Unlock()
 	var out []Gauge
 	for _, p := range providers {

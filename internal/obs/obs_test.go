@@ -288,3 +288,77 @@ func TestPoolStatsDisabledRecordsNothing(t *testing.T) {
 		t.Fatalf("disabled stats recorded: %+v", s)
 	}
 }
+
+// TestEngineGaugeCapAndRelease covers the per-engine gauge cardinality cap
+// (ISSUE 8): registrations past maxEngineGauges are declined and counted,
+// release frees slots for new engines, and release is idempotent.
+func TestEngineGaugeCapAndRelease(t *testing.T) {
+	baseLive, baseDropped := EngineGaugeStats()
+	mk := func(id string) GaugeProvider {
+		return func() []Gauge { return []Gauge{{Name: "test_gauge", Value: 1, Engine: id}} }
+	}
+	// Fill the registry to the cap.
+	var releases []func()
+	for i := baseLive; i < maxEngineGauges; i++ {
+		releases = append(releases, RegisterEngineGauges(fmt.Sprintf("cap-%d", i), mk("x")))
+	}
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	if live, _ := EngineGaugeStats(); live != maxEngineGauges {
+		t.Fatalf("live = %d, want %d", live, maxEngineGauges)
+	}
+	// Past the cap: declined, counted, provider not polled.
+	rel := RegisterEngineGauges("over-cap", mk("over-cap"))
+	if live, dropped := EngineGaugeStats(); live != maxEngineGauges || dropped != baseDropped+1 {
+		t.Fatalf("after over-cap: live = %d, dropped = %d (base %d)", live, dropped, baseDropped)
+	}
+	for _, g := range ProviderGauges() {
+		if g.Engine == "over-cap" {
+			t.Fatal("declined provider was polled")
+		}
+	}
+	rel() // no-op release must not panic or free anything
+	// Releasing a live slot makes room again.
+	releases[0]()
+	releases[0]() // idempotent
+	if live, _ := EngineGaugeStats(); live != maxEngineGauges-1 {
+		t.Fatalf("after release: live = %d", live)
+	}
+	releases = append(releases, RegisterEngineGauges("refill", mk("refill")))
+	if live, dropped := EngineGaugeStats(); live != maxEngineGauges || dropped != baseDropped+1 {
+		t.Fatalf("after refill: live = %d, dropped = %d", live, dropped)
+	}
+}
+
+// TestReleaseEngineFuncs covers per-engine func-metric slots: scoped blocks
+// carry their engine id, release unlists exactly that engine's blocks and
+// frees registry capacity.
+func TestReleaseEngineFuncs(t *testing.T) {
+	ResetFuncRegistry()
+	defer ResetFuncRegistry()
+	RegisterFuncScoped("f", "closure", "eng-a")
+	RegisterFuncScoped("g", "stencil", "eng-a")
+	RegisterFuncScoped("f", "closure", "eng-b")
+	RegisterFunc("h", "closure") // unscoped
+	if snaps, _ := FuncSnapshots(); len(snaps) != 4 {
+		t.Fatalf("snapshots = %d, want 4", len(snaps))
+	}
+	if n := ReleaseEngineFuncs("eng-a"); n != 2 {
+		t.Fatalf("released %d blocks for eng-a, want 2", n)
+	}
+	snaps, _ := FuncSnapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots after release = %d, want 2", len(snaps))
+	}
+	for _, s := range snaps {
+		if s.Engine == "eng-a" {
+			t.Fatalf("eng-a block survived release: %+v", s)
+		}
+	}
+	if n := ReleaseEngineFuncs(""); n != 0 {
+		t.Fatalf("empty engine released %d blocks", n)
+	}
+}

@@ -1,0 +1,347 @@
+// Package serve is the multi-tenant evaluation service (ISSUE 8): each
+// session owns one isolated engine.Engine (kernel + compiler + tiering +
+// registry namespace), while the process-wide sharded compile cache and
+// the artifact store are shared across sessions, so tenant B's hot-query
+// compile is warm because tenant A already paid for it — without either
+// observing the other's definitions.
+//
+// The HTTP surface is deliberately small and JSON-only:
+//
+//	POST   /v1/sessions               -> {"id": "s-1"}
+//	POST   /v1/sessions/{id}/eval     {"input": "...", "timeout_ms": 5000}
+//	                                  -> {"value", "output", "timed_out", "duration_ms"}
+//	DELETE /v1/sessions/{id}          -> 204
+//	GET    /v1/sessions               -> {"sessions": [...], "count": n}
+//	GET    /healthz                   -> ok
+//	GET    /metrics                   -> obs text format
+//
+// Request deadlines ride the kernel's abort machinery (engine.Eval arms a
+// timer that fires Kernel.Abort); admission is bounded by a token channel
+// sized MaxInflight — when every token is taken the handler answers 429
+// immediately rather than queueing unboundedly on the engine mutex.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"wolfc/internal/core"
+	"wolfc/internal/engine"
+	"wolfc/internal/expr"
+	"wolfc/internal/obs"
+)
+
+var (
+	ctrSessionsCreated   = obs.NewCounter("serve_sessions_created")
+	ctrSessionsDestroyed = obs.NewCounter("serve_sessions_destroyed")
+	ctrEvals             = obs.NewCounter("serve_evals")
+	ctrEvalErrors        = obs.NewCounter("serve_eval_errors")
+	ctrTimeouts          = obs.NewCounter("serve_timeouts")
+	ctrRejectedBusy      = obs.NewCounter("serve_rejected_busy")
+	ctrRejectedSessions  = obs.NewCounter("serve_rejected_sessions")
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxSessions bounds live sessions (0 = default 64). Creation past the
+	// bound answers 429.
+	MaxSessions int
+	// MaxInflight bounds concurrently admitted eval requests across all
+	// sessions (0 = default 32). Admission past the bound answers 429.
+	MaxInflight int
+	// DefaultTimeout applies when a request omits timeout_ms (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested deadline (0 = 5m).
+	MaxTimeout time.Duration
+	// Tiering enables profile-guided auto-compilation inside each session's
+	// engine.
+	Tiering bool
+	// Tier tunes the per-session tiering policy when Tiering is set.
+	Tier core.TierPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 32
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+type session struct {
+	eng     *engine.Engine
+	created time.Time
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	evals    uint64
+}
+
+// Server owns the session table and the admission tokens.
+type Server struct {
+	opts     Options
+	inflight chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	seq      uint64
+	closed   bool
+}
+
+// NewServer builds a Server. The caller wires the process-shared pieces
+// (artifact store via core.SetArtifactStore, metrics sink) before serving.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:     opts,
+		inflight: make(chan struct{}, opts.MaxInflight),
+		sessions: make(map[string]*session),
+	}
+}
+
+// Handler returns the HTTP routing surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("POST /v1/sessions/{id}/eval", s.handleEval)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDestroy)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.RenderMetrics(w)
+	})
+	return mux
+}
+
+// Close destroys every session (engines release their registry entries and
+// obs slots) and refuses further creates.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	doomed := make([]*session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		doomed = append(doomed, ses)
+	}
+	s.sessions = map[string]*session{}
+	s.mu.Unlock()
+	for _, ses := range doomed {
+		ses.eng.Close()
+		ctrSessionsDestroyed.Inc()
+	}
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+type createResponse struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		ctrRejectedSessions.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "session limit reached (%d)", s.opts.MaxSessions)
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("s-%d", s.seq)
+	// Reserve the slot before the (comparatively slow) engine build so a
+	// create burst cannot overshoot MaxSessions.
+	s.sessions[id] = nil
+	s.mu.Unlock()
+
+	eng := engine.New(engine.Options{ID: id, Tiering: s.opts.Tiering, Tier: s.opts.Tier})
+	now := time.Now()
+	ses := &session{eng: eng, created: now, lastUsed: now}
+
+	s.mu.Lock()
+	if s.closed {
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		eng.Close()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.sessions[id] = ses
+	s.mu.Unlock()
+	ctrSessionsCreated.Inc()
+	writeJSON(w, http.StatusCreated, createResponse{ID: id})
+}
+
+func (s *Server) lookup(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ses, ok := s.sessions[id]
+	if !ok || ses == nil { // nil = reserved slot still being built
+		return nil, false
+	}
+	return ses, true
+}
+
+type sessionInfo struct {
+	ID      string `json:"id"`
+	Created string `json:"created"`
+	Evals   uint64 `json:"evals"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]sessionInfo, 0, len(s.sessions))
+	for id, ses := range s.sessions {
+		if ses == nil {
+			continue
+		}
+		ses.mu.Lock()
+		infos = append(infos, sessionInfo{ID: id, Created: ses.created.UTC().Format(time.RFC3339), Evals: ses.evals})
+		ses.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos, "count": len(infos)})
+}
+
+func (s *Server) handleDestroy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ses, ok := s.sessions[id]
+	if ok && ses != nil {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok || ses == nil {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	// Abort any in-flight evaluation so Close's engine-mutex acquisition
+	// doesn't wait out a long-running query.
+	ses.eng.Abort()
+	ses.eng.Close()
+	ctrSessionsDestroyed.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type evalRequest struct {
+	Input     string `json:"input"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+type evalResponse struct {
+	Value      string  `json:"value"`
+	Output     string  `json:"output,omitempty"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ses, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	var req evalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Input) == "" {
+		writeError(w, http.StatusBadRequest, "empty input")
+		return
+	}
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.opts.MaxTimeout {
+		timeout = s.opts.MaxTimeout
+	}
+
+	// Bounded admission: take a token or answer 429 now. Tokens bound the
+	// number of requests simultaneously holding engine mutexes, so a slow
+	// tenant cannot pile unbounded goroutines onto the process.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		ctrRejectedBusy.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at capacity (%d in-flight)", s.opts.MaxInflight)
+		return
+	}
+
+	start := time.Now()
+	res, err := ses.eng.Eval(req.Input, timeout)
+	dur := time.Since(start)
+	ses.mu.Lock()
+	ses.lastUsed = time.Now()
+	ses.evals++
+	ses.mu.Unlock()
+	ctrEvals.Inc()
+	if res.TimedOut {
+		ctrTimeouts.Inc()
+	}
+	if err != nil {
+		ctrEvalErrors.Inc()
+		if errors.Is(err, engine.ErrClosed) {
+			writeError(w, http.StatusNotFound, "session %q closed", id)
+			return
+		}
+		code := http.StatusUnprocessableEntity
+		if strings.HasPrefix(err.Error(), "syntax:") {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	value := ""
+	if res.Value != nil {
+		value = expr.InputForm(res.Value)
+	}
+	writeJSON(w, http.StatusOK, evalResponse{
+		Value:      value,
+		Output:     res.Output,
+		TimedOut:   res.TimedOut,
+		DurationMS: float64(dur.Microseconds()) / 1000,
+	})
+}
