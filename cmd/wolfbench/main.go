@@ -242,6 +242,9 @@ func main() {
 	if *serveF {
 		os.Exit(serveSuite())
 	}
+	if *serveTraceGateF {
+		os.Exit(serveTraceGate())
+	}
 	if *artifactDir != "" {
 		if _, err := core.EnableArtifactStore(*artifactDir); err != nil {
 			fmt.Fprintln(os.Stderr, "wolfbench: -artifact-dir:", err)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"wolfc/internal/artifact"
 	"wolfc/internal/core"
+	"wolfc/internal/obs"
 	"wolfc/internal/serve"
 )
 
@@ -45,6 +47,9 @@ var (
 	serveOut      = flag.String("serve-out", "BENCH_serve.json", "output path for the -serve JSON document")
 	serveSessions = flag.String("serve-sessions", "1,2,4,8", "session counts to sweep, comma-separated")
 	serveRepeats  = flag.Int("serve-repeats", 3, "hot-query repeats per kernel per session")
+
+	serveTraceGateF = flag.Bool("serve-trace-overhead", false,
+		"interleaved serve-workload A/B with request tracing disabled vs armed-but-unsampled; exit nonzero beyond -threshold")
 )
 
 // serveCorpus is built from the compile-heavy slice of the coldstart
@@ -274,6 +279,130 @@ func serveRun(nSessions, repeats int) (serveRow, error) {
 	}, nil
 }
 
+// serveTraceOverhead measures the per-request cost of the tracing layer on
+// the serve hot-query path. Three modes, interleaved within one process so
+// host wall-clock drift cancels (the same reasoning as obsOverheadGate):
+//
+//	off    — tracing fully disabled: no writer, no capture store
+//	armed  — capture enabled but sampling rate 0: every request mints a
+//	         span and threads it through engine/kernel/core, but every
+//	         emission site sees a suppressed span and skips. This is the
+//	         steady-state cost a production deployment pays for requests
+//	         that lose the sampling coin flip.
+//	on     — capture enabled, sampling rate 1: full emission, sharded
+//	         buffers, collector, capture store.
+//
+// Returns best-of ns/query per mode. The armed/off ratio is the gated one:
+// arming tracing must stay within the -threshold budget even though no
+// events flow.
+func serveTraceOverhead(reps int) (off, armed, on float64, err error) {
+	core.ResetCompileCache()
+	core.SetArtifactStore(artifact.OpenMemory())
+
+	srv := serve.NewServer(serve.Options{MaxSessions: 2, MaxInflight: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	cl := &serveClient{base: ts.URL, client: ts.Client()}
+	code, body, err := cl.post("/v1/sessions", nil)
+	if err != nil || code != http.StatusCreated {
+		return 0, 0, 0, fmt.Errorf("create session: %d %v", code, err)
+	}
+	var cr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return 0, 0, 0, err
+	}
+	eval := func(input string) error {
+		code, body, err := cl.post("/v1/sessions/"+cr.ID+"/eval",
+			map[string]any{"input": input, "timeout_ms": 120000})
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("eval: %d %v: %.60s", code, err, body)
+		}
+		return nil
+	}
+	// Bind the corpus once; the timed passes only pay dispatch.
+	for ki := range serveCorpus {
+		if err := eval(fmt.Sprintf("k%d = FunctionCompile[%s];", ki, serveCorpus[ki].src)); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	queries := make([]string, len(serveCorpus))
+	for ki, ent := range serveCorpus {
+		queries[ki] = fmt.Sprintf("k%d[%d]", ki, ent.arg)
+	}
+	pass := func() (float64, error) {
+		const perPass = 3
+		t0 := time.Now()
+		for r := 0; r < perPass; r++ {
+			for _, q := range queries {
+				if err := eval(q); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(perPass*len(queries)), nil
+	}
+	if _, err := pass(); err != nil { // warm HTTP keep-alives and caches
+		return 0, 0, 0, err
+	}
+
+	defer func() {
+		obs.DisableTraceCapture()
+		obs.SetTraceSampling(1)
+	}()
+	off, armed, on = math.Inf(1), math.Inf(1), math.Inf(1)
+	for rep := 0; rep < reps; rep++ {
+		obs.DisableTraceCapture()
+		obs.SetTraceSampling(1)
+		ns, err := pass()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		off = math.Min(off, ns)
+
+		obs.EnableTraceCapture(64)
+		obs.SetTraceSampling(0)
+		if ns, err = pass(); err != nil {
+			return 0, 0, 0, err
+		}
+		armed = math.Min(armed, ns)
+
+		obs.SetTraceSampling(1)
+		if ns, err = pass(); err != nil {
+			return 0, 0, 0, err
+		}
+		on = math.Min(on, ns)
+	}
+	return off, armed, on, nil
+}
+
+// serveTraceGate is the -serve-trace-overhead entry point: the armed-vs-off
+// delta must stay within -threshold. Returns the process exit code.
+func serveTraceGate() int {
+	fmt.Println("=== Request-tracing overhead: serve hot queries, disabled vs armed (sampling 0) vs sampled, interleaved ===")
+	off, armed, on, err := serveTraceOverhead(5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -serve-trace-overhead:", err)
+		return 1
+	}
+	deltaArmed := armed/off - 1
+	deltaOn := on/off - 1
+	verdict := "ok"
+	if deltaArmed > *threshF {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("per query: off %s  armed %s (%+.2f%%)  sampled %s (%+.2f%%)  [%s]\n",
+		fmtNs(off), fmtNs(armed), deltaArmed*100, fmtNs(on), deltaOn*100, verdict)
+	if deltaArmed > *threshF {
+		fmt.Fprintf(os.Stderr, "wolfbench: -serve-trace-overhead: armed tracing costs more than %.0f%% per request\n",
+			*threshF*100)
+		return 1
+	}
+	return 0
+}
+
 // serveSuite is the -serve entry point; returns the process exit code.
 func serveSuite() int {
 	var counts []int
@@ -321,11 +450,29 @@ func serveSuite() int {
 			"(shared artifact tier amortises the compile set)\n", peak.Sessions, ratio)
 	}
 
+	// Tracing overhead on the same workload shape: what arming the span
+	// pipeline (sampling 0) and full sampling cost per request, relative to
+	// tracing compiled out of the request path entirely.
+	off, armed, on, err := serveTraceOverhead(3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wolfbench: -serve: trace overhead:", err)
+		return 1
+	}
+	fmt.Printf("\ntracing per query: off %s  armed %s (%+.2f%%)  sampled %s (%+.2f%%)\n",
+		fmtNs(off), fmtNs(armed), (armed/off-1)*100, fmtNs(on), (on/off-1)*100)
+
 	doc := map[string]any{
 		"suite":   "serve",
 		"repeats": *serveRepeats,
 		"kernels": len(serveCorpus),
 		"rows":    rows,
+		"trace_overhead": map[string]any{
+			"off_ns_per_query":     off,
+			"armed_ns_per_query":   armed,
+			"sampled_ns_per_query": on,
+			"armed_delta":          armed/off - 1,
+			"sampled_delta":        on/off - 1,
+		},
 	}
 	if ratio > 0 {
 		doc["ratio_peak_vs_1"] = ratio

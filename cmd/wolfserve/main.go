@@ -19,6 +19,7 @@ import (
 
 	"wolfc/internal/artifact"
 	"wolfc/internal/core"
+	"wolfc/internal/obs"
 	"wolfc/internal/serve"
 )
 
@@ -32,6 +33,12 @@ var (
 	autoCompile          = flag.Bool("autocompile", true, "tiered execution inside each session: compile hot definitions in the background")
 	autoCompileThreshold = flag.Uint64("autocompile-threshold", 50, "invocation count at which a definition is promoted to the optimising tier")
 	tierWorkers          = flag.Int("autocompile-workers", 1, "background compile workers per session (0 = GOMAXPROCS)")
+
+	idleTimeout = flag.Duration("idle-timeout", 0, "evict sessions idle this long (0 = never)")
+
+	traceCapture = flag.Int("trace-capture", 256, "keep this many recent request trace trees in memory behind /debug/traces (0 = off)")
+	traceSample  = flag.Float64("trace-sample", 1.0, "probabilistic request-trace sampling rate in [0,1]")
+	traceOut     = flag.String("trace-out", "", "also append JSONL trace events to this file")
 
 	artifactDir = flag.String("artifact-dir", os.Getenv("WOLFC_ARTIFACT_DIR"),
 		"persist compiled artifacts to this directory, shared across sessions and server restarts (also WOLFC_ARTIFACT_DIR; empty = in-process memory store shared across sessions only)")
@@ -54,6 +61,25 @@ func main() {
 		core.SetArtifactStore(artifact.OpenMemory())
 	}
 
+	// Request tracing: the in-memory recent-traces store backs
+	// /debug/traces (JSON and ?format=chrome); the optional JSONL file sink
+	// rides the same collector. Sampling is decided per trace id, so one
+	// request's events share a single fate across all layers.
+	obs.SetTraceSampling(*traceSample)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wolfserve: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		obs.SetTraceWriter(f)
+		defer obs.SetTraceWriter(nil) // detach = final synchronous drain
+	}
+	if *traceCapture > 0 {
+		obs.EnableTraceCapture(*traceCapture)
+	}
+
 	srv := serve.NewServer(serve.Options{
 		MaxSessions:    *maxSessions,
 		MaxInflight:    *maxInflight,
@@ -64,6 +90,7 @@ func main() {
 			Threshold: *autoCompileThreshold,
 			Workers:   *tierWorkers,
 		},
+		IdleTimeout: *idleTimeout,
 	})
 	fmt.Fprintf(os.Stderr, "wolfserve: listening on %s (max-sessions %d, max-inflight %d)\n",
 		*addr, *maxSessions, *maxInflight)

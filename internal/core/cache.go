@@ -568,6 +568,12 @@ func (c *Compiler) FunctionCompileCached(fn expr.Expr) (*CompiledCodeFunction, e
 // wins and compiles (probing the disk tier first when an artifact store
 // is attached), the rest block on its result and count as Coalesced.
 func (c *Compiler) FunctionCompileCachedRequest(fn expr.Expr, req CompileRequest) (*CompiledCodeFunction, *CompileReport, error) {
+	// Resolve the request span once at the boundary so cache-hit events
+	// (hitReport) and the nested full compile agree on attribution. Span is
+	// not part of any cache key.
+	if obs.TraceEnabled() && !req.Span.Valid() {
+		req.Span = c.activeSpan()
+	}
 	// Hot path (implicit compilation in a solver loop): skip macro
 	// expansion and hashing when this compiler has resolved the same
 	// source under the same configuration before. The memo stores only
@@ -590,7 +596,7 @@ func (c *Compiler) FunctionCompileCachedRequest(fn expr.Expr, req CompileRequest
 	cache := cacheNow()
 	for {
 		if ccf, ok := cache.lookup(keys.full); ok {
-			return ccf, hitReport(ccf, req, false), nil
+			return ccf, c.hitReport(ccf, req, false), nil
 		}
 		flight, winner := cache.beginFlight(keys.full)
 		if winner {
@@ -605,7 +611,7 @@ func (c *Compiler) FunctionCompileCachedRequest(fn expr.Expr, req CompileRequest
 			return nil, nil, flight.err
 		}
 		if flight.ccf != nil {
-			return flight.ccf, hitReport(flight.ccf, req, false), nil
+			return flight.ccf, c.hitReport(flight.ccf, req, false), nil
 		}
 		// The winner vanished without a result (should not happen);
 		// retry from the top rather than failing the compile.
@@ -622,7 +628,7 @@ func (c *Compiler) compileFlight(cache *shardedCache, keys cacheKeys, fn expr.Ex
 	// Another goroutine may have filed the entry between our lookup and
 	// winning the flight slot.
 	if ccf, ok := cache.lookup(keys.full); ok {
-		return ccf, hitReport(ccf, req, false), nil
+		return ccf, c.hitReport(ccf, req, false), nil
 	}
 	cache.mu.Lock()
 	cache.misses++
@@ -630,7 +636,7 @@ func (c *Compiler) compileFlight(cache *shardedCache, keys cacheKeys, fn expr.Ex
 
 	if ccf := c.loadArtifact(keys.stable, fn, req); ccf != nil {
 		cache.insert(keys.full, ccf)
-		return ccf, hitReport(ccf, req, true), nil
+		return ccf, c.hitReport(ccf, req, true), nil
 	}
 
 	ccf, err := c.FunctionCompileRequest(fn, req)
@@ -673,11 +679,15 @@ func (c *shardedCache) endFlight(key string, ccf *CompiledCodeFunction, err erro
 
 // hitReport builds the per-invocation report (and trace event) for a
 // lookup served without compiling: from the in-memory cache, from a
-// coalesced flight, or — artifact=true — from the disk tier.
-func hitReport(ccf *CompiledCodeFunction, req CompileRequest, artifact bool) *CompileReport {
-	if obs.TraceEnabled() {
-		obs.Emit(obs.TraceEvent{Type: "compile", Name: ccf.Metrics.Name(),
-			TNs: obs.TraceNow(), CacheHit: true})
+// coalesced flight, or — artifact=true — from the disk tier. The span was
+// resolved into req.Span at the cached-compile boundary, so the hit event
+// correlates to the requesting trace even though no compiler ran.
+func (c *Compiler) hitReport(ccf *CompiledCodeFunction, req CompileRequest, artifact bool) *CompileReport {
+	if obs.TraceEnabled() && !req.Span.Suppressed() {
+		ev := obs.TraceEvent{Type: "compile", Name: ccf.Metrics.Name(),
+			TNs: obs.TraceNow(), CacheHit: true, Engine: c.engineLabel()}
+		req.Span.Annotate(&ev)
+		obs.Emit(ev)
 	}
 	if !req.Collect {
 		return nil

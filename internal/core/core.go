@@ -66,6 +66,12 @@ type Compiler struct {
 	// definitions; it also keys the in-memory compile cache alongside the
 	// kernel identity.
 	Registry *fnreg.Registry
+	// DisableImplicitSpan stops this compiler from reading the kernel's
+	// active request span for trace correlation. The tiering workers set it:
+	// a background compile runs concurrently with whatever request the
+	// kernel is evaluating NOW, which is not the request that queued the
+	// job — workers carry the correct span explicitly in CompileRequest.Span.
+	DisableImplicitSpan bool
 
 	// memo memoises raw source -> content-addressed cache keys so
 	// repeated implicit compiles (FindRoot's solver loop) skip macro
@@ -98,6 +104,26 @@ func (c *Compiler) reg() *fnreg.Registry {
 		return c.Registry
 	}
 	return fnreg.Default()
+}
+
+// activeSpan reads the request span the hosting kernel is currently
+// evaluating under (set by engine.EvalCtx on the evaluating goroutine),
+// zero when absent or when implicit resolution is disabled.
+func (c *Compiler) activeSpan() obs.SpanContext {
+	if c.DisableImplicitSpan || c.Kernel == nil {
+		return obs.SpanContext{}
+	}
+	sc, _ := c.Kernel.TraceSpan().(obs.SpanContext)
+	return sc
+}
+
+// engineLabel is the engine id trace events from this compiler carry when
+// no span supplies one ("" for the process-default namespace).
+func (c *Compiler) engineLabel() string {
+	if c.Registry != nil {
+		return c.Registry.ID()
+	}
+	return ""
 }
 
 // kernelEngine adapts the kernel to the runtime's Engine interface.
@@ -169,15 +195,24 @@ func (c *Compiler) FunctionCompileRequest(fn expr.Expr, req CompileRequest) (ccf
 		rep = &CompileReport{}
 	}
 	if obs.TraceEnabled() {
-		tStart, t0 := obs.TraceNow(), time.Now()
-		name := displayName(req.SelfName, fn)
-		defer func() {
-			ev := obs.TraceEvent{Type: "compile", Name: name, TNs: tStart, DurNs: time.Since(t0).Nanoseconds()}
-			if err != nil {
-				ev.Detail = err.Error()
-			}
-			obs.Emit(ev)
-		}()
+		sc := req.Span
+		if !sc.Valid() {
+			sc = c.activeSpan()
+		}
+		if !sc.Suppressed() {
+			tStart, t0 := obs.TraceNow(), time.Now()
+			name := displayName(req.SelfName, fn)
+			engine := c.engineLabel()
+			defer func() {
+				ev := obs.TraceEvent{Type: "compile", Name: name, TNs: tStart,
+					DurNs: time.Since(t0).Nanoseconds(), Engine: engine}
+				if err != nil {
+					ev.Detail = err.Error()
+				}
+				sc.Annotate(&ev)
+				obs.Emit(ev)
+			}()
+		}
 	}
 	// Any diagnostic escaping the pipeline gets its position filled in from
 	// the span table here, once, at the boundary every stage funnels
@@ -603,8 +638,13 @@ func (ccf *CompiledCodeFunction) Apply(args []expr.Expr) (out expr.Expr, err err
 		d := time.Since(t0)
 		ccf.Metrics.RecordInvoke(d)
 		if obs.TraceEnabled() {
-			obs.Emit(obs.TraceEvent{Type: "invoke", Name: ccf.Metrics.Name(),
-				TNs: tStart, DurNs: d.Nanoseconds(), Backend: ccf.Metrics.Backend()})
+			if sc := ccf.compiler.activeSpan(); !sc.Suppressed() {
+				ev := obs.TraceEvent{Type: "invoke", Name: ccf.Metrics.Name(),
+					TNs: tStart, DurNs: d.Nanoseconds(), Backend: ccf.Metrics.Backend(),
+					Engine: ccf.compiler.engineLabel()}
+				sc.Annotate(&ev)
+				obs.Emit(ev)
+			}
 		}
 	}
 	if ccf.RetType == types.TVoid {
@@ -638,8 +678,13 @@ func (ccf *CompiledCodeFunction) fallback(args []expr.Expr, reason string) (expr
 	// counter is unconditional; the trace event is gated.
 	ccf.Metrics.RecordFallback()
 	if obs.TraceEnabled() {
-		obs.Emit(obs.TraceEvent{Type: "fallback", Name: ccf.Metrics.Name(),
-			TNs: obs.TraceNow(), Backend: ccf.Metrics.Backend(), Detail: reason})
+		if sc := ccf.compiler.activeSpan(); !sc.Suppressed() {
+			ev := obs.TraceEvent{Type: "fallback", Name: ccf.Metrics.Name(),
+				TNs: obs.TraceNow(), Backend: ccf.Metrics.Backend(), Detail: reason,
+				Engine: ccf.compiler.engineLabel()}
+			sc.Annotate(&ev)
+			obs.Emit(ev)
+		}
 	}
 	k := ccf.compiler.Kernel
 	if k == nil || ccf.Standalone {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"wolfc/internal/diag"
+	"wolfc/internal/obs"
 	"wolfc/internal/passes"
 )
 
@@ -47,6 +48,13 @@ type CompileRequest struct {
 	// Collect builds a CompileReport, available on the returned
 	// CompiledCodeFunction.
 	Collect bool
+	// Span correlates this compile's trace events to the request that
+	// asked for it (ISSUE 9). Zero = resolve implicitly from the hosting
+	// kernel's active span; the tiering workers set it explicitly because
+	// they compile on behalf of a request that queued the job earlier.
+	// Never part of the cache key: identical sources from different
+	// requests must still coalesce.
+	Span obs.SpanContext
 }
 
 // startTimer returns the stage start time, or the zero time when no report

@@ -190,6 +190,10 @@ type tierMember struct {
 	fn     expr.Expr // synthesized Function[{Typed...}, body]
 	kinds  []types.Type
 	defSeq uint64
+	// span is the request span active when the promotion was queued (the
+	// evaluating goroutine that crossed the threshold), so the background
+	// compile's trace events link to the request that made the symbol hot.
+	span obs.SpanContext
 }
 
 // tierUpgrade is a stencil→optimised recompile request for an installed
@@ -202,6 +206,7 @@ type tierUpgrade struct {
 	fn     expr.Expr
 	defSeq uint64
 	entry  *fnreg.Entry
+	span   obs.SpanContext // request active when the upgrade trigger fired
 }
 
 // tierJob is one unit of background work: either a promotion group or an
@@ -439,7 +444,12 @@ func (t *Tiering) tryPromote(st *symState) {
 		}
 		return
 	}
+	// Capture the triggering request's span here, on the evaluating
+	// goroutine: by the time a worker picks the job up the kernel may be
+	// evaluating some other tenant-visible request.
+	span := t.c.activeSpan()
 	for _, m := range members {
+		m.span = span
 		t.syms[m.sym].status = symQueued
 	}
 	t.inflight.Add(1)
@@ -468,7 +478,7 @@ func (t *Tiering) maybeQueueUpgrade(st *symState) {
 		return
 	}
 	u := &tierUpgrade{sym: st.sym, name: st.sym.Name, fn: st.srcFn,
-		defSeq: st.defSeq, entry: st.entry}
+		defSeq: st.defSeq, entry: st.entry, span: t.c.activeSpan()}
 	st.upgradeQueued = true
 	t.inflight.Add(1)
 	select {
@@ -548,6 +558,12 @@ func (t *Tiering) worker() {
 	full := NewCompilerWith(t.k, t.reg)
 	stencil := NewCompilerWith(t.k, t.reg)
 	stencil.Stencil = true
+	// Workers compile asynchronously: the kernel's live span belongs to
+	// whatever request is evaluating NOW, not the one that queued this job,
+	// so implicit span resolution is off and jobs carry their span
+	// explicitly (tierMember.span / tierUpgrade.span).
+	full.DisableImplicitSpan = true
+	stencil.DisableImplicitSpan = true
 	// Pre-warm both compilers off the critical path: the first compile on a
 	// fresh Compiler pays lazy environment initialisation and first-touch
 	// allocation growth (~3× a steady-state compile), which would otherwise
@@ -582,7 +598,7 @@ func (t *Tiering) worker() {
 // those reservations die with the job on failure, which would leave a
 // cached entry pointing at retired registry slots.
 func (t *Tiering) compileOne(full, stencil *Compiler, m *tierMember, shared bool) (*CompiledCodeFunction, tierLevel, error) {
-	req := CompileRequest{SelfName: m.name}
+	req := CompileRequest{SelfName: m.name, Span: m.span}
 	if !t.pol.DisableStencil {
 		t0 := time.Now()
 		var ccf *CompiledCodeFunction
@@ -746,7 +762,7 @@ func (t *Tiering) upgradeJob(full *Compiler, u *tierUpgrade) {
 	// Upgrades are self-contained recompiles (the stencil entry already
 	// installed stands alone), so they share the process-wide cache and
 	// its disk tier like first promotions do.
-	ccf, _, err := full.FunctionCompileCachedRequest(u.fn, CompileRequest{SelfName: u.name})
+	ccf, _, err := full.FunctionCompileCachedRequest(u.fn, CompileRequest{SelfName: u.name, Span: u.span})
 	if err != nil {
 		// The stencil result stays installed — it is correct, just not
 		// optimised. The trigger stays disarmed: a pipeline that failed
@@ -941,13 +957,32 @@ func (t *Tiering) applyCompiled(st *symState, ccf *CompiledCodeFunction, args []
 	}()
 	rec := obs.Enabled()
 	var t0 time.Time
+	var tStart int64
+	if rec && obs.TraceEnabled() {
+		tStart = obs.TraceNow()
+	}
 	if rec {
 		t0 = time.Now()
 	}
 	rt := &codegen.RT{Engine: t.c.Engine(), Workers: ccf.Program.Parallelism}
 	res := ccf.Program.Main.CallValues(rt, raw...)
 	if rec {
-		ccf.Metrics.RecordInvoke(time.Since(t0))
+		d := time.Since(t0)
+		ccf.Metrics.RecordInvoke(d)
+		// Tier-dispatch invokes were previously invisible on the trace
+		// stream (only CompiledCodeFunction.Apply emitted); with request
+		// spans they are the serve→invoke edge of the trace tree. This
+		// runs on the evaluating goroutine, so the kernel's span is the
+		// right one.
+		if obs.TraceEnabled() {
+			if sc := t.c.activeSpan(); !sc.Suppressed() {
+				ev := obs.TraceEvent{Type: "invoke", Name: ccf.Metrics.Name(),
+					TNs: tStart, DurNs: d.Nanoseconds(), Backend: ccf.Metrics.Backend(),
+					Engine: t.c.engineLabel()}
+				sc.Annotate(&ev)
+				obs.Emit(ev)
+			}
+		}
 	}
 	t.compiledCalls.Add(1)
 	ctrTierCompiledCalls.Inc()

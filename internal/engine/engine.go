@@ -24,6 +24,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -115,6 +116,17 @@ var ErrClosed = fmt.Errorf("engine: closed")
 // (F3). timeout <= 0 means no deadline. Safe to call from any goroutine;
 // calls serialise on the engine.
 func (e *Engine) Eval(src string, timeout time.Duration) (Result, error) {
+	return e.EvalCtx(context.Background(), src, timeout)
+}
+
+// EvalCtx is Eval with request context: a span context carried in ctx
+// (obs.WithSpan, as minted by the serving layer per request) is attached
+// to the kernel for the duration of the evaluation, so compile/invoke
+// /fallback trace events — including background tier compiles this
+// evaluation triggers — correlate back to the originating request. The
+// context is not consulted for cancellation; deadlines ride the abort
+// machinery as in Eval.
+func (e *Engine) EvalCtx(ctx context.Context, src string, timeout time.Duration) (Result, error) {
 	exprs, err := parser.ParseAll(src)
 	if err != nil {
 		return Result{}, fmt.Errorf("syntax: %w", err)
@@ -123,6 +135,15 @@ func (e *Engine) Eval(src string, timeout time.Duration) (Result, error) {
 	defer e.mu.Unlock()
 	if e.closed {
 		return Result{}, ErrClosed
+	}
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		if sc.Engine == "" {
+			sc.Engine = e.ID
+		}
+		e.Kernel.SetTraceSpan(sc)
+		// Clear to the zero span under the same engine lock: the next
+		// un-traced Eval must not inherit this request's identity.
+		defer e.Kernel.SetTraceSpan(obs.SpanContext{})
 	}
 	var buf bytes.Buffer
 	prevOut := e.Kernel.Out

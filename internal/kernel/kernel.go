@@ -104,7 +104,29 @@ type Kernel struct {
 	// every kernel put into it.
 	assocMu sync.Mutex
 	assoc   map[string]any
+
+	// traceSpan holds the request's trace span context for the duration of
+	// one evaluation (ISSUE 9). The kernel never interprets it — it is an
+	// opaque value set by the engine boundary and read by the compile/tier
+	// layers on the evaluating goroutine, which is why it lives here: the
+	// kernel is the one object every layer already shares. Stored
+	// atomically so readers on other goroutines (a metrics scrape racing an
+	// eval) are defined, though the set/read sites are all eval-ordered.
+	traceSpan atomic.Value // of any; never nil once set
 }
+
+// SetTraceSpan attaches the active request's span context (any non-nil
+// value; pass the zero value of the span type to clear — atomic.Value
+// forbids nil).
+func (k *Kernel) SetTraceSpan(v any) {
+	if v == nil {
+		return
+	}
+	k.traceSpan.Store(v)
+}
+
+// TraceSpan returns the span context last set, or nil.
+func (k *Kernel) TraceSpan() any { return k.traceSpan.Load() }
 
 // New returns a kernel with all builtins installed.
 func New() *Kernel {

@@ -148,8 +148,15 @@ func makeEvaluator(k *kernel.Kernel, eq expr.Expr, x *expr.Symbol, autoCompile b
 		// unconditional; the trace event is gated.
 		numericsFallbacks.Inc()
 		if obs.TraceEnabled() {
-			obs.Emit(obs.TraceEvent{Type: "fallback", Name: expr.InputForm(eq),
-				TNs: obs.TraceNow(), Detail: "auto-compile failed: " + err.Error()})
+			// This runs on the evaluating goroutine, so the kernel's span (if
+			// a traced request is active) is the right parent.
+			sc, _ := k.TraceSpan().(obs.SpanContext)
+			if !sc.Suppressed() {
+				ev := obs.TraceEvent{Type: "fallback", Name: expr.InputForm(eq),
+					TNs: obs.TraceNow(), Detail: "auto-compile failed: " + err.Error()}
+				sc.Annotate(&ev)
+				obs.Emit(ev)
+			}
 		}
 	}
 	return func(v float64) (float64, error) {

@@ -1,14 +1,18 @@
 // The live metrics endpoint: an expvar-style HTTP server exposing
-// /metrics (text exposition, one `wolfc_*` line per counter/gauge) and
+// /metrics (text exposition, one `wolfc_*` line per counter/gauge),
 // /debug/funcs (a human-readable per-function table with latency
-// histograms and, for profiled functions, the hot-block table).
+// histograms and, for profiled functions, the hot-block table),
+// /debug/traces (the recent-traces capture store as JSON or Chrome
+// trace-event format), and the net/http/pprof profile handlers.
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"time"
 
@@ -43,6 +47,7 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		RenderFuncs(w)
 	})
+	RegisterDebugHandlers(mux)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &MetricsServer{ln: ln, srv: srv}
 	SetEnabled(true)
@@ -51,10 +56,136 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 	return s, nil
 }
 
+// RegisterDebugHandlers mounts /debug/traces and the net/http/pprof
+// handlers on mux. Both the standalone metrics endpoint (ServeMetrics) and
+// the serve layer's own mux use this, so traces and profiles are reachable
+// wherever /metrics is.
+func RegisterDebugHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/traces", TracesHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// TracesHandler serves the recent-traces capture store. Default output is
+// JSON ({"capture_enabled", "count", "traces": [...]}, most recently
+// updated trace first); ?format=chrome emits the Chrome trace-event format
+// loadable in chrome://tracing or Perfetto; ?trace_id=<16 hex> narrows to
+// one trace.
+func TracesHandler(w http.ResponseWriter, r *http.Request) {
+	traces := RecentTraces()
+	if want := r.URL.Query().Get("trace_id"); want != "" {
+		filtered := traces[:0]
+		for _, t := range traces {
+			if t.TraceID == want {
+				filtered = append(filtered, t)
+			}
+		}
+		traces = filtered
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		writeChromeTrace(w, traces)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"capture_enabled": TraceCaptureEnabled(),
+		"count":           len(traces),
+		"traces":          traces,
+	})
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// spans with microsecond timestamps, "i" instants for fallbacks).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func writeChromeTrace(w io.Writer, traces []CapturedTrace) {
+	// One Chrome "thread" lane per engine so concurrent tenants render as
+	// parallel tracks; lane ids are assigned in first-seen order.
+	lanes := map[string]int{}
+	lane := func(engine string) int {
+		if engine == "" {
+			engine = "(process)"
+		}
+		id, ok := lanes[engine]
+		if !ok {
+			id = len(lanes) + 1
+			lanes[engine] = id
+		}
+		return id
+	}
+	events := make([]chromeEvent, 0, 64)
+	for _, t := range traces {
+		for _, ev := range t.Events {
+			name := ev.Type
+			if ev.Name != "" {
+				name = ev.Type + " " + ev.Name
+			}
+			ce := chromeEvent{
+				Name: name,
+				Cat:  ev.Type,
+				TsUs: float64(ev.TNs) / 1e3,
+				Pid:  1,
+				Tid:  lane(ev.Engine),
+				Args: map[string]any{
+					"trace_id": ev.TraceID,
+					"span_id":  ev.SpanID,
+				},
+			}
+			if ev.ParentID != "" {
+				ce.Args["parent_id"] = ev.ParentID
+			}
+			if ev.Backend != "" {
+				ce.Args["backend"] = ev.Backend
+			}
+			if ev.CacheHit {
+				ce.Args["cache_hit"] = true
+			}
+			if ev.Detail != "" {
+				ce.Args["detail"] = ev.Detail
+			}
+			if ev.Type == "fallback" || ev.DurNs == 0 {
+				ce.Ph = "i"
+				ce.Scope = "t"
+			} else {
+				ce.Ph = "X"
+				ce.DurUs = float64(ev.DurNs) / 1e3
+			}
+			events = append(events, ce)
+		}
+	}
+	// Name the lanes with metadata events so the viewer shows engine ids.
+	names := make([]string, 0, len(lanes))
+	for eng := range lanes {
+		names = append(names, eng)
+	}
+	sort.Strings(names)
+	for _, eng := range names {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lanes[eng],
+			Args: map[string]any{"name": "engine " + eng},
+		})
+	}
+	json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}
+
 // RenderMetrics writes the text exposition: per-function counters and
 // latency histograms, global counters, named histograms (per-tier compile
-// latency), worker-pool gauges, and every registered gauge provider (the
-// compile cache, the tier compile queue).
+// latency), labelled per-tenant vecs, worker-pool gauges, and every
+// registered gauge provider (the compile cache, the tier compile queue).
 func RenderMetrics(w io.Writer) {
 	snaps, overflow := FuncSnapshots()
 	for _, s := range snaps {
@@ -120,6 +251,38 @@ func RenderMetrics(w io.Writer) {
 			fmt.Fprintf(w, "wolfc_%s_ns_bucket{le=%q} %d\n",
 				s.Name, fmt.Sprint(BucketUpperNs(i)), cum)
 		}
+	}
+	for _, cv := range CounterVecs() {
+		lk := cv.Label()
+		for _, p := range cv.Snapshot() {
+			fmt.Fprintf(w, "wolfc_%s_total{%s=%q} %d\n", cv.Name(), lk, sanitizeLabel(p.Value), p.Count)
+		}
+		if ev := cv.Evictions(); ev > 0 {
+			fmt.Fprintf(w, "wolfc_%s_series_evicted_total %d\n", cv.Name(), ev)
+		}
+	}
+	for _, hv := range HistogramVecs() {
+		lk := hv.Label()
+		for _, p := range hv.Snapshot() {
+			lbl := fmt.Sprintf("{%s=%q}", lk, sanitizeLabel(p.Value))
+			fmt.Fprintf(w, "wolfc_%s_ns_sum%s %d\n", hv.Name(), lbl, p.TotalNs)
+			fmt.Fprintf(w, "wolfc_%s_ns_count%s %d\n", hv.Name(), lbl, p.Count)
+			cum := uint64(0)
+			for i, n := range p.Buckets {
+				cum += n
+				if n == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "wolfc_%s_ns_bucket{%s=%q,le=%q} %d\n",
+					hv.Name(), lk, sanitizeLabel(p.Value), fmt.Sprint(BucketUpperNs(i)), cum)
+			}
+		}
+		if ev := hv.Evictions(); ev > 0 {
+			fmt.Fprintf(w, "wolfc_%s_series_evicted_total %d\n", hv.Name(), ev)
+		}
+	}
+	if d := TraceDropped(); d > 0 {
+		fmt.Fprintf(w, "wolfc_trace_events_dropped_total %d\n", d)
 	}
 	ps := par.StatsNow()
 	fmt.Fprintf(w, "wolfc_pool_parallel_fors_total %d\n", ps.ParallelFors)

@@ -1,0 +1,167 @@
+// Request-scoped trace correlation (ISSUE 9). A SpanContext names one
+// position in a trace tree: the trace it belongs to and the span that is
+// currently active. The serving layer mints a root context per request,
+// carries it down through context.Context (engine.EvalCtx stores it on the
+// kernel for the duration of the evaluation), and every emission site —
+// compile, invoke, fallback — attaches itself as a child of whatever span
+// is active, so an async tier compile triggered by request R carries R's
+// trace id even though it runs seconds later on a worker goroutine.
+//
+// IDs are 64-bit, process-unique (atomic Weyl sequence through a splitmix64
+// finalizer), and rendered as 16-hex-digit strings in the JSONL stream.
+// Sampling is decided once per trace, deterministically from the trace id,
+// so every event of one request shares one fate and a sampled-out request
+// costs exactly one comparison per emission site.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies the active span of one trace. The zero value is
+// "no trace": emission sites fall back to span-less events.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+	// Sampled is the trace-level sampling decision, made once at NewTrace.
+	// An unsampled context still propagates (children inherit the decision)
+	// but suppresses every event derived from it.
+	Sampled bool
+	// Engine labels the evaluation unit the trace is running in (the
+	// session's engine id under wolfserve).
+	Engine string
+}
+
+// Valid reports whether sc carries a trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// Suppressed reports whether sc belongs to a trace that sampling decided
+// to drop: events derived from it must not be emitted. A zero SpanContext
+// is not suppressed — span-less events always record.
+func (sc SpanContext) Suppressed() bool { return sc.TraceID != 0 && !sc.Sampled }
+
+// Annotate fills ev's correlation fields as a fresh child span of sc: the
+// event gets its own span id, sc's span becomes the parent, and sc's
+// engine label applies unless the event already carries one. No-op on an
+// invalid context.
+func (sc SpanContext) Annotate(ev *TraceEvent) {
+	if sc.TraceID == 0 {
+		return
+	}
+	ev.TraceID = IDString(sc.TraceID)
+	ev.ParentID = IDString(sc.SpanID)
+	ev.SpanID = IDString(newSpanID())
+	if ev.Engine == "" {
+		ev.Engine = sc.Engine
+	}
+}
+
+// idSeq drives span/trace id generation: a Weyl sequence (odd constant
+// increments never collide modulo 2^64) pushed through the splitmix64
+// finalizer for dispersion. Seeded from the clock so separate processes
+// diverge.
+var idSeq atomic.Uint64
+
+func init() { idSeq.Store(uint64(time.Now().UnixNano())) }
+
+func newSpanID() uint64 {
+	x := idSeq.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// IDString renders a trace/span id in its wire form (16 hex digits).
+func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID parses a wire-form id (any hex string up to 16 digits); ok is
+// false for malformed or zero ids.
+func ParseID(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// sampleThreshold is the inclusive trace-id bound below which a trace is
+// sampled; MaxUint64 (the default, set in init) samples everything.
+var sampleThreshold atomic.Uint64
+
+func init() { sampleThreshold.Store(^uint64(0)) }
+
+// SetTraceSampling sets the probabilistic trace sampling rate in [0, 1]
+// and returns the previous rate. The decision is deterministic in the
+// trace id, so a propagated id samples identically everywhere.
+func SetTraceSampling(p float64) float64 {
+	prev := float64(sampleThreshold.Load()) / float64(^uint64(0))
+	switch {
+	case p <= 0:
+		sampleThreshold.Store(0)
+	case p >= 1:
+		sampleThreshold.Store(^uint64(0))
+	default:
+		sampleThreshold.Store(uint64(p * float64(^uint64(0))))
+	}
+	return prev
+}
+
+func sampled(traceID uint64) bool { return traceID <= sampleThreshold.Load() }
+
+// NewTrace mints a root span context for one request: fresh trace id, the
+// root span id equal to the trace's entry span, and the sampling decision
+// baked in.
+func NewTrace(engine string) SpanContext {
+	id := newSpanID()
+	return SpanContext{TraceID: id, SpanID: newSpanID(), Sampled: sampled(id), Engine: engine}
+}
+
+// ResumeTrace builds a root span context for a trace id propagated from
+// outside (an X-Trace-Id header): the id is kept, the span is fresh, and
+// the sampling decision is re-derived from the id so every hop agrees.
+func ResumeTrace(traceID uint64, engine string) SpanContext {
+	if traceID == 0 {
+		return NewTrace(engine)
+	}
+	return SpanContext{TraceID: traceID, SpanID: newSpanID(), Sampled: sampled(traceID), Engine: engine}
+}
+
+// Child derives a new active span within the same trace (for callers that
+// want an explicit intermediate span rather than Annotate's per-event
+// children).
+func (sc SpanContext) Child() SpanContext {
+	if sc.TraceID == 0 {
+		return sc
+	}
+	sc.SpanID = newSpanID()
+	return sc
+}
+
+type spanCtxKey struct{}
+
+// WithSpan returns a context carrying sc.
+func WithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext extracts the span context, zero when absent.
+func SpanFromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanContextAnnotate(t *testing.T) {
+	sc := NewTrace("s-1")
+	if !sc.Valid() || !sc.Sampled {
+		t.Fatalf("fresh trace should be valid and sampled at the default rate: %+v", sc)
+	}
+	var ev TraceEvent
+	sc.Annotate(&ev)
+	if ev.TraceID != IDString(sc.TraceID) {
+		t.Fatalf("trace id: got %q want %q", ev.TraceID, IDString(sc.TraceID))
+	}
+	if ev.ParentID != IDString(sc.SpanID) {
+		t.Fatalf("parent id should be the active span: got %q want %q", ev.ParentID, IDString(sc.SpanID))
+	}
+	if ev.SpanID == "" || ev.SpanID == ev.ParentID {
+		t.Fatalf("event must get a fresh span id: %+v", ev)
+	}
+	if ev.Engine != "s-1" {
+		t.Fatalf("engine label: got %q", ev.Engine)
+	}
+
+	// Zero context leaves the event untouched.
+	var zero SpanContext
+	var ev2 TraceEvent
+	zero.Annotate(&ev2)
+	if ev2.TraceID != "" || ev2.SpanID != "" {
+		t.Fatalf("zero span must not annotate: %+v", ev2)
+	}
+	if zero.Suppressed() {
+		t.Fatal("zero span must not be suppressed (span-less events always emit)")
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	sc := NewTrace("e")
+	ctx := WithSpan(context.Background(), sc)
+	if got := SpanFromContext(ctx); got != sc {
+		t.Fatalf("context round-trip: got %+v want %+v", got, sc)
+	}
+	if got := SpanFromContext(context.Background()); got.Valid() {
+		t.Fatalf("empty context must yield the zero span: %+v", got)
+	}
+	id, ok := ParseID(IDString(sc.TraceID))
+	if !ok || id != sc.TraceID {
+		t.Fatalf("id round-trip: %x -> %q -> %x ok=%v", sc.TraceID, IDString(sc.TraceID), id, ok)
+	}
+	if _, ok := ParseID("nothex"); ok {
+		t.Fatal("malformed id must not parse")
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	defer SetTraceSampling(1)
+	SetTraceSampling(0)
+	sc := NewTrace("e")
+	if sc.Sampled || !sc.Suppressed() {
+		t.Fatalf("rate 0 must suppress every trace: %+v", sc)
+	}
+	// The decision is deterministic in the trace id: resuming the same id
+	// under the same rate agrees.
+	if re := ResumeTrace(sc.TraceID, "e2"); re.Sampled != sc.Sampled {
+		t.Fatalf("resume disagreed with mint: %+v vs %+v", re, sc)
+	}
+	SetTraceSampling(1)
+	if sc2 := NewTrace("e"); !sc2.Sampled {
+		t.Fatalf("rate 1 must sample every trace: %+v", sc2)
+	}
+}
+
+// TestEmitOrderPreserved pins the collector contract the golden test
+// depends on: events drain to the writer in emission order even though
+// they spread across shards.
+func TestEmitOrderPreserved(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	const n = 100
+	for i := 0; i < n; i++ {
+		Emit(TraceEvent{Type: "invoke", Name: fmt.Sprintf("ev-%03d", i), TNs: TraceNow()})
+	}
+	SetTraceWriter(nil) // detach performs the final synchronous drain
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	for i, line := range lines {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("ev-%03d", i); ev.Name != want {
+			t.Fatalf("line %d out of order: got %q want %q", i, ev.Name, want)
+		}
+	}
+}
+
+// TestEmitConcurrent hammers Emit from many goroutines (exercised under
+// -race) and checks nothing is lost or duplicated below the shard cap.
+func TestEmitConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Emit(TraceEvent{Type: "invoke", Name: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	SetTraceWriter(nil)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != workers*per {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*per)
+	}
+	seen := map[string]bool{}
+	for _, line := range lines {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if seen[ev.Name] {
+			t.Fatalf("duplicate event %q", ev.Name)
+		}
+		seen[ev.Name] = true
+	}
+}
+
+func TestTraceCaptureStore(t *testing.T) {
+	EnableTraceCapture(2)
+	defer DisableTraceCapture()
+
+	mk := func(engine string) SpanContext { return NewTrace(engine) }
+	emitFor := func(sc SpanContext, name string) {
+		ev := TraceEvent{Type: "compile", Name: name, TNs: TraceNow()}
+		sc.Annotate(&ev)
+		Emit(ev)
+	}
+	a, b, c := mk("a"), mk("b"), mk("c")
+	emitFor(a, "one")
+	emitFor(a, "two")
+	emitFor(b, "three")
+	// Span-less events never enter the store.
+	Emit(TraceEvent{Type: "compile", Name: "spanless", TNs: TraceNow()})
+	traces := RecentTraces()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2: %+v", len(traces), traces)
+	}
+	byID := map[string]int{}
+	for _, tr := range traces {
+		byID[tr.TraceID] = len(tr.Events)
+	}
+	if byID[IDString(a.TraceID)] != 2 || byID[IDString(b.TraceID)] != 1 {
+		t.Fatalf("wrong event counts: %+v", byID)
+	}
+
+	// A third trace evicts the least-recently-updated: a's last event
+	// precedes b's, so a is the victim.
+	emitFor(c, "four")
+	traces = RecentTraces()
+	if len(traces) != 2 {
+		t.Fatalf("store must stay bounded at 2, got %d", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.TraceID == IDString(a.TraceID) {
+			t.Fatal("oldest trace should have been evicted")
+		}
+	}
+	// Most recently updated first.
+	if traces[0].TraceID != IDString(c.TraceID) {
+		t.Fatalf("snapshot order: got %q first, want %q", traces[0].TraceID, IDString(c.TraceID))
+	}
+
+	DisableTraceCapture()
+	if RecentTraces() != nil {
+		t.Fatal("disabled capture must return nil")
+	}
+}
+
+// TestSuppressedSpanSkipsEmission checks the sampling contract at an
+// emission site: annotating from a suppressed context is the caller's
+// signal not to emit at all.
+func TestSuppressedSpanSkipsEmission(t *testing.T) {
+	defer SetTraceSampling(1)
+	SetTraceSampling(0)
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	sc := NewTrace("e")
+	if !sc.Suppressed() {
+		t.Fatal("expected suppression at rate 0")
+	}
+	// Emission sites guard on Suppressed(); a span-less event still flows.
+	Emit(TraceEvent{Type: "compile", Name: "spanless"})
+	SetTraceWriter(nil)
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("got %d lines, want 1 (the span-less event)", n)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wolfc/internal/core"
@@ -39,12 +40,32 @@ import (
 var (
 	ctrSessionsCreated   = obs.NewCounter("serve_sessions_created")
 	ctrSessionsDestroyed = obs.NewCounter("serve_sessions_destroyed")
+	ctrSessionsEvicted   = obs.NewCounter("serve_sessions_evicted")
 	ctrEvals             = obs.NewCounter("serve_evals")
 	ctrEvalErrors        = obs.NewCounter("serve_eval_errors")
 	ctrTimeouts          = obs.NewCounter("serve_timeouts")
 	ctrRejectedBusy      = obs.NewCounter("serve_rejected_busy")
 	ctrRejectedSessions  = obs.NewCounter("serve_rejected_sessions")
+
+	// Per-tenant series (ISSUE 9): request counts and eval latency labelled
+	// by engine/session id, cardinality-bounded with LRU fold-over into
+	// engine="_overflow" — the sum stays exact past the cap instead of
+	// degrading to process-wide-only aggregates at the old 128-engine cliff.
+	vecEvalRequests = obs.NewCounterVec("serve_eval_requests", "engine", 0)
+	vecEvalLatency  = obs.NewHistogramVec("serve_eval_latency", "engine", 0)
+
+	// activeSessions backs the wolfc_serve_sessions_active gauge. It is
+	// package-level (summed over every Server in the process) because gauge
+	// providers cannot unregister: one permanent provider instead of a leak
+	// per short-lived test Server.
+	activeSessions atomic.Int64
 )
+
+func init() {
+	obs.RegisterGaugeProvider(func() []obs.Gauge {
+		return []obs.Gauge{{Name: "serve_sessions_active", Value: float64(activeSessions.Load())}}
+	})
+}
 
 // Options configures a Server.
 type Options struct {
@@ -63,6 +84,10 @@ type Options struct {
 	Tiering bool
 	// Tier tunes the per-session tiering policy when Tiering is set.
 	Tier core.TierPolicy
+	// IdleTimeout evicts sessions that have neither evaluated nor been
+	// created within the window (0 = never evict, the default). Sessions
+	// with an eval in flight are never evicted regardless of age.
+	IdleTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +113,7 @@ type session struct {
 	mu       sync.Mutex
 	lastUsed time.Time
 	evals    uint64
+	busy     int // evals currently holding this session (janitor guard)
 }
 
 // Server owns the session table and the admission tokens.
@@ -99,17 +125,80 @@ type Server struct {
 	sessions map[string]*session
 	seq      uint64
 	closed   bool
+
+	janitorStop chan struct{} // nil unless IdleTimeout > 0
+	janitorDone chan struct{}
 }
 
 // NewServer builds a Server. The caller wires the process-shared pieces
 // (artifact store via core.SetArtifactStore, metrics sink) before serving.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		inflight: make(chan struct{}, opts.MaxInflight),
 		sessions: make(map[string]*session),
 	}
+	if opts.IdleTimeout > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+// janitor periodically evicts sessions idle past IdleTimeout. The sweep
+// interval tracks the timeout (a quarter of it, clamped to [50ms, 30s]) so
+// short test timeouts evict promptly without waking a long-lived server up
+// constantly.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	interval := s.opts.IdleTimeout / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.evictIdle(time.Now())
+		}
+	}
+}
+
+// evictIdle destroys every session whose last use is older than
+// IdleTimeout and has no eval in flight. Exposed through the janitor only;
+// the cutoff parameter keeps it testable.
+func (s *Server) evictIdle(now time.Time) int {
+	cutoff := now.Add(-s.opts.IdleTimeout)
+	var doomed []*session
+	s.mu.Lock()
+	for id, ses := range s.sessions {
+		if ses == nil {
+			continue // reserved slot still being built
+		}
+		ses.mu.Lock()
+		idle := ses.busy == 0 && ses.lastUsed.Before(cutoff)
+		ses.mu.Unlock()
+		if idle {
+			delete(s.sessions, id)
+			doomed = append(doomed, ses)
+		}
+	}
+	s.mu.Unlock()
+	for _, ses := range doomed {
+		ses.eng.Close()
+		activeSessions.Add(-1)
+		ctrSessionsEvicted.Inc()
+		ctrSessionsDestroyed.Inc()
+	}
+	return len(doomed)
 }
 
 // Handler returns the HTTP routing surface.
@@ -126,22 +215,37 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.RenderMetrics(w)
 	})
+	// /debug/traces (+ ?format=chrome) and /debug/pprof/* ride the same
+	// mux, so a serve deployment gets traces and profiles wherever it
+	// already scrapes /metrics.
+	obs.RegisterDebugHandlers(mux)
 	return mux
 }
 
 // Close destroys every session (engines release their registry entries and
-// obs slots) and refuses further creates.
+// obs slots), stops the idle janitor, and refuses further creates.
 func (s *Server) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.closed = true
 	doomed := make([]*session, 0, len(s.sessions))
 	for _, ses := range s.sessions {
-		doomed = append(doomed, ses)
+		if ses != nil {
+			doomed = append(doomed, ses)
+		}
 	}
 	s.sessions = map[string]*session{}
 	s.mu.Unlock()
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
 	for _, ses := range doomed {
 		ses.eng.Close()
+		activeSessions.Add(-1)
 		ctrSessionsDestroyed.Inc()
 	}
 }
@@ -207,6 +311,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = ses
 	s.mu.Unlock()
 	ctrSessionsCreated.Inc()
+	activeSessions.Add(1)
 	writeJSON(w, http.StatusCreated, createResponse{ID: id})
 }
 
@@ -257,6 +362,7 @@ func (s *Server) handleDestroy(w http.ResponseWriter, r *http.Request) {
 	// doesn't wait out a long-running query.
 	ses.eng.Abort()
 	ses.eng.Close()
+	activeSessions.Add(-1)
 	ctrSessionsDestroyed.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -310,14 +416,52 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Mark the session busy before evaluating so the idle janitor never
+	// closes an engine out from under a running request.
+	ses.mu.Lock()
+	ses.busy++
+	ses.mu.Unlock()
+
+	// Root span for the request (ISSUE 9): minted here — or resumed from a
+	// caller-supplied X-Trace-Id so cross-service callers can stitch — and
+	// carried to the engine via context. Compile/invoke/fallback events
+	// this eval produces, including background tier compiles it triggers,
+	// become children of this span.
+	ctx := r.Context()
+	var sc obs.SpanContext
+	if obs.TraceEnabled() {
+		if tid, ok := obs.ParseID(r.Header.Get("X-Trace-Id")); ok {
+			sc = obs.ResumeTrace(tid, id)
+		} else {
+			sc = obs.NewTrace(id)
+		}
+		ctx = obs.WithSpan(ctx, sc)
+		w.Header().Set("X-Trace-Id", obs.IDString(sc.TraceID))
+	}
+
+	var tStart int64
+	if sc.Valid() && !sc.Suppressed() {
+		tStart = obs.TraceNow()
+	}
 	start := time.Now()
-	res, err := ses.eng.Eval(req.Input, timeout)
+	res, err := ses.eng.EvalCtx(ctx, req.Input, timeout)
 	dur := time.Since(start)
+	if sc.Valid() && !sc.Suppressed() {
+		// The root event carries the root span id itself (no parent): every
+		// child event Annotate()d from sc points its parent_id here.
+		obs.Emit(obs.TraceEvent{Type: "serve", Name: id, TNs: tStart,
+			DurNs: dur.Nanoseconds(), Engine: id,
+			TraceID: obs.IDString(sc.TraceID), SpanID: obs.IDString(sc.SpanID)})
+	}
+
 	ses.mu.Lock()
 	ses.lastUsed = time.Now()
 	ses.evals++
+	ses.busy--
 	ses.mu.Unlock()
 	ctrEvals.Inc()
+	vecEvalRequests.Inc(id)
+	vecEvalLatency.Observe(id, dur)
 	if res.TimedOut {
 		ctrTimeouts.Inc()
 	}

@@ -151,6 +151,24 @@ if [ "$ok" != 1 ]; then
     exit 1
 fi
 
+echo "== obs gate: request-tracing overhead on the serve path (armed >2% fails) =="
+# ISSUE 9: arming the span pipeline (capture on, sampling 0) must cost a
+# production request essentially nothing — every request mints and threads
+# a span but every emission site sees a suppressed one and skips. Same
+# drift-immune interleaved A/B and retry discipline as the obs gate above.
+ok=0
+for i in 1 2 3; do
+    if go run ./cmd/wolfbench -serve-trace-overhead -threshold 0.02; then
+        ok=1
+        break
+    fi
+    echo "serve-trace-overhead: noisy run $i, retrying"
+done
+if [ "$ok" != 1 ]; then
+    echo "verify: FAIL — serve trace-overhead gate failed 3/3 runs"
+    exit 1
+fi
+
 echo "== artifact gate: cold vs warm start (warm total compile <5x fails) =="
 # The persistent artifact store (ROADMAP item 4) must make warm starts —
 # a new process over a populated store — skip the pipeline's front half.
@@ -293,6 +311,77 @@ except urllib.error.HTTPError as e:
     if e.code != 404:
         raise SystemExit(f"destroyed session answered {e.code}, want 404")
 print("wolfserve smoke: isolation, deadline abort, metrics, destroy all OK")
+EOF
+kill "$serve_pid" 2>/dev/null
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== serve gate: request tracing end-to-end (serve→compile span tree on /debug/traces) =="
+# ISSUE 9: a single eval that trips background tier promotion must show up
+# on /debug/traces as one trace tree — a serve root plus a compile span
+# whose parent_id is the root's span_id and whose engine label is the
+# session — and /metrics must carry the per-engine latency histogram.
+"$tmp/wolfserve" -addr 127.0.0.1:17894 -autocompile-threshold 2 \
+    2> "$tmp/wolfserve-trace.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+python3 - <<'EOF' || { echo "verify: FAIL — tracing smoke"; cat "$tmp/wolfserve-trace.log"; exit 1; }
+import json, time, urllib.request
+
+base = "http://127.0.0.1:17894"
+def req(method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    r = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(r, timeout=30) as resp:
+        raw = resp.read()
+        return resp.status, json.loads(raw) if raw.strip() else {}
+
+for i in range(100):
+    try:
+        urllib.request.urlopen(base + "/healthz", timeout=2); break
+    except Exception:
+        time.sleep(0.1)
+else:
+    raise SystemExit("wolfserve never became healthy")
+
+sid = req("POST", "/v1/sessions")[1]["id"]
+req("POST", f"/v1/sessions/{sid}/eval", {"input": "f[n_] := n*n*n"})
+for _ in range(3):
+    req("POST", f"/v1/sessions/{sid}/eval", {"input": "f[4]"})
+
+# The tier compile is asynchronous: poll for the linked tree.
+deadline = time.time() + 10
+linked = False
+while time.time() < deadline and not linked:
+    with urllib.request.urlopen(base + "/debug/traces", timeout=10) as resp:
+        doc = json.loads(resp.read())
+    for tr in doc.get("traces", []):
+        evs = tr["events"]
+        roots = [e for e in evs if e["type"] == "serve" and e["name"] == sid]
+        for root in roots:
+            for e in evs:
+                if e["type"] == "compile" and e.get("parent_id") == root["span_id"]:
+                    if e["trace_id"] != root["trace_id"]:
+                        raise SystemExit("compile span left the request trace")
+                    if e.get("engine") != sid:
+                        raise SystemExit(f"compile span engine {e.get('engine')!r}, want {sid!r}")
+                    linked = True
+    if not linked:
+        time.sleep(0.1)
+if not linked:
+    raise SystemExit("no serve→compile span tree on /debug/traces")
+
+# Chrome export parses and carries events.
+with urllib.request.urlopen(base + "/debug/traces?format=chrome", timeout=10) as resp:
+    chrome = json.loads(resp.read())
+if not chrome.get("traceEvents"):
+    raise SystemExit("chrome export empty")
+
+with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+    metrics = resp.read().decode()
+want = f'wolfc_serve_eval_latency_ns_bucket{{engine="{sid}"'
+if want not in metrics:
+    raise SystemExit(f"/metrics missing per-engine latency histogram {want}")
+print("tracing smoke: linked serve→compile tree, chrome export, per-engine histogram all OK")
 EOF
 kill "$serve_pid" 2>/dev/null
 trap 'rm -rf "$tmp"' EXIT
