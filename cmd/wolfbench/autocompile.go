@@ -22,7 +22,7 @@ import (
 
 func autocompileSuite() {
 	fmt.Println("=== Tiered execution: hot DownValues auto-compiled through the function registry ===")
-	defer fnreg.Reset()
+	defer fnreg.Default().Reset()
 
 	const fibN = 22 // small enough for the interpreter series
 	defs := []string{

@@ -57,6 +57,7 @@ var (
 	jsonPath  = flag.String("json", "", "write machine-readable results (BENCH_<n>.json shape) to this path")
 	fusionF   = flag.Bool("fusion", false, "run the superinstruction-fusion suite (FuseLevel off vs on)")
 	autoF     = flag.Bool("autocompile", false, "run the tiered-execution suite: interpreted vs auto-promoted DownValues, and registry vs boxed cross-unit calls")
+	patternsF = flag.Bool("patterns", false, "run the pattern-dispatch suite: guarded/destructuring DownValues compiled to decision trees vs the interpreter")
 	compareF  = flag.Bool("compare", false, "compare two -json result files (old new); exit nonzero on a regression beyond -threshold")
 	reportF   = flag.Bool("report", false, "emit a JSON compile-report block (per-stage/per-pass timings) for the Figure 2 kernels")
 	threshF   = flag.Float64("threshold", 0.10, "per-row regression threshold for -compare (0.10 = 10%)")
@@ -276,7 +277,7 @@ func main() {
 		}()
 	}
 	any := false
-	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF && !*fusionF && !*autoF
+	defaults := *fig == 0 && *table == 0 && !*findroot && *ablation == "" && !*parallelF && !*fusionF && !*autoF && !*patternsF
 	if *fig == 2 || defaults {
 		figure2()
 		any = true
@@ -303,6 +304,10 @@ func main() {
 	}
 	if *autoF || defaults {
 		autocompileSuite()
+		any = true
+	}
+	if *patternsF || defaults {
+		patternsSuite()
 		any = true
 	}
 	if *ablation != "" {

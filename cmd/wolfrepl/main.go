@@ -32,6 +32,7 @@ var (
 	stencilThreshold     = flag.Uint64("autocompile-stencil-threshold", 0, "invocation count for the fast stencil baseline tier (0 = threshold/5, with -autocompile)")
 	stencilOnly          = flag.Bool("autocompile-stencil-only", false, "pin hot definitions to the stencil baseline tier; never upgrade to the optimising backend")
 	noStencil            = flag.Bool("autocompile-no-stencil", false, "skip the stencil baseline tier: promote hot definitions straight to the optimising backend")
+	autoDrain            = flag.Bool("autocompile-drain", false, "wait for queued background promotions after every input: deterministic tier transitions for differential harnesses (with -autocompile)")
 	artifactDir          = flag.String("artifact-dir", os.Getenv("WOLFC_ARTIFACT_DIR"), "persist compiled artifacts to this directory so later sessions warm-start from disk (also WOLFC_ARTIFACT_DIR)")
 )
 
@@ -135,6 +136,9 @@ func main() {
 		}
 		busy <- struct{}{}
 		res, err := e.Eval(line, 0)
+		if *autoDrain && e.Tiering != nil {
+			e.Tiering.WaitIdle()
+		}
 		<-busy
 		fmt.Print(res.Output) // Print/message text, in evaluation order
 		if err != nil {

@@ -91,6 +91,13 @@ type Store struct {
 	// in a map cannot tear — but the Get/Put/eviction contract is identical.
 	mem    map[string]memEntry
 	memSeq uint64
+
+	// hitCounts tallies Get hits per entry for this store instance.
+	// Eviction is least-frequently-used before oldest: an entry every
+	// session reloads outlives a burst of one-shot compiles even when the
+	// burst is newer. Counts are process-local (not persisted), so a fresh
+	// process starts from zero and age breaks the ties.
+	hitCounts map[string]uint64
 }
 
 // memEntry is one memory-backed payload; seq orders eviction (oldest
@@ -110,7 +117,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: %w", err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, hitCounts: map[string]uint64{}}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("artifact: %w", err)
@@ -132,7 +139,7 @@ func Open(dir string) (*Store, error) {
 // sessions share each other's compiles even with no -artifact-dir
 // configured; entries die with the process.
 func OpenMemory() *Store {
-	return &Store{mem: map[string]memEntry{}}
+	return &Store{mem: map[string]memEntry{}, hitCounts: map[string]uint64{}}
 }
 
 // Dir returns the store directory ("" for a memory-backed store).
@@ -192,6 +199,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 			return nil, false
 		}
 		s.hits++
+		s.hitCounts[key]++
 		return e.payload, true
 	}
 	p := s.path(key)
@@ -204,7 +212,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	payload, ok := validate(raw, key)
 	if !ok {
-		s.drop(p, int64(len(raw)))
+		s.drop(p, key, int64(len(raw)))
 		s.mu.Lock()
 		s.misses++
 		s.mu.Unlock()
@@ -212,8 +220,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.mu.Lock()
 	s.hits++
+	s.hitCounts[key]++
 	s.mu.Unlock()
 	return payload, true
+}
+
+// HitCount returns how many Get hits this store instance has served for
+// key — the frequency the LFU eviction order is built from.
+func (s *Store) HitCount(key string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hitCounts[key]
 }
 
 // validate checks an entry's header against the expected key and returns
@@ -258,6 +275,7 @@ func (s *Store) DropUndecodable(key string) {
 		s.mu.Lock()
 		if e, ok := s.mem[key]; ok {
 			delete(s.mem, key)
+			delete(s.hitCounts, key)
 			s.bytes -= int64(len(e.payload))
 			s.entries--
 		}
@@ -267,16 +285,17 @@ func (s *Store) DropUndecodable(key string) {
 	}
 	p := s.path(key)
 	if info, err := os.Stat(p); err == nil {
-		s.drop(p, info.Size())
+		s.drop(p, key, info.Size())
 	}
 }
 
 // drop removes a corrupt entry and adjusts the footprint accounting.
-func (s *Store) drop(path string, size int64) {
+func (s *Store) drop(path, key string, size int64) {
 	err := os.Remove(path)
 	s.mu.Lock()
 	s.corruptDrops++
 	if err == nil {
+		delete(s.hitCounts, key)
 		s.bytes -= size
 		s.entries--
 		if s.bytes < 0 {
@@ -356,27 +375,35 @@ func (s *Store) noteWriteError() {
 	s.mu.Unlock()
 }
 
-// evictLocked enforces maxBytes by deleting oldest entries (by mtime)
-// first. Called with s.mu held.
+// evictLocked enforces maxBytes by deleting least-frequently-used entries
+// first (this instance's hit tally), breaking ties oldest-first (mtime on
+// disk, insertion order in memory). Called with s.mu held.
 func (s *Store) evictLocked() {
 	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
 		return
 	}
 	if s.mem != nil {
 		type mc struct {
-			key string
-			e   memEntry
+			key  string
+			e    memEntry
+			hits uint64
 		}
 		cands := make([]mc, 0, len(s.mem))
 		for k, e := range s.mem {
-			cands = append(cands, mc{k, e})
+			cands = append(cands, mc{k, e, s.hitCounts[k]})
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].e.seq < cands[j].e.seq })
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].hits != cands[j].hits {
+				return cands[i].hits < cands[j].hits
+			}
+			return cands[i].e.seq < cands[j].e.seq
+		})
 		for _, c := range cands {
 			if s.bytes <= s.maxBytes {
 				break
 			}
 			delete(s.mem, c.key)
+			delete(s.hitCounts, c.key)
 			s.bytes -= int64(len(c.e.payload))
 			s.entries--
 			s.evictions++
@@ -389,8 +416,10 @@ func (s *Store) evictLocked() {
 	}
 	type cand struct {
 		path  string
+		key   string
 		size  int64
 		mtime int64
+		hits  uint64
 	}
 	var cands []cand
 	for _, e := range ents {
@@ -401,18 +430,34 @@ func (s *Store) evictLocked() {
 		if err != nil {
 			continue
 		}
-		cands = append(cands, cand{
+		c := cand{
 			path:  filepath.Join(s.dir, e.Name()),
 			size:  info.Size(),
 			mtime: info.ModTime().UnixNano(),
-		})
+		}
+		// The filename is the hex content key; recover it to join against
+		// the hit tally. An undecodable name just counts as never hit.
+		base := e.Name()[:len(e.Name())-len(entryExt)]
+		if raw, err := hex.DecodeString(base); err == nil && len(raw) == keyLen {
+			c.key = string(raw)
+			c.hits = s.hitCounts[c.key]
+		}
+		cands = append(cands, c)
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].mtime < cands[j].mtime })
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hits != cands[j].hits {
+			return cands[i].hits < cands[j].hits
+		}
+		return cands[i].mtime < cands[j].mtime
+	})
 	for _, c := range cands {
 		if s.bytes <= s.maxBytes {
 			break
 		}
 		if os.Remove(c.path) == nil {
+			if c.key != "" {
+				delete(s.hitCounts, c.key)
+			}
 			s.bytes -= c.size
 			s.entries--
 			s.evictions++

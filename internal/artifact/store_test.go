@@ -369,3 +369,66 @@ func TestMemoryStoreConcurrent(t *testing.T) {
 		t.Fatalf("Entries = %d, want 10", st.Entries)
 	}
 }
+
+// Eviction is least-frequently-used before oldest: a heavily-hit old entry
+// outlives an unhit newer one, on disk and in memory.
+func TestMaxBytesEvictsLFUBeforeOldest(t *testing.T) {
+	s := mustOpen(t)
+	payload := bytes.Repeat([]byte("x"), 100)
+	entrySize := int64(headerLen + len(payload))
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = testKey(fmt.Sprintf("lfu-%d", i))
+		s.Put(keys[i], payload)
+		past := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+		os.Chtimes(s.path(keys[i]), past, past)
+	}
+	// keys[0] is the oldest but also the only one anybody reloads.
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get(keys[0]); !ok {
+			t.Fatal("warm-up hit missed")
+		}
+	}
+	if n := s.HitCount(keys[0]); n != 3 {
+		t.Fatalf("HitCount = %d, want 3", n)
+	}
+	s.SetMaxBytes(2 * entrySize)
+	st := s.Stats()
+	if st.Entries != 2 || st.Evictions != 2 {
+		t.Fatalf("after SetMaxBytes: %+v", st)
+	}
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("frequently-hit oldest entry was evicted")
+	}
+	// Of the never-hit entries the oldest two go; the newest survives.
+	if _, ok := s.Get(keys[1]); ok {
+		t.Fatal("unhit old entry survived over the hit one")
+	}
+	if _, ok := s.Get(keys[3]); !ok {
+		t.Fatal("newest unhit entry evicted before older unhit ones")
+	}
+}
+
+func TestMemoryStoreEvictsLFUBeforeOldest(t *testing.T) {
+	s := OpenMemory()
+	payload := bytes.Repeat([]byte("y"), 100)
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i] = testKey(fmt.Sprintf("memlfu-%d", i))
+		s.Put(keys[i], payload)
+	}
+	// Oldest entry, only one hit — still beats the unhit ones.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("warm-up hit missed")
+	}
+	s.SetMaxBytes(150) // room for one 100-byte entry
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("hit entry evicted from the memory store")
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Fatal("unhit entry survived over the hit one")
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Evictions != 2 {
+		t.Fatalf("after SetMaxBytes: %+v", st)
+	}
+}

@@ -81,6 +81,13 @@ func (g *gen) selectNative(native string, in *wir.Instr, regs []reg, dst reg) st
 	a2 := func() int { return regs[2].idx }
 
 	switch native {
+	// --- pattern dispatch ---
+	case "pattern_miss":
+		// A decision-tree leaf no DownValue rule covers: unwind to the tier
+		// dispatcher, which hands the call to the interpreter rules (F2
+		// guard miss). The operand is a dummy and the destination register
+		// is never written.
+		return func(fr *frame) { runtime.Throw(runtime.ExcNoMatch, "no matching DownValue rule") }
 	// --- checked scalar arithmetic ---
 	case "binary_plus":
 		switch argKind(regs, 0) {

@@ -86,6 +86,14 @@ func init() {
 		stencils1[skey1{key[:i], key[i+1]}] = s
 	}
 
+	// --- pattern dispatch ---
+	// A dispatch-tree leaf no DownValue rule covers: fixed template (the
+	// operand is a dummy, the destination is never written), mirroring
+	// abortStencil's shape.
+	reg1("pattern_miss/i", func(d, a int) step {
+		return func(fr *frame) { runtime.Throw(runtime.ExcNoMatch, "no matching DownValue rule") }
+	})
+
 	// --- checked scalar arithmetic ---
 	reg2("binary_plus/ii", func(d, a, b int) step {
 		return func(fr *frame) { fr.i[d] = runtime.AddI64(fr.i[a], fr.i[b]) }

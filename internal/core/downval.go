@@ -5,76 +5,29 @@ import (
 
 	"wolfc/internal/expr"
 	"wolfc/internal/kernel"
+	"wolfc/internal/patcomp"
 	"wolfc/internal/pattern"
 	"wolfc/internal/types"
 )
 
-// DownValue promotion (ISSUE 5): the tiering engine compiles hot DownValue
-// definitions into typed compiled code. This file decides which definitions
-// are compilable (analyzeDownValues) and turns an accepted rule set into a
-// Function[{Typed[...]...}, body] expression the normal pipeline can
-// compile (synthesizeDownValues).
+// DownValue promotion (ISSUE 5, rebuilt on internal/patcomp in ISSUE 10):
+// the tiering engine compiles hot DownValue definitions into typed compiled
+// code. This file gates which symbols may promote at all (attributes,
+// builtins, kernel-level obstructions) and delegates the rule analysis and
+// code shape to the pattern-dispatch compiler: patcomp specialises the
+// ordered rules against the dispatch kind sketch and lowers them to a
+// decision tree over literal discrimination, head restrictions, list
+// destructuring, and /; guards, with unmatched paths compiling to the F2
+// guard-miss fallback.
 //
-// The accepted shape is deliberately narrow — correctness over coverage,
-// since everything rejected simply stays on the interpreter tier:
-//
-//	f[x_, y_Integer, 0, ...] := rhs
-//
-// i.e. every LHS argument is a plain/typed pattern variable or a machine
-// numeric literal, all rules share one arity, kinds agree with the argument
-// kinds observed at dispatch, and exactly one rule (the least specific,
-// sorted last by the kernel) binds a variable in every position — that rule
-// becomes the general branch, literal rules become guards in front of it:
-//
-//	fib[0] = 0; fib[1] = 1; fib[n_] := fib[n-1] + fib[n-2]
-//	  ⇒ Function[{Typed[n, "Integer64"]},
-//	       If[n == 0, 0, If[n == 1, 1, fib[n-1] + fib[n-2]]]]
-
-// classifyPatArg classifies one LHS argument position. Exactly one of
-// v/lit is non-nil on ok; req is the kind the position demands (nil for an
-// unrestricted pattern variable).
-func classifyPatArg(a expr.Expr) (v *expr.Symbol, lit expr.Expr, req types.Type, ok bool) {
-	switch x := a.(type) {
-	case *expr.Integer:
-		if x.IsMachine() {
-			return nil, x, types.TInt64, true
-		}
-	case *expr.Real:
-		return nil, x, types.TReal64, true
-	case *expr.Normal:
-		p, isPat := expr.IsNormalN(a, expr.SymPattern, 2)
-		if !isPat {
-			return nil, nil, nil, false
-		}
-		name, isSym := p.Arg(1).(*expr.Symbol)
-		if !isSym {
-			return nil, nil, nil, false
-		}
-		blank, isBlank := p.Arg(2).(*expr.Normal)
-		if !isBlank || blank.Head() != expr.SymBlank || blank.Len() > 1 {
-			return nil, nil, nil, false
-		}
-		if blank.Len() == 1 {
-			switch blank.Arg(1) {
-			case expr.SymInteger:
-				return name, nil, types.TInt64, true
-			case expr.SymReal:
-				return name, nil, types.TReal64, true
-			default:
-				return nil, nil, nil, false
-			}
-		}
-		return name, nil, nil, true
-	}
-	return nil, nil, nil, false
-}
+// The old literal-rule synthesis (fib[0] = 0; fib[1] = 1; fib[n_] := ...
+// becoming an If/Equal chain) is now one degenerate tree shape: a spine of
+// literal tests whose final leaf is the general rule's body.
 
 // promotable is one analyzed member definition ready for synthesis.
 type promotable struct {
-	sym   *expr.Symbol
-	rules []pattern.Rule // kernel order (most specific first, general last)
-	kinds []types.Type   // per-position argument kinds (from the dispatch sketch)
-	deps  []*expr.Symbol // RHS symbols with their own DownValues (call-graph edges)
+	def  *patcomp.Def
+	deps []*expr.Symbol // symbols with DownValues reachable from live rules
 }
 
 // analyzeDownValues checks that sym's definition fits the compilable shape
@@ -82,57 +35,22 @@ type promotable struct {
 // member; on failure an error naming the first obstruction (diagnostic
 // only — rejection is normal and silent).
 func analyzeDownValues(k *kernel.Kernel, sym *expr.Symbol, rules []pattern.Rule, kinds []types.Type) (*promotable, error) {
-	if len(rules) == 0 {
-		return nil, fmt.Errorf("%s has no DownValues", sym.Name)
-	}
 	if k.Attributes(sym) != 0 {
 		return nil, fmt.Errorf("%s has attributes", sym.Name)
 	}
 	if k.HasBuiltin(sym) {
 		return nil, fmt.Errorf("%s has a builtin definition", sym.Name)
 	}
-	generalAt := -1
-	for ri, r := range rules {
-		lhs, ok := expr.IsNormal(r.LHS, sym)
-		if !ok || lhs.Len() != len(kinds) {
-			return nil, fmt.Errorf("%s: rule %d is not a %d-argument call pattern", sym.Name, ri+1, len(kinds))
-		}
-		seen := map[*expr.Symbol]bool{}
-		allVars := true
-		for ai, a := range lhs.Args() {
-			v, _, req, ok := classifyPatArg(a)
-			if !ok {
-				return nil, fmt.Errorf("%s: rule %d argument %d is not a variable or machine literal", sym.Name, ri+1, ai+1)
-			}
-			if req != nil && !types.Equal(req, kinds[ai]) {
-				return nil, fmt.Errorf("%s: rule %d argument %d wants %s, dispatch sees %s", sym.Name, ri+1, ai+1, req, kinds[ai])
-			}
-			if v != nil {
-				if seen[v] {
-					return nil, fmt.Errorf("%s: rule %d repeats pattern variable %s", sym.Name, ri+1, v.Name)
-				}
-				seen[v] = true
-			} else {
-				allVars = false
-			}
-		}
-		if allVars {
-			if generalAt >= 0 {
-				return nil, fmt.Errorf("%s: more than one general (all-variable) rule", sym.Name)
-			}
-			generalAt = ri
-		}
+	def, err := patcomp.Analyze(sym, rules, kinds)
+	if err != nil {
+		return nil, err
 	}
-	if generalAt != len(rules)-1 {
-		// The kernel sorts most-specific-first, so a well-formed definition
-		// has its general rule last; anything else (no general rule, or a
-		// general rule shadowing literal ones) is not compilable.
-		return nil, fmt.Errorf("%s: general rule is not the final rule", sym.Name)
-	}
-	p := &promotable{sym: sym, rules: rules, kinds: kinds}
+	p := &promotable{def: def}
+	// Call-graph edges for group promotion: any symbol with DownValues
+	// reachable from a live right-hand side or a compiled guard.
 	depSeen := map[*expr.Symbol]bool{}
-	for _, r := range rules {
-		expr.Walk(r.RHS, func(e expr.Expr) bool {
+	for _, e := range def.ScanExprs() {
+		expr.Walk(e, func(e expr.Expr) bool {
 			if s, ok := e.(*expr.Symbol); ok && s != sym && !depSeen[s] && len(k.DownValues(s)) > 0 {
 				depSeen[s] = true
 				p.deps = append(p.deps, s)
@@ -143,40 +61,9 @@ func analyzeDownValues(k *kernel.Kernel, sym *expr.Symbol, rules []pattern.Rule,
 	return p, nil
 }
 
-// synthesizeDownValues builds the Function expression for an analyzed
-// member: the general rule's variables become the typed parameters, and
-// each literal rule becomes an equality-guarded If branch in front of the
-// general body.
+// synthesizeDownValues renders the analyzed member as the
+// Function[{Typed[...]...}, dispatch-tree] expression the pipeline
+// compiles.
 func synthesizeDownValues(p *promotable) expr.Expr {
-	general, _ := expr.IsNormal(p.rules[len(p.rules)-1].LHS, p.sym)
-	params := make([]*expr.Symbol, general.Len())
-	typed := make([]expr.Expr, general.Len())
-	for i, a := range general.Args() {
-		v, _, _, _ := classifyPatArg(a)
-		params[i] = v
-		typed[i] = expr.New(expr.SymTyped, v, typeToSpec(p.kinds[i]))
-	}
-	body := p.rules[len(p.rules)-1].RHS
-	// Guards fold right-to-left so the compiled If chain tests rules in the
-	// kernel's dispatch order.
-	for ri := len(p.rules) - 2; ri >= 0; ri-- {
-		lhs, _ := expr.IsNormal(p.rules[ri].LHS, p.sym)
-		var conds []expr.Expr
-		b := pattern.Bindings{}
-		for ai, a := range lhs.Args() {
-			v, lit, _, _ := classifyPatArg(a)
-			if lit != nil {
-				conds = append(conds, expr.NewS("Equal", params[ai], lit))
-			} else {
-				b[v] = params[ai]
-			}
-		}
-		rhs := pattern.Substitute(p.rules[ri].RHS, b)
-		cond := conds[0]
-		if len(conds) > 1 {
-			cond = expr.NewS("And", conds...)
-		}
-		body = expr.NewS("If", cond, rhs, body)
-	}
-	return expr.New(expr.SymFunction, expr.List(typed...), body)
+	return p.def.Synthesize()
 }

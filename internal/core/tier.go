@@ -29,7 +29,7 @@ import (
 // TWIR instruction shapes to pre-built closure templates — and installed.
 // If it stays hot (Threshold compiled calls), the same definition is
 // recompiled through the full pipeline and the registry entry is re-pointed
-// in place (fnreg.Upgrade), so dependents' baked call sites pick up the
+// in place (Registry.Upgrade), so dependents' baked call sites pick up the
 // optimised code on their next atomic load. Definitions the stencil tier
 // cannot hold (uncovered instruction shapes, non-scalar types) skip
 // straight to the optimised pipeline.
@@ -395,8 +395,17 @@ func (t *Tiering) dispatch(k *kernel.Kernel, head *expr.Symbol, call *expr.Norma
 	return nil, false
 }
 
+// sketchMaxElems bounds the per-dispatch element scan for list arguments:
+// sketching runs on every interpreted dispatch, so a huge list must not
+// turn dispatch into an O(n) walk. Longer lists simply never sketch (the
+// symbol stays interpreted for that call shape).
+const sketchMaxElems = 256
+
 // sketchKinds maps evaluated call arguments to compiled-parameter kinds;
-// nil when any argument is outside the machine-numeric fragment.
+// nil when any argument is outside the machine-numeric fragment. Scalars
+// sketch as Integer64/Real64; a homogeneous list of machine scalars
+// sketches as a rank-1 tensor, which is what lets list-destructuring
+// patterns ({x_, y_}) promote.
 func sketchKinds(args []expr.Expr) []types.Type {
 	kinds := make([]types.Type, len(args))
 	for i, a := range args {
@@ -408,11 +417,77 @@ func sketchKinds(args []expr.Expr) []types.Type {
 			kinds[i] = types.TInt64
 		case *expr.Real:
 			kinds[i] = types.TReal64
+		case *expr.Normal:
+			if x.Head() != expr.SymList || x.Len() > sketchMaxElems {
+				return nil
+			}
+			elem := sketchElemKind(x)
+			if elem == nil {
+				return nil
+			}
+			kinds[i] = types.TensorOf(elem, 1)
 		default:
 			return nil
 		}
 	}
 	return kinds
+}
+
+// sketchElemKind is the homogeneous machine kind of a list's elements
+// (an empty list sketches as integer). Mixed or nested lists return nil.
+func sketchElemKind(l *expr.Normal) types.Type {
+	kind := types.TInt64
+	for i, a := range l.Args() {
+		switch x := a.(type) {
+		case *expr.Integer:
+			if !x.IsMachine() || kind != types.TInt64 {
+				return nil
+			}
+		case *expr.Real:
+			if i == 0 {
+				kind = types.TReal64
+			} else if kind != types.TReal64 {
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	return kind
+}
+
+// strictKind reports whether a is exactly of the machine kind the compiled
+// entry was specialised against. Unbox is deliberately lenient (it coerces
+// an Integer into a Real64 slot), which is fine for value conversion but
+// wrong for dispatch: the decision tree resolved head tests like _Integer
+// and _Real statically against the sketch, so an argument of a different
+// kind must take the interpreter path instead of being coerced into
+// branches the matcher would not choose. Types outside the dispatch
+// fragment return true and defer to Unbox.
+func strictKind(a expr.Expr, t types.Type) bool {
+	switch t {
+	case types.TInt64:
+		x, ok := a.(*expr.Integer)
+		return ok && x.IsMachine()
+	case types.TReal64:
+		_, ok := a.(*expr.Real)
+		return ok
+	}
+	if c, ok := t.(*types.Compound); ok && c.Ctor == "Tensor" && len(c.Args) == 2 {
+		if r, ok := c.Args[1].(*types.Literal); ok && r.Value == 1 {
+			l, ok := a.(*expr.Normal)
+			if !ok || l.Head() != expr.SymList {
+				return false
+			}
+			for _, e := range l.Args() {
+				if !strictKind(e, c.Args[0]) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return true
 }
 
 func kindsEqual(a, b []types.Type) bool {
@@ -921,6 +996,19 @@ func (t *Tiering) applyCompiled(st *symState, ccf *CompiledCodeFunction, args []
 	}
 	raw := make([]any, len(args))
 	for i, a := range args {
+		if !strictKind(a, ccf.ParamTypes[i]) {
+			// The argument is outside the kind the entry was specialised
+			// against (an Integer where the sketch saw Reals, a mixed
+			// list, ...): interpreter rules handle it (F2 guard miss).
+			// Unbox alone is too lenient here — it coerces an Integer
+			// into a Real64 slot — and the dispatch tree resolved its
+			// pattern tests statically against the sketch, so a coerced
+			// argument could take branches the matcher would not.
+			t.guardMisses.Add(1)
+			ctrTierGuardMisses.Inc()
+			ccf.Metrics.RecordFallback()
+			return nil, false
+		}
 		v, u := runtime.Unbox(a, ccf.ParamTypes[i])
 		if !u {
 			// E.g. a bignum into a machine-integer slot: interpreter rules
@@ -944,6 +1032,19 @@ func (t *Tiering) applyCompiled(st *symState, ccf *CompiledCodeFunction, args []
 				t.aborts.Add(1)
 				ccf.Metrics.RecordAbort()
 				out, ok = expr.SymAborted, true
+				return
+			}
+			if exc.Kind == runtime.ExcNoMatch {
+				// The compiled dispatch tree proved no DownValue rule
+				// matches these arguments: an F2 guard miss, not a soft
+				// failure. The interpreter rules run and produce whatever
+				// an untired kernel would (usually the unevaluated call).
+				// Misses are a property of the arguments, so they never
+				// count toward the soft-failure retirement limit.
+				t.guardMisses.Add(1)
+				ctrTierGuardMisses.Inc()
+				ccf.Metrics.RecordFallback()
+				out, ok = nil, false
 				return
 			}
 			// Soft runtime failure (overflow, retired callee, kernel

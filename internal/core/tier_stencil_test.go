@@ -23,7 +23,7 @@ func TestTierStencilTwoHop(t *testing.T) {
 	k.Out = io.Discard
 	Install(k)
 	tr := EnableTiering(k, TierPolicy{Threshold: 4, StencilThreshold: 2})
-	t.Cleanup(func() { tr.Close(); fnreg.Reset() })
+	t.Cleanup(func() { tr.Close(); fnreg.Default().Reset() })
 	plain := kernel.New()
 	plain.Out = io.Discard
 	Install(plain)
@@ -57,7 +57,7 @@ func TestTierStencilTwoHop(t *testing.T) {
 		t.Fatalf("expected thFib on the optimised tier: %+v", s)
 	}
 	// The upgrade must not have retired the entry (re-point in place).
-	ent, ok := fnreg.Lookup("thFib")
+	ent, ok := fnreg.Default().Lookup("thFib")
 	if !ok || !ent.Installed() {
 		t.Fatal("registry entry lost across the upgrade hop")
 	}
@@ -75,7 +75,7 @@ func TestTierStencilOnly(t *testing.T) {
 	k.Out = io.Discard
 	Install(k)
 	tr := EnableTiering(k, TierPolicy{Threshold: 3, StencilThreshold: 2, DisableO2: true})
-	t.Cleanup(func() { tr.Close(); fnreg.Reset() })
+	t.Cleanup(func() { tr.Close(); fnreg.Default().Reset() })
 	plain := kernel.New()
 	plain.Out = io.Discard
 	Install(plain)
@@ -108,7 +108,7 @@ func TestTierNoStencil(t *testing.T) {
 	k.Out = io.Discard
 	Install(k)
 	tr := EnableTiering(k, TierPolicy{Threshold: 2, DisableStencil: true})
-	t.Cleanup(func() { tr.Close(); fnreg.Reset() })
+	t.Cleanup(func() { tr.Close(); fnreg.Default().Reset() })
 
 	runK(t, k, `nsFib[n_] := If[n < 2, n, nsFib[n - 1] + nsFib[n - 2]]`)
 	runK(t, k, `nsFib[15]`)
@@ -131,7 +131,7 @@ func TestTierNoStencil(t *testing.T) {
 // discards race the evaluating goroutines. Run under -race; results must
 // track the latest definition at every step.
 func TestTierParallelPromotionRedefineRace(t *testing.T) {
-	t.Cleanup(fnreg.Reset)
+	t.Cleanup(fnreg.Default().Reset)
 	var wg sync.WaitGroup
 	errs := make(chan error, 2)
 	for g := 0; g < 2; g++ {

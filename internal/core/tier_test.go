@@ -22,7 +22,7 @@ func newTieredKernel(t *testing.T, threshold uint64) (*kernel.Kernel, *Tiering) 
 	tr := EnableTiering(k, TierPolicy{Threshold: threshold})
 	t.Cleanup(func() {
 		tr.Close()
-		fnreg.Reset()
+		fnreg.Default().Reset()
 	})
 	return k, tr
 }
@@ -66,7 +66,7 @@ func TestTierPromoteAndRedefine(t *testing.T) {
 	if !tr.Compiled(expr.Sym("tpFib")) {
 		t.Fatalf("tpFib was not promoted; stats %+v", tr.Stats())
 	}
-	ent, ok := fnreg.Lookup("tpFib")
+	ent, ok := fnreg.Default().Lookup("tpFib")
 	if !ok || !ent.Installed() {
 		t.Fatal("registry entry for tpFib missing or not installed")
 	}
@@ -85,7 +85,7 @@ func TestTierPromoteAndRedefine(t *testing.T) {
 	if tr.Compiled(expr.Sym("tpFib")) {
 		t.Fatal("tpFib still on the compiled tier after redefinition")
 	}
-	if ent, ok := fnreg.Lookup("tpFib"); ok && ent.Installed() {
+	if ent, ok := fnreg.Default().Lookup("tpFib"); ok && ent.Installed() {
 		t.Fatal("registry entry survived redefinition")
 	}
 	if out := runK(t, k, `tpFib[26]`); expr.InputForm(out) != "42" {
@@ -102,7 +102,7 @@ func TestTierPromoteAndRedefine(t *testing.T) {
 		t.Fatal("tcSq was not promoted")
 	}
 	runK(t, k, `Clear[tcSq]`)
-	if _, ok := fnreg.Lookup("tcSq"); ok {
+	if _, ok := fnreg.Default().Lookup("tcSq"); ok {
 		t.Fatal("Clear left the registry entry live")
 	}
 	if out := runK(t, k, `tcSq[7]`); expr.InputForm(out) != "tcSq[7]" {
@@ -200,7 +200,7 @@ func TestTierMutualRecursion(t *testing.T) {
 	}
 
 	// The cross-unit call is a direct registry call in the compiled IR.
-	entA, ok := fnreg.Lookup("tmA")
+	entA, ok := fnreg.Default().Lookup("tmA")
 	if !ok || !entA.Installed() {
 		t.Fatal("tmA registry entry missing")
 	}
@@ -244,10 +244,10 @@ func TestTierMutualRecursion(t *testing.T) {
 	// Redefining one member cascades through the registry: both entries
 	// retire (tmA's compiled code bakes a call to tmB's entry).
 	runK(t, k, `tmB[n_] := 7`)
-	if _, ok := fnreg.Lookup("tmB"); ok {
+	if _, ok := fnreg.Default().Lookup("tmB"); ok {
 		t.Fatal("tmB entry survived redefinition")
 	}
-	if ent, ok := fnreg.Lookup("tmA"); ok && ent.Installed() {
+	if ent, ok := fnreg.Default().Lookup("tmA"); ok && ent.Installed() {
 		t.Fatal("tmA entry survived retirement of its dependency")
 	}
 	if tr.Compiled(expr.Sym("tmA")) {

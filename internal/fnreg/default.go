@@ -1,10 +1,6 @@
 package fnreg
 
-import (
-	"sync"
-
-	"wolfc/internal/types"
-)
+import "sync"
 
 // This file is the ONLY package-level mutable registry state in fnreg: the
 // default instance behind the deprecated process-wide API. Everything else
@@ -20,49 +16,11 @@ var (
 // Default returns the process-wide default registry instance, created on
 // first use with an empty engine label (so its gauges render as the
 // unlabeled legacy series).
+//
+// The deprecated package-level wrappers (Reserve, Install, Lookup, ...)
+// are gone (ISSUE 10): call the methods on Default() — or better, on an
+// instance received from internal/engine.
 func Default() *Registry {
 	defaultOnce.Do(func() { defaultReg = NewRegistry("") })
 	return defaultReg
 }
-
-// Reserve registers name in the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.Reserve).
-func Reserve(name string, sig *types.Fn, deps []string) (*Entry, error) {
-	return Default().Reserve(name, sig, deps)
-}
-
-// Install installs into the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.Install).
-func Install(e *Entry, fn any, payload any) { Default().Install(e, fn, payload) }
-
-// Upgrade upgrades in the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.Upgrade).
-func Upgrade(e *Entry, fn any, payload any) bool { return Default().Upgrade(e, fn, payload) }
-
-// Lookup looks up name in the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.Lookup).
-func Lookup(name string) (*Entry, bool) { return Default().Lookup(name) }
-
-// Retire retires name from the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.Retire).
-func Retire(name string) []string { return Default().Retire(name) }
-
-// RetireEntry retires e from the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.RetireEntry).
-func RetireEntry(e *Entry) []string { return Default().RetireEntry(e) }
-
-// Names lists the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.Names).
-func Names() []string { return Default().Names() }
-
-// Reset clears the default registry.
-//
-// Deprecated: use a *Registry instance (Registry.Reset).
-func Reset() { Default().Reset() }

@@ -12,69 +12,72 @@ func sig() *types.Fn {
 }
 
 func TestLifecycle(t *testing.T) {
-	defer Reset()
-	e, err := Reserve("lcF", sig(), nil)
+	r := NewRegistry("test")
+	defer r.Release()
+	e, err := r.Reserve("lcF", sig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.Installed() || e.Retired() {
 		t.Fatal("reserved entry must be neither installed nor retired")
 	}
-	if got, ok := Lookup("lcF"); !ok || got != e {
+	if got, ok := r.Lookup("lcF"); !ok || got != e {
 		t.Fatal("reserved entry must be visible to Lookup")
 	}
-	Install(e, "fnval", "payload")
+	r.Install(e, "fnval", "payload")
 	b := e.Binding()
 	if b == nil || b.Fn != "fnval" || b.Payload != "payload" {
 		t.Fatalf("binding = %+v", b)
 	}
-	if names := Retire("lcF"); len(names) != 1 || names[0] != "lcF" {
+	if names := r.Retire("lcF"); len(names) != 1 || names[0] != "lcF" {
 		t.Fatalf("Retire = %v", names)
 	}
 	if !e.Retired() || e.Binding() != nil {
 		t.Fatal("retired entry must drop its binding")
 	}
-	if _, ok := Lookup("lcF"); ok {
+	if _, ok := r.Lookup("lcF"); ok {
 		t.Fatal("retired entry still live")
 	}
 	// Install on a retired entry is a no-op.
-	Install(e, "fnval2", nil)
+	r.Install(e, "fnval2", nil)
 	if e.Binding() != nil {
 		t.Fatal("install resurrected a retired entry")
 	}
 }
 
 func TestReserveValidation(t *testing.T) {
-	defer Reset()
-	if _, err := Reserve("", sig(), nil); err == nil {
+	r := NewRegistry("test")
+	defer r.Release()
+	if _, err := r.Reserve("", sig(), nil); err == nil {
 		t.Fatal("empty name accepted")
 	}
 	open := &types.Fn{Params: []types.Type{types.NewVar("a")}, Ret: types.TInt64}
-	if _, err := Reserve("rvOpen", open, nil); err == nil {
+	if _, err := r.Reserve("rvOpen", open, nil); err == nil {
 		t.Fatal("non-ground signature accepted")
 	}
-	if _, err := Reserve("rvF", sig(), nil); err != nil {
+	if _, err := r.Reserve("rvF", sig(), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Reserve("rvF", sig(), nil); err == nil {
+	if _, err := r.Reserve("rvF", sig(), nil); err == nil {
 		t.Fatal("double reservation accepted")
 	}
 }
 
 func TestRetireCascade(t *testing.T) {
-	defer Reset()
+	r := NewRegistry("test")
+	defer r.Release()
 	// c depends on b depends on a; d is independent.
-	a, _ := Reserve("caA", sig(), nil)
-	b, _ := Reserve("caB", sig(), []string{"caA"})
-	c, _ := Reserve("caC", sig(), []string{"caB"})
-	d, _ := Reserve("caD", sig(), nil)
+	a, _ := r.Reserve("caA", sig(), nil)
+	b, _ := r.Reserve("caB", sig(), []string{"caA"})
+	c, _ := r.Reserve("caC", sig(), []string{"caB"})
+	d, _ := r.Reserve("caD", sig(), nil)
 	_ = b
 	_ = c
-	names := Retire("caA")
+	names := r.Retire("caA")
 	if len(names) != 3 {
 		t.Fatalf("Retire cascade = %v, want caA caB caC", names)
 	}
-	if _, ok := Lookup("caD"); !ok {
+	if _, ok := r.Lookup("caD"); !ok {
 		t.Fatal("independent entry retired")
 	}
 	_ = a
@@ -82,40 +85,41 @@ func TestRetireCascade(t *testing.T) {
 }
 
 func TestRetireEntryIdentity(t *testing.T) {
-	defer Reset()
-	old, _ := Reserve("idF", sig(), nil)
-	Retire("idF")
-	successor, _ := Reserve("idF", sig(), nil)
-	Install(successor, "new", nil)
+	r := NewRegistry("test")
+	defer r.Release()
+	old, _ := r.Reserve("idF", sig(), nil)
+	r.Retire("idF")
+	successor, _ := r.Reserve("idF", sig(), nil)
+	r.Install(successor, "new", nil)
 	// A stale holder discarding its reservation must not take down the
 	// successor registered under the same name.
-	if names := RetireEntry(old); names != nil {
+	if names := r.RetireEntry(old); names != nil {
 		t.Fatalf("RetireEntry(stale) = %v", names)
 	}
-	if got, ok := Lookup("idF"); !ok || got != successor || !got.Installed() {
+	if got, ok := r.Lookup("idF"); !ok || got != successor || !got.Installed() {
 		t.Fatal("successor entry was disturbed by a stale RetireEntry")
 	}
-	if names := RetireEntry(successor); len(names) != 1 {
+	if names := r.RetireEntry(successor); len(names) != 1 {
 		t.Fatalf("RetireEntry(live) = %v", names)
 	}
 }
 
 func TestInstallRetireRace(t *testing.T) {
-	defer Reset()
 	for i := 0; i < 200; i++ {
-		e, err := Reserve("raceF", sig(), nil)
+		r := NewRegistry("test")
+		e, err := r.Reserve("raceF", sig(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var wg sync.WaitGroup
 		wg.Add(2)
-		go func() { defer wg.Done(); Install(e, "fn", nil) }()
-		go func() { defer wg.Done(); Retire("raceF") }()
+		go func() { defer wg.Done(); r.Install(e, "fn", nil) }()
+		go func() { defer wg.Done(); r.Retire("raceF") }()
 		wg.Wait()
 		// Whatever the interleaving, a retired entry is never callable.
 		if e.Retired() && e.Binding() != nil {
 			t.Fatal("retired entry left callable")
 		}
-		Reset()
+		r.Release()
 	}
 }

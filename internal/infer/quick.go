@@ -444,6 +444,30 @@ func (q *quick) typeCall(f *wir.Function, in *wir.Instr) error {
 	switch in.Callee {
 	case "Native`List", "Native`KernelApply":
 		return quickErr("%s: %s is outside the baseline fragment", f.Name, in.Callee)
+	case "Compile`PatternMiss":
+		// A dispatch-tree miss leaf (internal/patcomp) diverges, so its
+		// declared result is a free type variable — which a forward-only
+		// pass cannot solve. Every miss sits in tail position of the
+		// synthesized tree, so its type is the function's return type; the
+		// seed (anchored by the live leaves) supplies it. An unseeded
+		// function falls back to the solver.
+		rt, known := q.rets[f]
+		if !known || !quickScalar(rt) {
+			return quickErr("%s: pattern-miss leaf before the return type is known", f.Name)
+		}
+		if len(in.Args) != 1 {
+			return quickErr("%s: Compile`PatternMiss takes 1 operand", f.Name)
+		}
+		if err := q.coerce(in.Args[0], types.TInt64); err != nil {
+			return err
+		}
+		if defs := q.env.Lookup(in.Callee); len(defs) > 0 {
+			in.SetProp("overload", defs[0])
+		}
+		in.SetProp("calltype", &types.Fn{Params: []types.Type{types.TInt64}, Ret: rt})
+		in.Ty = rt
+		q.ty[in] = in.Ty
+		return nil
 	}
 	if defs := q.env.Lookup(in.Callee); len(defs) > 0 {
 		return q.selectOverload(f, in, defs)

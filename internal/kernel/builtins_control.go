@@ -355,7 +355,39 @@ func biWith(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
 	return k.Eval(pattern.Substitute(n.Arg(2), b)), true
 }
 
-var symPart = expr.Sym("Part")
+var (
+	symPart    = expr.Sym("Part")
+	symCondLHS = expr.Sym("Condition")
+)
+
+// peelLHSCondition splits a whole-LHS guarded target f[...] /; cond
+// (possibly nested) into the inner call and a rewrap closure that restores
+// the Condition wrappers around the argument-evaluated call, so the rule
+// attaches to f rather than to Condition. /; binds tighter than = and :=,
+// so `f[x_] /; cond := rhs` reaches Set/SetDelayed in exactly this shape.
+// The condition tests are held unevaluated — they run at match time.
+func peelLHSCondition(target *expr.Normal) (*expr.Normal, func(expr.Expr) expr.Expr) {
+	var wraps []*expr.Normal
+	cur := expr.Expr(target)
+	for {
+		c, ok := expr.IsNormalN(cur, symCondLHS, 2)
+		if !ok {
+			break
+		}
+		wraps = append(wraps, c)
+		cur = c.Arg(1)
+	}
+	inner, ok := cur.(*expr.Normal)
+	if !ok || len(wraps) == 0 {
+		return target, func(e expr.Expr) expr.Expr { return e }
+	}
+	return inner, func(e expr.Expr) expr.Expr {
+		for i := len(wraps) - 1; i >= 0; i-- {
+			e = wraps[i].WithArgs(e, wraps[i].Arg(2))
+		}
+		return e
+	}
+}
 
 func biSet(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
 	if n.Len() != 2 {
@@ -371,8 +403,9 @@ func biSet(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
 			return k.setPart(p, rhs), true
 		}
 		// f[pats] = rhs — an immediate definition (rhs already evaluated).
-		if hs, ok := target.Head().(*expr.Symbol); ok {
-			lhsEval := k.evalPatternLHS(target)
+		call, rewrap := peelLHSCondition(target)
+		if hs, ok := call.Head().(*expr.Symbol); ok {
+			lhsEval := rewrap(k.evalPatternLHS(call))
 			k.AddDownValue(hs, pattern.Rule{LHS: lhsEval, RHS: rhs})
 			return rhs, true
 		}
@@ -469,8 +502,9 @@ func biSetDelayed(k *Kernel, n *expr.Normal) (expr.Expr, bool) {
 		k.own[target] = rhs
 		return expr.SymNull, true
 	case *expr.Normal:
-		if hs, ok := target.Head().(*expr.Symbol); ok {
-			k.AddDownValue(hs, pattern.Rule{LHS: k.evalPatternLHS(target), RHS: rhs})
+		call, rewrap := peelLHSCondition(target)
+		if hs, ok := call.Head().(*expr.Symbol); ok {
+			k.AddDownValue(hs, pattern.Rule{LHS: rewrap(k.evalPatternLHS(call)), RHS: rhs})
 			return expr.SymNull, true
 		}
 	}

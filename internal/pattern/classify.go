@@ -1,0 +1,165 @@
+package pattern
+
+import "wolfc/internal/expr"
+
+// Rule-shape classification (ISSUE 10): the structured view of a DownValue
+// LHS shared by the matcher and the pattern-dispatch compiler
+// (internal/patcomp). Classification is purely syntactic — it decomposes a
+// call pattern into per-argument shapes without deciding compilability;
+// patcomp resolves the shapes against the kinds observed at dispatch and
+// rejects what it cannot lower. The matcher's semantics are the contract:
+// a classified shape must describe exactly what match() would test, in the
+// order matchSeq() would test it (structure before conditions, arguments
+// left to right, the whole-LHS Condition last).
+
+// ArgClass partitions the argument shapes the classifier understands.
+type ArgClass int
+
+const (
+	// ArgOther marks a position outside the classified fragment
+	// (sequence blanks, Alternatives, non-List destructuring, ...).
+	ArgOther ArgClass = iota
+	// ArgVar is a plain or head-restricted blank, optionally named:
+	// _, x_, _Integer, x_Real, x_List.
+	ArgVar
+	// ArgLiteral is a non-Normal atom matched with SameQ: 0, 2.5, "s".
+	ArgLiteral
+	// ArgList is List destructuring: {x_, y_}, {x_Integer, 0}, {}, or a
+	// literal list {1, 2}; every element is itself ArgVar or ArgLiteral
+	// (one level deep — nested lists stay on the interpreter).
+	ArgList
+)
+
+// ArgShape is the classified form of one LHS argument position.
+type ArgShape struct {
+	Class ArgClass
+	Var   *expr.Symbol // bound pattern variable (nil for anonymous blanks)
+	Req   *expr.Symbol // head restriction from Blank[h]; nil = unrestricted
+	Lit   expr.Expr    // ArgLiteral: the atom to discriminate on
+	Elems []ArgShape   // ArgList: element shapes, in order
+	// Conds are the /; tests wrapped around this position, outermost
+	// last — the order the matcher evaluates them once the position (and
+	// everything it binds) has matched.
+	Conds []expr.Expr
+}
+
+// RuleShape is the classified form of one DownValue LHS.
+type RuleShape struct {
+	Args []ArgShape
+	// Conds are whole-LHS Condition tests (f[...] /; cond), evaluated by
+	// the matcher after every argument has matched, innermost first.
+	Conds []expr.Expr
+}
+
+// ClassifyRule decomposes lhs as a call pattern for head. It peels
+// whole-LHS Condition wrappers, requires the call head to be exactly head,
+// and classifies each argument; ok is false when any part of the LHS falls
+// outside the classified fragment.
+func ClassifyRule(lhs expr.Expr, head *expr.Symbol) (*RuleShape, bool) {
+	rs := &RuleShape{}
+	// Peel Condition[pat, test] wrappers: the matcher runs the tests
+	// innermost first (the inner Condition matches before the outer test
+	// runs), so collect while unwrapping and keep that order.
+	var conds []expr.Expr
+	for {
+		c, ok := expr.IsNormalN(lhs, symCondition, 2)
+		if !ok {
+			break
+		}
+		conds = append(conds, c.Arg(2))
+		lhs = c.Arg(1)
+	}
+	// Unwrapping visits outermost first; evaluation order is innermost
+	// first.
+	for i := len(conds) - 1; i >= 0; i-- {
+		rs.Conds = append(rs.Conds, conds[i])
+	}
+	call, ok := lhs.(*expr.Normal)
+	if !ok || call.Head() != head {
+		return nil, false
+	}
+	for _, a := range call.Args() {
+		sh, ok := classifyArg(a, 0)
+		if !ok {
+			return nil, false
+		}
+		rs.Args = append(rs.Args, sh)
+	}
+	return rs, true
+}
+
+// classifyArg classifies one argument (or list-element) pattern. depth
+// guards the one-level List nesting bound.
+func classifyArg(a expr.Expr, depth int) (ArgShape, bool) {
+	var sh ArgShape
+	// Peel Condition wrappers exactly as ClassifyRule does for the LHS.
+	var conds []expr.Expr
+	for {
+		c, ok := expr.IsNormalN(a, symCondition, 2)
+		if !ok {
+			break
+		}
+		conds = append(conds, c.Arg(2))
+		a = c.Arg(1)
+	}
+	for i := len(conds) - 1; i >= 0; i-- {
+		sh.Conds = append(sh.Conds, conds[i])
+	}
+	// Peel one Pattern[name, sub] wrapper.
+	if p, ok := expr.IsNormalN(a, expr.SymPattern, 2); ok {
+		name, isSym := p.Arg(1).(*expr.Symbol)
+		if !isSym {
+			return sh, false
+		}
+		sh.Var = name
+		a = p.Arg(2)
+	}
+	switch x := a.(type) {
+	case *expr.Normal:
+		head, isSym := x.Head().(*expr.Symbol)
+		if !isSym {
+			return sh, false
+		}
+		switch head {
+		case expr.SymBlank:
+			if x.Len() > 1 {
+				return sh, false
+			}
+			sh.Class = ArgVar
+			if x.Len() == 1 {
+				req, ok := x.Arg(1).(*expr.Symbol)
+				if !ok {
+					return sh, false
+				}
+				sh.Req = req
+			}
+			return sh, true
+		case expr.SymList:
+			if depth > 0 {
+				return sh, false // nested destructuring stays interpreted
+			}
+			sh.Class = ArgList
+			for _, e := range x.Args() {
+				es, ok := classifyArg(e, depth+1)
+				if !ok || es.Class == ArgList {
+					return sh, false
+				}
+				sh.Elems = append(sh.Elems, es)
+			}
+			return sh, true
+		}
+		return sh, false
+	case nil:
+		return sh, false
+	default:
+		// A non-Normal atom: the matcher compares it with SameQ. A Pattern
+		// wrapper around a bare atom (x : 0) is not a binding form the
+		// matcher produces from definitions; reject it rather than guess.
+		if sh.Var != nil {
+			return sh, false
+		}
+		sh.Class = ArgLiteral
+		sh.Lit = a
+		return sh, true
+	}
+}

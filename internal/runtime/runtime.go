@@ -41,6 +41,12 @@ const (
 	ExcAbort
 	ExcKernel // interpreter escape failed
 	ExcType
+	// ExcNoMatch is the compiled image of a pattern-dispatch miss: a
+	// decision tree compiled from DownValues reached a leaf no rule covers.
+	// The tiering engine converts it into an F2 guard miss (interpreter
+	// rules take over), never a soft failure — a miss is a property of the
+	// arguments, not of the compiled code.
+	ExcNoMatch
 )
 
 // Exception is the panic payload for compiled-code runtime errors.
@@ -61,6 +67,7 @@ var excCounters = [...]*obs.Counter{
 	ExcAbort:        obs.NewCounter("exc_abort"),
 	ExcKernel:       obs.NewCounter("exc_kernel"),
 	ExcType:         obs.NewCounter("exc_type"),
+	ExcNoMatch:      obs.NewCounter("exc_no_match"),
 }
 
 // Throw raises a runtime exception.

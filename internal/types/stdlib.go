@@ -95,6 +95,12 @@ func Builtin() *Env {
 		decl(op, `{"Real64", "Integer64"} -> "Boolean"`, "mixed_ri_cmp_"+lower(op))
 		decl(op, `{"Integer64", "Real64"} -> "Boolean"`, "mixed_ir_cmp_"+lower(op))
 	}
+	// Pattern-dispatch miss (internal/patcomp): the compiled image of "no
+	// DownValue rule matched this argument tuple". Diverges (throws), so its
+	// result type is a free variable that unifies with whatever the live
+	// branches of the dispatch tree produce. The operand is a dummy that
+	// keeps the call inside the 1-operand stencil fragment.
+	decl("Compile`PatternMiss", `TypeForAll[{"a"}, {"Integer64"} -> "a"]`, "pattern_miss")
 	decl("SameQ", `{"Boolean", "Boolean"} -> "Boolean"`, "sameq_bool")
 	decl("SameQ", `TypeForAll[{"a"}, {Element["a", "Number"]}, {"a", "a"} -> "Boolean"]`, "cmp_equal")
 	decl("SameQ", `{"Expression", "Expression"} -> "Boolean"`, "sameq_expr")

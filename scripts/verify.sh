@@ -67,6 +67,71 @@ cmp "$tmp/plain.out" "$tmp/o2.out" || {
 }
 cat "$tmp/stencil.stats"
 
+echo "== pattern gate: dispatch-tree fuzz corpus is bit-identical across all tiers =="
+# Compiled pattern dispatch (ISSUE 10): the generated corpus
+# (cmd/patgen -> examples/patterns/corpus.wl) mixes literal rules, head
+# restrictions, /; guards, list destructuring, and repeated variables with
+# calls that hit, guard-miss, kind-miss, and fall outside the compiled
+# fragment. All four execution modes must produce byte-identical stdout;
+# -autocompile-drain makes tier transitions deterministic so the compiled
+# path is actually exercised, and the stats must prove both compiled
+# dispatches and guard misses happened.
+for mode in "" "-autocompile-stencil-only" "-autocompile-no-stencil"; do
+    "$tmp/wolfrepl" < examples/patterns/corpus.wl > "$tmp/pat-plain.out"
+    "$tmp/wolfrepl" -autocompile -autocompile-threshold 2 -autocompile-drain $mode \
+        < examples/patterns/corpus.wl > "$tmp/pat-tiered.out" 2> "$tmp/pat.stats"
+    cmp "$tmp/pat-plain.out" "$tmp/pat-tiered.out" || {
+        echo "verify: FAIL — pattern corpus diverged (mode: ${mode:-default})"
+        diff "$tmp/pat-plain.out" "$tmp/pat-tiered.out" | head -20
+        exit 1
+    }
+    grep -q " 0 compiled dispatches" "$tmp/pat.stats" && {
+        echo "verify: FAIL — pattern corpus never dispatched compiled code (mode: ${mode:-default})"
+        cat "$tmp/pat.stats"
+        exit 1
+    }
+    grep -q " 0 guard misses" "$tmp/pat.stats" && {
+        echo "verify: FAIL — pattern corpus never exercised the guard-miss fallback (mode: ${mode:-default})"
+        cat "$tmp/pat.stats"
+        exit 1
+    }
+done
+cat "$tmp/pat.stats"
+# The checked-in corpus must be exactly what the generator emits.
+go run ./cmd/patgen > "$tmp/corpus-regen.wl"
+cmp examples/patterns/corpus.wl "$tmp/corpus-regen.wl" || {
+    echo "verify: FAIL — examples/patterns/corpus.wl is stale; regenerate with cmd/patgen"
+    exit 1
+}
+
+echo "== pattern gate: guarded dispatch speedup (compiled <10x over interpreter fails) =="
+# The acceptance workload: a definition with _Integer blanks and a /;
+# guard auto-promotes and must beat the interpreter by >=10x (measured
+# ~80x). The symbolic-differentiation row never sketches to machine kinds,
+# so it must stay interpreted and cost within 1.5x of the plain kernel —
+# the dispatch hook's sketch rejection has to be cheap. Best-of-3 filters
+# shared-host load spikes, same discipline as the fusion gate.
+for i in 1 2 3; do
+    go run ./cmd/wolfbench -patterns -json "$tmp/patterns$i.json" >/dev/null
+done
+python3 - "$tmp" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+gfib = 1e9
+deriv = 1e9
+for i in (1, 2, 3):
+    d = json.load(open(f"{tmp}/patterns{i}.json"))
+    ns = {(r["name"], r["impl"]): r["ns_per_op"] for r in d["results"]}
+    gfib = min(gfib, ns[("patterns_gfib", "tiered")] / ns[("patterns_gfib", "interpreter")])
+    deriv = min(deriv, ns[("patterns_deriv", "tiered")] / ns[("patterns_deriv", "interpreter")])
+print(f"guarded fib: compiled dispatch {1/gfib:.1f}x over the interpreter (gate 10x)")
+if 1 / gfib < 10:
+    sys.exit(f"verify: FAIL — guarded pattern dispatch only {1/gfib:.1f}x over the interpreter")
+print(f"symbolic differentiation: tiered kernel at {deriv:.2f}x interpreter cost (gate 1.5x)")
+if deriv > 1.5:
+    sys.exit(f"verify: FAIL — un-promotable workload pays {deriv:.2f}x under tiering")
+EOF
+
 echo "== stencil gate: compile latency and warmup (backend <10x fails, steady <5x fails) =="
 # The point of the baseline tier is compile latency. The gate runs on the
 # backend ratio — quick-infer + stencil assembly vs inference + passes +
@@ -234,26 +299,36 @@ if d["artifact_store"]["corrupt_drops"] < 1:
     sys.exit("verify: FAIL — truncated entry was not detected and dropped")
 print("truncated entry dropped and recompiled; outputs identical")
 EOF
-echo "== fnreg gate: no package-level mutable registry state outside the default shim =="
+echo "== fnreg gate: no package-level mutable registry state outside the default instance =="
 # ISSUE 8 made the function registry instance-scoped (*fnreg.Registry);
-# the only sanctioned package-level mutable state is the default-instance
-# shim in default.go. The gate extracts every package-level var declared
-# elsewhere in the package and allows only obs counter handles (process-
-# wide aggregate counters, not registry state).
+# ISSUE 10 retired the deprecated package-level wrapper API, so the only
+# sanctioned package-level state in the whole package is the Default()
+# instance pair (defaultOnce/defaultReg) in default.go. The gate extracts
+# every package-level var and allows only that pair plus obs counter
+# handles (process-wide aggregate counters, not registry state).
 awk '
     FNR == 1 { inblock = 0 }
     /^var \(/ { inblock = 1; next }
     inblock && /^\)/ { inblock = 0; next }
     inblock  { print FILENAME ": " $0; next }
     /^var /  { print FILENAME ": " $0 }
-' $(ls internal/fnreg/*.go | grep -v -e default.go -e _test.go) \
-    | grep -v -e 'obs.NewCounter(' -e ': *//' -e ': *$' > "$tmp/fnreg-vars" || true
+' $(ls internal/fnreg/*.go | grep -v -e _test.go) \
+    | grep -v -e 'obs.NewCounter(' -e ': *//' -e ': *$' \
+        -e 'default.go: .*defaultOnce' -e 'default.go: .*defaultReg' \
+        > "$tmp/fnreg-vars" || true
 if [ -s "$tmp/fnreg-vars" ]; then
-    echo "verify: FAIL — package-level mutable state in fnreg outside default.go:"
+    echo "verify: FAIL — package-level mutable state in fnreg beyond the default instance:"
     cat "$tmp/fnreg-vars"
     exit 1
 fi
-echo "fnreg package state is instance-scoped (default.go shim only)"
+# The wrapper API must stay retired: Default() is the only package-level
+# function touching the default instance.
+if grep -n '^func \(Reserve\|Install\|Upgrade\|Lookup\|Retire\|RetireEntry\|Names\|Reset\)(' \
+    internal/fnreg/*.go; then
+    echo "verify: FAIL — deprecated package-level fnreg wrappers reintroduced"
+    exit 1
+fi
+echo "fnreg package state is instance-scoped (Default() instance only)"
 
 echo "== serve gate: wolfserve end-to-end smoke (create / eval / isolate / destroy) =="
 # The multi-tenant server (ISSUE 8): boot the real binary, drive two
